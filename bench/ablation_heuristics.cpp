@@ -1,0 +1,229 @@
+//===- bench/ablation_heuristics.cpp - Ablation of Section 4.2/4.3 ---------===//
+//
+// The online SVD algorithm is a bundle of heuristics (Sections 4.2-4.3):
+// address dependences, partial control dependences (Skipper), the
+// input-blocks-only conflict check, and word-size blocks. This bench
+// quantifies each in two parts:
+//
+//  1. Deterministic micro-scenarios (replayed interleavings) that each
+//     isolate one heuristic: where does detection fire, and does it
+//     fire at all, as knobs are flipped?
+//  2. Macro metrics over the server analogs: total detections stay
+//     stable (detection points move between dependence kinds), while
+//     block granularity visibly trades false sharing for precision.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Harness.h"
+#include "isa/Assembler.h"
+#include "support/StringUtils.h"
+#include "svd/OnlineSvd.h"
+#include "vm/Machine.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace svd;
+using namespace svd::harness;
+using detect::OnlineSvdConfig;
+using support::formatString;
+
+namespace {
+
+struct Variant {
+  const char *Name;
+  OnlineSvdConfig Cfg;
+};
+
+std::vector<Variant> variants() {
+  std::vector<Variant> Out;
+  Out.push_back({"default (paper)", OnlineSvdConfig()});
+  {
+    OnlineSvdConfig C;
+    C.UseAddressDeps = false;
+    Out.push_back({"no address deps", C});
+  }
+  {
+    OnlineSvdConfig C;
+    C.UseControlDeps = false;
+    Out.push_back({"no control deps", C});
+  }
+  {
+    OnlineSvdConfig C;
+    C.Reconv = OnlineSvdConfig::ReconvPolicy::Precise;
+    Out.push_back({"precise reconvergence", C});
+  }
+  {
+    OnlineSvdConfig C;
+    C.CheckInputBlocksOnly = false;
+    Out.push_back({"check write sets too", C});
+  }
+  {
+    OnlineSvdConfig C;
+    C.BlockShift = 2;
+    Out.push_back({"4-word blocks", C});
+  }
+  return Out;
+}
+
+/// Replays \p Schedule on \p P under \p Cfg; returns "pc:N" of the first
+/// report or "-" when silent.
+std::string firstReport(const isa::Program &P,
+                        const std::vector<isa::ThreadId> &Schedule,
+                        const OnlineSvdConfig &Cfg, isa::Word Poke = -1) {
+  vm::Machine M(P);
+  if (Poke >= 0)
+    M.pokeMem(0, Poke);
+  detect::OnlineSvd Svd(P, Cfg);
+  M.addObserver(&Svd);
+  M.setReplaySchedule(Schedule);
+  M.run();
+  M.clearReplaySchedule();
+  M.run();
+  if (Svd.violations().empty())
+    return "-";
+  return formatString("pc:%u (x%zu)", Svd.violations()[0].Pc,
+                      Svd.violations().size());
+}
+
+std::vector<isa::ThreadId> sched(std::initializer_list<std::pair<int, int>> Runs) {
+  std::vector<isa::ThreadId> S;
+  for (const auto &[Tid, N] : Runs)
+    for (int I = 0; I < N; ++I)
+      S.push_back(static_cast<isa::ThreadId>(Tid));
+  return S;
+}
+
+} // namespace
+
+int main() {
+  std::puts("== Ablation 1: micro-scenarios (deterministic replays) ==\n");
+
+  // Address dependence: a buffer store indexed by a clobbered counter
+  // (the Figure 2 / Section 4.3 "vector, pointer data types" case).
+  isa::Program Indexed = isa::assembleOrDie(R"(
+.global outcnt
+.global buf 8
+.thread w x2
+  ld r1, [@outcnt]
+  li r9, 5
+  st r9, [r1+@buf]       ; pc 2: address-dependent store
+  addi r2, r1, 1
+  st r2, [@outcnt]       ; pc 4: data-dependent store
+  halt
+)");
+  auto IndexedSched = sched({{0, 1}, {1, 6}, {0, 5}});
+
+  // Control dependence: a store guarded by a predicate over a clobbered
+  // flag (ctrlCuSet of Figure 7).
+  isa::Program Guarded = isa::assembleOrDie(R"(
+.global flag
+.global out
+.thread a
+  ld r1, [@flag]
+  beqz r1, skip
+  li r2, 1
+  st r2, [@out]          ; pc 3: control-dependent store
+skip:
+  halt
+.thread b
+  li r3, 2
+  st r3, [@flag]
+  halt
+)");
+  auto GuardedSched = sched({{0, 1}, {1, 3}, {0, 4}});
+
+  // Input-blocks-only: the conflict sits on the CU's *write* set.
+  isa::Program WriteSet = isa::assembleOrDie(R"(
+.global w
+.global x
+.global z
+.thread a
+  ld r1, [@w]
+  st r1, [@x]
+  nop
+  st r1, [@z]            ; pc 3: the checking store
+  halt
+.thread b
+  li r3, 4
+  st r3, [@x]
+  halt
+)");
+  auto WriteSetSched = sched({{0, 2}, {1, 3}, {0, 3}});
+
+  // Block granularity: disjoint adjacent words.
+  isa::Program Adjacent = isa::assembleOrDie(R"(
+.global arr 2
+.thread a
+  ld r1, [@arr]
+  addi r1, r1, 1
+  st r1, [@arr]
+  halt
+.thread b
+  li r3, 7
+  st r3, [@arr+1]
+  halt
+)");
+  auto AdjacentSched = sched({{0, 1}, {1, 3}, {0, 3}});
+
+  TextTable Micro({"Variant", "indexed write", "guarded store",
+                   "write-set conflict", "adjacent words (benign)"});
+  for (const Variant &V : variants()) {
+    Micro.addRow({V.Name, firstReport(Indexed, IndexedSched, V.Cfg),
+                  firstReport(Guarded, GuardedSched, V.Cfg, /*Poke=*/1),
+                  firstReport(WriteSet, WriteSetSched, V.Cfg),
+                  firstReport(Adjacent, AdjacentSched, V.Cfg)});
+  }
+  std::fputs(Micro.render().c_str(), stdout);
+  std::puts("\nReading guide:");
+  std::puts(" * indexed write: address deps catch it at the buffer store");
+  std::puts("   (pc 2); without them detection falls back to the index");
+  std::puts("   write-back (pc 4).");
+  std::puts(" * guarded store: only control dependences catch it; both");
+  std::puts("   reconvergence policies work on this shape.");
+  std::puts(" * write-set conflict: invisible to the input-blocks-only");
+  std::puts("   check (the paper's default) — visible when write sets are");
+  std::puts("   checked too.");
+  std::puts(" * adjacent words: silent with word blocks; a false-sharing");
+  std::puts("   report appears with 4-word blocks.\n");
+
+  std::puts("== Ablation 2: macro metrics on the server analogs ==\n");
+  workloads::WorkloadParams BP;
+  BP.Threads = 4;
+  BP.Iterations = 80;
+  BP.WorkPadding = 60;
+  BP.TouchOneIn = 4;
+  workloads::Workload Apache = workloads::apacheLog(BP);
+  workloads::Workload Pgsql = workloads::pgsqlOltp(BP);
+
+  const unsigned Seeds = 6;
+  TextTable Macro({"Variant", "Apache true (dyn)", "Apache manifested+detected",
+                   "PgSQL FP (dyn)", "PgSQL FP (static)"});
+  for (const Variant &V : variants()) {
+    size_t ApacheTrue = 0, PgDyn = 0, PgStatic = 0;
+    size_t Detected = 0, Manifested = 0;
+    for (uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
+      SampleConfig C;
+      C.Seed = Seed;
+      C.MinTimeslice = 1;
+      C.MaxTimeslice = 4;
+      C.SvdConfig = V.Cfg;
+      SampleMetrics A = runSample(Apache, DetectorKind::OnlineSvd, C);
+      SampleMetrics G = runSample(Pgsql, DetectorKind::OnlineSvd, C);
+      ApacheTrue += A.DynamicTrue;
+      Manifested += A.Manifested;
+      Detected += (A.Manifested && A.DetectedBug);
+      PgDyn += G.DynamicFalse;
+      PgStatic += G.StaticFalse;
+    }
+    Macro.addRow({V.Name, formatString("%zu", ApacheTrue),
+                  formatString("%zu/%zu", Detected, Manifested),
+                  formatString("%zu", PgDyn),
+                  formatString("%zu", PgStatic)});
+  }
+  std::fputs(Macro.render().c_str(), stdout);
+  std::puts("\nMacro totals are stable across dependence-kind knobs because");
+  std::puts("detection points move between data/address/control paths; the");
+  std::puts("block-size knob visibly trades precision for false sharing.");
+  return 0;
+}

@@ -1,0 +1,90 @@
+//===- bench/ber_recovery.cpp - BER-based bug avoidance (Sections 1-2) -----===//
+//
+// Paper: the headline deployment scenario — SVD triggers backward error
+// recovery so erroneous executions are rolled back and re-executed
+// "(more) serially", avoiding the bug without knowing it in advance.
+// This bench runs the buggy Apache and MySQL analogs across seeds with
+// and without BER and reports how many executions ended corrupted or
+// crashed, plus the recovery costs (rollbacks, wasted work) that the
+// dynamic-false-positive metric of Table 2 is meant to bound.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ber/Recovery.h"
+#include "harness/Harness.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace svd;
+using harness::TextTable;
+using support::formatString;
+
+namespace {
+
+void runRow(TextTable &T, const workloads::Workload &W, unsigned Seeds) {
+  size_t BadWithout = 0, BadWith = 0;
+  uint64_t Rollbacks = 0, Wasted = 0, Steps = 0;
+  size_t Incomplete = 0;
+  for (uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
+    vm::MachineConfig MC;
+    MC.SchedSeed = Seed;
+    MC.MinTimeslice = 1;
+    MC.MaxTimeslice = 4;
+    {
+      vm::Machine M(W.Program, MC);
+      M.run();
+      if (W.Manifested(M))
+        ++BadWithout;
+    }
+    ber::RecoveryConfig RC;
+    RC.CheckpointInterval = 400;
+    RC.SerialSlack = 1500;
+    RC.MaxRollbacks = 256;
+    ber::RecoveryManager RM(W.Program, MC, RC);
+    ber::RecoveryStats S = RM.run();
+    if (!S.Completed)
+      ++Incomplete;
+    if (W.Manifested(RM.machine()))
+      ++BadWith;
+    Rollbacks += S.Rollbacks;
+    Wasted += S.WastedSteps;
+    Steps += S.FinalSteps;
+  }
+  T.addRow({W.Name, formatString("%zu/%u", BadWithout, Seeds),
+            formatString("%zu/%u", BadWith, Seeds),
+            formatString("%llu", static_cast<unsigned long long>(Rollbacks)),
+            formatString("%.1f%%",
+                         Steps == 0 ? 0.0
+                                    : 100.0 * static_cast<double>(Wasted) /
+                                          static_cast<double>(Steps + Wasted)),
+            formatString("%zu", Incomplete)});
+}
+
+} // namespace
+
+int main() {
+  std::puts("== SVD + backward error recovery: bug avoidance ==\n");
+
+  workloads::WorkloadParams AP;
+  AP.Threads = 4;
+  AP.Iterations = 40;
+  AP.WorkPadding = 80;
+  AP.TouchOneIn = 6;
+
+  workloads::WorkloadParams MP = AP;
+  MP.Iterations = 80;
+  MP.TouchOneIn = 4;
+
+  TextTable T({"Program", "Bad runs w/o BER", "Bad runs with BER",
+               "Rollbacks", "Wasted work", "Incomplete"});
+  runRow(T, workloads::apacheLog(AP), 10);
+  runRow(T, workloads::mysqlPrepared(MP), 10);
+  std::fputs(T.render().c_str(), stdout);
+
+  std::puts("\nExpected shape: most corruptions/crashes disappear under");
+  std::puts("BER at the price of a modest wasted-work fraction; MySQL's");
+  std::puts("recovery is weaker because its online detection is (by the");
+  std::puts("paper's own Figure 3 analysis) largely a-posteriori.");
+  return 0;
+}

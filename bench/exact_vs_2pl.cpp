@@ -1,0 +1,177 @@
+//===- bench/exact_vs_2pl.cpp - Section 3.3's accuracy/cost trade-off ------===//
+//
+// Paper, Section 3.3: "Not violating strict 2PL is sufficient yet not
+// necessary for serializability... More accurate detection of
+// serializability violations is possible with higher detection cost. We
+// leave exploring this direction to future work."
+//
+// This bench explores that direction: it compares the offline strict-2PL
+// scan (Figure 6) against the exact conflict-serializability test (the
+// CU precedence graph, Papadimitriou [25]) on identical traces —
+// quantifying how many strict-2PL reports are artifacts of the
+// conservative test, and what the exact test costs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Harness.h"
+#include "isa/Assembler.h"
+#include "svd/OfflineDetector.h"
+#include "svd/SerializabilityGraph.h"
+#include "support/StringUtils.h"
+#include "trace/Trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace svd;
+using harness::TextTable;
+using support::formatString;
+
+namespace {
+
+struct Row {
+  size_t TwoPlFlagged = 0;
+  size_t ExactFlagged = 0;
+  size_t TwoPlReports = 0;
+  size_t Cycles = 0;
+  size_t Samples = 0;
+  double TwoPlSeconds = 0;
+  double ExactSeconds = 0;
+};
+
+double seconds(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       T0)
+      .count();
+}
+
+Row runRow(const workloads::Workload &W, unsigned Seeds) {
+  Row R;
+  for (uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
+    vm::MachineConfig MC;
+    MC.SchedSeed = Seed;
+    MC.MinTimeslice = 1;
+    MC.MaxTimeslice = 4;
+    vm::Machine M(W.Program, MC);
+    trace::TraceRecorder Rec(W.Program);
+    M.addObserver(&Rec);
+    M.run();
+    const trace::ProgramTrace &T = Rec.trace();
+
+    pdg::DynamicPdg G = pdg::DynamicPdg::build(T);
+    cu::CuPartition CUs = cu::CuPartition::compute(T, G);
+
+    auto T0 = std::chrono::steady_clock::now();
+    std::vector<detect::Violation> TwoPl = detect::detectOffline(T, CUs);
+    R.TwoPlSeconds += seconds(T0);
+
+    T0 = std::chrono::steady_clock::now();
+    detect::SerializabilityGraph SG =
+        detect::SerializabilityGraph::build(T, G, CUs);
+    R.ExactSeconds += seconds(T0);
+
+    ++R.Samples;
+    R.TwoPlFlagged += !TwoPl.empty();
+    R.ExactFlagged += !SG.isSerializable();
+    R.TwoPlReports += TwoPl.size();
+    R.Cycles += SG.cycles().size();
+  }
+  return R;
+}
+
+} // namespace
+
+int main() {
+  std::puts("== Exact serializability vs strict 2PL (Section 3.3) ==\n");
+
+  workloads::WorkloadParams P;
+  P.Threads = 4;
+  P.Iterations = 40;
+  P.WorkPadding = 40;
+  P.TouchOneIn = 4;
+
+  // The decisive micro-scenario first: strict 2PL is violated but the
+  // execution is serializable (equivalent to a-then-b).
+  {
+    isa::Program Micro = isa::assembleOrDie(R"(
+.global x
+.global out
+.thread a
+  ld r1, [@x]       ; CU input: x
+  addi r1, r1, 5
+  nop
+  st r1, [@out]     ; private output
+  halt
+.thread b
+  li r2, 9
+  st r2, [@x]       ; intervening remote write
+  halt
+)");
+    vm::Machine M(Micro);
+    trace::TraceRecorder Rec(Micro);
+    M.addObserver(&Rec);
+    M.setReplaySchedule({0, 0, 1, 1, 1, 0, 0, 0});
+    M.run();
+    M.clearReplaySchedule();
+    M.run();
+    const trace::ProgramTrace &T = Rec.trace();
+    pdg::DynamicPdg G = pdg::DynamicPdg::build(T);
+    cu::CuPartition CUs = cu::CuPartition::compute(T, G);
+    bool TwoPl = !detect::detectOffline(T, CUs).empty();
+    bool Exact =
+        !detect::SerializabilityGraph::build(T, G, CUs).isSerializable();
+    std::printf("micro read-then-publish: strict 2PL flags it: %s; exact "
+                "test: %s\n\n",
+                TwoPl ? "YES" : "no",
+                Exact ? "non-serializable (?)" : "serializable");
+  }
+
+  TextTable T({"Workload", "Samples", "2PL flagged", "Exact flagged",
+               "2PL reports", "Cycles", "2PL time", "Exact time"});
+  struct Item {
+    const char *Name;
+    workloads::Workload W;
+  };
+  std::vector<Item> Items;
+  Items.push_back({"Apache (buggy)", workloads::apacheLog(P)});
+  Items.push_back({"PgSQL (race-free)", workloads::pgsqlOltp(P)});
+  {
+    workloads::RandomParams RP;
+    RP.Seed = 5;
+    RP.Threads = 4;
+    RP.Iterations = 25;
+    RP.OmitLockProbability = 0.3;
+    Items.push_back({"Random (30% unlocked)", workloads::randomWorkload(RP)});
+  }
+  {
+    workloads::RandomParams RP;
+    RP.Seed = 6;
+    RP.Threads = 4;
+    RP.Iterations = 25;
+    RP.OmitLockProbability = 0.0;
+    RP.BenignReadProbability = 0.4;
+    Items.push_back({"Random (locked+benign)", workloads::randomWorkload(RP)});
+  }
+
+  for (Item &I : Items) {
+    Row R = runRow(I.W, 8);
+    T.addRow({I.Name, formatString("%zu", R.Samples),
+              formatString("%zu", R.TwoPlFlagged),
+              formatString("%zu", R.ExactFlagged),
+              formatString("%zu", R.TwoPlReports),
+              formatString("%zu", R.Cycles),
+              formatString("%.3fs", R.TwoPlSeconds),
+              formatString("%.3fs", R.ExactSeconds)});
+  }
+  std::fputs(T.render().c_str(), stdout);
+
+  std::puts("\nExpected shape: the micro-scenario splits the two tests");
+  std::puts("(2PL flags a serializable execution). On the macro workloads");
+  std::puts("exact flags at most as many executions, and condenses the");
+  std::puts("dynamic 2PL report stream into a few cycle witnesses. The");
+  std::puts("residual PgSQL cycles are artifacts of CU *inference* (units");
+  std::puts("larger than the atomic regions), showing that better");
+  std::puts("serializability testing alone cannot remove all of SVD's");
+  std::puts("false positives — the paper's Section 5.2 point.");
+  return 0;
+}

@@ -1,0 +1,81 @@
+//===- bench/fig2_apache_log.cpp - Reproduces Figure 2 ---------------------===//
+//
+// Paper: Figure 2 — Apache's log_config module lacks a critical section
+// around the log-buffer append; SVD detects the erroneous execution by
+// observing that the CU's serializability is violated: "the input to
+// the computation is changed by other threads before the output of the
+// computation is written" (Section 7.1). This bench finds an erroneous
+// seed, prints SVD's report, and shows the CU the detection hinged on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "svd/OnlineSvd.h"
+#include "support/StringUtils.h"
+#include "vm/Machine.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace svd;
+using support::formatString;
+
+int main() {
+  std::puts("== Figure 2: the Apache log_config bug ==\n");
+
+  workloads::WorkloadParams P;
+  P.Threads = 4;
+  P.Iterations = 60;
+  P.WorkPadding = 60;
+  P.TouchOneIn = 4;
+  workloads::Workload W = workloads::apacheLog(P);
+
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    vm::MachineConfig MC;
+    MC.SchedSeed = Seed;
+    MC.MinTimeslice = 1;
+    MC.MaxTimeslice = 4;
+    vm::Machine M(W.Program, MC);
+    detect::OnlineSvd Svd(W.Program);
+    M.addObserver(&Svd);
+    M.run();
+    bool Corrupted = W.Manifested(M);
+    if (!Corrupted)
+      continue;
+
+    std::printf("seed %llu: the access log was silently corrupted\n",
+                static_cast<unsigned long long>(Seed));
+    size_t TrueReports = 0;
+    for (const detect::Violation &V : Svd.violations())
+      if (W.isTrueReport(V))
+        ++TrueReports;
+    std::printf("SVD reported %zu serializability violations (%zu on the "
+                "buggy code)\n\n",
+                Svd.violations().size(), TrueReports);
+    std::puts("First reports:");
+    size_t Shown = 0;
+    for (const detect::Violation &V : Svd.violations()) {
+      if (!W.isTrueReport(V))
+        continue;
+      std::printf("  %s\n", V.describe(W.Program).c_str());
+      std::printf("    detection: %s\n",
+                  isa::formatInstruction(
+                      W.Program.Threads[V.Tid].Code[V.Pc])
+                      .c_str());
+      std::printf("    conflict:  %s\n",
+                  isa::formatInstruction(
+                      W.Program.Threads[V.OtherTid].Code[V.OtherPc])
+                      .c_str());
+      if (++Shown == 3)
+        break;
+    }
+    std::puts("\nInterpretation: the shared index (outcnt) read at the top");
+    std::puts("of the append CU was overwritten by another thread before");
+    std::puts("the CU's buffer/index writes completed — the exact Figure 2");
+    std::puts("scenario. A detector-triggered rollback (bench/ber_recovery)");
+    std::puts("avoids the corruption.");
+    return 0;
+  }
+  std::puts("no erroneous seed found in 20 tries (unexpected; check "
+            "workload tuning)");
+  return 1;
+}

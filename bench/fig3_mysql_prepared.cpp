@@ -1,0 +1,87 @@
+//===- bench/fig3_mysql_prepared.cpp - Reproduces Figure 3 -----------------===//
+//
+// Paper: Figure 3 — MySQL's prepared-query engine mistakenly shares
+// query_id / used_fields between connections. The online check misses
+// the resulting crash (shared dependences cut CUs smaller than the
+// atomic region), but the a-posteriori CU log records the broken
+// thread-local communication: the triple (s, rw, lw) — a local read s
+// whose producer lw was overwritten by the remote write rw. Examining
+// the log reveals the root cause, which is how the paper's authors
+// diagnosed the then-unknown MySQL bug (Section 7.1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "svd/OnlineSvd.h"
+#include "support/StringUtils.h"
+#include "vm/Machine.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace svd;
+
+int main() {
+  std::puts("== Figure 3: the MySQL prepared-query crash ==\n");
+
+  workloads::WorkloadParams P;
+  P.Threads = 4;
+  P.Iterations = 80;
+  P.WorkPadding = 40;
+  P.TouchOneIn = 2;
+  workloads::Workload W = workloads::mysqlPrepared(P);
+
+  for (uint64_t Seed = 1; Seed <= 30; ++Seed) {
+    vm::MachineConfig MC;
+    MC.SchedSeed = Seed;
+    MC.MinTimeslice = 1;
+    MC.MaxTimeslice = 4;
+    vm::Machine M(W.Program, MC);
+    detect::OnlineSvd Svd(W.Program);
+    M.addObserver(&Svd);
+    M.run();
+    if (M.errors().empty())
+      continue;
+
+    std::printf("seed %llu: the server crashed:\n",
+                static_cast<unsigned long long>(Seed));
+    for (const vm::ProgramError &E : M.errors())
+      std::printf("  thread %u pc %u: %s\n", E.Tid, E.Pc,
+                  E.Message.c_str());
+
+    size_t OnlineTrue = 0;
+    for (const detect::Violation &V : Svd.violations())
+      if (W.isTrueReport(V))
+        ++OnlineTrue;
+    std::printf("\nonline serializability violations on the buggy code: "
+                "%zu\n",
+                OnlineTrue);
+    std::puts("(the paper expects few or none here: the mistakenly shared");
+    std::puts(" variables are read back inside the atomic region, cutting");
+    std::puts(" the CUs too small for the online check)\n");
+
+    // The a-posteriori examination: group the CU log by code shape.
+    std::map<uint64_t, std::pair<size_t, detect::CuLogEntry>> Shapes;
+    for (const detect::CuLogEntry &E : Svd.cuLog()) {
+      auto &Slot = Shapes[E.staticKey()];
+      ++Slot.first;
+      Slot.second = E;
+    }
+    std::printf("a-posteriori CU log: %zu entries, %zu distinct shapes:\n",
+                Svd.cuLog().size(), Shapes.size());
+    for (const auto &[Key, Slot] : Shapes) {
+      (void)Key;
+      const detect::CuLogEntry &E = Slot.second;
+      const char *Tag = W.isTrueLogEntry(E) ? "  [ROOT CAUSE]" : "";
+      std::printf("  x%-4zu %s%s\n", Slot.first,
+                  E.describe(W.Program).c_str(), Tag);
+    }
+    std::puts("\nThe [ROOT CAUSE] shapes show intended-thread-local values");
+    std::puts("(query_id / used_fields) overwritten by other connections —");
+    std::puts("exactly the diagnosis of Figure 3.");
+    return 0;
+  }
+  std::puts("no crashing seed found in 30 tries (unexpected; check "
+            "workload tuning)");
+  return 1;
+}

@@ -1,0 +1,79 @@
+//===- bench/fig4_crossing_arcs.cpp - Reproduces Figure 4 ------------------===//
+//
+// Paper: Figure 4 — the formal construction behind CU inference: when a
+// thread reads back a shared word it wrote (a "shared arc" in the
+// td-PDG), the crossing arcs are removed so the two halves fall into
+// different weakly connected components. This bench builds the d-PDG of
+// a minimal program with exactly that shape, prints every dependence
+// arc, and shows the resulting partition (Definitions 1-3 / Figure 5).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cu/CuPartition.h"
+#include "isa/Assembler.h"
+#include "pdg/Pdg.h"
+#include "support/StringUtils.h"
+#include "trace/Trace.h"
+#include "vm/Machine.h"
+
+#include <cstdio>
+
+using namespace svd;
+
+int main() {
+  std::puts("== Figure 4: crossing-arc removal around a shared arc ==\n");
+
+  // Thread a writes shared g, computes, then reads g back: the read
+  // must start a new CU even though control/true dependences connect
+  // the whole straight-line region.
+  isa::Program P = isa::assembleOrDie(R"(
+.global g
+.thread a
+  li r1, 3          ; pc 0   \
+  addi r2, r1, 1    ; pc 1    | CU #1: produces the shared value
+  st r2, [@g]       ; pc 2   /
+  ld r3, [@g]       ; pc 3   \  shared arc (st -> ld) ends CU #1
+  add r4, r3, r1    ; pc 4    | CU #2: consumes it
+  halt
+.thread b
+  ld r9, [@g]       ; makes g shared
+  halt
+)");
+
+  vm::Machine M(P);
+  trace::TraceRecorder R(P);
+  M.addObserver(&R);
+  // Run thread a fully first, then b (the partition is order-robust;
+  // this order keeps the printed trace readable).
+  M.setReplaySchedule({0, 0, 0, 0, 0, 0, 1, 1});
+  M.run();
+  M.clearReplaySchedule();
+  M.run();
+
+  const trace::ProgramTrace &T = R.trace();
+  pdg::DynamicPdg G = pdg::DynamicPdg::build(T);
+
+  std::puts("dynamic statements:");
+  for (uint32_t E = 0; E < T.size(); ++E)
+    std::printf("  [%u] t%u pc%u: %s\n", E, T[E].Tid, T[E].Pc,
+                isa::formatInstruction(*T[E].Instr).c_str());
+
+  std::puts("\ndependence arcs (From -> To):");
+  for (const pdg::DepArc &A : G.arcs()) {
+    std::printf("  [%u] -> [%u]  %s%s", A.From, A.To,
+                pdg::depKindName(A.Kind), A.ViaMemory ? " via " : "");
+    if (A.ViaMemory)
+      std::fputs(P.describeAddress(A.Address).c_str(), stdout);
+    std::puts("");
+  }
+
+  cu::CuPartition CUs = cu::CuPartition::compute(T, G);
+  std::puts("\nresulting computational units:");
+  std::fputs(CUs.describe(T).c_str(), stdout);
+
+  std::puts("\nNote how the true-shared arc (st -> ld on g) separates the");
+  std::puts("producer statements from the consumer statements, while the");
+  std::puts("register dependence li -> add would otherwise have connected");
+  std::puts("them — that register arc is the removed crossing arc.");
+  return 0;
+}

@@ -1,0 +1,149 @@
+//===- bench/hw_svd.cpp - Hardware SVD design study (Section 4.4) ----------===//
+//
+// Paper, Section 4.4: "the overhead of the software version SVD can be
+// dramatically reduced if some parts of it are implemented in hardware
+// ... multiprocessor caches can help store CUs ... cache coherence
+// protocols can help detect serializability violations. We leave the
+// detailed design and evaluation of hardware SVD to future work."
+//
+// This bench performs that evaluation on the MESI cache substrate:
+//
+//  * detection recall of the cache-based detector versus software SVD
+//    on identical buggy executions, as the cache shrinks (metadata is
+//    lost to evictions) and as lines widen (false sharing appears);
+//  * the hardware costs: coherence traffic and added metadata bits.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Harness.h"
+#include "support/StringUtils.h"
+#include "svd/HardwareSvd.h"
+#include "svd/OnlineSvd.h"
+#include "vm/Machine.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace svd;
+using harness::TextTable;
+using support::formatString;
+
+namespace {
+
+struct Design {
+  const char *Name;
+  uint32_t Sets;
+  uint32_t Ways;
+  uint32_t LineWords;
+};
+
+} // namespace
+
+int main() {
+  std::puts("== Hardware SVD (Section 4.4): cache-based detection ==\n");
+
+  workloads::WorkloadParams P;
+  P.Threads = 4;
+  P.Iterations = 60;
+  P.WorkPadding = 40;
+  P.TouchOneIn = 3;
+  workloads::Workload Apache = workloads::apacheLog(P);
+  workloads::Workload Pgsql = workloads::pgsqlOltp(P);
+
+  const Design Designs[] = {
+      {"ideal (4096-line, 1w)", 1024, 4, 1},
+      {"large  (512-line, 1w)", 128, 4, 1},
+      {"small  (64-line, 1w)", 16, 4, 1},
+      {"tiny   (16-line, 1w)", 8, 2, 1},
+      {"large, 4-word lines", 128, 4, 4},
+  };
+  const unsigned Seeds = 8;
+
+  TextTable T({"Design", "Detected (of SW)", "True dyn (HW/SW)",
+               "PgSQL FP (HW/SW)", "Meta evictions", "Inval+downgr/Kinst",
+               "Metadata KiB"});
+
+  for (const Design &D : Designs) {
+    detect::HardwareSvdConfig HC;
+    HC.Cache.NumCpus = Apache.Program.numThreads();
+    HC.Cache.Sets = D.Sets;
+    HC.Cache.Ways = D.Ways;
+    HC.Cache.LineWords = D.LineWords;
+
+    size_t HwDetected = 0, SwDetected = 0;
+    size_t HwTrue = 0, SwTrue = 0;
+    size_t HwPgFp = 0, SwPgFp = 0;
+    uint64_t MetaEvict = 0, Coherence = 0, Insts = 0;
+    size_t MetaBits = 0;
+
+    for (uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
+      vm::MachineConfig MC;
+      MC.SchedSeed = Seed;
+      MC.MinTimeslice = 1;
+      MC.MaxTimeslice = 4;
+
+      {
+        vm::Machine M(Apache.Program, MC);
+        detect::OnlineSvd Sw(Apache.Program);
+        detect::HardwareSvd Hw(Apache.Program, HC);
+        M.addObserver(&Sw);
+        M.addObserver(&Hw);
+        M.run();
+        bool Manifested = Apache.Manifested(M);
+        auto CountTrue = [&](const std::vector<detect::Violation> &V) {
+          size_t N = 0;
+          for (const detect::Violation &X : V)
+            N += Apache.isTrueReport(X);
+          return N;
+        };
+        size_t SwT = CountTrue(Sw.violations());
+        size_t HwT = CountTrue(Hw.violations());
+        SwTrue += SwT;
+        HwTrue += HwT;
+        if (Manifested && SwT > 0) {
+          ++SwDetected;
+          if (HwT > 0)
+            ++HwDetected;
+        }
+        MetaEvict += Hw.metadataEvictions();
+        Coherence += Hw.cacheStats().Invalidations +
+                     Hw.cacheStats().Downgrades;
+        Insts += M.steps();
+        MetaBits = Hw.metadataBits();
+      }
+      {
+        detect::HardwareSvdConfig HG = HC;
+        HG.Cache.NumCpus = Pgsql.Program.numThreads();
+        vm::Machine M(Pgsql.Program, MC);
+        detect::OnlineSvd Sw(Pgsql.Program);
+        detect::HardwareSvd Hw(Pgsql.Program, HG);
+        M.addObserver(&Sw);
+        M.addObserver(&Hw);
+        M.run();
+        SwPgFp += Sw.violations().size();
+        HwPgFp += Hw.violations().size();
+      }
+    }
+
+    T.addRow({D.Name, formatString("%zu/%zu", HwDetected, SwDetected),
+              formatString("%zu/%zu", HwTrue, SwTrue),
+              formatString("%zu/%zu", HwPgFp, SwPgFp),
+              formatString("%llu",
+                           static_cast<unsigned long long>(MetaEvict)),
+              formatString("%.1f", Insts == 0
+                                       ? 0.0
+                                       : 1e3 * static_cast<double>(Coherence) /
+                                             static_cast<double>(Insts)),
+              formatString("%.1f", static_cast<double>(MetaBits) / 8192.0)});
+  }
+  std::fputs(T.render().c_str(), stdout);
+
+  std::puts("\nReading guide:");
+  std::puts(" * The ideal cache matches software SVD's verdicts; shrinking");
+  std::puts("   the cache loses line metadata to evictions and detection");
+  std::puts("   degrades gracefully — the paper's conjectured trade-off.");
+  std::puts(" * Wider lines add false-sharing reports (PgSQL FP column).");
+  std::puts(" * Coherence messages per kilo-instruction bound the snoop");
+  std::puts("   bandwidth the detector piggybacks on.");
+  return 0;
+}

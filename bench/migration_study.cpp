@@ -1,0 +1,117 @@
+//===- bench/migration_study.cpp - §4.3's threads-as-processors cost -------===//
+//
+// Paper, Section 4.3: "threads may migrate from one processor to
+// another. SVD does not have the ability to detect thread migration.
+// Therefore, SVD approximates threads with processors" — one detector
+// instance per simulated CPU. This bench quantifies what that
+// approximation costs: it runs the buggy Apache analog on an OS model
+// that multiplexes and migrates threads over a configurable number of
+// CPUs, with two detectors on the identical execution — one keyed by
+// thread (the ideal) and one keyed by CPU (the paper's deployment) —
+// and compares their verdicts as migration frequency rises and as CPUs
+// become shared.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+#include "svd/OnlineSvd.h"
+#include "vm/Machine.h"
+#include "workloads/Workloads.h"
+#include "harness/Harness.h"
+
+#include <cstdio>
+
+using namespace svd;
+using harness::TextTable;
+using support::formatString;
+
+namespace {
+
+struct Design {
+  const char *Name;
+  uint32_t NumCpus;
+  uint64_t MigrationInterval;
+};
+
+} // namespace
+
+int main() {
+  std::puts("== Thread migration vs per-processor SVD (Section 4.3) ==\n");
+
+  workloads::WorkloadParams P;
+  P.Threads = 4;
+  P.Iterations = 80;
+  P.WorkPadding = 40;
+  P.TouchOneIn = 3;
+  workloads::Workload Apache = workloads::apacheLog(P);
+  uint32_t NumThreads = Apache.Program.numThreads();
+
+  const Design Designs[] = {
+      {"pinned, 1 CPU/thread", NumThreads, 0},
+      {"rare migration (every 5000)", NumThreads, 5000},
+      {"frequent migration (every 500)", NumThreads, 500},
+      {"storm migration (every 50)", NumThreads, 50},
+      {"2 threads per CPU, pinned", (NumThreads + 1) / 2, 0},
+      {"2 threads per CPU + migration", (NumThreads + 1) / 2, 500},
+  };
+
+  const unsigned Seeds = 8;
+  TextTable T({"OS model", "True dyn (cpu/thread-keyed)",
+               "False dyn (cpu/thread-keyed)",
+               "Detected samples (cpu/thread)"});
+
+  for (const Design &D : Designs) {
+    size_t CpuTrue = 0, ThreadTrue = 0, CpuFalse = 0, ThreadFalse = 0;
+    size_t CpuDetected = 0, ThreadDetected = 0;
+    for (uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
+      vm::MachineConfig MC;
+      MC.SchedSeed = Seed;
+      MC.MinTimeslice = 1;
+      MC.MaxTimeslice = 4;
+      MC.NumCpus = D.NumCpus;
+      MC.MigrationInterval = D.MigrationInterval;
+      vm::Machine M(Apache.Program, MC);
+
+      detect::OnlineSvd ByThread(Apache.Program);
+      detect::OnlineSvdConfig CpuCfg;
+      CpuCfg.NumCpus = D.NumCpus;
+      detect::OnlineSvd ByCpu(Apache.Program, CpuCfg);
+      M.addObserver(&ByThread);
+      M.addObserver(&ByCpu);
+      M.run();
+
+      bool Manifested = Apache.Manifested(M);
+      auto Count = [&](const detect::OnlineSvd &Svd, size_t &True_,
+                       size_t &False_, size_t &Detected) {
+        size_t Tr = 0;
+        for (const detect::Violation &V : Svd.violations()) {
+          if (Apache.isTrueReport(V))
+            ++Tr;
+          else
+            ++False_;
+        }
+        True_ += Tr;
+        if (Manifested && Tr > 0)
+          ++Detected;
+      };
+      Count(ByCpu, CpuTrue, CpuFalse, CpuDetected);
+      Count(ByThread, ThreadTrue, ThreadFalse, ThreadDetected);
+    }
+    T.addRow({D.Name, formatString("%zu / %zu", CpuTrue, ThreadTrue),
+              formatString("%zu / %zu", CpuFalse, ThreadFalse),
+              formatString("%zu / %zu", CpuDetected, ThreadDetected)});
+  }
+  std::fputs(T.render().c_str(), stdout);
+
+  std::puts("\nReading guide:");
+  std::puts(" * Pinned 1 CPU/thread: the approximation is exact (the");
+  std::puts("   paper's evaluation setup).");
+  std::puts(" * Migration blends different threads' access streams into");
+  std::puts("   one detector lane: true detections erode and spurious");
+  std::puts("   reports can appear as a lane inherits another thread's");
+  std::puts("   in-flight CU state.");
+  std::puts(" * Sharing CPUs outright removes the 'remote' accesses");
+  std::puts("   between co-scheduled threads — their mutual conflicts");
+  std::puts("   become invisible to a per-processor detector.");
+  return 0;
+}

@@ -1,0 +1,113 @@
+//===- bench/sec73_overheads.cpp - Reproduces Section 7.3 (time/space) -----===//
+//
+// Paper: Section 7.3 "Overheads" — SVD slows the simulator down by up
+// to 65x and roughly doubles its memory for some programs; the cost is
+// dominated by per-instruction dependence tracking. This
+// google-benchmark binary measures bare execution versus execution
+// under each detector on the PgSQL and MySQL analogs, and reports the
+// detector's extra memory as a counter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "race/HappensBefore.h"
+#include "race/Lockset.h"
+#include "svd/OnlineSvd.h"
+#include "vm/Machine.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace svd;
+
+namespace {
+
+workloads::Workload makeWorkload(int Which) {
+  workloads::WorkloadParams P;
+  P.Threads = 4;
+  P.Iterations = 60;
+  P.WorkPadding = 40;
+  P.TouchOneIn = 4;
+  return Which == 0 ? workloads::pgsqlOltp(P)
+                    : workloads::mysqlPrepared(P);
+}
+
+vm::MachineConfig machineConfig() {
+  vm::MachineConfig MC;
+  MC.SchedSeed = 7;
+  MC.MinTimeslice = 1;
+  MC.MaxTimeslice = 4;
+  return MC;
+}
+
+void reportSteps(benchmark::State &State, uint64_t StepsPerIter) {
+  State.counters["insts/s"] = benchmark::Counter(
+      static_cast<double>(StepsPerIter), benchmark::Counter::kIsRate);
+}
+
+void BM_Bare(benchmark::State &State) {
+  workloads::Workload W = makeWorkload(static_cast<int>(State.range(0)));
+  uint64_t Steps = 0;
+  for (auto _ : State) {
+    vm::Machine M(W.Program, machineConfig());
+    M.run();
+    Steps = M.steps();
+  }
+  reportSteps(State, Steps * State.iterations());
+}
+
+void BM_OnlineSvd(benchmark::State &State) {
+  workloads::Workload W = makeWorkload(static_cast<int>(State.range(0)));
+  uint64_t Steps = 0;
+  size_t Bytes = 0;
+  for (auto _ : State) {
+    vm::Machine M(W.Program, machineConfig());
+    detect::OnlineSvd Svd(W.Program);
+    M.addObserver(&Svd);
+    M.run();
+    Steps = M.steps();
+    Bytes = Svd.approxMemoryBytes();
+  }
+  reportSteps(State, Steps * State.iterations());
+  State.counters["detector_MB"] =
+      static_cast<double>(Bytes) / (1024.0 * 1024.0);
+}
+
+void BM_HappensBefore(benchmark::State &State) {
+  workloads::Workload W = makeWorkload(static_cast<int>(State.range(0)));
+  uint64_t Steps = 0;
+  size_t Bytes = 0;
+  for (auto _ : State) {
+    vm::Machine M(W.Program, machineConfig());
+    race::HappensBeforeDetector Hb(W.Program);
+    M.addObserver(&Hb);
+    M.run();
+    Steps = M.steps();
+    Bytes = Hb.approxMemoryBytes();
+  }
+  reportSteps(State, Steps * State.iterations());
+  State.counters["detector_MB"] =
+      static_cast<double>(Bytes) / (1024.0 * 1024.0);
+}
+
+void BM_Lockset(benchmark::State &State) {
+  workloads::Workload W = makeWorkload(static_cast<int>(State.range(0)));
+  uint64_t Steps = 0;
+  for (auto _ : State) {
+    vm::Machine M(W.Program, machineConfig());
+    race::LocksetDetector Ls(W.Program);
+    M.addObserver(&Ls);
+    M.run();
+    Steps = M.steps();
+  }
+  reportSteps(State, Steps * State.iterations());
+}
+
+} // namespace
+
+// Arg 0 = PgSQL, 1 = MySQL.
+BENCHMARK(BM_Bare)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OnlineSvd)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_HappensBefore)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Lockset)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+//===- examples/apache_ber_recovery.cpp - Bug avoidance with BER ----------===//
+//
+// The paper's headline scenario (Section 1.1): deploy SVD together with
+// backward error recovery so erroneous executions are rolled back to a
+// checkpoint and re-executed more serially — avoiding a bug nobody
+// knows about yet. This example runs the buggy Apache analog twice on
+// the same seed: bare (the log silently corrupts) and under
+// SVD-triggered recovery (the corruption is avoided).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ber/Recovery.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace svd;
+
+int main() {
+  workloads::WorkloadParams P;
+  P.Threads = 4;
+  P.Iterations = 40;
+  P.WorkPadding = 80;
+  P.TouchOneIn = 6;
+  workloads::Workload Apache = workloads::apacheLog(P);
+
+  // Find a seed whose interleaving corrupts the log.
+  uint64_t BadSeed = 0;
+  for (uint64_t Seed = 1; Seed <= 30 && BadSeed == 0; ++Seed) {
+    vm::MachineConfig MC;
+    MC.SchedSeed = Seed;
+    MC.MinTimeslice = 1;
+    MC.MaxTimeslice = 4;
+    vm::Machine M(Apache.Program, MC);
+    M.run();
+    if (Apache.Manifested(M))
+      BadSeed = Seed;
+  }
+  if (BadSeed == 0) {
+    std::puts("no corrupting seed found (unexpected)");
+    return 1;
+  }
+
+  std::printf("without BER (seed %llu): the access log was silently "
+              "corrupted\n",
+              static_cast<unsigned long long>(BadSeed));
+
+  // Same seed, now with detector-triggered rollback.
+  vm::MachineConfig MC;
+  MC.SchedSeed = BadSeed;
+  MC.MinTimeslice = 1;
+  MC.MaxTimeslice = 4;
+  ber::RecoveryConfig RC;
+  RC.CheckpointInterval = 400;
+  RC.SerialSlack = 1500;
+  RC.MaxRollbacks = 256;
+  ber::RecoveryManager RM(Apache.Program, MC, RC);
+  ber::RecoveryStats S = RM.run();
+
+  std::printf("with BER    (seed %llu): %s\n",
+              static_cast<unsigned long long>(BadSeed),
+              Apache.Manifested(RM.machine())
+                  ? "still corrupted (recovery missed a window)"
+                  : "the log is intact — corruption avoided");
+  std::printf("\nrecovery costs:\n");
+  std::printf("  checkpoints taken : %llu\n",
+              static_cast<unsigned long long>(S.Checkpoints));
+  std::printf("  violations seen   : %zu\n", S.ViolationsSeen);
+  std::printf("  rollbacks         : %llu\n",
+              static_cast<unsigned long long>(S.Rollbacks));
+  std::printf("  work discarded    : %llu steps (%.1f%% of total)\n",
+              static_cast<unsigned long long>(S.WastedSteps),
+              100.0 * static_cast<double>(S.WastedSteps) /
+                  static_cast<double>(S.WastedSteps + S.FinalSteps));
+  std::puts("\nThe dynamic-false-positive rate of Table 2 bounds exactly");
+  std::puts("this wasted work: every false report is an unnecessary");
+  std::puts("rollback.");
+  return 0;
+}

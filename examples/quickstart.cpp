@@ -1,0 +1,78 @@
+//===- examples/quickstart.cpp - Five-minute tour of the library ----------===//
+//
+// Assembles a small multithreaded program with a missing critical
+// section, runs it on the deterministic VM with the online SVD detector
+// attached, and prints what the detector saw. Start here.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Assembler.h"
+#include "race/HappensBefore.h"
+#include "svd/OnlineSvd.h"
+#include "vm/Machine.h"
+
+#include <cstdio>
+
+using namespace svd;
+
+int main() {
+  // 1. Write a program in the mini assembly language. Two workers do an
+  //    unlocked read-modify-write on a shared counter — the essence of
+  //    the Apache bug from the paper's Figure 2.
+  isa::Program Program = isa::assembleOrDie(R"(
+.global counter
+.thread worker x2
+  li r5, 40             ; 40 increments each
+loop:
+  ld r1, [@counter]     ; read...
+  addi r1, r1, 1        ; ...modify...
+  st r1, [@counter]     ; ...write, with no lock: buggy!
+  addi r5, r5, -1
+  bnez r5, loop
+  halt
+)");
+
+  // 2. Create a deterministic machine. The interleaving is a pure
+  //    function of the scheduler seed, so every run is reproducible.
+  vm::MachineConfig Config;
+  Config.SchedSeed = 12345;
+  vm::Machine Machine(Program, Config);
+
+  // 3. Attach detectors as observers. SVD needs no annotations; the
+  //    happens-before baseline gets the lock operations for free in
+  //    this ISA (there are none here).
+  detect::OnlineSvd Svd(Program);
+  race::HappensBeforeDetector Frd(Program);
+  Machine.addObserver(&Svd);
+  Machine.addObserver(&Frd);
+
+  // 4. Run to completion and inspect.
+  Machine.run();
+
+  isa::Word Final = Machine.readMem(Program.addressOf("counter"));
+  std::printf("final counter: %lld (expected 80)%s\n",
+              static_cast<long long>(Final),
+              Final == 80 ? "" : "  <- lost updates!");
+
+  std::printf("\nSVD serializability violations: %zu\n",
+              Svd.violations().size());
+  for (size_t I = 0; I < Svd.violations().size() && I < 5; ++I)
+    std::printf("  %s\n",
+                Svd.violations()[I].describe(Program).c_str());
+
+  std::printf("\nFRD data races: %zu\n", Frd.races().size());
+  for (size_t I = 0; I < Frd.races().size() && I < 3; ++I)
+    std::printf("  %s\n", Frd.races()[I].describe(Program).c_str());
+
+  std::printf("\nSVD formed %llu computational units over %llu events\n",
+              static_cast<unsigned long long>(Svd.numCusFormed()),
+              static_cast<unsigned long long>(Svd.eventsObserved()));
+  std::puts("\nNext steps: examples/apache_ber_recovery (rollback on");
+  std::puts("detection), examples/mysql_postmortem (a-posteriori log),");
+  std::puts("examples/svd_run (run detectors on your own .asm files).");
+  return 0;
+}

@@ -1,0 +1,252 @@
+//===- examples/svd_run.cpp - Command-line detector driver ----------------===//
+//
+// Runs the detectors on an assembly file:
+//
+//   svd_run FILE.asm [--seed N] [--runs N] [--detector svd|frd|lockset|all]
+//           [--timeslice MIN:MAX] [--log] [--disasm]
+//           [--record FILE] [--replay FILE]
+//
+// --record saves the last run's schedule so a failing execution can be
+// shipped and replayed deterministically with --replay (the paper's
+// flight-data-recorder workflow).
+//
+// With no arguments it prints usage plus a demo on a built-in program,
+// so it is safe to invoke from scripts.
+//
+//===----------------------------------------------------------------------===//
+
+#include "isa/Assembler.h"
+#include "race/HappensBefore.h"
+#include "race/Lockset.h"
+#include "svd/OnlineSvd.h"
+#include "vm/Machine.h"
+#include "vm/ScheduleFile.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace svd;
+
+namespace {
+
+const char *Usage =
+    "usage: svd_run FILE.asm [options]\n"
+    "  --seed N            scheduler seed of the first run (default 1)\n"
+    "  --runs N            number of seeded runs (default 1)\n"
+    "  --detector KIND     svd | frd | lockset | all (default all)\n"
+    "  --timeslice MIN:MAX scheduler timeslice range (default 1:1)\n"
+    "  --log               print SVD's a-posteriori CU log\n"
+    "  --disasm            print the assembled program and exit\n"
+    "  --record FILE       save the last run's schedule for replay\n"
+    "  --replay FILE       replay a recorded schedule (ignores --seed)\n";
+
+const char *DemoProgram = R"(
+.global counter
+.thread worker x2
+  li r5, 10
+loop:
+  ld r1, [@counter]
+  addi r1, r1, 1
+  st r1, [@counter]
+  addi r5, r5, -1
+  bnez r5, loop
+  halt
+)";
+
+struct Options {
+  std::string File;
+  uint64_t Seed = 1;
+  unsigned Runs = 1;
+  std::string Detector = "all";
+  uint32_t TsMin = 1;
+  uint32_t TsMax = 1;
+  bool PrintLog = false;
+  bool Disasm = false;
+  std::string RecordFile;
+  std::string ReplayFile;
+};
+
+bool parseArgs(int Argc, char **Argv, Options &O) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (A == "--seed") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.Seed = std::strtoull(V, nullptr, 0);
+    } else if (A == "--runs") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.Runs = static_cast<unsigned>(std::strtoul(V, nullptr, 0));
+    } else if (A == "--detector") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.Detector = V;
+    } else if (A == "--timeslice") {
+      const char *V = Next();
+      if (!V || std::sscanf(V, "%u:%u", &O.TsMin, &O.TsMax) != 2)
+        return false;
+    } else if (A == "--record") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.RecordFile = V;
+    } else if (A == "--replay") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      O.ReplayFile = V;
+    } else if (A == "--log") {
+      O.PrintLog = true;
+    } else if (A == "--disasm") {
+      O.Disasm = true;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
+      return false;
+    } else {
+      O.File = A;
+    }
+  }
+  return true;
+}
+
+void runOnce(const isa::Program &P, const Options &O, uint64_t Seed,
+             const vm::RecordedSchedule *Replay) {
+  vm::MachineConfig MC;
+  MC.SchedSeed = Seed;
+  MC.MinTimeslice = O.TsMin;
+  MC.MaxTimeslice = O.TsMax;
+  if (Replay)
+    MC.RndSeed = Replay->RndSeed;
+  vm::Machine M(P, MC);
+  if (Replay)
+    M.setReplaySchedule(Replay->Schedule);
+
+  bool WantSvd = O.Detector == "svd" || O.Detector == "all";
+  bool WantFrd = O.Detector == "frd" || O.Detector == "all";
+  bool WantLockset = O.Detector == "lockset" || O.Detector == "all";
+
+  detect::OnlineSvd Svd(P);
+  race::HappensBeforeDetector Frd(P);
+  race::LocksetDetector Lockset(P);
+  if (WantSvd)
+    M.addObserver(&Svd);
+  if (WantFrd)
+    M.addObserver(&Frd);
+  if (WantLockset)
+    M.addObserver(&Lockset);
+
+  vm::StopReason R = M.run();
+  const char *Why = R == vm::StopReason::AllHalted  ? "all threads halted"
+                    : R == vm::StopReason::Deadlock ? "DEADLOCK"
+                    : R == vm::StopReason::Paused   ? "replay exhausted"
+                                                    : "step budget reached";
+  std::printf("--- seed %llu: %llu instructions, %s\n",
+              static_cast<unsigned long long>(Seed),
+              static_cast<unsigned long long>(M.steps()), Why);
+  for (const vm::ProgramError &E : M.errors())
+    std::printf("    program error: thread %u pc %u: %s\n", E.Tid, E.Pc,
+                E.Message.c_str());
+  for (const vm::PrintedValue &V : M.printed())
+    std::printf("    print (thread %u): %lld\n", V.Tid,
+                static_cast<long long>(V.Value));
+
+  if (WantSvd) {
+    std::printf("  SVD: %zu violations, %zu CU-log entries, %llu CUs\n",
+                Svd.violations().size(), Svd.cuLog().size(),
+                static_cast<unsigned long long>(Svd.numCusFormed()));
+    for (const detect::Violation &V : Svd.violations())
+      std::printf("    %s\n", V.describe(P).c_str());
+    if (O.PrintLog)
+      for (const detect::CuLogEntry &E : Svd.cuLog())
+        std::printf("    log: %s\n", E.describe(P).c_str());
+  }
+  if (WantFrd) {
+    std::printf("  FRD: %zu races\n", Frd.races().size());
+    for (const detect::Violation &V : Frd.races())
+      std::printf("    %s\n", V.describe(P).c_str());
+  }
+  if (WantLockset) {
+    std::printf("  Lockset: %zu reports\n", Lockset.reports().size());
+    for (const detect::Violation &V : Lockset.reports())
+      std::printf("    %s\n", V.describe(P).c_str());
+  }
+
+  if (!O.RecordFile.empty()) {
+    vm::RecordedSchedule Rec;
+    Rec.RndSeed = MC.RndSeed;
+    Rec.Schedule = M.schedule();
+    if (vm::saveSchedule(O.RecordFile, Rec))
+      std::printf("  recorded %zu scheduling decisions to %s\n",
+                  Rec.Schedule.size(), O.RecordFile.c_str());
+    else
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   O.RecordFile.c_str());
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O;
+  if (!parseArgs(Argc, Argv, O)) {
+    std::fputs(Usage, stderr);
+    return 1;
+  }
+
+  std::string Source;
+  if (O.File.empty()) {
+    std::fputs(Usage, stdout);
+    std::puts("\nno file given; running the built-in demo program:\n");
+    Source = DemoProgram;
+  } else {
+    std::ifstream In(O.File);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", O.File.c_str());
+      return 1;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Source = SS.str();
+  }
+
+  isa::Program P;
+  std::vector<isa::AsmError> Errors;
+  if (!isa::assembleProgram(Source, P, Errors)) {
+    for (const isa::AsmError &E : Errors)
+      std::fprintf(stderr, "%s:%u: error: %s\n",
+                   O.File.empty() ? "<demo>" : O.File.c_str(), E.Line,
+                   E.Message.c_str());
+    return 1;
+  }
+  if (O.Disasm) {
+    std::fputs(P.disassemble().c_str(), stdout);
+    return 0;
+  }
+
+  if (!O.ReplayFile.empty()) {
+    vm::RecordedSchedule Rec;
+    std::string Error;
+    if (!vm::loadSchedule(O.ReplayFile, Rec, Error)) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("replaying %zu recorded scheduling decisions from %s\n",
+                Rec.Schedule.size(), O.ReplayFile.c_str());
+    runOnce(P, O, O.Seed, &Rec);
+    return 0;
+  }
+
+  for (unsigned I = 0; I < O.Runs; ++I)
+    runOnce(P, O, O.Seed + I, nullptr);
+  return 0;
+}

@@ -1,0 +1,145 @@
+//===- cache/CacheSim.cpp -------------------------------------------------===//
+
+#include "cache/CacheSim.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace svd;
+using namespace svd::cache;
+
+namespace {
+
+bool isPowerOfTwo(uint32_t X) { return X != 0 && (X & (X - 1)) == 0; }
+
+uint32_t log2OfPow2(uint32_t X) {
+  uint32_t L = 0;
+  while ((X >> L) != 1)
+    ++L;
+  return L;
+}
+
+} // namespace
+
+CacheSim::CacheSim(CacheConfig Cfg) : Cfg(Cfg) {
+  if (!isPowerOfTwo(Cfg.LineWords) || !isPowerOfTwo(Cfg.Sets) ||
+      Cfg.Ways == 0 || Cfg.NumCpus == 0)
+    support::fatalError("invalid cache configuration");
+  LineShift = log2OfPow2(Cfg.LineWords);
+  Caches.assign(Cfg.NumCpus,
+                std::vector<Way>(static_cast<size_t>(Cfg.Sets) * Cfg.Ways));
+}
+
+CacheSim::Way *CacheSim::findWay(uint32_t Cpu, LineId Line) {
+  uint32_t Set = setOf(Line);
+  for (uint32_t W = 0; W < Cfg.Ways; ++W) {
+    Way &Candidate = Caches[Cpu][static_cast<size_t>(Set) * Cfg.Ways + W];
+    if (Candidate.State != LineState::Invalid && Candidate.Line == Line)
+      return &Candidate;
+  }
+  return nullptr;
+}
+
+const CacheSim::Way *CacheSim::findWay(uint32_t Cpu, LineId Line) const {
+  return const_cast<CacheSim *>(this)->findWay(Cpu, Line);
+}
+
+CacheSim::Way &CacheSim::victimWay(uint32_t Cpu, LineId Line) {
+  uint32_t Set = setOf(Line);
+  Way *Victim = nullptr;
+  for (uint32_t W = 0; W < Cfg.Ways; ++W) {
+    Way &Candidate = Caches[Cpu][static_cast<size_t>(Set) * Cfg.Ways + W];
+    if (Candidate.State == LineState::Invalid)
+      return Candidate;
+    if (!Victim || Candidate.LastUse < Victim->LastUse)
+      Victim = &Candidate;
+  }
+  return *Victim;
+}
+
+bool CacheSim::isResident(uint32_t Cpu, LineId Line) const {
+  return findWay(Cpu, Line) != nullptr;
+}
+
+LineState CacheSim::stateOf(uint32_t Cpu, LineId Line) const {
+  const Way *W = findWay(Cpu, Line);
+  return W ? W->State : LineState::Invalid;
+}
+
+AccessResult CacheSim::access(uint32_t Cpu, isa::Addr A, bool IsWrite) {
+  assert(Cpu < Cfg.NumCpus && "cpu out of range");
+  LineId Line = lineOf(A);
+  AccessResult R;
+  ++Stats.Accesses;
+  ++UseClock;
+
+  Way *Mine = findWay(Cpu, Line);
+
+  if (Mine) {
+    R.Hit = true;
+    ++Stats.Hits;
+    if (IsWrite && Mine->State == LineState::Shared) {
+      // Upgrade: invalidate the other sharers.
+      for (uint32_t P = 0; P < Cfg.NumCpus; ++P) {
+        if (P == Cpu)
+          continue;
+        if (Way *Theirs = findWay(P, Line)) {
+          Theirs->State = LineState::Invalid;
+          R.Invalidated.push_back(P);
+          ++Stats.Invalidations;
+        }
+      }
+      Mine->State = LineState::Modified;
+    } else if (IsWrite) {
+      Mine->State = LineState::Modified;
+    }
+    Mine->LastUse = UseClock;
+    return R;
+  }
+
+  // Miss: snoop the other caches.
+  ++Stats.Misses;
+  bool OthersHold = false;
+  for (uint32_t P = 0; P < Cfg.NumCpus; ++P) {
+    if (P == Cpu)
+      continue;
+    Way *Theirs = findWay(P, Line);
+    if (!Theirs)
+      continue;
+    OthersHold = true;
+    if (IsWrite) {
+      if (Theirs->State == LineState::Modified)
+        ++Stats.Writebacks;
+      Theirs->State = LineState::Invalid;
+      R.Invalidated.push_back(P);
+      ++Stats.Invalidations;
+    } else {
+      if (Theirs->State == LineState::Modified ||
+          Theirs->State == LineState::Exclusive) {
+        if (Theirs->State == LineState::Modified)
+          ++Stats.Writebacks;
+        Theirs->State = LineState::Shared;
+        R.Downgraded.push_back(P);
+        ++Stats.Downgrades;
+      }
+    }
+  }
+
+  // Allocate locally, possibly evicting.
+  Way &Slot = victimWay(Cpu, Line);
+  if (Slot.State != LineState::Invalid) {
+    R.EvictedValid = true;
+    R.EvictedLine = Slot.Line;
+    ++Stats.Evictions;
+    if (Slot.State == LineState::Modified)
+      ++Stats.Writebacks;
+  }
+  Slot.Line = Line;
+  Slot.LastUse = UseClock;
+  if (IsWrite)
+    Slot.State = LineState::Modified;
+  else
+    Slot.State = OthersHold ? LineState::Shared : LineState::Exclusive;
+  return R;
+}

@@ -1,0 +1,137 @@
+//===- cache/CacheSim.h - Snooping MESI cache simulator ---------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A multiprocessor cache simulator: per-CPU private set-associative
+/// caches kept coherent by a bus-snooping MESI protocol. This is the
+/// substrate for the hardware SVD sketched in the paper's Section 4.4
+/// ("multiprocessor caches can help store CUs... cache coherence
+/// protocols can help detect serializability violations"): the hardware
+/// detector stores its per-block metadata in cache lines and learns
+/// about remote accesses from the coherence messages that reach it.
+///
+/// The simulator models state, not timing: every access updates MESI
+/// states, performs LRU replacement, and reports exactly which remote
+/// caches were invalidated or downgraded and which resident line (if
+/// any) was evicted — the two signals hardware SVD consumes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_CACHE_CACHESIM_H
+#define SVD_CACHE_CACHESIM_H
+
+#include "isa/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace svd {
+namespace cache {
+
+/// Geometry and topology of the simulated cache hierarchy.
+struct CacheConfig {
+  uint32_t NumCpus = 4;
+  /// Words per line (power of two). The paper's evaluation uses
+  /// word-size detector blocks; larger lines model real hardware and
+  /// introduce false sharing.
+  uint32_t LineWords = 1;
+  /// Number of sets (power of two).
+  uint32_t Sets = 64;
+  /// Associativity.
+  uint32_t Ways = 4;
+};
+
+/// MESI line states.
+enum class LineState : uint8_t { Invalid, Shared, Exclusive, Modified };
+
+/// A line identifier: word address >> log2(LineWords).
+using LineId = uint32_t;
+
+/// What one access did, as seen by the coherence fabric.
+struct AccessResult {
+  bool Hit = false;
+  /// Line evicted from the accessing CPU's cache to make room
+  /// (EvictedValid false when the victim way was invalid).
+  bool EvictedValid = false;
+  LineId EvictedLine = 0;
+  /// Remote CPUs whose copy was invalidated (on a write) — the
+  /// coherence messages a snooping detector sees.
+  std::vector<uint32_t> Invalidated;
+  /// Remote CPUs whose Modified/Exclusive copy was downgraded to Shared
+  /// (on a read).
+  std::vector<uint32_t> Downgraded;
+};
+
+/// Aggregate statistics (Section 7.3-style accounting for the hardware
+/// design point).
+struct CacheStats {
+  uint64_t Accesses = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  uint64_t Invalidations = 0;
+  uint64_t Downgrades = 0;
+  uint64_t Writebacks = 0;
+
+  double hitRate() const {
+    return Accesses == 0
+               ? 0.0
+               : static_cast<double>(Hits) / static_cast<double>(Accesses);
+  }
+};
+
+/// The simulator.
+class CacheSim {
+public:
+  explicit CacheSim(CacheConfig Cfg);
+
+  const CacheConfig &config() const { return Cfg; }
+
+  /// Line id of word address \p A.
+  LineId lineOf(isa::Addr A) const { return A >> LineShift; }
+
+  /// Performs one access by \p Cpu to word \p A and returns what the
+  /// coherence fabric did.
+  AccessResult access(uint32_t Cpu, isa::Addr A, bool IsWrite);
+
+  /// True if \p Cpu currently holds \p Line in a valid state.
+  bool isResident(uint32_t Cpu, LineId Line) const;
+
+  /// Current state of \p Line in \p Cpu's cache (Invalid if absent).
+  LineState stateOf(uint32_t Cpu, LineId Line) const;
+
+  const CacheStats &stats() const { return Stats; }
+
+  /// Bits of state per line a hardware implementation would add for the
+  /// detector (used by HardwareSvd's cost accounting).
+  size_t totalLines() const {
+    return static_cast<size_t>(Cfg.NumCpus) * Cfg.Sets * Cfg.Ways;
+  }
+
+private:
+  struct Way {
+    LineId Line = 0;
+    LineState State = LineState::Invalid;
+    uint64_t LastUse = 0;
+  };
+
+  uint32_t setOf(LineId Line) const { return Line & (Cfg.Sets - 1); }
+  Way *findWay(uint32_t Cpu, LineId Line);
+  const Way *findWay(uint32_t Cpu, LineId Line) const;
+  Way &victimWay(uint32_t Cpu, LineId Line);
+
+  CacheConfig Cfg;
+  uint32_t LineShift = 0;
+  uint64_t UseClock = 0;
+  /// [cpu][set * Ways + way]
+  std::vector<std::vector<Way>> Caches;
+  CacheStats Stats;
+};
+
+} // namespace cache
+} // namespace svd
+
+#endif // SVD_CACHE_CACHESIM_H

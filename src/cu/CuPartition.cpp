@@ -1,0 +1,187 @@
+//===- cu/CuPartition.cpp -------------------------------------------------===//
+
+#include "cu/CuPartition.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace svd;
+using namespace svd::cu;
+using pdg::DepArc;
+using pdg::DepKind;
+using support::formatString;
+using trace::EventKind;
+using trace::ProgramTrace;
+using trace::TraceEvent;
+
+namespace {
+
+/// Union-find over event indices with per-root CU payload (the `active`
+/// flag and shVars set of Figure 5's CU_T).
+class UnionFind {
+public:
+  explicit UnionFind(size_t N) : Parent(N), Active(N, false), ShVars(N) {
+    for (size_t I = 0; I < N; ++I)
+      Parent[I] = static_cast<uint32_t>(I);
+  }
+
+  uint32_t find(uint32_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+
+  /// Merges the sets of \p A and \p B; returns the new root. The payload
+  /// (active, shVars) is combined.
+  uint32_t merge(uint32_t A, uint32_t B) {
+    A = find(A);
+    B = find(B);
+    if (A == B)
+      return A;
+    // Union by shVars size to bound copying.
+    if (ShVars[A].size() < ShVars[B].size())
+      std::swap(A, B);
+    Parent[B] = A;
+    Active[A] = Active[A] || Active[B];
+    ShVars[A].insert(ShVars[B].begin(), ShVars[B].end());
+    ShVars[B].clear();
+    return A;
+  }
+
+  bool isActive(uint32_t X) { return Active[find(X)]; }
+  void setActive(uint32_t X, bool V) { Active[find(X)] = V; }
+  bool hasShVar(uint32_t X, isa::Addr A) {
+    return ShVars[find(X)].count(A) != 0;
+  }
+  void addShVar(uint32_t X, isa::Addr A) { ShVars[find(X)].insert(A); }
+  const std::set<isa::Addr> &shVars(uint32_t Root) { return ShVars[Root]; }
+
+private:
+  std::vector<uint32_t> Parent;
+  std::vector<bool> Active;
+  std::vector<std::set<isa::Addr>> ShVars;
+};
+
+/// Returns true for events that are dynamic statements (CU members).
+bool isStatement(const TraceEvent &E) {
+  switch (E.Kind) {
+  case EventKind::Load:
+  case EventKind::Store:
+  case EventKind::Alu:
+  case EventKind::Branch:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+CuPartition CuPartition::compute(const ProgramTrace &T,
+                                 const pdg::DynamicPdg &G) {
+  CuPartition Out;
+  size_t N = T.size();
+  Out.EventUnit.assign(N, NoUnit);
+  UnionFind UF(N);
+
+  // Figure 5, per thread trace, in execution order. Processing the global
+  // order restricted to statements is equivalent since all inspected arcs
+  // are intra-thread.
+  for (uint32_t E = 0; E < N; ++E) {
+    const TraceEvent &Ev = T[E];
+    if (!isStatement(Ev))
+      continue;
+
+    // Lines 4-9: if s reads word v and some dependence predecessor's
+    // active CU has v among its shared writes, that CU is cut here.
+    if (Ev.Kind == EventKind::Load) {
+      for (uint32_t ArcIdx : G.incoming(E)) {
+        const DepArc &A = G.arcs()[ArcIdx];
+        if (A.Kind == DepKind::Conflict)
+          continue; // depPred holds true/control predecessors only
+        uint32_t PredRoot = UF.find(A.From);
+        if (UF.isActive(PredRoot) && UF.hasShVar(PredRoot, Ev.Address))
+          UF.setActive(PredRoot, false);
+      }
+    }
+
+    // Lines 10-13: merge the still-active predecessor CUs into s's CU.
+    for (uint32_t ArcIdx : G.incoming(E)) {
+      const DepArc &A = G.arcs()[ArcIdx];
+      if (A.Kind == DepKind::Conflict)
+        continue;
+      if (UF.isActive(A.From))
+        UF.merge(E, A.From);
+    }
+
+    // Line 14: the grown CU keeps connecting to future statements.
+    UF.setActive(E, true);
+
+    // Lines 15-16: record shared words written by the CU.
+    if (Ev.Kind == EventKind::Store && T.isSharedAddress(Ev.Address))
+      UF.addShVar(E, Ev.Address);
+  }
+
+  // Collect the final weakly connected components into CU records.
+  std::map<uint32_t, uint32_t> RootToUnit;
+  for (uint32_t E = 0; E < N; ++E) {
+    if (!isStatement(T[E]))
+      continue;
+    uint32_t Root = UF.find(E);
+    auto [It, Fresh] =
+        RootToUnit.try_emplace(Root, static_cast<uint32_t>(Out.Units.size()));
+    if (Fresh) {
+      ComputationalUnit U;
+      U.Id = It->second;
+      U.Tid = T[E].Tid;
+      U.BeginSeq = T[E].Seq;
+      Out.Units.push_back(std::move(U));
+    }
+    ComputationalUnit &U = Out.Units[It->second];
+    U.Events.push_back(E);
+    U.EndSeq = std::max(U.EndSeq, T[E].Seq);
+    Out.EventUnit[E] = U.Id;
+  }
+  for (auto &[Root, UnitId] : RootToUnit) {
+    const std::set<isa::Addr> &Sh = UF.shVars(Root);
+    Out.Units[UnitId].SharedWrites.assign(Sh.begin(), Sh.end());
+  }
+  return Out;
+}
+
+double CuPartition::meanUnitSize() const {
+  if (Units.empty())
+    return 0.0;
+  size_t Total = 0;
+  for (const ComputationalUnit &U : Units)
+    Total += U.Events.size();
+  return static_cast<double>(Total) / static_cast<double>(Units.size());
+}
+
+std::string CuPartition::describe(const ProgramTrace &T) const {
+  std::string Out;
+  for (const ComputationalUnit &U : Units) {
+    Out += formatString("CU %u (thread %u, %zu stmts, seq %llu-%llu)",
+                        U.Id, U.Tid, U.Events.size(),
+                        static_cast<unsigned long long>(U.BeginSeq),
+                        static_cast<unsigned long long>(U.EndSeq));
+    if (!U.SharedWrites.empty()) {
+      Out += " writes-shared:";
+      for (isa::Addr A : U.SharedWrites)
+        Out += " " + T.program().describeAddress(A);
+    }
+    Out += "\n";
+    for (uint32_t E : U.Events)
+      Out += formatString("    seq %llu pc %u: %s\n",
+                          static_cast<unsigned long long>(T[E].Seq),
+                          T[E].Pc,
+                          isa::formatInstruction(*T[E].Instr).c_str());
+  }
+  return Out;
+}

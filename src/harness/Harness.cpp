@@ -1,0 +1,197 @@
+//===- harness/Harness.cpp ------------------------------------------------===//
+
+#include "harness/Harness.h"
+
+#include "race/Lockset.h"
+#include "support/Error.h"
+
+#include <chrono>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace svd;
+using namespace svd::harness;
+using detect::Violation;
+using workloads::Workload;
+
+const char *harness::detectorName(DetectorKind K) {
+  switch (K) {
+  case DetectorKind::OnlineSvd:
+    return "SVD";
+  case DetectorKind::HappensBefore:
+    return "FRD";
+  case DetectorKind::Lockset:
+    return "Lockset";
+  }
+  SVD_UNREACHABLE("unknown detector kind");
+}
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       T0)
+      .count();
+}
+
+/// Classifies \p Reports against \p W's ground truth into the dynamic
+/// and static counters of \p M.
+void classify(const Workload &W, const std::vector<Violation> &Reports,
+              SampleMetrics &M) {
+  M.DynamicReports = Reports.size();
+  // A static key's classification is stable (same code locations), so
+  // one map from key to truth suffices.
+  std::unordered_map<uint64_t, bool> StaticSeen;
+  for (const Violation &V : Reports) {
+    bool True_ = W.isTrueReport(V);
+    if (True_) {
+      ++M.DynamicTrue;
+      M.DetectedBug = true;
+    } else {
+      ++M.DynamicFalse;
+    }
+    StaticSeen.emplace(V.staticKey(), True_);
+  }
+  M.StaticReports = StaticSeen.size();
+  for (const auto &[Key, True_] : StaticSeen) {
+    if (True_) {
+      ++M.StaticTrue;
+      M.StaticTrueKeys.push_back(Key);
+    } else {
+      ++M.StaticFalse;
+      M.StaticFalseKeys.push_back(Key);
+    }
+  }
+}
+
+} // namespace
+
+SampleMetrics harness::runSample(const Workload &W, DetectorKind D,
+                                 const SampleConfig &C) {
+  vm::MachineConfig MC;
+  MC.SchedSeed = C.Seed;
+  MC.RndSeed = C.Seed ^ 0xABCDEF12345ULL;
+  MC.MinTimeslice = C.MinTimeslice;
+  MC.MaxTimeslice = C.MaxTimeslice;
+  MC.MaxSteps = C.MaxSteps;
+
+  SampleMetrics M;
+
+  if (C.MeasureOverhead) {
+    vm::Machine Bare(W.Program, MC);
+    auto T0 = std::chrono::steady_clock::now();
+    Bare.run();
+    M.BareSeconds = secondsSince(T0);
+  }
+
+  vm::Machine Machine(W.Program, MC);
+  auto T0 = std::chrono::steady_clock::now();
+  switch (D) {
+  case DetectorKind::OnlineSvd: {
+    detect::OnlineSvd Svd(W.Program, C.SvdConfig);
+    Machine.addObserver(&Svd);
+    Machine.run();
+    M.DetectorSeconds = secondsSince(T0);
+    classify(W, Svd.violations(), M);
+    M.CusFormed = Svd.numCusFormed();
+    M.LogEntries = Svd.cuLog().size();
+    std::unordered_set<uint64_t> StaticLog;
+    for (const detect::CuLogEntry &E : Svd.cuLog()) {
+      StaticLog.insert(E.staticKey());
+      if (W.isTrueLogEntry(E))
+        M.LogFoundBug = true;
+    }
+    M.StaticLogEntries = StaticLog.size();
+    M.StaticLogKeys.assign(StaticLog.begin(), StaticLog.end());
+    M.DetectorBytes = Svd.approxMemoryBytes();
+    break;
+  }
+  case DetectorKind::HappensBefore: {
+    race::HappensBeforeDetector Hb(W.Program, C.HbConfig);
+    Machine.addObserver(&Hb);
+    Machine.run();
+    M.DetectorSeconds = secondsSince(T0);
+    classify(W, Hb.races(), M);
+    M.DetectorBytes = Hb.approxMemoryBytes();
+    break;
+  }
+  case DetectorKind::Lockset: {
+    race::LocksetDetector Ls(W.Program);
+    Machine.addObserver(&Ls);
+    Machine.run();
+    M.DetectorSeconds = secondsSince(T0);
+    classify(W, Ls.reports(), M);
+    break;
+  }
+  }
+
+  M.Steps = Machine.steps();
+  M.Manifested = W.Manifested(Machine);
+  return M;
+}
+
+void Aggregate::add(const SampleMetrics &M) {
+  ++Samples;
+  TotalSteps += M.Steps;
+  if (M.Manifested)
+    ++SamplesManifested;
+  if (M.Manifested && M.DetectedBug)
+    ++SamplesDetected;
+  if (M.Manifested && M.LogFoundBug)
+    ++SamplesLogFound;
+  DynamicFalse += M.DynamicFalse;
+  DynamicTrue += M.DynamicTrue;
+  StaticFalseTotal += M.StaticFalse;
+  if (M.StaticFalse > StaticFalseMax)
+    StaticFalseMax = M.StaticFalse;
+  CusFormed += M.CusFormed;
+  StaticLogEntries += M.StaticLogEntries;
+}
+
+double Aggregate::dynamicFalsePerMillion() const {
+  return TotalSteps == 0 ? 0.0
+                         : static_cast<double>(DynamicFalse) * 1e6 /
+                               static_cast<double>(TotalSteps);
+}
+
+double Aggregate::cusPerMillion() const {
+  return TotalSteps == 0 ? 0.0
+                         : static_cast<double>(CusFormed) * 1e6 /
+                               static_cast<double>(TotalSteps);
+}
+
+TextTable::TextTable(std::vector<std::string> Headers) {
+  Rows.push_back(std::move(Headers));
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> Widths;
+  for (const auto &Row : Rows) {
+    if (Widths.size() < Row.size())
+      Widths.resize(Row.size(), 0);
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  }
+  std::string Out;
+  for (size_t R = 0; R < Rows.size(); ++R) {
+    const auto &Row = Rows[R];
+    for (size_t I = 0; I < Row.size(); ++I) {
+      Out += "| ";
+      Out += Row[I];
+      Out.append(Widths[I] - Row[I].size() + 1, ' ');
+    }
+    Out += "|\n";
+    if (R == 0) {
+      for (size_t I = 0; I < Widths.size(); ++I) {
+        Out += "|";
+        Out.append(Widths[I] + 2, '-');
+      }
+      Out += "|\n";
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,121 @@
+//===- harness/Harness.h - Experiment runner and metrics --------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation harness behind the Table 1/2 benches (Section 6's
+/// methodology): run a workload under one detector for one seed (= one
+/// execution sample, the analog of the paper's execution segments),
+/// classify every dynamic report against the workload's ground truth,
+/// deduplicate static reports by code-location pair, and aggregate
+/// across samples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_HARNESS_HARNESS_H
+#define SVD_HARNESS_HARNESS_H
+
+#include "race/HappensBefore.h"
+#include "svd/OnlineSvd.h"
+#include "workloads/Workloads.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svd {
+namespace harness {
+
+/// Which detector a sample runs under.
+enum class DetectorKind : uint8_t { OnlineSvd, HappensBefore, Lockset };
+
+/// Printable detector name ("SVD", "FRD", "Lockset").
+const char *detectorName(DetectorKind K);
+
+/// Per-sample configuration.
+struct SampleConfig {
+  uint64_t Seed = 1;
+  /// Scheduler timeslices; >1 models coarser preemption (the paper's
+  /// 4-CPU SMP interleaves at cache-miss granularity, not per-instr).
+  uint32_t MinTimeslice = 1;
+  uint32_t MaxTimeslice = 1;
+  uint64_t MaxSteps = 50'000'000;
+  detect::OnlineSvdConfig SvdConfig;
+  race::HappensBeforeConfig HbConfig;
+  /// Also run the bare program (no detector) to measure overhead.
+  bool MeasureOverhead = false;
+};
+
+/// Everything measured from one (workload, detector, seed) sample.
+struct SampleMetrics {
+  uint64_t Steps = 0;  ///< executed instructions
+  bool Manifested = false;       ///< did the known bug manifest?
+  bool DetectedBug = false;      ///< any true dynamic report?
+  bool LogFoundBug = false;      ///< any true a-posteriori log entry?
+  size_t DynamicReports = 0;
+  size_t DynamicTrue = 0;
+  size_t DynamicFalse = 0;
+  size_t StaticReports = 0;
+  size_t StaticTrue = 0;
+  size_t StaticFalse = 0;
+  size_t CusFormed = 0;          ///< SVD only
+  size_t LogEntries = 0;         ///< SVD only (dynamic)
+  size_t StaticLogEntries = 0;   ///< SVD only (deduped)
+  size_t DetectorBytes = 0;
+  double DetectorSeconds = 0.0;
+  double BareSeconds = 0.0;      ///< only when MeasureOverhead
+  /// Static identities of the false / true reports and of the CU-log
+  /// entries (for cross-sample unions in the Table 2 bench).
+  std::vector<uint64_t> StaticFalseKeys;
+  std::vector<uint64_t> StaticTrueKeys;
+  std::vector<uint64_t> StaticLogKeys;
+
+  /// Reports (rates) per million executed instructions.
+  double perMillion(size_t Count) const {
+    return Steps == 0 ? 0.0
+                      : static_cast<double>(Count) * 1e6 /
+                            static_cast<double>(Steps);
+  }
+};
+
+/// Runs one sample. The same seed gives the identical execution for
+/// every detector (the deterministic-replay methodology of Section 6.1).
+SampleMetrics runSample(const workloads::Workload &W, DetectorKind D,
+                        const SampleConfig &C);
+
+/// Aggregate over a set of samples (one Table 2 row).
+struct Aggregate {
+  size_t Samples = 0;
+  uint64_t TotalSteps = 0;
+  size_t SamplesManifested = 0;
+  size_t SamplesDetected = 0; ///< manifested AND detected (online)
+  size_t SamplesLogFound = 0;
+  size_t DynamicFalse = 0;
+  size_t DynamicTrue = 0;
+  size_t StaticFalseMax = 0; ///< max per-sample static FPs
+  size_t StaticFalseTotal = 0;
+  size_t CusFormed = 0;
+  size_t StaticLogEntries = 0;
+
+  void add(const SampleMetrics &M);
+  double dynamicFalsePerMillion() const;
+  double cusPerMillion() const;
+};
+
+/// Minimal fixed-width ASCII table printer for the bench binaries.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Headers);
+  void addRow(std::vector<std::string> Cells);
+  std::string render() const;
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace harness
+} // namespace svd
+
+#endif // SVD_HARNESS_HARNESS_H

@@ -1,0 +1,739 @@
+//===- isa/Assembler.cpp --------------------------------------------------===//
+
+#include "isa/Assembler.h"
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <optional>
+
+using namespace svd;
+using namespace svd::isa;
+using support::formatString;
+
+namespace {
+
+/// A memory operand before symbol/layout resolution.
+struct MemRef {
+  Reg Base = ZeroReg;
+  std::string Sym; ///< empty if purely register-relative
+  int64_t Off = 0;
+};
+
+/// A parsed-but-unresolved instruction. Branch targets and data symbols
+/// are still symbolic; they are resolved per thread replica after layout.
+struct PendingInstr {
+  Opcode Op = Opcode::Nop;
+  Reg Rd = 0;
+  Reg Ra = 0;
+  Reg Rb = 0;
+  int64_t Imm = 0;
+  std::string LabelRef;  ///< branch target label, if any
+  MemRef Mem;            ///< memory operand, if any
+  bool HasMem = false;
+  std::string MutexRef;  ///< lock/unlock mutex name, if any
+  int32_t MessageId = -1;
+  uint32_t Line = 0;
+};
+
+/// One `.thread` section as parsed.
+struct PendingThread {
+  std::string Name;
+  uint32_t Replicas = 1;
+  std::vector<PendingInstr> Code;
+  std::map<std::string, size_t> Labels; ///< label -> instruction index
+  uint32_t Line = 0;
+};
+
+/// Declared-but-unplaced data symbol.
+struct PendingSymbol {
+  std::string Name;
+  uint32_t Size = 1;
+  bool IsThreadLocal = false;
+  uint32_t Line = 0;
+};
+
+class Parser {
+public:
+  Parser(const std::string &Source, std::vector<AsmError> &Errors)
+      : Source(Source), Errors(Errors) {}
+
+  bool run(Program &Out);
+
+private:
+  // --- line-level parsing ---
+  void parseLine(const std::string &Line);
+  void parseDirective(const std::string &Line);
+  void parseStatement(std::string Line);
+  void parseInstruction(const std::string &Mnemonic,
+                        const std::vector<std::string> &Ops);
+
+  // --- operand parsing ---
+  std::optional<Reg> parseReg(const std::string &Tok);
+  std::optional<int64_t> parseImm(const std::string &Tok);
+  std::optional<MemRef> parseMem(const std::string &Tok);
+  Reg expectReg(const std::vector<std::string> &Ops, size_t I);
+  int64_t expectImm(const std::vector<std::string> &Ops, size_t I);
+  MemRef expectMem(const std::vector<std::string> &Ops, size_t I,
+                   bool *Ok);
+
+  // --- resolution ---
+  bool layout(Program &Out);
+  bool resolveThread(const PendingThread &PT, uint32_t Replica,
+                     ThreadId Tid, const Program &Prog, ThreadCode &Out);
+
+  void error(const std::string &Msg) {
+    Errors.push_back({CurLine, Msg});
+  }
+
+  const std::string &Source;
+  std::vector<AsmError> &Errors;
+  uint32_t CurLine = 0;
+
+  std::vector<PendingSymbol> Symbols;
+  std::vector<std::string> Mutexes;
+  std::vector<std::string> Messages;
+  std::vector<PendingThread> ThreadSections;
+  PendingThread *CurThread = nullptr;
+};
+
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' || C == '.';
+}
+
+bool isIdentifier(const std::string &S) {
+  if (S.empty() || std::isdigit(static_cast<unsigned char>(S[0])))
+    return false;
+  for (char C : S)
+    if (!isIdentChar(C))
+      return false;
+  return true;
+}
+
+/// Strips a trailing comment that begins with ';' or '#' outside quotes.
+std::string stripComment(const std::string &Line) {
+  bool InString = false;
+  for (size_t I = 0; I < Line.size(); ++I) {
+    char C = Line[I];
+    if (C == '"')
+      InString = !InString;
+    else if (!InString && (C == ';' || C == '#'))
+      return Line.substr(0, I);
+  }
+  return Line;
+}
+
+/// Splits an operand list on commas that are outside quotes/brackets.
+std::vector<std::string> splitOperands(const std::string &S) {
+  std::vector<std::string> Ops;
+  std::string Cur;
+  bool InString = false;
+  int Bracket = 0;
+  for (char C : S) {
+    if (C == '"')
+      InString = !InString;
+    if (!InString) {
+      if (C == '[')
+        ++Bracket;
+      else if (C == ']')
+        --Bracket;
+    }
+    if (C == ',' && !InString && Bracket == 0) {
+      Ops.push_back(support::trimString(Cur));
+      Cur.clear();
+      continue;
+    }
+    Cur += C;
+  }
+  std::string Last = support::trimString(Cur);
+  if (!Last.empty() || !Ops.empty())
+    Ops.push_back(Last);
+  return Ops;
+}
+
+bool Parser::run(Program &Out) {
+  std::vector<std::string> Lines = support::splitString(Source, '\n');
+  for (size_t I = 0; I < Lines.size(); ++I) {
+    CurLine = static_cast<uint32_t>(I + 1);
+    parseLine(Lines[I]);
+  }
+  if (!Errors.empty())
+    return false;
+  if (ThreadSections.empty()) {
+    CurLine = 0;
+    error("program declares no .thread section");
+    return false;
+  }
+  return layout(Out);
+}
+
+void Parser::parseLine(const std::string &RawLine) {
+  std::string Line = support::trimString(stripComment(RawLine));
+  if (Line.empty())
+    return;
+  if (Line[0] == '.') {
+    parseDirective(Line);
+    return;
+  }
+  parseStatement(Line);
+}
+
+void Parser::parseDirective(const std::string &Line) {
+  std::vector<std::string> Toks;
+  {
+    std::string Cur;
+    for (char C : Line) {
+      if (std::isspace(static_cast<unsigned char>(C))) {
+        if (!Cur.empty())
+          Toks.push_back(Cur);
+        Cur.clear();
+      } else {
+        Cur += C;
+      }
+    }
+    if (!Cur.empty())
+      Toks.push_back(Cur);
+  }
+  const std::string &Kind = Toks[0];
+
+  if (Kind == ".global" || Kind == ".local") {
+    if (Toks.size() < 2 || Toks.size() > 3 || !isIdentifier(Toks[1])) {
+      error("expected '" + Kind + " NAME [SIZE]'");
+      return;
+    }
+    uint32_t Size = 1;
+    if (Toks.size() == 3) {
+      std::optional<int64_t> V = parseImm(Toks[2]);
+      if (!V || *V <= 0 || *V > (1 << 24)) {
+        error("invalid size '" + Toks[2] + "'");
+        return;
+      }
+      Size = static_cast<uint32_t>(*V);
+    }
+    for (const PendingSymbol &S : Symbols)
+      if (S.Name == Toks[1]) {
+        error("redefinition of data symbol '" + Toks[1] + "'");
+        return;
+      }
+    Symbols.push_back({Toks[1], Size, Kind == ".local", CurLine});
+    return;
+  }
+
+  if (Kind == ".lock") {
+    if (Toks.size() != 2 || !isIdentifier(Toks[1])) {
+      error("expected '.lock NAME'");
+      return;
+    }
+    for (const std::string &M : Mutexes)
+      if (M == Toks[1]) {
+        error("redefinition of mutex '" + Toks[1] + "'");
+        return;
+      }
+    Mutexes.push_back(Toks[1]);
+    return;
+  }
+
+  if (Kind == ".thread") {
+    if (Toks.size() < 2 || Toks.size() > 3 || !isIdentifier(Toks[1])) {
+      error("expected '.thread NAME [xN]'");
+      return;
+    }
+    uint32_t Replicas = 1;
+    if (Toks.size() == 3) {
+      const std::string &R = Toks[2];
+      if (R.size() < 2 || (R[0] != 'x' && R[0] != 'X')) {
+        error("expected replica count of the form xN");
+        return;
+      }
+      std::optional<int64_t> V = parseImm(R.substr(1));
+      if (!V || *V <= 0 || *V > 1024) {
+        error("invalid replica count '" + R + "'");
+        return;
+      }
+      Replicas = static_cast<uint32_t>(*V);
+    }
+    ThreadSections.push_back(PendingThread());
+    CurThread = &ThreadSections.back();
+    CurThread->Name = Toks[1];
+    CurThread->Replicas = Replicas;
+    CurThread->Line = CurLine;
+    return;
+  }
+
+  error("unknown directive '" + Kind + "'");
+}
+
+void Parser::parseStatement(std::string Line) {
+  // Peel off any leading labels ("name:").
+  for (;;) {
+    size_t Colon = Line.find(':');
+    if (Colon == std::string::npos)
+      break;
+    std::string Head = support::trimString(Line.substr(0, Colon));
+    if (!isIdentifier(Head))
+      break;
+    if (!CurThread) {
+      error("label outside of a .thread section");
+      return;
+    }
+    if (CurThread->Labels.count(Head)) {
+      error("redefinition of label '" + Head + "'");
+      return;
+    }
+    CurThread->Labels[Head] = CurThread->Code.size();
+    Line = support::trimString(Line.substr(Colon + 1));
+    if (Line.empty())
+      return;
+  }
+
+  if (!CurThread) {
+    error("instruction outside of a .thread section");
+    return;
+  }
+
+  size_t SpacePos = 0;
+  while (SpacePos < Line.size() &&
+         !std::isspace(static_cast<unsigned char>(Line[SpacePos])))
+    ++SpacePos;
+  std::string Mnemonic = Line.substr(0, SpacePos);
+  std::string Rest = support::trimString(Line.substr(SpacePos));
+  std::vector<std::string> Ops =
+      Rest.empty() ? std::vector<std::string>() : splitOperands(Rest);
+  parseInstruction(Mnemonic, Ops);
+}
+
+std::optional<Reg> Parser::parseReg(const std::string &Tok) {
+  if (Tok.size() < 2 || (Tok[0] != 'r' && Tok[0] != 'R'))
+    return std::nullopt;
+  for (size_t I = 1; I < Tok.size(); ++I)
+    if (!std::isdigit(static_cast<unsigned char>(Tok[I])))
+      return std::nullopt;
+  long V = std::strtol(Tok.c_str() + 1, nullptr, 10);
+  if (V < 0 || V >= static_cast<long>(NumRegs))
+    return std::nullopt;
+  return static_cast<Reg>(V);
+}
+
+std::optional<int64_t> Parser::parseImm(const std::string &Tok) {
+  if (Tok.empty())
+    return std::nullopt;
+  const char *Begin = Tok.c_str();
+  char *End = nullptr;
+  long long V = std::strtoll(Begin, &End, 0);
+  if (End != Begin + Tok.size())
+    return std::nullopt;
+  return static_cast<int64_t>(V);
+}
+
+std::optional<MemRef> Parser::parseMem(const std::string &Tok) {
+  if (Tok.size() < 3 || Tok.front() != '[' || Tok.back() != ']')
+    return std::nullopt;
+  std::string Inner = Tok.substr(1, Tok.size() - 2);
+  MemRef M;
+  bool SawSym = false;
+  bool SawBase = false;
+  for (const std::string &RawPart : support::splitString(Inner, '+')) {
+    std::string Part = support::trimString(RawPart);
+    if (Part.empty())
+      return std::nullopt;
+    if (Part[0] == '@') {
+      std::string Sym = Part.substr(1);
+      if (!isIdentifier(Sym) || SawSym)
+        return std::nullopt;
+      M.Sym = Sym;
+      SawSym = true;
+      continue;
+    }
+    if (std::optional<Reg> R = parseReg(Part)) {
+      if (SawBase)
+        return std::nullopt;
+      M.Base = *R;
+      SawBase = true;
+      continue;
+    }
+    if (std::optional<int64_t> V = parseImm(Part)) {
+      M.Off += *V;
+      continue;
+    }
+    return std::nullopt;
+  }
+  return M;
+}
+
+Reg Parser::expectReg(const std::vector<std::string> &Ops, size_t I) {
+  if (I >= Ops.size()) {
+    error("missing register operand");
+    return 0;
+  }
+  if (std::optional<Reg> R = parseReg(Ops[I]))
+    return *R;
+  error("expected register, got '" + Ops[I] + "'");
+  return 0;
+}
+
+int64_t Parser::expectImm(const std::vector<std::string> &Ops, size_t I) {
+  if (I >= Ops.size()) {
+    error("missing immediate operand");
+    return 0;
+  }
+  if (std::optional<int64_t> V = parseImm(Ops[I]))
+    return *V;
+  error("expected immediate, got '" + Ops[I] + "'");
+  return 0;
+}
+
+MemRef Parser::expectMem(const std::vector<std::string> &Ops, size_t I,
+                         bool *Ok) {
+  *Ok = false;
+  if (I >= Ops.size()) {
+    error("missing memory operand");
+    return MemRef();
+  }
+  if (std::optional<MemRef> M = parseMem(Ops[I])) {
+    *Ok = true;
+    return *M;
+  }
+  error("expected memory operand like [r1+@sym], got '" + Ops[I] + "'");
+  return MemRef();
+}
+
+void Parser::parseInstruction(const std::string &Mnemonic,
+                              const std::vector<std::string> &Ops) {
+  PendingInstr P;
+  P.Line = CurLine;
+
+  auto Emit = [&]() { CurThread->Code.push_back(P); };
+  auto WantOps = [&](size_t N) {
+    if (Ops.size() == N)
+      return true;
+    error(formatString("'%s' expects %zu operand(s), got %zu",
+                       Mnemonic.c_str(), N, Ops.size()));
+    return false;
+  };
+
+  // Zero-operand instructions.
+  static const std::map<std::string, Opcode> Simple = {
+      {"nop", Opcode::Nop}, {"yield", Opcode::Yield}, {"halt", Opcode::Halt}};
+  if (auto It = Simple.find(Mnemonic); It != Simple.end()) {
+    if (!WantOps(0))
+      return;
+    P.Op = It->second;
+    Emit();
+    return;
+  }
+
+  // Three-register ALU.
+  static const std::map<std::string, Opcode> Alu3 = {
+      {"add", Opcode::Add}, {"sub", Opcode::Sub}, {"mul", Opcode::Mul},
+      {"div", Opcode::Div}, {"rem", Opcode::Rem}, {"and", Opcode::And},
+      {"or", Opcode::Or},   {"xor", Opcode::Xor}, {"shl", Opcode::Shl},
+      {"shr", Opcode::Shr}, {"slt", Opcode::Slt}, {"sle", Opcode::Sle},
+      {"seq", Opcode::Seq}, {"sne", Opcode::Sne}};
+  if (auto It = Alu3.find(Mnemonic); It != Alu3.end()) {
+    if (!WantOps(3))
+      return;
+    P.Op = It->second;
+    P.Rd = expectReg(Ops, 0);
+    P.Ra = expectReg(Ops, 1);
+    P.Rb = expectReg(Ops, 2);
+    Emit();
+    return;
+  }
+
+  // Register-immediate ALU.
+  static const std::map<std::string, Opcode> Alu2I = {{"addi", Opcode::Addi},
+                                                      {"muli", Opcode::Muli},
+                                                      {"andi", Opcode::Andi},
+                                                      {"slti", Opcode::Slti}};
+  if (auto It = Alu2I.find(Mnemonic); It != Alu2I.end()) {
+    if (!WantOps(3))
+      return;
+    P.Op = It->second;
+    P.Rd = expectReg(Ops, 0);
+    P.Ra = expectReg(Ops, 1);
+    P.Imm = expectImm(Ops, 2);
+    Emit();
+    return;
+  }
+
+  if (Mnemonic == "li") {
+    if (!WantOps(2))
+      return;
+    P.Op = Opcode::Li;
+    P.Rd = expectReg(Ops, 0);
+    P.Imm = expectImm(Ops, 1);
+    Emit();
+    return;
+  }
+  if (Mnemonic == "mov") {
+    if (!WantOps(2))
+      return;
+    P.Op = Opcode::Mov;
+    P.Rd = expectReg(Ops, 0);
+    P.Ra = expectReg(Ops, 1);
+    Emit();
+    return;
+  }
+  if (Mnemonic == "tid") {
+    if (!WantOps(1))
+      return;
+    P.Op = Opcode::Tid;
+    P.Rd = expectReg(Ops, 0);
+    Emit();
+    return;
+  }
+  if (Mnemonic == "rnd") {
+    if (Ops.size() != 1 && Ops.size() != 2) {
+      error("'rnd' expects 1 or 2 operands");
+      return;
+    }
+    P.Op = Opcode::Rnd;
+    P.Rd = expectReg(Ops, 0);
+    P.Imm = Ops.size() == 2 ? expectImm(Ops, 1) : 0;
+    Emit();
+    return;
+  }
+  if (Mnemonic == "ld") {
+    if (!WantOps(2))
+      return;
+    P.Op = Opcode::Ld;
+    P.Rd = expectReg(Ops, 0);
+    bool Ok = false;
+    P.Mem = expectMem(Ops, 1, &Ok);
+    P.HasMem = Ok;
+    Emit();
+    return;
+  }
+  if (Mnemonic == "st") {
+    if (!WantOps(2))
+      return;
+    P.Op = Opcode::St;
+    P.Rb = expectReg(Ops, 0); // data register
+    bool Ok = false;
+    P.Mem = expectMem(Ops, 1, &Ok);
+    P.HasMem = Ok;
+    Emit();
+    return;
+  }
+  if (Mnemonic == "cas") {
+    // cas rd, rExpected, rNew, [@sym(+off)] — absolute address only.
+    if (!WantOps(4))
+      return;
+    P.Op = Opcode::Cas;
+    P.Rd = expectReg(Ops, 0);
+    P.Ra = expectReg(Ops, 1);
+    P.Rb = expectReg(Ops, 2);
+    bool Ok = false;
+    P.Mem = expectMem(Ops, 3, &Ok);
+    P.HasMem = Ok;
+    if (Ok && P.Mem.Base != ZeroReg) {
+      error("'cas' requires an absolute address (no base register)");
+      return;
+    }
+    Emit();
+    return;
+  }
+  if (Mnemonic == "beqz" || Mnemonic == "bnez") {
+    if (!WantOps(2))
+      return;
+    P.Op = Mnemonic == "beqz" ? Opcode::Beqz : Opcode::Bnez;
+    P.Ra = expectReg(Ops, 0);
+    if (!isIdentifier(Ops[1])) {
+      error("expected label, got '" + Ops[1] + "'");
+      return;
+    }
+    P.LabelRef = Ops[1];
+    Emit();
+    return;
+  }
+  if (Mnemonic == "jmp") {
+    if (!WantOps(1))
+      return;
+    P.Op = Opcode::Jmp;
+    if (!isIdentifier(Ops[0])) {
+      error("expected label, got '" + Ops[0] + "'");
+      return;
+    }
+    P.LabelRef = Ops[0];
+    Emit();
+    return;
+  }
+  if (Mnemonic == "lock" || Mnemonic == "unlock") {
+    if (!WantOps(1))
+      return;
+    P.Op = Mnemonic == "lock" ? Opcode::Lock : Opcode::Unlock;
+    std::string Name = Ops[0];
+    if (!Name.empty() && Name[0] == '@')
+      Name = Name.substr(1);
+    if (!isIdentifier(Name)) {
+      error("expected mutex name, got '" + Ops[0] + "'");
+      return;
+    }
+    P.MutexRef = Name;
+    Emit();
+    return;
+  }
+  if (Mnemonic == "assert") {
+    if (Ops.size() != 1 && Ops.size() != 2) {
+      error("'assert' expects 1 or 2 operands");
+      return;
+    }
+    P.Op = Opcode::Assert;
+    P.Ra = expectReg(Ops, 0);
+    std::string Msg = "assertion failed";
+    if (Ops.size() == 2) {
+      const std::string &Tok = Ops[1];
+      if (Tok.size() < 2 || Tok.front() != '"' || Tok.back() != '"') {
+        error("expected quoted message, got '" + Tok + "'");
+        return;
+      }
+      Msg = Tok.substr(1, Tok.size() - 2);
+    }
+    P.MessageId = static_cast<int32_t>(Messages.size());
+    Messages.push_back(Msg);
+    Emit();
+    return;
+  }
+  if (Mnemonic == "print") {
+    if (!WantOps(1))
+      return;
+    P.Op = Opcode::Print;
+    P.Ra = expectReg(Ops, 0);
+    Emit();
+    return;
+  }
+
+  error("unknown mnemonic '" + Mnemonic + "'");
+}
+
+bool Parser::layout(Program &Out) {
+  Out = Program();
+  Out.Mutexes = Mutexes;
+  Out.Messages = Messages;
+
+  uint32_t NumThreads = 0;
+  for (const PendingThread &PT : ThreadSections)
+    NumThreads += PT.Replicas;
+
+  // Layout: shared globals first, then thread-local regions.
+  Addr Next = 0;
+  for (const PendingSymbol &PS : Symbols) {
+    if (PS.IsThreadLocal)
+      continue;
+    Out.Symbols.push_back({PS.Name, Next, PS.Size, false});
+    Next += PS.Size;
+  }
+  for (const PendingSymbol &PS : Symbols) {
+    if (!PS.IsThreadLocal)
+      continue;
+    Out.Symbols.push_back({PS.Name, Next, PS.Size, true});
+    Next += PS.Size * NumThreads;
+  }
+  Out.MemoryWords = Next;
+
+  // Resolve each replica.
+  ThreadId Tid = 0;
+  for (const PendingThread &PT : ThreadSections) {
+    for (uint32_t R = 0; R < PT.Replicas; ++R, ++Tid) {
+      ThreadCode TC;
+      TC.Name =
+          PT.Replicas == 1 ? PT.Name : formatString("%s.%u", PT.Name.c_str(), R);
+      if (!resolveThread(PT, R, Tid, Out, TC))
+        return false;
+      Out.Threads.push_back(std::move(TC));
+    }
+  }
+
+  std::string Problem = Out.validate();
+  if (!Problem.empty()) {
+    CurLine = 0;
+    error("validation failed: " + Problem);
+    return false;
+  }
+  return true;
+}
+
+bool Parser::resolveThread(const PendingThread &PT, uint32_t Replica,
+                           ThreadId Tid, const Program &Prog,
+                           ThreadCode &Out) {
+  (void)Replica;
+  for (const PendingInstr &P : PT.Code) {
+    CurLine = P.Line;
+    Instruction I;
+    I.Op = P.Op;
+    I.Rd = P.Rd;
+    I.Ra = P.Ra;
+    I.Rb = P.Rb;
+    I.Imm = P.Imm;
+    I.Line = P.Line;
+
+    if (!P.LabelRef.empty()) {
+      auto It = PT.Labels.find(P.LabelRef);
+      if (It == PT.Labels.end()) {
+        error("undefined label '" + P.LabelRef + "'");
+        return false;
+      }
+      I.Imm = static_cast<Word>(It->second);
+    }
+    if (P.HasMem) {
+      // Cas keeps Ra as the expected-value register; its address is
+      // always absolute.
+      if (P.Op != Opcode::Cas)
+        I.Ra = P.Mem.Base;
+      int64_t Address = P.Mem.Off;
+      if (!P.Mem.Sym.empty()) {
+        const DataSymbol *S = Prog.findSymbol(P.Mem.Sym);
+        if (!S) {
+          error("undefined data symbol '" + P.Mem.Sym + "'");
+          return false;
+        }
+        Address += S->Base;
+        if (S->IsThreadLocal)
+          Address += static_cast<int64_t>(Tid) * S->Size;
+      }
+      I.Imm = Address;
+    }
+    if (!P.MutexRef.empty()) {
+      std::optional<uint32_t> M = Prog.findMutex(P.MutexRef);
+      if (!M) {
+        error("undefined mutex '" + P.MutexRef + "'");
+        return false;
+      }
+      I.Imm = *M;
+    }
+    if (P.MessageId >= 0)
+      I.Imm = P.MessageId;
+
+    Out.Code.push_back(I);
+  }
+  if (Out.Code.empty() || (Out.Code.back().Op != Opcode::Halt &&
+                           Out.Code.back().Op != Opcode::Jmp)) {
+    // Make falling off the end explicit and uniform.
+    Instruction H;
+    H.Op = Opcode::Halt;
+    Out.Code.push_back(H);
+  }
+  return true;
+}
+
+} // namespace
+
+bool isa::assembleProgram(const std::string &Source, Program &Out,
+                          std::vector<AsmError> &Errors) {
+  Parser P(Source, Errors);
+  return P.run(Out);
+}
+
+Program isa::assembleOrDie(const std::string &Source) {
+  Program Prog;
+  std::vector<AsmError> Errors;
+  if (assembleProgram(Source, Prog, Errors))
+    return Prog;
+  for (const AsmError &E : Errors)
+    std::fprintf(stderr, "asm:%u: error: %s\n", E.Line, E.Message.c_str());
+  support::fatalError("assembly failed");
+}

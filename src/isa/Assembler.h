@@ -1,0 +1,61 @@
+//===- isa/Assembler.h - Two-pass assembler for the mini ISA ----*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small assembler so workloads (the Apache/MySQL/PgSQL analogs of
+/// Section 6) can be written as readable text instead of hand-built
+/// instruction vectors.
+///
+/// Grammar (one statement per line; `;` and `#` start comments):
+///
+/// \code
+///   .global NAME [SIZE]     ; shared data region (SIZE words, default 1)
+///   .local  NAME [SIZE]     ; thread-local region, one copy per thread
+///   .lock   NAME            ; declare a mutex
+///   .thread NAME [xN]       ; begin a thread section (replicated N times)
+///   LABEL:
+///   MNEMONIC OPERANDS       ; see isa/Isa.h for the instruction list
+/// \endcode
+///
+/// Memory operands take the forms `[rA]`, `[rA+K]`, `[@sym]`, `[@sym+K]`,
+/// `[rA+@sym]`, and `[rA+@sym+K]`. `@sym` of a `.local` symbol resolves to
+/// the executing thread's private copy. `lock`/`unlock` take a declared
+/// mutex name. `assert rA, "message"` records a program error when rA is
+/// zero — the mechanism workloads use to model crashes such as the MySQL
+/// segfault of Figure 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_ISA_ASSEMBLER_H
+#define SVD_ISA_ASSEMBLER_H
+
+#include "isa/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace svd {
+namespace isa {
+
+/// One assembler diagnostic.
+struct AsmError {
+  uint32_t Line = 0;
+  std::string Message;
+};
+
+/// Assembles \p Source into \p Out. Returns true on success; on failure
+/// \p Errors holds at least one diagnostic and \p Out is unspecified.
+bool assembleProgram(const std::string &Source, Program &Out,
+                     std::vector<AsmError> &Errors);
+
+/// Assembles \p Source; prints all diagnostics and aborts on error.
+/// Convenience for workloads and tests whose sources are known-good.
+Program assembleOrDie(const std::string &Source);
+
+} // namespace isa
+} // namespace svd
+
+#endif // SVD_ISA_ASSEMBLER_H

@@ -1,0 +1,166 @@
+//===- isa/Builder.cpp ----------------------------------------------------===//
+
+#include "isa/Builder.h"
+
+#include "support/StringUtils.h"
+
+using namespace svd;
+using namespace svd::isa;
+using support::formatString;
+
+namespace {
+
+/// Renders a [base+@sym+off] memory operand.
+std::string memOperand(unsigned Base, const std::string &Sym, int64_t Off) {
+  std::string Out = "[";
+  bool Need = false;
+  if (Base != 0) {
+    Out += formatString("r%u", Base);
+    Need = true;
+  }
+  if (!Sym.empty()) {
+    if (Need)
+      Out += "+";
+    Out += "@" + Sym;
+    Need = true;
+  }
+  if (Off != 0 || !Need) {
+    if (Need)
+      Out += "+";
+    Out += formatString("%lld", static_cast<long long>(Off));
+  }
+  Out += "]";
+  return Out;
+}
+
+} // namespace
+
+ThreadBuilder &ThreadBuilder::raw(const std::string &Line) {
+  Text += "  " + Line + "\n";
+  return *this;
+}
+
+ThreadBuilder &ThreadBuilder::li(unsigned Rd, int64_t Imm) {
+  return raw(formatString("li r%u, %lld", Rd, static_cast<long long>(Imm)));
+}
+
+ThreadBuilder &ThreadBuilder::mov(unsigned Rd, unsigned Ra) {
+  return raw(formatString("mov r%u, r%u", Rd, Ra));
+}
+
+ThreadBuilder &ThreadBuilder::tid(unsigned Rd) {
+  return raw(formatString("tid r%u", Rd));
+}
+
+ThreadBuilder &ThreadBuilder::rnd(unsigned Rd, int64_t Bound) {
+  if (Bound == 0)
+    return raw(formatString("rnd r%u", Rd));
+  return raw(
+      formatString("rnd r%u, %lld", Rd, static_cast<long long>(Bound)));
+}
+
+ThreadBuilder &ThreadBuilder::alu(const char *Mnemonic, unsigned Rd,
+                                  unsigned Ra, unsigned Rb) {
+  return raw(formatString("%s r%u, r%u, r%u", Mnemonic, Rd, Ra, Rb));
+}
+
+ThreadBuilder &ThreadBuilder::alui(const char *Mnemonic, unsigned Rd,
+                                   unsigned Ra, int64_t Imm) {
+  return raw(formatString("%s r%u, r%u, %lld", Mnemonic, Rd, Ra,
+                          static_cast<long long>(Imm)));
+}
+
+ThreadBuilder &ThreadBuilder::ld(unsigned Rd, unsigned Base,
+                                 const std::string &Sym, int64_t Off) {
+  return raw(
+      formatString("ld r%u, %s", Rd, memOperand(Base, Sym, Off).c_str()));
+}
+
+ThreadBuilder &ThreadBuilder::st(unsigned Rs, unsigned Base,
+                                 const std::string &Sym, int64_t Off) {
+  return raw(
+      formatString("st r%u, %s", Rs, memOperand(Base, Sym, Off).c_str()));
+}
+
+ThreadBuilder &ThreadBuilder::label(const std::string &Name) {
+  Text += Name + ":\n";
+  return *this;
+}
+
+ThreadBuilder &ThreadBuilder::beqz(unsigned Ra, const std::string &Label) {
+  return raw(formatString("beqz r%u, %s", Ra, Label.c_str()));
+}
+
+ThreadBuilder &ThreadBuilder::bnez(unsigned Ra, const std::string &Label) {
+  return raw(formatString("bnez r%u, %s", Ra, Label.c_str()));
+}
+
+ThreadBuilder &ThreadBuilder::jmp(const std::string &Label) {
+  return raw("jmp " + Label);
+}
+
+ThreadBuilder &ThreadBuilder::lockOp(const std::string &Mutex) {
+  return raw("lock @" + Mutex);
+}
+
+ThreadBuilder &ThreadBuilder::unlockOp(const std::string &Mutex) {
+  return raw("unlock @" + Mutex);
+}
+
+ThreadBuilder &ThreadBuilder::assertNz(unsigned Ra,
+                                       const std::string &Message) {
+  return raw(formatString("assert r%u, \"%s\"", Ra, Message.c_str()));
+}
+
+ThreadBuilder &ThreadBuilder::print(unsigned Ra) {
+  return raw(formatString("print r%u", Ra));
+}
+
+ThreadBuilder &ThreadBuilder::halt() { return raw("halt"); }
+
+ProgramBuilder &ProgramBuilder::global(const std::string &Name,
+                                       uint32_t Size) {
+  Directives += Size == 1 ? formatString(".global %s\n", Name.c_str())
+                          : formatString(".global %s %u\n", Name.c_str(),
+                                         Size);
+  return *this;
+}
+
+ProgramBuilder &ProgramBuilder::local(const std::string &Name,
+                                      uint32_t Size) {
+  Directives += Size == 1 ? formatString(".local %s\n", Name.c_str())
+                          : formatString(".local %s %u\n", Name.c_str(),
+                                         Size);
+  return *this;
+}
+
+ProgramBuilder &ProgramBuilder::lock(const std::string &Name) {
+  Directives += formatString(".lock %s\n", Name.c_str());
+  return *this;
+}
+
+ThreadBuilder &ProgramBuilder::thread(const std::string &Name,
+                                      uint32_t Replicas) {
+  std::string Header = Replicas == 1
+                           ? formatString(".thread %s", Name.c_str())
+                           : formatString(".thread %s x%u", Name.c_str(),
+                                          Replicas);
+  Threads.emplace_back(Header, ThreadBuilder());
+  return Threads.back().second;
+}
+
+std::string ProgramBuilder::source() const {
+  std::string Out = Directives;
+  for (const auto &[Header, TB] : Threads) {
+    Out += Header + "\n";
+    Out += TB.Text;
+  }
+  return Out;
+}
+
+Program ProgramBuilder::build() const { return assembleOrDie(source()); }
+
+bool ProgramBuilder::build(Program &Out,
+                           std::vector<AsmError> &Errors) const {
+  return assembleProgram(source(), Out, Errors);
+}

@@ -1,0 +1,102 @@
+//===- isa/Builder.h - Programmatic assembly builder ------------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ProgramBuilder assembles programs from C++ instead of text. It emits
+/// assembly source under the hood and runs the real assembler, so builder
+/// output obeys exactly the same resolution and validation rules; the
+/// random-workload generator and the examples use it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_ISA_BUILDER_H
+#define SVD_ISA_BUILDER_H
+
+#include "isa/Assembler.h"
+#include "isa/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace svd {
+namespace isa {
+
+/// Fluent builder for one thread's code (created via ProgramBuilder).
+class ThreadBuilder {
+public:
+  /// Appends a raw assembly line (no trailing newline needed).
+  ThreadBuilder &raw(const std::string &Line);
+
+  ThreadBuilder &li(unsigned Rd, int64_t Imm);
+  ThreadBuilder &mov(unsigned Rd, unsigned Ra);
+  ThreadBuilder &tid(unsigned Rd);
+  ThreadBuilder &rnd(unsigned Rd, int64_t Bound = 0);
+  ThreadBuilder &alu(const char *Mnemonic, unsigned Rd, unsigned Ra,
+                     unsigned Rb);
+  ThreadBuilder &alui(const char *Mnemonic, unsigned Rd, unsigned Ra,
+                      int64_t Imm);
+  /// ld Rd, [rBase+@Sym+Off]; pass an empty Sym for register-only forms.
+  ThreadBuilder &ld(unsigned Rd, unsigned Base, const std::string &Sym = "",
+                    int64_t Off = 0);
+  ThreadBuilder &st(unsigned Rs, unsigned Base, const std::string &Sym = "",
+                    int64_t Off = 0);
+  ThreadBuilder &label(const std::string &Name);
+  ThreadBuilder &beqz(unsigned Ra, const std::string &Label);
+  ThreadBuilder &bnez(unsigned Ra, const std::string &Label);
+  ThreadBuilder &jmp(const std::string &Label);
+  ThreadBuilder &lockOp(const std::string &Mutex);
+  ThreadBuilder &unlockOp(const std::string &Mutex);
+  ThreadBuilder &assertNz(unsigned Ra, const std::string &Message);
+  ThreadBuilder &print(unsigned Ra);
+  ThreadBuilder &halt();
+
+private:
+  friend class ProgramBuilder;
+  std::string Text;
+};
+
+/// Builds a whole Program. Usage:
+/// \code
+///   ProgramBuilder B;
+///   B.global("counter");
+///   auto &T = B.thread("worker", /*Replicas=*/2);
+///   T.ld(1, 0, "counter").alui("addi", 1, 1, 1).st(1, 0, "counter").halt();
+///   Program P = B.build();
+/// \endcode
+class ProgramBuilder {
+public:
+  /// Declares a shared data region of \p Size words.
+  ProgramBuilder &global(const std::string &Name, uint32_t Size = 1);
+
+  /// Declares a thread-local region of \p Size words per thread.
+  ProgramBuilder &local(const std::string &Name, uint32_t Size = 1);
+
+  /// Declares a mutex.
+  ProgramBuilder &lock(const std::string &Name);
+
+  /// Begins a thread section replicated \p Replicas times. The returned
+  /// reference stays valid until build().
+  ThreadBuilder &thread(const std::string &Name, uint32_t Replicas = 1);
+
+  /// Renders the accumulated assembly source.
+  std::string source() const;
+
+  /// Assembles the accumulated source; aborts on error (builder misuse is
+  /// a programming bug).
+  Program build() const;
+
+  /// Assembles the accumulated source with error reporting.
+  bool build(Program &Out, std::vector<AsmError> &Errors) const;
+
+private:
+  std::string Directives;
+  std::vector<std::pair<std::string, ThreadBuilder>> Threads;
+};
+
+} // namespace isa
+} // namespace svd
+
+#endif // SVD_ISA_BUILDER_H

@@ -1,0 +1,166 @@
+//===- isa/Cfg.cpp --------------------------------------------------------===//
+
+#include "isa/Cfg.h"
+
+#include <cassert>
+
+using namespace svd;
+using namespace svd::isa;
+
+namespace {
+
+/// Minimal fixed-size bitset over uint64_t words.
+inline size_t wordsFor(uint32_t Bits) { return (Bits + 63) / 64; }
+
+inline bool testBit(const std::vector<uint64_t> &Set, uint32_t I) {
+  return (Set[I / 64] >> (I % 64)) & 1;
+}
+
+inline void setBit(std::vector<uint64_t> &Set, uint32_t I) {
+  Set[I / 64] |= uint64_t(1) << (I % 64);
+}
+
+inline bool intersectInto(std::vector<uint64_t> &Dst,
+                          const std::vector<uint64_t> &Src) {
+  bool Changed = false;
+  for (size_t W = 0; W < Dst.size(); ++W) {
+    uint64_t New = Dst[W] & Src[W];
+    if (New != Dst[W]) {
+      Dst[W] = New;
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+inline uint32_t popcountSet(const std::vector<uint64_t> &Set) {
+  uint32_t N = 0;
+  for (uint64_t W : Set)
+    N += static_cast<uint32_t>(__builtin_popcountll(W));
+  return N;
+}
+
+} // namespace
+
+ThreadCfg::ThreadCfg(const std::vector<Instruction> &Code)
+    : NumInstrs(static_cast<uint32_t>(Code.size())), Code(Code) {
+  buildSuccessors();
+  computePostDominators();
+}
+
+void ThreadCfg::buildSuccessors() {
+  Succs.resize(NumInstrs + 1);
+  for (uint32_t Pc = 0; Pc < NumInstrs; ++Pc) {
+    const Instruction &I = Code[Pc];
+    switch (I.Op) {
+    case Opcode::Halt:
+      Succs[Pc].push_back(exitNode());
+      break;
+    case Opcode::Jmp:
+      Succs[Pc].push_back(static_cast<uint32_t>(I.Imm));
+      break;
+    case Opcode::Beqz:
+    case Opcode::Bnez: {
+      uint32_t Target = static_cast<uint32_t>(I.Imm);
+      assert(Pc + 1 < NumInstrs && "validated code cannot fall off the end");
+      Succs[Pc].push_back(Pc + 1);
+      if (Target != Pc + 1)
+        Succs[Pc].push_back(Target);
+      break;
+    }
+    default:
+      assert(Pc + 1 < NumInstrs && "validated code cannot fall off the end");
+      Succs[Pc].push_back(Pc + 1);
+      break;
+    }
+  }
+}
+
+void ThreadCfg::computePostDominators() {
+  uint32_t N = NumInstrs + 1; // + exit
+  size_t Words = wordsFor(N);
+
+  // Initialize: pdom(exit) = {exit}; pdom(n) = all nodes.
+  PdomSets.assign(N, std::vector<uint64_t>(Words, ~uint64_t(0)));
+  // Clear excess high bits so popcounts are exact.
+  if (N % 64 != 0) {
+    uint64_t Mask = (uint64_t(1) << (N % 64)) - 1;
+    for (auto &Set : PdomSets)
+      Set[Words - 1] &= Mask;
+  }
+  std::vector<uint64_t> ExitOnly(Words, 0);
+  setBit(ExitOnly, exitNode());
+  PdomSets[exitNode()] = ExitOnly;
+
+  // Iterate to fixpoint: pdom(n) = {n} | intersect(pdom(s) for s in succ).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Reverse program order converges quickly for postdominators.
+    for (uint32_t Pc = NumInstrs; Pc-- > 0;) {
+      std::vector<uint64_t> Meet(Words, ~uint64_t(0));
+      if (N % 64 != 0)
+        Meet[Words - 1] &= (uint64_t(1) << (N % 64)) - 1;
+      for (uint32_t S : Succs[Pc])
+        intersectInto(Meet, PdomSets[S]);
+      setBit(Meet, Pc);
+      if (Meet != PdomSets[Pc]) {
+        PdomSets[Pc] = std::move(Meet);
+        Changed = true;
+      }
+    }
+  }
+
+  // Derive immediate postdominators: the strict postdominator with the
+  // largest postdominator set (i.e. the closest one).
+  Ipdom.assign(N, NoNode);
+  for (uint32_t Pc = 0; Pc < NumInstrs; ++Pc) {
+    uint32_t StrictCount = popcountSet(PdomSets[Pc]) - 1;
+    if (StrictCount == 0)
+      continue;
+    for (uint32_t Cand = 0; Cand <= NumInstrs; ++Cand) {
+      if (Cand == Pc || !testBit(PdomSets[Pc], Cand))
+        continue;
+      // Cand is the immediate postdominator iff it is dominated by every
+      // other strict postdominator of Pc, i.e. its own pdom set contains
+      // all of them: |pdom(Cand)| == StrictCount.
+      if (popcountSet(PdomSets[Cand]) == StrictCount) {
+        Ipdom[Pc] = Cand;
+        break;
+      }
+    }
+  }
+}
+
+bool ThreadCfg::postDominates(uint32_t A, uint32_t B) const {
+  assert(B < PdomSets.size() && A <= NumInstrs);
+  return testBit(PdomSets[B], A);
+}
+
+uint32_t ThreadCfg::preciseReconvergence(uint32_t BranchPc) const {
+  assert(BranchPc < NumInstrs && isConditionalBranch(Code[BranchPc].Op) &&
+         "not a conditional branch");
+  uint32_t P = Ipdom[BranchPc];
+  if (P == NoNode || P == exitNode())
+    return NoNode;
+  return P;
+}
+
+uint32_t ThreadCfg::skipperReconvergence(uint32_t BranchPc) const {
+  assert(BranchPc < NumInstrs && isConditionalBranch(Code[BranchPc].Op) &&
+         "not a conditional branch");
+  uint32_t Target = static_cast<uint32_t>(Code[BranchPc].Imm);
+  // Loop-type control flow is not inferred (Section 4.2).
+  if (Target <= BranchPc)
+    return NoNode;
+  // Probe the instruction that ends the fall-through (then) block. If it
+  // is a forward Branch-Always, the shape is if/else and control
+  // reconverges at the jump's target; otherwise at the branch target.
+  if (Target >= 1 && Target - 1 > BranchPc) {
+    const Instruction &Prev = Code[Target - 1];
+    if (Prev.Op == Opcode::Jmp &&
+        static_cast<uint32_t>(Prev.Imm) > Target)
+      return static_cast<uint32_t>(Prev.Imm);
+  }
+  return Target;
+}

@@ -1,0 +1,91 @@
+//===- isa/Cfg.h - Per-thread CFG and reconvergence points ------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instruction-level control-flow analysis for one thread's code. SVD's
+/// online algorithm tracks partial control dependences with a stack of
+/// (branch, reconvergence point) pairs (Section 4.2, "Skipper heuristic").
+/// This file provides two reconvergence policies:
+///
+///  * \c skipperReconvergence — the paper's probe heuristic: look at the
+///    instruction just before the forward branch target; if it is an
+///    unconditional forward jump (the "Branch-Always" that ends a then
+///    block), reconverge at that jump's target (if/else shape), otherwise
+///    at the branch target itself (if shape). Backward branches (loops)
+///    yield no reconvergence point, matching the paper's statement that
+///    loop-type control flow is not inferred.
+///
+///  * \c preciseReconvergence — the immediate postdominator of the branch
+///    in the instruction-level CFG; used by the ablation study of the
+///    control-dependence policy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_ISA_CFG_H
+#define SVD_ISA_CFG_H
+
+#include "isa/Isa.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace svd {
+namespace isa {
+
+/// Control-flow graph over one thread's instructions. Node ids are
+/// instruction indices; one extra virtual exit node follows them.
+class ThreadCfg {
+public:
+  /// Sentinel for "no node".
+  static constexpr uint32_t NoNode = UINT32_MAX;
+
+  /// Builds the CFG and postdominator tree for \p Code. \p Code must have
+  /// passed Program::validate().
+  explicit ThreadCfg(const std::vector<Instruction> &Code);
+
+  /// Number of instruction nodes (the exit node is index size()).
+  uint32_t size() const { return NumInstrs; }
+
+  /// The virtual exit node's id.
+  uint32_t exitNode() const { return NumInstrs; }
+
+  /// Successor node ids of instruction \p Pc.
+  const std::vector<uint32_t> &successors(uint32_t Pc) const {
+    return Succs[Pc];
+  }
+
+  /// Immediate postdominator of node \p Pc; NoNode for the exit node and
+  /// for unreachable instructions.
+  uint32_t immediatePostDominator(uint32_t Pc) const { return Ipdom[Pc]; }
+
+  /// Returns true if node \p A postdominates node \p B.
+  bool postDominates(uint32_t A, uint32_t B) const;
+
+  /// Precise reconvergence point of the conditional branch at \p BranchPc:
+  /// its immediate postdominator, or NoNode when control only reconverges
+  /// at thread exit.
+  uint32_t preciseReconvergence(uint32_t BranchPc) const;
+
+  /// The paper's Skipper-style probe (see file comment). Returns NoNode
+  /// for backward branches.
+  uint32_t skipperReconvergence(uint32_t BranchPc) const;
+
+private:
+  uint32_t NumInstrs;
+  const std::vector<Instruction> &Code;
+  std::vector<std::vector<uint32_t>> Succs;
+  std::vector<uint32_t> Ipdom;
+  /// PdomSets[N] is a bitset over nodes postdominating N (incl. N itself).
+  std::vector<std::vector<uint64_t>> PdomSets;
+
+  void buildSuccessors();
+  void computePostDominators();
+};
+
+} // namespace isa
+} // namespace svd
+
+#endif // SVD_ISA_CFG_H

@@ -1,0 +1,139 @@
+//===- isa/Isa.h - Mini RISC instruction set ---------------------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction set of the execution substrate. The paper ran SVD inside
+/// the Simics full-system simulator, observing dynamic SPARC instructions.
+/// We substitute a small RISC-style register machine whose dynamic
+/// instruction stream exposes exactly the event kinds SVD's online
+/// algorithm consumes (Figure 7): LOAD, ALU, STORE, BRANCH, plus lock
+/// operations that are visible only to the happens-before baseline.
+///
+/// Conventions:
+///  * 16 general-purpose 64-bit registers r0..r15; r0 is hardwired to zero
+///    (MIPS-style), writes to it are ignored.
+///  * Memory is an array of 64-bit words addressed by word index; one word
+///    is the default detector block ("word-size blocks", Section 6.2).
+///  * Branch targets are instruction indices within the owning thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_ISA_ISA_H
+#define SVD_ISA_ISA_H
+
+#include <cstdint>
+#include <string>
+
+namespace svd {
+namespace isa {
+
+/// Register number. r0 reads as zero and ignores writes.
+using Reg = uint8_t;
+
+/// Number of architectural registers.
+constexpr unsigned NumRegs = 16;
+
+/// The hardwired zero register.
+constexpr Reg ZeroReg = 0;
+
+/// Word-granular memory address (index into the VM's word array).
+using Addr = uint32_t;
+
+/// Machine word.
+using Word = int64_t;
+
+/// Opcodes of the mini ISA.
+enum class Opcode : uint8_t {
+  Nop,
+  // Immediate / move.
+  Li,   ///< Rd = Imm
+  Mov,  ///< Rd = Ra
+  Tid,  ///< Rd = thread id of the executing thread
+  Rnd,  ///< Rd = deterministic pseudo-random; Imm > 0 bounds it to [0, Imm)
+  // Three-register ALU.
+  Add,  ///< Rd = Ra + Rb
+  Sub,  ///< Rd = Ra - Rb
+  Mul,  ///< Rd = Ra * Rb
+  Div,  ///< Rd = Ra / Rb (0 if Rb == 0)
+  Rem,  ///< Rd = Ra % Rb (0 if Rb == 0)
+  And,  ///< Rd = Ra & Rb
+  Or,   ///< Rd = Ra | Rb
+  Xor,  ///< Rd = Ra ^ Rb
+  Shl,  ///< Rd = Ra << (Rb & 63)
+  Shr,  ///< Rd = (uint64_t)Ra >> (Rb & 63)
+  Slt,  ///< Rd = Ra < Rb
+  Sle,  ///< Rd = Ra <= Rb
+  Seq,  ///< Rd = Ra == Rb
+  Sne,  ///< Rd = Ra != Rb
+  // Register-immediate ALU.
+  Addi, ///< Rd = Ra + Imm
+  Muli, ///< Rd = Ra * Imm
+  Andi, ///< Rd = Ra & Imm
+  Slti, ///< Rd = Ra < Imm
+  // Memory. Effective address is Ra + Imm (word-granular).
+  Ld,   ///< Rd = mem[Ra + Imm]
+  St,   ///< mem[Ra + Imm] = Rb
+  // Control flow. Imm is the target instruction index.
+  Beqz, ///< if Ra == 0 goto Imm
+  Bnez, ///< if Ra != 0 goto Imm
+  Jmp,  ///< goto Imm (the paper's "Branch-Always")
+  /// Compare-and-swap on an absolute address: if mem[Imm] == Ra then
+  /// mem[Imm] = Rb and Rd = 1, else Rd = 0. The building block of the
+  /// lock-free workloads (annotation-free synchronization that no
+  /// detector gets told about).
+  Cas,
+  // Synchronization. Imm is the mutex id. Invisible to SVD by design;
+  // visible to FRD/lockset as the a-priori annotation (Section 6).
+  Lock,   ///< acquire mutex Imm (blocks)
+  Unlock, ///< release mutex Imm
+  // Observation / error modelling.
+  Assert, ///< if Ra == 0, record a program error (models a crash); Imm
+          ///< indexes the program's message table
+  Print,  ///< record Ra's value as program output (used by tests)
+  Yield,  ///< scheduling hint; executes as a no-op
+  Halt,   ///< terminate the executing thread
+};
+
+/// One static instruction.
+struct Instruction {
+  Opcode Op = Opcode::Nop;
+  Reg Rd = 0;
+  Reg Ra = 0;
+  Reg Rb = 0;
+  Word Imm = 0;
+  /// 1-based source line in the assembly text (0 when built in memory).
+  uint32_t Line = 0;
+};
+
+/// Returns the lower-case mnemonic of \p Op.
+const char *opcodeName(Opcode Op);
+
+/// Returns true for Beqz/Bnez (conditional control flow).
+bool isConditionalBranch(Opcode Op);
+
+/// Returns true for any instruction that may transfer control (Beqz, Bnez,
+/// Jmp, Halt).
+bool isControlFlow(Opcode Op);
+
+/// Returns true for Ld/St.
+bool isMemoryAccess(Opcode Op);
+
+/// Returns true if the instruction writes register Rd.
+bool writesRd(Opcode Op);
+
+/// Returns true if the instruction reads register Ra.
+bool readsRa(Opcode Op);
+
+/// Returns true if the instruction reads register Rb.
+bool readsRb(Opcode Op);
+
+/// Renders \p I as assembly-like text, e.g. "add r1, r2, r3".
+std::string formatInstruction(const Instruction &I);
+
+} // namespace isa
+} // namespace svd
+
+#endif // SVD_ISA_ISA_H

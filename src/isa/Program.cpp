@@ -1,0 +1,127 @@
+//===- isa/Program.cpp ----------------------------------------------------===//
+
+#include "isa/Program.h"
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+
+using namespace svd;
+using namespace svd::isa;
+using support::formatString;
+
+size_t Program::numInstructions() const {
+  size_t N = 0;
+  for (const ThreadCode &T : Threads)
+    N += T.Code.size();
+  return N;
+}
+
+const DataSymbol *Program::findSymbol(const std::string &Name) const {
+  for (const DataSymbol &S : Symbols)
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+Addr Program::addressOf(const std::string &Name, ThreadId Tid,
+                        uint32_t Offset) const {
+  const DataSymbol *S = findSymbol(Name);
+  if (!S)
+    support::fatalError("unknown data symbol '" + Name + "'");
+  if (Offset >= S->Size)
+    support::fatalError(formatString("offset %u out of range for symbol '%s'",
+                                     Offset, Name.c_str()));
+  if (!S->IsThreadLocal)
+    return S->Base + Offset;
+  if (Tid >= numThreads())
+    support::fatalError(formatString("thread %u out of range for local '%s'",
+                                     Tid, Name.c_str()));
+  return S->Base + Tid * S->Size + Offset;
+}
+
+std::string Program::describeAddress(Addr A) const {
+  for (const DataSymbol &S : Symbols) {
+    uint32_t Copies = S.IsThreadLocal ? numThreads() : 1;
+    if (A < S.Base || A >= S.Base + Copies * S.Size)
+      continue;
+    uint32_t Rel = A - S.Base;
+    uint32_t Tid = Rel / S.Size;
+    uint32_t Off = Rel % S.Size;
+    std::string Out = S.Name;
+    if (Off != 0)
+      Out += formatString("+%u", Off);
+    if (S.IsThreadLocal)
+      Out += formatString("@t%u", Tid);
+    return Out;
+  }
+  return formatString("word:%u", A);
+}
+
+std::optional<uint32_t> Program::findMutex(const std::string &Name) const {
+  for (uint32_t I = 0; I < Mutexes.size(); ++I)
+    if (Mutexes[I] == Name)
+      return I;
+  return std::nullopt;
+}
+
+std::string Program::validate() const {
+  for (ThreadId Tid = 0; Tid < numThreads(); ++Tid) {
+    const ThreadCode &T = Threads[Tid];
+    if (T.Code.empty())
+      return formatString("thread %u ('%s') has no code", Tid,
+                          T.Name.c_str());
+    for (size_t Pc = 0; Pc < T.Code.size(); ++Pc) {
+      const Instruction &I = T.Code[Pc];
+      if (I.Rd >= NumRegs || I.Ra >= NumRegs || I.Rb >= NumRegs)
+        return formatString("thread %u pc %zu: register out of range", Tid,
+                            Pc);
+      if (isConditionalBranch(I.Op) || I.Op == Opcode::Jmp) {
+        if (I.Imm < 0 || static_cast<size_t>(I.Imm) >= T.Code.size())
+          return formatString("thread %u pc %zu: branch target %lld out of "
+                              "range",
+                              Tid, Pc, static_cast<long long>(I.Imm));
+      }
+      if (I.Op == Opcode::Lock || I.Op == Opcode::Unlock) {
+        if (I.Imm < 0 || static_cast<size_t>(I.Imm) >= Mutexes.size())
+          return formatString("thread %u pc %zu: mutex id %lld out of range",
+                              Tid, Pc, static_cast<long long>(I.Imm));
+      }
+      if (I.Op == Opcode::Assert) {
+        if (I.Imm < 0 || static_cast<size_t>(I.Imm) >= Messages.size())
+          return formatString("thread %u pc %zu: message id %lld out of "
+                              "range",
+                              Tid, Pc, static_cast<long long>(I.Imm));
+      }
+      // Memory operands with an absolute (zero-register) base must lie in
+      // the image; register-relative addresses are checked at run time.
+      // Cas addresses are always absolute (Ra carries the expected value).
+      if (I.Op == Opcode::Cas ||
+          (isMemoryAccess(I.Op) && I.Ra == ZeroReg)) {
+        if (I.Imm < 0 || static_cast<Addr>(I.Imm) >= MemoryWords)
+          return formatString("thread %u pc %zu: absolute address %lld out "
+                              "of range",
+                              Tid, Pc, static_cast<long long>(I.Imm));
+      }
+    }
+    // Execution must not fall off the end of a thread's code.
+    Opcode Last = T.Code.back().Op;
+    if (Last != Opcode::Halt && Last != Opcode::Jmp)
+      return formatString("thread %u ('%s') does not end in halt or jmp",
+                          Tid, T.Name.c_str());
+  }
+  return std::string();
+}
+
+std::string Program::disassemble() const {
+  std::string Out;
+  for (ThreadId Tid = 0; Tid < numThreads(); ++Tid) {
+    const ThreadCode &T = Threads[Tid];
+    Out += formatString(".thread %s  ; tid %u\n", T.Name.c_str(), Tid);
+    for (size_t Pc = 0; Pc < T.Code.size(); ++Pc)
+      Out += formatString("  %4zu: %s\n", Pc,
+                          formatInstruction(T.Code[Pc]).c_str());
+  }
+  return Out;
+}

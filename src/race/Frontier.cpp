@@ -1,0 +1,104 @@
+//===- race/Frontier.cpp --------------------------------------------------===//
+
+#include "race/Frontier.h"
+
+using namespace svd;
+using namespace svd::race;
+using detect::Violation;
+using trace::EventKind;
+using trace::ProgramTrace;
+using trace::TraceEvent;
+
+std::vector<FrontierRace>
+race::frontierRaces(const ProgramTrace &T) {
+  std::vector<FrontierRace> Out;
+  uint32_t NumThreads = T.numThreads();
+  using Clock = uint64_t;
+
+  std::vector<std::vector<Clock>> VC(NumThreads,
+                                     std::vector<Clock>(NumThreads, 0));
+  for (uint32_t Tid = 0; Tid < NumThreads; ++Tid)
+    VC[Tid][Tid] = 1;
+
+  struct Access {
+    int32_t Tid = -1;
+    Clock Cl = 0;
+    uint32_t Pc = 0;
+    uint64_t Seq = 0;
+    std::vector<Clock> Snapshot; ///< the accessor's VC at access time
+  };
+  struct WordState {
+    Access LastWrite;
+    std::vector<Access> ReadsSinceWrite;
+  };
+  std::vector<WordState> Words(T.program().MemoryWords);
+
+  auto Ordered = [&](const Access &A, uint32_t Tid) {
+    return A.Cl <= VC[Tid][A.Tid];
+  };
+  auto Join = [&](const Access &A, uint32_t Tid) {
+    for (uint32_t U = 0; U < NumThreads; ++U)
+      if (A.Snapshot[U] > VC[Tid][U])
+        VC[Tid][U] = A.Snapshot[U];
+  };
+  auto ReportPair = [&](const TraceEvent &Cur, const Access &Prev) {
+    Violation V;
+    V.Seq = Cur.Seq;
+    V.Tid = Cur.Tid;
+    V.Pc = Cur.Pc;
+    V.OtherTid = static_cast<isa::ThreadId>(Prev.Tid);
+    V.OtherPc = Prev.Pc;
+    V.Address = Cur.Address;
+    Out.push_back({V});
+  };
+
+  for (uint32_t E = 0; E < T.size(); ++E) {
+    const TraceEvent &Ev = T[E];
+    if (!Ev.isMemory())
+      continue;
+    uint32_t Tid = Ev.Tid;
+    WordState &W = Words[Ev.Address];
+
+    if (Ev.Kind == EventKind::Load) {
+      Access &LW = W.LastWrite;
+      if (LW.Tid >= 0 && LW.Tid != static_cast<int32_t>(Tid)) {
+        if (!Ordered(LW, Tid))
+          ReportPair(Ev, LW); // frontier write-read race
+        // Either way, this conflicting pair now orders later accesses.
+        Join(LW, Tid);
+      }
+      Access A;
+      A.Tid = static_cast<int32_t>(Tid);
+      A.Cl = VC[Tid][Tid];
+      A.Pc = Ev.Pc;
+      A.Seq = Ev.Seq;
+      A.Snapshot = VC[Tid];
+      W.ReadsSinceWrite.push_back(std::move(A));
+      continue;
+    }
+
+    // Store: conflicts with the last write and the reads since it.
+    Access &LW = W.LastWrite;
+    if (LW.Tid >= 0 && LW.Tid != static_cast<int32_t>(Tid)) {
+      if (!Ordered(LW, Tid))
+        ReportPair(Ev, LW);
+      Join(LW, Tid);
+    }
+    for (const Access &R : W.ReadsSinceWrite) {
+      if (R.Tid == static_cast<int32_t>(Tid))
+        continue;
+      if (!Ordered(R, Tid))
+        ReportPair(Ev, R);
+      Join(R, Tid);
+    }
+    W.ReadsSinceWrite.clear();
+    LW.Tid = static_cast<int32_t>(Tid);
+    LW.Cl = VC[Tid][Tid];
+    LW.Pc = Ev.Pc;
+    LW.Seq = Ev.Seq;
+    LW.Snapshot = VC[Tid];
+    // Advance the writer's epoch so later own accesses are distinct.
+    ++VC[Tid][Tid];
+  }
+  return Out;
+}

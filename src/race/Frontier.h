@@ -1,0 +1,46 @@
+//===- race/Frontier.h - Frontier race computation ---------------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The first pass of the Frontier Race Detector (Section 6.2, after Choi
+/// & Min [9]): with *no* knowledge of synchronization, compute the
+/// "tightest" races — conflicting access pairs that are not causally
+/// ordered by any chain of program order and *other* conflicting
+/// accesses. In the paper a programmer labels each frontier race as data
+/// or synchronization; the second pass is then a standard happens-before
+/// detection (race/HappensBefore.h) using the synchronization labels.
+///
+/// Implementation: a single scan with vector clocks where every
+/// conflicting pair is joined into the ordering after being tested, so a
+/// later pair already ordered by earlier conflicts is not reported.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_RACE_FRONTIER_H
+#define SVD_RACE_FRONTIER_H
+
+#include "svd/Report.h"
+#include "trace/Trace.h"
+
+#include <vector>
+
+namespace svd {
+namespace race {
+
+/// One frontier race: an unordered conflicting pair, plus whether one of
+/// the two accesses is a Lock/Unlock-adjacent word (never the case in
+/// this ISA, where synchronization is not memory-based).
+struct FrontierRace {
+  detect::Violation Pair;
+};
+
+/// Computes the frontier races of \p T.
+std::vector<FrontierRace> frontierRaces(const trace::ProgramTrace &T);
+
+} // namespace race
+} // namespace svd
+
+#endif // SVD_RACE_FRONTIER_H

@@ -1,0 +1,119 @@
+//===- race/HappensBefore.cpp ---------------------------------------------===//
+
+#include "race/HappensBefore.h"
+
+using namespace svd;
+using namespace svd::race;
+using detect::Violation;
+using vm::EventCtx;
+
+HappensBeforeDetector::HappensBeforeDetector(const isa::Program &P,
+                                             HappensBeforeConfig Cfg)
+    : Prog(P), Cfg(Cfg), NumThreads(P.numThreads()) {
+  ThreadVC.assign(NumThreads, std::vector<Clock>(NumThreads, 0));
+  for (uint32_t Tid = 0; Tid < NumThreads; ++Tid)
+    ThreadVC[Tid][Tid] = 1;
+  MutexVC.assign(P.Mutexes.size(), std::vector<Clock>(NumThreads, 0));
+  Blocks.resize((P.MemoryWords >> Cfg.BlockShift) + 1);
+}
+
+HappensBeforeDetector::BlockState &
+HappensBeforeDetector::stateOf(BlockId B) {
+  BlockState &S = Blocks[B];
+  if (S.ReadClock.empty()) {
+    S.ReadClock.assign(NumThreads, 0);
+    S.ReadPc.assign(NumThreads, 0);
+  }
+  return S;
+}
+
+void HappensBeforeDetector::report(const EventCtx &Ctx, isa::Addr A,
+                                   isa::ThreadId OtherTid,
+                                   uint32_t OtherPc) {
+  Violation V;
+  V.Seq = Ctx.Seq;
+  V.Tid = Ctx.Tid;
+  V.Pc = Ctx.Pc;
+  V.OtherTid = OtherTid;
+  V.OtherPc = OtherPc;
+  V.Address = A;
+  Races.push_back(V);
+}
+
+void HappensBeforeDetector::onLoad(const EventCtx &Ctx, isa::Addr A,
+                                   isa::Word) {
+  ++Events;
+  BlockState &S = stateOf(blockOf(A));
+  std::vector<Clock> &VC = ThreadVC[Ctx.Tid];
+  // Write-read race: the last write is not ordered before this read.
+  if (S.WriteTid >= 0 && S.WriteTid != static_cast<int32_t>(Ctx.Tid) &&
+      S.WriteClock > VC[S.WriteTid])
+    report(Ctx, static_cast<isa::Addr>(blockOf(A)) << Cfg.BlockShift,
+           static_cast<isa::ThreadId>(S.WriteTid), S.WritePc);
+  S.ReadClock[Ctx.Tid] = VC[Ctx.Tid];
+  S.ReadPc[Ctx.Tid] = Ctx.Pc;
+}
+
+void HappensBeforeDetector::onStore(const EventCtx &Ctx, isa::Addr A,
+                                    isa::Word) {
+  ++Events;
+  BlockState &S = stateOf(blockOf(A));
+  std::vector<Clock> &VC = ThreadVC[Ctx.Tid];
+  isa::Addr BlockAddr = static_cast<isa::Addr>(blockOf(A))
+                        << Cfg.BlockShift;
+  // Write-write race.
+  if (S.WriteTid >= 0 && S.WriteTid != static_cast<int32_t>(Ctx.Tid) &&
+      S.WriteClock > VC[S.WriteTid])
+    report(Ctx, BlockAddr, static_cast<isa::ThreadId>(S.WriteTid),
+           S.WritePc);
+  // Read-write races against every unordered remote read.
+  for (uint32_t U = 0; U < NumThreads; ++U) {
+    if (U == Ctx.Tid)
+      continue;
+    if (S.ReadClock[U] > VC[U])
+      report(Ctx, BlockAddr, U, S.ReadPc[U]);
+  }
+  // This write supersedes earlier accesses.
+  S.WriteTid = static_cast<int32_t>(Ctx.Tid);
+  S.WriteClock = VC[Ctx.Tid];
+  S.WritePc = Ctx.Pc;
+  std::fill(S.ReadClock.begin(), S.ReadClock.end(), 0);
+}
+
+void HappensBeforeDetector::onAlu(const EventCtx &) { ++Events; }
+
+void HappensBeforeDetector::onBranch(const EventCtx &, bool, uint32_t) {
+  ++Events;
+}
+
+void HappensBeforeDetector::onLock(const EventCtx &Ctx, uint32_t MutexId) {
+  ++Events;
+  // Acquire: join the mutex's clock into the thread's.
+  std::vector<Clock> &VC = ThreadVC[Ctx.Tid];
+  const std::vector<Clock> &L = MutexVC[MutexId];
+  for (uint32_t U = 0; U < NumThreads; ++U)
+    if (L[U] > VC[U])
+      VC[U] = L[U];
+}
+
+void HappensBeforeDetector::onUnlock(const EventCtx &Ctx,
+                                     uint32_t MutexId) {
+  ++Events;
+  // Release: publish the thread's clock, then advance its epoch.
+  MutexVC[MutexId] = ThreadVC[Ctx.Tid];
+  ++ThreadVC[Ctx.Tid][Ctx.Tid];
+}
+
+size_t HappensBeforeDetector::approxMemoryBytes() const {
+  size_t Bytes = 0;
+  for (const auto &VC : ThreadVC)
+    Bytes += VC.capacity() * sizeof(Clock);
+  for (const auto &VC : MutexVC)
+    Bytes += VC.capacity() * sizeof(Clock);
+  Bytes += Blocks.capacity() * sizeof(BlockState);
+  for (const BlockState &S : Blocks)
+    Bytes += S.ReadClock.capacity() * sizeof(Clock) +
+             S.ReadPc.capacity() * sizeof(uint32_t);
+  Bytes += Races.capacity() * sizeof(Violation);
+  return Bytes;
+}

@@ -1,0 +1,77 @@
+//===- race/Lockset.h - Eraser-style lockset detector -----------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An Eraser-style lockset race detector (Savage et al. [33]), included
+/// as a second baseline: the related-work section contrasts SVD with
+/// both the happens-before and the lockset families. Each shared word
+/// must be consistently protected by at least one lock; the candidate
+/// set is refined at every access and a report fires when it empties in
+/// the Shared-Modified state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_RACE_LOCKSET_H
+#define SVD_RACE_LOCKSET_H
+
+#include "isa/Program.h"
+#include "svd/Report.h"
+#include "vm/Observer.h"
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace svd {
+namespace race {
+
+/// Online lockset detector; attach with Machine::addObserver.
+class LocksetDetector : public vm::ExecutionObserver {
+public:
+  explicit LocksetDetector(const isa::Program &P);
+
+  /// Dynamic reports (every access to a word whose candidate set is
+  /// empty in Shared-Modified state). OtherTid/OtherPc identify the most
+  /// recent access by a different thread.
+  const std::vector<detect::Violation> &reports() const { return Reports; }
+
+  uint64_t eventsObserved() const { return Events; }
+
+  void onLoad(const vm::EventCtx &Ctx, isa::Addr A, isa::Word V) override;
+  void onStore(const vm::EventCtx &Ctx, isa::Addr A, isa::Word V) override;
+  void onAlu(const vm::EventCtx &Ctx) override;
+  void onBranch(const vm::EventCtx &Ctx, bool Taken,
+                uint32_t Target) override;
+  void onLock(const vm::EventCtx &Ctx, uint32_t MutexId) override;
+  void onUnlock(const vm::EventCtx &Ctx, uint32_t MutexId) override;
+
+private:
+  /// Eraser's per-word state machine.
+  enum class State : uint8_t { Virgin, Exclusive, Shared, SharedModified };
+
+  struct WordState {
+    State S = State::Virgin;
+    int32_t FirstTid = -1;
+    bool LocksetInitialized = false;
+    std::set<uint32_t> Lockset;
+    // Most recent access by any thread (for two-sided reports).
+    int32_t LastTid = -1;
+    uint32_t LastPc = 0;
+  };
+
+  void access(const vm::EventCtx &Ctx, isa::Addr A, bool IsWrite);
+
+  const isa::Program &Prog;
+  std::vector<WordState> Words;
+  std::vector<std::set<uint32_t>> Held; ///< locks held, per thread
+  std::vector<detect::Violation> Reports;
+  uint64_t Events = 0;
+};
+
+} // namespace race
+} // namespace svd
+
+#endif // SVD_RACE_LOCKSET_H

@@ -1,0 +1,121 @@
+//===- race/StaleValue.cpp ------------------------------------------------===//
+
+#include "race/StaleValue.h"
+
+using namespace svd;
+using namespace svd::race;
+using detect::Violation;
+using isa::Instruction;
+using vm::EventCtx;
+
+StaleValueDetector::StaleValueDetector(const isa::Program &P) : Prog(P) {
+  Threads.resize(P.numThreads());
+  LastThread.assign(P.MemoryWords, -1);
+  SharedFlag.assign(P.MemoryWords, 0);
+}
+
+bool StaleValueDetector::isSharedSoFar(isa::Addr A, isa::ThreadId Tid) {
+  if (SharedFlag[A])
+    return true;
+  if (LastThread[A] == -1) {
+    LastThread[A] = static_cast<int32_t>(Tid);
+    return false;
+  }
+  if (LastThread[A] == static_cast<int32_t>(Tid))
+    return false;
+  SharedFlag[A] = 1;
+  return true;
+}
+
+void StaleValueDetector::checkUse(const EventCtx &Ctx, isa::Reg R) {
+  if (R == isa::ZeroReg)
+    return;
+  ThreadState &T = Threads[Ctx.Tid];
+  Taint &Tn = T.Regs[R];
+  if (!Tn.Valid)
+    return;
+  // Fresh while the producing critical section is still open.
+  if (T.HeldCount > 0 && Tn.CsInstance == T.CsCounter)
+    return;
+  Violation V;
+  V.Seq = Ctx.Seq;
+  V.Tid = Ctx.Tid;
+  V.Pc = Ctx.Pc;
+  V.OtherTid = Ctx.Tid;
+  V.OtherPc = Tn.LoadPc;
+  V.OtherSeq = Tn.LoadSeq;
+  V.Address = Tn.Address;
+  Reports.push_back(V);
+  // One warning per tainted value; later uses of the same register
+  // would repeat the same message.
+  Tn.Valid = false;
+}
+
+void StaleValueDetector::propagate(const EventCtx &Ctx) {
+  const Instruction &I = *Ctx.Instr;
+  // Arithmetic consumption is a use: warn at the first one.
+  if (isa::readsRa(I.Op))
+    checkUse(Ctx, I.Ra);
+  if (isa::readsRb(I.Op))
+    checkUse(Ctx, I.Rb);
+  if (!isa::writesRd(I.Op) || I.Rd == isa::ZeroReg)
+    return;
+  ThreadState &T = Threads[Ctx.Tid];
+  // Taint still flows through copies made *inside* the producing
+  // critical section (checkUse leaves those alone).
+  Taint Out; // untainted by default (li, tid, rnd, ...)
+  if (isa::readsRa(I.Op) && I.Ra != isa::ZeroReg && T.Regs[I.Ra].Valid)
+    Out = T.Regs[I.Ra];
+  if (isa::readsRb(I.Op) && I.Rb != isa::ZeroReg && T.Regs[I.Rb].Valid)
+    Out = T.Regs[I.Rb];
+  T.Regs[I.Rd] = Out;
+}
+
+void StaleValueDetector::onLoad(const EventCtx &Ctx, isa::Addr A,
+                                isa::Word) {
+  const Instruction &I = *Ctx.Instr;
+  checkUse(Ctx, I.Ra); // stale address
+  ThreadState &T = Threads[Ctx.Tid];
+  bool Shared = isSharedSoFar(A, Ctx.Tid);
+  Taint &Dst = T.Regs[I.Rd];
+  if (I.Rd != isa::ZeroReg) {
+    if (T.HeldCount > 0 && Shared) {
+      Dst.Valid = true;
+      Dst.CsInstance = T.CsCounter;
+      Dst.LoadPc = Ctx.Pc;
+      Dst.LoadSeq = Ctx.Seq;
+      Dst.Address = A;
+    } else {
+      Dst.Valid = false;
+    }
+  }
+}
+
+void StaleValueDetector::onStore(const EventCtx &Ctx, isa::Addr A,
+                                 isa::Word) {
+  const Instruction &I = *Ctx.Instr;
+  checkUse(Ctx, I.Ra); // stale address
+  checkUse(Ctx, I.Rb); // stale data
+  isSharedSoFar(A, Ctx.Tid);
+}
+
+void StaleValueDetector::onAlu(const EventCtx &Ctx) { propagate(Ctx); }
+
+void StaleValueDetector::onBranch(const EventCtx &Ctx, bool, uint32_t) {
+  const Instruction &I = *Ctx.Instr;
+  if (isa::isConditionalBranch(I.Op))
+    checkUse(Ctx, I.Ra); // stale predicate
+}
+
+void StaleValueDetector::onLock(const EventCtx &Ctx, uint32_t) {
+  ThreadState &T = Threads[Ctx.Tid];
+  if (T.HeldCount == 0)
+    ++T.CsCounter;
+  ++T.HeldCount;
+}
+
+void StaleValueDetector::onUnlock(const EventCtx &Ctx, uint32_t) {
+  ThreadState &T = Threads[Ctx.Tid];
+  if (T.HeldCount > 0)
+    --T.HeldCount;
+}

@@ -1,0 +1,90 @@
+//===- race/StaleValue.h - Stale-value detector ------------------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Burrows-Leino stale-value detector [6], implemented as a second
+/// related-work baseline from the paper's Section 8: it "finds where
+/// stale values are used after critical sections have ended, because
+/// this type of program behavior may be an indicator of
+/// timing-dependent bugs."
+///
+/// Mechanics: a register loaded from a *shared* word inside a critical
+/// section carries that critical section's instance id; the taint
+/// flows through copies made inside the section. The first use of a
+/// tainted register (arithmetic, address, stored value, or branch
+/// predicate) after its producing critical section has ended raises a
+/// warning — the value may be stale by then. Unlike SVD, this flags a
+/// *potential* staleness pattern on every execution that exercises the
+/// code, independent of whether the interleaving actually invalidated
+/// the value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_RACE_STALEVALUE_H
+#define SVD_RACE_STALEVALUE_H
+
+#include "isa/Program.h"
+#include "svd/Report.h"
+#include "vm/Observer.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace svd {
+namespace race {
+
+/// Online stale-value detector; attach with Machine::addObserver.
+class StaleValueDetector : public vm::ExecutionObserver {
+public:
+  explicit StaleValueDetector(const isa::Program &P);
+
+  /// Warnings: Tid/Pc is the stale use; OtherPc the protected load that
+  /// produced the value (OtherTid == Tid); Address the word it came
+  /// from.
+  const std::vector<detect::Violation> &reports() const { return Reports; }
+
+  void onLoad(const vm::EventCtx &Ctx, isa::Addr A, isa::Word V) override;
+  void onStore(const vm::EventCtx &Ctx, isa::Addr A, isa::Word V) override;
+  void onAlu(const vm::EventCtx &Ctx) override;
+  void onBranch(const vm::EventCtx &Ctx, bool Taken,
+                uint32_t Target) override;
+  void onLock(const vm::EventCtx &Ctx, uint32_t MutexId) override;
+  void onUnlock(const vm::EventCtx &Ctx, uint32_t MutexId) override;
+
+private:
+  /// Taint carried by a register.
+  struct Taint {
+    bool Valid = false;
+    uint64_t CsInstance = 0; ///< producing critical-section instance
+    uint32_t LoadPc = 0;
+    uint64_t LoadSeq = 0;
+    isa::Addr Address = 0;
+  };
+
+  struct ThreadState {
+    uint32_t HeldCount = 0;
+    uint64_t CsCounter = 0;  ///< outermost critical sections entered
+    std::array<Taint, isa::NumRegs> Regs;
+  };
+
+  /// True when \p A has been touched by more than one thread so far.
+  bool isSharedSoFar(isa::Addr A, isa::ThreadId Tid);
+  /// Checks register \p R of \p Tid for staleness at \p Ctx.
+  void checkUse(const vm::EventCtx &Ctx, isa::Reg R);
+  void propagate(const vm::EventCtx &Ctx);
+
+  const isa::Program &Prog;
+  std::vector<ThreadState> Threads;
+  std::vector<int32_t> LastThread;  ///< per word
+  std::vector<uint8_t> SharedFlag;  ///< per word
+  std::vector<detect::Violation> Reports;
+};
+
+} // namespace race
+} // namespace svd
+
+#endif // SVD_RACE_STALEVALUE_H

@@ -1,0 +1,18 @@
+//===- support/Error.cpp --------------------------------------------------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace svd;
+
+void support::fatalError(const std::string &Msg) {
+  std::fprintf(stderr, "fatal error: %s\n", Msg.c_str());
+  std::abort();
+}
+
+void support::unreachable(const char *Msg, const char *File, int Line) {
+  std::fprintf(stderr, "unreachable executed at %s:%d: %s\n", File, Line, Msg);
+  std::abort();
+}

@@ -1,0 +1,35 @@
+//===- support/Error.h - Fatal errors and unreachable markers ---*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal programmatic-error helpers in the spirit of LLVM's
+/// report_fatal_error / llvm_unreachable. Library code does not use
+/// exceptions; invariant violations abort with a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_SUPPORT_ERROR_H
+#define SVD_SUPPORT_ERROR_H
+
+#include <string>
+
+namespace svd {
+namespace support {
+
+/// Prints "fatal error: <Msg>" to stderr and aborts. Used for invariant
+/// violations that must be diagnosed even in release builds.
+[[noreturn]] void fatalError(const std::string &Msg);
+
+/// Marks a point in code that must never be reached. Aborts with \p Msg.
+[[noreturn]] void unreachable(const char *Msg, const char *File, int Line);
+
+} // namespace support
+} // namespace svd
+
+#define SVD_UNREACHABLE(MSG)                                                   \
+  ::svd::support::unreachable(MSG, __FILE__, __LINE__)
+
+#endif // SVD_SUPPORT_ERROR_H

@@ -1,0 +1,63 @@
+//===- support/Rng.cpp ----------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace svd;
+using namespace svd::support;
+
+uint64_t SplitMix64::next() {
+  State += 0x9E3779B97F4A7C15ULL;
+  uint64_t Z = State;
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+Xoshiro256::Xoshiro256(uint64_t Seed) {
+  SplitMix64 SM(Seed);
+  for (uint64_t &S : State)
+    S = SM.next();
+}
+
+uint64_t Xoshiro256::next() {
+  uint64_t Result = rotl(State[1] * 5, 7) * 9;
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Xoshiro256::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow bound must be nonzero");
+  // Rejection sampling: retry until the draw falls in the largest multiple
+  // of Bound that fits in 64 bits.
+  uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t R = next();
+    if (R >= Threshold)
+      return R % Bound;
+  }
+}
+
+double Xoshiro256::nextDouble() {
+  // 53 high-quality bits into [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Xoshiro256::nextBool(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextDouble() < P;
+}

@@ -1,0 +1,64 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded, deterministic PRNGs. Determinism matters here: the paper's
+/// methodology (Section 6.1) relies on deterministic replay — the thread
+/// interleaving of an execution is a pure function of an initial seed.
+/// We therefore avoid std::mt19937's unspecified-distribution pitfalls and
+/// implement SplitMix64 (for seeding) and xoshiro256** (for streams), whose
+/// outputs are identical on every platform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_SUPPORT_RNG_H
+#define SVD_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace svd {
+namespace support {
+
+/// SplitMix64: tiny, high-quality 64-bit generator, mainly used to expand
+/// a user seed into the larger xoshiro state.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit value.
+  uint64_t next();
+
+private:
+  uint64_t State;
+};
+
+/// xoshiro256**: the workhorse stream generator used by the VM scheduler
+/// and the workload drivers.
+class Xoshiro256 {
+public:
+  explicit Xoshiro256(uint64_t Seed);
+
+  /// Returns the next 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// nonzero. Uses rejection sampling to avoid modulo bias.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble();
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P);
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace support
+} // namespace svd
+
+#endif // SVD_SUPPORT_RNG_H

@@ -1,0 +1,28 @@
+//===- support/Stats.cpp --------------------------------------------------===//
+
+#include "support/Stats.h"
+
+#include <cmath>
+
+using namespace svd;
+using namespace svd::support;
+
+void RunningStat::add(double X) {
+  ++N;
+  Total += X;
+  double Delta = X - Mu;
+  Mu += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mu);
+  if (X < Min)
+    Min = X;
+  if (X > Max)
+    Max = X;
+}
+
+double RunningStat::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }

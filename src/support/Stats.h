@@ -1,0 +1,62 @@
+//===- support/Stats.h - Streaming statistics accumulators ------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small streaming accumulators used by the experiment harness and the
+/// benchmark binaries to aggregate per-sample metrics (Table 2 reports
+/// rates per million instructions averaged over execution segments).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_SUPPORT_STATS_H
+#define SVD_SUPPORT_STATS_H
+
+#include <cstdint>
+#include <limits>
+
+namespace svd {
+namespace support {
+
+/// Streaming min/max/mean/variance accumulator (Welford's algorithm).
+class RunningStat {
+public:
+  /// Adds one observation.
+  void add(double X);
+
+  /// Number of observations added so far.
+  uint64_t count() const { return N; }
+
+  /// Sum of all observations.
+  double sum() const { return Total; }
+
+  /// Mean of the observations; 0 if empty.
+  double mean() const { return N == 0 ? 0.0 : Mu; }
+
+  /// Sample variance; 0 with fewer than two observations.
+  double variance() const;
+
+  /// Sample standard deviation.
+  double stddev() const;
+
+  /// Smallest observation; +inf if empty.
+  double min() const { return Min; }
+
+  /// Largest observation; -inf if empty.
+  double max() const { return Max; }
+
+private:
+  uint64_t N = 0;
+  double Total = 0.0;
+  double Mu = 0.0;
+  double M2 = 0.0;
+  double Min = std::numeric_limits<double>::infinity();
+  double Max = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace support
+} // namespace svd
+
+#endif // SVD_SUPPORT_STATS_H

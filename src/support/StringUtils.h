@@ -1,0 +1,39 @@
+//===- support/StringUtils.h - String helpers -------------------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string plus the handful of string
+/// predicates the assembler's lexer needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_SUPPORT_STRINGUTILS_H
+#define SVD_SUPPORT_STRINGUTILS_H
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace svd {
+namespace support {
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Splits \p S on \p Sep; empty fields are kept.
+std::vector<std::string> splitString(const std::string &S, char Sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string trimString(const std::string &S);
+
+/// Returns true if \p S begins with \p Prefix.
+bool startsWith(const std::string &S, const std::string &Prefix);
+
+} // namespace support
+} // namespace svd
+
+#endif // SVD_SUPPORT_STRINGUTILS_H

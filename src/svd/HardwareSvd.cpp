@@ -1,0 +1,381 @@
+//===- svd/HardwareSvd.cpp ------------------------------------------------===//
+
+#include "svd/HardwareSvd.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace svd;
+using namespace svd::detect;
+using cache::LineId;
+using isa::Addr;
+using isa::Instruction;
+using vm::EventCtx;
+
+HardwareSvd::HardwareSvd(const isa::Program &P, HardwareSvdConfig Cfg)
+    : Prog(P), Cfg(Cfg), Cache(Cfg.Cache) {
+  if (P.numThreads() > Cfg.Cache.NumCpus)
+    support::fatalError("hardware SVD: more threads than CPUs");
+  uint32_t NumLines = Cache.lineOf(P.MemoryWords) + 1;
+  Cpus.resize(Cfg.Cache.NumCpus);
+  for (PerCpu &C : Cpus)
+    C.Lines.resize(NumLines);
+  Cfgs.reserve(P.numThreads());
+  for (const isa::ThreadCode &TC : P.Threads)
+    Cfgs.emplace_back(TC.Code);
+}
+
+HardwareSvd::CuId HardwareSvd::find(PerCpu &C, CuId Id) const {
+  if (Id == NoCu)
+    return NoCu;
+  while (C.Cus[Id].Parent != Id) {
+    C.Cus[Id].Parent = C.Cus[C.Cus[Id].Parent].Parent;
+    Id = C.Cus[Id].Parent;
+  }
+  return Id;
+}
+
+HardwareSvd::CuId HardwareSvd::newCu(PerCpu &C) {
+  CuId Id = static_cast<CuId>(C.Cus.size());
+  C.Cus.push_back(CuData());
+  C.Cus.back().Parent = Id;
+  ++CuCreations;
+  return Id;
+}
+
+HardwareSvd::CuId HardwareSvd::mergeCus(PerCpu &C, CuId A, CuId B) {
+  A = find(C, A);
+  B = find(C, B);
+  if (A == B)
+    return A;
+  if (C.Cus[A].Rs.size() + C.Cus[A].Ws.size() <
+      C.Cus[B].Rs.size() + C.Cus[B].Ws.size())
+    std::swap(A, B);
+  C.Cus[B].Parent = A;
+  C.Cus[A].Rs.insert(C.Cus[B].Rs.begin(), C.Cus[B].Rs.end());
+  C.Cus[A].Ws.insert(C.Cus[B].Ws.begin(), C.Cus[B].Ws.end());
+  if (C.Cus[B].Conflict && !C.Cus[A].Conflict) {
+    C.Cus[A].Conflict = true;
+    C.Cus[A].ConflictTid = C.Cus[B].ConflictTid;
+    C.Cus[A].ConflictPc = C.Cus[B].ConflictPc;
+    C.Cus[A].ConflictSeq = C.Cus[B].ConflictSeq;
+  }
+  C.Cus[B].Rs.clear();
+  C.Cus[B].Ws.clear();
+  ++CuMerges;
+  return A;
+}
+
+std::vector<HardwareSvd::CuId>
+HardwareSvd::liveRoots(PerCpu &C, const std::vector<CuId> &Set) {
+  std::vector<CuId> Out;
+  for (CuId Id : Set) {
+    CuId R = find(C, Id);
+    if (R == NoCu || C.Cus[R].Dead)
+      continue;
+    if (std::find(Out.begin(), Out.end(), R) == Out.end())
+      Out.push_back(R);
+  }
+  return Out;
+}
+
+void HardwareSvd::popControlFrames(PerCpu &C, uint32_t Pc) {
+  while (!C.CtrlStack.empty() && C.CtrlStack.back().ReconvPc == Pc)
+    C.CtrlStack.pop_back();
+}
+
+std::vector<HardwareSvd::CuId> HardwareSvd::controlCuSet(PerCpu &C) {
+  std::vector<CuId> Out;
+  for (const CtrlFrame &F : C.CtrlStack)
+    for (CuId Id : F.CuSet) {
+      CuId R = find(C, Id);
+      if (R == NoCu || C.Cus[R].Dead)
+        continue;
+      if (std::find(Out.begin(), Out.end(), R) == Out.end())
+        Out.push_back(R);
+    }
+  return Out;
+}
+
+void HardwareSvd::checkViolations(PerCpu &C, const EventCtx &Ctx,
+                                  const std::vector<CuId> &CuSet) {
+  for (CuId Id : CuSet) {
+    CuData &CU = C.Cus[Id];
+    if (!CU.Conflict)
+      continue;
+    Violation V;
+    V.Seq = Ctx.Seq;
+    V.Tid = Ctx.Tid;
+    V.Pc = Ctx.Pc;
+    V.OtherTid = CU.ConflictTid;
+    V.OtherPc = CU.ConflictPc;
+    V.OtherSeq = CU.ConflictSeq;
+    // Attribute the first read-set line as the witness word.
+    V.Address = CU.Rs.empty() ? 0
+                              : static_cast<Addr>(*CU.Rs.begin())
+                                    * Cfg.Cache.LineWords;
+    Violations.push_back(V);
+    CU.Conflict = false;
+  }
+}
+
+void HardwareSvd::deactivateCu(PerCpu &C, CuId Id) {
+  Id = find(C, Id);
+  if (Id == NoCu || C.Cus[Id].Dead)
+    return;
+  CuData &CU = C.Cus[Id];
+  CU.Dead = true;
+  ++CuEndings;
+  auto Reset = [&](const std::set<LineId> &Lines) {
+    for (LineId L : Lines) {
+      LineInfo &LI = C.Lines[L];
+      if (find(C, LI.Cu) != Id)
+        continue;
+      LI.State = Fsm::Idle;
+      LI.Cu = NoCu;
+    }
+  };
+  Reset(CU.Rs);
+  Reset(CU.Ws);
+  CU.Rs.clear();
+  CU.Ws.clear();
+  CU.Conflict = false;
+}
+
+void HardwareSvd::emitLog(isa::ThreadId Tid, const LineInfo &LI, LineId L,
+                          uint64_t ReadSeq, uint32_t ReadPc) {
+  if (!Cfg.KeepCuLog || LI.RemoteWritePc == UINT32_MAX)
+    return;
+  CuLogEntry E;
+  E.Seq = ReadSeq;
+  E.Tid = Tid;
+  E.Pc = ReadPc;
+  E.RemoteSeq = LI.RemoteWriteSeq;
+  E.RemoteTid = LI.RemoteWriteTid;
+  E.RemotePc = LI.RemoteWritePc;
+  E.LocalSeq = LI.LocalWriteSeq;
+  E.LocalPc = LI.LocalWritePc;
+  E.Address = static_cast<Addr>(L) * Cfg.Cache.LineWords;
+  CuLog.push_back(E);
+}
+
+void HardwareSvd::handleEviction(uint32_t Cpu, LineId Line) {
+  LineInfo &LI = Cpus[Cpu].Lines[Line];
+  if (LI.State == Fsm::Idle)
+    return;
+  // The metadata travels with the line: gone on eviction. The CU stays
+  // alive (its table entry survives) but loses sight of this line.
+  ++MetadataEvictions;
+  LI = LineInfo();
+}
+
+void HardwareSvd::handleCoherence(uint32_t Cpu, LineId Line,
+                                  bool RemoteIsWrite, const EventCtx &Ctx) {
+  PerCpu &C = Cpus[Cpu];
+  LineInfo &LI = C.Lines[Line];
+  if (LI.State == Fsm::Idle)
+    return;
+
+  if (RemoteIsWrite) {
+    LI.RemoteWriteTid = Ctx.Tid;
+    LI.RemoteWritePc = Ctx.Pc;
+    LI.RemoteWriteSeq = Ctx.Seq;
+  }
+
+  bool LocalWrote = LI.State == Fsm::Stored ||
+                    LI.State == Fsm::StoredShared ||
+                    LI.State == Fsm::TrueDep;
+  if (RemoteIsWrite || LocalWrote) {
+    CuId Id = find(C, LI.Cu);
+    if (Id != NoCu && !C.Cus[Id].Dead) {
+      C.Cus[Id].Conflict = true;
+      C.Cus[Id].ConflictTid = Ctx.Tid;
+      C.Cus[Id].ConflictPc = Ctx.Pc;
+      C.Cus[Id].ConflictSeq = Ctx.Seq;
+    }
+  }
+
+  switch (LI.State) {
+  case Fsm::Loaded:
+    LI.State = Fsm::LoadedShared;
+    break;
+  case Fsm::Stored:
+    LI.State = Fsm::StoredShared;
+    break;
+  case Fsm::TrueDep:
+    if (RemoteIsWrite)
+      emitLog(static_cast<isa::ThreadId>(Cpu), LI, Line, LI.LocalReadSeq,
+              LI.LocalReadPc);
+    deactivateCu(C, LI.Cu);
+    LI.State = Fsm::Idle;
+    LI.Cu = NoCu;
+    break;
+  case Fsm::LoadedShared:
+  case Fsm::StoredShared:
+    break;
+  case Fsm::Idle:
+    SVD_UNREACHABLE("filtered above");
+  }
+}
+
+void HardwareSvd::driveCache(const EventCtx &Ctx, Addr A, bool IsWrite) {
+  cache::AccessResult R = Cache.access(Ctx.Tid, A, IsWrite);
+  if (R.EvictedValid)
+    handleEviction(Ctx.Tid, R.EvictedLine);
+  LineId Line = Cache.lineOf(A);
+  for (uint32_t Cpu : R.Invalidated)
+    handleCoherence(Cpu, Line, IsWrite, Ctx);
+  for (uint32_t Cpu : R.Downgraded)
+    handleCoherence(Cpu, Line, IsWrite, Ctx);
+}
+
+void HardwareSvd::onLoad(const EventCtx &Ctx, Addr A, isa::Word) {
+  PerCpu &C = Cpus[Ctx.Tid];
+  popControlFrames(C, Ctx.Pc);
+  driveCache(Ctx, A, /*IsWrite=*/false);
+  LineId Line = Cache.lineOf(A);
+  LineInfo &LI = C.Lines[Line];
+
+  if (LI.State == Fsm::StoredShared) {
+    if (LI.RemoteWritePc != UINT32_MAX &&
+        LI.RemoteWriteSeq > LI.LocalWriteSeq)
+      emitLog(Ctx.Tid, LI, Line, Ctx.Seq, Ctx.Pc);
+    deactivateCu(C, LI.Cu);
+    LI.State = Fsm::Idle;
+    LI.Cu = NoCu;
+  }
+
+  switch (LI.State) {
+  case Fsm::Idle:
+    LI.State = Fsm::Loaded;
+    break;
+  case Fsm::Stored:
+    LI.State = Fsm::TrueDep;
+    break;
+  default:
+    break;
+  }
+
+  CuId Id = find(C, LI.Cu);
+  if (Id == NoCu || C.Cus[Id].Dead)
+    Id = newCu(C);
+  C.Cus[Id].Rs.insert(Line);
+  LI.Cu = Id;
+  const Instruction &I = *Ctx.Instr;
+  if (I.Rd != isa::ZeroReg) {
+    C.RegSets[I.Rd].clear();
+    C.RegSets[I.Rd].push_back(Id);
+  }
+  LI.LocalReadPc = Ctx.Pc;
+  LI.LocalReadSeq = Ctx.Seq;
+}
+
+void HardwareSvd::onStore(const EventCtx &Ctx, Addr A, isa::Word) {
+  PerCpu &C = Cpus[Ctx.Tid];
+  popControlFrames(C, Ctx.Pc);
+  driveCache(Ctx, A, /*IsWrite=*/true);
+  LineId Line = Cache.lineOf(A);
+  const Instruction &I = *Ctx.Instr;
+
+  std::vector<CuId> DataSet = liveRoots(C, C.RegSets[I.Rb]);
+  std::vector<CuId> CheckSet = DataSet;
+  if (Cfg.UseAddressDeps)
+    for (CuId Id : liveRoots(C, C.RegSets[I.Ra]))
+      if (std::find(CheckSet.begin(), CheckSet.end(), Id) ==
+          CheckSet.end())
+        CheckSet.push_back(Id);
+  if (Cfg.UseControlDeps)
+    for (CuId Id : controlCuSet(C))
+      if (std::find(CheckSet.begin(), CheckSet.end(), Id) ==
+          CheckSet.end())
+        CheckSet.push_back(Id);
+
+  checkViolations(C, Ctx, CheckSet);
+
+  CuId Id;
+  if (DataSet.empty()) {
+    Id = newCu(C);
+  } else {
+    Id = DataSet[0];
+    for (size_t K = 1; K < DataSet.size(); ++K)
+      Id = mergeCus(C, Id, DataSet[K]);
+  }
+  C.Cus[Id].Ws.insert(Line);
+
+  LineInfo &LI = C.Lines[Line];
+  LI.Cu = Id;
+  switch (LI.State) {
+  case Fsm::Idle:
+  case Fsm::Loaded:
+    LI.State = Fsm::Stored;
+    break;
+  case Fsm::LoadedShared:
+    LI.State = Fsm::StoredShared;
+    break;
+  default:
+    break;
+  }
+  LI.LocalWritePc = Ctx.Pc;
+  LI.LocalWriteSeq = Ctx.Seq;
+}
+
+void HardwareSvd::onAlu(const EventCtx &Ctx) {
+  PerCpu &C = Cpus[Ctx.Tid];
+  popControlFrames(C, Ctx.Pc);
+  const Instruction &I = *Ctx.Instr;
+  if (!isa::writesRd(I.Op) || I.Rd == isa::ZeroReg)
+    return;
+  std::vector<CuId> Out;
+  if (isa::readsRa(I.Op) && I.Ra != isa::ZeroReg)
+    Out = C.RegSets[I.Ra];
+  if (isa::readsRb(I.Op) && I.Rb != isa::ZeroReg)
+    for (CuId Id : C.RegSets[I.Rb])
+      if (std::find(Out.begin(), Out.end(), Id) == Out.end())
+        Out.push_back(Id);
+  C.RegSets[I.Rd] = std::move(Out);
+}
+
+void HardwareSvd::onBranch(const EventCtx &Ctx, bool, uint32_t) {
+  PerCpu &C = Cpus[Ctx.Tid];
+  popControlFrames(C, Ctx.Pc);
+  const Instruction &I = *Ctx.Instr;
+  if (!isa::isConditionalBranch(I.Op) || !Cfg.UseControlDeps)
+    return;
+  uint32_t Reconv = Cfg.SkipperReconvergence
+                        ? Cfgs[Ctx.Tid].skipperReconvergence(Ctx.Pc)
+                        : Cfgs[Ctx.Tid].preciseReconvergence(Ctx.Pc);
+  if (Reconv == isa::ThreadCfg::NoNode)
+    return;
+  CtrlFrame F;
+  F.CuSet = liveRoots(C, C.RegSets[I.Ra]);
+  F.ReconvPc = Reconv;
+  if (C.CtrlStack.size() >= Cfg.MaxControlStackDepth)
+    C.CtrlStack.erase(C.CtrlStack.begin());
+  C.CtrlStack.push_back(std::move(F));
+}
+
+void HardwareSvd::onLock(const EventCtx &Ctx, uint32_t) {
+  popControlFrames(Cpus[Ctx.Tid], Ctx.Pc);
+}
+
+void HardwareSvd::onUnlock(const EventCtx &Ctx, uint32_t) {
+  popControlFrames(Cpus[Ctx.Tid], Ctx.Pc);
+}
+
+void HardwareSvd::onThreadFinished(const EventCtx &Ctx) {
+  PerCpu &C = Cpus[Ctx.Tid];
+  C.CtrlStack.clear();
+  for (auto &RS : C.RegSets)
+    RS.clear();
+}
+
+size_t HardwareSvd::metadataBits() const {
+  // Per cache line: 3-bit FSM + 16-bit CU reference.
+  size_t Bits = Cache.totalLines() * (3 + 16);
+  // CU table: assume 256 entries per CPU of (2 x 16-bit set summaries +
+  // conflict bit + 32-bit pc) — a coarse hardware budget.
+  Bits += static_cast<size_t>(Cfg.Cache.NumCpus) * 256 * (16 + 16 + 1 + 32);
+  return Bits;
+}

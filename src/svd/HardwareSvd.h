@@ -1,0 +1,177 @@
+//===- svd/HardwareSvd.h - Cache-based SVD (Section 4.4) --------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hardware SVD design the paper sketches in Section 4.4 and leaves
+/// to future work: "hardware can help SVD infer true and control
+/// dependences if we piggyback CU references propagation to existing
+/// hardware data paths. Second, multiprocessor caches can help store
+/// CUs. Finally, cache coherence protocols can help detect
+/// serializability violations."
+///
+/// This detector realizes that sketch on the cache/CacheSim substrate:
+///
+///  * detector block = cache line; the per-block FSM state and CU
+///    reference live *in the line* — evicting a line loses its
+///    metadata, exactly as finite hardware would (a source of missed
+///    detections the bench/hw_svd experiment quantifies);
+///  * remote accesses are observed through coherence messages: a CPU
+///    learns of a remote write from the invalidation that reaches its
+///    copy and of a remote read from the M/E downgrade — silent remote
+///    reads of Shared lines are invisible, but those are never
+///    conflicts;
+///  * conflict flags are kept per CU in a small CU table (a realistic
+///    SRAM side structure) rather than per word;
+///  * register CU-reference sets and the control-dependence stack are
+///    identical to the software algorithm (the paper piggybacks them on
+///    the register data path).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_SVD_HARDWARESVD_H
+#define SVD_SVD_HARDWARESVD_H
+
+#include "cache/CacheSim.h"
+#include "isa/Cfg.h"
+#include "svd/Report.h"
+#include "vm/Observer.h"
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace svd {
+namespace detect {
+
+/// Configuration of the hardware detector.
+struct HardwareSvdConfig {
+  cache::CacheConfig Cache;
+  /// Use the Skipper probe (true) or precise postdominators (false).
+  bool SkipperReconvergence = true;
+  bool UseAddressDeps = true;
+  bool UseControlDeps = true;
+  bool KeepCuLog = true;
+  size_t MaxControlStackDepth = 256;
+};
+
+/// Cache-based online SVD; attach with Machine::addObserver. Threads
+/// are approximated by processors (Section 4.3), so the program must
+/// have at most Cache.NumCpus threads.
+class HardwareSvd : public vm::ExecutionObserver {
+public:
+  HardwareSvd(const isa::Program &P,
+              HardwareSvdConfig Cfg = HardwareSvdConfig());
+
+  const std::vector<Violation> &violations() const { return Violations; }
+  const std::vector<CuLogEntry> &cuLog() const { return CuLog; }
+  uint64_t numCusFormed() const { return CuCreations - CuMerges; }
+  uint64_t numCusEnded() const { return CuEndings; }
+  /// Lines whose detector metadata was lost to capacity evictions —
+  /// the hardware design's intrinsic detection gap.
+  uint64_t metadataEvictions() const { return MetadataEvictions; }
+  const cache::CacheStats &cacheStats() const { return Cache.stats(); }
+  /// Extra state a hardware implementation would add, in bits: per
+  /// cache line (3-bit FSM + CU reference) plus the CU table.
+  size_t metadataBits() const;
+
+  void onLoad(const vm::EventCtx &Ctx, isa::Addr A, isa::Word V) override;
+  void onStore(const vm::EventCtx &Ctx, isa::Addr A, isa::Word V) override;
+  void onAlu(const vm::EventCtx &Ctx) override;
+  void onBranch(const vm::EventCtx &Ctx, bool Taken,
+                uint32_t Target) override;
+  void onLock(const vm::EventCtx &Ctx, uint32_t MutexId) override;
+  void onUnlock(const vm::EventCtx &Ctx, uint32_t MutexId) override;
+  void onThreadFinished(const vm::EventCtx &Ctx) override;
+
+private:
+  using CuId = uint32_t;
+  using LineId = cache::LineId;
+  static constexpr CuId NoCu = UINT32_MAX;
+
+  enum class Fsm : uint8_t {
+    Idle,
+    Loaded,
+    Stored,
+    LoadedShared,
+    StoredShared,
+    TrueDep,
+  };
+
+  /// CU-table entry: block sets plus the per-CU conflict summary.
+  struct CuData {
+    CuId Parent = 0;
+    bool Dead = false;
+    std::set<LineId> Rs;
+    std::set<LineId> Ws;
+    bool Conflict = false;
+    isa::ThreadId ConflictTid = 0;
+    uint32_t ConflictPc = 0;
+    uint64_t ConflictSeq = 0;
+  };
+
+  /// Per-line metadata as held in the cache line.
+  struct LineInfo {
+    Fsm State = Fsm::Idle;
+    CuId Cu = NoCu;
+    uint32_t LocalWritePc = UINT32_MAX;
+    uint64_t LocalWriteSeq = 0;
+    uint32_t LocalReadPc = UINT32_MAX;
+    uint64_t LocalReadSeq = 0;
+    isa::ThreadId RemoteWriteTid = 0;
+    uint32_t RemoteWritePc = UINT32_MAX;
+    uint64_t RemoteWriteSeq = 0;
+  };
+
+  struct CtrlFrame {
+    std::vector<CuId> CuSet;
+    uint32_t ReconvPc;
+  };
+
+  struct PerCpu {
+    std::vector<CuData> Cus;
+    std::vector<LineInfo> Lines;
+    std::array<std::vector<CuId>, isa::NumRegs> RegSets;
+    std::vector<CtrlFrame> CtrlStack;
+  };
+
+  CuId find(PerCpu &C, CuId Id) const;
+  CuId newCu(PerCpu &C);
+  CuId mergeCus(PerCpu &C, CuId A, CuId B);
+  std::vector<CuId> liveRoots(PerCpu &C, const std::vector<CuId> &Set);
+  void popControlFrames(PerCpu &C, uint32_t Pc);
+  std::vector<CuId> controlCuSet(PerCpu &C);
+  void checkViolations(PerCpu &C, const vm::EventCtx &Ctx,
+                       const std::vector<CuId> &CuSet);
+  void deactivateCu(PerCpu &C, CuId Id);
+  void emitLog(isa::ThreadId Tid, const LineInfo &LI, LineId L,
+               uint64_t ReadSeq, uint32_t ReadPc);
+  /// Processes a coherence message reaching \p Cpu about \p Line.
+  void handleCoherence(uint32_t Cpu, LineId Line, bool RemoteIsWrite,
+                       const vm::EventCtx &Ctx);
+  /// The line was evicted from \p Cpu: its metadata is gone.
+  void handleEviction(uint32_t Cpu, LineId Line);
+  /// Drives the cache and dispatches coherence/eviction effects.
+  void driveCache(const vm::EventCtx &Ctx, isa::Addr A, bool IsWrite);
+
+  const isa::Program &Prog;
+  HardwareSvdConfig Cfg;
+  cache::CacheSim Cache;
+  std::vector<PerCpu> Cpus;
+  std::vector<isa::ThreadCfg> Cfgs;
+
+  std::vector<Violation> Violations;
+  std::vector<CuLogEntry> CuLog;
+  uint64_t CuCreations = 0;
+  uint64_t CuMerges = 0;
+  uint64_t CuEndings = 0;
+  uint64_t MetadataEvictions = 0;
+};
+
+} // namespace detect
+} // namespace svd
+
+#endif // SVD_SVD_HARDWARESVD_H

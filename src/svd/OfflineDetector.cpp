@@ -1,0 +1,76 @@
+//===- svd/OfflineDetector.cpp --------------------------------------------===//
+
+#include "svd/OfflineDetector.h"
+
+#include "pdg/Pdg.h"
+
+using namespace svd;
+using namespace svd::detect;
+using cu::CuPartition;
+using trace::EventKind;
+using trace::ProgramTrace;
+using trace::TraceEvent;
+
+std::vector<Violation> detect::detectOffline(const ProgramTrace &T,
+                                             const CuPartition &CUs) {
+  std::vector<Violation> Out;
+
+  // Per word: the memory accesses whose owning CU has not yet finished.
+  // An entry stays relevant while its CU's EndSeq exceeds the scanner's
+  // position; stale entries are pruned on touch.
+  struct OpenAccess {
+    uint32_t Event;
+    uint64_t CuEndSeq;
+    bool IsWrite;
+  };
+  std::vector<std::vector<OpenAccess>> Open(T.program().MemoryWords);
+
+  for (uint32_t E = 0; E < T.size(); ++E) {
+    const TraceEvent &Ev = T[E];
+    if (!Ev.isMemory())
+      continue;
+    bool IsWrite = Ev.Kind == EventKind::Store;
+    std::vector<OpenAccess> &Slot = Open[Ev.Address];
+
+    // Prune accesses whose CU already finished (cu.maxSeqId <= s.seqId
+    // fails Figure 6's "cu.maxSeqId > s.seqId" condition).
+    size_t Keep = 0;
+    for (size_t I = 0; I < Slot.size(); ++I)
+      if (Slot[I].CuEndSeq > Ev.Seq)
+        Slot[Keep++] = Slot[I];
+    Slot.resize(Keep);
+
+    // Report conflicts against other threads' unfinished CUs.
+    for (const OpenAccess &A : Slot) {
+      const TraceEvent &Prev = T[A.Event];
+      if (Prev.Tid == Ev.Tid)
+        continue;
+      if (!IsWrite && !A.IsWrite)
+        continue; // read-read never conflicts
+      Violation V;
+      V.Seq = Ev.Seq;
+      V.Tid = Ev.Tid;
+      V.Pc = Ev.Pc;
+      V.OtherTid = Prev.Tid;
+      V.OtherPc = Prev.Pc;
+      V.Address = Ev.Address;
+      Out.push_back(V);
+    }
+
+    // This access joins its own CU's open window.
+    uint32_t Unit = CUs.unitOf(E);
+    if (Unit != CuPartition::NoUnit) {
+      uint64_t End = CUs.units()[Unit].EndSeq;
+      if (End > Ev.Seq)
+        Slot.push_back({E, End, IsWrite});
+    }
+  }
+  return Out;
+}
+
+std::vector<Violation>
+detect::detectOfflineFromTrace(const ProgramTrace &T) {
+  pdg::DynamicPdg G = pdg::DynamicPdg::build(T);
+  CuPartition CUs = CuPartition::compute(T, G);
+  return detectOffline(T, CUs);
+}

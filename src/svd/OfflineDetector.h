@@ -1,0 +1,43 @@
+//===- svd/OfflineDetector.h - Figure 6 offline algorithm -------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offline, multi-pass serializability-violation detector of Section
+/// 4.1. Pass 1 is the CU computation (cu/CuPartition.h, Figure 5); pass 2
+/// assigns the total order and records where each CU finishes (the trace
+/// already carries sequence numbers, and CuPartition records EndSeq);
+/// pass 3 (this file, Figure 6) scans the total order and reports a
+/// strict-2PL violation whenever a statement conflicts with a statement
+/// of another thread's still-unfinished CU.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_SVD_OFFLINEDETECTOR_H
+#define SVD_SVD_OFFLINEDETECTOR_H
+
+#include "cu/CuPartition.h"
+#include "svd/Report.h"
+#include "trace/Trace.h"
+
+#include <vector>
+
+namespace svd {
+namespace detect {
+
+/// Runs pass 3 of the offline algorithm over \p T with the CUs in \p CUs.
+/// Returns the strict-2PL violations in detection order.
+std::vector<Violation> detectOffline(const trace::ProgramTrace &T,
+                                     const cu::CuPartition &CUs);
+
+/// Convenience running the whole offline pipeline: builds the d-PDG of
+/// \p T, computes CUs (Figure 5), and runs the strict-2PL scan (Figure 6).
+std::vector<Violation>
+detectOfflineFromTrace(const trace::ProgramTrace &T);
+
+} // namespace detect
+} // namespace svd
+
+#endif // SVD_SVD_OFFLINEDETECTOR_H

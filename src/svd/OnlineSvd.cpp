@@ -1,0 +1,439 @@
+//===- svd/OnlineSvd.cpp --------------------------------------------------===//
+
+#include "svd/OnlineSvd.h"
+
+#include "support/Error.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace svd;
+using namespace svd::detect;
+using isa::Addr;
+using isa::Instruction;
+using isa::Opcode;
+using isa::ThreadId;
+using vm::EventCtx;
+
+OnlineSvd::OnlineSvd(const isa::Program &P, OnlineSvdConfig Cfg)
+    : Prog(P), Cfg(Cfg) {
+  NumBlocks = (P.MemoryWords >> Cfg.BlockShift) + 1;
+  uint32_t Lanes = Cfg.NumCpus != 0 ? Cfg.NumCpus : P.numThreads();
+  Threads.resize(Lanes);
+  for (PerThread &T : Threads)
+    T.Blocks.resize(NumBlocks);
+  Cfgs.reserve(P.numThreads());
+  for (const isa::ThreadCode &TC : P.Threads)
+    Cfgs.emplace_back(TC.Code);
+  Trackers.assign(NumBlocks, 0);
+}
+
+OnlineSvd::CuId OnlineSvd::find(PerThread &T, CuId C) const {
+  if (C == NoCu)
+    return NoCu;
+  while (T.Cus[C].Parent != C) {
+    T.Cus[C].Parent = T.Cus[T.Cus[C].Parent].Parent;
+    C = T.Cus[C].Parent;
+  }
+  return C;
+}
+
+OnlineSvd::CuId OnlineSvd::newCu(PerThread &T) {
+  CuId C = static_cast<CuId>(T.Cus.size());
+  T.Cus.push_back(CuData());
+  T.Cus.back().Parent = C;
+  ++CuCreations;
+  return C;
+}
+
+OnlineSvd::CuId OnlineSvd::mergeCus(PerThread &T, CuId A, CuId B) {
+  A = find(T, A);
+  B = find(T, B);
+  if (A == B)
+    return A;
+  assert(!T.Cus[A].Dead && !T.Cus[B].Dead && "merging a dead CU");
+  // Union by block-set size to bound copying.
+  if (T.Cus[A].Rs.size() + T.Cus[A].Ws.size() <
+      T.Cus[B].Rs.size() + T.Cus[B].Ws.size())
+    std::swap(A, B);
+  T.Cus[B].Parent = A;
+  T.Cus[A].Rs.insert(T.Cus[B].Rs.begin(), T.Cus[B].Rs.end());
+  T.Cus[A].Ws.insert(T.Cus[B].Ws.begin(), T.Cus[B].Ws.end());
+  T.Cus[B].Rs.clear();
+  T.Cus[B].Ws.clear();
+  ++CuMerges;
+  return A;
+}
+
+std::vector<OnlineSvd::CuId>
+OnlineSvd::liveRoots(PerThread &T, const std::vector<CuId> &Set) {
+  std::vector<CuId> Out;
+  for (CuId C : Set) {
+    CuId R = find(T, C);
+    if (R == NoCu || T.Cus[R].Dead)
+      continue;
+    if (std::find(Out.begin(), Out.end(), R) == Out.end())
+      Out.push_back(R);
+  }
+  return Out;
+}
+
+void OnlineSvd::popControlFrames(PerThread &T, uint32_t Pc) {
+  while (!T.CtrlStack.empty() && T.CtrlStack.back().ReconvPc == Pc)
+    T.CtrlStack.pop_back();
+}
+
+std::vector<OnlineSvd::CuId> OnlineSvd::controlCuSet(PerThread &T) {
+  // ctrl_dep_from_stack(): aggregate every frame's cuSet.
+  std::vector<CuId> Out;
+  for (const CtrlFrame &F : T.CtrlStack)
+    for (CuId C : F.CuSet) {
+      CuId R = find(T, C);
+      if (R == NoCu || T.Cus[R].Dead)
+        continue;
+      if (std::find(Out.begin(), Out.end(), R) == Out.end())
+        Out.push_back(R);
+    }
+  return Out;
+}
+
+void OnlineSvd::checkViolations(PerThread &T, const EventCtx &Ctx,
+                                const std::vector<CuId> &CuSet) {
+  for (CuId C : CuSet) {
+    const CuData &CU = T.Cus[C];
+    auto CheckBlocks = [&](const std::set<BlockId> &Blocks) {
+      for (BlockId B : Blocks) {
+        BlockInfo &BI = T.Blocks[B];
+        if (!BI.Conflict)
+          continue;
+        Violation V;
+        V.Seq = Ctx.Seq;
+        V.Tid = Ctx.Tid;
+        V.Pc = Ctx.Pc;
+        V.OtherTid = BI.ConflictTid;
+        V.OtherPc = BI.ConflictPc;
+        V.OtherSeq = BI.ConflictSeq;
+        V.Address = static_cast<Addr>(B) << Cfg.BlockShift;
+        Violations.push_back(V);
+        // One dynamic report per conflict occurrence.
+        BI.Conflict = false;
+      }
+    };
+    CheckBlocks(CU.Rs);
+    if (!Cfg.CheckInputBlocksOnly)
+      CheckBlocks(CU.Ws);
+  }
+}
+
+void OnlineSvd::deactivateCu(PerThread &T, ThreadId Tid, CuId C) {
+  C = find(T, C);
+  if (C == NoCu || T.Cus[C].Dead)
+    return;
+  CuData &CU = T.Cus[C];
+  CU.Dead = true;
+  ++CuEndings;
+  auto ResetBlocks = [&](const std::set<BlockId> &Blocks) {
+    for (BlockId B : Blocks) {
+      BlockInfo &BI = T.Blocks[B];
+      // A block may have been handed to a newer CU already; leave those.
+      if (find(T, BI.Cu) != C)
+        continue;
+      BI.State = Fsm::Idle;
+      BI.Cu = NoCu;
+      BI.Conflict = false;
+      Trackers[B] &= ~(uint64_t(1) << (Tid % 64));
+    }
+  };
+  ResetBlocks(CU.Rs);
+  ResetBlocks(CU.Ws);
+  CU.Rs.clear();
+  CU.Ws.clear();
+}
+
+void OnlineSvd::emitLog(const EventCtx &S, const BlockInfo &BI, BlockId B,
+                        uint64_t ReadSeqOverride,
+                        uint32_t ReadPcOverride) {
+  if (!Cfg.KeepCuLog)
+    return;
+  if (BI.RemoteWritePc == UINT32_MAX)
+    return; // no remote write: nothing was overwritten
+  CuLogEntry E;
+  if (ReadPcOverride != UINT32_MAX) {
+    E.Seq = ReadSeqOverride;
+    E.Pc = ReadPcOverride;
+  } else {
+    E.Seq = S.Seq;
+    E.Pc = S.Pc;
+  }
+  E.Tid = S.Tid;
+  E.RemoteSeq = BI.RemoteWriteSeq;
+  E.RemoteTid = BI.RemoteWriteTid;
+  E.RemotePc = BI.RemoteWritePc;
+  E.LocalSeq = BI.LocalWriteSeq;
+  E.LocalPc = BI.LocalWritePc;
+  E.Address = static_cast<Addr>(B) << Cfg.BlockShift;
+  CuLog.push_back(E);
+}
+
+void OnlineSvd::handleRemote(ThreadId Tid, BlockId B, bool IsWrite,
+                             const EventCtx &Ctx) {
+  PerThread &T = Threads[Tid];
+  BlockInfo &BI = T.Blocks[B];
+  if (BI.State == Fsm::Idle)
+    return;
+
+  if (IsWrite) {
+    BI.RemoteWriteTid = Ctx.Tid;
+    BI.RemoteWritePc = Ctx.Pc;
+    BI.RemoteWriteSeq = Ctx.Seq;
+  }
+
+  // Conflict iff the remote access is a write, or this thread wrote the
+  // block (remote read vs. local write).
+  bool LocalWrote = BI.State == Fsm::Stored || BI.State == Fsm::StoredShared ||
+                    BI.State == Fsm::TrueDep;
+  if (IsWrite || LocalWrote) {
+    BI.Conflict = true;
+    BI.ConflictTid = Ctx.Tid;
+    BI.ConflictPc = Ctx.Pc;
+    BI.ConflictSeq = Ctx.Seq;
+  }
+
+  switch (BI.State) {
+  case Fsm::Loaded:
+    BI.State = Fsm::LoadedShared;
+    break;
+  case Fsm::Stored:
+    BI.State = Fsm::StoredShared;
+    break;
+  case Fsm::TrueDep:
+    // Figure 7 line 30-31: a consumed local RAW turned out to be on a
+    // shared word — the CU ends; log the (s, rw, lw) triple using the
+    // recorded local read.
+    if (IsWrite) {
+      EventCtx Local;
+      Local.Tid = Tid;
+      emitLog(Local, BI, B, BI.LocalReadSeq, BI.LocalReadPc);
+    }
+    deactivateCu(T, Tid, BI.Cu);
+    BI.State = Fsm::Idle;
+    BI.Cu = NoCu;
+    BI.Conflict = false;
+    break;
+  case Fsm::LoadedShared:
+  case Fsm::StoredShared:
+    break;
+  case Fsm::Idle:
+    SVD_UNREACHABLE("filtered above");
+  }
+}
+
+void OnlineSvd::broadcastRemote(const EventCtx &Ctx, BlockId B,
+                                bool IsWrite) {
+  uint64_t Mask = Trackers[B];
+  if (Threads.size() <= 64) {
+    Mask &= ~(uint64_t(1) << laneOf(Ctx));
+    while (Mask) {
+      unsigned Tid = static_cast<unsigned>(__builtin_ctzll(Mask));
+      Mask &= Mask - 1;
+      handleRemote(Tid, B, IsWrite, Ctx);
+    }
+    return;
+  }
+  // Fallback for very wide machines: scan.
+  for (uint32_t Lane = 0; Lane < Threads.size(); ++Lane)
+    if (Lane != laneOf(Ctx) && Threads[Lane].Blocks[B].State != Fsm::Idle)
+      handleRemote(Lane, B, IsWrite, Ctx);
+}
+
+void OnlineSvd::onLoad(const EventCtx &Ctx, Addr A, isa::Word) {
+  ++Events;
+  PerThread &T = Threads[laneOf(Ctx)];
+  popControlFrames(T, Ctx.Pc);
+  BlockId B = blockOf(A);
+  BlockInfo &BI = T.Blocks[B];
+
+  // Shared dependence: a load on a Stored_Shared block ends the CU
+  // (Figure 7 lines 5-6) and feeds the a-posteriori log if a remote
+  // write intervened after the local one.
+  if (BI.State == Fsm::StoredShared) {
+    if (BI.RemoteWritePc != UINT32_MAX &&
+        BI.RemoteWriteSeq > BI.LocalWriteSeq)
+      emitLog(Ctx, BI, B);
+    deactivateCu(T, laneOf(Ctx), BI.Cu);
+    // The deactivation resets every block the CU still owns; make this
+    // block's reset unconditional in case it was handed to a newer CU.
+    BI.State = Fsm::Idle;
+    BI.Cu = NoCu;
+    BI.Conflict = false;
+  }
+
+  // FSM transition for the local load.
+  switch (BI.State) {
+  case Fsm::Idle:
+    BI.State = Fsm::Loaded;
+    break;
+  case Fsm::Stored:
+    BI.State = Fsm::TrueDep;
+    break;
+  case Fsm::Loaded:
+  case Fsm::LoadedShared:
+  case Fsm::TrueDep:
+    break;
+  case Fsm::StoredShared:
+    SVD_UNREACHABLE("reset to Idle above");
+  }
+
+  // Join the block's CU (creating one for fresh blocks), tag the
+  // destination register (Figure 7 lines 7-8).
+  CuId C = find(T, BI.Cu);
+  if (C == NoCu || T.Cus[C].Dead)
+    C = newCu(T);
+  T.Cus[C].Rs.insert(B);
+  BI.Cu = C;
+  const Instruction &I = *Ctx.Instr;
+  if (I.Rd != isa::ZeroReg) {
+    T.RegSets[I.Rd].clear();
+    T.RegSets[I.Rd].push_back(C);
+  }
+
+  BI.LocalReadPc = Ctx.Pc;
+  BI.LocalReadSeq = Ctx.Seq;
+  Trackers[B] |= uint64_t(1) << (laneOf(Ctx) % 64);
+
+  broadcastRemote(Ctx, B, /*IsWrite=*/false);
+}
+
+void OnlineSvd::onStore(const EventCtx &Ctx, Addr A, isa::Word) {
+  ++Events;
+  PerThread &T = Threads[laneOf(Ctx)];
+  popControlFrames(T, Ctx.Pc);
+  BlockId B = blockOf(A);
+  const Instruction &I = *Ctx.Instr;
+
+  // Gather the data, address, and control CU sets (Figure 7 lines 15-17).
+  std::vector<CuId> DataSet = liveRoots(T, T.RegSets[I.Rb]);
+  std::vector<CuId> CheckSet = DataSet;
+  if (Cfg.UseAddressDeps)
+    for (CuId C : liveRoots(T, T.RegSets[I.Ra]))
+      if (std::find(CheckSet.begin(), CheckSet.end(), C) == CheckSet.end())
+        CheckSet.push_back(C);
+  if (Cfg.UseControlDeps)
+    for (CuId C : controlCuSet(T))
+      if (std::find(CheckSet.begin(), CheckSet.end(), C) == CheckSet.end())
+        CheckSet.push_back(C);
+
+  // Strict-2PL check (line 18).
+  checkViolations(T, Ctx, CheckSet);
+
+  // merge_and_update over the data CU set only (lines 20-21; Section 4.3:
+  // CUs are connected via true dependences only).
+  CuId C;
+  if (DataSet.empty()) {
+    C = newCu(T);
+  } else {
+    C = DataSet[0];
+    for (size_t Idx = 1; Idx < DataSet.size(); ++Idx)
+      C = mergeCus(T, C, DataSet[Idx]);
+  }
+  T.Cus[C].Ws.insert(B);
+
+  BlockInfo &BI = T.Blocks[B];
+  BI.Cu = C;
+  switch (BI.State) {
+  case Fsm::Idle:
+  case Fsm::Loaded:
+    BI.State = Fsm::Stored;
+    break;
+  case Fsm::LoadedShared:
+    BI.State = Fsm::StoredShared;
+    break;
+  case Fsm::Stored:
+  case Fsm::StoredShared:
+  case Fsm::TrueDep:
+    break; // overwriting keeps the stronger state
+  }
+  BI.LocalWritePc = Ctx.Pc;
+  BI.LocalWriteSeq = Ctx.Seq;
+  Trackers[B] |= uint64_t(1) << (laneOf(Ctx) % 64);
+
+  broadcastRemote(Ctx, B, /*IsWrite=*/true);
+}
+
+void OnlineSvd::onAlu(const EventCtx &Ctx) {
+  ++Events;
+  PerThread &T = Threads[laneOf(Ctx)];
+  popControlFrames(T, Ctx.Pc);
+  const Instruction &I = *Ctx.Instr;
+  if (!isa::writesRd(I.Op) || I.Rd == isa::ZeroReg)
+    return;
+
+  // destR.cuSet := union of the source registers' cuSets (lines 10-12).
+  std::vector<CuId> Out;
+  if (isa::readsRa(I.Op) && I.Ra != isa::ZeroReg)
+    Out = T.RegSets[I.Ra];
+  if (isa::readsRb(I.Op) && I.Rb != isa::ZeroReg)
+    for (CuId C : T.RegSets[I.Rb])
+      if (std::find(Out.begin(), Out.end(), C) == Out.end())
+        Out.push_back(C);
+  T.RegSets[I.Rd] = std::move(Out);
+}
+
+void OnlineSvd::onBranch(const EventCtx &Ctx, bool, uint32_t) {
+  ++Events;
+  PerThread &T = Threads[laneOf(Ctx)];
+  popControlFrames(T, Ctx.Pc);
+  const Instruction &I = *Ctx.Instr;
+  if (!isa::isConditionalBranch(I.Op) || !Cfg.UseControlDeps)
+    return;
+
+  uint32_t Reconv =
+      Cfg.Reconv == OnlineSvdConfig::ReconvPolicy::Skipper
+          ? Cfgs[Ctx.Tid].skipperReconvergence(Ctx.Pc)
+          : Cfgs[Ctx.Tid].preciseReconvergence(Ctx.Pc);
+  if (Reconv == isa::ThreadCfg::NoNode)
+    return;
+
+  CtrlFrame F;
+  F.CuSet = liveRoots(T, T.RegSets[I.Ra]);
+  F.ReconvPc = Reconv;
+  if (T.CtrlStack.size() >= Cfg.MaxControlStackDepth)
+    T.CtrlStack.erase(T.CtrlStack.begin());
+  T.CtrlStack.push_back(std::move(F));
+}
+
+void OnlineSvd::onLock(const EventCtx &Ctx, uint32_t) {
+  // Synchronization is invisible to SVD by design; only the pc advances.
+  ++Events;
+  popControlFrames(Threads[laneOf(Ctx)], Ctx.Pc);
+}
+
+void OnlineSvd::onUnlock(const EventCtx &Ctx, uint32_t) {
+  ++Events;
+  popControlFrames(Threads[laneOf(Ctx)], Ctx.Pc);
+}
+
+void OnlineSvd::onThreadFinished(const EventCtx &Ctx) {
+  PerThread &T = Threads[laneOf(Ctx)];
+  T.CtrlStack.clear();
+  for (auto &RS : T.RegSets)
+    RS.clear();
+}
+
+size_t OnlineSvd::approxMemoryBytes() const {
+  size_t Bytes = 0;
+  for (const PerThread &T : Threads) {
+    Bytes += T.Blocks.capacity() * sizeof(BlockInfo);
+    Bytes += T.Cus.capacity() * sizeof(CuData);
+    for (const CuData &C : T.Cus)
+      Bytes += (C.Rs.size() + C.Ws.size()) * 48; // rough rb-tree node cost
+    for (const auto &RS : T.RegSets)
+      Bytes += RS.capacity() * sizeof(CuId);
+    for (const CtrlFrame &F : T.CtrlStack)
+      Bytes += sizeof(CtrlFrame) + F.CuSet.capacity() * sizeof(CuId);
+  }
+  Bytes += Trackers.capacity() * sizeof(uint64_t);
+  Bytes += Violations.capacity() * sizeof(Violation);
+  Bytes += CuLog.capacity() * sizeof(CuLogEntry);
+  return Bytes;
+}

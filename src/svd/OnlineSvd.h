@@ -1,0 +1,240 @@
+//===- svd/OnlineSvd.h - Online serializability violation detector -*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The online, one-pass SVD algorithm of Section 4.2 (Figures 7 and 8).
+/// OnlineSvd observes a Machine's event stream and, per thread:
+///
+///  * infers true dependences by propagating CU references through
+///    registers (loads tag registers, ALU ops union tags, stores merge
+///    the tagged CUs — `merge_and_update`);
+///  * infers partial control dependences with a stack of (cuSet,
+///    reconvergence point) frames — the Skipper heuristic, or precisely
+///    via immediate postdominators (ablation);
+///  * infers shared blocks with the per-(thread, block) finite state
+///    machine of Figure 8, ending a CU when a shared dependence is
+///    detected (load on Stored_Shared, or remote access on True_Dep);
+///  * checks strict-2PL at every store over the input blocks of the CUs
+///    the store is data-, address-, or control-dependent on, reporting a
+///    serializability violation when a conflicting remote access hit one
+///    of those blocks before the CU ended;
+///  * emits the a-posteriori CU log of Section 2.3 when CUs end on
+///    shared dependences.
+///
+/// Reconstructed FSM transitions (Figure 8 names the states only):
+/// \verbatim
+///   Idle --load--> Loaded          Idle --store--> Stored
+///   Loaded --store--> Stored       Loaded --remote--> Loaded_Shared
+///   Stored --local load--> True_Dep  Stored --remote--> Stored_Shared
+///   Loaded_Shared --store--> Stored_Shared
+///   Stored_Shared --local load--> [end CU] -> Idle (then load => Loaded)
+///   True_Dep --remote--> [end CU] -> Idle
+/// \endverbatim
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_SVD_ONLINESVD_H
+#define SVD_SVD_ONLINESVD_H
+
+#include "isa/Cfg.h"
+#include "isa/Program.h"
+#include "svd/Report.h"
+#include "vm/Observer.h"
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+namespace svd {
+namespace detect {
+
+/// Tunables of the online detector. Defaults reproduce the paper's
+/// configuration; the ablation bench flips them individually.
+struct OnlineSvdConfig {
+  /// Control-flow reconvergence policy for the control-dependence stack.
+  enum class ReconvPolicy : uint8_t {
+    Skipper, ///< the paper's probe heuristic (if / if-else only)
+    Precise, ///< immediate postdominators from the static CFG
+  };
+  ReconvPolicy Reconv = ReconvPolicy::Skipper;
+
+  /// Check only a CU's input blocks (CU_T.rs) for conflicts — the
+  /// Section 4.3 heuristic. When false, write sets are checked too.
+  bool CheckInputBlocksOnly = true;
+
+  /// Include address dependences (addrCuSet) in the store-time check.
+  bool UseAddressDeps = true;
+
+  /// Include control dependences (ctrlCuSet) in the store-time check.
+  bool UseControlDeps = true;
+
+  /// Detector block granularity: block id = word address >> BlockShift.
+  /// 0 reproduces the paper's word-size blocks (Section 6.2); larger
+  /// values introduce false sharing (ablation).
+  uint32_t BlockShift = 0;
+
+  /// Record the a-posteriori CU log (Section 2.3).
+  bool KeepCuLog = true;
+
+  /// Safety bound on the control-dependence stack; the oldest frame is
+  /// dropped beyond it (irreducible or unlucky control flow).
+  size_t MaxControlStackDepth = 256;
+
+  /// 0 keys detector state by thread (ideal). A nonzero value
+  /// reproduces the paper's Section 4.3 deployment — "SVD approximates
+  /// threads with processors" — by keying all per-thread state on
+  /// EventCtx::Cpu instead; must match MachineConfig::NumCpus. With
+  /// migration or CPU sharing, distinct threads' streams then blend in
+  /// one state lane, the approximation error bench/migration_study
+  /// quantifies.
+  uint32_t NumCpus = 0;
+};
+
+/// The online detector; attach with Machine::addObserver.
+class OnlineSvd : public vm::ExecutionObserver {
+public:
+  OnlineSvd(const isa::Program &P, OnlineSvdConfig Cfg = OnlineSvdConfig());
+
+  /// Dynamic serializability-violation reports, in detection order.
+  const std::vector<Violation> &violations() const { return Violations; }
+
+  /// The a-posteriori CU log (empty when disabled).
+  const std::vector<CuLogEntry> &cuLog() const { return CuLog; }
+
+  /// Number of CUs formed over the run (ended plus still-open ones);
+  /// Table 2's "Computational Units" column.
+  uint64_t numCusFormed() const { return CuCreations - CuMerges; }
+
+  /// Number of CUs ended by shared dependences.
+  uint64_t numCusEnded() const { return CuEndings; }
+
+  /// Dynamic events observed (the per-million-instruction denominator).
+  uint64_t eventsObserved() const { return Events; }
+
+  /// Rough accounting of detector memory (Section 7.3's space overhead).
+  size_t approxMemoryBytes() const;
+
+  // --- ExecutionObserver ----------------------------------------------
+  void onLoad(const vm::EventCtx &Ctx, isa::Addr A, isa::Word V) override;
+  void onStore(const vm::EventCtx &Ctx, isa::Addr A, isa::Word V) override;
+  void onAlu(const vm::EventCtx &Ctx) override;
+  void onBranch(const vm::EventCtx &Ctx, bool Taken,
+                uint32_t Target) override;
+  void onLock(const vm::EventCtx &Ctx, uint32_t MutexId) override;
+  void onUnlock(const vm::EventCtx &Ctx, uint32_t MutexId) override;
+  void onThreadFinished(const vm::EventCtx &Ctx) override;
+
+private:
+  using BlockId = uint32_t;
+  using CuId = uint32_t;
+  static constexpr CuId NoCu = UINT32_MAX;
+
+  /// Figure 8's FSM_STATE.
+  enum class Fsm : uint8_t {
+    Idle,
+    Loaded,
+    Stored,
+    LoadedShared,
+    StoredShared,
+    TrueDep,
+  };
+
+  /// CU_T: read/write block sets plus union-find linkage.
+  struct CuData {
+    CuId Parent = 0;
+    bool Dead = false;
+    std::set<BlockId> Rs;
+    std::set<BlockId> Ws;
+  };
+
+  /// BLK_T plus the bookkeeping for conflict flags and the CU log.
+  struct BlockInfo {
+    Fsm State = Fsm::Idle;
+    CuId Cu = NoCu;
+    bool Conflict = false;
+    // Last conflicting remote access (for violation reports).
+    isa::ThreadId ConflictTid = 0;
+    uint32_t ConflictPc = 0;
+    uint64_t ConflictSeq = 0;
+    // Last thread-local write / read (lw and s of the log triple).
+    uint32_t LocalWritePc = UINT32_MAX;
+    uint64_t LocalWriteSeq = 0;
+    uint32_t LocalReadPc = UINT32_MAX;
+    uint64_t LocalReadSeq = 0;
+    // Last remote write (rw of the log triple).
+    isa::ThreadId RemoteWriteTid = 0;
+    uint32_t RemoteWritePc = UINT32_MAX;
+    uint64_t RemoteWriteSeq = 0;
+  };
+
+  /// One control-dependence stack frame.
+  struct CtrlFrame {
+    std::vector<CuId> CuSet;
+    uint32_t ReconvPc;
+  };
+
+  /// All per-thread detector state (the paper stresses SVD's structures
+  /// are private per thread).
+  struct PerThread {
+    std::vector<CuData> Cus;
+    std::vector<BlockInfo> Blocks;
+    std::array<std::vector<CuId>, isa::NumRegs> RegSets;
+    std::vector<CtrlFrame> CtrlStack;
+  };
+
+  BlockId blockOf(isa::Addr A) const { return A >> Cfg.BlockShift; }
+
+  /// The state lane an event belongs to: its CPU when approximating
+  /// threads with processors, else its thread.
+  uint32_t laneOf(const vm::EventCtx &Ctx) const {
+    return Cfg.NumCpus != 0 ? Ctx.Cpu : Ctx.Tid;
+  }
+
+  CuId find(PerThread &T, CuId C) const;
+  CuId newCu(PerThread &T);
+  CuId mergeCus(PerThread &T, CuId A, CuId B);
+  /// Resolves \p Set to live roots, deduplicated.
+  std::vector<CuId> liveRoots(PerThread &T, const std::vector<CuId> &Set);
+
+  void popControlFrames(PerThread &T, uint32_t Pc);
+  std::vector<CuId> controlCuSet(PerThread &T);
+  void checkViolations(PerThread &T, const vm::EventCtx &Ctx,
+                       const std::vector<CuId> &CuSet);
+  /// Ends \p C: resets its blocks to Idle and marks it dead
+  /// (deactivate_log_CU without the log side; logging happens at the
+  /// shared-dependence sites where the triple is known).
+  void deactivateCu(PerThread &T, isa::ThreadId Tid, CuId C);
+  void emitLog(const vm::EventCtx &S, const BlockInfo &BI, BlockId B,
+               uint64_t ReadSeqOverride = UINT64_MAX,
+               uint32_t ReadPcOverride = UINT32_MAX);
+  /// Delivers a remote-access message about (\p Tid's view of) block
+  /// \p B touched by \p Ctx's thread.
+  void handleRemote(isa::ThreadId Tid, BlockId B, bool IsWrite,
+                    const vm::EventCtx &Ctx);
+  void broadcastRemote(const vm::EventCtx &Ctx, BlockId B, bool IsWrite);
+
+  const isa::Program &Prog;
+  OnlineSvdConfig Cfg;
+  std::vector<PerThread> Threads;
+  std::vector<isa::ThreadCfg> Cfgs;
+  /// Per block: bitmask of threads whose FSM state for it is not Idle
+  /// (remote-access fan-out; threads beyond 64 fall back to scanning).
+  std::vector<uint64_t> Trackers;
+  uint32_t NumBlocks = 0;
+
+  std::vector<Violation> Violations;
+  std::vector<CuLogEntry> CuLog;
+  uint64_t Events = 0;
+  uint64_t CuCreations = 0;
+  uint64_t CuMerges = 0;
+  uint64_t CuEndings = 0;
+};
+
+} // namespace detect
+} // namespace svd
+
+#endif // SVD_SVD_ONLINESVD_H

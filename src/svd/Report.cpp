@@ -1,0 +1,27 @@
+//===- svd/Report.cpp -----------------------------------------------------===//
+
+#include "svd/Report.h"
+
+#include "support/StringUtils.h"
+
+using namespace svd;
+using namespace svd::detect;
+using support::formatString;
+
+std::string Violation::describe(const isa::Program &P) const {
+  return formatString(
+      "seq %llu: thread %u pc %u conflicts with thread %u pc %u on %s",
+      static_cast<unsigned long long>(Seq), Tid, Pc, OtherTid, OtherPc,
+      P.describeAddress(Address).c_str());
+}
+
+std::string CuLogEntry::describe(const isa::Program &P) const {
+  std::string Out = formatString(
+      "seq %llu: thread %u pc %u read %s overwritten by thread %u pc %u",
+      static_cast<unsigned long long>(Seq), Tid, Pc,
+      P.describeAddress(Address).c_str(), RemoteTid, RemotePc);
+  if (hasLocalWrite())
+    Out += formatString(" (local producer: pc %u at seq %llu)", LocalPc,
+                        static_cast<unsigned long long>(LocalSeq));
+  return Out;
+}

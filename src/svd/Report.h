@@ -1,0 +1,93 @@
+//===- svd/Report.h - Detector report types ----------------------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Report records shared by every detector (online SVD, the offline
+/// algorithm, and the race-detector baselines), plus the a-posteriori CU
+/// log entry of Section 2.3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_SVD_REPORT_H
+#define SVD_SVD_REPORT_H
+
+#include "isa/Program.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svd {
+namespace detect {
+
+/// One dynamic report: a serializability violation (SVD) or a data race
+/// (FRD/lockset). Each dynamic instance is one record; static
+/// deduplication by code location happens in the harness.
+struct Violation {
+  /// Position in the execution's total order where the report fired.
+  uint64_t Seq = 0;
+  /// The statement at which detection happened.
+  isa::ThreadId Tid = 0;
+  uint32_t Pc = 0;
+  /// The conflicting statement of the other thread.
+  isa::ThreadId OtherTid = 0;
+  uint32_t OtherPc = 0;
+  /// Position of the conflicting statement in the total order (0 when
+  /// the detector cannot attribute one). Backward error recovery uses
+  /// this to pick a checkpoint that precedes the conflict.
+  uint64_t OtherSeq = 0;
+  /// The conflicting word (first word of the block for block sizes > 1).
+  isa::Addr Address = 0;
+
+  /// Static identity of the report: the unordered pair of code locations
+  /// (used for static-false-positive dedup).
+  uint64_t staticKey() const {
+    uint64_t A = Pc;
+    uint64_t B = OtherPc;
+    if (A > B)
+      std::swap(A, B);
+    return (A << 32) | B;
+  }
+
+  /// Renders "pc X (thread T) conflicts with pc Y (thread U) on <sym>".
+  std::string describe(const isa::Program &P) const;
+};
+
+/// One a-posteriori CU-log triple (Section 2.3): statement \c s read a
+/// word whose value, last produced locally by \c lw, was overwritten by
+/// the remote write \c rw — recording a possibly broken thread-local
+/// communication even when the online check stays silent.
+struct CuLogEntry {
+  // s: the local read.
+  uint64_t Seq = 0;
+  isa::ThreadId Tid = 0;
+  uint32_t Pc = 0;
+  // rw: the remote write that intervened.
+  uint64_t RemoteSeq = 0;
+  isa::ThreadId RemoteTid = 0;
+  uint32_t RemotePc = 0;
+  // lw: the preceding thread-local write (absent for never-written
+  // words; LocalPc == UINT32_MAX then).
+  uint64_t LocalSeq = 0;
+  uint32_t LocalPc = UINT32_MAX;
+  /// The word involved.
+  isa::Addr Address = 0;
+
+  bool hasLocalWrite() const { return LocalPc != UINT32_MAX; }
+
+  /// Static identity for dedup in a-posteriori examination counts.
+  uint64_t staticKey() const {
+    return (static_cast<uint64_t>(Pc) << 32) | RemotePc;
+  }
+
+  /// Renders a human-readable description.
+  std::string describe(const isa::Program &P) const;
+};
+
+} // namespace detect
+} // namespace svd
+
+#endif // SVD_SVD_REPORT_H

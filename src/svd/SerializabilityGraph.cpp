@@ -1,0 +1,160 @@
+//===- svd/SerializabilityGraph.cpp ----------------------------------------===//
+
+#include "svd/SerializabilityGraph.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace svd;
+using namespace svd::detect;
+using cu::CuPartition;
+using support::formatString;
+using trace::ProgramTrace;
+
+SerializabilityGraph
+SerializabilityGraph::build(const ProgramTrace &T, const pdg::DynamicPdg &G,
+                            const CuPartition &CUs) {
+  (void)T; // vertices come from the partition; T documents provenance
+  SerializabilityGraph Out;
+  Out.NumCus = CUs.units().size();
+
+  // Conflict edges, deduplicated per (From, To) pair: the d-PDG's
+  // conflict arcs connect the individual operations; lift them to CUs.
+  std::map<std::pair<uint32_t, uint32_t>, size_t> Seen;
+  for (const pdg::DepArc &A : G.arcs()) {
+    if (A.Kind != pdg::DepKind::Conflict)
+      continue;
+    uint32_t From = CUs.unitOf(A.From);
+    uint32_t To = CUs.unitOf(A.To);
+    if (From == CuPartition::NoUnit || To == CuPartition::NoUnit ||
+        From == To)
+      continue;
+    auto Key = std::make_pair(From, To);
+    if (Seen.count(Key))
+      continue;
+    Seen.emplace(Key, Out.Edges.size());
+    PrecedenceEdge E;
+    E.FromCu = From;
+    E.ToCu = To;
+    E.ProgramOrder = false;
+    E.Address = A.Address;
+    E.FromEvent = A.From;
+    E.ToEvent = A.To;
+    Out.Edges.push_back(E);
+  }
+
+  // Program-order edges: each thread's CUs in order of their first
+  // statement (overlapping CUs are chained the same way the paper's
+  // serializability model assumes non-overlapping units).
+  std::map<isa::ThreadId, std::vector<uint32_t>> PerThread;
+  for (const cu::ComputationalUnit &U : CUs.units())
+    PerThread[U.Tid].push_back(U.Id);
+  for (auto &[Tid, Ids] : PerThread) {
+    (void)Tid;
+    std::sort(Ids.begin(), Ids.end(), [&](uint32_t A, uint32_t B) {
+      return CUs.units()[A].BeginSeq < CUs.units()[B].BeginSeq;
+    });
+    for (size_t I = 1; I < Ids.size(); ++I) {
+      PrecedenceEdge E;
+      E.FromCu = Ids[I - 1];
+      E.ToCu = Ids[I];
+      E.ProgramOrder = true;
+      Out.Edges.push_back(E);
+    }
+  }
+
+  Out.findCycles();
+  return Out;
+}
+
+void SerializabilityGraph::findCycles() {
+  // Tarjan's SCC, iterative.
+  std::vector<std::vector<uint32_t>> Adj(NumCus);
+  for (const PrecedenceEdge &E : Edges)
+    Adj[E.FromCu].push_back(E.ToCu);
+
+  std::vector<int32_t> Index(NumCus, -1);
+  std::vector<int32_t> Low(NumCus, 0);
+  std::vector<bool> OnStack(NumCus, false);
+  std::vector<uint32_t> Stack;
+  int32_t NextIndex = 0;
+
+  struct Frame {
+    uint32_t Node;
+    size_t Child;
+  };
+
+  for (uint32_t Start = 0; Start < NumCus; ++Start) {
+    if (Index[Start] != -1)
+      continue;
+    std::vector<Frame> Work;
+    Work.push_back({Start, 0});
+    Index[Start] = Low[Start] = NextIndex++;
+    Stack.push_back(Start);
+    OnStack[Start] = true;
+
+    while (!Work.empty()) {
+      Frame &F = Work.back();
+      if (F.Child < Adj[F.Node].size()) {
+        uint32_t Next = Adj[F.Node][F.Child++];
+        if (Index[Next] == -1) {
+          Index[Next] = Low[Next] = NextIndex++;
+          Stack.push_back(Next);
+          OnStack[Next] = true;
+          Work.push_back({Next, 0});
+        } else if (OnStack[Next]) {
+          Low[F.Node] = std::min(Low[F.Node], Index[Next]);
+        }
+        continue;
+      }
+      // Finished F.Node.
+      if (Low[F.Node] == Index[F.Node]) {
+        std::vector<uint32_t> Component;
+        for (;;) {
+          uint32_t N = Stack.back();
+          Stack.pop_back();
+          OnStack[N] = false;
+          Component.push_back(N);
+          if (N == F.Node)
+            break;
+        }
+        if (Component.size() > 1) {
+          std::sort(Component.begin(), Component.end());
+          Cycles.push_back(std::move(Component));
+        }
+      }
+      uint32_t Done = F.Node;
+      Work.pop_back();
+      if (!Work.empty())
+        Low[Work.back().Node] =
+            std::min(Low[Work.back().Node], Low[Done]);
+    }
+  }
+}
+
+std::string
+SerializabilityGraph::describeCycles(const ProgramTrace &T,
+                                     const CuPartition &CUs) const {
+  std::string Out;
+  for (const std::vector<uint32_t> &C : Cycles) {
+    Out += formatString("non-serializable component of %zu CUs:", C.size());
+    for (uint32_t Id : C)
+      Out += formatString(" CU%u(t%u)", Id, CUs.units()[Id].Tid);
+    Out += "\n";
+    // Show the conflict edges inside the component.
+    for (const PrecedenceEdge &E : Edges) {
+      if (E.ProgramOrder)
+        continue;
+      bool FromIn = std::binary_search(C.begin(), C.end(), E.FromCu);
+      bool ToIn = std::binary_search(C.begin(), C.end(), E.ToCu);
+      if (FromIn && ToIn)
+        Out += formatString(
+            "    CU%u -> CU%u on %s (pc %u -> pc %u)\n", E.FromCu, E.ToCu,
+            T.program().describeAddress(E.Address).c_str(),
+            T[E.FromEvent].Pc, T[E.ToEvent].Pc);
+    }
+  }
+  return Out;
+}

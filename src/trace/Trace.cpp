@@ -1,0 +1,104 @@
+//===- trace/Trace.cpp ----------------------------------------------------===//
+
+#include "trace/Trace.h"
+
+#include "support/Error.h"
+
+#include <cassert>
+
+using namespace svd;
+using namespace svd::trace;
+
+ProgramTrace::ProgramTrace(const isa::Program &P) : Prog(&P) {
+  PerThread.resize(P.numThreads());
+}
+
+void ProgramTrace::append(const TraceEvent &E) {
+  assert((Events.empty() || Events.back().Seq <= E.Seq) &&
+         "events must arrive in execution order");
+  assert(E.Tid < PerThread.size() && "thread id out of range");
+  SharedBuilt = false;
+  PerThread[E.Tid].push_back(static_cast<uint32_t>(Events.size()));
+  Events.push_back(E);
+}
+
+void ProgramTrace::buildSharedInfo() const {
+  SharedCount.assign(Prog->MemoryWords, 0);
+  LastThread.assign(Prog->MemoryWords, -1);
+  for (const TraceEvent &E : Events) {
+    if (!E.isMemory())
+      continue;
+    int32_t T = static_cast<int32_t>(E.Tid);
+    if (LastThread[E.Address] == T)
+      continue;
+    if (LastThread[E.Address] == -1) {
+      LastThread[E.Address] = T;
+      SharedCount[E.Address] = 1;
+    } else if (SharedCount[E.Address] == 1) {
+      SharedCount[E.Address] = 2;
+    }
+  }
+  SharedBuilt = true;
+}
+
+unsigned ProgramTrace::threadsAccessing(isa::Addr A) const {
+  if (!SharedBuilt)
+    buildSharedInfo();
+  if (A >= SharedCount.size())
+    return 0;
+  return SharedCount[A];
+}
+
+TraceEvent TraceRecorder::base(const vm::EventCtx &Ctx, EventKind K) const {
+  TraceEvent E;
+  E.Seq = Ctx.Seq;
+  E.Tid = Ctx.Tid;
+  E.Pc = Ctx.Pc;
+  E.Instr = Ctx.Instr;
+  E.Kind = K;
+  return E;
+}
+
+void TraceRecorder::onLoad(const vm::EventCtx &Ctx, isa::Addr A,
+                           isa::Word V) {
+  TraceEvent E = base(Ctx, EventKind::Load);
+  E.Address = A;
+  E.Value = V;
+  Trace.append(E);
+}
+
+void TraceRecorder::onStore(const vm::EventCtx &Ctx, isa::Addr A,
+                            isa::Word V) {
+  TraceEvent E = base(Ctx, EventKind::Store);
+  E.Address = A;
+  E.Value = V;
+  Trace.append(E);
+}
+
+void TraceRecorder::onAlu(const vm::EventCtx &Ctx) {
+  Trace.append(base(Ctx, EventKind::Alu));
+}
+
+void TraceRecorder::onBranch(const vm::EventCtx &Ctx, bool Taken,
+                             uint32_t Target) {
+  TraceEvent E = base(Ctx, EventKind::Branch);
+  E.Taken = Taken;
+  E.Target = Target;
+  Trace.append(E);
+}
+
+void TraceRecorder::onLock(const vm::EventCtx &Ctx, uint32_t MutexId) {
+  TraceEvent E = base(Ctx, EventKind::Lock);
+  E.MutexId = MutexId;
+  Trace.append(E);
+}
+
+void TraceRecorder::onUnlock(const vm::EventCtx &Ctx, uint32_t MutexId) {
+  TraceEvent E = base(Ctx, EventKind::Unlock);
+  E.MutexId = MutexId;
+  Trace.append(E);
+}
+
+void TraceRecorder::onThreadFinished(const vm::EventCtx &Ctx) {
+  Trace.append(base(Ctx, EventKind::ThreadEnd));
+}

@@ -1,0 +1,127 @@
+//===- trace/Trace.h - Program traces --------------------------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program trace of Section 3.1: the sequence of all dynamic
+/// statements executed by all threads, in execution order (the total
+/// order `<=`). TraceRecorder captures it from a running Machine; the
+/// offline algorithms (d-PDG construction, Figure 5/6) consume it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_TRACE_TRACE_H
+#define SVD_TRACE_TRACE_H
+
+#include "isa/Program.h"
+#include "vm/Observer.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace svd {
+namespace trace {
+
+/// Discriminates dynamic events in a trace.
+enum class EventKind : uint8_t {
+  Load,
+  Store,
+  Alu,
+  Branch,
+  Lock,
+  Unlock,
+  ThreadEnd,
+};
+
+/// One dynamic statement (or synchronization operation) of the trace.
+struct TraceEvent {
+  uint64_t Seq = 0;  ///< position in the total order
+  isa::ThreadId Tid = 0;
+  uint32_t Pc = 0;
+  const isa::Instruction *Instr = nullptr;
+  EventKind Kind = EventKind::Alu;
+  isa::Addr Address = 0;  ///< Load/Store: the accessed word
+  isa::Word Value = 0;    ///< Load/Store: the transferred value
+  bool Taken = false;     ///< Branch
+  uint32_t Target = 0;    ///< Branch: next pc
+  uint32_t MutexId = 0;   ///< Lock/Unlock
+
+  bool isMemory() const {
+    return Kind == EventKind::Load || Kind == EventKind::Store;
+  }
+};
+
+/// A recorded execution: all events in execution order plus per-thread
+/// index views (the thread traces of Section 3.1).
+class ProgramTrace {
+public:
+  explicit ProgramTrace(const isa::Program &P);
+
+  const isa::Program &program() const { return *Prog; }
+
+  /// Appends \p E; events must arrive in nondecreasing Seq order.
+  void append(const TraceEvent &E);
+
+  size_t size() const { return Events.size(); }
+  const TraceEvent &operator[](size_t I) const { return Events[I]; }
+  const std::vector<TraceEvent> &events() const { return Events; }
+
+  /// Indices (into events()) of thread \p Tid's events, in order.
+  const std::vector<uint32_t> &threadEvents(isa::ThreadId Tid) const {
+    return PerThread[Tid];
+  }
+
+  uint32_t numThreads() const {
+    return static_cast<uint32_t>(PerThread.size());
+  }
+
+  /// Number of threads that accessed \p A (memory events only).
+  /// Computed lazily on first call; the trace must not grow afterwards.
+  unsigned threadsAccessing(isa::Addr A) const;
+
+  /// True if at least two threads touched \p A anywhere in the trace —
+  /// the offline "v.shared" oracle of Section 4.1.1.
+  bool isSharedAddress(isa::Addr A) const {
+    return threadsAccessing(A) >= 2;
+  }
+
+private:
+  const isa::Program *Prog;
+  std::vector<TraceEvent> Events;
+  std::vector<std::vector<uint32_t>> PerThread;
+  /// Lazily built: per address, a bitmask of the (first 64) accessing
+  /// threads plus a saturating count for more.
+  mutable std::vector<uint8_t> SharedCount;
+  mutable std::vector<int32_t> LastThread;
+  mutable bool SharedBuilt = false;
+  void buildSharedInfo() const;
+};
+
+/// ExecutionObserver that records the trace of a run.
+class TraceRecorder : public vm::ExecutionObserver {
+public:
+  explicit TraceRecorder(const isa::Program &P) : Trace(P) {}
+
+  const ProgramTrace &trace() const { return Trace; }
+  ProgramTrace takeTrace() { return std::move(Trace); }
+
+  void onLoad(const vm::EventCtx &Ctx, isa::Addr A, isa::Word V) override;
+  void onStore(const vm::EventCtx &Ctx, isa::Addr A, isa::Word V) override;
+  void onAlu(const vm::EventCtx &Ctx) override;
+  void onBranch(const vm::EventCtx &Ctx, bool Taken,
+                uint32_t Target) override;
+  void onLock(const vm::EventCtx &Ctx, uint32_t MutexId) override;
+  void onUnlock(const vm::EventCtx &Ctx, uint32_t MutexId) override;
+  void onThreadFinished(const vm::EventCtx &Ctx) override;
+
+private:
+  TraceEvent base(const vm::EventCtx &Ctx, EventKind K) const;
+  ProgramTrace Trace;
+};
+
+} // namespace trace
+} // namespace svd
+
+#endif // SVD_TRACE_TRACE_H

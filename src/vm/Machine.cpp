@@ -1,0 +1,528 @@
+//===- vm/Machine.cpp -----------------------------------------------------===//
+
+#include "vm/Machine.h"
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace svd;
+using namespace svd::vm;
+using isa::Addr;
+using isa::Instruction;
+using isa::Opcode;
+using isa::ThreadId;
+using isa::Word;
+using support::formatString;
+
+ExecutionObserver::~ExecutionObserver() = default;
+void ExecutionObserver::onLoad(const EventCtx &, Addr, Word) {}
+void ExecutionObserver::onStore(const EventCtx &, Addr, Word) {}
+void ExecutionObserver::onAlu(const EventCtx &) {}
+void ExecutionObserver::onBranch(const EventCtx &, bool, uint32_t) {}
+void ExecutionObserver::onLock(const EventCtx &, uint32_t) {}
+void ExecutionObserver::onUnlock(const EventCtx &, uint32_t) {}
+void ExecutionObserver::onProgramError(const EventCtx &, const char *) {}
+void ExecutionObserver::onPrint(const EventCtx &, Word) {}
+void ExecutionObserver::onThreadFinished(const EventCtx &) {}
+void ExecutionObserver::onRunEnd() {}
+
+Machine::Machine(const isa::Program &P, MachineConfig Cfg)
+    : Prog(P), Cfg(Cfg), Sched(Cfg.SchedSeed) {
+  std::string Problem = P.validate();
+  if (!Problem.empty())
+    support::fatalError("invalid program: " + Problem);
+  if (Cfg.MinTimeslice == 0 || Cfg.MaxTimeslice < Cfg.MinTimeslice)
+    support::fatalError("invalid timeslice configuration");
+
+  Memory.assign(P.MemoryWords, 0);
+  Threads.resize(P.numThreads());
+  for (ThreadId Tid = 0; Tid < P.numThreads(); ++Tid) {
+    Threads[Tid].Regs.assign(isa::NumRegs, 0);
+    // Derived per-thread input streams: program inputs are independent of
+    // scheduling, so BER re-execution sees the same inputs.
+    Threads[Tid].Rnd = support::Xoshiro256(
+        Cfg.RndSeed + 0x9E3779B97F4A7C15ULL * (Tid + 1));
+  }
+  MutexOwner.assign(P.Mutexes.size(), -1);
+  MutexWaiters.resize(P.Mutexes.size());
+
+  Migration = support::Xoshiro256(Cfg.SchedSeed ^ 0x5DEECE66DULL);
+  CpuBinding.resize(P.numThreads());
+  for (ThreadId Tid = 0; Tid < P.numThreads(); ++Tid)
+    CpuBinding[Tid] = Cfg.NumCpus ? Tid % Cfg.NumCpus : Tid;
+}
+
+void Machine::addObserver(ExecutionObserver *O) { Observers.push_back(O); }
+
+void Machine::removeObserver(ExecutionObserver *O) {
+  Observers.erase(std::remove(Observers.begin(), Observers.end(), O),
+                  Observers.end());
+}
+
+bool Machine::finished() const {
+  for (const Thread &T : Threads)
+    if (T.State != ThreadState::Halted)
+      return false;
+  return true;
+}
+
+EventCtx Machine::makeCtx(ThreadId Tid, uint32_t Pc,
+                          const Instruction &I) const {
+  EventCtx Ctx;
+  Ctx.Seq = Steps;
+  Ctx.Tid = Tid;
+  Ctx.Cpu = CpuBinding[Tid];
+  Ctx.Pc = Pc;
+  Ctx.Instr = &I;
+  return Ctx;
+}
+
+bool Machine::scheduleNext(StopReason &WhyStopped) {
+  if (Steps >= Cfg.MaxSteps) {
+    WhyStopped = StopReason::StepBudget;
+    return false;
+  }
+
+  if (Replaying) {
+    if (ReplayPos >= Replay.size()) {
+      // Prefer the natural verdict when the recording covered the whole
+      // run; Paused means the recording ended mid-execution.
+      WhyStopped = finished() ? StopReason::AllHalted
+                              : StopReason::Paused;
+      return false;
+    }
+    ThreadId Tid = Replay[ReplayPos++];
+    if (Tid >= Threads.size() || Threads[Tid].State != ThreadState::Ready)
+      support::fatalError(formatString(
+          "replay schedule names thread %u which is not runnable", Tid));
+    CurThread = Tid;
+    return true;
+  }
+
+  // Continue the current timeslice if possible.
+  if (SliceLeft > 0 && Threads[CurThread].State == ThreadState::Ready) {
+    --SliceLeft;
+    return true;
+  }
+
+  std::vector<ThreadId> Ready;
+  for (ThreadId Tid = 0; Tid < Threads.size(); ++Tid)
+    if (Threads[Tid].State == ThreadState::Ready)
+      Ready.push_back(Tid);
+  if (Ready.empty()) {
+    WhyStopped = finished() ? StopReason::AllHalted : StopReason::Deadlock;
+    return false;
+  }
+
+  if (Cfg.SerialMode) {
+    // Stay on the current thread while it can run; otherwise move to the
+    // next runnable thread in round-robin order.
+    if (Threads[CurThread].State == ThreadState::Ready) {
+      SliceLeft = 0;
+      return true;
+    }
+    for (ThreadId Off = 1; Off <= Threads.size(); ++Off) {
+      ThreadId Tid = (CurThread + Off) % Threads.size();
+      if (Threads[Tid].State == ThreadState::Ready) {
+        CurThread = Tid;
+        SliceLeft = 0;
+        return true;
+      }
+    }
+    SVD_UNREACHABLE("Ready was nonempty");
+  }
+
+  CurThread = Ready[Sched.nextBelow(Ready.size())];
+  uint32_t Range = Cfg.MaxTimeslice - Cfg.MinTimeslice + 1;
+  SliceLeft =
+      Cfg.MinTimeslice + static_cast<uint32_t>(Sched.nextBelow(Range)) - 1;
+  return true;
+}
+
+bool Machine::stepOnce(StopReason &WhyStopped) {
+  WhyStopped = StopReason::AllHalted;
+  if (!scheduleNext(WhyStopped))
+    return false;
+  // OS-style thread migration: occasionally rebind a thread to another
+  // CPU (Section 4.3's "threads may migrate from one processor to
+  // another", which per-processor detectors cannot see).
+  if (Cfg.NumCpus != 0 && Cfg.MigrationInterval != 0 && Steps != 0 &&
+      Steps % Cfg.MigrationInterval == 0) {
+    ThreadId T =
+        static_cast<ThreadId>(Migration.nextBelow(Threads.size()));
+    CpuBinding[T] = static_cast<uint32_t>(Migration.nextBelow(Cfg.NumCpus));
+  }
+  Schedule.push_back(CurThread);
+  execute();
+  ++Steps;
+  return true;
+}
+
+StopReason Machine::run() {
+  StopReason R = StopReason::AllHalted;
+  while (stepOnce(R)) {
+  }
+  if (R != StopReason::Paused)
+    notifyRunEnd();
+  return R;
+}
+
+void Machine::notifyRunEnd() {
+  if (RunEndNotified)
+    return;
+  RunEndNotified = true;
+  for (ExecutionObserver *O : Observers)
+    O->onRunEnd();
+}
+
+void Machine::recordError(const EventCtx &Ctx, const std::string &Msg) {
+  Errors.push_back({Ctx.Seq, Ctx.Tid, Ctx.Pc, Msg});
+  for (ExecutionObserver *O : Observers)
+    O->onProgramError(Ctx, Errors.back().Message.c_str());
+}
+
+void Machine::haltThread(const EventCtx &Ctx) {
+  Threads[Ctx.Tid].State = ThreadState::Halted;
+  for (ExecutionObserver *O : Observers)
+    O->onThreadFinished(Ctx);
+}
+
+void Machine::execute() {
+  Thread &T = Threads[CurThread];
+  assert(T.State == ThreadState::Ready && "scheduled a non-ready thread");
+  uint32_t Pc = T.Pc;
+  const Instruction &I = Prog.Threads[CurThread].Code[Pc];
+  EventCtx Ctx = makeCtx(CurThread, Pc, I);
+
+  // Register write helper honouring the hardwired zero register.
+  auto SetReg = [&](isa::Reg R, Word V) {
+    if (R != isa::ZeroReg)
+      T.Regs[R] = V;
+  };
+  auto NotifyAlu = [&]() {
+    for (ExecutionObserver *O : Observers)
+      O->onAlu(Ctx);
+  };
+
+  Word A = T.Regs[I.Ra];
+  Word B = T.Regs[I.Rb];
+
+  switch (I.Op) {
+  case Opcode::Nop:
+  case Opcode::Yield:
+    // Every executed instruction yields an event so observers tracking
+    // control-flow reconvergence see every pc.
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+
+  case Opcode::Li:
+    SetReg(I.Rd, I.Imm);
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+  case Opcode::Mov:
+    SetReg(I.Rd, A);
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+  case Opcode::Tid:
+    SetReg(I.Rd, CurThread);
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+  case Opcode::Rnd: {
+    uint64_t V = T.Rnd.next();
+    if (I.Imm > 0)
+      V %= static_cast<uint64_t>(I.Imm);
+    SetReg(I.Rd, static_cast<Word>(V));
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+  }
+
+  case Opcode::Add:
+    SetReg(I.Rd, A + B);
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+  case Opcode::Sub:
+    SetReg(I.Rd, A - B);
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+  case Opcode::Mul:
+    SetReg(I.Rd, A * B);
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+  case Opcode::Div:
+    SetReg(I.Rd, B == 0 ? 0 : A / B);
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+  case Opcode::Rem:
+    SetReg(I.Rd, B == 0 ? 0 : A % B);
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+  case Opcode::And:
+    SetReg(I.Rd, A & B);
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+  case Opcode::Or:
+    SetReg(I.Rd, A | B);
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+  case Opcode::Xor:
+    SetReg(I.Rd, A ^ B);
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+  case Opcode::Shl:
+    SetReg(I.Rd, A << (B & 63));
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+  case Opcode::Shr:
+    SetReg(I.Rd,
+           static_cast<Word>(static_cast<uint64_t>(A) >> (B & 63)));
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+  case Opcode::Slt:
+    SetReg(I.Rd, A < B ? 1 : 0);
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+  case Opcode::Sle:
+    SetReg(I.Rd, A <= B ? 1 : 0);
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+  case Opcode::Seq:
+    SetReg(I.Rd, A == B ? 1 : 0);
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+  case Opcode::Sne:
+    SetReg(I.Rd, A != B ? 1 : 0);
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+
+  case Opcode::Addi:
+    SetReg(I.Rd, A + I.Imm);
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+  case Opcode::Muli:
+    SetReg(I.Rd, A * I.Imm);
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+  case Opcode::Andi:
+    SetReg(I.Rd, A & I.Imm);
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+  case Opcode::Slti:
+    SetReg(I.Rd, A < I.Imm ? 1 : 0);
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+
+  case Opcode::Ld: {
+    int64_t EA = A + I.Imm;
+    if (EA < 0 || EA >= static_cast<int64_t>(Memory.size())) {
+      recordError(Ctx, formatString("fault: load from out-of-range address "
+                                    "%lld",
+                                    static_cast<long long>(EA)));
+      haltThread(Ctx);
+      return;
+    }
+    Word V = Memory[static_cast<Addr>(EA)];
+    SetReg(I.Rd, V);
+    for (ExecutionObserver *O : Observers)
+      O->onLoad(Ctx, static_cast<Addr>(EA), V);
+    T.Pc = Pc + 1;
+    return;
+  }
+  case Opcode::St: {
+    int64_t EA = A + I.Imm;
+    if (EA < 0 || EA >= static_cast<int64_t>(Memory.size())) {
+      recordError(Ctx, formatString("fault: store to out-of-range address "
+                                    "%lld",
+                                    static_cast<long long>(EA)));
+      haltThread(Ctx);
+      return;
+    }
+    Memory[static_cast<Addr>(EA)] = B;
+    for (ExecutionObserver *O : Observers)
+      O->onStore(Ctx, static_cast<Addr>(EA), B);
+    T.Pc = Pc + 1;
+    return;
+  }
+
+  case Opcode::Cas: {
+    // The address is always absolute (validated); A holds the expected
+    // value, B the replacement.
+    Addr EA = static_cast<Addr>(I.Imm);
+    Word Cur = Memory[EA];
+    for (ExecutionObserver *O : Observers)
+      O->onLoad(Ctx, EA, Cur);
+    if (Cur == A) {
+      Memory[EA] = B;
+      SetReg(I.Rd, 1);
+      for (ExecutionObserver *O : Observers)
+        O->onStore(Ctx, EA, B);
+    } else {
+      SetReg(I.Rd, 0);
+    }
+    T.Pc = Pc + 1;
+    return;
+  }
+
+  case Opcode::Beqz:
+  case Opcode::Bnez: {
+    bool Taken = (I.Op == Opcode::Beqz) ? (A == 0) : (A != 0);
+    uint32_t Target = Taken ? static_cast<uint32_t>(I.Imm) : Pc + 1;
+    for (ExecutionObserver *O : Observers)
+      O->onBranch(Ctx, Taken, Target);
+    T.Pc = Target;
+    return;
+  }
+  case Opcode::Jmp: {
+    uint32_t Target = static_cast<uint32_t>(I.Imm);
+    for (ExecutionObserver *O : Observers)
+      O->onBranch(Ctx, true, Target);
+    T.Pc = Target;
+    return;
+  }
+
+  case Opcode::Lock: {
+    uint32_t M = static_cast<uint32_t>(I.Imm);
+    int32_t Owner = MutexOwner[M];
+    if (Owner == static_cast<int32_t>(CurThread)) {
+      recordError(Ctx, formatString("fault: recursive lock of mutex '%s'",
+                                    Prog.Mutexes[M].c_str()));
+      haltThread(Ctx);
+      return;
+    }
+    if (Owner >= 0) {
+      // Contended: block; the step is consumed (a spin on the lock).
+      T.State = ThreadState::Blocked;
+      MutexWaiters[M].push_back(CurThread);
+      return;
+    }
+    MutexOwner[M] = static_cast<int32_t>(CurThread);
+    for (ExecutionObserver *O : Observers)
+      O->onLock(Ctx, M);
+    T.Pc = Pc + 1;
+    return;
+  }
+  case Opcode::Unlock: {
+    uint32_t M = static_cast<uint32_t>(I.Imm);
+    if (MutexOwner[M] != static_cast<int32_t>(CurThread)) {
+      recordError(Ctx,
+                  formatString("fault: unlock of mutex '%s' not held by "
+                               "thread %u",
+                               Prog.Mutexes[M].c_str(), CurThread));
+      haltThread(Ctx);
+      return;
+    }
+    MutexOwner[M] = -1;
+    // Wake all waiters; they re-attempt the lock when next scheduled.
+    for (ThreadId W : MutexWaiters[M])
+      if (Threads[W].State == ThreadState::Blocked)
+        Threads[W].State = ThreadState::Ready;
+    MutexWaiters[M].clear();
+    for (ExecutionObserver *O : Observers)
+      O->onUnlock(Ctx, M);
+    T.Pc = Pc + 1;
+    return;
+  }
+
+  case Opcode::Assert:
+    if (A == 0) {
+      recordError(Ctx, Prog.Messages[static_cast<size_t>(I.Imm)]);
+      haltThread(Ctx);
+      return;
+    }
+    NotifyAlu();
+    T.Pc = Pc + 1;
+    return;
+  case Opcode::Print:
+    Prints.push_back({Ctx.Seq, CurThread, A});
+    NotifyAlu();
+    for (ExecutionObserver *O : Observers)
+      O->onPrint(Ctx, A);
+    T.Pc = Pc + 1;
+    return;
+
+  case Opcode::Halt:
+    haltThread(Ctx);
+    return;
+  }
+  SVD_UNREACHABLE("unhandled opcode");
+}
+
+void Machine::setReplaySchedule(std::vector<ThreadId> S) {
+  if (Steps != 0)
+    support::fatalError("replay schedule must be set before execution");
+  Replay = std::move(S);
+  ReplayPos = 0;
+  Replaying = true;
+}
+
+Checkpoint Machine::checkpoint() const {
+  Checkpoint C;
+  C.Memory = Memory;
+  C.Threads.resize(Threads.size());
+  for (size_t I = 0; I < Threads.size(); ++I) {
+    C.Threads[I].Pc = Threads[I].Pc;
+    C.Threads[I].State = Threads[I].State;
+    C.Threads[I].Regs = Threads[I].Regs;
+    C.Threads[I].Rnd = Threads[I].Rnd;
+  }
+  C.MutexOwner = MutexOwner;
+  C.MutexWaiters = MutexWaiters;
+  C.Sched = Sched;
+  C.Migration = Migration;
+  C.CpuBinding = CpuBinding;
+  C.Steps = Steps;
+  C.CurThread = CurThread;
+  C.SliceLeft = SliceLeft;
+  C.NumErrors = Errors.size();
+  C.NumPrints = Prints.size();
+  C.ScheduleLen = Schedule.size();
+  return C;
+}
+
+void Machine::restore(const Checkpoint &C) {
+  Memory = C.Memory;
+  for (size_t I = 0; I < Threads.size(); ++I) {
+    Threads[I].Pc = C.Threads[I].Pc;
+    Threads[I].State = C.Threads[I].State;
+    Threads[I].Regs = C.Threads[I].Regs;
+    Threads[I].Rnd = C.Threads[I].Rnd;
+  }
+  MutexOwner = C.MutexOwner;
+  MutexWaiters = C.MutexWaiters;
+  Sched = C.Sched;
+  Migration = C.Migration;
+  CpuBinding = C.CpuBinding;
+  Steps = C.Steps;
+  CurThread = C.CurThread;
+  SliceLeft = C.SliceLeft;
+  Errors.resize(C.NumErrors);
+  Prints.resize(C.NumPrints);
+  Schedule.resize(C.ScheduleLen);
+  ReplayPos = C.ScheduleLen;
+  RunEndNotified = false;
+}

@@ -1,0 +1,239 @@
+//===- vm/Machine.h - Multithreaded interpreter ------------------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The execution substrate replacing the paper's Simics/SPARC setup: a
+/// deterministic multithreaded interpreter for the mini ISA. Key
+/// properties mirrored from the paper's methodology (Section 6.1):
+///
+///  * **Deterministic replay.** The interleaving is a pure function of the
+///    scheduler seed; replaying a seed (or an explicitly recorded
+///    schedule) reproduces the execution bit-for-bit.
+///  * **Non-perturbation.** Observers receive the event stream but cannot
+///    affect execution.
+///  * **Checkpoints.** The full machine state can be snapshotted and
+///    restored, which the BER module uses for detector-triggered rollback
+///    (the ReVive/SafetyNet role).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_VM_MACHINE_H
+#define SVD_VM_MACHINE_H
+
+#include "isa/Program.h"
+#include "support/Rng.h"
+#include "vm/Observer.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace svd {
+namespace vm {
+
+/// Why a run loop stopped.
+enum class StopReason : uint8_t {
+  AllHalted,   ///< every thread executed Halt
+  Deadlock,    ///< all live threads are blocked on mutexes
+  StepBudget,  ///< MaxSteps reached
+  Paused,      ///< runUntil() predicate asked to stop
+};
+
+/// Scheduling and input parameters of one execution.
+struct MachineConfig {
+  /// Seed of the scheduler's PRNG; fully determines the interleaving.
+  uint64_t SchedSeed = 1;
+  /// Seed of the `rnd` instruction streams (one derived stream per
+  /// thread, so program inputs do not depend on scheduling).
+  uint64_t RndSeed = 2;
+  /// Upper bound on executed instructions (safety net for buggy loops).
+  uint64_t MaxSteps = 50'000'000;
+  /// Timeslice length is drawn uniformly from [MinTimeslice,
+  /// MaxTimeslice] each time a thread is scheduled. 1/1 interleaves every
+  /// instruction; larger slices model coarser preemption like the paper's
+  /// 4-CPU SMP.
+  uint32_t MinTimeslice = 1;
+  uint32_t MaxTimeslice = 1;
+  /// When true, the scheduler runs one thread until it blocks or halts
+  /// before switching ("more serially", the paper's BER re-execution
+  /// mode, Section 1.1).
+  bool SerialMode = false;
+  /// Number of processors the OS multiplexes threads onto. 0 (default)
+  /// pins thread T to CPU T (the paper's evaluation setup). With a
+  /// nonzero count, threads are bound round-robin and occasionally
+  /// migrate (see MigrationInterval); EventCtx::Cpu reports the binding.
+  uint32_t NumCpus = 0;
+  /// Steps between randomized thread-to-CPU migrations (only with
+  /// NumCpus != 0). 0 disables migration.
+  uint64_t MigrationInterval = 0;
+};
+
+/// One recorded program error (failed assert or runtime fault).
+struct ProgramError {
+  uint64_t Seq = 0;
+  isa::ThreadId Tid = 0;
+  uint32_t Pc = 0;
+  std::string Message;
+};
+
+/// A value recorded by `print`.
+struct PrintedValue {
+  uint64_t Seq = 0;
+  isa::ThreadId Tid = 0;
+  isa::Word Value = 0;
+};
+
+/// Execution state of one thread.
+enum class ThreadState : uint8_t { Ready, Blocked, Halted };
+
+/// Snapshot of all mutable machine state; see Machine::checkpoint().
+struct Checkpoint {
+  struct ThreadSnap {
+    uint32_t Pc = 0;
+    ThreadState State = ThreadState::Ready;
+    std::vector<isa::Word> Regs;
+    support::Xoshiro256 Rnd{0};
+  };
+  std::vector<isa::Word> Memory;
+  std::vector<ThreadSnap> Threads;
+  /// Owner per mutex (-1 == free) and FIFO wait queues.
+  std::vector<int32_t> MutexOwner;
+  std::vector<std::vector<isa::ThreadId>> MutexWaiters;
+  support::Xoshiro256 Sched{0};
+  support::Xoshiro256 Migration{0};
+  std::vector<uint32_t> CpuBinding;
+  uint64_t Steps = 0;
+  isa::ThreadId CurThread = 0;
+  uint32_t SliceLeft = 0;
+  size_t NumErrors = 0;
+  size_t NumPrints = 0;
+  size_t ScheduleLen = 0;
+};
+
+/// The interpreter.
+class Machine {
+public:
+  /// Creates a machine over \p P (which must outlive the machine).
+  /// Aborts if the program fails validation.
+  explicit Machine(const isa::Program &P, MachineConfig Cfg = MachineConfig());
+
+  /// Registers \p O to receive the event stream (not owned). Observers
+  /// fire in registration order.
+  void addObserver(ExecutionObserver *O);
+
+  /// Removes a previously registered observer.
+  void removeObserver(ExecutionObserver *O);
+
+  /// Runs until all threads halt, deadlock, or the step budget expires.
+  StopReason run();
+
+  /// Runs, additionally stopping (with StopReason::Paused) as soon as
+  /// \p ShouldPause returns true after a step.
+  template <typename Pred> StopReason runUntil(Pred ShouldPause) {
+    for (;;) {
+      StopReason R = StopReason::AllHalted;
+      if (!stepOnce(R))
+        return R;
+      if (ShouldPause())
+        return StopReason::Paused;
+    }
+  }
+
+  /// Executes one instruction of the next scheduled thread. Returns false
+  /// (setting \p WhyStopped) when no step can be taken.
+  bool stepOnce(StopReason &WhyStopped);
+
+  // --- state inspection -------------------------------------------------
+  const isa::Program &program() const { return Prog; }
+  uint64_t steps() const { return Steps; }
+  bool finished() const;
+  ThreadState threadState(isa::ThreadId Tid) const {
+    return Threads[Tid].State;
+  }
+  isa::Word readMem(isa::Addr A) const { return Memory[A]; }
+  void pokeMem(isa::Addr A, isa::Word V) { Memory[A] = V; }
+  isa::Word readReg(isa::ThreadId Tid, isa::Reg R) const {
+    return Threads[Tid].Regs[R];
+  }
+  const std::vector<ProgramError> &errors() const { return Errors; }
+  const std::vector<PrintedValue> &printed() const { return Prints; }
+
+  // --- deterministic replay ----------------------------------------------
+  /// The sequence of thread choices made so far (one entry per step).
+  const std::vector<isa::ThreadId> &schedule() const { return Schedule; }
+
+  /// Replays \p S: the scheduler follows the recorded choices instead of
+  /// drawing random ones, then stops scheduling (run() returns). Must be
+  /// set before the first step.
+  void setReplaySchedule(std::vector<isa::ThreadId> S);
+
+  /// Leaves replay mode; subsequent steps use the seeded scheduler.
+  /// Useful to drive a specific interleaving prefix and then finish the
+  /// run normally.
+  void clearReplaySchedule() { Replaying = false; }
+
+  // --- checkpoints (BER substrate) ----------------------------------------
+  /// Snapshots all mutable state.
+  Checkpoint checkpoint() const;
+
+  /// Restores \p C. Errors/prints/schedule recorded after the checkpoint
+  /// are discarded. Observers are not rewound; BER re-attaches fresh
+  /// detector state after a rollback, as hardware BER would.
+  void restore(const Checkpoint &C);
+
+  /// Switches scheduling mode mid-run (used by BER to re-execute the
+  /// rolled-back region serially, then resume normal scheduling).
+  void setSerialMode(bool Serial) { Cfg.SerialMode = Serial; }
+
+  /// Notifies observers that observation ended (idempotent per run).
+  void notifyRunEnd();
+
+private:
+  struct Thread {
+    uint32_t Pc = 0;
+    ThreadState State = ThreadState::Ready;
+    std::vector<isa::Word> Regs;
+    support::Xoshiro256 Rnd{0};
+  };
+
+  /// Picks the next thread to run; returns false on deadlock/completion.
+  bool scheduleNext(StopReason &WhyStopped);
+  /// Executes one instruction of Threads[CurThread].
+  void execute();
+  void recordError(const EventCtx &Ctx, const std::string &Msg);
+  void haltThread(const EventCtx &Ctx);
+  EventCtx makeCtx(isa::ThreadId Tid, uint32_t Pc,
+                   const isa::Instruction &I) const;
+
+  const isa::Program &Prog;
+  MachineConfig Cfg;
+  std::vector<isa::Word> Memory;
+  std::vector<Thread> Threads;
+  std::vector<int32_t> MutexOwner;
+  std::vector<std::vector<isa::ThreadId>> MutexWaiters;
+  support::Xoshiro256 Sched;
+  /// Separate stream for thread migrations so replayed runs (which skip
+  /// the scheduler's draws) migrate identically.
+  support::Xoshiro256 Migration{0};
+  /// Current thread-to-CPU binding (identity when NumCpus == 0).
+  std::vector<uint32_t> CpuBinding;
+  uint64_t Steps = 0;
+  isa::ThreadId CurThread = 0;
+  uint32_t SliceLeft = 0;
+  std::vector<ProgramError> Errors;
+  std::vector<PrintedValue> Prints;
+  std::vector<isa::ThreadId> Schedule;
+  std::vector<isa::ThreadId> Replay;
+  size_t ReplayPos = 0;
+  bool Replaying = false;
+  bool RunEndNotified = false;
+  std::vector<ExecutionObserver *> Observers;
+};
+
+} // namespace vm
+} // namespace svd
+
+#endif // SVD_VM_MACHINE_H

@@ -1,0 +1,123 @@
+//===- vm/ScheduleFile.cpp ------------------------------------------------===//
+
+#include "vm/ScheduleFile.h"
+
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace svd;
+using namespace svd::vm;
+using support::formatString;
+
+std::string vm::serializeSchedule(const RecordedSchedule &R) {
+  std::string Out = "svd-schedule v1\n";
+  Out += formatString("rndseed %llu\n",
+                      static_cast<unsigned long long>(R.RndSeed));
+  Out += formatString("steps %zu\n", R.Schedule.size());
+  // Run-length encode: schedules are long runs of the same thread.
+  size_t I = 0;
+  bool First = true;
+  while (I < R.Schedule.size()) {
+    size_t J = I;
+    while (J < R.Schedule.size() && R.Schedule[J] == R.Schedule[I])
+      ++J;
+    if (!First)
+      Out += " ";
+    First = false;
+    size_t Count = J - I;
+    if (Count == 1)
+      Out += formatString("%u", R.Schedule[I]);
+    else
+      Out += formatString("%u*%zu", R.Schedule[I], Count);
+    I = J;
+  }
+  Out += "\n";
+  return Out;
+}
+
+bool vm::parseSchedule(const std::string &Text, RecordedSchedule &Out,
+                       std::string &Error) {
+  Out = RecordedSchedule();
+  std::istringstream In(Text);
+  std::string Line;
+
+  if (!std::getline(In, Line) ||
+      support::trimString(Line) != "svd-schedule v1") {
+    Error = "missing 'svd-schedule v1' header";
+    return false;
+  }
+  unsigned long long Seed = 0;
+  if (!std::getline(In, Line) ||
+      std::sscanf(Line.c_str(), "rndseed %llu", &Seed) != 1) {
+    Error = "missing 'rndseed' line";
+    return false;
+  }
+  Out.RndSeed = Seed;
+  size_t Steps = 0;
+  if (!std::getline(In, Line) ||
+      std::sscanf(Line.c_str(), "steps %zu", &Steps) != 1) {
+    Error = "missing 'steps' line";
+    return false;
+  }
+
+  std::string Tok;
+  while (In >> Tok) {
+    unsigned Tid = 0;
+    size_t Count = 1;
+    size_t Star = Tok.find('*');
+    const char *T = Tok.c_str();
+    char *End = nullptr;
+    Tid = static_cast<unsigned>(std::strtoul(T, &End, 10));
+    if (End == T) {
+      Error = "malformed token '" + Tok + "'";
+      return false;
+    }
+    if (Star != std::string::npos) {
+      const char *C = Tok.c_str() + Star + 1;
+      char *End2 = nullptr;
+      Count = std::strtoull(C, &End2, 10);
+      if (End2 == C || Count == 0) {
+        Error = "malformed run length in '" + Tok + "'";
+        return false;
+      }
+    } else if (*End != '\0') {
+      Error = "malformed token '" + Tok + "'";
+      return false;
+    }
+    Out.Schedule.insert(Out.Schedule.end(), Count,
+                        static_cast<isa::ThreadId>(Tid));
+    if (Out.Schedule.size() > Steps) {
+      Error = "schedule longer than declared step count";
+      return false;
+    }
+  }
+  if (Out.Schedule.size() != Steps) {
+    Error = formatString("schedule has %zu steps, header declares %zu",
+                         Out.Schedule.size(), Steps);
+    return false;
+  }
+  return true;
+}
+
+bool vm::saveSchedule(const std::string &Path, const RecordedSchedule &R) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << serializeSchedule(R);
+  return static_cast<bool>(Out);
+}
+
+bool vm::loadSchedule(const std::string &Path, RecordedSchedule &Out,
+                      std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open '" + Path + "'";
+    return false;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return parseSchedule(SS.str(), Out, Error);
+}

@@ -1,0 +1,135 @@
+//===- tests/CacheSimPropertyTest.cpp - MESI invariants under fuzz ---------===//
+//
+// Parameterized sweep over cache geometries: drive a random access
+// stream and check the MESI protocol invariants after every access:
+//
+//  * single-writer: at most one cache holds a line in M (or E), and
+//    then no other cache holds it at all;
+//  * sharers are Shared: if two caches hold a line, all copies are S;
+//  * statistics are internally consistent.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/CacheSim.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace svd;
+using namespace svd::cache;
+
+namespace {
+
+struct Geometry {
+  uint32_t Cpus;
+  uint32_t LineWords;
+  uint32_t Sets;
+  uint32_t Ways;
+};
+
+std::string geometryName(const testing::TestParamInfo<Geometry> &Info) {
+  const Geometry &G = Info.param;
+  return "c" + std::to_string(G.Cpus) + "_l" +
+         std::to_string(G.LineWords) + "_s" + std::to_string(G.Sets) +
+         "_w" + std::to_string(G.Ways);
+}
+
+class MesiProperty : public testing::TestWithParam<Geometry> {
+protected:
+  CacheConfig config() const {
+    const Geometry &G = GetParam();
+    CacheConfig C;
+    C.NumCpus = G.Cpus;
+    C.LineWords = G.LineWords;
+    C.Sets = G.Sets;
+    C.Ways = G.Ways;
+    return C;
+  }
+
+  /// Checks the coherence invariants for every line ever touched.
+  void checkInvariants(const CacheSim &C, isa::Addr MaxAddr) {
+    const CacheConfig &Cfg = C.config();
+    for (LineId L = 0; L <= C.lineOf(MaxAddr); ++L) {
+      unsigned Valid = 0, Writers = 0, Shared = 0;
+      for (uint32_t Cpu = 0; Cpu < Cfg.NumCpus; ++Cpu) {
+        switch (C.stateOf(Cpu, L)) {
+        case LineState::Invalid:
+          break;
+        case LineState::Shared:
+          ++Valid;
+          ++Shared;
+          break;
+        case LineState::Exclusive:
+        case LineState::Modified:
+          ++Valid;
+          ++Writers;
+          break;
+        }
+      }
+      ASSERT_LE(Writers, 1u) << "line " << L << ": two owners";
+      if (Writers == 1) {
+        ASSERT_EQ(Valid, 1u)
+            << "line " << L << ": owner coexists with other copies";
+      }
+      if (Valid > 1) {
+        ASSERT_EQ(Shared, Valid)
+            << "line " << L << ": mixed states among sharers";
+      }
+    }
+  }
+};
+
+} // namespace
+
+TEST_P(MesiProperty, InvariantsHoldUnderRandomTraffic) {
+  CacheSim C(config());
+  const isa::Addr MaxAddr = 255;
+  support::Xoshiro256 Rng(GetParam().Cpus * 1000 + GetParam().Sets);
+  for (int I = 0; I < 4000; ++I) {
+    uint32_t Cpu = static_cast<uint32_t>(
+        Rng.nextBelow(config().NumCpus));
+    isa::Addr A = static_cast<isa::Addr>(Rng.nextBelow(MaxAddr + 1));
+    bool IsWrite = Rng.nextBool(0.35);
+    C.access(Cpu, A, IsWrite);
+    if (I % 64 == 0)
+      checkInvariants(C, MaxAddr);
+  }
+  checkInvariants(C, MaxAddr);
+
+  const CacheStats &S = C.stats();
+  EXPECT_EQ(S.Accesses, 4000u);
+  EXPECT_EQ(S.Hits + S.Misses, S.Accesses);
+}
+
+TEST_P(MesiProperty, WriterAlwaysEndsModified) {
+  CacheSim C(config());
+  support::Xoshiro256 Rng(7);
+  for (int I = 0; I < 1000; ++I) {
+    uint32_t Cpu = static_cast<uint32_t>(
+        Rng.nextBelow(config().NumCpus));
+    isa::Addr A = static_cast<isa::Addr>(Rng.nextBelow(128));
+    C.access(Cpu, A, /*IsWrite=*/true);
+    ASSERT_EQ(C.stateOf(Cpu, C.lineOf(A)), LineState::Modified);
+  }
+}
+
+TEST_P(MesiProperty, ReaderAlwaysEndsValid) {
+  CacheSim C(config());
+  support::Xoshiro256 Rng(9);
+  for (int I = 0; I < 1000; ++I) {
+    uint32_t Cpu = static_cast<uint32_t>(
+        Rng.nextBelow(config().NumCpus));
+    isa::Addr A = static_cast<isa::Addr>(Rng.nextBelow(128));
+    C.access(Cpu, A, /*IsWrite=*/false);
+    LineState St = C.stateOf(Cpu, C.lineOf(A));
+    ASSERT_TRUE(St == LineState::Shared || St == LineState::Exclusive ||
+                St == LineState::Modified);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, MesiProperty,
+    testing::Values(Geometry{2, 1, 4, 1}, Geometry{2, 1, 8, 2},
+                    Geometry{4, 2, 16, 4}, Geometry{4, 4, 4, 2},
+                    Geometry{8, 1, 64, 4}, Geometry{3, 8, 2, 1}),
+    geometryName);

@@ -1,0 +1,150 @@
+//===- tests/CacheSimTest.cpp - MESI cache simulator tests -----------------===//
+
+#include "cache/CacheSim.h"
+
+#include <gtest/gtest.h>
+
+using namespace svd;
+using namespace svd::cache;
+
+namespace {
+
+CacheConfig smallConfig() {
+  CacheConfig C;
+  C.NumCpus = 2;
+  C.LineWords = 2;
+  C.Sets = 4;
+  C.Ways = 2;
+  return C;
+}
+
+} // namespace
+
+TEST(CacheSim, ColdMissThenHit) {
+  CacheSim C(smallConfig());
+  AccessResult R1 = C.access(0, 0, /*IsWrite=*/false);
+  EXPECT_FALSE(R1.Hit);
+  AccessResult R2 = C.access(0, 0, false);
+  EXPECT_TRUE(R2.Hit);
+  // Same line, other word.
+  AccessResult R3 = C.access(0, 1, false);
+  EXPECT_TRUE(R3.Hit);
+  EXPECT_EQ(C.stats().Hits, 2u);
+  EXPECT_EQ(C.stats().Misses, 1u);
+}
+
+TEST(CacheSim, LineMappingUsesLineWords) {
+  CacheSim C(smallConfig());
+  EXPECT_EQ(C.lineOf(0), C.lineOf(1));
+  EXPECT_NE(C.lineOf(1), C.lineOf(2));
+}
+
+TEST(CacheSim, ExclusiveOnSoleReader) {
+  CacheSim C(smallConfig());
+  C.access(0, 0, false);
+  EXPECT_EQ(C.stateOf(0, C.lineOf(0)), LineState::Exclusive);
+}
+
+TEST(CacheSim, SharedWhenTwoReaders) {
+  CacheSim C(smallConfig());
+  C.access(0, 0, false);
+  AccessResult R = C.access(1, 0, false);
+  EXPECT_FALSE(R.Hit);
+  // E -> S downgrade is silent in MESI terms here (no data forward
+  // modeling), but both end Shared.
+  EXPECT_EQ(C.stateOf(0, 0), LineState::Shared);
+  EXPECT_EQ(C.stateOf(1, 0), LineState::Shared);
+}
+
+TEST(CacheSim, WriteInvalidatesRemoteCopies) {
+  CacheSim C(smallConfig());
+  C.access(0, 0, false);
+  C.access(1, 0, false);
+  AccessResult R = C.access(1, 0, /*IsWrite=*/true);
+  ASSERT_EQ(R.Invalidated.size(), 1u);
+  EXPECT_EQ(R.Invalidated[0], 0u);
+  EXPECT_EQ(C.stateOf(0, 0), LineState::Invalid);
+  EXPECT_EQ(C.stateOf(1, 0), LineState::Modified);
+}
+
+TEST(CacheSim, ReadDowngradesModifiedCopy) {
+  CacheSim C(smallConfig());
+  C.access(0, 0, true);
+  EXPECT_EQ(C.stateOf(0, 0), LineState::Modified);
+  AccessResult R = C.access(1, 0, false);
+  ASSERT_EQ(R.Downgraded.size(), 1u);
+  EXPECT_EQ(R.Downgraded[0], 0u);
+  EXPECT_EQ(C.stateOf(0, 0), LineState::Shared);
+  EXPECT_EQ(C.stats().Writebacks, 1u);
+}
+
+TEST(CacheSim, SilentReadOfSharedLineSendsNoMessages) {
+  CacheSim C(smallConfig());
+  C.access(0, 0, false);
+  C.access(1, 0, false); // both Shared now
+  AccessResult R = C.access(1, 0, false);
+  EXPECT_TRUE(R.Hit);
+  EXPECT_TRUE(R.Invalidated.empty());
+  EXPECT_TRUE(R.Downgraded.empty());
+}
+
+TEST(CacheSim, UpgradeFromSharedInvalidates) {
+  CacheSim C(smallConfig());
+  C.access(0, 0, false);
+  C.access(1, 0, false);
+  AccessResult R = C.access(0, 0, true); // hit in Shared -> upgrade
+  EXPECT_TRUE(R.Hit);
+  ASSERT_EQ(R.Invalidated.size(), 1u);
+  EXPECT_EQ(R.Invalidated[0], 1u);
+  EXPECT_EQ(C.stateOf(0, 0), LineState::Modified);
+}
+
+TEST(CacheSim, LruEvictionWithinSet) {
+  CacheConfig Cfg = smallConfig(); // 4 sets x 2 ways, 2-word lines
+  CacheSim C(Cfg);
+  // Lines mapping to set 0: line ids 0, 4, 8 (line = addr/2; set = line%4).
+  C.access(0, 0, false);  // line 0
+  C.access(0, 8, false);  // line 4
+  AccessResult R = C.access(0, 16, false); // line 8 evicts line 0 (LRU)
+  EXPECT_TRUE(R.EvictedValid);
+  EXPECT_EQ(R.EvictedLine, 0u);
+  EXPECT_FALSE(C.isResident(0, 0));
+  EXPECT_TRUE(C.isResident(0, 4));
+  EXPECT_TRUE(C.isResident(0, 8));
+}
+
+TEST(CacheSim, LruRefreshOnHit) {
+  CacheSim C(smallConfig());
+  C.access(0, 0, false);  // line 0
+  C.access(0, 8, false);  // line 4
+  C.access(0, 0, false);  // refresh line 0
+  AccessResult R = C.access(0, 16, false); // evicts line 4 now
+  EXPECT_TRUE(R.EvictedValid);
+  EXPECT_EQ(R.EvictedLine, 4u);
+}
+
+TEST(CacheSim, ModifiedEvictionCountsWriteback) {
+  CacheSim C(smallConfig());
+  C.access(0, 0, true);   // line 0 Modified
+  C.access(0, 8, false);  // line 4
+  C.access(0, 16, false); // evicts line 0 (Modified) -> writeback
+  EXPECT_GE(C.stats().Writebacks, 1u);
+}
+
+TEST(CacheSim, StatsAccumulate) {
+  CacheSim C(smallConfig());
+  for (int I = 0; I < 10; ++I)
+    C.access(0, 0, false);
+  EXPECT_EQ(C.stats().Accesses, 10u);
+  EXPECT_DOUBLE_EQ(C.stats().hitRate(), 0.9);
+}
+
+TEST(CacheSim, WriteMissInvalidatesModifiedOwner) {
+  CacheSim C(smallConfig());
+  C.access(0, 0, true);
+  AccessResult R = C.access(1, 0, true);
+  ASSERT_EQ(R.Invalidated.size(), 1u);
+  EXPECT_EQ(C.stateOf(0, 0), LineState::Invalid);
+  EXPECT_EQ(C.stateOf(1, 0), LineState::Modified);
+  EXPECT_GE(C.stats().Writebacks, 1u);
+}

@@ -1,0 +1,170 @@
+//===- tests/CfgTest.cpp - Unit tests for CFG / reconvergence --------------===//
+
+#include "isa/Assembler.h"
+#include "isa/Cfg.h"
+
+#include <gtest/gtest.h>
+
+using namespace svd;
+using namespace svd::isa;
+
+namespace {
+
+ThreadCfg cfgOf(const std::string &Src, Program &P) {
+  std::vector<AsmError> Errors;
+  bool Ok = assembleProgram(Src, P, Errors);
+  EXPECT_TRUE(Ok);
+  for (const AsmError &E : Errors)
+    ADD_FAILURE() << "line " << E.Line << ": " << E.Message;
+  return ThreadCfg(P.Threads[0].Code);
+}
+
+} // namespace
+
+TEST(Cfg, StraightLine) {
+  Program P;
+  ThreadCfg C = cfgOf(R"(
+.thread t
+  li r1, 1
+  li r2, 2
+  halt
+)",
+                      P);
+  EXPECT_EQ(C.size(), 3u);
+  EXPECT_EQ(C.successors(0).size(), 1u);
+  EXPECT_EQ(C.successors(0)[0], 1u);
+  EXPECT_EQ(C.successors(2)[0], C.exitNode());
+  EXPECT_EQ(C.immediatePostDominator(0), 1u);
+  EXPECT_EQ(C.immediatePostDominator(1), 2u);
+  EXPECT_EQ(C.immediatePostDominator(2), C.exitNode());
+}
+
+TEST(Cfg, IfShape) {
+  // 0: beqz r1, end (2)
+  // 1: li r2, 1
+  // 2: end: halt
+  Program P;
+  ThreadCfg C = cfgOf(R"(
+.thread t
+  beqz r1, end
+  li r2, 1
+end:
+  halt
+)",
+                      P);
+  EXPECT_EQ(C.successors(0).size(), 2u);
+  EXPECT_EQ(C.immediatePostDominator(0), 2u);
+  EXPECT_EQ(C.preciseReconvergence(0), 2u);
+  EXPECT_EQ(C.skipperReconvergence(0), 2u);
+}
+
+TEST(Cfg, IfElseShape) {
+  // 0: beqz r1, else (3)
+  // 1: li r2, 1
+  // 2: jmp end (4)
+  // 3: else: li r2, 2
+  // 4: end: halt
+  Program P;
+  ThreadCfg C = cfgOf(R"(
+.thread t
+  beqz r1, elsebb
+  li r2, 1
+  jmp end
+elsebb:
+  li r2, 2
+end:
+  halt
+)",
+                      P);
+  EXPECT_EQ(C.preciseReconvergence(0), 4u);
+  // Skipper probes the jmp at target-1 and follows it.
+  EXPECT_EQ(C.skipperReconvergence(0), 4u);
+}
+
+TEST(Cfg, LoopBackEdge) {
+  // 0: li r1, 3
+  // 1: loop: addi r1, r1, -1
+  // 2: bnez r1, loop (1)
+  // 3: halt
+  Program P;
+  ThreadCfg C = cfgOf(R"(
+.thread t
+  li r1, 3
+loop:
+  addi r1, r1, -1
+  bnez r1, loop
+  halt
+)",
+                      P);
+  // Backward branch: Skipper declines, precise says the fall-through.
+  EXPECT_EQ(C.skipperReconvergence(2), ThreadCfg::NoNode);
+  EXPECT_EQ(C.preciseReconvergence(2), 3u);
+}
+
+TEST(Cfg, BranchWithNoPostDominatorBeforeExit) {
+  // A branch whose arms both halt separately reconverges only at exit.
+  Program P;
+  ThreadCfg C = cfgOf(R"(
+.thread t
+  beqz r1, other
+  halt
+other:
+  halt
+)",
+                      P);
+  EXPECT_EQ(C.preciseReconvergence(0), ThreadCfg::NoNode);
+  // Skipper still guesses the target.
+  EXPECT_EQ(C.skipperReconvergence(0), 2u);
+}
+
+TEST(Cfg, NestedIf) {
+  // outer if contains inner if; reconvergence points nest.
+  Program P;
+  ThreadCfg C = cfgOf(R"(
+.thread t
+  beqz r1, endo
+  beqz r2, endi
+  li r3, 1
+endi:
+  li r4, 1
+endo:
+  halt
+)",
+                      P);
+  EXPECT_EQ(C.preciseReconvergence(0), 4u);
+  EXPECT_EQ(C.preciseReconvergence(1), 3u);
+  EXPECT_EQ(C.skipperReconvergence(0), 4u);
+  EXPECT_EQ(C.skipperReconvergence(1), 3u);
+}
+
+TEST(Cfg, PostDominatesReflexiveAndExit) {
+  Program P;
+  ThreadCfg C = cfgOf(R"(
+.thread t
+  li r1, 1
+  halt
+)",
+                      P);
+  EXPECT_TRUE(C.postDominates(0, 0));
+  EXPECT_TRUE(C.postDominates(1, 0));
+  EXPECT_TRUE(C.postDominates(C.exitNode(), 0));
+  EXPECT_FALSE(C.postDominates(0, 1));
+}
+
+TEST(Cfg, SkipperIfElseWithLoopInsideThen) {
+  // then-block ends with a *backward* jmp (loop), so skipper must not
+  // mistake it for an if/else skip jump.
+  Program P;
+  ThreadCfg C = cfgOf(R"(
+.thread t
+  beqz r1, after
+top:
+  addi r2, r2, -1
+  jmp top
+after:
+  halt
+)",
+                      P);
+  // Target-1 is "jmp top" (backward): treat as plain if-then.
+  EXPECT_EQ(C.skipperReconvergence(0), 3u);
+}

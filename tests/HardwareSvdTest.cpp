@@ -1,0 +1,214 @@
+//===- tests/HardwareSvdTest.cpp - Cache-based SVD tests -------------------===//
+
+#include "TestUtil.h"
+#include "svd/HardwareSvd.h"
+#include "svd/OnlineSvd.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace svd;
+using namespace svd::detect;
+using isa::assembleOrDie;
+using testutil::sched;
+using vm::Machine;
+using vm::MachineConfig;
+
+namespace {
+
+const char *RmwSource = R"(
+.global outcnt
+.thread w x2
+  ld r1, [@outcnt]
+  addi r2, r1, 1
+  st r2, [@outcnt]
+  halt
+)";
+
+HardwareSvdConfig bigCacheConfig(uint32_t Cpus = 4) {
+  HardwareSvdConfig Cfg;
+  Cfg.Cache.NumCpus = Cpus;
+  Cfg.Cache.LineWords = 1;
+  Cfg.Cache.Sets = 256;
+  Cfg.Cache.Ways = 4;
+  return Cfg;
+}
+
+struct HwRun {
+  std::vector<Violation> Violations;
+  std::vector<CuLogEntry> Log;
+  uint64_t MetadataEvictions = 0;
+  cache::CacheStats Cache;
+};
+
+HwRun runHw(const isa::Program &P, const std::vector<isa::ThreadId> &S,
+            HardwareSvdConfig Cfg, uint64_t Seed = 1) {
+  MachineConfig MC;
+  MC.SchedSeed = Seed;
+  Machine M(P, MC);
+  HardwareSvd Hw(P, Cfg);
+  M.addObserver(&Hw);
+  if (!S.empty()) {
+    M.setReplaySchedule(S);
+    M.run();
+    M.clearReplaySchedule();
+  }
+  M.run();
+  HwRun R;
+  R.Violations = Hw.violations();
+  R.Log = Hw.cuLog();
+  R.MetadataEvictions = Hw.metadataEvictions();
+  R.Cache = Hw.cacheStats();
+  return R;
+}
+
+} // namespace
+
+TEST(HardwareSvd, DetectsInterleavedRmw) {
+  isa::Program P = assembleOrDie(RmwSource);
+  HwRun R = runHw(P, sched({{0, 1}, {1, 4}, {0, 3}}), bigCacheConfig(2));
+  ASSERT_EQ(R.Violations.size(), 1u);
+  EXPECT_EQ(R.Violations[0].Tid, 0u);
+  EXPECT_EQ(R.Violations[0].Pc, 2u);
+  EXPECT_EQ(R.Violations[0].OtherTid, 1u);
+}
+
+TEST(HardwareSvd, SilentOnSerializedRmw) {
+  isa::Program P = assembleOrDie(RmwSource);
+  HwRun R = runHw(P, sched({{0, 4}, {1, 4}}), bigCacheConfig(2));
+  EXPECT_TRUE(R.Violations.empty());
+}
+
+TEST(HardwareSvd, RemoteWriteOnTrueDepLogsAndEndsCu) {
+  isa::Program P = assembleOrDie(R"(
+.global g
+.thread a
+  li r1, 5
+  st r1, [@g]
+  ld r2, [@g]
+  addi r2, r2, 1
+  st r2, [@g]
+  halt
+.thread b
+  li r3, 9
+  st r3, [@g]
+  halt
+)");
+  HwRun R = runHw(P, sched({{0, 3}, {1, 3}, {0, 3}}), bigCacheConfig(2));
+  EXPECT_TRUE(R.Violations.empty());
+  ASSERT_EQ(R.Log.size(), 1u);
+  EXPECT_EQ(R.Log[0].Pc, 2u);
+  EXPECT_EQ(R.Log[0].RemotePc, 1u);
+}
+
+TEST(HardwareSvd, MatchesSoftwareOnBigCache) {
+  // With an effectively infinite cache and word-size lines, hardware
+  // SVD should agree with software SVD on whether each of a batch of
+  // executions contains a violation.
+  workloads::WorkloadParams P;
+  P.Threads = 4;
+  P.Iterations = 30;
+  P.WorkPadding = 20;
+  P.TouchOneIn = 2;
+  workloads::Workload W = workloads::apacheLog(P);
+  int Agree = 0, Total = 0;
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    MachineConfig MC;
+    MC.SchedSeed = Seed;
+    MC.MinTimeslice = 1;
+    MC.MaxTimeslice = 4;
+    Machine M(W.Program, MC);
+    OnlineSvd Sw(W.Program);
+    HardwareSvdConfig HC = bigCacheConfig(5);
+    HC.Cache.Sets = 1024;
+    HardwareSvd Hw(W.Program, HC);
+    M.addObserver(&Sw);
+    M.addObserver(&Hw);
+    M.run();
+    ++Total;
+    Agree += (Sw.violations().empty() == Hw.violations().empty());
+  }
+  EXPECT_EQ(Agree, Total);
+}
+
+TEST(HardwareSvd, TinyCacheLosesMetadata) {
+  workloads::WorkloadParams P;
+  P.Threads = 4;
+  P.Iterations = 30;
+  workloads::Workload W = workloads::apacheLog(P);
+  HardwareSvdConfig Tiny = bigCacheConfig(5);
+  Tiny.Cache.Sets = 4;
+  Tiny.Cache.Ways = 2;
+  HwRun R = runHw(W.Program, {}, Tiny, 3);
+  EXPECT_GT(R.MetadataEvictions, 0u);
+  EXPECT_GT(R.Cache.Evictions, 0u);
+}
+
+TEST(HardwareSvd, WideLinesCauseFalseSharingReports) {
+  // Two threads write adjacent words: silent with 1-word lines, a
+  // false-sharing report with 4-word lines.
+  isa::Program P = assembleOrDie(R"(
+.global arr 2
+.thread a
+  ld r1, [@arr]
+  addi r1, r1, 1
+  st r1, [@arr]
+  halt
+.thread b
+  li r3, 7
+  st r3, [@arr+1]
+  halt
+)");
+  auto S = sched({{0, 1}, {1, 3}, {0, 3}});
+  HwRun Word = runHw(P, S, bigCacheConfig(2));
+  EXPECT_TRUE(Word.Violations.empty());
+
+  HardwareSvdConfig Wide = bigCacheConfig(2);
+  Wide.Cache.LineWords = 4;
+  HwRun Line = runHw(P, S, Wide);
+  EXPECT_EQ(Line.Violations.size(), 1u);
+}
+
+TEST(HardwareSvd, CoherenceTrafficIsCounted) {
+  isa::Program P = assembleOrDie(RmwSource);
+  HwRun R = runHw(P, sched({{0, 1}, {1, 4}, {0, 3}}), bigCacheConfig(2));
+  EXPECT_GT(R.Cache.Accesses, 0u);
+  EXPECT_GT(R.Cache.Invalidations + R.Cache.Downgrades, 0u);
+}
+
+TEST(HardwareSvd, MetadataBitsAccounting) {
+  isa::Program P = assembleOrDie(RmwSource);
+  HardwareSvd Hw(P, bigCacheConfig(2));
+  EXPECT_GT(Hw.metadataBits(), 0u);
+}
+
+TEST(HardwareSvd, BenignLockedCounterStaysSilent) {
+  isa::Program P = assembleOrDie(R"(
+.global tot
+.lock m
+.thread locker
+  li r5, 2
+loop:
+  lock @m
+  ld r1, [@tot]
+  addi r1, r1, 1
+  st r1, [@tot]
+  unlock @m
+  addi r5, r5, -1
+  bnez r5, loop
+  halt
+.thread reader
+  ld r2, [@tot]
+  beqz r2, iszero
+  li r3, 1
+  jmp out
+iszero:
+  li r3, 0
+out:
+  print r3
+  halt
+)");
+  HwRun R = runHw(P, sched({{0, 8}, {1, 1}, {0, 8}, {1, 5}}),
+                  bigCacheConfig(2));
+  EXPECT_TRUE(R.Violations.empty());
+}

@@ -1,0 +1,163 @@
+//===- tests/HarnessTest.cpp - Experiment harness tests --------------------===//
+
+#include "harness/Harness.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace svd;
+using namespace svd::harness;
+using workloads::Workload;
+using workloads::WorkloadParams;
+
+TEST(Harness, DetectorNames) {
+  EXPECT_STREQ(detectorName(DetectorKind::OnlineSvd), "SVD");
+  EXPECT_STREQ(detectorName(DetectorKind::HappensBefore), "FRD");
+  EXPECT_STREQ(detectorName(DetectorKind::Lockset), "Lockset");
+}
+
+TEST(Harness, SvdDetectsApacheBugOnManifestingSeed) {
+  WorkloadParams P;
+  P.Threads = 4;
+  P.Iterations = 20;
+  Workload W = workloads::apacheLog(P);
+  bool FoundManifestingSeed = false;
+  for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
+    SampleConfig C;
+    C.Seed = Seed;
+    SampleMetrics M = runSample(W, DetectorKind::OnlineSvd, C);
+    if (!M.Manifested)
+      continue;
+    FoundManifestingSeed = true;
+    EXPECT_TRUE(M.DetectedBug) << "seed " << Seed;
+    EXPECT_GT(M.DynamicTrue, 0u);
+    EXPECT_GT(M.StaticTrue, 0u);
+    EXPECT_GT(M.CusFormed, 0u);
+  }
+  EXPECT_TRUE(FoundManifestingSeed);
+}
+
+TEST(Harness, SameSeedSameStepsAcrossDetectors) {
+  WorkloadParams P;
+  P.Threads = 2;
+  P.Iterations = 10;
+  Workload W = workloads::pgsqlOltp(P);
+  SampleConfig C;
+  C.Seed = 5;
+  SampleMetrics A = runSample(W, DetectorKind::OnlineSvd, C);
+  SampleMetrics B = runSample(W, DetectorKind::HappensBefore, C);
+  SampleMetrics L = runSample(W, DetectorKind::Lockset, C);
+  EXPECT_EQ(A.Steps, B.Steps);
+  EXPECT_EQ(A.Steps, L.Steps);
+}
+
+TEST(Harness, BenignRaceSplitsDetectorsOnTableLock) {
+  WorkloadParams P;
+  P.Threads = 3;
+  P.Iterations = 20;
+  Workload W = workloads::mysqlTableLock(P);
+  size_t FrdReports = 0;
+  size_t SvdReports = 0;
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    SampleConfig C;
+    C.Seed = Seed;
+    FrdReports +=
+        runSample(W, DetectorKind::HappensBefore, C).DynamicReports;
+    SvdReports += runSample(W, DetectorKind::OnlineSvd, C).DynamicReports;
+  }
+  EXPECT_GT(FrdReports, 0u) << "FRD must report the benign race";
+  EXPECT_EQ(SvdReports, 0u) << "SVD must stay silent (serializable)";
+}
+
+TEST(Harness, PgsqlIsRaceFreeForFrd) {
+  WorkloadParams P;
+  P.Threads = 4;
+  P.Iterations = 15;
+  Workload W = workloads::pgsqlOltp(P);
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    SampleConfig C;
+    C.Seed = Seed;
+    SampleMetrics M = runSample(W, DetectorKind::HappensBefore, C);
+    EXPECT_EQ(M.DynamicReports, 0u) << "seed " << Seed;
+  }
+}
+
+TEST(Harness, OverheadMeasurementProducesTimes) {
+  WorkloadParams P;
+  P.Threads = 2;
+  P.Iterations = 30;
+  Workload W = workloads::pgsqlOltp(P);
+  SampleConfig C;
+  C.Seed = 1;
+  C.MeasureOverhead = true;
+  SampleMetrics M = runSample(W, DetectorKind::OnlineSvd, C);
+  EXPECT_GT(M.DetectorSeconds, 0.0);
+  EXPECT_GT(M.BareSeconds, 0.0);
+  EXPECT_GT(M.DetectorBytes, 0u);
+}
+
+TEST(Harness, PerMillionMath) {
+  SampleMetrics M;
+  M.Steps = 2'000'000;
+  EXPECT_DOUBLE_EQ(M.perMillion(4), 2.0);
+  M.Steps = 0;
+  EXPECT_DOUBLE_EQ(M.perMillion(4), 0.0);
+}
+
+TEST(Harness, AggregateAccumulates) {
+  Aggregate A;
+  SampleMetrics M1;
+  M1.Steps = 1'000'000;
+  M1.Manifested = true;
+  M1.DetectedBug = true;
+  M1.DynamicFalse = 3;
+  M1.StaticFalse = 2;
+  M1.CusFormed = 100;
+  SampleMetrics M2;
+  M2.Steps = 1'000'000;
+  M2.DynamicFalse = 1;
+  M2.StaticFalse = 5;
+  M2.CusFormed = 50;
+  A.add(M1);
+  A.add(M2);
+  EXPECT_EQ(A.Samples, 2u);
+  EXPECT_EQ(A.SamplesManifested, 1u);
+  EXPECT_EQ(A.SamplesDetected, 1u);
+  EXPECT_EQ(A.DynamicFalse, 4u);
+  EXPECT_EQ(A.StaticFalseMax, 5u);
+  EXPECT_DOUBLE_EQ(A.dynamicFalsePerMillion(), 2.0);
+  EXPECT_DOUBLE_EQ(A.cusPerMillion(), 75.0);
+}
+
+TEST(Harness, TextTableRendersAligned) {
+  TextTable T({"name", "value"});
+  T.addRow({"alpha", "1"});
+  T.addRow({"b", "22222"});
+  std::string R = T.render();
+  EXPECT_NE(R.find("| name"), std::string::npos);
+  EXPECT_NE(R.find("| alpha"), std::string::npos);
+  EXPECT_NE(R.find("|---"), std::string::npos);
+  // All four lines end with a pipe.
+  for (const std::string &Line : support::splitString(R, '\n'))
+    if (!Line.empty()) {
+      EXPECT_EQ(Line.back(), '|');
+    }
+}
+
+TEST(Harness, TimesliceConfigChangesExecution) {
+  WorkloadParams P;
+  P.Threads = 4;
+  P.Iterations = 20;
+  Workload W = workloads::apacheLog(P);
+  SampleConfig Fine;
+  Fine.Seed = 3;
+  SampleConfig Coarse;
+  Coarse.Seed = 3;
+  Coarse.MinTimeslice = 40;
+  Coarse.MaxTimeslice = 80;
+  SampleMetrics A = runSample(W, DetectorKind::OnlineSvd, Fine);
+  SampleMetrics B = runSample(W, DetectorKind::OnlineSvd, Coarse);
+  // Different interleavings; both still execute the whole program.
+  EXPECT_GT(A.Steps, 0u);
+  EXPECT_GT(B.Steps, 0u);
+}

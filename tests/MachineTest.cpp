@@ -1,0 +1,608 @@
+//===- tests/MachineTest.cpp - Unit tests for the VM -----------------------===//
+
+#include "isa/Assembler.h"
+#include "vm/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace svd;
+using namespace svd::isa;
+using namespace svd::vm;
+
+namespace {
+
+Program asmProg(const std::string &Src) { return assembleOrDie(Src); }
+
+/// Counts events per kind.
+struct CountingObserver : ExecutionObserver {
+  int Loads = 0, Stores = 0, Alus = 0, Branches = 0, Locks = 0,
+      Unlocks = 0, Errors = 0, Prints = 0, Finished = 0, RunEnds = 0;
+  void onLoad(const EventCtx &, Addr, Word) override { ++Loads; }
+  void onStore(const EventCtx &, Addr, Word) override { ++Stores; }
+  void onAlu(const EventCtx &) override { ++Alus; }
+  void onBranch(const EventCtx &, bool, uint32_t) override { ++Branches; }
+  void onLock(const EventCtx &, uint32_t) override { ++Locks; }
+  void onUnlock(const EventCtx &, uint32_t) override { ++Unlocks; }
+  void onProgramError(const EventCtx &, const char *) override { ++Errors; }
+  void onPrint(const EventCtx &, Word) override { ++Prints; }
+  void onThreadFinished(const EventCtx &) override { ++Finished; }
+  void onRunEnd() override { ++RunEnds; }
+};
+
+} // namespace
+
+TEST(Machine, ArithmeticAndPrint) {
+  Program P = asmProg(R"(
+.thread t
+  li r1, 6
+  li r2, 7
+  mul r3, r1, r2
+  print r3
+  sub r4, r3, r1
+  print r4
+  halt
+)");
+  Machine M(P);
+  EXPECT_EQ(M.run(), StopReason::AllHalted);
+  ASSERT_EQ(M.printed().size(), 2u);
+  EXPECT_EQ(M.printed()[0].Value, 42);
+  EXPECT_EQ(M.printed()[1].Value, 36);
+}
+
+TEST(Machine, AllAluOps) {
+  Program P = asmProg(R"(
+.thread t
+  li r1, 12
+  li r2, 5
+  add r3, r1, r2
+  print r3        ; 17
+  div r3, r1, r2
+  print r3        ; 2
+  rem r3, r1, r2
+  print r3        ; 2
+  and r3, r1, r2
+  print r3        ; 4
+  or  r3, r1, r2
+  print r3        ; 13
+  xor r3, r1, r2
+  print r3        ; 9
+  shl r3, r1, r2
+  print r3        ; 384
+  shr r3, r1, r2
+  print r3        ; 0
+  slt r3, r2, r1
+  print r3        ; 1
+  sle r3, r1, r1
+  print r3        ; 1
+  seq r3, r1, r2
+  print r3        ; 0
+  sne r3, r1, r2
+  print r3        ; 1
+  slti r3, r1, 13
+  print r3        ; 1
+  andi r3, r1, 4
+  print r3        ; 4
+  muli r3, r2, -3
+  print r3        ; -15
+  halt
+)");
+  Machine M(P);
+  M.run();
+  std::vector<Word> Want = {17, 2, 2, 4, 13, 9, 384, 0, 1, 1, 0, 1, 1, 4,
+                            -15};
+  ASSERT_EQ(M.printed().size(), Want.size());
+  for (size_t I = 0; I < Want.size(); ++I)
+    EXPECT_EQ(M.printed()[I].Value, Want[I]) << "print #" << I;
+}
+
+TEST(Machine, DivisionByZeroYieldsZero) {
+  Program P = asmProg(R"(
+.thread t
+  li r1, 9
+  li r2, 0
+  div r3, r1, r2
+  print r3
+  rem r4, r1, r2
+  print r4
+  halt
+)");
+  Machine M(P);
+  M.run();
+  EXPECT_EQ(M.printed()[0].Value, 0);
+  EXPECT_EQ(M.printed()[1].Value, 0);
+}
+
+TEST(Machine, ZeroRegisterIsHardwired) {
+  Program P = asmProg(R"(
+.thread t
+  li r0, 99
+  print r0
+  halt
+)");
+  Machine M(P);
+  M.run();
+  EXPECT_EQ(M.printed()[0].Value, 0);
+}
+
+TEST(Machine, LoadsAndStores) {
+  Program P = asmProg(R"(
+.global cell
+.global arr 4
+.thread t
+  li r1, 11
+  st r1, [@cell]
+  ld r2, [@cell]
+  print r2
+  li r3, 2          ; index
+  li r4, 55
+  st r4, [r3+@arr]
+  ld r5, [r3+@arr]
+  print r5
+  halt
+)");
+  Machine M(P);
+  M.run();
+  EXPECT_EQ(M.printed()[0].Value, 11);
+  EXPECT_EQ(M.printed()[1].Value, 55);
+  EXPECT_EQ(M.readMem(P.addressOf("arr", 0, 2)), 55);
+}
+
+TEST(Machine, TidAndThreadLocals) {
+  Program P = asmProg(R"(
+.local mine
+.global out 4
+.thread t x3
+  tid r1
+  addi r2, r1, 100
+  st r2, [@mine]
+  ld r3, [@mine]
+  st r3, [r1+@out]
+  halt
+)");
+  Machine M(P);
+  EXPECT_EQ(M.run(), StopReason::AllHalted);
+  for (ThreadId Tid = 0; Tid < 3; ++Tid)
+    EXPECT_EQ(M.readMem(P.addressOf("out", 0, Tid)), 100 + Tid);
+}
+
+TEST(Machine, LoopExecutes) {
+  Program P = asmProg(R"(
+.thread t
+  li r1, 5
+  li r2, 0
+loop:
+  add r2, r2, r1
+  addi r1, r1, -1
+  bnez r1, loop
+  print r2
+  halt
+)");
+  Machine M(P);
+  M.run();
+  EXPECT_EQ(M.printed()[0].Value, 15);
+}
+
+TEST(Machine, MutexProvidesMutualExclusion) {
+  // Racing counter increments under a lock must not lose updates.
+  Program P = asmProg(R"(
+.global counter
+.lock m
+.thread t x4
+  li r5, 50
+loop:
+  lock @m
+  ld r1, [@counter]
+  addi r1, r1, 1
+  st r1, [@counter]
+  unlock @m
+  addi r5, r5, -1
+  bnez r5, loop
+  halt
+)");
+  for (uint64_t Seed : {1u, 7u, 42u}) {
+    MachineConfig Cfg;
+    Cfg.SchedSeed = Seed;
+    Machine M(P, Cfg);
+    EXPECT_EQ(M.run(), StopReason::AllHalted);
+    EXPECT_EQ(M.readMem(P.addressOf("counter")), 200) << "seed " << Seed;
+  }
+}
+
+TEST(Machine, UnlockedCounterLosesUpdatesForSomeSeed) {
+  // The same increments without the lock must drop updates for at least
+  // one of a handful of seeds — demonstrating the races are real.
+  Program P = asmProg(R"(
+.global counter
+.thread t x4
+  li r5, 50
+loop:
+  ld r1, [@counter]
+  addi r1, r1, 1
+  st r1, [@counter]
+  addi r5, r5, -1
+  bnez r5, loop
+  halt
+)");
+  bool Lost = false;
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    MachineConfig Cfg;
+    Cfg.SchedSeed = Seed;
+    Machine M(P, Cfg);
+    M.run();
+    if (M.readMem(P.addressOf("counter")) != 200)
+      Lost = true;
+  }
+  EXPECT_TRUE(Lost);
+}
+
+TEST(Machine, DeadlockDetected) {
+  Program P = asmProg(R"(
+.lock a
+.lock b
+.thread t1
+  lock @a
+  yield
+  lock @b
+  halt
+.thread t2
+  lock @b
+  yield
+  lock @a
+  halt
+)");
+  // Search a few seeds for the classic ABBA deadlock.
+  bool SawDeadlock = false;
+  for (uint64_t Seed = 1; Seed <= 20 && !SawDeadlock; ++Seed) {
+    MachineConfig Cfg;
+    Cfg.SchedSeed = Seed;
+    Machine M(P, Cfg);
+    SawDeadlock = M.run() == StopReason::Deadlock;
+  }
+  EXPECT_TRUE(SawDeadlock);
+}
+
+TEST(Machine, RecursiveLockFaults) {
+  Program P = asmProg(R"(
+.lock m
+.thread t
+  lock @m
+  lock @m
+  halt
+)");
+  Machine M(P);
+  M.run();
+  ASSERT_EQ(M.errors().size(), 1u);
+  EXPECT_NE(M.errors()[0].Message.find("recursive"), std::string::npos);
+}
+
+TEST(Machine, UnlockNotHeldFaults) {
+  Program P = asmProg(R"(
+.lock m
+.thread t
+  unlock @m
+  halt
+)");
+  Machine M(P);
+  M.run();
+  ASSERT_EQ(M.errors().size(), 1u);
+}
+
+TEST(Machine, AssertFailureRecordsErrorAndHaltsThread) {
+  Program P = asmProg(R"(
+.thread t
+  li r1, 0
+  assert r1, "boom"
+  print r1      ; never reached
+  halt
+)");
+  Machine M(P);
+  EXPECT_EQ(M.run(), StopReason::AllHalted);
+  ASSERT_EQ(M.errors().size(), 1u);
+  EXPECT_EQ(M.errors()[0].Message, "boom");
+  EXPECT_TRUE(M.printed().empty());
+}
+
+TEST(Machine, AssertPassIsSilent) {
+  Program P = asmProg(R"(
+.thread t
+  li r1, 1
+  assert r1, "fine"
+  halt
+)");
+  Machine M(P);
+  M.run();
+  EXPECT_TRUE(M.errors().empty());
+}
+
+TEST(Machine, OutOfRangeAccessFaults) {
+  Program P = asmProg(R"(
+.global g
+.thread t
+  li r1, 100000
+  ld r2, [r1]
+  halt
+)");
+  Machine M(P);
+  M.run();
+  ASSERT_EQ(M.errors().size(), 1u);
+  EXPECT_NE(M.errors()[0].Message.find("out-of-range"), std::string::npos);
+}
+
+TEST(Machine, SameSeedSameExecution) {
+  Program P = asmProg(R"(
+.global x
+.thread t x3
+  rnd r1, 100
+loop:
+  ld r2, [@x]
+  add r2, r2, r1
+  st r2, [@x]
+  addi r1, r1, -7
+  bnez r1, cont
+  jmp done
+cont:
+  slti r3, r1, 0
+  beqz r3, loop
+done:
+  halt
+)");
+  MachineConfig Cfg;
+  Cfg.SchedSeed = 99;
+  Machine M1(P, Cfg);
+  Machine M2(P, Cfg);
+  M1.run();
+  M2.run();
+  EXPECT_EQ(M1.steps(), M2.steps());
+  EXPECT_EQ(M1.schedule(), M2.schedule());
+  EXPECT_EQ(M1.readMem(P.addressOf("x")), M2.readMem(P.addressOf("x")));
+}
+
+TEST(Machine, DifferentSeedsUsuallyDiverge) {
+  Program P = asmProg(R"(
+.global x
+.thread t x2
+  li r5, 30
+loop:
+  ld r1, [@x]
+  addi r1, r1, 1
+  st r1, [@x]
+  addi r5, r5, -1
+  bnez r5, loop
+  halt
+)");
+  MachineConfig C1, C2;
+  C1.SchedSeed = 1;
+  C2.SchedSeed = 2;
+  Machine M1(P, C1), M2(P, C2);
+  M1.run();
+  M2.run();
+  EXPECT_NE(M1.schedule(), M2.schedule());
+}
+
+TEST(Machine, ReplayReproducesExecution) {
+  Program P = asmProg(R"(
+.global x
+.thread t x3
+  li r5, 20
+loop:
+  ld r1, [@x]
+  addi r1, r1, 1
+  st r1, [@x]
+  addi r5, r5, -1
+  bnez r5, loop
+  halt
+)");
+  MachineConfig Cfg;
+  Cfg.SchedSeed = 1234;
+  Machine M1(P, Cfg);
+  M1.run();
+  Word Final = M1.readMem(P.addressOf("x"));
+
+  // Replay with a *different* seed but the recorded schedule.
+  MachineConfig Cfg2;
+  Cfg2.SchedSeed = 777;
+  Machine M2(P, Cfg2);
+  M2.setReplaySchedule(M1.schedule());
+  M2.run();
+  EXPECT_EQ(M2.readMem(P.addressOf("x")), Final);
+  EXPECT_EQ(M2.steps(), M1.steps());
+}
+
+TEST(Machine, CheckpointRestoreRewindsState) {
+  Program P = asmProg(R"(
+.global x
+.thread t
+  li r1, 1
+  st r1, [@x]
+  li r2, 2
+  st r2, [@x]
+  halt
+)");
+  Machine M(P);
+  StopReason R;
+  // Execute "li; st" (2 steps), checkpoint, run to completion, restore.
+  ASSERT_TRUE(M.stepOnce(R));
+  ASSERT_TRUE(M.stepOnce(R));
+  Checkpoint C = M.checkpoint();
+  EXPECT_EQ(M.readMem(P.addressOf("x")), 1);
+  M.run();
+  EXPECT_EQ(M.readMem(P.addressOf("x")), 2);
+  M.restore(C);
+  EXPECT_EQ(M.readMem(P.addressOf("x")), 1);
+  EXPECT_EQ(M.steps(), 2u);
+  // Re-running finishes again.
+  EXPECT_EQ(M.run(), StopReason::AllHalted);
+  EXPECT_EQ(M.readMem(P.addressOf("x")), 2);
+}
+
+TEST(Machine, CheckpointDropsLaterErrorsOnRestore) {
+  Program P = asmProg(R"(
+.thread t
+  li r1, 0
+  assert r1, "late"
+  halt
+)");
+  Machine M(P);
+  Checkpoint C = M.checkpoint();
+  M.run();
+  EXPECT_EQ(M.errors().size(), 1u);
+  M.restore(C);
+  EXPECT_TRUE(M.errors().empty());
+}
+
+TEST(Machine, StepBudgetStopsInfiniteLoop) {
+  Program P = asmProg(R"(
+.thread t
+spin:
+  jmp spin
+)");
+  MachineConfig Cfg;
+  Cfg.MaxSteps = 1000;
+  Machine M(P, Cfg);
+  EXPECT_EQ(M.run(), StopReason::StepBudget);
+  EXPECT_EQ(M.steps(), 1000u);
+}
+
+TEST(Machine, SerialModeRunsOneThreadToCompletion) {
+  Program P = asmProg(R"(
+.thread t x3
+  li r5, 10
+loop:
+  addi r5, r5, -1
+  bnez r5, loop
+  halt
+)");
+  MachineConfig Cfg;
+  Cfg.SerialMode = true;
+  Machine M(P, Cfg);
+  M.run();
+  // The schedule must be three contiguous runs of one thread each.
+  const auto &S = M.schedule();
+  int Switches = 0;
+  for (size_t I = 1; I < S.size(); ++I)
+    if (S[I] != S[I - 1])
+      ++Switches;
+  EXPECT_EQ(Switches, 2);
+}
+
+TEST(Machine, TimesliceReducesSwitchFrequency) {
+  Program P = asmProg(R"(
+.thread t x2
+  li r5, 200
+loop:
+  addi r5, r5, -1
+  bnez r5, loop
+  halt
+)");
+  auto CountSwitches = [&](uint32_t MinTs, uint32_t MaxTs) {
+    MachineConfig Cfg;
+    Cfg.SchedSeed = 5;
+    Cfg.MinTimeslice = MinTs;
+    Cfg.MaxTimeslice = MaxTs;
+    Machine M(P, Cfg);
+    M.run();
+    const auto &S = M.schedule();
+    int N = 0;
+    for (size_t I = 1; I < S.size(); ++I)
+      if (S[I] != S[I - 1])
+        ++N;
+    return N;
+  };
+  EXPECT_GT(CountSwitches(1, 1), CountSwitches(50, 100));
+}
+
+TEST(Machine, ObserverSeesAllEventKinds) {
+  Program P = asmProg(R"(
+.global g
+.lock m
+.thread t
+  li r1, 5
+  lock @m
+  st r1, [@g]
+  ld r2, [@g]
+  unlock @m
+  print r2
+  beqz r0, end
+end:
+  halt
+)");
+  Machine M(P);
+  CountingObserver Obs;
+  M.addObserver(&Obs);
+  M.run();
+  EXPECT_EQ(Obs.Loads, 1);
+  EXPECT_EQ(Obs.Stores, 1);
+  EXPECT_EQ(Obs.Alus, 2); // li and print both count as register events
+  EXPECT_EQ(Obs.Branches, 1);
+  EXPECT_EQ(Obs.Locks, 1);
+  EXPECT_EQ(Obs.Unlocks, 1);
+  EXPECT_EQ(Obs.Prints, 1);
+  EXPECT_EQ(Obs.Finished, 1);
+  EXPECT_EQ(Obs.RunEnds, 1);
+}
+
+TEST(Machine, RemoveObserverStopsEvents) {
+  Program P = asmProg(R"(
+.thread t
+  li r1, 1
+  li r2, 2
+  halt
+)");
+  Machine M(P);
+  CountingObserver Obs;
+  M.addObserver(&Obs);
+  StopReason R;
+  M.stepOnce(R);
+  M.removeObserver(&Obs);
+  M.run();
+  EXPECT_EQ(Obs.Alus, 1);
+}
+
+TEST(Machine, RunEndNotifiedOnce) {
+  Program P = asmProg(".thread t\n  halt\n");
+  Machine M(P);
+  CountingObserver Obs;
+  M.addObserver(&Obs);
+  M.run();
+  M.notifyRunEnd();
+  EXPECT_EQ(Obs.RunEnds, 1);
+}
+
+TEST(Machine, RndIsScheduleIndependent) {
+  // The rnd streams are per-thread: thread 0's draws are the same no
+  // matter how threads interleave.
+  Program P = asmProg(R"(
+.global sink 8
+.thread t x2
+  tid r1
+  rnd r2, 1000
+  st r2, [r1+@sink]
+  halt
+)");
+  MachineConfig C1, C2;
+  C1.SchedSeed = 10;
+  C2.SchedSeed = 20;
+  C1.RndSeed = C2.RndSeed = 5;
+  Machine M1(P, C1), M2(P, C2);
+  M1.run();
+  M2.run();
+  EXPECT_EQ(M1.readMem(P.addressOf("sink", 0, 0)),
+            M2.readMem(P.addressOf("sink", 0, 0)));
+  EXPECT_EQ(M1.readMem(P.addressOf("sink", 0, 1)),
+            M2.readMem(P.addressOf("sink", 0, 1)));
+}
+
+TEST(Machine, RunUntilPauses) {
+  Program P = asmProg(R"(
+.thread t
+  li r1, 1
+  li r2, 2
+  li r3, 3
+  halt
+)");
+  Machine M(P);
+  StopReason R = M.runUntil([&] { return M.steps() == 2; });
+  EXPECT_EQ(R, StopReason::Paused);
+  EXPECT_EQ(M.steps(), 2u);
+  EXPECT_EQ(M.run(), StopReason::AllHalted);
+}

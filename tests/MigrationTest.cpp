@@ -1,0 +1,178 @@
+//===- tests/MigrationTest.cpp - Thread-to-CPU binding tests ---------------===//
+
+#include "TestUtil.h"
+#include "svd/OnlineSvd.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace svd;
+using isa::assembleOrDie;
+using testutil::sched;
+using vm::Machine;
+using vm::MachineConfig;
+
+namespace {
+
+/// Records every (tid, cpu) pair seen in the event stream.
+struct CpuObserver : vm::ExecutionObserver {
+  std::set<std::pair<isa::ThreadId, uint32_t>> Seen;
+  uint32_t MaxCpu = 0;
+  void onAlu(const vm::EventCtx &Ctx) override { note(Ctx); }
+  void onLoad(const vm::EventCtx &Ctx, isa::Addr, isa::Word) override {
+    note(Ctx);
+  }
+  void onStore(const vm::EventCtx &Ctx, isa::Addr, isa::Word) override {
+    note(Ctx);
+  }
+  void onBranch(const vm::EventCtx &Ctx, bool, uint32_t) override {
+    note(Ctx);
+  }
+  void note(const vm::EventCtx &Ctx) {
+    Seen.insert({Ctx.Tid, Ctx.Cpu});
+    MaxCpu = std::max(MaxCpu, Ctx.Cpu);
+  }
+};
+
+const char *LoopSource = R"(
+.global g
+.thread t x4
+  li r5, 50
+loop:
+  ld r1, [@g]
+  addi r1, r1, 1
+  st r1, [@g]
+  addi r5, r5, -1
+  bnez r5, loop
+  halt
+)";
+
+} // namespace
+
+TEST(Migration, DefaultBindingIsIdentity) {
+  isa::Program P = assembleOrDie(LoopSource);
+  Machine M(P);
+  CpuObserver O;
+  M.addObserver(&O);
+  M.run();
+  for (const auto &[Tid, Cpu] : O.Seen)
+    EXPECT_EQ(Tid, Cpu);
+}
+
+TEST(Migration, CpusBoundRoundRobinWithoutMigration) {
+  isa::Program P = assembleOrDie(LoopSource);
+  MachineConfig MC;
+  MC.NumCpus = 2;
+  Machine M(P, MC);
+  CpuObserver O;
+  M.addObserver(&O);
+  M.run();
+  EXPECT_LT(O.MaxCpu, 2u);
+  // Four threads, two CPUs, no migration: exactly one binding each.
+  EXPECT_EQ(O.Seen.size(), 4u);
+  EXPECT_TRUE(O.Seen.count({0, 0}));
+  EXPECT_TRUE(O.Seen.count({1, 1}));
+  EXPECT_TRUE(O.Seen.count({2, 0}));
+  EXPECT_TRUE(O.Seen.count({3, 1}));
+}
+
+TEST(Migration, MigrationChangesBindingsOverTime) {
+  isa::Program P = assembleOrDie(LoopSource);
+  MachineConfig MC;
+  MC.NumCpus = 4;
+  MC.MigrationInterval = 50;
+  Machine M(P, MC);
+  CpuObserver O;
+  M.addObserver(&O);
+  M.run();
+  // With migrations, some thread must have run on several CPUs.
+  EXPECT_GT(O.Seen.size(), 4u);
+}
+
+TEST(Migration, MigrationIsDeterministicPerSeed) {
+  isa::Program P = assembleOrDie(LoopSource);
+  MachineConfig MC;
+  MC.SchedSeed = 5;
+  MC.NumCpus = 2;
+  MC.MigrationInterval = 40;
+  Machine A(P, MC);
+  Machine B(P, MC);
+  CpuObserver OA, OB;
+  A.addObserver(&OA);
+  B.addObserver(&OB);
+  A.run();
+  B.run();
+  EXPECT_EQ(OA.Seen, OB.Seen);
+}
+
+TEST(Migration, CheckpointRestoresBindings) {
+  isa::Program P = assembleOrDie(LoopSource);
+  MachineConfig MC;
+  MC.NumCpus = 2;
+  MC.MigrationInterval = 30;
+  Machine M(P, MC);
+  vm::StopReason R;
+  for (int I = 0; I < 100 && M.stepOnce(R); ++I) {
+  }
+  vm::Checkpoint C = M.checkpoint();
+  CpuObserver O1;
+  M.addObserver(&O1);
+  M.run();
+  M.removeObserver(&O1);
+  M.restore(C);
+  CpuObserver O2;
+  M.addObserver(&O2);
+  M.run();
+  EXPECT_EQ(O1.Seen, O2.Seen);
+}
+
+TEST(Migration, CpuKeyedSvdEqualsThreadKeyedWhenPinned) {
+  // One CPU per thread and no migration: the Section 4.3 approximation
+  // is exact.
+  isa::Program P = assembleOrDie(LoopSource);
+  MachineConfig MC;
+  MC.SchedSeed = 3;
+  MC.NumCpus = 4;
+  Machine M(P, MC);
+  detect::OnlineSvd ByThread(P);
+  detect::OnlineSvdConfig ByCpuCfg;
+  ByCpuCfg.NumCpus = 4;
+  detect::OnlineSvd ByCpu(P, ByCpuCfg);
+  M.addObserver(&ByThread);
+  M.addObserver(&ByCpu);
+  M.run();
+  EXPECT_EQ(ByThread.violations().size(), ByCpu.violations().size());
+}
+
+TEST(Migration, SharedCpuBlendsThreadsAndMissesTheirConflicts) {
+  // Two threads multiplexed on ONE CPU: a per-processor detector sees a
+  // single access stream, so their mutual interference has no "remote"
+  // accesses at all — the approximation's blind spot.
+  isa::Program P = assembleOrDie(R"(
+.global outcnt
+.thread w x2
+  ld r1, [@outcnt]
+  addi r2, r1, 1
+  st r2, [@outcnt]
+  halt
+)");
+  auto S = sched({{0, 1}, {1, 4}, {0, 3}});
+
+  MachineConfig MC;
+  MC.NumCpus = 1;
+  Machine M(P, MC);
+  detect::OnlineSvd ByThread(P);
+  detect::OnlineSvdConfig ByCpuCfg;
+  ByCpuCfg.NumCpus = 1;
+  detect::OnlineSvd ByCpu(P, ByCpuCfg);
+  M.addObserver(&ByThread);
+  M.addObserver(&ByCpu);
+  M.setReplaySchedule(S);
+  M.run();
+  M.clearReplaySchedule();
+  M.run();
+  EXPECT_EQ(ByThread.violations().size(), 1u);
+  EXPECT_TRUE(ByCpu.violations().empty())
+      << "one lane cannot see its own interleaving";
+}

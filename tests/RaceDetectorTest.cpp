@@ -1,0 +1,427 @@
+//===- tests/RaceDetectorTest.cpp - FRD / frontier / lockset tests --------===//
+
+#include "TestUtil.h"
+#include "race/Frontier.h"
+#include "race/HappensBefore.h"
+#include "race/Lockset.h"
+#include "svd/OnlineSvd.h"
+
+#include <gtest/gtest.h>
+
+using namespace svd;
+using namespace svd::race;
+using detect::Violation;
+using isa::assembleOrDie;
+using testutil::recordRun;
+using testutil::recordWithPrefix;
+using testutil::sched;
+using vm::Machine;
+using vm::MachineConfig;
+
+namespace {
+
+std::vector<Violation> hbRaces(const isa::Program &P,
+                               const std::vector<isa::ThreadId> &Prefix,
+                               uint64_t Seed = 1) {
+  MachineConfig Cfg;
+  Cfg.SchedSeed = Seed;
+  Machine M(P, Cfg);
+  HappensBeforeDetector D(P);
+  M.addObserver(&D);
+  if (!Prefix.empty()) {
+    M.setReplaySchedule(Prefix);
+    M.run();
+    M.clearReplaySchedule();
+  }
+  M.run();
+  return D.races();
+}
+
+std::vector<Violation>
+locksetReports(const isa::Program &P,
+               const std::vector<isa::ThreadId> &Prefix, uint64_t Seed = 1) {
+  MachineConfig Cfg;
+  Cfg.SchedSeed = Seed;
+  Machine M(P, Cfg);
+  LocksetDetector D(P);
+  M.addObserver(&D);
+  if (!Prefix.empty()) {
+    M.setReplaySchedule(Prefix);
+    M.run();
+    M.clearReplaySchedule();
+  }
+  M.run();
+  return D.reports();
+}
+
+const char *LockedCounterSource = R"(
+.global counter
+.lock m
+.thread t x2
+  li r5, 5
+loop:
+  lock @m
+  ld r1, [@counter]
+  addi r1, r1, 1
+  st r1, [@counter]
+  unlock @m
+  addi r5, r5, -1
+  bnez r5, loop
+  halt
+)";
+
+const char *UnlockedCounterSource = R"(
+.global counter
+.thread t x2
+  li r5, 5
+loop:
+  ld r1, [@counter]
+  addi r1, r1, 1
+  st r1, [@counter]
+  addi r5, r5, -1
+  bnez r5, loop
+  halt
+)";
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Happens-before detector.
+//===----------------------------------------------------------------------===//
+
+TEST(HappensBefore, SilentOnLockedCounter) {
+  isa::Program P = assembleOrDie(LockedCounterSource);
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed)
+    EXPECT_TRUE(hbRaces(P, {}, Seed).empty()) << "seed " << Seed;
+}
+
+TEST(HappensBefore, ReportsUnlockedCounter) {
+  isa::Program P = assembleOrDie(UnlockedCounterSource);
+  size_t Total = 0;
+  for (uint64_t Seed = 1; Seed <= 8; ++Seed)
+    Total += hbRaces(P, {}, Seed).size();
+  EXPECT_GT(Total, 0u);
+}
+
+TEST(HappensBefore, LockOrderingSuppressesRace) {
+  isa::Program P = assembleOrDie(R"(
+.global g
+.lock m
+.thread writer
+  li r1, 1
+  lock @m
+  st r1, [@g]
+  unlock @m
+  halt
+.thread reader
+  lock @m
+  ld r2, [@g]
+  unlock @m
+  halt
+)");
+  // writer completes its critical section before the reader enters.
+  EXPECT_TRUE(hbRaces(P, sched({{0, 5}, {1, 4}})).empty());
+}
+
+TEST(HappensBefore, MissingLockOnOneSideRaces) {
+  isa::Program P = assembleOrDie(R"(
+.global g
+.lock m
+.thread writer
+  li r1, 1
+  lock @m
+  st r1, [@g]
+  unlock @m
+  halt
+.thread reader
+  ld r2, [@g]      ; no lock: unordered with the write
+  halt
+)");
+  std::vector<Violation> R = hbRaces(P, sched({{0, 5}, {1, 2}}));
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0].Tid, 1u);
+  EXPECT_EQ(R[0].OtherTid, 0u);
+  EXPECT_EQ(R[0].Address, P.addressOf("g"));
+}
+
+TEST(HappensBefore, WriteWriteRaceDetected) {
+  isa::Program P = assembleOrDie(R"(
+.global g
+.thread a
+  li r1, 1
+  st r1, [@g]
+  halt
+.thread b
+  li r2, 2
+  st r2, [@g]
+  halt
+)");
+  std::vector<Violation> R = hbRaces(P, sched({{0, 3}, {1, 3}}));
+  ASSERT_EQ(R.size(), 1u);
+}
+
+TEST(HappensBefore, ReadWriteRaceDetected) {
+  isa::Program P = assembleOrDie(R"(
+.global g
+.thread a
+  ld r1, [@g]
+  halt
+.thread b
+  li r2, 2
+  st r2, [@g]
+  halt
+)");
+  std::vector<Violation> R = hbRaces(P, sched({{0, 2}, {1, 3}}));
+  ASSERT_EQ(R.size(), 1u);
+  EXPECT_EQ(R[0].Tid, 1u); // the write completes the race
+}
+
+TEST(HappensBefore, SameThreadNeverRaces) {
+  isa::Program P = assembleOrDie(R"(
+.global g
+.thread t
+  li r1, 1
+  st r1, [@g]
+  ld r2, [@g]
+  st r2, [@g]
+  halt
+)");
+  EXPECT_TRUE(hbRaces(P, {}).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// The paper's central differential: Figure 1's benign race.
+// FRD reports it; SVD stays silent.
+//===----------------------------------------------------------------------===//
+
+TEST(Differential, BenignRaceSplitsTheDetectors) {
+  isa::Program P = assembleOrDie(R"(
+.global tot
+.lock m
+.thread locker
+  li r5, 2
+loop:
+  lock @m
+  ld r1, [@tot]
+  addi r1, r1, 1
+  st r1, [@tot]
+  unlock @m
+  addi r5, r5, -1
+  bnez r5, loop
+  halt
+.thread reader
+  ld r2, [@tot]
+  beqz r2, iszero
+  li r3, 1
+  jmp out
+iszero:
+  li r3, 0
+out:
+  print r3
+  halt
+)");
+  std::vector<isa::ThreadId> Schedule =
+      sched({{0, 8}, {1, 1}, {0, 8}, {1, 5}});
+
+  // FRD: the unsynchronized read races with the locked writes.
+  std::vector<Violation> HB = hbRaces(P, Schedule);
+  EXPECT_FALSE(HB.empty());
+
+  // SVD: the execution is serializable, so no report.
+  Machine M(P);
+  detect::OnlineSvd Svd(P);
+  M.addObserver(&Svd);
+  M.setReplaySchedule(Schedule);
+  M.run();
+  M.clearReplaySchedule();
+  M.run();
+  EXPECT_TRUE(Svd.violations().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Frontier races.
+//===----------------------------------------------------------------------===//
+
+TEST(Frontier, FindsTightestRaceOnly) {
+  // a's write races with b's two reads, but only the first conflicting
+  // pair is a frontier race; the second is ordered by the first.
+  isa::Program P = assembleOrDie(R"(
+.global g
+.thread a
+  li r1, 1
+  st r1, [@g]
+  halt
+.thread b
+  ld r2, [@g]
+  ld r3, [@g]
+  halt
+)");
+  trace::ProgramTrace T = recordWithPrefix(P, sched({{0, 3}, {1, 3}}));
+  std::vector<FrontierRace> F = frontierRaces(T);
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F[0].Pair.OtherTid, 0u);
+  EXPECT_EQ(F[0].Pair.Tid, 1u);
+}
+
+TEST(Frontier, ConflictChainsSuppressOrderedPairs) {
+  // t0 writes g then h; t1 reads h then g. The h-pair (st h -> ld h)
+  // orders the g-pair transitively (st g -> st h -> ld h -> ld g), so
+  // only the h-pair is a frontier race.
+  isa::Program P = assembleOrDie(R"(
+.global g
+.global h
+.thread a
+  li r1, 1
+  st r1, [@g]
+  st r1, [@h]
+  halt
+.thread b
+  ld r3, [@h]
+  ld r2, [@g]
+  halt
+)");
+  trace::ProgramTrace T = recordWithPrefix(P, sched({{0, 4}, {1, 3}}));
+  std::vector<FrontierRace> F = frontierRaces(T);
+  ASSERT_EQ(F.size(), 1u);
+  EXPECT_EQ(F[0].Pair.Address, P.addressOf("h"));
+}
+
+TEST(Frontier, ConcurrentPairsOnDistinctWordsBothReported) {
+  // Same shape but t1 reads in the same order t0 wrote: the g-conflict
+  // does not order the later h-pair, so both are frontier races.
+  isa::Program P = assembleOrDie(R"(
+.global g
+.global h
+.thread a
+  li r1, 1
+  st r1, [@g]
+  st r1, [@h]
+  halt
+.thread b
+  ld r2, [@g]
+  ld r3, [@h]
+  halt
+)");
+  trace::ProgramTrace T = recordWithPrefix(P, sched({{0, 4}, {1, 3}}));
+  EXPECT_EQ(frontierRaces(T).size(), 2u);
+}
+
+TEST(Frontier, EmptyForSingleThread) {
+  isa::Program P = assembleOrDie(R"(
+.global g
+.thread t
+  li r1, 1
+  st r1, [@g]
+  ld r2, [@g]
+  halt
+)");
+  trace::ProgramTrace T = recordRun(P);
+  EXPECT_TRUE(frontierRaces(T).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Lockset (Eraser).
+//===----------------------------------------------------------------------===//
+
+TEST(Lockset, SilentOnConsistentLocking) {
+  isa::Program P = assembleOrDie(LockedCounterSource);
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed)
+    EXPECT_TRUE(locksetReports(P, {}, Seed).empty()) << "seed " << Seed;
+}
+
+TEST(Lockset, ReportsUnlockedSharedCounter) {
+  isa::Program P = assembleOrDie(UnlockedCounterSource);
+  // Lockset is schedule-insensitive: even a fully serialized run
+  // reports the missing lock (its strength vs happens-before).
+  std::vector<Violation> R =
+      locksetReports(P, sched({{0, 26}, {1, 26}}));
+  EXPECT_FALSE(R.empty());
+}
+
+TEST(Lockset, ExclusiveSingleThreadNeverReports) {
+  isa::Program P = assembleOrDie(R"(
+.global g
+.thread t
+  li r5, 5
+loop:
+  ld r1, [@g]
+  addi r1, r1, 1
+  st r1, [@g]
+  addi r5, r5, -1
+  bnez r5, loop
+  halt
+)");
+  EXPECT_TRUE(locksetReports(P, {}).empty());
+}
+
+TEST(Lockset, DifferentLocksStillRace) {
+  // Each thread consistently holds *a* lock, but not the same one. The
+  // candidate set empties on thread a's second critical section (the
+  // first exclusive phase is forgiven by Eraser's state machine).
+  isa::Program P = assembleOrDie(R"(
+.global g
+.lock m1
+.lock m2
+.thread a
+  li r5, 2
+loop:
+  lock @m1
+  ld r1, [@g]
+  addi r1, r1, 1
+  st r1, [@g]
+  unlock @m1
+  addi r5, r5, -1
+  bnez r5, loop
+  halt
+.thread b
+  lock @m2
+  ld r2, [@g]
+  addi r2, r2, 1
+  st r2, [@g]
+  unlock @m2
+  halt
+)");
+  // a's first CS (8 steps incl. li), b's whole CS (6), a's second CS.
+  std::vector<Violation> R = locksetReports(P, sched({{0, 8}, {1, 6}, {0, 8}}));
+  EXPECT_FALSE(R.empty());
+}
+
+TEST(Lockset, FirstSharingAccessIsForgiven) {
+  // The classic Eraser false negative: initialization under one lock,
+  // single later access under another — no report because the word
+  // leaves Exclusive only at the second thread's access.
+  isa::Program P = assembleOrDie(R"(
+.global g
+.lock m1
+.lock m2
+.thread a
+  li r1, 1
+  lock @m1
+  st r1, [@g]
+  unlock @m1
+  halt
+.thread b
+  lock @m2
+  ld r2, [@g]
+  unlock @m2
+  halt
+)");
+  EXPECT_TRUE(locksetReports(P, sched({{0, 5}, {1, 4}})).empty());
+}
+
+TEST(Lockset, ReadSharedStateDoesNotReport) {
+  // Writer initializes exclusively; readers share read-only: no report.
+  isa::Program P = assembleOrDie(R"(
+.global g
+.thread w
+  li r1, 42
+  st r1, [@g]
+  halt
+.thread r x2
+  ld r2, [@g]
+  halt
+)");
+  std::vector<Violation> R =
+      locksetReports(P, sched({{0, 3}, {1, 2}, {2, 2}}));
+  EXPECT_TRUE(R.empty());
+}

@@ -1,0 +1,127 @@
+//===- tests/ScheduleFileTest.cpp - Schedule (de)serialization tests -------===//
+
+#include "TestUtil.h"
+#include "vm/ScheduleFile.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace svd;
+using namespace svd::vm;
+
+TEST(ScheduleFile, RoundTripsEmpty) {
+  RecordedSchedule R;
+  R.RndSeed = 42;
+  std::string Text = serializeSchedule(R);
+  RecordedSchedule Out;
+  std::string Error;
+  ASSERT_TRUE(parseSchedule(Text, Out, Error)) << Error;
+  EXPECT_EQ(Out.RndSeed, 42u);
+  EXPECT_TRUE(Out.Schedule.empty());
+}
+
+TEST(ScheduleFile, RoundTripsRunLengths) {
+  RecordedSchedule R;
+  R.RndSeed = 7;
+  R.Schedule = {0, 0, 0, 1, 2, 2, 0, 1, 1, 1, 1};
+  RecordedSchedule Out;
+  std::string Error;
+  ASSERT_TRUE(parseSchedule(serializeSchedule(R), Out, Error)) << Error;
+  EXPECT_EQ(Out.RndSeed, R.RndSeed);
+  EXPECT_EQ(Out.Schedule, R.Schedule);
+}
+
+TEST(ScheduleFile, EncodingIsCompact) {
+  RecordedSchedule R;
+  R.Schedule.assign(10000, 3);
+  std::string Text = serializeSchedule(R);
+  EXPECT_LT(Text.size(), 100u) << "run-length encoding expected";
+  EXPECT_NE(Text.find("3*10000"), std::string::npos);
+}
+
+TEST(ScheduleFile, RejectsBadHeader) {
+  RecordedSchedule Out;
+  std::string Error;
+  EXPECT_FALSE(parseSchedule("not a schedule\n", Out, Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(ScheduleFile, RejectsStepMismatch) {
+  RecordedSchedule Out;
+  std::string Error;
+  EXPECT_FALSE(parseSchedule(
+      "svd-schedule v1\nrndseed 1\nsteps 5\n0*3\n", Out, Error));
+  EXPECT_NE(Error.find("3"), std::string::npos);
+}
+
+TEST(ScheduleFile, RejectsMalformedToken) {
+  RecordedSchedule Out;
+  std::string Error;
+  EXPECT_FALSE(parseSchedule(
+      "svd-schedule v1\nrndseed 1\nsteps 1\nx\n", Out, Error));
+  EXPECT_FALSE(parseSchedule(
+      "svd-schedule v1\nrndseed 1\nsteps 2\n0*zz\n", Out, Error));
+}
+
+TEST(ScheduleFile, SaveLoadRoundTripsThroughDisk) {
+  RecordedSchedule R;
+  R.RndSeed = 99;
+  R.Schedule = {1, 1, 0, 2, 2, 2};
+  std::string Path = testing::TempDir() + "/svd_sched_test.txt";
+  ASSERT_TRUE(saveSchedule(Path, R));
+  RecordedSchedule Out;
+  std::string Error;
+  ASSERT_TRUE(loadSchedule(Path, Out, Error)) << Error;
+  EXPECT_EQ(Out.RndSeed, R.RndSeed);
+  EXPECT_EQ(Out.Schedule, R.Schedule);
+  std::remove(Path.c_str());
+}
+
+TEST(ScheduleFile, LoadReportsMissingFile) {
+  RecordedSchedule Out;
+  std::string Error;
+  EXPECT_FALSE(loadSchedule("/nonexistent/path/schedule.txt", Out, Error));
+  EXPECT_NE(Error.find("cannot open"), std::string::npos);
+}
+
+TEST(ScheduleFile, RecordedRunReplaysIdentically) {
+  // End-to-end: record a contended run's schedule, serialize, parse,
+  // replay — the executions must match bit-for-bit.
+  isa::Program P = isa::assembleOrDie(R"(
+.global x
+.lock m
+.thread t x3
+  li r5, 15
+loop:
+  lock @m
+  ld r1, [@x]
+  addi r1, r1, 1
+  st r1, [@x]
+  unlock @m
+  addi r5, r5, -1
+  bnez r5, loop
+  halt
+)");
+  vm::MachineConfig MC;
+  MC.SchedSeed = 31;
+  vm::Machine Original(P, MC);
+  Original.run();
+
+  RecordedSchedule R;
+  R.RndSeed = MC.RndSeed;
+  R.Schedule = Original.schedule();
+  RecordedSchedule Parsed;
+  std::string Error;
+  ASSERT_TRUE(parseSchedule(serializeSchedule(R), Parsed, Error)) << Error;
+
+  vm::MachineConfig MC2;
+  MC2.SchedSeed = 777; // irrelevant under replay
+  MC2.RndSeed = Parsed.RndSeed;
+  vm::Machine Replayed(P, MC2);
+  Replayed.setReplaySchedule(Parsed.Schedule);
+  Replayed.run();
+  EXPECT_EQ(Replayed.steps(), Original.steps());
+  EXPECT_EQ(Replayed.readMem(P.addressOf("x")),
+            Original.readMem(P.addressOf("x")));
+}

@@ -1,0 +1,132 @@
+//===- tests/SupportTest.cpp - Unit tests for svd::support ----------------===//
+
+#include "support/Rng.h"
+#include "support/Stats.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace svd::support;
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 A(42);
+  SplitMix64 B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 A(1);
+  SplitMix64 B(2);
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(Xoshiro256, Deterministic) {
+  Xoshiro256 A(7);
+  Xoshiro256 B(7);
+  for (int I = 0; I < 1000; ++I)
+    ASSERT_EQ(A.next(), B.next());
+}
+
+TEST(Xoshiro256, NextBelowInRange) {
+  Xoshiro256 R(3);
+  for (int I = 0; I < 10000; ++I) {
+    uint64_t V = R.nextBelow(7);
+    ASSERT_LT(V, 7u);
+  }
+}
+
+TEST(Xoshiro256, NextBelowOneIsAlwaysZero) {
+  Xoshiro256 R(3);
+  for (int I = 0; I < 100; ++I)
+    ASSERT_EQ(R.nextBelow(1), 0u);
+}
+
+TEST(Xoshiro256, NextBelowCoversAllValues) {
+  Xoshiro256 R(11);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I)
+    Seen.insert(R.nextBelow(5));
+  EXPECT_EQ(Seen.size(), 5u);
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 R(9);
+  for (int I = 0; I < 10000; ++I) {
+    double D = R.nextDouble();
+    ASSERT_GE(D, 0.0);
+    ASSERT_LT(D, 1.0);
+  }
+}
+
+TEST(Xoshiro256, NextBoolExtremes) {
+  Xoshiro256 R(5);
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(R.nextBool(0.0));
+    EXPECT_TRUE(R.nextBool(1.0));
+  }
+}
+
+TEST(Xoshiro256, NextBoolRoughlyCalibrated) {
+  Xoshiro256 R(13);
+  int Hits = 0;
+  const int N = 100000;
+  for (int I = 0; I < N; ++I)
+    Hits += R.nextBool(0.25);
+  EXPECT_NEAR(static_cast<double>(Hits) / N, 0.25, 0.01);
+}
+
+TEST(RunningStat, EmptyDefaults) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+  RunningStat S;
+  S.add(5.0);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_EQ(S.mean(), 5.0);
+  EXPECT_EQ(S.min(), 5.0);
+  EXPECT_EQ(S.max(), 5.0);
+  EXPECT_EQ(S.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(X);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_NEAR(S.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(S.min(), 2.0);
+  EXPECT_EQ(S.max(), 9.0);
+  EXPECT_DOUBLE_EQ(S.sum(), 40.0);
+}
+
+TEST(StringUtils, FormatString) {
+  EXPECT_EQ(formatString("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(formatString("empty"), "empty");
+}
+
+TEST(StringUtils, SplitBasic) {
+  auto Parts = splitString("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(Parts[3], "c");
+}
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trimString("  x y \t"), "x y");
+  EXPECT_EQ(trimString(""), "");
+  EXPECT_EQ(trimString(" \n "), "");
+}
+
+TEST(StringUtils, StartsWith) {
+  EXPECT_TRUE(startsWith("abcdef", "abc"));
+  EXPECT_FALSE(startsWith("ab", "abc"));
+  EXPECT_TRUE(startsWith("x", ""));
+}

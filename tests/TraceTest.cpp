@@ -1,0 +1,124 @@
+//===- tests/TraceTest.cpp - Unit tests for trace recording ---------------===//
+
+#include "TestUtil.h"
+#include "trace/Trace.h"
+
+#include <gtest/gtest.h>
+
+using namespace svd;
+using namespace svd::trace;
+using isa::assembleOrDie;
+using testutil::recordRun;
+
+TEST(Trace, RecordsAllEventKinds) {
+  isa::Program P = assembleOrDie(R"(
+.global g
+.lock m
+.thread t
+  li r1, 1
+  lock @m
+  st r1, [@g]
+  ld r2, [@g]
+  unlock @m
+  beqz r0, end
+end:
+  halt
+)");
+  ProgramTrace T = recordRun(P);
+  ASSERT_EQ(T.size(), 7u);
+  EXPECT_EQ(T[0].Kind, EventKind::Alu);
+  EXPECT_EQ(T[1].Kind, EventKind::Lock);
+  EXPECT_EQ(T[2].Kind, EventKind::Store);
+  EXPECT_EQ(T[3].Kind, EventKind::Load);
+  EXPECT_EQ(T[4].Kind, EventKind::Unlock);
+  EXPECT_EQ(T[5].Kind, EventKind::Branch);
+  EXPECT_EQ(T[6].Kind, EventKind::ThreadEnd);
+  EXPECT_TRUE(T[5].Taken);
+  EXPECT_EQ(T[2].Address, P.addressOf("g"));
+  EXPECT_EQ(T[2].Value, 1);
+  EXPECT_EQ(T[3].Value, 1);
+}
+
+TEST(Trace, SeqIsMonotonic) {
+  isa::Program P = assembleOrDie(R"(
+.global g
+.thread t x2
+  ld r1, [@g]
+  addi r1, r1, 1
+  st r1, [@g]
+  halt
+)");
+  ProgramTrace T = recordRun(P, 3);
+  for (size_t I = 1; I < T.size(); ++I)
+    EXPECT_LE(T[I - 1].Seq, T[I].Seq);
+}
+
+TEST(Trace, ThreadViewsPartitionTheTrace) {
+  isa::Program P = assembleOrDie(R"(
+.thread t x3
+  li r1, 1
+  li r2, 2
+  halt
+)");
+  ProgramTrace T = recordRun(P, 7);
+  size_t Total = 0;
+  for (uint32_t Tid = 0; Tid < T.numThreads(); ++Tid) {
+    const auto &TE = T.threadEvents(Tid);
+    Total += TE.size();
+    for (uint32_t E : TE)
+      EXPECT_EQ(T[E].Tid, Tid);
+    // Each thread executed li, li, halt.
+    EXPECT_EQ(TE.size(), 3u);
+  }
+  EXPECT_EQ(Total, T.size());
+}
+
+TEST(Trace, SharedAddressOracle) {
+  isa::Program P = assembleOrDie(R"(
+.global shared_g
+.global private_g
+.local priv
+.thread a
+  ld r1, [@shared_g]
+  ld r2, [@private_g]
+  st r1, [@priv]
+  halt
+.thread b
+  li r3, 5
+  st r3, [@shared_g]
+  st r3, [@priv]
+  halt
+)");
+  ProgramTrace T = recordRun(P);
+  EXPECT_TRUE(T.isSharedAddress(P.addressOf("shared_g")));
+  EXPECT_FALSE(T.isSharedAddress(P.addressOf("private_g")));
+  // Thread-local symbols resolve to distinct words per thread.
+  EXPECT_FALSE(T.isSharedAddress(P.addressOf("priv", 0)));
+  EXPECT_FALSE(T.isSharedAddress(P.addressOf("priv", 1)));
+}
+
+TEST(Trace, SharedOracleCountsRepeatedSameThreadAsOne) {
+  isa::Program P = assembleOrDie(R"(
+.global g
+.thread t
+  ld r1, [@g]
+  ld r1, [@g]
+  st r1, [@g]
+  halt
+)");
+  ProgramTrace T = recordRun(P);
+  EXPECT_EQ(T.threadsAccessing(P.addressOf("g")), 1u);
+  EXPECT_FALSE(T.isSharedAddress(P.addressOf("g")));
+}
+
+TEST(Trace, InstrPointersMatchProgram) {
+  isa::Program P = assembleOrDie(R"(
+.thread t
+  li r1, 42
+  halt
+)");
+  ProgramTrace T = recordRun(P);
+  ASSERT_GE(T.size(), 1u);
+  EXPECT_EQ(T[0].Instr, &P.Threads[0].Code[0]);
+  EXPECT_EQ(T[0].Pc, 0u);
+}
