@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ber_recovery.dir/ber_recovery.cpp.o"
+  "CMakeFiles/ber_recovery.dir/ber_recovery.cpp.o.d"
+  "ber_recovery"
+  "ber_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ber_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

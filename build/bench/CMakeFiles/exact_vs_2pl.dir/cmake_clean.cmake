@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_vs_2pl.dir/exact_vs_2pl.cpp.o"
+  "CMakeFiles/exact_vs_2pl.dir/exact_vs_2pl.cpp.o.d"
+  "exact_vs_2pl"
+  "exact_vs_2pl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_vs_2pl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

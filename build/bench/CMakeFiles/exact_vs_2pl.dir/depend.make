@@ -1,0 +1,2 @@
+# Empty dependencies file for exact_vs_2pl.
+# This may be replaced when dependencies are built.

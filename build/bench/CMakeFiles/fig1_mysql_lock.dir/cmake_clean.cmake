@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_mysql_lock.dir/fig1_mysql_lock.cpp.o"
+  "CMakeFiles/fig1_mysql_lock.dir/fig1_mysql_lock.cpp.o.d"
+  "fig1_mysql_lock"
+  "fig1_mysql_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_mysql_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

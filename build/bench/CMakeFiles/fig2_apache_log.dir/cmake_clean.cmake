@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_apache_log.dir/fig2_apache_log.cpp.o"
+  "CMakeFiles/fig2_apache_log.dir/fig2_apache_log.cpp.o.d"
+  "fig2_apache_log"
+  "fig2_apache_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_apache_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

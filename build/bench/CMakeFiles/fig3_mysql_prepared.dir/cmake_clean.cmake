@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mysql_prepared.dir/fig3_mysql_prepared.cpp.o"
+  "CMakeFiles/fig3_mysql_prepared.dir/fig3_mysql_prepared.cpp.o.d"
+  "fig3_mysql_prepared"
+  "fig3_mysql_prepared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mysql_prepared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

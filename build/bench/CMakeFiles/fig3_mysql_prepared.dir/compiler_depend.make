@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_mysql_prepared.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_mysql_prepared.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_crossing_arcs.dir/fig4_crossing_arcs.cpp.o"
+  "CMakeFiles/fig4_crossing_arcs.dir/fig4_crossing_arcs.cpp.o.d"
+  "fig4_crossing_arcs"
+  "fig4_crossing_arcs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_crossing_arcs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_indep_queue.dir/fig9_indep_queue.cpp.o"
+  "CMakeFiles/fig9_indep_queue.dir/fig9_indep_queue.cpp.o.d"
+  "fig9_indep_queue"
+  "fig9_indep_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_indep_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_svd.dir/hw_svd.cpp.o"
+  "CMakeFiles/hw_svd.dir/hw_svd.cpp.o.d"
+  "hw_svd"
+  "hw_svd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_svd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_detectors.dir/related_detectors.cpp.o"
+  "CMakeFiles/related_detectors.dir/related_detectors.cpp.o.d"
+  "related_detectors"
+  "related_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec73_fp_scaling.dir/sec73_fp_scaling.cpp.o"
+  "CMakeFiles/sec73_fp_scaling.dir/sec73_fp_scaling.cpp.o.d"
+  "sec73_fp_scaling"
+  "sec73_fp_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec73_fp_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

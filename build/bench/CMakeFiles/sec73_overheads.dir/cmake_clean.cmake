@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec73_overheads.dir/sec73_overheads.cpp.o"
+  "CMakeFiles/sec73_overheads.dir/sec73_overheads.cpp.o.d"
+  "sec73_overheads"
+  "sec73_overheads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec73_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apache_ber_recovery.dir/apache_ber_recovery.cpp.o"
+  "CMakeFiles/apache_ber_recovery.dir/apache_ber_recovery.cpp.o.d"
+  "apache_ber_recovery"
+  "apache_ber_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apache_ber_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

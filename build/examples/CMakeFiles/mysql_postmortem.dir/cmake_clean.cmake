@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mysql_postmortem.dir/mysql_postmortem.cpp.o"
+  "CMakeFiles/mysql_postmortem.dir/mysql_postmortem.cpp.o.d"
+  "mysql_postmortem"
+  "mysql_postmortem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mysql_postmortem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mysql_postmortem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/svd_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/ber/CMakeFiles/svd_ber.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/svd_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/race/CMakeFiles/svd_race.dir/DependInfo.cmake"
+  "/root/repo/build/src/svd/CMakeFiles/svd_svd.dir/DependInfo.cmake"
+  "/root/repo/build/src/cu/CMakeFiles/svd_cu.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdg/CMakeFiles/svd_pdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/svd_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/svd_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/svd_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/svd_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/svd_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svd_run.dir/svd_run.cpp.o"
+  "CMakeFiles/svd_run.dir/svd_run.cpp.o.d"
+  "svd_run"
+  "svd_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svd_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("isa")
+subdirs("vm")
+subdirs("trace")
+subdirs("pdg")
+subdirs("cu")
+subdirs("cache")
+subdirs("svd")
+subdirs("race")
+subdirs("workloads")
+subdirs("ber")
+subdirs("harness")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svd_ber.dir/Recovery.cpp.o"
+  "CMakeFiles/svd_ber.dir/Recovery.cpp.o.d"
+  "libsvd_ber.a"
+  "libsvd_ber.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svd_ber.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

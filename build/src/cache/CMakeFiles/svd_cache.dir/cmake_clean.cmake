@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svd_cache.dir/CacheSim.cpp.o"
+  "CMakeFiles/svd_cache.dir/CacheSim.cpp.o.d"
+  "libsvd_cache.a"
+  "libsvd_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svd_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svd_cu.dir/CuPartition.cpp.o"
+  "CMakeFiles/svd_cu.dir/CuPartition.cpp.o.d"
+  "libsvd_cu.a"
+  "libsvd_cu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svd_cu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

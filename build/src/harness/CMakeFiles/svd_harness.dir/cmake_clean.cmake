@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svd_harness.dir/Harness.cpp.o"
+  "CMakeFiles/svd_harness.dir/Harness.cpp.o.d"
+  "libsvd_harness.a"
+  "libsvd_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svd_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svd_isa.dir/Assembler.cpp.o"
+  "CMakeFiles/svd_isa.dir/Assembler.cpp.o.d"
+  "CMakeFiles/svd_isa.dir/Builder.cpp.o"
+  "CMakeFiles/svd_isa.dir/Builder.cpp.o.d"
+  "CMakeFiles/svd_isa.dir/Cfg.cpp.o"
+  "CMakeFiles/svd_isa.dir/Cfg.cpp.o.d"
+  "CMakeFiles/svd_isa.dir/Isa.cpp.o"
+  "CMakeFiles/svd_isa.dir/Isa.cpp.o.d"
+  "CMakeFiles/svd_isa.dir/Program.cpp.o"
+  "CMakeFiles/svd_isa.dir/Program.cpp.o.d"
+  "libsvd_isa.a"
+  "libsvd_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svd_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

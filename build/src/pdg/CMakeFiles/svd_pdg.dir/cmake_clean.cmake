@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svd_pdg.dir/Pdg.cpp.o"
+  "CMakeFiles/svd_pdg.dir/Pdg.cpp.o.d"
+  "libsvd_pdg.a"
+  "libsvd_pdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svd_pdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svd_race.dir/Atomizer.cpp.o"
+  "CMakeFiles/svd_race.dir/Atomizer.cpp.o.d"
+  "CMakeFiles/svd_race.dir/Frontier.cpp.o"
+  "CMakeFiles/svd_race.dir/Frontier.cpp.o.d"
+  "CMakeFiles/svd_race.dir/HappensBefore.cpp.o"
+  "CMakeFiles/svd_race.dir/HappensBefore.cpp.o.d"
+  "CMakeFiles/svd_race.dir/Lockset.cpp.o"
+  "CMakeFiles/svd_race.dir/Lockset.cpp.o.d"
+  "CMakeFiles/svd_race.dir/StaleValue.cpp.o"
+  "CMakeFiles/svd_race.dir/StaleValue.cpp.o.d"
+  "libsvd_race.a"
+  "libsvd_race.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svd_race.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

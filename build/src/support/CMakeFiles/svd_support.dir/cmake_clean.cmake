@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svd_support.dir/Error.cpp.o"
+  "CMakeFiles/svd_support.dir/Error.cpp.o.d"
+  "CMakeFiles/svd_support.dir/Rng.cpp.o"
+  "CMakeFiles/svd_support.dir/Rng.cpp.o.d"
+  "CMakeFiles/svd_support.dir/Stats.cpp.o"
+  "CMakeFiles/svd_support.dir/Stats.cpp.o.d"
+  "CMakeFiles/svd_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/svd_support.dir/StringUtils.cpp.o.d"
+  "libsvd_support.a"
+  "libsvd_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svd_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svd_svd.dir/HardwareSvd.cpp.o"
+  "CMakeFiles/svd_svd.dir/HardwareSvd.cpp.o.d"
+  "CMakeFiles/svd_svd.dir/OfflineDetector.cpp.o"
+  "CMakeFiles/svd_svd.dir/OfflineDetector.cpp.o.d"
+  "CMakeFiles/svd_svd.dir/OnlineSvd.cpp.o"
+  "CMakeFiles/svd_svd.dir/OnlineSvd.cpp.o.d"
+  "CMakeFiles/svd_svd.dir/Report.cpp.o"
+  "CMakeFiles/svd_svd.dir/Report.cpp.o.d"
+  "CMakeFiles/svd_svd.dir/SerializabilityGraph.cpp.o"
+  "CMakeFiles/svd_svd.dir/SerializabilityGraph.cpp.o.d"
+  "libsvd_svd.a"
+  "libsvd_svd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svd_svd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svd_trace.dir/Trace.cpp.o"
+  "CMakeFiles/svd_trace.dir/Trace.cpp.o.d"
+  "libsvd_trace.a"
+  "libsvd_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svd_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

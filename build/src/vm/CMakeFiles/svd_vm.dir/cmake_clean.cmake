@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svd_vm.dir/Machine.cpp.o"
+  "CMakeFiles/svd_vm.dir/Machine.cpp.o.d"
+  "CMakeFiles/svd_vm.dir/ScheduleFile.cpp.o"
+  "CMakeFiles/svd_vm.dir/ScheduleFile.cpp.o.d"
+  "libsvd_vm.a"
+  "libsvd_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svd_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

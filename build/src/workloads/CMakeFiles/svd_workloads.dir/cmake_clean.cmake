@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svd_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/svd_workloads.dir/Workloads.cpp.o.d"
+  "libsvd_workloads.a"
+  "libsvd_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svd_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "AssemblerTest"
+  "AssemblerTest.pdb"
+  "AssemblerTest[1]_tests.cmake"
+  "CMakeFiles/AssemblerTest.dir/AssemblerTest.cpp.o"
+  "CMakeFiles/AssemblerTest.dir/AssemblerTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/AssemblerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "BerTest"
+  "BerTest.pdb"
+  "BerTest[1]_tests.cmake"
+  "CMakeFiles/BerTest.dir/BerTest.cpp.o"
+  "CMakeFiles/BerTest.dir/BerTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BerTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

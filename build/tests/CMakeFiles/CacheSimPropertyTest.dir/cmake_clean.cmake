@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CacheSimPropertyTest.dir/CacheSimPropertyTest.cpp.o"
+  "CMakeFiles/CacheSimPropertyTest.dir/CacheSimPropertyTest.cpp.o.d"
+  "CacheSimPropertyTest"
+  "CacheSimPropertyTest.pdb"
+  "CacheSimPropertyTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CacheSimPropertyTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CacheSimTest.dir/CacheSimTest.cpp.o"
+  "CMakeFiles/CacheSimTest.dir/CacheSimTest.cpp.o.d"
+  "CacheSimTest"
+  "CacheSimTest.pdb"
+  "CacheSimTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CacheSimTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CuPartitionTest.dir/CuPartitionTest.cpp.o"
+  "CMakeFiles/CuPartitionTest.dir/CuPartitionTest.cpp.o.d"
+  "CuPartitionTest"
+  "CuPartitionTest.pdb"
+  "CuPartitionTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CuPartitionTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

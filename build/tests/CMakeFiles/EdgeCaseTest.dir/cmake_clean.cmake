@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/EdgeCaseTest.dir/EdgeCaseTest.cpp.o"
+  "CMakeFiles/EdgeCaseTest.dir/EdgeCaseTest.cpp.o.d"
+  "EdgeCaseTest"
+  "EdgeCaseTest.pdb"
+  "EdgeCaseTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/EdgeCaseTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

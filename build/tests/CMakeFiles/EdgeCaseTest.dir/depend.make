@@ -1,0 +1,2 @@
+# Empty dependencies file for EdgeCaseTest.
+# This may be replaced when dependencies are built.

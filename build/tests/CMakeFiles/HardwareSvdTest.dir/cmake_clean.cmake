@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/HardwareSvdTest.dir/HardwareSvdTest.cpp.o"
+  "CMakeFiles/HardwareSvdTest.dir/HardwareSvdTest.cpp.o.d"
+  "HardwareSvdTest"
+  "HardwareSvdTest.pdb"
+  "HardwareSvdTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/HardwareSvdTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

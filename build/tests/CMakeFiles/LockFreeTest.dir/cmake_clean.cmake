@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LockFreeTest.dir/LockFreeTest.cpp.o"
+  "CMakeFiles/LockFreeTest.dir/LockFreeTest.cpp.o.d"
+  "LockFreeTest"
+  "LockFreeTest.pdb"
+  "LockFreeTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LockFreeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

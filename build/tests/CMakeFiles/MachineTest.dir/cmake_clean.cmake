@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MachineTest.dir/MachineTest.cpp.o"
+  "CMakeFiles/MachineTest.dir/MachineTest.cpp.o.d"
+  "MachineTest"
+  "MachineTest.pdb"
+  "MachineTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MachineTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

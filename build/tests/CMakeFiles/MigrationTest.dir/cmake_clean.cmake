@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/MigrationTest.dir/MigrationTest.cpp.o"
+  "CMakeFiles/MigrationTest.dir/MigrationTest.cpp.o.d"
+  "MigrationTest"
+  "MigrationTest.pdb"
+  "MigrationTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/MigrationTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

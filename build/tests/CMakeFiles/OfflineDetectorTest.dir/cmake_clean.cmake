@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/OfflineDetectorTest.dir/OfflineDetectorTest.cpp.o"
+  "CMakeFiles/OfflineDetectorTest.dir/OfflineDetectorTest.cpp.o.d"
+  "OfflineDetectorTest"
+  "OfflineDetectorTest.pdb"
+  "OfflineDetectorTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/OfflineDetectorTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/OnlineSvdTest.dir/OnlineSvdTest.cpp.o"
+  "CMakeFiles/OnlineSvdTest.dir/OnlineSvdTest.cpp.o.d"
+  "OnlineSvdTest"
+  "OnlineSvdTest.pdb"
+  "OnlineSvdTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/OnlineSvdTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

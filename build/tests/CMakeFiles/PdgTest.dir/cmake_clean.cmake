@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/PdgTest.dir/PdgTest.cpp.o"
+  "CMakeFiles/PdgTest.dir/PdgTest.cpp.o.d"
+  "PdgTest"
+  "PdgTest.pdb"
+  "PdgTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/PdgTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

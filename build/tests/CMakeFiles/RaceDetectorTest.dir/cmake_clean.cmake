@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RaceDetectorTest.dir/RaceDetectorTest.cpp.o"
+  "CMakeFiles/RaceDetectorTest.dir/RaceDetectorTest.cpp.o.d"
+  "RaceDetectorTest"
+  "RaceDetectorTest.pdb"
+  "RaceDetectorTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RaceDetectorTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RelatedDetectorsTest.dir/RelatedDetectorsTest.cpp.o"
+  "CMakeFiles/RelatedDetectorsTest.dir/RelatedDetectorsTest.cpp.o.d"
+  "RelatedDetectorsTest"
+  "RelatedDetectorsTest.pdb"
+  "RelatedDetectorsTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RelatedDetectorsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

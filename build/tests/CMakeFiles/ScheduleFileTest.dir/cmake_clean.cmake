@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ScheduleFileTest.dir/ScheduleFileTest.cpp.o"
+  "CMakeFiles/ScheduleFileTest.dir/ScheduleFileTest.cpp.o.d"
+  "ScheduleFileTest"
+  "ScheduleFileTest.pdb"
+  "ScheduleFileTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ScheduleFileTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/SerializabilityGraphTest.dir/SerializabilityGraphTest.cpp.o"
+  "CMakeFiles/SerializabilityGraphTest.dir/SerializabilityGraphTest.cpp.o.d"
+  "SerializabilityGraphTest"
+  "SerializabilityGraphTest.pdb"
+  "SerializabilityGraphTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/SerializabilityGraphTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/WorkloadsTest.dir/WorkloadsTest.cpp.o"
+  "CMakeFiles/WorkloadsTest.dir/WorkloadsTest.cpp.o.d"
+  "WorkloadsTest"
+  "WorkloadsTest.pdb"
+  "WorkloadsTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/WorkloadsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

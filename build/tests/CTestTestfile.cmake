@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/SupportTest[1]_include.cmake")
+include("/root/repo/build/tests/AssemblerTest[1]_include.cmake")
+include("/root/repo/build/tests/CfgTest[1]_include.cmake")
+include("/root/repo/build/tests/MachineTest[1]_include.cmake")
+include("/root/repo/build/tests/TraceTest[1]_include.cmake")
+include("/root/repo/build/tests/PdgTest[1]_include.cmake")
+include("/root/repo/build/tests/CuPartitionTest[1]_include.cmake")
+include("/root/repo/build/tests/OfflineDetectorTest[1]_include.cmake")
+include("/root/repo/build/tests/OnlineSvdTest[1]_include.cmake")
+include("/root/repo/build/tests/RaceDetectorTest[1]_include.cmake")
+include("/root/repo/build/tests/WorkloadsTest[1]_include.cmake")
+include("/root/repo/build/tests/HarnessTest[1]_include.cmake")
+include("/root/repo/build/tests/BerTest[1]_include.cmake")
+include("/root/repo/build/tests/SerializabilityGraphTest[1]_include.cmake")
+include("/root/repo/build/tests/CacheSimTest[1]_include.cmake")
+include("/root/repo/build/tests/HardwareSvdTest[1]_include.cmake")
+include("/root/repo/build/tests/PropertyTest[1]_include.cmake")
+include("/root/repo/build/tests/RelatedDetectorsTest[1]_include.cmake")
+include("/root/repo/build/tests/ScheduleFileTest[1]_include.cmake")
+include("/root/repo/build/tests/EdgeCaseTest[1]_include.cmake")
+include("/root/repo/build/tests/MigrationTest[1]_include.cmake")
+include("/root/repo/build/tests/LockFreeTest[1]_include.cmake")
+include("/root/repo/build/tests/CacheSimPropertyTest[1]_include.cmake")
