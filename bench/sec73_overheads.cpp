@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/AccessTable.h"
 #include "race/HappensBefore.h"
 #include "race/Lockset.h"
 #include "svd/OnlineSvd.h"
@@ -72,6 +73,49 @@ void BM_OnlineSvd(benchmark::State &State) {
       static_cast<double>(Bytes) / (1024.0 * 1024.0);
 }
 
+struct AccessCounter : vm::ExecutionObserver {
+  uint64_t Accesses = 0;
+  void onLoad(const vm::EventCtx &, isa::Addr, isa::Word) override {
+    ++Accesses;
+  }
+  void onStore(const vm::EventCtx &, isa::Addr, isa::Word) override {
+    ++Accesses;
+  }
+};
+
+void BM_OnlineSvdFiltered(benchmark::State &State) {
+  // SVD with the static access table: provably-thread-local accesses
+  // skip the FSM/block-set work while reports stay bit-identical
+  // (tests/AnalysisTest.cpp pins that). filtered_pct is the fraction of
+  // dynamic accesses that took the fast path.
+  workloads::Workload W = makeWorkload(static_cast<int>(State.range(0)));
+  analysis::AccessTable Table = analysis::buildAccessTable(W.Program);
+  uint64_t Steps = 0;
+  size_t Bytes = 0;
+  uint64_t Filtered = 0, Accesses = 0;
+  for (auto _ : State) {
+    vm::Machine M(W.Program, machineConfig());
+    detect::OnlineSvdConfig Cfg;
+    Cfg.Access = &Table;
+    detect::OnlineSvd Svd(W.Program, Cfg);
+    AccessCounter Counter;
+    M.addObserver(&Svd);
+    M.addObserver(&Counter);
+    M.run();
+    Steps = M.steps();
+    Bytes = Svd.approxMemoryBytes();
+    Filtered = Svd.filteredAccesses();
+    Accesses = Counter.Accesses;
+  }
+  reportSteps(State, Steps * State.iterations());
+  State.counters["detector_MB"] =
+      static_cast<double>(Bytes) / (1024.0 * 1024.0);
+  State.counters["filtered_pct"] =
+      Accesses == 0 ? 0.0
+                    : 100.0 * static_cast<double>(Filtered) /
+                          static_cast<double>(Accesses);
+}
+
 void BM_HappensBefore(benchmark::State &State) {
   workloads::Workload W = makeWorkload(static_cast<int>(State.range(0)));
   uint64_t Steps = 0;
@@ -107,6 +151,7 @@ void BM_Lockset(benchmark::State &State) {
 // Arg 0 = PgSQL, 1 = MySQL.
 BENCHMARK(BM_Bare)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_OnlineSvd)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OnlineSvdFiltered)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_HappensBefore)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Lockset)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 

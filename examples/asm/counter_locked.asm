@@ -1,0 +1,17 @@
+; Correctly locked shared counter — svd-lint reports nothing and the
+; escape pass classifies both accesses as lock-protected:
+;
+;   svd-lint counter_locked.asm --escape
+.global counter
+.lock ctr_lock
+.thread worker x2
+  li r5, 8
+loop:
+  lock @ctr_lock
+  ld r1, [@counter]
+  addi r1, r1, 1
+  st r1, [@counter]
+  unlock @ctr_lock
+  addi r5, r5, -1
+  bnez r5, loop
+  halt

@@ -1,0 +1,21 @@
+; Deliberately buggy program for the svd-lint smoke test. Expected
+; diagnostics:
+;   - uninit-read: r2 is read by `add` but never written on any path
+;   - unlock-not-held: stats_lock is released without being acquired
+;   - double-acquire on the path that loops back holding ctr_lock
+;   - lock-imbalance: ctr_lock is still held at halt
+.global counter
+.lock ctr_lock
+.lock stats_lock
+.thread broken
+  add r1, r2, r0          ; r2 never written: always reads the initial zero
+  unlock @stats_lock      ; released but never held
+  li r5, 2
+loop:
+  lock @ctr_lock          ; second trip acquires while already held
+  ld r1, [@counter]
+  addi r1, r1, 1
+  st r1, [@counter]
+  addi r5, r5, -1
+  bnez r5, loop
+  halt                    ; exits still holding ctr_lock

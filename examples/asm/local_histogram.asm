@@ -1,0 +1,29 @@
+; Each thread fills its private histogram with rnd-bounded indices, then
+; publishes its sample count under a lock. The escape pass proves every
+; histogram access thread-local (the detectors can skip them) while the
+; total stays lock-protected:
+;
+;   svd-lint local_histogram.asm --escape
+;
+; Note the indices come from `rnd`, whose result interval is bounded by
+; construction. A counting-loop induction variable would NOT work here:
+; interval analysis has no branch refinement, so a loop counter used as
+; an address widens to "anywhere" and the proof is (soundly) refused.
+.global total
+.lock total_lock
+.local hist 8
+.thread sampler x2
+  li r5, 16
+fill:
+  rnd r2, 8               ; r2 in [0, 7] — inside this thread's copy
+  ld r3, [r2+@hist]
+  addi r3, r3, 1
+  st r3, [r2+@hist]
+  addi r5, r5, -1
+  bnez r5, fill
+  lock @total_lock        ; publish the sample count
+  ld r3, [@total]
+  addi r3, r3, 16
+  st r3, [@total]
+  unlock @total_lock
+  halt

@@ -1,0 +1,131 @@
+//===- analysis/AccessTable.cpp -------------------------------------------===//
+
+#include "analysis/AccessTable.h"
+
+#include "analysis/Escape.h"
+#include "analysis/StaticLockset.h"
+#include "isa/Cfg.h"
+
+using namespace svd;
+using namespace svd::analysis;
+
+const char *analysis::accessClassName(AccessClass C) {
+  switch (C) {
+  case AccessClass::PossiblyShared:
+    return "shared";
+  case AccessClass::ThreadLocal:
+    return "local";
+  case AccessClass::LockProtected:
+    return "locked";
+  }
+  return "?";
+}
+
+uint64_t analysis::countAccessSites(const isa::Program &P,
+                                    const AccessTable &T, AccessClass C) {
+  uint64_t N = 0;
+  for (isa::ThreadId Tid = 0; Tid < P.numThreads(); ++Tid) {
+    const std::vector<isa::Instruction> &Code = P.Threads[Tid].Code;
+    for (uint32_t Pc = 0; Pc < Code.size(); ++Pc)
+      N += isa::isMemoryAccess(Code[Pc].Op) && T.classify(Tid, Pc) == C;
+  }
+  return N;
+}
+
+namespace {
+
+/// Expands \p I to whole detector blocks: the smallest block-aligned
+/// interval covering it. Full/negative intervals stay as they are (they
+/// never prove anything).
+Interval blockExpand(const Interval &I, uint32_t Shift) {
+  if (I.empty() || I.isFull() || I.Lo < 0 || Shift == 0)
+    return I;
+  int64_t Mask = (int64_t(1) << Shift) - 1;
+  if (I.Hi > INT64_MAX - Mask)
+    return Interval::full();
+  return Interval::range(I.Lo & ~Mask, I.Hi | Mask);
+}
+
+} // namespace
+
+AccessTable analysis::buildAccessTable(const isa::Program &P,
+                                       uint32_t BlockShift) {
+  uint32_t NumThreads = P.numThreads();
+  AccessTable Table(BlockShift, NumThreads);
+
+  // Per-thread passes.
+  std::vector<EscapeAnalysis> Escapes;
+  std::vector<StaticLockset> Locksets;
+  Escapes.reserve(NumThreads);
+  Locksets.reserve(NumThreads);
+  for (isa::ThreadId Tid = 0; Tid < NumThreads; ++Tid) {
+    const std::vector<isa::Instruction> &Code = P.Threads[Tid].Code;
+    isa::ThreadCfg Cfg(Code);
+    Escapes.emplace_back(Cfg, Code, Tid);
+    Locksets.emplace_back(Cfg, Code,
+                          static_cast<uint32_t>(P.Mutexes.size()));
+    Table.resizeThread(Tid, Code.size());
+  }
+
+  // Block-expanded address bound of every access, for the cross-thread
+  // alias check.
+  std::vector<std::vector<Interval>> Expanded(NumThreads);
+  for (isa::ThreadId Tid = 0; Tid < NumThreads; ++Tid)
+    for (const AccessSite &S : Escapes[Tid].accesses())
+      Expanded[Tid].push_back(blockExpand(S.Addr, BlockShift));
+
+  auto OtherThreadMayTouch = [&](isa::ThreadId Tid, const Interval &Range) {
+    for (isa::ThreadId U = 0; U < NumThreads; ++U) {
+      if (U == Tid)
+        continue;
+      for (const Interval &A : Expanded[U])
+        if (A.intersects(Range))
+          return true;
+    }
+    return false;
+  };
+
+  for (isa::ThreadId Tid = 0; Tid < NumThreads; ++Tid) {
+    const std::vector<AccessSite> &Sites = Escapes[Tid].accesses();
+    for (size_t K = 0; K < Sites.size(); ++K) {
+      const AccessSite &S = Sites[K];
+      const Interval &Range = Expanded[Tid][K];
+      if (Range.empty() || Range.isFull() || Range.Lo < 0)
+        continue; // stays PossiblyShared
+
+      // ThreadLocal: inside this thread's own copy of a .local symbol,
+      // out of every other thread's possible reach.
+      bool Local = false;
+      for (const isa::DataSymbol &Sym : P.Symbols) {
+        if (!Sym.IsThreadLocal)
+          continue;
+        int64_t Base =
+            static_cast<int64_t>(Sym.Base) + int64_t(Tid) * Sym.Size;
+        if (Range.within(Base, Base + Sym.Size - 1)) {
+          Local = !OtherThreadMayTouch(Tid, Range);
+          break;
+        }
+      }
+      if (Local) {
+        Table.set(Tid, S.Pc, AccessClass::ThreadLocal);
+        continue;
+      }
+
+      // LockProtected: bounded within one symbol and under a non-empty
+      // must-lockset. (Informational — the detectors never filter on it.)
+      if (Locksets[Tid].mustHeldBefore(S.Pc) == 0)
+        continue;
+      for (const isa::DataSymbol &Sym : P.Symbols) {
+        int64_t Base = Sym.Base;
+        int64_t Size = Sym.IsThreadLocal
+                           ? int64_t(P.numThreads()) * Sym.Size
+                           : Sym.Size;
+        if (Range.within(Base, Base + Size - 1)) {
+          Table.set(Tid, S.Pc, AccessClass::LockProtected);
+          break;
+        }
+      }
+    }
+  }
+  return Table;
+}

@@ -1,0 +1,27 @@
+//===- analysis/Analysis.h - Umbrella header --------------------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience umbrella for the static-analysis subsystem: the worklist
+/// dataflow framework and the four concrete passes (reaching
+/// definitions, liveness, static locksets, escape/interval analysis),
+/// plus the access-classification table the detectors consume and the
+/// lint driver `svd-lint` is built on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_ANALYSIS_ANALYSIS_H
+#define SVD_ANALYSIS_ANALYSIS_H
+
+#include "analysis/AccessTable.h"
+#include "analysis/Dataflow.h"
+#include "analysis/Escape.h"
+#include "analysis/Lint.h"
+#include "analysis/Liveness.h"
+#include "analysis/ReachingDefs.h"
+#include "analysis/StaticLockset.h"
+
+#endif // SVD_ANALYSIS_ANALYSIS_H

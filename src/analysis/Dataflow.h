@@ -1,0 +1,157 @@
+//===- analysis/Dataflow.h - Worklist dataflow framework --------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reusable forward/backward worklist dataflow solver over a thread's
+/// instruction-level CFG (isa::ThreadCfg). The concrete passes in this
+/// directory — reaching definitions, liveness, static locksets, and the
+/// escape/interval analysis feeding access classification — are all
+/// instances of this solver with different abstract domains.
+///
+/// A domain D supplies:
+///
+/// \code
+///   using Value = ...;            // one dataflow fact
+///   Value init() const;           // optimistic value at unvisited nodes
+///   Value boundary() const;       // value at the entry (fwd) / exit (bwd)
+///   // Meet Src into Dst, returning true when Dst changed. Widen is set
+///   // once a node has been re-met more than WidenThreshold times; domains
+///   // with infinite-ascending chains (intervals) must then accelerate.
+///   bool meetInto(Value &Dst, const Value &Src, bool Widen) const;
+///   // Abstract effect of the instruction at Pc on V, in program order
+///   // for forward analyses and reversed for backward ones.
+///   void transfer(uint32_t Pc, const isa::Instruction &I, Value &V) const;
+/// \endcode
+///
+/// The solver stores one fact per node at its *traversal entry*: the
+/// point before the instruction for forward analyses, after it for
+/// backward ones. The virtual exit node has an identity transfer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_ANALYSIS_DATAFLOW_H
+#define SVD_ANALYSIS_DATAFLOW_H
+
+#include "isa/Cfg.h"
+#include "isa/Isa.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace svd {
+namespace analysis {
+
+/// Traversal direction of a dataflow analysis.
+enum class Direction : uint8_t { Forward, Backward };
+
+/// CFG predecessors, derived by inverting isa::ThreadCfg::successors.
+/// Index size() is the virtual exit node (predecessors are the Halts).
+class Predecessors {
+public:
+  explicit Predecessors(const isa::ThreadCfg &Cfg) : Preds(Cfg.size() + 1) {
+    for (uint32_t Pc = 0; Pc < Cfg.size(); ++Pc)
+      for (uint32_t S : Cfg.successors(Pc))
+        Preds[S].push_back(Pc);
+  }
+  const std::vector<uint32_t> &operator[](uint32_t Node) const {
+    return Preds[Node];
+  }
+
+private:
+  std::vector<std::vector<uint32_t>> Preds;
+};
+
+template <typename D> class DataflowSolver {
+public:
+  using Value = typename D::Value;
+
+  /// Nodes re-met more often than this are widened (loop acceleration).
+  static constexpr unsigned WidenThreshold = 3;
+
+  DataflowSolver(const isa::ThreadCfg &Cfg,
+                 const std::vector<isa::Instruction> &Code, D Dom,
+                 Direction Dir)
+      : Cfg(Cfg), Code(Code), Dom(std::move(Dom)), Dir(Dir), Preds(Cfg) {
+    solve();
+  }
+
+  /// The fact at node \p Node's traversal entry: before the instruction
+  /// for forward analyses, after it for backward ones.
+  const Value &entry(uint32_t Node) const { return State[Node]; }
+
+  /// The fact at node \p Node's traversal exit (entry pushed through the
+  /// node's transfer).
+  Value exit(uint32_t Node) const {
+    Value V = State[Node];
+    if (Node < Cfg.size())
+      Dom.transfer(Node, Code[Node], V);
+    return V;
+  }
+
+  /// True when the solver ever propagated a fact into \p Node, i.e. the
+  /// node is reachable in the traversal direction.
+  bool reached(uint32_t Node) const { return Reached[Node]; }
+
+  const D &domain() const { return Dom; }
+
+private:
+  void solve() {
+    uint32_t N = Cfg.size() + 1; // + virtual exit
+    State.assign(N, Dom.init());
+    Reached.assign(N, false);
+    std::vector<unsigned> Updates(N, 0);
+    std::vector<bool> OnList(N, false);
+    std::vector<uint32_t> Worklist;
+    Worklist.reserve(N);
+
+    uint32_t Start = Dir == Direction::Forward ? 0 : Cfg.exitNode();
+    if (Cfg.size() == 0 && Dir == Direction::Forward)
+      Start = Cfg.exitNode();
+    State[Start] = Dom.boundary();
+    Reached[Start] = true;
+    Worklist.push_back(Start);
+    OnList[Start] = true;
+
+    while (!Worklist.empty()) {
+      uint32_t Node = Worklist.back();
+      Worklist.pop_back();
+      OnList[Node] = false;
+
+      Value Out = State[Node];
+      if (Node < Cfg.size())
+        Dom.transfer(Node, Code[Node], Out);
+
+      const std::vector<uint32_t> &Next = Dir == Direction::Forward
+                                              ? Cfg.successors(Node)
+                                              : Preds[Node];
+      for (uint32_t S : Next) {
+        bool First = !Reached[S];
+        Reached[S] = true;
+        bool Widen = Updates[S] > WidenThreshold;
+        if (Dom.meetInto(State[S], Out, Widen) || First) {
+          ++Updates[S];
+          if (!OnList[S]) {
+            OnList[S] = true;
+            Worklist.push_back(S);
+          }
+        }
+      }
+    }
+  }
+
+  const isa::ThreadCfg &Cfg;
+  const std::vector<isa::Instruction> &Code;
+  D Dom;
+  Direction Dir;
+  Predecessors Preds;
+  std::vector<Value> State;
+  std::vector<bool> Reached;
+};
+
+} // namespace analysis
+} // namespace svd
+
+#endif // SVD_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,148 @@
+//===- analysis/Lint.cpp --------------------------------------------------===//
+
+#include "analysis/Lint.h"
+
+#include "analysis/Liveness.h"
+#include "analysis/ReachingDefs.h"
+#include "analysis/StaticLockset.h"
+#include "isa/Cfg.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace svd;
+using namespace svd::analysis;
+using isa::Instruction;
+
+namespace {
+
+std::string mutexName(const isa::Program &P, uint32_t Id) {
+  if (Id < P.Mutexes.size())
+    return "'" + P.Mutexes[Id] + "'";
+  return support::formatString("#%u", Id);
+}
+
+void lintLocksets(const isa::Program &P, isa::ThreadId Tid,
+                  const isa::ThreadCfg &Cfg,
+                  const std::vector<Instruction> &Code,
+                  std::vector<LintDiag> &Out) {
+  StaticLockset LS(Cfg, Code, static_cast<uint32_t>(P.Mutexes.size()));
+  for (const LocksetDiag &D : LS.diagnostics()) {
+    LintDiag L;
+    L.Tid = Tid;
+    L.Pc = D.Pc;
+    L.Line = D.Line;
+    L.Severity = D.Definite ? LintSeverity::Error : LintSeverity::Warning;
+    std::string M = mutexName(P, D.MutexId);
+    switch (D.K) {
+    case LocksetDiag::Kind::DoubleAcquire:
+      L.Category = "double-acquire";
+      L.Message = "mutex " + M +
+                  " acquired while already held (self-deadlock: the "
+                  "mutexes of this machine are non-recursive)";
+      break;
+    case LocksetDiag::Kind::MayDoubleAcquire:
+      L.Category = "double-acquire";
+      L.Message =
+          "mutex " + M + " may already be held on some path to this lock";
+      break;
+    case LocksetDiag::Kind::UnlockNotHeld:
+      L.Category = "unlock-not-held";
+      L.Message = "mutex " + M + " released but never held at this point";
+      break;
+    case LocksetDiag::Kind::MayUnlockNotHeld:
+      L.Category = "unlock-not-held";
+      L.Message = "mutex " + M + " may not be held on some path to this "
+                                 "unlock";
+      break;
+    case LocksetDiag::Kind::HeldAtExit:
+      L.Category = "lock-imbalance";
+      L.Message = "thread exits holding mutex " + M +
+                  " (lock/unlock imbalance)";
+      break;
+    }
+    Out.push_back(std::move(L));
+  }
+}
+
+void lintUninitReads(isa::ThreadId Tid, const isa::ThreadCfg &Cfg,
+                     const std::vector<Instruction> &Code,
+                     std::vector<LintDiag> &Out) {
+  ReachingDefs RD(Cfg, Code);
+  for (uint32_t Pc = 0; Pc < Code.size(); ++Pc) {
+    if (!RD.reachable(Pc))
+      continue;
+    const Instruction &I = Code[Pc];
+    uint32_t Used = Liveness::usedRegs(I);
+    for (isa::Reg R = 1; R < isa::NumRegs; ++R) {
+      if (!(Used & (uint32_t(1) << R)))
+        continue;
+      if (RD.mustBeUninitAt(Pc, R)) {
+        Out.push_back({LintSeverity::Warning, "uninit-read", Tid, Pc,
+                       I.Line,
+                       support::formatString(
+                           "r%u read but never written on any path "
+                           "(always the initial zero)",
+                           R)});
+      } else if (RD.mayBeUninitAt(Pc, R)) {
+        Out.push_back({LintSeverity::Warning, "uninit-read", Tid, Pc,
+                       I.Line,
+                       support::formatString(
+                           "r%u may be read before its first write "
+                           "(initialized on some paths only)",
+                           R)});
+      }
+    }
+  }
+}
+
+void lintDeadWrites(isa::ThreadId Tid, const isa::ThreadCfg &Cfg,
+                    const std::vector<Instruction> &Code,
+                    std::vector<LintDiag> &Out) {
+  Liveness LV(Cfg, Code);
+  for (uint32_t Pc = 0; Pc < Code.size(); ++Pc) {
+    if (!LV.isDeadWrite(Pc))
+      continue;
+    const Instruction &I = Code[Pc];
+    Out.push_back({LintSeverity::Warning, "dead-write", Tid, Pc, I.Line,
+                   support::formatString(
+                       "r%u written here but never read afterwards",
+                       I.Rd)});
+  }
+}
+
+} // namespace
+
+std::vector<LintDiag> analysis::lintProgram(const isa::Program &P,
+                                            const LintOptions &O) {
+  std::vector<LintDiag> Out;
+  for (isa::ThreadId Tid = 0; Tid < P.numThreads(); ++Tid) {
+    const std::vector<Instruction> &Code = P.Threads[Tid].Code;
+    isa::ThreadCfg Cfg(Code);
+    size_t ThreadStart = Out.size();
+    if (O.Lockset)
+      lintLocksets(P, Tid, Cfg, Code, Out);
+    if (O.UninitReads)
+      lintUninitReads(Tid, Cfg, Code, Out);
+    if (O.DeadWrites)
+      lintDeadWrites(Tid, Cfg, Code, Out);
+    std::sort(Out.begin() + ThreadStart, Out.end(),
+              [](const LintDiag &A, const LintDiag &B) {
+                return A.Pc < B.Pc;
+              });
+  }
+  return Out;
+}
+
+std::string analysis::formatLintDiag(const isa::Program &P,
+                                     const LintDiag &D) {
+  const char *Sev = D.Severity == LintSeverity::Error ? "error" : "warning";
+  std::string Where =
+      D.Tid < P.numThreads()
+          ? support::formatString("thread '%s' pc %u",
+                                  P.Threads[D.Tid].Name.c_str(), D.Pc)
+          : support::formatString("thread %u pc %u", D.Tid, D.Pc);
+  if (D.Line != 0)
+    Where += support::formatString(" (line %u)", D.Line);
+  return Where + ": " + Sev + ": [" + D.Category + "] " + D.Message;
+}

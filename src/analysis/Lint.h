@@ -1,0 +1,65 @@
+//===- analysis/Lint.h - Whole-program static diagnostics -------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The diagnostic front half of `svd-lint`: runs the static passes over
+/// every thread of a program and collects the diagnostics no single
+/// dynamic schedule can promise to expose — lock imbalance, double
+/// acquires, unlock-without-lock, reads of never-written registers, and
+/// (optionally) dead register writes. Shared between the CLI tool and
+/// the test suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_ANALYSIS_LINT_H
+#define SVD_ANALYSIS_LINT_H
+
+#include "isa/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace svd {
+namespace analysis {
+
+enum class LintSeverity : uint8_t { Error, Warning };
+
+/// One diagnostic, attributed to a thread-local pc and, when the program
+/// came from assembly text, a 1-based source line.
+struct LintDiag {
+  LintSeverity Severity = LintSeverity::Warning;
+  /// Stable category slug: "lock-imbalance", "double-acquire",
+  /// "unlock-not-held", "uninit-read", "dead-write".
+  std::string Category;
+  isa::ThreadId Tid = 0;
+  uint32_t Pc = 0;
+  uint32_t Line = 0;
+  std::string Message;
+};
+
+/// Which diagnostic families to run.
+struct LintOptions {
+  bool Lockset = true;
+  bool UninitReads = true;
+  /// Off by default: a written-but-never-read register is often benign
+  /// scaffolding (e.g. counters kept for symmetry), so this family is
+  /// opt-in.
+  bool DeadWrites = false;
+};
+
+/// Runs all enabled checks on every thread of \p P; diagnostics come out
+/// ordered by (thread, pc).
+std::vector<LintDiag> lintProgram(const isa::Program &P,
+                                  const LintOptions &O = LintOptions());
+
+/// Renders \p D like "thread 'worker' pc 12 (line 7): error: ..." for
+/// terminal output.
+std::string formatLintDiag(const isa::Program &P, const LintDiag &D);
+
+} // namespace analysis
+} // namespace svd
+
+#endif // SVD_ANALYSIS_LINT_H

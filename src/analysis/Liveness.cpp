@@ -1,0 +1,35 @@
+//===- analysis/Liveness.cpp ----------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+using namespace svd;
+using namespace svd::analysis;
+
+uint32_t Liveness::usedRegs(const isa::Instruction &I) {
+  uint32_t Mask = 0;
+  if (isa::readsRa(I.Op) && I.Ra != isa::ZeroReg)
+    Mask |= uint32_t(1) << I.Ra;
+  if (isa::readsRb(I.Op) && I.Rb != isa::ZeroReg)
+    Mask |= uint32_t(1) << I.Rb;
+  return Mask;
+}
+
+Liveness::Liveness(const isa::ThreadCfg &Cfg,
+                   const std::vector<isa::Instruction> &Code)
+    : Code(Code) {
+  Solver = std::make_unique<DataflowSolver<Domain>>(Cfg, Code, Domain(),
+                                                    Direction::Backward);
+}
+
+uint32_t Liveness::liveBefore(uint32_t Pc) const {
+  Domain::Value V = Solver->entry(Pc);
+  Domain().transfer(Pc, Code[Pc], V);
+  return V;
+}
+
+bool Liveness::isDeadWrite(uint32_t Pc) const {
+  const isa::Instruction &I = Code[Pc];
+  if (!isa::writesRd(I.Op) || I.Rd == isa::ZeroReg)
+    return false;
+  return (liveAfter(Pc) & (uint32_t(1) << I.Rd)) == 0;
+}

@@ -1,0 +1,76 @@
+//===- analysis/Liveness.h - Register liveness ------------------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward liveness over the 16 architectural registers. A register is
+/// live at a point when some path from that point reads it before any
+/// write. The lint driver uses it for the (optional) dead-register-write
+/// diagnostic; it is also the canonical backward instance of the
+/// dataflow framework.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_ANALYSIS_LIVENESS_H
+#define SVD_ANALYSIS_LIVENESS_H
+
+#include "analysis/Dataflow.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace svd {
+namespace analysis {
+
+/// Liveness for one thread's code. Register sets are bitmasks with bit R
+/// set when register R is live.
+class Liveness {
+public:
+  Liveness(const isa::ThreadCfg &Cfg,
+           const std::vector<isa::Instruction> &Code);
+
+  /// Registers live just before \p Pc executes.
+  uint32_t liveBefore(uint32_t Pc) const;
+
+  /// Registers live just after \p Pc executes.
+  uint32_t liveAfter(uint32_t Pc) const { return Solver->entry(Pc); }
+
+  /// True when the write of \p Pc (if any) is dead: the written register
+  /// is not live afterwards. r0 writes are architectural no-ops, not
+  /// dead stores.
+  bool isDeadWrite(uint32_t Pc) const;
+
+  /// Registers the instruction at \p Pc reads, as a bitmask (r0 omitted:
+  /// it is the constant zero, not a dataflow use).
+  static uint32_t usedRegs(const isa::Instruction &I);
+
+private:
+  struct Domain {
+    using Value = uint32_t;
+    Value init() const { return 0; }
+    Value boundary() const { return 0; }
+    bool meetInto(Value &Dst, const Value &Src, bool) const {
+      Value New = Dst | Src;
+      if (New == Dst)
+        return false;
+      Dst = New;
+      return true;
+    }
+    void transfer(uint32_t, const isa::Instruction &I, Value &V) const {
+      if (isa::writesRd(I.Op) && I.Rd != isa::ZeroReg)
+        V &= ~(uint32_t(1) << I.Rd);
+      V |= usedRegs(I);
+    }
+  };
+
+  const std::vector<isa::Instruction> &Code;
+  std::unique_ptr<DataflowSolver<Domain>> Solver;
+};
+
+} // namespace analysis
+} // namespace svd
+
+#endif // SVD_ANALYSIS_LIVENESS_H

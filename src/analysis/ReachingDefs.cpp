@@ -1,0 +1,97 @@
+//===- analysis/ReachingDefs.cpp ------------------------------------------===//
+
+#include "analysis/ReachingDefs.h"
+
+using namespace svd;
+using namespace svd::analysis;
+
+namespace {
+
+inline size_t wordsFor(uint32_t Bits) { return (Bits + 63) / 64; }
+
+inline bool testBit(const std::vector<uint64_t> &Set, uint32_t I) {
+  return (Set[I / 64] >> (I % 64)) & 1;
+}
+
+inline void setBit(std::vector<uint64_t> &Set, uint32_t I) {
+  Set[I / 64] |= uint64_t(1) << (I % 64);
+}
+
+} // namespace
+
+ReachingDefs::Domain::Value ReachingDefs::Domain::init() const {
+  Value V;
+  for (auto &Set : V.Defs)
+    Set.assign(Words, 0);
+  return V;
+}
+
+ReachingDefs::Domain::Value ReachingDefs::Domain::boundary() const {
+  // Bit NumInstrs is the entry definition: every register starts as the
+  // VM's initial zero.
+  Value V = init();
+  for (auto &Set : V.Defs)
+    setBit(Set, NumInstrs);
+  return V;
+}
+
+bool ReachingDefs::Domain::meetInto(Value &Dst, const Value &Src,
+                                    bool) const {
+  bool Changed = false;
+  for (unsigned R = 0; R < isa::NumRegs; ++R)
+    for (size_t W = 0; W < Words; ++W) {
+      uint64_t New = Dst.Defs[R][W] | Src.Defs[R][W];
+      if (New != Dst.Defs[R][W]) {
+        Dst.Defs[R][W] = New;
+        Changed = true;
+      }
+    }
+  return Changed;
+}
+
+void ReachingDefs::Domain::transfer(uint32_t Pc, const isa::Instruction &I,
+                                    Value &V) const {
+  if (!isa::writesRd(I.Op) || I.Rd == isa::ZeroReg)
+    return;
+  // A register write kills every earlier definition of the register.
+  V.Defs[I.Rd].assign(Words, 0);
+  setBit(V.Defs[I.Rd], Pc);
+}
+
+ReachingDefs::ReachingDefs(const isa::ThreadCfg &Cfg,
+                           const std::vector<isa::Instruction> &Code)
+    : NumInstrs(static_cast<uint32_t>(Code.size())) {
+  Domain D;
+  D.NumInstrs = NumInstrs;
+  D.Words = wordsFor(NumInstrs + 1);
+  Solver = std::make_unique<DataflowSolver<Domain>>(Cfg, Code, D,
+                                                    Direction::Forward);
+}
+
+std::vector<uint32_t> ReachingDefs::defsBefore(uint32_t Pc,
+                                               isa::Reg R) const {
+  std::vector<uint32_t> Out;
+  const std::vector<uint64_t> &Set = Solver->entry(Pc).Defs[R];
+  for (uint32_t I = 0; I <= NumInstrs; ++I)
+    if (testBit(Set, I))
+      Out.push_back(I == NumInstrs ? EntryDef : I);
+  return Out;
+}
+
+bool ReachingDefs::mayBeUninitAt(uint32_t Pc, isa::Reg R) const {
+  if (R == isa::ZeroReg)
+    return false;
+  return testBit(Solver->entry(Pc).Defs[R], NumInstrs);
+}
+
+bool ReachingDefs::mustBeUninitAt(uint32_t Pc, isa::Reg R) const {
+  if (R == isa::ZeroReg)
+    return false;
+  const std::vector<uint64_t> &Set = Solver->entry(Pc).Defs[R];
+  if (!testBit(Set, NumInstrs))
+    return false;
+  for (uint32_t I = 0; I < NumInstrs; ++I)
+    if (testBit(Set, I))
+      return false;
+  return true;
+}

@@ -1,0 +1,78 @@
+//===- analysis/StaticLockset.cpp -----------------------------------------===//
+
+#include "analysis/StaticLockset.h"
+
+using namespace svd;
+using namespace svd::analysis;
+
+StaticLockset::StaticLockset(const isa::ThreadCfg &Cfg,
+                             const std::vector<isa::Instruction> &Code,
+                             uint32_t NumMutexes)
+    : Analyzable(NumMutexes <= 64) {
+  if (!Analyzable)
+    return;
+  Solver = std::make_unique<DataflowSolver<Domain>>(Cfg, Code, Domain(),
+                                                    Direction::Forward);
+  collectDiagnostics(Code);
+}
+
+uint64_t StaticLockset::mustHeldBefore(uint32_t Pc) const {
+  if (!Analyzable || !Solver->reached(Pc))
+    return 0;
+  return Solver->entry(Pc).Must;
+}
+
+uint64_t StaticLockset::mayHeldBefore(uint32_t Pc) const {
+  if (!Analyzable)
+    return 0;
+  return Solver->entry(Pc).May;
+}
+
+bool StaticLockset::reachable(uint32_t Pc) const {
+  return Analyzable && Solver->reached(Pc);
+}
+
+void StaticLockset::collectDiagnostics(
+    const std::vector<isa::Instruction> &Code) {
+  for (uint32_t Pc = 0; Pc < Code.size(); ++Pc) {
+    if (!Solver->reached(Pc))
+      continue;
+    const isa::Instruction &I = Code[Pc];
+    uint64_t Must = Solver->entry(Pc).Must;
+    uint64_t May = Solver->entry(Pc).May;
+    auto Emit = [&](LocksetDiag::Kind K, uint32_t MutexId, bool Definite) {
+      Diags.push_back({K, Pc, I.Line, MutexId, Definite});
+    };
+    switch (I.Op) {
+    case isa::Opcode::Lock: {
+      uint64_t Bit = uint64_t(1) << (I.Imm & 63);
+      if (Must & Bit)
+        Emit(LocksetDiag::Kind::DoubleAcquire,
+             static_cast<uint32_t>(I.Imm), true);
+      else if (May & Bit)
+        Emit(LocksetDiag::Kind::MayDoubleAcquire,
+             static_cast<uint32_t>(I.Imm), false);
+      break;
+    }
+    case isa::Opcode::Unlock: {
+      uint64_t Bit = uint64_t(1) << (I.Imm & 63);
+      if (!(May & Bit))
+        Emit(LocksetDiag::Kind::UnlockNotHeld,
+             static_cast<uint32_t>(I.Imm), true);
+      else if (!(Must & Bit))
+        Emit(LocksetDiag::Kind::MayUnlockNotHeld,
+             static_cast<uint32_t>(I.Imm), false);
+      break;
+    }
+    case isa::Opcode::Halt: {
+      uint64_t Held = Must;
+      for (uint32_t M = 0; Held; ++M, Held >>= 1)
+        if (Held & 1)
+          Emit(LocksetDiag::Kind::HeldAtExit, M, true);
+      break;
+    }
+    default:
+      break;
+    }
+  }
+}

@@ -57,8 +57,8 @@ enum class Opcode : uint8_t {
   Add,  ///< Rd = Ra + Rb
   Sub,  ///< Rd = Ra - Rb
   Mul,  ///< Rd = Ra * Rb
-  Div,  ///< Rd = Ra / Rb (0 if Rb == 0)
-  Rem,  ///< Rd = Ra % Rb (0 if Rb == 0)
+  Div,  ///< Rd = Ra / Rb (0 if Rb == 0; INT64_MIN if Ra == INT64_MIN, Rb == -1)
+  Rem,  ///< Rd = Ra % Rb (0 if Rb == 0 or Ra == INT64_MIN, Rb == -1)
   And,  ///< Rd = Ra & Rb
   Or,   ///< Rd = Ra | Rb
   Xor,  ///< Rd = Ra ^ Rb

@@ -18,6 +18,9 @@ HardwareSvd::HardwareSvd(const isa::Program &P, HardwareSvdConfig Cfg)
     : Prog(P), Cfg(Cfg), Cache(Cfg.Cache) {
   if (P.numThreads() > Cfg.Cache.NumCpus)
     support::fatalError("hardware SVD: more threads than CPUs");
+  FilterActive =
+      Cfg.Access != nullptr &&
+      (uint32_t(1) << Cfg.Access->blockShift()) == Cfg.Cache.LineWords;
   uint32_t NumLines = Cache.lineOf(P.MemoryWords) + 1;
   Cpus.resize(Cfg.Cache.NumCpus);
   for (PerCpu &C : Cpus)
@@ -238,6 +241,25 @@ void HardwareSvd::onLoad(const EventCtx &Ctx, Addr A, isa::Word) {
   LineId Line = Cache.lineOf(A);
   LineInfo &LI = C.Lines[Line];
 
+  // Provably-thread-local fast path: the line never sees coherence
+  // traffic from other CPUs, so only the CU linkage through registers
+  // must run. Keeping the line's FSM Idle means evictions cannot wipe
+  // the CU reference — the register path carries it, as the paper's
+  // hardware sketch piggybacks CU propagation on the data path.
+  if (isFilteredLocal(Ctx)) {
+    ++FilteredLoads;
+    CuId Id = find(C, LI.Cu);
+    if (Id == NoCu || C.Cus[Id].Dead)
+      Id = newCu(C);
+    LI.Cu = Id;
+    const Instruction &I = *Ctx.Instr;
+    if (I.Rd != isa::ZeroReg) {
+      C.RegSets[I.Rd].clear();
+      C.RegSets[I.Rd].push_back(Id);
+    }
+    return;
+  }
+
   if (LI.State == Fsm::StoredShared) {
     if (LI.RemoteWritePc != UINT32_MAX &&
         LI.RemoteWriteSeq > LI.LocalWriteSeq)
@@ -302,9 +324,19 @@ void HardwareSvd::onStore(const EventCtx &Ctx, Addr A, isa::Word) {
     for (size_t K = 1; K < DataSet.size(); ++K)
       Id = mergeCus(C, Id, DataSet[K]);
   }
-  C.Cus[Id].Ws.insert(Line);
 
   LineInfo &LI = C.Lines[Line];
+
+  // Provably-thread-local fast path: the strict-2PL check and the CU
+  // merge above already ran; the stored line itself needs no FSM or
+  // write-set entry since no other CPU can ever conflict on it.
+  if (isFilteredLocal(Ctx)) {
+    ++FilteredStores;
+    LI.Cu = Id;
+    return;
+  }
+
+  C.Cus[Id].Ws.insert(Line);
   LI.Cu = Id;
   switch (LI.State) {
   case Fsm::Idle:

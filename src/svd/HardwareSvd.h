@@ -34,6 +34,7 @@
 #ifndef SVD_SVD_HARDWARESVD_H
 #define SVD_SVD_HARDWARESVD_H
 
+#include "analysis/AccessTable.h"
 #include "cache/CacheSim.h"
 #include "isa/Cfg.h"
 #include "svd/Report.h"
@@ -56,6 +57,14 @@ struct HardwareSvdConfig {
   bool UseControlDeps = true;
   bool KeepCuLog = true;
   size_t MaxControlStackDepth = 256;
+  /// Optional static access classification. Provably-thread-local
+  /// accesses still drive the cache (the coherence stream is part of
+  /// the machine model) but skip the line FSM and block-set updates.
+  /// Unlike the software detector this can *improve* detection: a
+  /// filtered line stays Idle, so capacity evictions no longer wipe
+  /// detector metadata the access would have created. Ignored unless
+  /// the table's block granularity matches the line size.
+  const analysis::AccessTable *Access = nullptr;
 };
 
 /// Cache-based online SVD; attach with Machine::addObserver. Threads
@@ -73,6 +82,8 @@ public:
   /// Lines whose detector metadata was lost to capacity evictions —
   /// the hardware design's intrinsic detection gap.
   uint64_t metadataEvictions() const { return MetadataEvictions; }
+  /// Dynamic accesses that took the provably-thread-local fast path.
+  uint64_t filteredAccesses() const { return FilteredLoads + FilteredStores; }
   const cache::CacheStats &cacheStats() const { return Cache.stats(); }
   /// Extra state a hardware implementation would add, in bits: per
   /// cache line (3-bit FSM + CU reference) plus the CU table.
@@ -157,8 +168,17 @@ private:
   /// Drives the cache and dispatches coherence/eviction effects.
   void driveCache(const vm::EventCtx &Ctx, isa::Addr A, bool IsWrite);
 
+  /// True when the static table proves \p Ctx's access thread-local and
+  /// filtering is active.
+  bool isFilteredLocal(const vm::EventCtx &Ctx) const {
+    return FilterActive &&
+           Cfg.Access->classify(Ctx.Tid, Ctx.Pc) ==
+               analysis::AccessClass::ThreadLocal;
+  }
+
   const isa::Program &Prog;
   HardwareSvdConfig Cfg;
+  bool FilterActive = false;
   cache::CacheSim Cache;
   std::vector<PerCpu> Cpus;
   std::vector<isa::ThreadCfg> Cfgs;
@@ -169,6 +189,8 @@ private:
   uint64_t CuMerges = 0;
   uint64_t CuEndings = 0;
   uint64_t MetadataEvictions = 0;
+  uint64_t FilteredLoads = 0;
+  uint64_t FilteredStores = 0;
 };
 
 } // namespace detect

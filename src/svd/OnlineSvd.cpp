@@ -17,6 +17,12 @@ using vm::EventCtx;
 
 OnlineSvd::OnlineSvd(const isa::Program &P, OnlineSvdConfig Cfg)
     : Prog(P), Cfg(Cfg) {
+  // The static table's locality proofs hold at its own block granularity
+  // and per thread; refuse mismatched tables and the CPU approximation
+  // (a migrating thread raises remote events against its own blocks).
+  FilterActive = Cfg.Access != nullptr &&
+                 Cfg.Access->blockShift() == Cfg.BlockShift &&
+                 Cfg.NumCpus == 0;
   NumBlocks = (P.MemoryWords >> Cfg.BlockShift) + 1;
   uint32_t Lanes = Cfg.NumCpus != 0 ? Cfg.NumCpus : P.numThreads();
   Threads.resize(Lanes);
@@ -253,6 +259,25 @@ void OnlineSvd::onLoad(const EventCtx &Ctx, Addr A, isa::Word) {
   BlockId B = blockOf(A);
   BlockInfo &BI = T.Blocks[B];
 
+  // Provably-thread-local fast path: no remote access can ever touch
+  // this block, so its FSM never leaves Idle, it never conflicts, and
+  // broadcasting it is a no-op. Only the true-dependence plumbing that
+  // links CUs through local data must run: join the block's CU and tag
+  // the destination register, exactly as the full path would.
+  if (isFilteredLocal(Ctx)) {
+    ++FilteredLoads;
+    CuId C = find(T, BI.Cu);
+    if (C == NoCu || T.Cus[C].Dead)
+      C = newCu(T);
+    BI.Cu = C;
+    const Instruction &I = *Ctx.Instr;
+    if (I.Rd != isa::ZeroReg) {
+      T.RegSets[I.Rd].clear();
+      T.RegSets[I.Rd].push_back(C);
+    }
+    return;
+  }
+
   // Shared dependence: a load on a Stored_Shared block ends the CU
   // (Figure 7 lines 5-6) and feeds the a-posteriori log if a remote
   // write intervened after the local one.
@@ -336,9 +361,21 @@ void OnlineSvd::onStore(const EventCtx &Ctx, Addr A, isa::Word) {
     for (size_t Idx = 1; Idx < DataSet.size(); ++Idx)
       C = mergeCus(T, C, DataSet[Idx]);
   }
-  T.Cus[C].Ws.insert(B);
 
   BlockInfo &BI = T.Blocks[B];
+
+  // Provably-thread-local fast path. The violation check and the CU
+  // merge above already ran — they concern the CUs this store depends
+  // on, not the stored block — so only the block-side bookkeeping is
+  // skipped: a local block never conflicts (its Ws membership is dead
+  // weight), its FSM never matters, and no remote needs to hear of it.
+  if (isFilteredLocal(Ctx)) {
+    ++FilteredStores;
+    BI.Cu = C;
+    return;
+  }
+
+  T.Cus[C].Ws.insert(B);
   BI.Cu = C;
   switch (BI.State) {
   case Fsm::Idle:

@@ -39,6 +39,7 @@
 #ifndef SVD_SVD_ONLINESVD_H
 #define SVD_SVD_ONLINESVD_H
 
+#include "analysis/AccessTable.h"
 #include "isa/Cfg.h"
 #include "isa/Program.h"
 #include "svd/Report.h"
@@ -84,6 +85,17 @@ struct OnlineSvdConfig {
   /// dropped beyond it (irreducible or unlucky control flow).
   size_t MaxControlStackDepth = 256;
 
+  /// Optional static access classification (analysis::buildAccessTable).
+  /// Accesses the table proves thread-local take a fast path that skips
+  /// the per-block FSM, block-set insertion, and remote broadcast while
+  /// preserving CU construction and the store-time strict-2PL check —
+  /// violation reports and the CU log stay bit-identical (see
+  /// DESIGN.md). Ignored unless the table's block granularity matches
+  /// BlockShift and NumCpus is 0: with the processor approximation a
+  /// migrating thread can raise remote events against its own blocks,
+  /// so even provably-local accesses must run the full path.
+  const analysis::AccessTable *Access = nullptr;
+
   /// 0 keys detector state by thread (ideal). A nonzero value
   /// reproduces the paper's Section 4.3 deployment — "SVD approximates
   /// threads with processors" — by keying all per-thread state on
@@ -114,6 +126,11 @@ public:
 
   /// Dynamic events observed (the per-million-instruction denominator).
   uint64_t eventsObserved() const { return Events; }
+
+  /// Dynamic accesses that took the provably-thread-local fast path.
+  uint64_t filteredAccesses() const { return FilteredLoads + FilteredStores; }
+  uint64_t filteredLoads() const { return FilteredLoads; }
+  uint64_t filteredStores() const { return FilteredStores; }
 
   /// Rough accounting of detector memory (Section 7.3's space overhead).
   size_t approxMemoryBytes() const;
@@ -188,6 +205,14 @@ private:
 
   BlockId blockOf(isa::Addr A) const { return A >> Cfg.BlockShift; }
 
+  /// True when the static table proves (\p Ctx's) access thread-local
+  /// and filtering is active.
+  bool isFilteredLocal(const vm::EventCtx &Ctx) const {
+    return FilterActive &&
+           Cfg.Access->classify(Ctx.Tid, Ctx.Pc) ==
+               analysis::AccessClass::ThreadLocal;
+  }
+
   /// The state lane an event belongs to: its CPU when approximating
   /// threads with processors, else its thread.
   uint32_t laneOf(const vm::EventCtx &Ctx) const {
@@ -219,6 +244,7 @@ private:
 
   const isa::Program &Prog;
   OnlineSvdConfig Cfg;
+  bool FilterActive = false;
   std::vector<PerThread> Threads;
   std::vector<isa::ThreadCfg> Cfgs;
   /// Per block: bitmask of threads whose FSM state for it is not Idle
@@ -229,6 +255,8 @@ private:
   std::vector<Violation> Violations;
   std::vector<CuLogEntry> CuLog;
   uint64_t Events = 0;
+  uint64_t FilteredLoads = 0;
+  uint64_t FilteredStores = 0;
   uint64_t CuCreations = 0;
   uint64_t CuMerges = 0;
   uint64_t CuEndings = 0;

@@ -260,12 +260,16 @@ void Machine::execute() {
     T.Pc = Pc + 1;
     return;
   case Opcode::Div:
-    SetReg(I.Rd, B == 0 ? 0 : A / B);
+    // INT64_MIN / -1 overflows (UB in C++); the machine defines it to
+    // wrap to INT64_MIN, consistent with its wrapping Add/Mul.
+    SetReg(I.Rd, B == 0                          ? 0
+                 : A == INT64_MIN && B == -1 ? INT64_MIN
+                                             : A / B);
     NotifyAlu();
     T.Pc = Pc + 1;
     return;
   case Opcode::Rem:
-    SetReg(I.Rd, B == 0 ? 0 : A % B);
+    SetReg(I.Rd, B == 0 || (A == INT64_MIN && B == -1) ? 0 : A % B);
     NotifyAlu();
     T.Pc = Pc + 1;
     return;

@@ -1,0 +1,441 @@
+//===- tests/AnalysisTest.cpp - Static analysis subsystem tests -----------===//
+
+#include "analysis/Analysis.h"
+#include "isa/Assembler.h"
+#include "isa/Cfg.h"
+#include "svd/OnlineSvd.h"
+#include "vm/Machine.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace svd;
+using namespace svd::analysis;
+using isa::Program;
+
+namespace {
+
+Program asmProg(const std::string &Src) { return isa::assembleOrDie(Src); }
+
+/// Runs a pass constructor over thread 0 of \p P.
+template <typename Pass> Pass runOn(const Program &P, uint32_t ExtraArg) {
+  const std::vector<isa::Instruction> &Code = P.Threads[0].Code;
+  isa::ThreadCfg Cfg(Code);
+  return Pass(Cfg, Code, ExtraArg);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Reaching definitions
+//===----------------------------------------------------------------------===//
+
+TEST(ReachingDefs, StraightLine) {
+  Program P = asmProg(R"(
+.thread t
+  li r1, 5
+  add r2, r1, r1
+  add r3, r2, r1
+  halt
+)");
+  const std::vector<isa::Instruction> &Code = P.Threads[0].Code;
+  isa::ThreadCfg Cfg(Code);
+  ReachingDefs RD(Cfg, Code);
+
+  // Before pc 0 nothing is written: every register is must-uninit.
+  EXPECT_TRUE(RD.mustBeUninitAt(0, 1));
+  EXPECT_TRUE(RD.mustBeUninitAt(0, 2));
+  // After the li, exactly that definition reaches the add.
+  EXPECT_FALSE(RD.mayBeUninitAt(1, 1));
+  ASSERT_EQ(RD.defsBefore(1, 1).size(), 1u);
+  EXPECT_EQ(RD.defsBefore(1, 1)[0], 0u);
+  // r2's definition at pc 1 reaches pc 2; r2 was uninit before it.
+  EXPECT_TRUE(RD.mustBeUninitAt(1, 2));
+  ASSERT_EQ(RD.defsBefore(2, 2).size(), 1u);
+  EXPECT_EQ(RD.defsBefore(2, 2)[0], 1u);
+}
+
+TEST(ReachingDefs, DiamondMergesBothArms) {
+  // r2 is defined on both arms (two reaching defs, never uninit at the
+  // join); r1 only on the taken arm (may-uninit but not must-uninit).
+  Program P = asmProg(R"(
+.thread t
+  rnd r3, 2
+  beqz r3, else
+  li r1, 1
+  li r2, 1
+  jmp join
+else:
+  li r2, 2
+join:
+  add r4, r2, r0
+  add r5, r1, r0
+  halt
+)");
+  const std::vector<isa::Instruction> &Code = P.Threads[0].Code;
+  isa::ThreadCfg Cfg(Code);
+  ReachingDefs RD(Cfg, Code);
+
+  uint32_t Join = 6; // add r4, r2, r0
+  std::vector<uint32_t> Defs = RD.defsBefore(Join, 2);
+  ASSERT_EQ(Defs.size(), 2u);
+  EXPECT_EQ(Defs[0], 3u);
+  EXPECT_EQ(Defs[1], 5u);
+  EXPECT_FALSE(RD.mayBeUninitAt(Join, 2));
+
+  EXPECT_TRUE(RD.mayBeUninitAt(Join + 1, 1));
+  EXPECT_FALSE(RD.mustBeUninitAt(Join + 1, 1));
+}
+
+//===----------------------------------------------------------------------===//
+// Liveness
+//===----------------------------------------------------------------------===//
+
+TEST(Liveness, StraightLineDeadWrite) {
+  Program P = asmProg(R"(
+.thread t
+  li r1, 5
+  li r1, 6
+  print r1
+  halt
+)");
+  const std::vector<isa::Instruction> &Code = P.Threads[0].Code;
+  isa::ThreadCfg Cfg(Code);
+  Liveness LV(Cfg, Code);
+
+  EXPECT_TRUE(LV.isDeadWrite(0));  // overwritten before any read
+  EXPECT_FALSE(LV.isDeadWrite(1)); // read by print
+  EXPECT_TRUE(LV.liveBefore(2) & (1u << 1));
+  EXPECT_FALSE(LV.liveAfter(2) & (1u << 1));
+}
+
+TEST(Liveness, DiamondKeepsBothArmsLive) {
+  Program P = asmProg(R"(
+.thread t
+  rnd r3, 2
+  li r1, 7
+  beqz r3, else
+  print r1
+  jmp join
+else:
+  print r1
+join:
+  halt
+)");
+  const std::vector<isa::Instruction> &Code = P.Threads[0].Code;
+  isa::ThreadCfg Cfg(Code);
+  Liveness LV(Cfg, Code);
+
+  // r1 is read on both arms: the write at pc 1 is live, and r1 is live
+  // across the branch at pc 2.
+  EXPECT_FALSE(LV.isDeadWrite(1));
+  EXPECT_TRUE(LV.liveBefore(2) & (1u << 1));
+  // r3 dies at the branch.
+  EXPECT_TRUE(LV.liveBefore(2) & (1u << 3));
+  EXPECT_FALSE(LV.liveAfter(2) & (1u << 3));
+}
+
+//===----------------------------------------------------------------------===//
+// Static locksets
+//===----------------------------------------------------------------------===//
+
+TEST(StaticLockset, FlagsImbalanceAndUnlockNotHeld) {
+  Program P = asmProg(R"(
+.lock a
+.lock b
+.thread t
+  unlock @b
+  lock @a
+  halt
+)");
+  StaticLockset LS = runOn<StaticLockset>(P, 2);
+  const std::vector<LocksetDiag> &Ds = LS.diagnostics();
+  ASSERT_EQ(Ds.size(), 2u);
+  EXPECT_EQ(Ds[0].K, LocksetDiag::Kind::UnlockNotHeld);
+  EXPECT_TRUE(Ds[0].Definite);
+  EXPECT_EQ(Ds[0].MutexId, 1u);
+  EXPECT_EQ(Ds[1].K, LocksetDiag::Kind::HeldAtExit);
+  EXPECT_EQ(Ds[1].MutexId, 0u);
+}
+
+TEST(StaticLockset, DefiniteDoubleAcquire) {
+  Program P = asmProg(R"(
+.lock a
+.thread t
+  lock @a
+  lock @a
+  unlock @a
+  halt
+)");
+  StaticLockset LS = runOn<StaticLockset>(P, 1);
+  ASSERT_FALSE(LS.diagnostics().empty());
+  EXPECT_EQ(LS.diagnostics()[0].K, LocksetDiag::Kind::DoubleAcquire);
+  EXPECT_TRUE(LS.diagnostics()[0].Definite);
+  EXPECT_EQ(LS.diagnostics()[0].Pc, 1u);
+}
+
+TEST(StaticLockset, LoopBackEdgeIsMayNotMust) {
+  // The lock is only held on the looping path: a may-double-acquire
+  // warning, not a definite error.
+  Program P = asmProg(R"(
+.lock a
+.thread t
+  li r5, 2
+loop:
+  lock @a
+  addi r5, r5, -1
+  bnez r5, loop
+  unlock @a
+  halt
+)");
+  StaticLockset LS = runOn<StaticLockset>(P, 1);
+  ASSERT_FALSE(LS.diagnostics().empty());
+  EXPECT_EQ(LS.diagnostics()[0].K, LocksetDiag::Kind::MayDoubleAcquire);
+  EXPECT_FALSE(LS.diagnostics()[0].Definite);
+}
+
+TEST(StaticLockset, BalancedProgramIsClean) {
+  Program P = asmProg(R"(
+.lock a
+.thread t
+  li r5, 3
+loop:
+  lock @a
+  unlock @a
+  addi r5, r5, -1
+  bnez r5, loop
+  halt
+)");
+  StaticLockset LS = runOn<StaticLockset>(P, 1);
+  EXPECT_TRUE(LS.diagnostics().empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Escape analysis / access classification
+//===----------------------------------------------------------------------===//
+
+TEST(Escape, ComputedAddressStaysPossiblyShared) {
+  // The store index is loaded from memory: the interval is unbounded,
+  // so even though it syntactically targets the thread's .local buffer
+  // the access must stay PossiblyShared.
+  Program P = asmProg(R"(
+.global idx
+.local buf 8
+.thread t x2
+  ld r1, [@idx]
+  li r2, 1
+  st r2, [r1+@buf]
+  halt
+)");
+  AccessTable T = buildAccessTable(P);
+  EXPECT_EQ(T.classify(0, 0), AccessClass::PossiblyShared); // ld @idx
+  EXPECT_EQ(T.classify(0, 2), AccessClass::PossiblyShared); // computed st
+  EXPECT_EQ(countAccessSites(P, T, AccessClass::ThreadLocal), 0u);
+}
+
+TEST(Escape, RndBoundedLocalAccessIsThreadLocal) {
+  Program P = asmProg(R"(
+.local buf 8
+.thread t x2
+  rnd r1, 8
+  ld r2, [r1+@buf]
+  addi r2, r2, 1
+  st r2, [r1+@buf]
+  halt
+)");
+  AccessTable T = buildAccessTable(P);
+  for (isa::ThreadId Tid = 0; Tid < 2; ++Tid) {
+    EXPECT_EQ(T.classify(Tid, 1), AccessClass::ThreadLocal);
+    EXPECT_EQ(T.classify(Tid, 3), AccessClass::ThreadLocal);
+  }
+  EXPECT_EQ(countAccessSites(P, T, AccessClass::ThreadLocal), 4u);
+}
+
+TEST(Escape, LockedGlobalIsLockProtected) {
+  Program P = asmProg(R"(
+.global counter
+.lock m
+.thread t x2
+  lock @m
+  ld r1, [@counter]
+  addi r1, r1, 1
+  st r1, [@counter]
+  unlock @m
+  halt
+)");
+  AccessTable T = buildAccessTable(P);
+  EXPECT_EQ(T.classify(0, 1), AccessClass::LockProtected);
+  EXPECT_EQ(T.classify(0, 3), AccessClass::LockProtected);
+}
+
+TEST(Escape, LoopInductionAddressWidensToShared) {
+  // No branch refinement: a loop counter used as an index widens to an
+  // unbounded interval, so the .local access is (soundly) refused.
+  Program P = asmProg(R"(
+.local buf 8
+.thread t x2
+  li r1, 0
+loop:
+  st r0, [r1+@buf]
+  addi r1, r1, 1
+  slti r2, r1, 8
+  bnez r2, loop
+  halt
+)");
+  AccessTable T = buildAccessTable(P);
+  EXPECT_EQ(T.classify(0, 1), AccessClass::PossiblyShared);
+}
+
+TEST(Escape, BlockGranularityDefeatsWordProof) {
+  // At 2-word blocks a one-word .local region shares its block with the
+  // neighbouring symbol, so the word-exact proof must not survive
+  // block expansion.
+  Program P = asmProg(R"(
+.global shared_word
+.local mine 1
+.thread t x2
+  ld r1, [@mine]
+  st r1, [@shared_word]
+  halt
+)");
+  AccessTable Word = buildAccessTable(P, 0);
+  AccessTable Blk = buildAccessTable(P, 1);
+  EXPECT_EQ(Word.classify(0, 0), AccessClass::ThreadLocal);
+  // With 2-word blocks, some thread's copy of `mine` shares a block
+  // with another symbol or copy; at least one access must degrade.
+  uint64_t LocalsAtWord = countAccessSites(P, Word, AccessClass::ThreadLocal);
+  uint64_t LocalsAtBlk = countAccessSites(P, Blk, AccessClass::ThreadLocal);
+  EXPECT_LT(LocalsAtBlk, LocalsAtWord);
+}
+
+//===----------------------------------------------------------------------===//
+// Lint
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, FlagsSeededBugs) {
+  Program P = asmProg(R"(
+.lock a
+.thread t
+  add r1, r2, r0
+  lock @a
+  halt
+)");
+  std::vector<LintDiag> Ds = lintProgram(P);
+  ASSERT_EQ(Ds.size(), 2u);
+  EXPECT_EQ(Ds[0].Category, "uninit-read");
+  EXPECT_EQ(Ds[0].Pc, 0u);
+  EXPECT_EQ(Ds[1].Category, "lock-imbalance");
+  EXPECT_EQ(Ds[1].Severity, LintSeverity::Error);
+}
+
+TEST(Lint, WorkloadProgramsAreClean) {
+  // Acceptance bar: zero false diagnostics on every existing workload.
+  std::vector<workloads::Workload> All =
+      workloads::table1Workloads(workloads::WorkloadParams());
+  All.push_back(workloads::mysqlTableLock());
+  All.push_back(workloads::sharedQueue());
+  All.push_back(workloads::randomWorkload());
+  workloads::RandomParams RP;
+  RP.Seed = 7;
+  RP.OmitLockProbability = 0.3;
+  All.push_back(workloads::randomWorkload(RP));
+  for (const workloads::Workload &W : All) {
+    std::vector<LintDiag> Ds = lintProgram(W.Program);
+    for (const LintDiag &D : Ds)
+      ADD_FAILURE() << W.Name << ": " << formatLintDiag(W.Program, D);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Detector filtering equivalence
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void expectSameReports(const detect::OnlineSvd &A, const detect::OnlineSvd &B,
+                       const std::string &Name) {
+  ASSERT_EQ(A.violations().size(), B.violations().size()) << Name;
+  for (size_t K = 0; K < A.violations().size(); ++K) {
+    const detect::Violation &X = A.violations()[K];
+    const detect::Violation &Y = B.violations()[K];
+    EXPECT_EQ(X.Seq, Y.Seq) << Name;
+    EXPECT_EQ(X.Tid, Y.Tid) << Name;
+    EXPECT_EQ(X.Pc, Y.Pc) << Name;
+    EXPECT_EQ(X.OtherTid, Y.OtherTid) << Name;
+    EXPECT_EQ(X.OtherPc, Y.OtherPc) << Name;
+    EXPECT_EQ(X.OtherSeq, Y.OtherSeq) << Name;
+    EXPECT_EQ(X.Address, Y.Address) << Name;
+  }
+  ASSERT_EQ(A.cuLog().size(), B.cuLog().size()) << Name;
+  for (size_t K = 0; K < A.cuLog().size(); ++K) {
+    const detect::CuLogEntry &X = A.cuLog()[K];
+    const detect::CuLogEntry &Y = B.cuLog()[K];
+    EXPECT_EQ(X.Seq, Y.Seq) << Name;
+    EXPECT_EQ(X.Tid, Y.Tid) << Name;
+    EXPECT_EQ(X.Pc, Y.Pc) << Name;
+    EXPECT_EQ(X.RemoteSeq, Y.RemoteSeq) << Name;
+    EXPECT_EQ(X.RemoteTid, Y.RemoteTid) << Name;
+    EXPECT_EQ(X.RemotePc, Y.RemotePc) << Name;
+    EXPECT_EQ(X.LocalSeq, Y.LocalSeq) << Name;
+    EXPECT_EQ(X.LocalPc, Y.LocalPc) << Name;
+    EXPECT_EQ(X.Address, Y.Address) << Name;
+  }
+  EXPECT_EQ(A.numCusFormed(), B.numCusFormed()) << Name;
+  EXPECT_EQ(A.numCusEnded(), B.numCusEnded()) << Name;
+  EXPECT_EQ(A.eventsObserved(), B.eventsObserved()) << Name;
+}
+
+} // namespace
+
+TEST(OnlineSvdFilter, BitIdenticalReportsOnAllWorkloads) {
+  std::vector<workloads::Workload> All =
+      workloads::table1Workloads(workloads::WorkloadParams());
+  All.push_back(workloads::mysqlTableLock());
+  All.push_back(workloads::sharedQueue());
+  workloads::RandomParams RP;
+  RP.Seed = 11;
+  RP.OmitLockProbability = 0.4;
+  All.push_back(workloads::randomWorkload(RP));
+
+  uint64_t TotalFiltered = 0;
+  for (const workloads::Workload &W : All) {
+    AccessTable Table = buildAccessTable(W.Program);
+    for (uint64_t Seed : {1ull, 7ull}) {
+      vm::MachineConfig MC;
+      MC.SchedSeed = Seed;
+      MC.MinTimeslice = 1;
+      MC.MaxTimeslice = 5;
+      vm::Machine M(W.Program, MC);
+
+      // Both detectors observe the same event stream, so any divergence
+      // is the filter's fault, not the scheduler's.
+      detect::OnlineSvd Plain(W.Program);
+      detect::OnlineSvdConfig FC;
+      FC.Access = &Table;
+      detect::OnlineSvd Filtered(W.Program, FC);
+      M.addObserver(&Plain);
+      M.addObserver(&Filtered);
+      M.run();
+
+      EXPECT_EQ(Plain.filteredAccesses(), 0u);
+      expectSameReports(Plain, Filtered, W.Name);
+      TotalFiltered += Filtered.filteredAccesses();
+    }
+  }
+  // The equivalence must not hold vacuously: at least one workload has
+  // provably-local accesses that actually took the fast path.
+  EXPECT_GT(TotalFiltered, 0u);
+}
+
+TEST(OnlineSvdFilter, MismatchedGranularityDisablesFilter) {
+  workloads::Workload W = workloads::pgsqlOltp();
+  AccessTable Table = buildAccessTable(W.Program, /*BlockShift=*/0);
+  detect::OnlineSvdConfig FC;
+  FC.Access = &Table;
+  FC.BlockShift = 2; // detector at 4-word blocks, table proven at words
+  detect::OnlineSvd Svd(W.Program, FC);
+  vm::Machine M(W.Program);
+  M.addObserver(&Svd);
+  M.run();
+  EXPECT_EQ(Svd.filteredAccesses(), 0u);
+}

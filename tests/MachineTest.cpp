@@ -606,3 +606,71 @@ TEST(Machine, RunUntilPauses) {
   EXPECT_EQ(M.steps(), 2u);
   EXPECT_EQ(M.run(), StopReason::AllHalted);
 }
+
+TEST(Machine, DivRemByZeroAndOverflow) {
+  // The two inputs C++ leaves undefined are pinned by the machine:
+  // division by zero yields 0, and INT64_MIN / -1 wraps to INT64_MIN
+  // (with remainder 0), consistent with the wrapping Add/Mul.
+  Program P = asmProg(R"(
+.thread t
+  li r1, 7
+  li r2, 0
+  div r3, r1, r2
+  print r3        ; 0
+  rem r3, r1, r2
+  print r3        ; 0
+  li r1, 1
+  li r2, 63
+  shl r1, r1, r2  ; r1 = INT64_MIN
+  li r2, -1
+  div r3, r1, r2
+  print r3        ; INT64_MIN
+  rem r3, r1, r2
+  print r3        ; 0
+  halt
+)");
+  Machine M(P);
+  EXPECT_EQ(M.run(), StopReason::AllHalted);
+  ASSERT_EQ(M.printed().size(), 4u);
+  EXPECT_EQ(M.printed()[0].Value, 0);
+  EXPECT_EQ(M.printed()[1].Value, 0);
+  EXPECT_EQ(M.printed()[2].Value, INT64_MIN);
+  EXPECT_EQ(M.printed()[3].Value, 0);
+}
+
+TEST(Machine, RndStreamsIndependentOfSchedule) {
+  // Each thread's rnd stream is seeded from (RndSeed, Tid) only, so the
+  // values a thread draws must not change when the scheduler interleaves
+  // the threads differently.
+  Program P = asmProg(R"(
+.thread t x2
+  li r5, 6
+loop:
+  rnd r1, 1000
+  print r1
+  yield
+  addi r5, r5, -1
+  bnez r5, loop
+  halt
+)");
+  auto PerThreadPrints = [&](uint64_t SchedSeed) {
+    MachineConfig C;
+    C.SchedSeed = SchedSeed;
+    C.RndSeed = 42;
+    C.MinTimeslice = 1;
+    C.MaxTimeslice = 7;
+    Machine M(P, C);
+    EXPECT_EQ(M.run(), StopReason::AllHalted);
+    std::vector<std::vector<Word>> ByTid(P.numThreads());
+    for (const PrintedValue &V : M.printed())
+      ByTid[V.Tid].push_back(V.Value);
+    return ByTid;
+  };
+  auto A = PerThreadPrints(1);
+  auto B = PerThreadPrints(99);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t Tid = 0; Tid < A.size(); ++Tid) {
+    EXPECT_EQ(A[Tid].size(), 6u);
+    EXPECT_EQ(A[Tid], B[Tid]) << "thread " << Tid;
+  }
+}
