@@ -1,0 +1,21 @@
+; Figure 1 analog (the MySQL binlog rotation bug): the reference count
+; is *read* under tbl_lock, but written back only after the lock is
+; released. Each access is individually synchronized, yet the
+; read-modify-write is not atomic — another thread's write-back can land
+; in the gap, and its update is lost.
+;
+; `svd-predict atomicity_gap.asm` predicts the lost-update pattern
+; statically and confirms it with a directed schedule (preempt after the
+; read, slide past the unlock so the remote replica can run, resume
+; through the write-back), exiting 1. The fixed twin
+; atomicity_gap_fixed.asm keeps the store inside the critical section
+; and produces no report.
+.global refcount
+.lock tbl_lock
+.thread worker x2
+  lock @tbl_lock
+  ld r1, [@refcount]      ; read under the lock...
+  addi r1, r1, 1
+  unlock @tbl_lock        ; ...but the lock is dropped here,
+  st r1, [@refcount]      ; and the write-back races (lost update)
+  halt

@@ -1,0 +1,14 @@
+; The repaired twin of atomicity_gap.asm: the write-back stays inside
+; the tbl_lock critical section, so the read-modify-write is atomic.
+; Both replicas' accesses share a must-held mutex, the conflict-pair
+; pass proves no remote access can interleave, and `svd-predict`
+; reports nothing (exit 0).
+.global refcount
+.lock tbl_lock
+.thread worker x2
+  lock @tbl_lock
+  ld r1, [@refcount]
+  addi r1, r1, 1
+  st r1, [@refcount]      ; write-back still under the lock
+  unlock @tbl_lock
+  halt

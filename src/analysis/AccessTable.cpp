@@ -32,22 +32,6 @@ uint64_t analysis::countAccessSites(const isa::Program &P,
   return N;
 }
 
-namespace {
-
-/// Expands \p I to whole detector blocks: the smallest block-aligned
-/// interval covering it. Full/negative intervals stay as they are (they
-/// never prove anything).
-Interval blockExpand(const Interval &I, uint32_t Shift) {
-  if (I.empty() || I.isFull() || I.Lo < 0 || Shift == 0)
-    return I;
-  int64_t Mask = (int64_t(1) << Shift) - 1;
-  if (I.Hi > INT64_MAX - Mask)
-    return Interval::full();
-  return Interval::range(I.Lo & ~Mask, I.Hi | Mask);
-}
-
-} // namespace
-
 AccessTable analysis::buildAccessTable(const isa::Program &P,
                                        uint32_t BlockShift) {
   uint32_t NumThreads = P.numThreads();
@@ -92,6 +76,14 @@ AccessTable analysis::buildAccessTable(const isa::Program &P,
       const Interval &Range = Expanded[Tid][K];
       if (Range.empty() || Range.isFull() || Range.Lo < 0)
         continue; // stays PossiblyShared
+
+      // Cas is the annotation-free synchronization primitive: even when
+      // its (absolute) address happens to land in this thread's own
+      // .local copy, other threads synchronize through exactly such
+      // words, and a thread-local proof would silently filter the sync
+      // out of every detector. Cas sites always stay PossiblyShared.
+      if (S.IsCas)
+        continue;
 
       // ThreadLocal: inside this thread's own copy of a .local symbol,
       // out of every other thread's possible reach.

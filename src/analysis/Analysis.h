@@ -6,10 +6,13 @@
 ///
 /// \file
 /// Convenience umbrella for the static-analysis subsystem: the worklist
-/// dataflow framework and the four concrete passes (reaching
-/// definitions, liveness, static locksets, escape/interval analysis),
-/// plus the access-classification table the detectors consume and the
-/// lint driver `svd-lint` is built on.
+/// dataflow framework and the concrete passes (reaching definitions,
+/// liveness, static locksets, escape/interval analysis, static CU
+/// inference, conflict pairs, violation prediction), plus the
+/// access-classification table the detectors consume and the lint
+/// driver `svd-lint` is built on. The directed-schedule confirmation of
+/// predictions lives one layer up, in predict/Confirm.h (it needs the
+/// VM).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,11 +20,14 @@
 #define SVD_ANALYSIS_ANALYSIS_H
 
 #include "analysis/AccessTable.h"
+#include "analysis/ConflictPairs.h"
 #include "analysis/Dataflow.h"
 #include "analysis/Escape.h"
 #include "analysis/Lint.h"
 #include "analysis/Liveness.h"
+#include "analysis/Predict.h"
 #include "analysis/ReachingDefs.h"
+#include "analysis/StaticCu.h"
 #include "analysis/StaticLockset.h"
 
 #endif // SVD_ANALYSIS_ANALYSIS_H

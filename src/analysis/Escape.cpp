@@ -57,6 +57,15 @@ bool nonNeg(const Interval &I) { return !I.empty() && I.Lo >= 0; }
 
 } // namespace
 
+Interval analysis::blockExpand(const Interval &I, uint32_t Shift) {
+  if (I.empty() || I.isFull() || I.Lo < 0 || Shift == 0)
+    return I;
+  int64_t Mask = (int64_t(1) << Shift) - 1;
+  if (I.Hi > INT64_MAX - Mask)
+    return Interval::full();
+  return Interval::range(I.Lo & ~Mask, I.Hi | Mask);
+}
+
 bool EscapeAnalysis::Domain::meetInto(Value &Dst, const Value &Src,
                                       bool Widen) const {
   bool Changed = false;

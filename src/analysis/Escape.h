@@ -64,6 +64,13 @@ struct Interval {
   }
 };
 
+/// Expands \p I to whole detector blocks at granularity \p Shift: the
+/// smallest block-aligned interval covering it. Full/negative intervals
+/// pass through unchanged (they never prove anything). Shared by the
+/// access-table classifier and the conflict-pair enumeration so both
+/// reason at the same granularity the detectors use.
+Interval blockExpand(const Interval &I, uint32_t Shift);
+
 /// One classified memory access site.
 struct AccessSite {
   uint32_t Pc = 0;

@@ -6,9 +6,12 @@
 #include "analysis/ReachingDefs.h"
 #include "analysis/StaticLockset.h"
 #include "isa/Cfg.h"
+#include "support/Json.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <sstream>
+#include <tuple>
 
 using namespace svd;
 using namespace svd::analysis;
@@ -119,19 +122,47 @@ std::vector<LintDiag> analysis::lintProgram(const isa::Program &P,
   for (isa::ThreadId Tid = 0; Tid < P.numThreads(); ++Tid) {
     const std::vector<Instruction> &Code = P.Threads[Tid].Code;
     isa::ThreadCfg Cfg(Code);
-    size_t ThreadStart = Out.size();
     if (O.Lockset)
       lintLocksets(P, Tid, Cfg, Code, Out);
     if (O.UninitReads)
       lintUninitReads(Tid, Cfg, Code, Out);
     if (O.DeadWrites)
       lintDeadWrites(Tid, Cfg, Code, Out);
-    std::sort(Out.begin() + ThreadStart, Out.end(),
-              [](const LintDiag &A, const LintDiag &B) {
-                return A.Pc < B.Pc;
-              });
   }
+  sortLintDiags(Out);
   return Out;
+}
+
+void analysis::sortLintDiags(std::vector<LintDiag> &Ds) {
+  std::sort(Ds.begin(), Ds.end(), [](const LintDiag &A, const LintDiag &B) {
+    auto Key = [](const LintDiag &D) {
+      return std::tie(D.Line, D.Category, D.Tid, D.Pc);
+    };
+    return Key(A) < Key(B);
+  });
+}
+
+std::string analysis::lintDiagsToJson(const isa::Program &P,
+                                      const std::string &File,
+                                      const std::vector<LintDiag> &Ds) {
+  using support::jsonString;
+  std::ostringstream OS;
+  OS << "{\"file\":" << jsonString(File) << ",\"diagnostics\":[";
+  for (size_t I = 0; I < Ds.size(); ++I) {
+    const LintDiag &D = Ds[I];
+    if (I)
+      OS << ",";
+    OS << "{\"severity\":"
+       << jsonString(D.Severity == LintSeverity::Error ? "error"
+                                                       : "warning")
+       << ",\"category\":" << jsonString(D.Category) << ",\"thread\":"
+       << jsonString(D.Tid < P.numThreads() ? P.Threads[D.Tid].Name : "?")
+       << ",\"tid\":" << D.Tid << ",\"pc\":" << D.Pc
+       << ",\"line\":" << D.Line
+       << ",\"message\":" << jsonString(D.Message) << "}";
+  }
+  OS << "],\"num_diagnostics\":" << Ds.size() << "}";
+  return OS.str();
 }
 
 std::string analysis::formatLintDiag(const isa::Program &P,

@@ -51,13 +51,26 @@ struct LintOptions {
 };
 
 /// Runs all enabled checks on every thread of \p P; diagnostics come out
-/// ordered by (thread, pc).
+/// in sortLintDiags order.
 std::vector<LintDiag> lintProgram(const isa::Program &P,
                                   const LintOptions &O = LintOptions());
+
+/// Canonical diagnostic order: (line, category, thread, pc) — source
+/// order first, so reports read top-down like a compiler's regardless of
+/// which pass produced them. Programs built in memory (all lines 0)
+/// fall back to (category, thread, pc).
+void sortLintDiags(std::vector<LintDiag> &Ds);
 
 /// Renders \p D like "thread 'worker' pc 12 (line 7): error: ..." for
 /// terminal output.
 std::string formatLintDiag(const isa::Program &P, const LintDiag &D);
+
+/// Renders one file's diagnostics as a JSON document:
+/// {"file":..., "diagnostics":[{severity, category, thread, tid, pc,
+/// line, message}...], "num_diagnostics":N}. Shared by
+/// `svd-lint --json` and the tests that pin the schema.
+std::string lintDiagsToJson(const isa::Program &P, const std::string &File,
+                            const std::vector<LintDiag> &Ds);
 
 } // namespace analysis
 } // namespace svd

@@ -1,0 +1,120 @@
+//===- analysis/Predict.h - Serializability-violation prediction -*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-program *prediction* of serializability violations: enumerate,
+/// over the statically inferred computational units (StaticCu.h) and the
+/// cross-thread conflict pairs (ConflictPairs.h), the unserializable
+/// interleaving shapes of the paper's Table 1 — a remote conflicting
+/// access landing between two local accesses of one candidate atomic
+/// region.
+///
+/// Four pattern kinds are produced, each anchored at the *store* where
+/// the online detector's check fires (OnlineSvd reports violations only
+/// when a computational unit writes back):
+///
+///  * **lost-update** — a shared read `r` and a dependent shared write
+///    `w` of the *same* variable; a remote write between them is
+///    overwritten by `w` (the classic counter race, Figure 2);
+///  * **stale-read** — `r` and dependent `w` of *different* variables; a
+///    remote write to `r`'s variable makes `w` publish a value computed
+///    from a stale input (Figure 1's rolled-back-transaction shape);
+///  * **dirty-read** — two shared writes `w1`, `w2` of one unit to the
+///    same variable; a remote read between them observes the
+///    intermediate value;
+///  * **non-repeatable-read** — two shared reads `r1`, `r2` of the same
+///    variable feeding one store; a remote write between them makes the
+///    unit see two different values of one input.
+///
+/// Predictions are pruned when a mutex is must-held across the whole
+/// local span *and* at the remote site — mutual exclusion then forbids
+/// the interleaving. Everything that survives is still only a
+/// *prediction*: the companion confirmation engine (predict/Confirm.h)
+/// replays each one under a directed schedule and promotes it to a
+/// report only when a detector actually fires. Replicated threads
+/// (identical code vectors) are deduplicated so `worker x8` yields each
+/// pattern once, not 56 times.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_ANALYSIS_PREDICT_H
+#define SVD_ANALYSIS_PREDICT_H
+
+#include "analysis/ConflictPairs.h"
+#include "isa/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace svd {
+namespace analysis {
+
+/// The unserializable interleaving shapes of Table 1, named from the
+/// database-isolation anomalies they instantiate.
+enum class PatternKind : uint8_t {
+  LostUpdate,
+  StaleRead,
+  DirtyRead,
+  NonRepeatableRead,
+};
+
+/// Stable kebab-case name of \p K ("lost-update", ...).
+const char *patternKindName(PatternKind K);
+
+/// One predicted violation: a local pattern instance plus the remote
+/// access that can break its atomicity.
+struct Prediction {
+  PatternKind Kind = PatternKind::LostUpdate;
+
+  isa::ThreadId LocalTid = 0;
+  /// First local access of the unserializable pair (a Ld, or w1 of
+  /// dirty-read). The confirmation engine preempts right after it.
+  uint32_t FirstPc = 0;
+  /// Second local access of the pair (== CheckPc except for
+  /// non-repeatable-read, where it is the second read).
+  uint32_t SecondPc = 0;
+  /// The store at which the online detector's check fires. The
+  /// confirmation engine resumes the local thread through this pc.
+  uint32_t CheckPc = 0;
+  /// Static computational unit (StaticCuInference id) of the local span.
+  uint32_t UnitId = 0;
+
+  isa::ThreadId RemoteTid = 0;
+  uint32_t RemotePc = 0;
+  bool RemoteIsWrite = false;
+
+  /// Block-expanded address bound of the contended first access.
+  Interval FirstAddr;
+
+  /// 1-based assembly source lines (0 for built-in-memory programs).
+  uint32_t FirstLine = 0;
+  uint32_t SecondLine = 0;
+  uint32_t CheckLine = 0;
+  uint32_t RemoteLine = 0;
+};
+
+struct PredictOptions {
+  /// Detector block granularity (log2 words); must match the detector
+  /// the confirmation engine runs.
+  uint32_t BlockShift = 0;
+};
+
+/// Enumerates all predictions over \p P, pruned and deduplicated,
+/// in deterministic sorted order (see sortPredictions).
+std::vector<Prediction> predictProgram(const isa::Program &P,
+                                       const PredictOptions &O = {});
+
+/// Sorts \p Ps by (first line, check line, kind, local tid, pcs, remote)
+/// — source order first, so diagnostics read top-down like a compiler's.
+void sortPredictions(std::vector<Prediction> &Ps);
+
+/// Renders \p Pr as a one-line human-readable diagnostic.
+std::string formatPrediction(const isa::Program &P, const Prediction &Pr);
+
+} // namespace analysis
+} // namespace svd
+
+#endif // SVD_ANALYSIS_PREDICT_H

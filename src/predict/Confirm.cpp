@@ -1,0 +1,233 @@
+//===- predict/Confirm.cpp ------------------------------------------------===//
+
+#include "predict/Confirm.h"
+
+#include "support/Json.h"
+#include "support/StringUtils.h"
+#include "svd/OnlineSvd.h"
+#include "vm/Machine.h"
+
+#include <sstream>
+
+using namespace svd;
+using namespace svd::predict;
+using analysis::Prediction;
+using isa::ThreadId;
+using support::formatString;
+using vm::Machine;
+using vm::StopReason;
+using vm::ThreadState;
+
+namespace {
+
+vm::MachineConfig machineConfig(const ConfirmOptions &O) {
+  vm::MachineConfig Cfg;
+  Cfg.SchedSeed = O.SchedSeed;
+  Cfg.RndSeed = O.RndSeed;
+  Cfg.MaxSteps = O.MaxStepsPerRun;
+  return Cfg;
+}
+
+std::string errorKey(const vm::ProgramError &E) {
+  // Thread-agnostic on purpose: replicas share code, and a directed run
+  // may trip the assert in a different replica than the baseline would.
+  return formatString("%u:", E.Pc) + E.Message;
+}
+
+/// Directed-stepping helper: advance thread \p Tid until it has
+/// executed \p Pc \p Times more times. When \p Tid is blocked on a
+/// mutex, the helper thread \p Slide (if non-negative) advances one
+/// instruction at a time — the *sliding preemption* that lets a
+/// lock-holding thread reach its unlock — but never executes either
+/// \p SlideFence pc (the pattern's boundary accesses; UINT32_MAX = no
+/// fence). Returns false when the target cannot be reached.
+bool stepTo(Machine &M, ThreadId Tid, uint32_t Pc, uint32_t Times,
+            int64_t Slide, uint32_t SlideFence1, uint32_t SlideFence2) {
+  StopReason Why;
+  uint32_t Executed = 0;
+  while (Executed < Times) {
+    if (M.threadState(Tid) == ThreadState::Ready) {
+      bool AtTarget = M.threadPc(Tid) == Pc;
+      if (!M.stepThread(Tid, Why))
+        return false;
+      // A step into a contended Lock is consumed without advancing the
+      // pc; only count target executions that actually retired.
+      if (AtTarget && (M.threadPc(Tid) != Pc ||
+                       M.threadState(Tid) != ThreadState::Blocked))
+        ++Executed;
+      continue;
+    }
+    if (M.threadState(Tid) == ThreadState::Halted)
+      return false;
+    // Blocked: slide the helper thread one instruction so it can
+    // release the mutex we are waiting for.
+    if (Slide < 0)
+      return false;
+    ThreadId S = static_cast<ThreadId>(Slide);
+    uint32_t SNext;
+    if (M.threadState(S) != ThreadState::Ready ||
+        (SNext = M.threadPc(S), SNext == SlideFence1 ||
+                                SNext == SlideFence2))
+      return false;
+    if (!M.stepThread(S, Why))
+      return false;
+  }
+  return true;
+}
+
+/// One directed run of \p Pr preempting at occurrence \p Occ. Returns
+/// the evidence found, if any.
+ConfirmResult directedRun(const isa::Program &P, const Prediction &Pr,
+                          const ConfirmOptions &O, uint32_t Occ,
+                          const std::set<std::string> &Baseline) {
+  ConfirmResult R;
+  Machine M(P, machineConfig(O));
+
+  detect::OnlineSvdConfig DCfg;
+  DCfg.BlockShift = O.BlockShift;
+  // Write-set checking on: the dirty-read pattern's evidence is a
+  // remote *read* of a block the CU wrote, which the input-blocks-only
+  // heuristic ignores.
+  DCfg.CheckInputBlocksOnly = false;
+  detect::OnlineSvd D(P, DCfg);
+  M.addObserver(&D);
+
+  ThreadId L = Pr.LocalTid, Rt = Pr.RemoteTid;
+
+  // Phase A: local thread alone up to (and through) the Occ'th
+  // execution of the first access.
+  bool Ok = stepTo(M, L, Pr.FirstPc, Occ,
+                   /*Slide=*/-1, UINT32_MAX, UINT32_MAX);
+
+  // Phase B: remote thread to its conflicting access, sliding the local
+  // thread (never into the pattern's second access or check store) when
+  // the remote blocks on a mutex the local thread holds.
+  if (Ok)
+    Ok = stepTo(M, Rt, Pr.RemotePc, 1,
+                /*Slide=*/L, Pr.SecondPc, Pr.CheckPc);
+
+  // Phase C: local thread through the check store, sliding the remote
+  // if the local thread blocks behind it.
+  if (Ok)
+    Ok = stepTo(M, L, Pr.CheckPc, 1,
+                /*Slide=*/Rt, UINT32_MAX, UINT32_MAX);
+
+  // Phase D: finish under the normal scheduler regardless — partial
+  // interleavings can still trip a differential program error.
+  M.run();
+  M.notifyRunEnd();
+
+  for (const detect::Violation &V : D.violations()) {
+    if (V.Tid == L && V.Pc == Pr.CheckPc && V.OtherTid == Rt &&
+        V.OtherPc == Pr.RemotePc) {
+      R.How = ConfirmResult::Evidence::DetectorViolation;
+      R.Detail = V.describe(P);
+      return R;
+    }
+  }
+  for (const vm::ProgramError &E : M.errors()) {
+    if (!Baseline.count(errorKey(E))) {
+      R.How = ConfirmResult::Evidence::ProgramError;
+      R.Detail = formatString("directed-only program error at pc %u: ",
+                              E.Pc) +
+                 E.Message;
+      return R;
+    }
+  }
+  return R;
+}
+
+} // namespace
+
+std::set<std::string> predict::baselineErrorKeys(const isa::Program &P,
+                                                 const ConfirmOptions &O) {
+  Machine M(P, machineConfig(O));
+  M.run();
+  std::set<std::string> Keys;
+  for (const vm::ProgramError &E : M.errors())
+    Keys.insert(errorKey(E));
+  return Keys;
+}
+
+ConfirmResult predict::confirmPrediction(const isa::Program &P,
+                                         const Prediction &Pr,
+                                         const ConfirmOptions &O,
+                                         const std::set<std::string> *Baseline) {
+  std::set<std::string> Local;
+  if (!Baseline) {
+    Local = baselineErrorKeys(P, O);
+    Baseline = &Local;
+  }
+  ConfirmResult Best;
+  for (uint32_t Occ = 1; Occ <= O.MaxOccurrences; ++Occ) {
+    ConfirmResult R = directedRun(P, Pr, O, Occ, *Baseline);
+    ++Best.Attempts;
+    if (R.confirmed()) {
+      R.Occurrence = Occ;
+      R.Attempts = Best.Attempts;
+      return R;
+    }
+  }
+  return Best;
+}
+
+PredictReport predict::predictAndConfirm(const isa::Program &P,
+                                         const analysis::PredictOptions &PO,
+                                         const ConfirmOptions &CO) {
+  PredictReport Rep;
+  Rep.Predictions = analysis::predictProgram(P, PO);
+  if (Rep.Predictions.empty())
+    return Rep;
+
+  std::set<std::string> Baseline = baselineErrorKeys(P, CO);
+  Rep.Results.reserve(Rep.Predictions.size());
+  for (const Prediction &Pr : Rep.Predictions) {
+    ConfirmResult R = confirmPrediction(P, Pr, CO, &Baseline);
+    Rep.DirectedRuns += R.Attempts;
+    Rep.Results.push_back(std::move(R));
+  }
+  return Rep;
+}
+
+std::string predict::predictReportToJson(const isa::Program &P,
+                                         const PredictReport &R) {
+  using support::jsonString;
+  std::ostringstream OS;
+  OS << "{\"predictions\":[";
+  for (size_t I = 0; I < R.Predictions.size(); ++I) {
+    const Prediction &Pr = R.Predictions[I];
+    const ConfirmResult &CR = R.Results[I];
+    if (I)
+      OS << ",";
+    OS << "{\"kind\":" << jsonString(analysis::patternKindName(Pr.Kind))
+       << ",\"thread\":" << jsonString(P.Threads[Pr.LocalTid].Name)
+       << ",\"tid\":" << Pr.LocalTid << ",\"first_pc\":" << Pr.FirstPc
+       << ",\"second_pc\":" << Pr.SecondPc
+       << ",\"check_pc\":" << Pr.CheckPc
+       << ",\"first_line\":" << Pr.FirstLine
+       << ",\"check_line\":" << Pr.CheckLine
+       << ",\"remote_thread\":" << jsonString(P.Threads[Pr.RemoteTid].Name)
+       << ",\"remote_tid\":" << Pr.RemoteTid
+       << ",\"remote_pc\":" << Pr.RemotePc
+       << ",\"remote_line\":" << Pr.RemoteLine << ",\"remote_kind\":"
+       << jsonString(Pr.RemoteIsWrite ? "write" : "read");
+    if (Pr.FirstAddr.isConstant())
+      OS << ",\"address\":"
+         << jsonString(
+                P.describeAddress(static_cast<isa::Addr>(Pr.FirstAddr.Lo)));
+    OS << ",\"confirmed\":" << (CR.confirmed() ? "true" : "false");
+    if (CR.confirmed()) {
+      OS << ",\"evidence\":"
+         << jsonString(CR.How == ConfirmResult::Evidence::DetectorViolation
+                           ? "detector-violation"
+                           : "program-error")
+         << ",\"occurrence\":" << CR.Occurrence
+         << ",\"detail\":" << jsonString(CR.Detail);
+    }
+    OS << ",\"attempts\":" << CR.Attempts << "}";
+  }
+  OS << "],\"num_predicted\":" << R.Predictions.size()
+     << ",\"num_confirmed\":" << R.numConfirmed()
+     << ",\"directed_runs\":" << R.DirectedRuns << "}";
+  return OS.str();
+}

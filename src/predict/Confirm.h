@@ -1,0 +1,136 @@
+//===- predict/Confirm.h - Directed-schedule confirmation -------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The back half of `svd-predict`: take a static prediction
+/// (analysis/Predict.h) and try to *witness* it by driving the VM with a
+/// directed schedule —
+///
+///   1. step the local thread alone until it has executed the
+///      prediction's first access (its preemption point);
+///   2. preempt, and step the remote thread toward its conflicting
+///      access; when the remote blocks on a mutex the local thread still
+///      holds, the preemption point *slides*: the local thread advances
+///      one instruction at a time (never past the pattern's second
+///      access) until it releases the mutex and the remote can proceed;
+///   3. resume the local thread through the store at which the online
+///      detector's strict-2PL check fires, sliding the remote the same
+///      way if the local thread blocks;
+///   4. finish the run normally.
+///
+/// A prediction is **confirmed** when the online detector (running with
+/// write-set checking enabled, so dirty reads are caught too) reports a
+/// violation whose four coordinates match the prediction, or when the
+/// directed run produces a program error (failed assert / fault) that
+/// the undirected baseline run does not — the differential form of the
+/// paper's "the bug corrupts state" evidence. Everything else stays an
+/// unconfirmed prediction, reported only on request: the default output
+/// of `svd-predict` contains schedule-confirmed violations only, which
+/// is the tool's zero-unconfirmed-noise contract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_PREDICT_CONFIRM_H
+#define SVD_PREDICT_CONFIRM_H
+
+#include "analysis/Predict.h"
+#include "isa/Program.h"
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace svd {
+namespace predict {
+
+/// Tunables of the confirmation engine.
+struct ConfirmOptions {
+  /// Step budget of each directed run (and of the baseline run).
+  uint64_t MaxStepsPerRun = 200'000;
+  /// Dynamic occurrences of the first access to try preempting at: the
+  /// pattern may only be racy from the second loop iteration on.
+  uint32_t MaxOccurrences = 3;
+  /// Detector block granularity; must match the prediction pass's.
+  uint32_t BlockShift = 0;
+  /// Scheduler seed of the undirected tail of each directed run and of
+  /// the baseline.
+  uint64_t SchedSeed = 1;
+  /// `rnd` input seed (shared by baseline and directed runs, so the
+  /// differential-error comparison sees identical program inputs).
+  uint64_t RndSeed = 2;
+};
+
+/// How one prediction fared under directed scheduling.
+struct ConfirmResult {
+  enum class Evidence : uint8_t {
+    None,              ///< no directed run witnessed the prediction
+    DetectorViolation, ///< OnlineSvd fired with matching coordinates
+    ProgramError,      ///< directed-only assert failure / fault
+  };
+  Evidence How = Evidence::None;
+  /// 1-based occurrence of the first access the witnessing run
+  /// preempted at (0 when unconfirmed).
+  uint32_t Occurrence = 0;
+  /// Human-readable evidence (violation / error description).
+  std::string Detail;
+  /// Directed runs attempted for this prediction.
+  uint32_t Attempts = 0;
+
+  bool confirmed() const { return How != Evidence::None; }
+};
+
+/// A prediction plus its confirmation outcome.
+struct ConfirmedPrediction {
+  analysis::Prediction Pred;
+  ConfirmResult Result;
+};
+
+/// The whole pipeline's output.
+struct PredictReport {
+  /// Every surviving static prediction, sorted (sortPredictions order).
+  std::vector<analysis::Prediction> Predictions;
+  /// Outcome per prediction, parallel to Predictions.
+  std::vector<ConfirmResult> Results;
+  /// Total directed runs executed.
+  uint64_t DirectedRuns = 0;
+
+  size_t numConfirmed() const {
+    size_t N = 0;
+    for (const ConfirmResult &R : Results)
+      N += R.confirmed();
+    return N;
+  }
+};
+
+/// Error keys ("pc:message", thread-agnostic so replicas compare equal)
+/// of an undirected run of \p P under \p O's seeds and budget.
+std::set<std::string> baselineErrorKeys(const isa::Program &P,
+                                        const ConfirmOptions &O);
+
+/// Tries to confirm \p Pr with up to MaxOccurrences directed runs.
+/// \p Baseline is the undirected error-key set (baselineErrorKeys);
+/// pass nullptr to have it computed internally.
+ConfirmResult confirmPrediction(const isa::Program &P,
+                                const analysis::Prediction &Pr,
+                                const ConfirmOptions &O,
+                                const std::set<std::string> *Baseline);
+
+/// The full pipeline: predict statically, then confirm every prediction
+/// under directed schedules.
+PredictReport predictAndConfirm(const isa::Program &P,
+                                const analysis::PredictOptions &PO = {},
+                                const ConfirmOptions &CO = {});
+
+/// Renders \p R as a JSON document (see DESIGN.md section 8 for the
+/// schema); shared by `svd-predict --json` and the tests.
+std::string predictReportToJson(const isa::Program &P,
+                                const PredictReport &R);
+
+} // namespace predict
+} // namespace svd
+
+#endif // SVD_PREDICT_CONFIRM_H

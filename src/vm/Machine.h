@@ -146,6 +146,15 @@ public:
   /// (setting \p WhyStopped) when no step can be taken.
   bool stepOnce(StopReason &WhyStopped);
 
+  /// Executes one instruction of \p Tid regardless of the scheduler — the
+  /// directed-schedule hook of the confirmation engine (predict/Confirm.h).
+  /// \p Tid must be Ready; returns false otherwise (WhyStopped is Paused
+  /// when other threads could still run, else the natural verdict). The
+  /// choice is recorded in schedule(), so a directed run replays like any
+  /// other. Note a step into a contended Lock returns true but leaves the
+  /// thread Blocked (the step is consumed spinning, as under stepOnce).
+  bool stepThread(isa::ThreadId Tid, StopReason &WhyStopped);
+
   // --- state inspection -------------------------------------------------
   const isa::Program &program() const { return Prog; }
   uint64_t steps() const { return Steps; }
@@ -153,6 +162,8 @@ public:
   ThreadState threadState(isa::ThreadId Tid) const {
     return Threads[Tid].State;
   }
+  /// Next pc of \p Tid (the instruction it will execute when scheduled).
+  uint32_t threadPc(isa::ThreadId Tid) const { return Threads[Tid].Pc; }
   isa::Word readMem(isa::Addr A) const { return Memory[A]; }
   void pokeMem(isa::Addr A, isa::Word V) { Memory[A] = V; }
   isa::Word readReg(isa::ThreadId Tid, isa::Reg R) const {

@@ -3,6 +3,7 @@
 #include "analysis/Analysis.h"
 #include "isa/Assembler.h"
 #include "isa/Cfg.h"
+#include "support/Json.h"
 #include "svd/OnlineSvd.h"
 #include "vm/Machine.h"
 #include "workloads/Workloads.h"
@@ -438,4 +439,82 @@ TEST(OnlineSvdFilter, MismatchedGranularityDisablesFilter) {
   M.addObserver(&Svd);
   M.run();
   EXPECT_EQ(Svd.filteredAccesses(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostic ordering and JSON output
+//===----------------------------------------------------------------------===//
+
+TEST(Lint, DiagnosticsSortBySourcePosition) {
+  LintDiag D1, D2, D3, D4;
+  D1.Line = 9; D1.Category = "b"; D1.Tid = 0; D1.Pc = 5;
+  D2.Line = 3; D2.Category = "z"; D2.Tid = 1; D2.Pc = 7;
+  D3.Line = 3; D3.Category = "a"; D3.Tid = 2; D3.Pc = 1;
+  D4.Line = 3; D4.Category = "a"; D4.Tid = 0; D4.Pc = 9;
+  std::vector<LintDiag> Ds{D1, D2, D3, D4};
+  sortLintDiags(Ds);
+  // (line, category, thread, pc): deterministic regardless of the order
+  // the passes emitted them in.
+  EXPECT_EQ(Ds[0].Pc, 9u);
+  EXPECT_EQ(Ds[1].Pc, 1u);
+  EXPECT_EQ(Ds[2].Category, "z");
+  EXPECT_EQ(Ds[3].Line, 9u);
+}
+
+TEST(Lint, ProgramDiagnosticsComeOutSorted) {
+  // Thread order in the program is not line order once several threads
+  // interleave in the source; lintProgram must still emit by line.
+  Program P = asmProg(R"(
+.lock a
+.lock b
+.thread t1
+  lock @a
+  halt
+.thread t2
+  add r1, r2, r0
+  lock @b
+  halt
+)");
+  std::vector<LintDiag> Ds = lintProgram(P);
+  ASSERT_GE(Ds.size(), 2u);
+  for (size_t I = 1; I < Ds.size(); ++I)
+    EXPECT_LE(Ds[I - 1].Line, Ds[I].Line);
+}
+
+TEST(Lint, JsonOutputValidatesAndEscapes) {
+  Program P = asmProg(R"(
+.lock a
+.thread t
+  lock @a
+  halt
+)");
+  std::vector<LintDiag> Ds = lintProgram(P);
+  ASSERT_FALSE(Ds.empty());
+  std::string Json = lintDiagsToJson(P, "dir/with \"quotes\".asm", Ds);
+  std::string Err;
+  EXPECT_TRUE(support::jsonValidate(Json, &Err)) << Err;
+  EXPECT_NE(Json.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(Json.find("\"num_diagnostics\":1"), std::string::npos);
+  EXPECT_NE(Json.find("\"category\":\"lock-imbalance\""), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Atomic RMW classification
+//===----------------------------------------------------------------------===//
+
+TEST(AccessTable, CasTargetIsNeverThreadLocal) {
+  // Even a Cas in a single-threaded program against per-thread storage
+  // must stay conservatively shared: the instruction exists to
+  // synchronize, so filtering its address out of the detector would
+  // hide exactly the accesses the user cares about.
+  Program P = asmProg(R"(
+.local slot 1
+.thread t
+  li r1, 0
+  li r2, 1
+  cas r3, r1, r2, [@slot]
+  halt
+)");
+  AccessTable Table = buildAccessTable(P, /*BlockShift=*/0);
+  EXPECT_EQ(Table.classify(0, 2), AccessClass::PossiblyShared);
 }

@@ -674,3 +674,72 @@ loop:
     EXPECT_EQ(A[Tid], B[Tid]) << "thread " << Tid;
   }
 }
+
+TEST(Machine, StepThreadDrivesANamedThread) {
+  Program P = asmProg(R"(
+.global x
+.thread a
+  li r1, 1
+  st r1, [@x]
+  halt
+.thread b
+  li r2, 2
+  st r2, [@x]
+  halt
+)");
+  Machine M(P);
+  StopReason R;
+  // Drive thread 1 first, against the scheduler's natural order.
+  EXPECT_EQ(M.threadPc(1), 0u);
+  ASSERT_TRUE(M.stepThread(1, R));
+  ASSERT_TRUE(M.stepThread(1, R));
+  EXPECT_EQ(M.threadPc(1), 2u);
+  EXPECT_EQ(M.threadPc(0), 0u);
+  EXPECT_EQ(M.readMem(M.program().addressOf("x")), 2u);
+  // The directed prefix is part of the recorded schedule.
+  EXPECT_EQ(M.schedule(), (std::vector<ThreadId>{1, 1}));
+  // The run can finish normally afterwards.
+  EXPECT_EQ(M.run(), StopReason::AllHalted);
+}
+
+TEST(Machine, StepThreadRefusesBlockedThread) {
+  Program P = asmProg(R"(
+.lock m
+.thread a
+  lock @m
+  unlock @m
+  halt
+.thread b
+  lock @m
+  unlock @m
+  halt
+)");
+  Machine M(P);
+  StopReason R;
+  ASSERT_TRUE(M.stepThread(0, R)); // a takes the lock
+  ASSERT_TRUE(M.stepThread(1, R)); // b's lock attempt blocks it
+  EXPECT_EQ(M.threadState(1), ThreadState::Blocked);
+  // A blocked thread cannot be single-stepped; the machine reports a
+  // pause rather than silently running someone else.
+  EXPECT_FALSE(M.stepThread(1, R));
+  EXPECT_EQ(R, StopReason::Paused);
+  // Nor can a finished one once everything halts.
+  EXPECT_EQ(M.run(), StopReason::AllHalted);
+  EXPECT_FALSE(M.stepThread(0, R));
+}
+
+TEST(Machine, StepThreadHonoursStepBudget) {
+  Program P = asmProg(R"(
+.thread t
+loop:
+  jmp loop
+)");
+  MachineConfig C;
+  C.MaxSteps = 5;
+  Machine M(P, C);
+  StopReason R;
+  for (int I = 0; I < 5; ++I)
+    ASSERT_TRUE(M.stepThread(0, R));
+  EXPECT_FALSE(M.stepThread(0, R));
+  EXPECT_EQ(R, StopReason::StepBudget);
+}

@@ -1,5 +1,6 @@
 //===- tests/SupportTest.cpp - Unit tests for svd::support ----------------===//
 
+#include "support/Json.h"
 #include "support/Rng.h"
 #include "support/Stats.h"
 #include "support/StringUtils.h"
@@ -129,4 +130,49 @@ TEST(StringUtils, StartsWith) {
   EXPECT_TRUE(startsWith("abcdef", "abc"));
   EXPECT_FALSE(startsWith("ab", "abc"));
   EXPECT_TRUE(startsWith("x", ""));
+}
+
+//===----------------------------------------------------------------------===//
+// JSON helpers
+//===----------------------------------------------------------------------===//
+
+TEST(Json, EscapeCoversControlAndQuote) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(jsonEscape("tab\there"), "tab\\there");
+  EXPECT_EQ(jsonEscape("nl\n"), "nl\\n");
+  EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, StringWrapsAndEscapes) {
+  EXPECT_EQ(jsonString("x"), "\"x\"");
+  EXPECT_EQ(jsonString("a\"b"), "\"a\\\"b\"");
+}
+
+TEST(Json, ValidateAcceptsWellFormedDocuments) {
+  for (const char *Doc :
+       {"{}", "[]", "null", "true", "-12.5e3", "\"s\"",
+        R"({"a":[1,2,{"b":null}],"c":"\u00e9\n"})", "[[],[[]]]",
+        "  {  \"k\" : 0 }  "}) {
+    std::string Err;
+    EXPECT_TRUE(jsonValidate(Doc, &Err)) << Doc << ": " << Err;
+  }
+}
+
+TEST(Json, ValidateRejectsMalformedDocuments) {
+  for (const char *Doc :
+       {"", "{", "}", "[1,]", "{\"a\":}", "{'a':1}", "01", "+1", "1.",
+        "\"unterminated", "\"bad\\q\"", "nul", "{} extra",
+        "\"\\u12g4\"", "[1 2]"}) {
+    std::string Err;
+    EXPECT_FALSE(jsonValidate(Doc, &Err)) << Doc;
+    EXPECT_FALSE(Err.empty()) << Doc;
+  }
+}
+
+TEST(Json, ValidateRejectsExcessiveNesting) {
+  std::string Deep(300, '[');
+  Deep += std::string(300, ']');
+  EXPECT_FALSE(jsonValidate(Deep, nullptr));
 }

@@ -4,12 +4,14 @@
 // thread, printing diagnostics with instruction locations:
 //
 //   svd-lint FILE.asm... [--dead-writes] [--no-uninit] [--no-lockset]
-//            [--escape [--block-shift N]]
+//            [--escape [--block-shift N]] [--json]
 //
 // Exit status: 0 when every file is clean, 1 when any diagnostic fired,
 // 2 on usage or assembly errors. --escape additionally prints the
 // access-classification table the detectors consume (which loads/stores
 // are provably thread-local, lock-protected, or possibly shared).
+// --json emits one JSON document per file instead of text (schema in
+// DESIGN.md section 8; shared with svd-predict --json).
 //
 //===----------------------------------------------------------------------===//
 
@@ -35,12 +37,14 @@ const char *Usage =
     "  --no-uninit      disable read-before-write warnings\n"
     "  --no-lockset     disable lock imbalance / double-acquire checks\n"
     "  --escape         print the static access classification per access\n"
-    "  --block-shift N  classify at 2^N-word block granularity (with --escape)\n";
+    "  --block-shift N  classify at 2^N-word block granularity (with --escape)\n"
+    "  --json           emit one JSON document per file instead of text\n";
 
 struct Options {
   std::vector<std::string> Files;
   analysis::LintOptions Lint;
   bool Escape = false;
+  bool Json = false;
   uint32_t BlockShift = 0;
 };
 
@@ -55,6 +59,8 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.Lint.Lockset = false;
     } else if (A == "--escape") {
       O.Escape = true;
+    } else if (A == "--json") {
+      O.Json = true;
     } else if (A == "--block-shift") {
       if (I + 1 >= Argc)
         return false;
@@ -113,6 +119,10 @@ int lintFile(const std::string &File, const Options &O) {
   }
 
   std::vector<analysis::LintDiag> Diags = analysis::lintProgram(P, O.Lint);
+  if (O.Json) {
+    std::printf("%s\n", analysis::lintDiagsToJson(P, File, Diags).c_str());
+    return Diags.empty() ? 0 : 1;
+  }
   for (const analysis::LintDiag &D : Diags)
     std::printf("%s: %s\n", File.c_str(),
                 analysis::formatLintDiag(P, D).c_str());

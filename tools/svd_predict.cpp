@@ -1,0 +1,151 @@
+//===- tools/svd_predict.cpp - Predict-and-confirm front end --------------===//
+//
+// Assembles one or more programs, statically predicts serializability
+// violations (static CU inference + conflict pairs + pattern
+// enumeration), then tries to confirm every prediction by driving the
+// VM with a directed schedule. By default only *confirmed* violations
+// are printed — the zero-unconfirmed-noise contract; --all also lists
+// the predictions no directed run could witness.
+//
+//   svd-predict FILE.asm... [--all] [--json] [--block-shift N]
+//               [--max-attempts N] [--max-steps N] [--seed N]
+//
+// Exit status: 0 when no prediction of any file confirmed, 1 when at
+// least one confirmed, 2 on usage or assembly errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Predict.h"
+#include "isa/Assembler.h"
+#include "predict/Confirm.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace svd;
+
+namespace {
+
+const char *Usage =
+    "usage: svd-predict FILE.asm... [options]\n"
+    "  --all            also print predictions that did not confirm\n"
+    "  --json           emit one JSON document per file instead of text\n"
+    "  --block-shift N  detector block granularity 2^N words (default 0)\n"
+    "  --max-attempts N directed runs per prediction (default 3)\n"
+    "  --max-steps N    step budget per run (default 200000)\n"
+    "  --seed N         scheduler seed of the undirected run tails\n";
+
+struct Options {
+  std::vector<std::string> Files;
+  bool All = false;
+  bool Json = false;
+  analysis::PredictOptions Predict;
+  predict::ConfirmOptions Confirm;
+};
+
+bool parseArgs(int Argc, char **Argv, Options &O) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    auto NextVal = [&](uint64_t &V) {
+      if (I + 1 >= Argc)
+        return false;
+      V = std::strtoull(Argv[++I], nullptr, 0);
+      return true;
+    };
+    uint64_t V = 0;
+    if (A == "--all") {
+      O.All = true;
+    } else if (A == "--json") {
+      O.Json = true;
+    } else if (A == "--block-shift") {
+      if (!NextVal(V))
+        return false;
+      O.Predict.BlockShift = static_cast<uint32_t>(V);
+      O.Confirm.BlockShift = static_cast<uint32_t>(V);
+    } else if (A == "--max-attempts") {
+      if (!NextVal(V))
+        return false;
+      O.Confirm.MaxOccurrences = static_cast<uint32_t>(V);
+    } else if (A == "--max-steps") {
+      if (!NextVal(V))
+        return false;
+      O.Confirm.MaxStepsPerRun = V;
+    } else if (A == "--seed") {
+      if (!NextVal(V))
+        return false;
+      O.Confirm.SchedSeed = V;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
+      return false;
+    } else {
+      O.Files.push_back(A);
+    }
+  }
+  return !O.Files.empty();
+}
+
+/// Analyzes one file. Returns 0 (nothing confirmed), 1 (confirmed
+/// violations), or 2 (bad input).
+int predictFile(const std::string &File, const Options &O) {
+  std::ifstream In(File);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
+    return 2;
+  }
+  std::ostringstream SS;
+  SS << In.rdbuf();
+
+  isa::Program P;
+  std::vector<isa::AsmError> Errors;
+  if (!isa::assembleProgram(SS.str(), P, Errors)) {
+    for (const isa::AsmError &E : Errors)
+      std::fprintf(stderr, "%s:%u: error: %s\n", File.c_str(), E.Line,
+                   E.Message.c_str());
+    return 2;
+  }
+
+  predict::PredictReport Rep =
+      predict::predictAndConfirm(P, O.Predict, O.Confirm);
+
+  if (O.Json) {
+    std::printf("%s\n", predict::predictReportToJson(P, Rep).c_str());
+    return Rep.numConfirmed() ? 1 : 0;
+  }
+
+  for (size_t I = 0; I < Rep.Predictions.size(); ++I) {
+    const analysis::Prediction &Pr = Rep.Predictions[I];
+    const predict::ConfirmResult &R = Rep.Results[I];
+    if (R.confirmed()) {
+      std::printf("%s: confirmed: %s\n", File.c_str(),
+                  analysis::formatPrediction(P, Pr).c_str());
+      std::printf("%s:   evidence (occurrence %u): %s\n", File.c_str(),
+                  R.Occurrence, R.Detail.c_str());
+    } else if (O.All) {
+      std::printf("%s: unconfirmed: %s\n", File.c_str(),
+                  analysis::formatPrediction(P, Pr).c_str());
+    }
+  }
+  std::printf("%s: %zu predicted, %zu confirmed (%llu directed runs)\n",
+              File.c_str(), Rep.Predictions.size(), Rep.numConfirmed(),
+              static_cast<unsigned long long>(Rep.DirectedRuns));
+  return Rep.numConfirmed() ? 1 : 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O;
+  if (!parseArgs(Argc, Argv, O)) {
+    std::fputs(Usage, stderr);
+    return 2;
+  }
+  int Status = 0;
+  for (const std::string &File : O.Files)
+    Status = std::max(Status, predictFile(File, O));
+  return Status;
+}
