@@ -207,9 +207,9 @@ skip:
       C.Seed = Seed;
       C.MinTimeslice = 1;
       C.MaxTimeslice = 4;
-      C.SvdConfig = V.Cfg;
-      SampleMetrics A = runSample(Apache, DetectorKind::OnlineSvd, C);
-      SampleMetrics G = runSample(Pgsql, DetectorKind::OnlineSvd, C);
+      C.Detector = std::make_shared<detect::OnlineSvdDetectorConfig>(V.Cfg);
+      SampleMetrics A = runSample(Apache, "svd", C);
+      SampleMetrics G = runSample(Pgsql, "svd", C);
       ApacheTrue += A.DynamicTrue;
       Manifested += A.Manifested;
       Detected += (A.Manifested && A.DetectedBug);

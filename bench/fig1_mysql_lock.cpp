@@ -1,67 +1,16 @@
 //===- bench/fig1_mysql_lock.cpp - Reproduces Figure 1 ---------------------===//
 //
-// Paper: Figure 1 — MySQL's table-locking code contains a harmless data
-// race on tot_lock. A race detector reports it (a false positive); SVD
-// stays silent because every execution of the inferred CUs is
-// serializable. This bench runs the isolated fragment under both
-// detectors across seeds and prints the inferred CUs of a short run.
+// Paper: Figure 1 — MySQL's harmless data race on tot_lock: a race
+// detector reports it, SVD stays silent. Thin wrapper over the "fig1"
+// suite (harness/Suites.h); `svd-bench --suite fig1` is the
+// flag-taking front end.
 //
 //===----------------------------------------------------------------------===//
 
-#include "cu/CuPartition.h"
-#include "harness/Harness.h"
-#include "pdg/Pdg.h"
-#include "support/StringUtils.h"
-#include "trace/Trace.h"
-
-#include <cstdio>
-
-using namespace svd;
-using namespace svd::harness;
-using support::formatString;
+#include "harness/Suites.h"
 
 int main() {
-  std::puts("== Figure 1: benign race under a table lock ==\n");
-
-  workloads::WorkloadParams P;
-  P.Threads = 3;
-  P.Iterations = 40;
-  workloads::Workload W = workloads::mysqlTableLock(P);
-
-  size_t SvdDyn = 0, FrdDyn = 0, FrdStatic = 0;
-  for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
-    SampleConfig C;
-    C.Seed = Seed;
-    SampleMetrics S = runSample(W, DetectorKind::OnlineSvd, C);
-    SampleMetrics F = runSample(W, DetectorKind::HappensBefore, C);
-    SvdDyn += S.DynamicReports;
-    FrdDyn += F.DynamicReports;
-    FrdStatic = std::max(FrdStatic, F.StaticReports);
-  }
-  TextTable T({"Detector", "Dynamic reports (8 seeds)", "Static reports"});
-  T.addRow({"SVD", formatString("%zu", SvdDyn), "0"});
-  T.addRow({"FRD", formatString("%zu", FrdDyn),
-            formatString("%zu", FrdStatic)});
-  std::fputs(T.render().c_str(), stdout);
-  std::puts("\nThe race detector flags the unlocked read of tot_lock; SVD");
-  std::puts("observes that the execution remains serializable and is");
-  std::puts("silent — the paper's motivating false-positive avoidance.\n");
-
-  // Show the inferred CUs of a short run (locker thread), mirroring the
-  // oval of Figure 1(a).
-  workloads::WorkloadParams Small;
-  Small.Threads = 2;
-  Small.Iterations = 2;
-  workloads::Workload SW = workloads::mysqlTableLock(Small);
-  vm::MachineConfig MC;
-  MC.SchedSeed = 3;
-  vm::Machine M(SW.Program, MC);
-  trace::TraceRecorder R(SW.Program);
-  M.addObserver(&R);
-  M.run();
-  pdg::DynamicPdg G = pdg::DynamicPdg::build(R.trace());
-  cu::CuPartition CUs = cu::CuPartition::compute(R.trace(), G);
-  std::puts("Inferred computational units of a 2-iteration run:");
-  std::fputs(CUs.describe(R.trace()).c_str(), stdout);
-  return 0;
+  svd::harness::SuiteOptions O;
+  O.Jobs = 0; // all hardware threads; output is Jobs-invariant
+  return svd::harness::findSuite("fig1")->Run(O);
 }

@@ -106,8 +106,8 @@ int main() {
   for (uint64_t Seed = 1; Seed <= 8; ++Seed) {
     SampleConfig C;
     C.Seed = Seed;
-    SampleMetrics S = runSample(W, DetectorKind::OnlineSvd, C);
-    SampleMetrics F = runSample(W, DetectorKind::HappensBefore, C);
+    SampleMetrics S = runSample(W, "svd", C);
+    SampleMetrics F = runSample(W, "frd", C);
     SvdDyn += S.DynamicReports;
     SvdStatic.insert(S.StaticFalseKeys.begin(), S.StaticFalseKeys.end());
     Frd += F.DynamicReports;

@@ -1,53 +1,17 @@
 //===- bench/predict_report.cpp - Static prediction vs confirmation -------===//
 //
-// The svd-predict pipeline run over the paper's workload analogs:
-// static CU inference + conflict pairs enumerate candidate
-// unserializable interleavings, and the directed-schedule engine
-// replays each one against the online detector. The table contrasts
-// how many interleavings static reasoning proposed with how many a
-// concrete schedule confirmed — the gap is the noise a purely static
-// tool would have shipped to the user.
+// The svd-predict pipeline over the paper's workload analogs: how many
+// interleavings static reasoning proposed vs how many a directed
+// schedule confirmed. Thin wrapper over the "predict" suite
+// (harness/Suites.h); `svd-bench --suite predict` is the flag-taking
+// front end.
 //
 //===----------------------------------------------------------------------===//
 
-#include "analysis/Predict.h"
-#include "predict/Confirm.h"
-#include "workloads/Workloads.h"
-
-#include <cstdio>
-
-using namespace svd;
-using namespace svd::predict;
+#include "harness/Suites.h"
 
 int main() {
-  std::puts("== svd-predict over the Table 1 workload analogs ==\n");
-  std::printf("%-14s %9s %9s %13s %s\n", "workload", "predicted",
-              "confirmed", "directed-runs", "known bug?");
-
-  workloads::WorkloadParams P;
-  P.Threads = 2;
-  P.Iterations = 4;
-  P.WorkPadding = 4;
-  P.TouchOneIn = 1;
-
-  size_t BuggyConfirmed = 0, CleanConfirmed = 0;
-  for (const workloads::Workload &W : workloads::table1Workloads(P)) {
-    PredictReport Rep = predictAndConfirm(W.Program);
-    std::printf("%-14s %9zu %9zu %13zu %s\n", W.Name.c_str(),
-                Rep.Predictions.size(), Rep.numConfirmed(),
-                static_cast<size_t>(Rep.DirectedRuns),
-                W.HasKnownBug ? "yes" : "no");
-    (W.HasKnownBug ? BuggyConfirmed : CleanConfirmed) +=
-        Rep.numConfirmed();
-  }
-
-  std::printf("\nconfirmed on buggy workloads: %zu\n", BuggyConfirmed);
-  std::printf("confirmed on clean workloads: %zu (benign scoreboard "
-              "races excepted, see tests/PredictTest.cpp)\n",
-              CleanConfirmed);
-  std::puts("\nEvery count in the 'confirmed' column is backed by a "
-            "concrete schedule in which the online detector (or an "
-            "assertion) fired; 'predicted' minus 'confirmed' is the "
-            "noise the confirmation stage filtered.");
-  return 0;
+  svd::harness::SuiteOptions O;
+  O.Jobs = 0; // all hardware threads; output is Jobs-invariant
+  return svd::harness::findSuite("predict")->Run(O);
 }

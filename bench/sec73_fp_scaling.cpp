@@ -1,67 +1,17 @@
 //===- bench/sec73_fp_scaling.cpp - Reproduces Section 7.3 (FP scaling) ----===//
 //
-// Paper: Section 7.3 — over long executions, "the number of static
-// false positives grows slowly as the length of the execution
-// increases... the main parameter is the exercised code size", while
-// "dynamic false positives approximately increased linearly with the
-// execution length". This bench sweeps the execution length of the
-// race-free PgSQL analog (the pure false-positive workload) and prints
-// both series, plus the same sweep for FRD as a control (which stays at
-// zero on the race-free program).
+// Paper: Section 7.3 — static false positives grow slowly with
+// execution length (they track exercised code), dynamic false positives
+// grow roughly linearly. Thin wrapper over the "sec73" suite
+// (harness/Suites.h); `svd-bench --suite sec73` is the flag-taking
+// front end.
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Harness.h"
-#include "support/StringUtils.h"
-
-#include <cstdio>
-
-using namespace svd;
-using namespace svd::harness;
-using support::formatString;
+#include "harness/Suites.h"
 
 int main() {
-  std::puts("== Section 7.3: false-positive growth vs execution length ==\n");
-
-  const unsigned Seeds = 4;
-  TextTable T({"Iterations", "M insts", "SVD static FP (avg)",
-               "SVD dynamic FP (avg)", "SVD dyn FP/M", "FRD dyn FP (avg)"});
-
-  for (uint32_t Iter : {25u, 50u, 100u, 200u, 400u, 800u}) {
-    workloads::WorkloadParams P;
-    P.Threads = 4;
-    P.Iterations = Iter;
-    P.WorkPadding = 40;
-    workloads::Workload W = workloads::pgsqlOltp(P);
-
-    double Steps = 0, StaticFp = 0, DynFp = 0, FrdDyn = 0;
-    for (uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
-      SampleConfig C;
-      C.Seed = Seed;
-      C.MinTimeslice = 1;
-      C.MaxTimeslice = 4;
-      SampleMetrics S = runSample(W, DetectorKind::OnlineSvd, C);
-      SampleMetrics F = runSample(W, DetectorKind::HappensBefore, C);
-      Steps += static_cast<double>(S.Steps);
-      StaticFp += static_cast<double>(S.StaticFalse);
-      DynFp += static_cast<double>(S.DynamicFalse);
-      FrdDyn += static_cast<double>(F.DynamicFalse);
-    }
-    Steps /= Seeds;
-    StaticFp /= Seeds;
-    DynFp /= Seeds;
-    FrdDyn /= Seeds;
-    T.addRow({formatString("%u", Iter), formatString("%.2f", Steps / 1e6),
-              formatString("%.1f", StaticFp), formatString("%.1f", DynFp),
-              formatString("%.2f", DynFp * 1e6 / Steps),
-              formatString("%.1f", FrdDyn)});
-  }
-  std::fputs(T.render().c_str(), stdout);
-
-  std::puts("\nExpected shape: the static column saturates (it tracks the");
-  std::puts("exercised code, which stops growing), the dynamic column");
-  std::puts("grows roughly linearly with length (a roughly constant");
-  std::puts("per-million rate), and FRD stays at zero on the race-free");
-  std::puts("program.");
-  return 0;
+  svd::harness::SuiteOptions O;
+  O.Jobs = 0; // all hardware threads; output is Jobs-invariant
+  return svd::harness::findSuite("sec73")->Run(O);
 }

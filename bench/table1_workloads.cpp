@@ -1,49 +1,16 @@
 //===- bench/table1_workloads.cpp - Reproduces Table 1 ---------------------===//
 //
 // Paper: Table 1 "Test Programs" — the three server programs, their
-// drivers, sizes, and erroneous behaviour. Our analogs substitute the
-// real servers (see DESIGN.md); this bench prints the analog inventory
-// with measured static/dynamic sizes instead of the authors' LoC counts.
+// drivers, sizes, and erroneous behaviour. Thin wrapper over the
+// "table1" suite (harness/Suites.h); `svd-bench --suite table1` is the
+// flag-taking front end.
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Harness.h"
-#include "support/StringUtils.h"
-
-#include <cstdio>
-
-using namespace svd;
-using harness::TextTable;
-using support::formatString;
+#include "harness/Suites.h"
 
 int main() {
-  std::puts("== Table 1: test programs (synthetic analogs) ==\n");
-
-  workloads::WorkloadParams P;
-  P.Threads = 4;
-  P.Iterations = 150;
-  P.WorkPadding = 80;
-  P.TouchOneIn = 8;
-
-  TextTable T({"Name", "Threads", "Static instrs", "Dynamic instrs (seed 1)",
-               "Known bug"});
-  for (const workloads::Workload &W : workloads::table1Workloads(P)) {
-    vm::MachineConfig MC;
-    MC.SchedSeed = 1;
-    vm::Machine M(W.Program, MC);
-    M.run();
-    T.addRow({W.Name, formatString("%u", W.Program.numThreads()),
-              formatString("%zu", W.Program.numInstructions()),
-              formatString("%llu",
-                           static_cast<unsigned long long>(M.steps())),
-              W.HasKnownBug ? "yes" : "no"});
-  }
-  std::fputs(T.render().c_str(), stdout);
-
-  std::puts("\nDescriptions:");
-  for (const workloads::Workload &W : workloads::table1Workloads(P)) {
-    std::printf("\n%s\n  %s\n  Erroneous execution: %s\n", W.Name.c_str(),
-                W.Description.c_str(), W.ErrorBehaviour.c_str());
-  }
-  return 0;
+  svd::harness::SuiteOptions O;
+  O.Jobs = 0; // all hardware threads; output is Jobs-invariant
+  return svd::harness::findSuite("table1")->Run(O);
 }

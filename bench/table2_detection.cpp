@@ -2,158 +2,17 @@
 //
 // Paper: Table 2 "Evaluation Results" — the headline comparison of SVD
 // against the Frontier Race Detector (FRD) over erroneous and bug-free
-// execution samples of Apache, MySQL, and PgSQL:
-//
-//   * apparent false negatives (erroneous samples FRD finds, SVD misses),
-//   * static false positives per detector (union over a row's samples),
-//   * dynamic false positives per million instructions (total),
-//   * a-posteriori examinations (distinct CU-log shapes),
-//   * SVD's computational units per million instructions (total).
-//
-// Each sample is one seeded execution (Section 6.1's deterministic
-// segments). The same seed produces the identical execution for both
-// detectors. Expected shape versus the paper: no apparent false
-// negatives on the buggy programs; SVD reports (much) fewer dynamic
-// false positives than FRD on Apache and MySQL; on race-free PgSQL the
-// relation inverts (FRD ~0, SVD a modest nonzero rate).
+// execution samples of Apache, MySQL, and PgSQL. Thin wrapper over the
+// "table2" suite (harness/Suites.h), which documents the columns and
+// the expected shape versus the paper; `svd-bench --suite table2` is
+// the flag-taking front end.
 //
 //===----------------------------------------------------------------------===//
 
-#include "harness/Harness.h"
-#include "support/StringUtils.h"
-
-#include <cstdio>
-#include <set>
-#include <vector>
-
-using namespace svd;
-using namespace svd::harness;
-using support::formatString;
-using workloads::Workload;
-
-namespace {
-
-struct RowAccum {
-  size_t Samples = 0;
-  uint64_t Steps = 0;
-  size_t ApparentFn = 0;
-  std::set<uint64_t> SvdStaticFp;
-  std::set<uint64_t> FrdStaticFp;
-  size_t SvdDynFp = 0;
-  size_t FrdDynFp = 0;
-  std::set<uint64_t> LogShapes;
-  size_t Cus = 0;
-
-  double perM(size_t N) const {
-    return Steps == 0 ? 0.0
-                      : static_cast<double>(N) * 1e6 /
-                            static_cast<double>(Steps);
-  }
-};
-
-void runWorkload(const Workload &W, unsigned Seeds, RowAccum &Erroneous,
-                 RowAccum &Clean) {
-  for (uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
-    SampleConfig C;
-    C.Seed = Seed;
-    C.MinTimeslice = 1;
-    C.MaxTimeslice = 4;
-    SampleMetrics S = runSample(W, DetectorKind::OnlineSvd, C);
-    SampleMetrics F = runSample(W, DetectorKind::HappensBefore, C);
-
-    RowAccum &Row = S.Manifested ? Erroneous : Clean;
-    ++Row.Samples;
-    Row.Steps += S.Steps;
-    bool FrdFound = F.DynamicTrue > 0;
-    bool SvdFound = S.DetectedBug || S.LogFoundBug;
-    if (S.Manifested && FrdFound && !SvdFound)
-      ++Row.ApparentFn;
-    Row.SvdStaticFp.insert(S.StaticFalseKeys.begin(),
-                           S.StaticFalseKeys.end());
-    Row.FrdStaticFp.insert(F.StaticFalseKeys.begin(),
-                           F.StaticFalseKeys.end());
-    Row.SvdDynFp += S.DynamicFalse;
-    Row.FrdDynFp += F.DynamicFalse;
-    Row.LogShapes.insert(S.StaticLogKeys.begin(), S.StaticLogKeys.end());
-    Row.Cus += S.CusFormed;
-  }
-}
-
-void addRow(TextTable &T, const std::string &Name, const char *Kind,
-            const RowAccum &R, bool Buggy) {
-  if (R.Samples == 0)
-    return;
-  T.addRow({Name + " (" + Kind + ")",
-            formatString("%.2f", static_cast<double>(R.Steps) / 1e6),
-            formatString("%zu", R.Samples),
-            Buggy ? formatString("%zu", R.ApparentFn) : std::string("N/A"),
-            formatString("%zu", R.SvdStaticFp.size()),
-            formatString("%zu", R.FrdStaticFp.size()),
-            formatString("%.2f (%zu)", R.perM(R.SvdDynFp), R.SvdDynFp),
-            formatString("%.2f (%zu)", R.perM(R.FrdDynFp), R.FrdDynFp),
-            formatString("%zu", R.LogShapes.size()),
-            formatString("%.0f (%zu)", R.perM(R.Cus), R.Cus)});
-}
-
-} // namespace
+#include "harness/Suites.h"
 
 int main() {
-  std::puts("== Table 2: SVD vs FRD over execution samples ==");
-  std::puts("(columns follow the paper; rates are per million dynamic");
-  std::puts(" instructions, totals in parentheses)\n");
-
-  workloads::WorkloadParams AP;
-  AP.Threads = 4;
-  AP.Iterations = 100;
-  AP.WorkPadding = 120;
-  AP.TouchOneIn = 10;
-
-  workloads::WorkloadParams MP;
-  MP.Threads = 4;
-  MP.Iterations = 150;
-  MP.WorkPadding = 80;
-  MP.TouchOneIn = 8;
-
-  workloads::WorkloadParams GP;
-  GP.Threads = 4;
-  GP.Iterations = 150;
-  GP.WorkPadding = 80;
-
-  const unsigned Seeds = 12;
-
-  TextTable T({"Program", "M insts", "Samples", "Apparent FN",
-               "Static FP SVD", "Static FP FRD", "Dyn FP/M SVD",
-               "Dyn FP/M FRD", "A-posteriori", "CUs/M"});
-
-  {
-    Workload W = workloads::apacheLog(AP);
-    RowAccum Err, Clean;
-    runWorkload(W, Seeds, Err, Clean);
-    addRow(T, W.Name, "erroneous", Err, true);
-    addRow(T, W.Name, "bug-free", Clean, false);
-  }
-  {
-    Workload W = workloads::mysqlPrepared(MP);
-    RowAccum Err, Clean;
-    runWorkload(W, Seeds, Err, Clean);
-    addRow(T, W.Name, "erroneous", Err, true);
-    addRow(T, W.Name, "bug-free", Clean, false);
-  }
-  {
-    Workload W = workloads::pgsqlOltp(GP);
-    RowAccum Err, Clean;
-    runWorkload(W, Seeds, Err, Clean);
-    addRow(T, W.Name, "erroneous", Err, true);
-    addRow(T, W.Name, "bug-free", Clean, false);
-  }
-
-  std::fputs(T.render().c_str(), stdout);
-
-  std::puts("\nReading guide (expected shape versus the paper):");
-  std::puts(" * Apparent FN = 0: SVD (online report or CU log) finds every");
-  std::puts("   erroneous sample FRD finds.");
-  std::puts(" * Apache/MySQL: SVD's dynamic FP rate is a factor below FRD's.");
-  std::puts(" * PgSQL: the relation inverts — FRD ~0, SVD a modest rate");
-  std::puts("   (the paper's Section 7.2 observation).");
-  return 0;
+  svd::harness::SuiteOptions O;
+  O.Jobs = 0; // all hardware threads; output is Jobs-invariant
+  return svd::harness::findSuite("table2")->Run(O);
 }

@@ -2,9 +2,14 @@
 
 #include "harness/Harness.h"
 
+#include "race/HappensBefore.h"
 #include "race/Lockset.h"
+#include "svd/HardwareSvd.h"
+#include "svd/OfflineDetector.h"
+#include "svd/OnlineSvd.h"
 #include "support/Error.h"
 
+#include <algorithm>
 #include <chrono>
 #include <unordered_map>
 #include <unordered_set>
@@ -14,16 +19,20 @@ using namespace svd::harness;
 using detect::Violation;
 using workloads::Workload;
 
-const char *harness::detectorName(DetectorKind K) {
-  switch (K) {
-  case DetectorKind::OnlineSvd:
-    return "SVD";
-  case DetectorKind::HappensBefore:
-    return "FRD";
-  case DetectorKind::Lockset:
-    return "Lockset";
-  }
-  SVD_UNREACHABLE("unknown detector kind");
+const detect::DetectorRegistry &harness::detectorRegistry() {
+  // Magic-static initialization keeps the first concurrent call safe;
+  // afterwards the registry is immutable.
+  static const detect::DetectorRegistry Registry = [] {
+    detect::DetectorRegistry R;
+    detect::registerOnlineSvdDetector(R);
+    race::registerHappensBeforeDetector(R);
+    race::registerLocksetDetector(R);
+    detect::registerHardwareSvdDetector(R);
+    detect::registerOfflineDetector(R);
+    detect::registerBareDetector(R);
+    return R;
+  }();
+  return Registry;
 }
 
 namespace {
@@ -62,11 +71,16 @@ void classify(const Workload &W, const std::vector<Violation> &Reports,
       M.StaticFalseKeys.push_back(Key);
     }
   }
+  // Key order would otherwise leak hash-map iteration order; sorted
+  // vectors make equal samples memberwise-equal.
+  std::sort(M.StaticTrueKeys.begin(), M.StaticTrueKeys.end());
+  std::sort(M.StaticFalseKeys.begin(), M.StaticFalseKeys.end());
 }
 
 } // namespace
 
-SampleMetrics harness::runSample(const Workload &W, DetectorKind D,
+SampleMetrics harness::runSample(const Workload &W,
+                                 const std::string &Detector,
                                  const SampleConfig &C) {
   vm::MachineConfig MC;
   MC.SchedSeed = C.Seed;
@@ -84,46 +98,31 @@ SampleMetrics harness::runSample(const Workload &W, DetectorKind D,
     M.BareSeconds = secondsSince(T0);
   }
 
+  std::unique_ptr<detect::Detector> D =
+      detectorRegistry().create(Detector, W.Program, C.Detector.get());
+
   vm::Machine Machine(W.Program, MC);
+  D->attach(Machine);
   auto T0 = std::chrono::steady_clock::now();
-  switch (D) {
-  case DetectorKind::OnlineSvd: {
-    detect::OnlineSvd Svd(W.Program, C.SvdConfig);
-    Machine.addObserver(&Svd);
-    Machine.run();
-    M.DetectorSeconds = secondsSince(T0);
-    classify(W, Svd.violations(), M);
-    M.CusFormed = Svd.numCusFormed();
-    M.LogEntries = Svd.cuLog().size();
+  Machine.run();
+  D->finish(Machine);
+  M.DetectorSeconds = secondsSince(T0);
+
+  classify(W, D->reports(), M);
+  M.CusFormed = D->numCusFormed();
+  M.LogEntries = D->cuLog().size();
+  if (!D->cuLog().empty()) {
     std::unordered_set<uint64_t> StaticLog;
-    for (const detect::CuLogEntry &E : Svd.cuLog()) {
+    for (const detect::CuLogEntry &E : D->cuLog()) {
       StaticLog.insert(E.staticKey());
       if (W.isTrueLogEntry(E))
         M.LogFoundBug = true;
     }
     M.StaticLogEntries = StaticLog.size();
     M.StaticLogKeys.assign(StaticLog.begin(), StaticLog.end());
-    M.DetectorBytes = Svd.approxMemoryBytes();
-    break;
+    std::sort(M.StaticLogKeys.begin(), M.StaticLogKeys.end());
   }
-  case DetectorKind::HappensBefore: {
-    race::HappensBeforeDetector Hb(W.Program, C.HbConfig);
-    Machine.addObserver(&Hb);
-    Machine.run();
-    M.DetectorSeconds = secondsSince(T0);
-    classify(W, Hb.races(), M);
-    M.DetectorBytes = Hb.approxMemoryBytes();
-    break;
-  }
-  case DetectorKind::Lockset: {
-    race::LocksetDetector Ls(W.Program);
-    Machine.addObserver(&Ls);
-    Machine.run();
-    M.DetectorSeconds = secondsSince(T0);
-    classify(W, Ls.reports(), M);
-    break;
-  }
-  }
+  M.DetectorBytes = D->approxMemoryBytes();
 
   M.Steps = Machine.steps();
   M.Manifested = W.Manifested(Machine);

@@ -12,29 +12,37 @@
 /// deduplicate static reports by code-location pair, and aggregate
 /// across samples.
 ///
+/// Detectors are addressed by registry name ("svd", "frd", "lockset",
+/// "hwsvd", "offline", "none" — see svd/Detector.h), and a sample's
+/// detector configuration travels as an opaque detect::DetectorConfig.
+/// runSample is a pure function of (workload, detector, config): it
+/// builds a fresh Machine and a fresh detector instance per call and
+/// touches no shared mutable state, so samples may run concurrently
+/// (harness/Runner.h) as long as the Workload outlives them.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SVD_HARNESS_HARNESS_H
 #define SVD_HARNESS_HARNESS_H
 
-#include "race/HappensBefore.h"
-#include "svd/OnlineSvd.h"
+#include "svd/Detector.h"
 #include "workloads/Workloads.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 namespace svd {
 namespace harness {
 
-/// Which detector a sample runs under.
-enum class DetectorKind : uint8_t { OnlineSvd, HappensBefore, Lockset };
+/// The process-wide detector registry, populated with every built-in
+/// detector on first use (thread-safe).
+const detect::DetectorRegistry &detectorRegistry();
 
-/// Printable detector name ("SVD", "FRD", "Lockset").
-const char *detectorName(DetectorKind K);
-
-/// Per-sample configuration.
+/// Per-sample configuration. Copyable and shareable across runner
+/// threads: the detector config is immutable behind a shared_ptr, and
+/// every PRNG stream of a sample is derived from Seed inside runSample.
 struct SampleConfig {
   uint64_t Seed = 1;
   /// Scheduler timeslices; >1 models coarser preemption (the paper's
@@ -42,13 +50,17 @@ struct SampleConfig {
   uint32_t MinTimeslice = 1;
   uint32_t MaxTimeslice = 1;
   uint64_t MaxSteps = 50'000'000;
-  detect::OnlineSvdConfig SvdConfig;
-  race::HappensBeforeConfig HbConfig;
+  /// Opaque per-detector configuration (null = detector defaults). Must
+  /// belong to the detector the sample runs under.
+  std::shared_ptr<const detect::DetectorConfig> Detector;
   /// Also run the bare program (no detector) to measure overhead.
   bool MeasureOverhead = false;
 };
 
 /// Everything measured from one (workload, detector, seed) sample.
+/// A plain value: producing one sample writes no state outside this
+/// struct, and all derived rates (perMillion) are computed from its own
+/// fields, so concurrent collection into distinct slots is safe.
 struct SampleMetrics {
   uint64_t Steps = 0;  ///< executed instructions
   bool Manifested = false;       ///< did the known bug manifest?
@@ -67,7 +79,9 @@ struct SampleMetrics {
   double DetectorSeconds = 0.0;
   double BareSeconds = 0.0;      ///< only when MeasureOverhead
   /// Static identities of the false / true reports and of the CU-log
-  /// entries (for cross-sample unions in the Table 2 bench).
+  /// entries (for cross-sample unions in the Table 2 bench). Sorted
+  /// ascending, so equal samples compare equal memberwise regardless of
+  /// detector-internal hash iteration order.
   std::vector<uint64_t> StaticFalseKeys;
   std::vector<uint64_t> StaticTrueKeys;
   std::vector<uint64_t> StaticLogKeys;
@@ -80,9 +94,11 @@ struct SampleMetrics {
   }
 };
 
-/// Runs one sample. The same seed gives the identical execution for
-/// every detector (the deterministic-replay methodology of Section 6.1).
-SampleMetrics runSample(const workloads::Workload &W, DetectorKind D,
+/// Runs one sample of \p W under the registry detector \p Detector.
+/// The same seed gives the identical execution for every detector (the
+/// deterministic-replay methodology of Section 6.1).
+SampleMetrics runSample(const workloads::Workload &W,
+                        const std::string &Detector,
                         const SampleConfig &C);
 
 /// Aggregate over a set of samples (one Table 2 row).

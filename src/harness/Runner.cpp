@@ -1,0 +1,99 @@
+//===- harness/Runner.cpp -------------------------------------------------===//
+
+#include "harness/Runner.h"
+
+#include "support/Error.h"
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+
+using namespace svd;
+using namespace svd::harness;
+
+unsigned harness::resolveJobs(unsigned Jobs) {
+  if (Jobs != 0)
+    return Jobs;
+  unsigned Hw = std::thread::hardware_concurrency();
+  return Hw == 0 ? 1 : Hw;
+}
+
+namespace {
+
+/// SplitMix64 step; used only to derive the test-only pickup
+/// permutation, never for sample state.
+uint64_t splitMix64(uint64_t &State) {
+  uint64_t Z = (State += 0x9E3779B97F4A7C15ULL);
+  Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+  return Z ^ (Z >> 31);
+}
+
+/// Fisher-Yates over the pickup order. A plain permutation keeps the
+/// index set exactly {0..N-1}; only the order workers *claim* indices
+/// changes, so every result still lands in its own slot.
+std::vector<size_t> pickupOrder(size_t N, uint64_t ShuffleSeed) {
+  std::vector<size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), size_t(0));
+  if (ShuffleSeed == 0)
+    return Order;
+  uint64_t S = ShuffleSeed;
+  for (size_t I = N; I > 1; --I)
+    std::swap(Order[I - 1], Order[splitMix64(S) % I]);
+  return Order;
+}
+
+/// Runs Fn over the given claim order on up to Jobs worker threads.
+/// Work pickup is an atomic fetch-add over the order vector: whichever
+/// worker is free claims the next index, so completion order is
+/// scheduling-dependent — callers must not let output depend on it.
+void runIndexed(const std::vector<size_t> &Order, unsigned Jobs,
+                const std::function<void(size_t)> &Fn) {
+  size_t N = Order.size();
+  if (Jobs <= 1 || N <= 1) {
+    for (size_t I : Order)
+      Fn(I);
+    return;
+  }
+  std::atomic<size_t> Next{0};
+  auto Worker = [&] {
+    for (;;) {
+      size_t Slot = Next.fetch_add(1, std::memory_order_relaxed);
+      if (Slot >= N)
+        return;
+      Fn(Order[Slot]);
+    }
+  };
+  size_t NumThreads = std::min<size_t>(Jobs, N);
+  std::vector<std::thread> Threads;
+  Threads.reserve(NumThreads);
+  for (size_t T = 0; T < NumThreads; ++T)
+    Threads.emplace_back(Worker);
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+} // namespace
+
+void harness::parallelFor(size_t N, unsigned Jobs,
+                          const std::function<void(size_t)> &Fn) {
+  runIndexed(pickupOrder(N, /*ShuffleSeed=*/0), resolveJobs(Jobs), Fn);
+}
+
+std::vector<SampleMetrics>
+ParallelRunner::run(const std::vector<SampleSpec> &Specs) const {
+  for (const SampleSpec &S : Specs)
+    if (!S.Workload)
+      support::fatalError("ParallelRunner: null workload in sample spec");
+
+  // Results are preallocated so each worker writes only its own slot;
+  // the vector is already in submission order when the last join
+  // returns.
+  std::vector<SampleMetrics> Results(Specs.size());
+  runIndexed(pickupOrder(Specs.size(), Cfg.PickupShuffleSeed),
+             resolveJobs(Cfg.Jobs), [&](size_t I) {
+               const SampleSpec &S = Specs[I];
+               Results[I] = runSample(*S.Workload, S.Detector, S.Config);
+             });
+  return Results;
+}

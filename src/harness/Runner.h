@@ -1,0 +1,84 @@
+//===- harness/Runner.h - Parallel sample-execution engine ------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's evaluation (Tables 1-2, Section 7.3) is an embarrassingly
+/// parallel sweep over (workload, detector, seed) samples, and checker
+/// throughput — not checker logic — bounds how many schedules a time
+/// budget can cover. ParallelRunner fans samples across a thread pool
+/// with full per-sample isolation (each sample constructs its own
+/// Machine, detector instance, and seed-derived PRNG streams inside
+/// runSample) and delivers SampleMetrics *in submission order*,
+/// independent of completion order.
+///
+/// Determinism contract: for a fixed spec list, run() returns
+/// bit-identical metrics (timing fields excepted) for every Jobs value
+/// and every completion-order permutation. Aggregation therefore
+/// happens strictly after collection, over the submission-ordered
+/// vector — never from worker threads.
+///
+//======---------------------------------------------------------------===//
+
+#ifndef SVD_HARNESS_RUNNER_H
+#define SVD_HARNESS_RUNNER_H
+
+#include "harness/Harness.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace svd {
+namespace harness {
+
+/// One (workload, detector, seed) sample to execute. The workload is
+/// borrowed and must outlive the run; it is only read.
+struct SampleSpec {
+  const workloads::Workload *Workload = nullptr;
+  std::string Detector = "svd"; ///< registry name (svd/Detector.h)
+  SampleConfig Config;
+};
+
+/// Runner configuration.
+struct RunnerConfig {
+  /// Worker threads; 0 = one per hardware thread, 1 = run inline on the
+  /// calling thread.
+  unsigned Jobs = 1;
+  /// When nonzero, the order workers *pick up* samples is permuted by
+  /// this seed (results stay in submission order). Exists so tests can
+  /// drive completion-order permutations through the collection path;
+  /// output must be invariant under it.
+  uint64_t PickupShuffleSeed = 0;
+};
+
+/// Resolves a --jobs value: 0 becomes the hardware thread count (at
+/// least 1), anything else passes through.
+unsigned resolveJobs(unsigned Jobs);
+
+/// Deterministic parallel for: executes Fn(0..N-1) on up to Jobs
+/// threads. Each index runs exactly once; Fn must only write state owned
+/// by its index (distinct vector slots). Jobs <= 1 runs inline in
+/// ascending order.
+void parallelFor(size_t N, unsigned Jobs,
+                 const std::function<void(size_t)> &Fn);
+
+/// Thread-pool sample executor. See file comment for the determinism
+/// contract.
+class ParallelRunner {
+public:
+  explicit ParallelRunner(RunnerConfig Cfg = RunnerConfig()) : Cfg(Cfg) {}
+
+  /// Runs every spec; Result[i] corresponds to Specs[i].
+  std::vector<SampleMetrics> run(const std::vector<SampleSpec> &Specs) const;
+
+private:
+  RunnerConfig Cfg;
+};
+
+} // namespace harness
+} // namespace svd
+
+#endif // SVD_HARNESS_RUNNER_H

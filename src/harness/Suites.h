@@ -1,0 +1,54 @@
+//===- harness/Suites.h - Named benchmark suites ----------------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper-table benches (Table 1/2, Section 7.3, Figure 1, the
+/// svd-predict report) as named suites behind one entry point, so
+/// svd-bench can select them by name and every suite shares the same
+/// --jobs/--seeds/--json handling. Each suite fans its samples through
+/// harness::ParallelRunner; output is bit-identical for every Jobs
+/// value, and JSON output contains no timing or thread-count fields so
+/// runs at different --jobs diff clean.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_HARNESS_SUITES_H
+#define SVD_HARNESS_SUITES_H
+
+#include <string>
+#include <vector>
+
+namespace svd {
+namespace harness {
+
+/// Options shared by every suite.
+struct SuiteOptions {
+  /// Worker threads for the sample fan-out; 0 = hardware concurrency.
+  unsigned Jobs = 1;
+  /// Seeds per row; 0 = the suite's paper-default count. Suites without
+  /// a seed sweep (table1, predict) ignore it.
+  unsigned Seeds = 0;
+  /// Emit a machine-readable JSON document instead of the text tables.
+  bool Json = false;
+};
+
+/// One named suite.
+struct Suite {
+  const char *Name;        ///< CLI name (--suite NAME)
+  const char *Description; ///< one line for --list
+  int (*Run)(const SuiteOptions &O);
+};
+
+/// All registered suites, in display order.
+const std::vector<Suite> &suites();
+
+/// Finds a suite by name; null when unknown.
+const Suite *findSuite(const std::string &Name);
+
+} // namespace harness
+} // namespace svd
+
+#endif // SVD_HARNESS_SUITES_H

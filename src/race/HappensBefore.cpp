@@ -2,10 +2,46 @@
 
 #include "race/HappensBefore.h"
 
+#include "vm/Machine.h"
+
 using namespace svd;
 using namespace svd::race;
 using detect::Violation;
 using vm::EventCtx;
+
+namespace {
+
+/// Registry adapter around one HappensBeforeDetector instance.
+class FrdDetector final : public detect::Detector {
+public:
+  FrdDetector(const isa::Program &P, HappensBeforeConfig Cfg)
+      : Impl(P, Cfg) {}
+
+  const char *name() const override { return "frd"; }
+  void attach(vm::Machine &M) override { M.addObserver(&Impl); }
+  const std::vector<Violation> &reports() const override {
+    return Impl.races();
+  }
+  size_t approxMemoryBytes() const override {
+    return Impl.approxMemoryBytes();
+  }
+
+private:
+  HappensBeforeDetector Impl;
+};
+
+} // namespace
+
+void race::registerHappensBeforeDetector(detect::DetectorRegistry &R) {
+  R.add({"frd", "FRD",
+         "happens-before race detector (the paper's FRD baseline)",
+         [](const isa::Program &P, const detect::DetectorConfig *Cfg) {
+           const auto *C =
+               detect::configAs<HappensBeforeDetectorConfig>(Cfg, "frd");
+           return std::make_unique<FrdDetector>(
+               P, C ? C->Hb : HappensBeforeConfig());
+         }});
+}
 
 HappensBeforeDetector::HappensBeforeDetector(const isa::Program &P,
                                              HappensBeforeConfig Cfg)

@@ -28,6 +28,7 @@
 #define SVD_RACE_HAPPENSBEFORE_H
 
 #include "isa/Program.h"
+#include "svd/Detector.h"
 #include "svd/Report.h"
 #include "vm/Observer.h"
 
@@ -42,6 +43,22 @@ struct HappensBeforeConfig {
   /// Detector block granularity, matching OnlineSvdConfig::BlockShift.
   uint32_t BlockShift = 0;
 };
+
+/// Opaque registry config carrying a HappensBeforeConfig (registry key
+/// "frd").
+struct HappensBeforeDetectorConfig final : detect::DetectorConfig {
+  HappensBeforeConfig Hb;
+
+  HappensBeforeDetectorConfig() = default;
+  explicit HappensBeforeDetectorConfig(HappensBeforeConfig C) : Hb(C) {}
+  const char *detectorName() const override { return "frd"; }
+  std::unique_ptr<detect::DetectorConfig> clone() const override {
+    return std::make_unique<HappensBeforeDetectorConfig>(Hb);
+  }
+};
+
+/// Registers the happens-before baseline as "frd" (display "FRD").
+void registerHappensBeforeDetector(detect::DetectorRegistry &R);
 
 /// Online happens-before race detector; attach with Machine::addObserver.
 class HappensBeforeDetector : public vm::ExecutionObserver {

@@ -2,12 +2,42 @@
 
 #include "race/Lockset.h"
 
+#include "vm/Machine.h"
+
 #include <algorithm>
 
 using namespace svd;
 using namespace svd::race;
 using detect::Violation;
 using vm::EventCtx;
+
+namespace {
+
+/// Registry adapter around one LocksetDetector instance.
+class LocksetRegistryDetector final : public detect::Detector {
+public:
+  explicit LocksetRegistryDetector(const isa::Program &P) : Impl(P) {}
+
+  const char *name() const override { return "lockset"; }
+  void attach(vm::Machine &M) override { M.addObserver(&Impl); }
+  const std::vector<Violation> &reports() const override {
+    return Impl.reports();
+  }
+
+private:
+  LocksetDetector Impl;
+};
+
+} // namespace
+
+void race::registerLocksetDetector(detect::DetectorRegistry &R) {
+  R.add({"lockset", "Lockset",
+         "Eraser-style lockset race detector (consistent locking)",
+         [](const isa::Program &P, const detect::DetectorConfig *Cfg) {
+           detect::checkConfigKind(Cfg, "lockset");
+           return std::make_unique<LocksetRegistryDetector>(P);
+         }});
+}
 
 LocksetDetector::LocksetDetector(const isa::Program &P) : Prog(P) {
   Words.resize(P.MemoryWords);

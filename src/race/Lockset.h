@@ -18,6 +18,7 @@
 #define SVD_RACE_LOCKSET_H
 
 #include "isa/Program.h"
+#include "svd/Detector.h"
 #include "svd/Report.h"
 #include "vm/Observer.h"
 
@@ -27,6 +28,10 @@
 
 namespace svd {
 namespace race {
+
+/// Registers the lockset baseline as "lockset" (display "Lockset").
+/// No config.
+void registerLocksetDetector(detect::DetectorRegistry &R);
 
 /// Online lockset detector; attach with Machine::addObserver.
 class LocksetDetector : public vm::ExecutionObserver {

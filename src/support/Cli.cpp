@@ -1,0 +1,85 @@
+//===- support/Cli.cpp ----------------------------------------------------===//
+
+#include "support/Cli.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace svd;
+using namespace svd::support;
+
+void ArgParser::flag(const char *Name, bool *Target, bool Value) {
+  Opt O;
+  O.Name = Name;
+  O.K = Kind::Flag;
+  O.BoolTarget = Target;
+  O.BoolValue = Value;
+  Opts.push_back(std::move(O));
+}
+
+void ArgParser::value(const char *Name, uint64_t *Target) {
+  valueFn(Name, [Target](uint64_t V) { *Target = V; });
+}
+
+void ArgParser::value(const char *Name, uint32_t *Target) {
+  valueFn(Name, [Target](uint64_t V) {
+    *Target = static_cast<uint32_t>(V);
+  });
+}
+
+void ArgParser::value(const char *Name, std::string *Target) {
+  Opt O;
+  O.Name = Name;
+  O.K = Kind::String;
+  O.StrTarget = Target;
+  Opts.push_back(std::move(O));
+}
+
+void ArgParser::valueFn(const char *Name, std::function<void(uint64_t)> Fn) {
+  Opt O;
+  O.Name = Name;
+  O.K = Kind::Number;
+  O.NumFn = std::move(Fn);
+  Opts.push_back(std::move(O));
+}
+
+bool ArgParser::parse(int Argc, const char *const *Argv) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    const Opt *Match = nullptr;
+    for (const Opt &O : Opts)
+      if (A == O.Name) {
+        Match = &O;
+        break;
+      }
+    if (!Match) {
+      if (!A.empty() && A[0] == '-') {
+        std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
+        return false;
+      }
+      Positional.push_back(A);
+      continue;
+    }
+    switch (Match->K) {
+    case Kind::Flag:
+      *Match->BoolTarget = Match->BoolValue;
+      break;
+    case Kind::Number:
+      if (I + 1 >= Argc)
+        return false;
+      Match->NumFn(std::strtoull(Argv[++I], nullptr, 0));
+      break;
+    case Kind::String:
+      if (I + 1 >= Argc)
+        return false;
+      *Match->StrTarget = Argv[++I];
+      break;
+    }
+  }
+  return true;
+}
+
+int ArgParser::usageError() const {
+  std::fputs(Usage, stderr);
+  return ExitUsage;
+}

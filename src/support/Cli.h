@@ -1,0 +1,94 @@
+//===- support/Cli.h - Shared command-line parsing --------------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one flag parser behind svd-lint, svd-predict, and svd-bench, so
+/// the tool conventions are defined once:
+///
+///  * exit codes: 0 clean, 1 findings/confirmed reports, 2 usage or
+///    assembly errors (ToolExit);
+///  * "--opt VALUE" numeric values parse with strtoull base 0 (0x/0
+///    prefixes work);
+///  * an unrecognized dash-argument prints "unknown option '<arg>'" to
+///    stderr and fails the parse; the caller then prints its usage
+///    string and exits ExitUsage;
+///  * everything that does not start with '-' collects into
+///    positional() in order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_SUPPORT_CLI_H
+#define SVD_SUPPORT_CLI_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace svd {
+namespace support {
+
+/// Process exit codes shared by every svd tool.
+enum ToolExit : int {
+  ExitClean = 0,    ///< ran, nothing found
+  ExitFindings = 1, ///< ran, diagnostics / confirmed reports
+  ExitUsage = 2,    ///< bad usage or bad input files
+};
+
+/// Declarative flag parser. Register options, then parse(); positional
+/// arguments (no leading '-') are collected separately.
+class ArgParser {
+public:
+  /// \p Usage is printed to stderr by usageError().
+  explicit ArgParser(const char *Usage) : Usage(Usage) {}
+
+  /// "--name" stores \p Value into \p Target ("--no-foo" disables by
+  /// registering Value=false).
+  void flag(const char *Name, bool *Target, bool Value = true);
+
+  /// "--name N" parsed with strtoull base 0.
+  void value(const char *Name, uint64_t *Target);
+  void value(const char *Name, uint32_t *Target);
+
+  /// "--name STR" stored verbatim.
+  void value(const char *Name, std::string *Target);
+
+  /// "--name N" delivered to \p Fn (for options that fan one value into
+  /// several targets).
+  void valueFn(const char *Name, std::function<void(uint64_t)> Fn);
+
+  /// Parses Argv[1..Argc-1]. Returns false on an unknown dash-option
+  /// (after printing the complaint to stderr) or a missing value.
+  bool parse(int Argc, const char *const *Argv);
+
+  /// Arguments without a leading '-', in order.
+  const std::vector<std::string> &positional() const { return Positional; }
+
+  /// Prints the usage string to stderr; returns ExitUsage for direct
+  /// use in main's return.
+  int usageError() const;
+
+private:
+  enum class Kind { Flag, Number, String };
+
+  struct Opt {
+    std::string Name;
+    Kind K;
+    bool *BoolTarget = nullptr;
+    bool BoolValue = true;
+    std::function<void(uint64_t)> NumFn;
+    std::string *StrTarget = nullptr;
+  };
+
+  const char *Usage;
+  std::vector<Opt> Opts;
+  std::vector<std::string> Positional;
+};
+
+} // namespace support
+} // namespace svd
+
+#endif // SVD_SUPPORT_CLI_H

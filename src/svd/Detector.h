@@ -1,0 +1,148 @@
+//===- svd/Detector.h - Unified detector interface and registry -*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The detector surface the harness and the svd-bench runner program
+/// against. Historically the harness hardcoded an enum switch over
+/// three detectors; that cannot express per-sample detector
+/// construction across runner threads, nor detectors added by other
+/// libraries. Instead:
+///
+///  * \c Detector is one detector *instance* bound to one Machine run:
+///    construct, \c attach() observers, run the machine, \c finish(),
+///    then read \c reports() / \c cuLog() / statistics. Instances are
+///    single-run and single-thread; cross-sample parallelism comes from
+///    creating one instance per sample (harness/Runner.h).
+///  * \c DetectorConfig is the opaque per-detector configuration a
+///    \c harness::SampleConfig carries. Each detector defines its own
+///    subclass (e.g. \c OnlineSvdDetectorConfig); the factory checks
+///    \c detectorName() before downcasting, so a config can never reach
+///    the wrong detector.
+///  * \c DetectorRegistry maps stable string keys ("svd", "frd",
+///    "lockset", "hwsvd", "offline", "none") to factories. Detectors
+///    register themselves via the register hooks their own translation
+///    units define (registerOnlineSvdDetector and friends);
+///    \c harness::detectorRegistry() assembles the default registry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_SVD_DETECTOR_H
+#define SVD_SVD_DETECTOR_H
+
+#include "isa/Program.h"
+#include "svd/Report.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace svd {
+namespace vm {
+class Machine;
+} // namespace vm
+
+namespace detect {
+
+/// Opaque per-detector configuration. Concrete configs subclass this in
+/// the detector's own header; consumers pass them around by pointer
+/// without knowing the shape. Configs are immutable once handed to a
+/// SampleConfig and may be shared across concurrently-running samples,
+/// so subclasses must not carry run state.
+class DetectorConfig {
+public:
+  virtual ~DetectorConfig();
+  /// Registry key of the only detector allowed to consume this config.
+  virtual const char *detectorName() const = 0;
+  virtual std::unique_ptr<DetectorConfig> clone() const = 0;
+};
+
+/// One detector instance for one Machine run.
+class Detector {
+public:
+  virtual ~Detector();
+
+  /// Registry key of this detector ("svd", "frd", ...).
+  virtual const char *name() const = 0;
+
+  /// Attaches the detector's observers to \p M. Call before M.run().
+  virtual void attach(vm::Machine &M) = 0;
+
+  /// Called once after the run completes. Online detectors ignore it;
+  /// offline detectors analyze the recorded trace here.
+  virtual void finish(const vm::Machine &M);
+
+  /// Dynamic reports in detection order (valid after finish()).
+  virtual const std::vector<Violation> &reports() const = 0;
+
+  /// The a-posteriori CU log (SVD family; empty for race detectors).
+  virtual const std::vector<CuLogEntry> &cuLog() const;
+
+  /// Rough detector memory accounting in bytes (0 when not tracked).
+  virtual size_t approxMemoryBytes() const;
+
+  /// CUs formed over the run (SVD family; 0 otherwise).
+  virtual uint64_t numCusFormed() const;
+};
+
+/// Name-keyed detector factory registry.
+class DetectorRegistry {
+public:
+  /// Builds a detector instance for \p P. \p Cfg is null for defaults;
+  /// a non-null config whose detectorName() mismatches is a fatal
+  /// error (it can only be a caller bug, never user input).
+  using Factory = std::function<std::unique_ptr<Detector>(
+      const isa::Program &P, const DetectorConfig *Cfg)>;
+
+  struct Entry {
+    std::string Name;        ///< registry key, e.g. "svd"
+    std::string DisplayName; ///< table label, e.g. "SVD"
+    std::string Description; ///< one-line summary for --list output
+    Factory Create;
+  };
+
+  /// Registers \p E; a duplicate key is a fatal error.
+  void add(Entry E);
+
+  /// Returns the entry for \p Name, or null when unknown.
+  const Entry *find(const std::string &Name) const;
+
+  /// Creates an instance of \p Name; fatal on unknown names (callers
+  /// validate user input with find() first).
+  std::unique_ptr<Detector> create(const std::string &Name,
+                                   const isa::Program &P,
+                                   const DetectorConfig *Cfg = nullptr) const;
+
+  /// Printable detector label for \p Name ("SVD", "FRD", ...).
+  const char *displayName(const std::string &Name) const;
+
+  /// Registered keys in registration order.
+  std::vector<std::string> names() const;
+
+private:
+  std::vector<Entry> Entries;
+};
+
+/// In a factory, checks that \p Cfg (possibly null) belongs to
+/// \p Name and returns it downcast to \p ConfigT (null stays null).
+/// Fatal on mismatch.
+const DetectorConfig *checkConfigKind(const DetectorConfig *Cfg,
+                                      const char *Name);
+
+template <typename ConfigT>
+const ConfigT *configAs(const DetectorConfig *Cfg, const char *Name) {
+  return static_cast<const ConfigT *>(checkConfigKind(Cfg, Name));
+}
+
+/// Registers the "none" pseudo-detector: attaches nothing and never
+/// reports. The bare-execution baseline of overhead measurements and
+/// the Table 1 inventory suite.
+void registerBareDetector(DetectorRegistry &R);
+
+} // namespace detect
+} // namespace svd
+
+#endif // SVD_SVD_DETECTOR_H

@@ -3,6 +3,7 @@
 #include "svd/HardwareSvd.h"
 
 #include "support/Error.h"
+#include "vm/Machine.h"
 
 #include <algorithm>
 #include <cassert>
@@ -13,6 +14,43 @@ using cache::LineId;
 using isa::Addr;
 using isa::Instruction;
 using vm::EventCtx;
+
+namespace {
+
+/// Registry adapter around one HardwareSvd instance.
+class HardwareSvdDetector final : public Detector {
+public:
+  HardwareSvdDetector(const isa::Program &P, HardwareSvdConfig Cfg)
+      : Impl(P, Cfg) {}
+
+  const char *name() const override { return "hwsvd"; }
+  void attach(vm::Machine &M) override { M.addObserver(&Impl); }
+  const std::vector<Violation> &reports() const override {
+    return Impl.violations();
+  }
+  const std::vector<CuLogEntry> &cuLog() const override {
+    return Impl.cuLog();
+  }
+  size_t approxMemoryBytes() const override {
+    return Impl.metadataBits() / 8;
+  }
+  uint64_t numCusFormed() const override { return Impl.numCusFormed(); }
+
+private:
+  HardwareSvd Impl;
+};
+
+} // namespace
+
+void detect::registerHardwareSvdDetector(DetectorRegistry &R) {
+  R.add({"hwsvd", "HW-SVD",
+         "cache-based SVD (Section 4.4; threads approximated by CPUs)",
+         [](const isa::Program &P, const DetectorConfig *Cfg) {
+           const auto *C = configAs<HardwareSvdDetectorConfig>(Cfg, "hwsvd");
+           return std::make_unique<HardwareSvdDetector>(
+               P, C ? C->Hw : HardwareSvdConfig());
+         }});
+}
 
 HardwareSvd::HardwareSvd(const isa::Program &P, HardwareSvdConfig Cfg)
     : Prog(P), Cfg(Cfg), Cache(Cfg.Cache) {

@@ -37,6 +37,7 @@
 #include "analysis/AccessTable.h"
 #include "cache/CacheSim.h"
 #include "isa/Cfg.h"
+#include "svd/Detector.h"
 #include "svd/Report.h"
 #include "vm/Observer.h"
 
@@ -66,6 +67,22 @@ struct HardwareSvdConfig {
   /// the table's block granularity matches the line size.
   const analysis::AccessTable *Access = nullptr;
 };
+
+/// Opaque registry config carrying a HardwareSvdConfig (registry key
+/// "hwsvd").
+struct HardwareSvdDetectorConfig final : DetectorConfig {
+  HardwareSvdConfig Hw;
+
+  HardwareSvdDetectorConfig() = default;
+  explicit HardwareSvdDetectorConfig(HardwareSvdConfig C) : Hw(C) {}
+  const char *detectorName() const override { return "hwsvd"; }
+  std::unique_ptr<DetectorConfig> clone() const override {
+    return std::make_unique<HardwareSvdDetectorConfig>(Hw);
+  }
+};
+
+/// Registers the cache-based detector as "hwsvd" (display "HW-SVD").
+void registerHardwareSvdDetector(DetectorRegistry &R);
 
 /// Cache-based online SVD; attach with Machine::addObserver. Threads
 /// are approximated by processors (Section 4.3), so the program must

@@ -3,6 +3,7 @@
 #include "svd/OfflineDetector.h"
 
 #include "pdg/Pdg.h"
+#include "vm/Machine.h"
 
 using namespace svd;
 using namespace svd::detect;
@@ -10,6 +11,42 @@ using cu::CuPartition;
 using trace::EventKind;
 using trace::ProgramTrace;
 using trace::TraceEvent;
+
+namespace {
+
+/// Registry adapter: records a trace while the machine runs, then
+/// executes the three offline passes in finish().
+class OfflineSvdDetector final : public Detector {
+public:
+  explicit OfflineSvdDetector(const isa::Program &P) : Rec(P) {}
+
+  const char *name() const override { return "offline"; }
+  void attach(vm::Machine &M) override { M.addObserver(&Rec); }
+  void finish(const vm::Machine &) override {
+    pdg::DynamicPdg G = pdg::DynamicPdg::build(Rec.trace());
+    CuPartition CUs = CuPartition::compute(Rec.trace(), G);
+    CusFormed = CUs.units().size();
+    Reports_ = detectOffline(Rec.trace(), CUs);
+  }
+  const std::vector<Violation> &reports() const override { return Reports_; }
+  uint64_t numCusFormed() const override { return CusFormed; }
+
+private:
+  trace::TraceRecorder Rec;
+  std::vector<Violation> Reports_;
+  uint64_t CusFormed = 0;
+};
+
+} // namespace
+
+void detect::registerOfflineDetector(DetectorRegistry &R) {
+  R.add({"offline", "Offline-SVD",
+         "three-pass offline algorithm (Figures 5-6) over a full trace",
+         [](const isa::Program &P, const DetectorConfig *Cfg) {
+           checkConfigKind(Cfg, "offline");
+           return std::make_unique<OfflineSvdDetector>(P);
+         }});
+}
 
 std::vector<Violation> detect::detectOffline(const ProgramTrace &T,
                                              const CuPartition &CUs) {

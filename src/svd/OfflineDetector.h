@@ -19,6 +19,7 @@
 #define SVD_SVD_OFFLINEDETECTOR_H
 
 #include "cu/CuPartition.h"
+#include "svd/Detector.h"
 #include "svd/Report.h"
 #include "trace/Trace.h"
 
@@ -26,6 +27,11 @@
 
 namespace svd {
 namespace detect {
+
+/// Registers the offline pipeline as detector "offline" (display
+/// "Offline-SVD"): records the full trace during the run and executes
+/// all three passes in finish(). No config.
+void registerOfflineDetector(DetectorRegistry &R);
 
 /// Runs pass 3 of the offline algorithm over \p T with the CUs in \p CUs.
 /// Returns the strict-2PL violations in detection order.

@@ -3,6 +3,7 @@
 #include "svd/OnlineSvd.h"
 
 #include "support/Error.h"
+#include "vm/Machine.h"
 
 #include <algorithm>
 #include <cassert>
@@ -14,6 +15,42 @@ using isa::Instruction;
 using isa::Opcode;
 using isa::ThreadId;
 using vm::EventCtx;
+
+namespace {
+
+/// Registry adapter around one OnlineSvd instance.
+class OnlineSvdDetector final : public Detector {
+public:
+  OnlineSvdDetector(const isa::Program &P, OnlineSvdConfig Cfg)
+      : Impl(P, Cfg) {}
+
+  const char *name() const override { return "svd"; }
+  void attach(vm::Machine &M) override { M.addObserver(&Impl); }
+  const std::vector<Violation> &reports() const override {
+    return Impl.violations();
+  }
+  const std::vector<CuLogEntry> &cuLog() const override {
+    return Impl.cuLog();
+  }
+  size_t approxMemoryBytes() const override {
+    return Impl.approxMemoryBytes();
+  }
+  uint64_t numCusFormed() const override { return Impl.numCusFormed(); }
+
+private:
+  OnlineSvd Impl;
+};
+
+} // namespace
+
+void detect::registerOnlineSvdDetector(DetectorRegistry &R) {
+  R.add({"svd", "SVD", "online serializability violation detector (Fig. 7)",
+         [](const isa::Program &P, const DetectorConfig *Cfg) {
+           const auto *C = configAs<OnlineSvdDetectorConfig>(Cfg, "svd");
+           return std::make_unique<OnlineSvdDetector>(
+               P, C ? C->Svd : OnlineSvdConfig());
+         }});
+}
 
 OnlineSvd::OnlineSvd(const isa::Program &P, OnlineSvdConfig Cfg)
     : Prog(P), Cfg(Cfg) {

@@ -42,6 +42,7 @@
 #include "analysis/AccessTable.h"
 #include "isa/Cfg.h"
 #include "isa/Program.h"
+#include "svd/Detector.h"
 #include "svd/Report.h"
 #include "vm/Observer.h"
 
@@ -105,6 +106,22 @@ struct OnlineSvdConfig {
   /// quantifies.
   uint32_t NumCpus = 0;
 };
+
+/// Opaque registry config carrying an OnlineSvdConfig (registry key
+/// "svd").
+struct OnlineSvdDetectorConfig final : DetectorConfig {
+  OnlineSvdConfig Svd;
+
+  OnlineSvdDetectorConfig() = default;
+  explicit OnlineSvdDetectorConfig(OnlineSvdConfig C) : Svd(C) {}
+  const char *detectorName() const override { return "svd"; }
+  std::unique_ptr<DetectorConfig> clone() const override {
+    return std::make_unique<OnlineSvdDetectorConfig>(Svd);
+  }
+};
+
+/// Registers the online detector as "svd" (display name "SVD").
+void registerOnlineSvdDetector(DetectorRegistry &R);
 
 /// The online detector; attach with Machine::addObserver.
 class OnlineSvd : public vm::ExecutionObserver {

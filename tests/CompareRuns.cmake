@@ -1,0 +1,26 @@
+# Runs two commands and requires byte-identical stdout and equal exit
+# codes — the svd-bench determinism smoke (`--jobs 1` vs `--jobs N`).
+# Invoke with:
+#
+#   cmake -DCMD_A="..." -DCMD_B="..." -P CompareRuns.cmake
+
+separate_arguments(CMD_A_LIST UNIX_COMMAND "${CMD_A}")
+separate_arguments(CMD_B_LIST UNIX_COMMAND "${CMD_B}")
+
+execute_process(COMMAND ${CMD_A_LIST}
+                OUTPUT_VARIABLE OUT_A
+                RESULT_VARIABLE RC_A)
+execute_process(COMMAND ${CMD_B_LIST}
+                OUTPUT_VARIABLE OUT_B
+                RESULT_VARIABLE RC_B)
+
+if(NOT RC_A EQUAL 0)
+  message(FATAL_ERROR "'${CMD_A}' exited ${RC_A}")
+endif()
+if(NOT RC_B EQUAL 0)
+  message(FATAL_ERROR "'${CMD_B}' exited ${RC_B}")
+endif()
+if(NOT OUT_A STREQUAL OUT_B)
+  message(FATAL_ERROR "outputs differ between\n  ${CMD_A}\nand\n  ${CMD_B}:\n"
+                      "---- A ----\n${OUT_A}\n---- B ----\n${OUT_B}")
+endif()

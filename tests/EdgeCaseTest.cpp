@@ -278,8 +278,7 @@ TEST(HarnessEdge, LocksetKindRunsThroughHarness) {
   workloads::Workload W = workloads::apacheLog(P);
   harness::SampleConfig C;
   C.Seed = 2;
-  harness::SampleMetrics M =
-      harness::runSample(W, harness::DetectorKind::Lockset, C);
+  harness::SampleMetrics M = harness::runSample(W, "lockset", C);
   EXPECT_GT(M.Steps, 0u);
   EXPECT_GT(M.DynamicReports, 0u) << "the unlocked buffer must be flagged";
 }
@@ -291,9 +290,10 @@ TEST(HarnessEdge, SvdConfigKnobsPropagateThroughHarness) {
   workloads::Workload W = workloads::apacheLog(P);
   harness::SampleConfig C;
   C.Seed = 2;
-  C.SvdConfig.KeepCuLog = false;
-  harness::SampleMetrics M =
-      harness::runSample(W, harness::DetectorKind::OnlineSvd, C);
+  detect::OnlineSvdConfig NoLog;
+  NoLog.KeepCuLog = false;
+  C.Detector = std::make_shared<detect::OnlineSvdDetectorConfig>(NoLog);
+  harness::SampleMetrics M = harness::runSample(W, "svd", C);
   EXPECT_EQ(M.LogEntries, 0u);
   EXPECT_EQ(M.StaticLogEntries, 0u);
 }

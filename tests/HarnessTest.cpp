@@ -1,19 +1,47 @@
 //===- tests/HarnessTest.cpp - Experiment harness tests --------------------===//
 
 #include "harness/Harness.h"
+#include "harness/Runner.h"
 #include "support/StringUtils.h"
+#include "svd/OnlineSvd.h"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
 
 using namespace svd;
 using namespace svd::harness;
 using workloads::Workload;
 using workloads::WorkloadParams;
 
-TEST(Harness, DetectorNames) {
-  EXPECT_STREQ(detectorName(DetectorKind::OnlineSvd), "SVD");
-  EXPECT_STREQ(detectorName(DetectorKind::HappensBefore), "FRD");
-  EXPECT_STREQ(detectorName(DetectorKind::Lockset), "Lockset");
+TEST(Harness, RegistryKnowsAllDetectors) {
+  const detect::DetectorRegistry &R = detectorRegistry();
+  EXPECT_STREQ(R.displayName("svd"), "SVD");
+  EXPECT_STREQ(R.displayName("frd"), "FRD");
+  EXPECT_STREQ(R.displayName("lockset"), "Lockset");
+  EXPECT_STREQ(R.displayName("hwsvd"), "HW-SVD");
+  EXPECT_STREQ(R.displayName("offline"), "Offline-SVD");
+  EXPECT_STREQ(R.displayName("none"), "Bare");
+  EXPECT_EQ(R.find("no-such-detector"), nullptr);
+  // names() is sorted and covers exactly the registered set.
+  std::vector<std::string> Names = R.names();
+  EXPECT_TRUE(std::is_sorted(Names.begin(), Names.end()));
+  EXPECT_EQ(Names.size(), 6u);
+}
+
+TEST(Harness, CreatedDetectorsReportTheirName) {
+  WorkloadParams P;
+  P.Threads = 2;
+  P.Iterations = 2;
+  Workload W = workloads::pgsqlOltp(P);
+  for (const std::string &Name : detectorRegistry().names()) {
+    std::unique_ptr<detect::Detector> D =
+        detectorRegistry().create(Name, W.Program, nullptr);
+    ASSERT_NE(D, nullptr) << Name;
+    EXPECT_EQ(Name, D->name());
+  }
 }
 
 TEST(Harness, SvdDetectsApacheBugOnManifestingSeed) {
@@ -25,7 +53,7 @@ TEST(Harness, SvdDetectsApacheBugOnManifestingSeed) {
   for (uint64_t Seed = 1; Seed <= 12; ++Seed) {
     SampleConfig C;
     C.Seed = Seed;
-    SampleMetrics M = runSample(W, DetectorKind::OnlineSvd, C);
+    SampleMetrics M = runSample(W, "svd", C);
     if (!M.Manifested)
       continue;
     FoundManifestingSeed = true;
@@ -44,9 +72,9 @@ TEST(Harness, SameSeedSameStepsAcrossDetectors) {
   Workload W = workloads::pgsqlOltp(P);
   SampleConfig C;
   C.Seed = 5;
-  SampleMetrics A = runSample(W, DetectorKind::OnlineSvd, C);
-  SampleMetrics B = runSample(W, DetectorKind::HappensBefore, C);
-  SampleMetrics L = runSample(W, DetectorKind::Lockset, C);
+  SampleMetrics A = runSample(W, "svd", C);
+  SampleMetrics B = runSample(W, "frd", C);
+  SampleMetrics L = runSample(W, "lockset", C);
   EXPECT_EQ(A.Steps, B.Steps);
   EXPECT_EQ(A.Steps, L.Steps);
 }
@@ -61,9 +89,8 @@ TEST(Harness, BenignRaceSplitsDetectorsOnTableLock) {
   for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
     SampleConfig C;
     C.Seed = Seed;
-    FrdReports +=
-        runSample(W, DetectorKind::HappensBefore, C).DynamicReports;
-    SvdReports += runSample(W, DetectorKind::OnlineSvd, C).DynamicReports;
+    FrdReports += runSample(W, "frd", C).DynamicReports;
+    SvdReports += runSample(W, "svd", C).DynamicReports;
   }
   EXPECT_GT(FrdReports, 0u) << "FRD must report the benign race";
   EXPECT_EQ(SvdReports, 0u) << "SVD must stay silent (serializable)";
@@ -77,7 +104,7 @@ TEST(Harness, PgsqlIsRaceFreeForFrd) {
   for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
     SampleConfig C;
     C.Seed = Seed;
-    SampleMetrics M = runSample(W, DetectorKind::HappensBefore, C);
+    SampleMetrics M = runSample(W, "frd", C);
     EXPECT_EQ(M.DynamicReports, 0u) << "seed " << Seed;
   }
 }
@@ -90,7 +117,7 @@ TEST(Harness, OverheadMeasurementProducesTimes) {
   SampleConfig C;
   C.Seed = 1;
   C.MeasureOverhead = true;
-  SampleMetrics M = runSample(W, DetectorKind::OnlineSvd, C);
+  SampleMetrics M = runSample(W, "svd", C);
   EXPECT_GT(M.DetectorSeconds, 0.0);
   EXPECT_GT(M.BareSeconds, 0.0);
   EXPECT_GT(M.DetectorBytes, 0u);
@@ -155,9 +182,161 @@ TEST(Harness, TimesliceConfigChangesExecution) {
   Coarse.Seed = 3;
   Coarse.MinTimeslice = 40;
   Coarse.MaxTimeslice = 80;
-  SampleMetrics A = runSample(W, DetectorKind::OnlineSvd, Fine);
-  SampleMetrics B = runSample(W, DetectorKind::OnlineSvd, Coarse);
+  SampleMetrics A = runSample(W, "svd", Fine);
+  SampleMetrics B = runSample(W, "svd", Coarse);
   // Different interleavings; both still execute the whole program.
   EXPECT_GT(A.Steps, 0u);
   EXPECT_GT(B.Steps, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// ParallelRunner determinism
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Every deterministic field of SampleMetrics (timing excluded) must be
+/// identical between a serial and a parallel collection of the same
+/// spec.
+void expectSameMetrics(const SampleMetrics &A, const SampleMetrics &B,
+                       size_t Index) {
+  EXPECT_EQ(A.Steps, B.Steps) << "sample " << Index;
+  EXPECT_EQ(A.Manifested, B.Manifested) << "sample " << Index;
+  EXPECT_EQ(A.DetectedBug, B.DetectedBug) << "sample " << Index;
+  EXPECT_EQ(A.LogFoundBug, B.LogFoundBug) << "sample " << Index;
+  EXPECT_EQ(A.DynamicReports, B.DynamicReports) << "sample " << Index;
+  EXPECT_EQ(A.DynamicTrue, B.DynamicTrue) << "sample " << Index;
+  EXPECT_EQ(A.DynamicFalse, B.DynamicFalse) << "sample " << Index;
+  EXPECT_EQ(A.StaticReports, B.StaticReports) << "sample " << Index;
+  EXPECT_EQ(A.StaticTrue, B.StaticTrue) << "sample " << Index;
+  EXPECT_EQ(A.StaticFalse, B.StaticFalse) << "sample " << Index;
+  EXPECT_EQ(A.CusFormed, B.CusFormed) << "sample " << Index;
+  EXPECT_EQ(A.LogEntries, B.LogEntries) << "sample " << Index;
+  EXPECT_EQ(A.StaticLogEntries, B.StaticLogEntries) << "sample " << Index;
+  EXPECT_EQ(A.DetectorBytes, B.DetectorBytes) << "sample " << Index;
+  EXPECT_EQ(A.StaticFalseKeys, B.StaticFalseKeys) << "sample " << Index;
+  EXPECT_EQ(A.StaticTrueKeys, B.StaticTrueKeys) << "sample " << Index;
+  EXPECT_EQ(A.StaticLogKeys, B.StaticLogKeys) << "sample " << Index;
+}
+
+/// The Table 2-style spec mix: two workloads, several seeds, paired
+/// svd/frd samples with coarse timeslices.
+std::vector<SampleSpec> makeSpecMix(const Workload &Apache,
+                                    const Workload &Pgsql) {
+  std::vector<SampleSpec> Specs;
+  for (const Workload *W : {&Apache, &Pgsql})
+    for (uint64_t Seed = 1; Seed <= 6; ++Seed)
+      for (const char *Det : {"svd", "frd"}) {
+        SampleSpec S;
+        S.Workload = W;
+        S.Detector = Det;
+        S.Config.Seed = Seed;
+        S.Config.MinTimeslice = 1;
+        S.Config.MaxTimeslice = 4;
+        Specs.push_back(S);
+      }
+  return Specs;
+}
+
+} // namespace
+
+TEST(Runner, ResolveJobs) {
+  EXPECT_EQ(resolveJobs(1), 1u);
+  EXPECT_EQ(resolveJobs(7), 7u);
+  EXPECT_GE(resolveJobs(0), 1u);
+}
+
+TEST(Runner, ParallelForRunsEveryIndexOnce) {
+  std::vector<std::atomic<int>> Counts(100);
+  parallelFor(Counts.size(), 4,
+              [&](size_t I) { Counts[I].fetch_add(1); });
+  for (size_t I = 0; I < Counts.size(); ++I)
+    EXPECT_EQ(Counts[I].load(), 1) << "index " << I;
+}
+
+TEST(Runner, ParallelMatchesSerialUnderCompletionPermutations) {
+  WorkloadParams P;
+  P.Threads = 4;
+  P.Iterations = 20;
+  P.TouchOneIn = 4;
+  Workload Apache = workloads::apacheLog(P);
+  Workload Pgsql = workloads::pgsqlOltp(P);
+  std::vector<SampleSpec> Specs = makeSpecMix(Apache, Pgsql);
+
+  RunnerConfig Serial;
+  Serial.Jobs = 1;
+  std::vector<SampleMetrics> Base = ParallelRunner(Serial).run(Specs);
+  ASSERT_EQ(Base.size(), Specs.size());
+
+  // Several pickup permutations: samples complete in a different order
+  // each time, results must not.
+  for (uint64_t Shuffle : {0ull, 7ull, 0xDEADBEEFull}) {
+    RunnerConfig RC;
+    RC.Jobs = 4;
+    RC.PickupShuffleSeed = Shuffle;
+    std::vector<SampleMetrics> Par = ParallelRunner(RC).run(Specs);
+    ASSERT_EQ(Par.size(), Base.size());
+    for (size_t I = 0; I < Base.size(); ++I)
+      expectSameMetrics(Base[I], Par[I], I);
+
+    // Aggregates fold identically...
+    Aggregate AggBase, AggPar;
+    for (size_t I = 0; I < Base.size(); ++I) {
+      AggBase.add(Base[I]);
+      AggPar.add(Par[I]);
+    }
+    EXPECT_EQ(AggBase.Samples, AggPar.Samples);
+    EXPECT_EQ(AggBase.TotalSteps, AggPar.TotalSteps);
+    EXPECT_EQ(AggBase.SamplesManifested, AggPar.SamplesManifested);
+    EXPECT_EQ(AggBase.SamplesDetected, AggPar.SamplesDetected);
+    EXPECT_EQ(AggBase.SamplesLogFound, AggPar.SamplesLogFound);
+    EXPECT_EQ(AggBase.DynamicFalse, AggPar.DynamicFalse);
+    EXPECT_EQ(AggBase.DynamicTrue, AggPar.DynamicTrue);
+    EXPECT_EQ(AggBase.StaticFalseMax, AggPar.StaticFalseMax);
+    EXPECT_EQ(AggBase.StaticFalseTotal, AggPar.StaticFalseTotal);
+    EXPECT_EQ(AggBase.CusFormed, AggPar.CusFormed);
+    EXPECT_EQ(AggBase.StaticLogEntries, AggPar.StaticLogEntries);
+
+    // ... and so do the cross-sample static-key unions (the Table 2
+    // "static FP per row" sets).
+    std::set<uint64_t> FalseBase, FalsePar, TrueBase, TruePar;
+    for (size_t I = 0; I < Base.size(); ++I) {
+      FalseBase.insert(Base[I].StaticFalseKeys.begin(),
+                       Base[I].StaticFalseKeys.end());
+      FalsePar.insert(Par[I].StaticFalseKeys.begin(),
+                      Par[I].StaticFalseKeys.end());
+      TrueBase.insert(Base[I].StaticTrueKeys.begin(),
+                      Base[I].StaticTrueKeys.end());
+      TruePar.insert(Par[I].StaticTrueKeys.begin(),
+                     Par[I].StaticTrueKeys.end());
+    }
+    EXPECT_EQ(FalseBase, FalsePar);
+    EXPECT_EQ(TrueBase, TruePar);
+    EXPECT_FALSE(FalseBase.empty())
+        << "spec mix must exercise static false positives";
+    EXPECT_FALSE(TrueBase.empty())
+        << "spec mix must exercise static true positives";
+  }
+}
+
+TEST(Runner, PerDetectorConfigTravelsThroughSpecs) {
+  WorkloadParams P;
+  P.Threads = 4;
+  P.Iterations = 20;
+  Workload W = workloads::apacheLog(P);
+  detect::OnlineSvdConfig NoLog;
+  NoLog.KeepCuLog = false;
+  SampleSpec S;
+  S.Workload = &W;
+  S.Config.Seed = 2;
+  S.Config.Detector =
+      std::make_shared<detect::OnlineSvdDetectorConfig>(NoLog);
+  RunnerConfig RC;
+  RC.Jobs = 2;
+  std::vector<SampleMetrics> Ms =
+      ParallelRunner(RC).run({S, S}); // same spec twice
+  ASSERT_EQ(Ms.size(), 2u);
+  EXPECT_EQ(Ms[0].LogEntries, 0u);
+  EXPECT_EQ(Ms[1].LogEntries, 0u);
+  EXPECT_EQ(Ms[0].Steps, Ms[1].Steps);
 }

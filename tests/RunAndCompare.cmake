@@ -1,0 +1,25 @@
+# Runs a tool and compares its stdout byte-for-byte against a golden
+# file, pinning the default output of the CLI front ends across
+# refactors. Invoke with:
+#
+#   cmake -DCMD="<exe> <args...>" -DGOLDEN=<file> -DEXPECT_RC=<n> \
+#         -P RunAndCompare.cmake
+#
+# The caller sets WORKING_DIRECTORY so relative paths inside the golden
+# output (file names in diagnostics) reproduce.
+
+separate_arguments(CMD_LIST UNIX_COMMAND "${CMD}")
+execute_process(COMMAND ${CMD_LIST}
+                OUTPUT_VARIABLE ACTUAL
+                RESULT_VARIABLE RC)
+
+if(NOT RC EQUAL "${EXPECT_RC}")
+  message(FATAL_ERROR "'${CMD}' exited ${RC}, expected ${EXPECT_RC}")
+endif()
+
+file(READ "${GOLDEN}" WANT)
+if(NOT ACTUAL STREQUAL WANT)
+  message(FATAL_ERROR "'${CMD}' output drifted from ${GOLDEN}:\n"
+                      "---- actual ----\n${ACTUAL}\n"
+                      "---- golden ----\n${WANT}")
+endif()

@@ -1,5 +1,6 @@
 //===- tests/SupportTest.cpp - Unit tests for svd::support ----------------===//
 
+#include "support/Cli.h"
 #include "support/Json.h"
 #include "support/Rng.h"
 #include "support/Stats.h"
@@ -175,4 +176,66 @@ TEST(Json, ValidateRejectsExcessiveNesting) {
   std::string Deep(300, '[');
   Deep += std::string(300, ']');
   EXPECT_FALSE(jsonValidate(Deep, nullptr));
+}
+
+//===----------------------------------------------------------------------===//
+// ArgParser (support/Cli.h)
+//===----------------------------------------------------------------------===//
+
+TEST(Cli, FlagsValuesAndPositionalsParse) {
+  bool Json = false, Uninit = true;
+  uint32_t Shift = 0;
+  uint64_t Seed = 1;
+  std::string Suite;
+  ArgParser P("usage\n");
+  P.flag("--json", &Json);
+  P.flag("--no-uninit", &Uninit, false);
+  P.value("--block-shift", &Shift);
+  P.value("--seed", &Seed);
+  P.value("--suite", &Suite);
+  const char *Argv[] = {"tool",   "a.asm",         "--json", "--no-uninit",
+                        "--block-shift", "0x2",    "--seed", "99",
+                        "--suite", "table2",       "b.asm"};
+  ASSERT_TRUE(P.parse(11, Argv));
+  EXPECT_TRUE(Json);
+  EXPECT_FALSE(Uninit);
+  EXPECT_EQ(Shift, 2u); // strtoull base 0: 0x prefix works
+  EXPECT_EQ(Seed, 99u);
+  EXPECT_EQ(Suite, "table2");
+  ASSERT_EQ(P.positional().size(), 2u);
+  EXPECT_EQ(P.positional()[0], "a.asm");
+  EXPECT_EQ(P.positional()[1], "b.asm");
+}
+
+TEST(Cli, UnknownDashOptionFailsParse) {
+  ArgParser P("usage\n");
+  const char *Argv[] = {"tool", "--bogus"};
+  EXPECT_FALSE(P.parse(2, Argv));
+}
+
+TEST(Cli, MissingValueFailsParse) {
+  uint64_t Seed = 0;
+  ArgParser P("usage\n");
+  P.value("--seed", &Seed);
+  const char *Argv[] = {"tool", "--seed"};
+  EXPECT_FALSE(P.parse(2, Argv));
+}
+
+TEST(Cli, ValueFnFansOutToMultipleTargets) {
+  uint32_t A = 0, B = 0;
+  ArgParser P("usage\n");
+  P.valueFn("--block-shift", [&](uint64_t V) {
+    A = static_cast<uint32_t>(V);
+    B = static_cast<uint32_t>(V);
+  });
+  const char *Argv[] = {"tool", "--block-shift", "3"};
+  ASSERT_TRUE(P.parse(3, Argv));
+  EXPECT_EQ(A, 3u);
+  EXPECT_EQ(B, 3u);
+}
+
+TEST(Cli, ExitCodesAreTheToolConvention) {
+  EXPECT_EQ(ExitClean, 0);
+  EXPECT_EQ(ExitFindings, 1);
+  EXPECT_EQ(ExitUsage, 2);
 }

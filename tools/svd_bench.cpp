@@ -1,0 +1,72 @@
+//===- tools/svd_bench.cpp - Parallel benchmark suite driver --------------===//
+//
+// Runs the paper-table suites (harness/Suites.h) behind one front end,
+// fanning execution samples across a thread pool:
+//
+//   svd-bench --suite NAME [--jobs N] [--seeds N] [--json]
+//   svd-bench --list
+//
+// Output is bit-identical for every --jobs value (the runner collects
+// samples in submission order), and --json output carries no timing or
+// thread-count fields, so `--jobs 1` and `--jobs N` diff clean.
+//
+// Exit status: 0 on success, 2 on usage errors or an unknown suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Suites.h"
+#include "support/Cli.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace svd;
+
+namespace {
+
+const char *Usage =
+    "usage: svd-bench --suite NAME [options]\n"
+    "       svd-bench --list\n"
+    "  --suite NAME  suite to run (see --list)\n"
+    "  --jobs N      worker threads for the sample fan-out\n"
+    "                (default 1; 0 = all hardware threads)\n"
+    "  --seeds N     seeds per table row (default: the suite's\n"
+    "                paper-default count)\n"
+    "  --json        emit a JSON document instead of the text tables\n"
+    "  --list        list the available suites\n";
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string SuiteName;
+  bool List = false;
+  harness::SuiteOptions O;
+  uint32_t Jobs = 1, Seeds = 0;
+
+  support::ArgParser P(Usage);
+  P.value("--suite", &SuiteName);
+  P.value("--jobs", &Jobs);
+  P.value("--seeds", &Seeds);
+  P.flag("--json", &O.Json);
+  P.flag("--list", &List);
+  if (!P.parse(Argc, Argv) || !P.positional().empty())
+    return P.usageError();
+
+  if (List) {
+    for (const harness::Suite &S : harness::suites())
+      std::printf("%-8s %s\n", S.Name, S.Description);
+    return support::ExitClean;
+  }
+
+  if (SuiteName.empty())
+    return P.usageError();
+  const harness::Suite *S = harness::findSuite(SuiteName);
+  if (!S) {
+    std::fprintf(stderr, "unknown suite '%s'\n", SuiteName.c_str());
+    return P.usageError();
+  }
+
+  O.Jobs = Jobs;
+  O.Seeds = Seeds;
+  return S->Run(O);
+}

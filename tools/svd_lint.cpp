@@ -18,10 +18,10 @@
 #include "analysis/AccessTable.h"
 #include "analysis/Lint.h"
 #include "isa/Assembler.h"
+#include "support/Cli.h"
 
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -49,29 +49,16 @@ struct Options {
 };
 
 bool parseArgs(int Argc, char **Argv, Options &O) {
-  for (int I = 1; I < Argc; ++I) {
-    std::string A = Argv[I];
-    if (A == "--dead-writes") {
-      O.Lint.DeadWrites = true;
-    } else if (A == "--no-uninit") {
-      O.Lint.UninitReads = false;
-    } else if (A == "--no-lockset") {
-      O.Lint.Lockset = false;
-    } else if (A == "--escape") {
-      O.Escape = true;
-    } else if (A == "--json") {
-      O.Json = true;
-    } else if (A == "--block-shift") {
-      if (I + 1 >= Argc)
-        return false;
-      O.BlockShift = static_cast<uint32_t>(std::strtoul(Argv[++I], nullptr, 0));
-    } else if (!A.empty() && A[0] == '-') {
-      std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
-      return false;
-    } else {
-      O.Files.push_back(A);
-    }
-  }
+  support::ArgParser P(Usage);
+  P.flag("--dead-writes", &O.Lint.DeadWrites);
+  P.flag("--no-uninit", &O.Lint.UninitReads, false);
+  P.flag("--no-lockset", &O.Lint.Lockset, false);
+  P.flag("--escape", &O.Escape);
+  P.flag("--json", &O.Json);
+  P.value("--block-shift", &O.BlockShift);
+  if (!P.parse(Argc, Argv))
+    return false;
+  O.Files = P.positional();
   return !O.Files.empty();
 }
 
@@ -139,9 +126,9 @@ int main(int Argc, char **Argv) {
   Options O;
   if (!parseArgs(Argc, Argv, O)) {
     std::fputs(Usage, stderr);
-    return 2;
+    return support::ExitUsage;
   }
-  int Status = 0;
+  int Status = support::ExitClean;
   for (const std::string &File : O.Files)
     Status = std::max(Status, lintFile(File, O));
   return Status;

@@ -18,10 +18,10 @@
 #include "analysis/Predict.h"
 #include "isa/Assembler.h"
 #include "predict/Confirm.h"
+#include "support/Cli.h"
 
+#include <algorithm>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -49,43 +49,19 @@ struct Options {
 };
 
 bool parseArgs(int Argc, char **Argv, Options &O) {
-  for (int I = 1; I < Argc; ++I) {
-    std::string A = Argv[I];
-    auto NextVal = [&](uint64_t &V) {
-      if (I + 1 >= Argc)
-        return false;
-      V = std::strtoull(Argv[++I], nullptr, 0);
-      return true;
-    };
-    uint64_t V = 0;
-    if (A == "--all") {
-      O.All = true;
-    } else if (A == "--json") {
-      O.Json = true;
-    } else if (A == "--block-shift") {
-      if (!NextVal(V))
-        return false;
-      O.Predict.BlockShift = static_cast<uint32_t>(V);
-      O.Confirm.BlockShift = static_cast<uint32_t>(V);
-    } else if (A == "--max-attempts") {
-      if (!NextVal(V))
-        return false;
-      O.Confirm.MaxOccurrences = static_cast<uint32_t>(V);
-    } else if (A == "--max-steps") {
-      if (!NextVal(V))
-        return false;
-      O.Confirm.MaxStepsPerRun = V;
-    } else if (A == "--seed") {
-      if (!NextVal(V))
-        return false;
-      O.Confirm.SchedSeed = V;
-    } else if (!A.empty() && A[0] == '-') {
-      std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
-      return false;
-    } else {
-      O.Files.push_back(A);
-    }
-  }
+  support::ArgParser P(Usage);
+  P.flag("--all", &O.All);
+  P.flag("--json", &O.Json);
+  P.valueFn("--block-shift", [&O](uint64_t V) {
+    O.Predict.BlockShift = static_cast<uint32_t>(V);
+    O.Confirm.BlockShift = static_cast<uint32_t>(V);
+  });
+  P.value("--max-attempts", &O.Confirm.MaxOccurrences);
+  P.value("--max-steps", &O.Confirm.MaxStepsPerRun);
+  P.value("--seed", &O.Confirm.SchedSeed);
+  if (!P.parse(Argc, Argv))
+    return false;
+  O.Files = P.positional();
   return !O.Files.empty();
 }
 
@@ -142,9 +118,9 @@ int main(int Argc, char **Argv) {
   Options O;
   if (!parseArgs(Argc, Argv, O)) {
     std::fputs(Usage, stderr);
-    return 2;
+    return support::ExitUsage;
   }
-  int Status = 0;
+  int Status = support::ExitClean;
   for (const std::string &File : O.Files)
     Status = std::max(Status, predictFile(File, O));
   return Status;
