@@ -5,6 +5,13 @@
 // "table1" suite (harness/Suites.h); `svd-bench --suite table1` is the
 // flag-taking front end.
 //
+// Dynamic-instruction counts come from harness::machineConfigFor — the
+// one seed derivation every sample path shares (SchedSeed = Seed,
+// RndSeed = Seed ^ RndSeedSalt). The pre-PR-4 version of this bench
+// built a default-configured Machine instead, so its "seed 1" column
+// disagreed with the suite's; the counts in tests/golden pin the
+// unified derivation.
+//
 //===----------------------------------------------------------------------===//
 
 #include "harness/Suites.h"

@@ -2,6 +2,7 @@
 
 #include "harness/Harness.h"
 
+#include "obs/Obs.h"
 #include "race/HappensBefore.h"
 #include "race/Lockset.h"
 #include "svd/HardwareSvd.h"
@@ -79,15 +80,20 @@ void classify(const Workload &W, const std::vector<Violation> &Reports,
 
 } // namespace
 
-SampleMetrics harness::runSample(const Workload &W,
-                                 const std::string &Detector,
-                                 const SampleConfig &C) {
+vm::MachineConfig harness::machineConfigFor(const SampleConfig &C) {
   vm::MachineConfig MC;
   MC.SchedSeed = C.Seed;
-  MC.RndSeed = C.Seed ^ 0xABCDEF12345ULL;
+  MC.RndSeed = C.Seed ^ RndSeedSalt;
   MC.MinTimeslice = C.MinTimeslice;
   MC.MaxTimeslice = C.MaxTimeslice;
   MC.MaxSteps = C.MaxSteps;
+  return MC;
+}
+
+SampleMetrics harness::runSample(const Workload &W,
+                                 const std::string &Detector,
+                                 const SampleConfig &C) {
+  vm::MachineConfig MC = machineConfigFor(C);
 
   SampleMetrics M;
 
@@ -126,6 +132,18 @@ SampleMetrics harness::runSample(const Workload &W,
 
   M.Steps = Machine.steps();
   M.Manifested = W.Manifested(Machine);
+
+  if (C.Obs) {
+    obs::Registry &R = *C.Obs;
+    R.counter("harness.samples").add(1);
+    Machine.exportStats(R);
+    D->exportStats(R);
+    R.timer("harness.sample.detector_run")
+        .recordNs(static_cast<uint64_t>(M.DetectorSeconds * 1e9));
+    if (C.MeasureOverhead)
+      R.timer("harness.sample.bare_run")
+          .recordNs(static_cast<uint64_t>(M.BareSeconds * 1e9));
+  }
   return M;
 }
 

@@ -26,6 +26,7 @@
 #define SVD_HARNESS_HARNESS_H
 
 #include "svd/Detector.h"
+#include "vm/Machine.h"
 #include "workloads/Workloads.h"
 
 #include <cstdint>
@@ -34,6 +35,10 @@
 #include <vector>
 
 namespace svd {
+namespace obs {
+class Registry;
+} // namespace obs
+
 namespace harness {
 
 /// The process-wide detector registry, populated with every built-in
@@ -55,7 +60,25 @@ struct SampleConfig {
   std::shared_ptr<const detect::DetectorConfig> Detector;
   /// Also run the bare program (no detector) to measure overhead.
   bool MeasureOverhead = false;
+  /// Observability sink (obs/Obs.h); when set, runSample adds the
+  /// machine's and the detector's counters plus its own spans to it.
+  /// Not owned; may be shared across concurrently-running samples.
+  obs::Registry *Obs = nullptr;
 };
+
+/// Salt folded into SampleConfig::Seed to derive the `rnd`-stream seed,
+/// keeping the scheduler and program-input streams decorrelated while
+/// both remain pure functions of the sample seed.
+inline constexpr uint64_t RndSeedSalt = 0xABCDEF12345ULL;
+
+/// THE machine-configuration derivation for an execution sample —
+/// SchedSeed = Seed, RndSeed = Seed ^ RndSeedSalt, timeslices and step
+/// budget copied — used by every path that executes a sample: runSample
+/// (and through it every svd-bench suite) and the legacy per-table
+/// bench wrappers. Table captions quoting "seed N" always mean this
+/// derivation; nothing builds a bare default-configured Machine for a
+/// sample anymore (the pre-PR-4 table1 instruction-count drift).
+vm::MachineConfig machineConfigFor(const SampleConfig &C);
 
 /// Everything measured from one (workload, detector, seed) sample.
 /// A plain value: producing one sample writes no state outside this

@@ -2,9 +2,14 @@
 
 #include "harness/Runner.h"
 
+#include "obs/ChromeTrace.h"
+#include "obs/Obs.h"
 #include "support/Error.h"
+#include "support/Json.h"
+#include "support/StringUtils.h"
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <thread>
 
@@ -43,41 +48,51 @@ std::vector<size_t> pickupOrder(size_t N, uint64_t ShuffleSeed) {
   return Order;
 }
 
-/// Runs Fn over the given claim order on up to Jobs worker threads.
-/// Work pickup is an atomic fetch-add over the order vector: whichever
-/// worker is free claims the next index, so completion order is
-/// scheduling-dependent — callers must not let output depend on it.
+/// Runs Fn(Worker, Index) over the given claim order on up to Jobs
+/// worker threads (Worker identifies the executing pool thread, 0-based;
+/// the inline path is worker 0). Work pickup is an atomic fetch-add over
+/// the order vector: whichever worker is free claims the next index, so
+/// completion order is scheduling-dependent — callers must not let
+/// output depend on it.
 void runIndexed(const std::vector<size_t> &Order, unsigned Jobs,
-                const std::function<void(size_t)> &Fn) {
+                const std::function<void(size_t, size_t)> &Fn) {
   size_t N = Order.size();
   if (Jobs <= 1 || N <= 1) {
     for (size_t I : Order)
-      Fn(I);
+      Fn(0, I);
     return;
   }
   std::atomic<size_t> Next{0};
-  auto Worker = [&] {
+  auto Worker = [&](size_t Me) {
     for (;;) {
       size_t Slot = Next.fetch_add(1, std::memory_order_relaxed);
       if (Slot >= N)
         return;
-      Fn(Order[Slot]);
+      Fn(Me, Order[Slot]);
     }
   };
   size_t NumThreads = std::min<size_t>(Jobs, N);
   std::vector<std::thread> Threads;
   Threads.reserve(NumThreads);
   for (size_t T = 0; T < NumThreads; ++T)
-    Threads.emplace_back(Worker);
+    Threads.emplace_back(Worker, T);
   for (std::thread &T : Threads)
     T.join();
+}
+
+uint64_t elapsedNs(std::chrono::steady_clock::time_point Since) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Since)
+          .count());
 }
 
 } // namespace
 
 void harness::parallelFor(size_t N, unsigned Jobs,
                           const std::function<void(size_t)> &Fn) {
-  runIndexed(pickupOrder(N, /*ShuffleSeed=*/0), resolveJobs(Jobs), Fn);
+  runIndexed(pickupOrder(N, /*ShuffleSeed=*/0), resolveJobs(Jobs),
+             [&Fn](size_t, size_t I) { Fn(I); });
 }
 
 std::vector<SampleMetrics>
@@ -86,14 +101,86 @@ ParallelRunner::run(const std::vector<SampleSpec> &Specs) const {
     if (!S.Workload)
       support::fatalError("ParallelRunner: null workload in sample spec");
 
+  obs::Registry *Obs = Cfg.Obs;
+  obs::TraceCollector *Trace = Cfg.Trace;
+  auto Submit = std::chrono::steady_clock::now();
+  uint64_t SubmitTraceNs = Trace ? Trace->nowNs() : 0;
+  unsigned Jobs = resolveJobs(Cfg.Jobs);
+
   // Results are preallocated so each worker writes only its own slot;
   // the vector is already in submission order when the last join
   // returns.
   std::vector<SampleMetrics> Results(Specs.size());
-  runIndexed(pickupOrder(Specs.size(), Cfg.PickupShuffleSeed),
-             resolveJobs(Cfg.Jobs), [&](size_t I) {
-               const SampleSpec &S = Specs[I];
-               Results[I] = runSample(*S.Workload, S.Detector, S.Config);
-             });
+  runIndexed(
+      pickupOrder(Specs.size(), Cfg.PickupShuffleSeed), Jobs,
+      [&](size_t Worker, size_t I) {
+        const SampleSpec &S = Specs[I];
+        // Queue wait: submission (run() entry) to this worker claiming
+        // the sample. Purely wall-clock — a timing stat and trace arg,
+        // never part of the deterministic metrics.
+        uint64_t QueueWaitNs = elapsedNs(Submit);
+        uint64_t ClaimTraceNs = Trace ? Trace->nowNs() : 0;
+        auto Claim = std::chrono::steady_clock::now();
+
+        SampleConfig C = S.Config;
+        if (!C.Obs)
+          C.Obs = Obs;
+        Results[I] = runSample(*S.Workload, S.Detector, C);
+
+        uint64_t RunNs = elapsedNs(Claim);
+        if (Obs) {
+          Obs->timer("runner.sample.queue_wait").recordNs(QueueWaitNs);
+          Obs->timer("runner.sample.run").recordNs(RunNs);
+        }
+        if (Trace) {
+          obs::TraceSpan Span;
+          Span.Name = support::formatString(
+              "%s/%s/s%llu", S.Workload->Name.c_str(), S.Detector.c_str(),
+              static_cast<unsigned long long>(S.Config.Seed));
+          Span.Cat = "sample";
+          // Track 0 is the runner's aggregate track; workers start at 1.
+          Span.Track = static_cast<uint32_t>(Worker + 1);
+          Span.StartNs = ClaimTraceNs;
+          Span.DurNs = RunNs;
+          Span.Args = {
+              {"workload", support::jsonString(S.Workload->Name)},
+              {"detector", support::jsonString(S.Detector)},
+              {"seed", support::formatString(
+                           "%llu",
+                           static_cast<unsigned long long>(S.Config.Seed))},
+              {"steps",
+               support::formatString(
+                   "%llu",
+                   static_cast<unsigned long long>(Results[I].Steps))},
+              {"dynamic_reports",
+               support::formatString("%zu", Results[I].DynamicReports)},
+              {"queue_wait_us",
+               support::formatString(
+                   "%llu",
+                   static_cast<unsigned long long>(QueueWaitNs / 1000))},
+          };
+          Trace->add(std::move(Span));
+        }
+      });
+
+  // The aggregate span covers submission through the submission-ordered
+  // results becoming available (the join above).
+  uint64_t TotalNs = elapsedNs(Submit);
+  if (Obs)
+    Obs->timer("runner.total").recordNs(TotalNs);
+  if (Trace) {
+    Trace->nameTrack(0, "runner");
+    for (unsigned W = 1;
+         W <= std::min<size_t>(Jobs, Specs.empty() ? 1 : Specs.size()); ++W)
+      Trace->nameTrack(W, support::formatString("worker %u", W));
+    obs::TraceSpan Agg;
+    Agg.Name = support::formatString("aggregate (%zu samples, %u jobs)",
+                                     Specs.size(), Jobs);
+    Agg.Cat = "runner";
+    Agg.Track = 0;
+    Agg.StartNs = SubmitTraceNs;
+    Agg.DurNs = TotalNs;
+    Trace->add(std::move(Agg));
+  }
   return Results;
 }

@@ -20,6 +20,12 @@
 /// happens strictly after collection, over the submission-ordered
 /// vector — never from worker threads.
 ///
+/// Observability: RunnerConfig can carry an obs::Registry (counters +
+/// timer stats) and an obs::TraceCollector (one Chrome-trace slice per
+/// sample, one track per worker). Deterministic counters respect the
+/// contract above; wall-clock spans are timing-only and never
+/// golden-compared.
+///
 //======---------------------------------------------------------------===//
 
 #ifndef SVD_HARNESS_RUNNER_H
@@ -32,6 +38,11 @@
 #include <vector>
 
 namespace svd {
+namespace obs {
+class Registry;
+class TraceCollector;
+} // namespace obs
+
 namespace harness {
 
 /// One (workload, detector, seed) sample to execute. The workload is
@@ -52,6 +63,19 @@ struct RunnerConfig {
   /// drive completion-order permutations through the collection path;
   /// output must be invariant under it.
   uint64_t PickupShuffleSeed = 0;
+  /// Observability sink (obs/Obs.h). When set, the runner records
+  /// per-sample queue-wait and run spans as timer stats and injects the
+  /// registry into every sample whose SampleConfig has no sink of its
+  /// own, so machine and detector counters accumulate here. Counter
+  /// totals stay bit-identical for every Jobs value; only timer stats
+  /// vary. Not owned.
+  obs::Registry *Obs = nullptr;
+  /// Chrome-trace sink (obs/ChromeTrace.h). When set, every sample
+  /// becomes one slice on its worker's track — named
+  /// "<workload>/<detector>/s<seed>" with queue-wait and step counts in
+  /// its args — plus one whole-run aggregate slice on track 0. Not
+  /// owned.
+  obs::TraceCollector *Trace = nullptr;
 };
 
 /// Resolves a --jobs value: 0 becomes the hardware thread count (at

@@ -60,6 +60,8 @@ std::string jsonEscape(const std::string &S) {
 RunnerConfig runnerConfig(const SuiteOptions &O) {
   RunnerConfig RC;
   RC.Jobs = O.Jobs;
+  RC.Obs = O.Obs;
+  RC.Trace = O.Trace;
   return RC;
 }
 
@@ -444,9 +446,11 @@ int runFig1(const SuiteOptions &O) {
   Small.Threads = 2;
   Small.Iterations = 2;
   Workload SW = workloads::mysqlTableLock(Small);
-  vm::MachineConfig MC;
-  MC.SchedSeed = 3;
-  vm::Machine M(SW.Program, MC);
+  // Same seed derivation as every execution sample (machineConfigFor):
+  // "seed 3" in suite output always means the same machine config.
+  SampleConfig Demo;
+  Demo.Seed = 3;
+  vm::Machine M(SW.Program, machineConfigFor(Demo));
   trace::TraceRecorder R(SW.Program);
   M.addObserver(&R);
   M.run();

@@ -22,6 +22,11 @@
 #include <vector>
 
 namespace svd {
+namespace obs {
+class Registry;
+class TraceCollector;
+} // namespace obs
+
 namespace harness {
 
 /// Options shared by every suite.
@@ -33,6 +38,12 @@ struct SuiteOptions {
   unsigned Seeds = 0;
   /// Emit a machine-readable JSON document instead of the text tables.
   bool Json = false;
+  /// Observability sink for the sample fan-out (svd-bench
+  /// --metrics-json); counters are bit-identical at any Jobs. Not owned.
+  obs::Registry *Obs = nullptr;
+  /// Chrome-trace sink for the sample fan-out (svd-bench --trace-out).
+  /// Not owned.
+  obs::TraceCollector *Trace = nullptr;
 };
 
 /// One named suite.

@@ -1,0 +1,85 @@
+//===- obs/ChromeTrace.cpp ------------------------------------------------===//
+
+#include "obs/ChromeTrace.h"
+
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace svd;
+using namespace svd::obs;
+using support::formatString;
+using support::jsonString;
+
+void TraceCollector::add(TraceSpan Span) {
+  std::lock_guard<std::mutex> Lock(M);
+  Spans.push_back(std::move(Span));
+}
+
+void TraceCollector::nameTrack(uint32_t Track, const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  for (auto &[T, N] : TrackNames)
+    if (T == Track) {
+      N = Name;
+      return;
+    }
+  TrackNames.emplace_back(Track, Name);
+}
+
+std::vector<TraceSpan> TraceCollector::spans() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Spans;
+}
+
+std::string TraceCollector::chromeTraceJson() const {
+  std::vector<TraceSpan> Sorted;
+  std::vector<std::pair<uint32_t, std::string>> Tracks;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Sorted = Spans;
+    Tracks = TrackNames;
+  }
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const TraceSpan &A, const TraceSpan &B) {
+                     return A.StartNs < B.StartNs;
+                   });
+
+  // ts/dur are microseconds in the trace_event format; keep the
+  // nanosecond precision as fractional microseconds.
+  auto Us = [](uint64_t Ns) {
+    return formatString("%llu.%03llu",
+                        static_cast<unsigned long long>(Ns / 1000),
+                        static_cast<unsigned long long>(Ns % 1000));
+  };
+
+  std::string J = "{\"traceEvents\":[";
+  bool First = true;
+  for (const auto &[Track, Name] : Tracks) {
+    J += First ? "\n" : ",\n";
+    First = false;
+    J += formatString("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                      "\"tid\":%u,\"args\":{\"name\":%s}}",
+                      Track, jsonString(Name).c_str());
+  }
+  for (const TraceSpan &S : Sorted) {
+    J += First ? "\n" : ",\n";
+    First = false;
+    J += formatString("{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"pid\":1,"
+                      "\"tid\":%u,\"ts\":%s,\"dur\":%s",
+                      jsonString(S.Name).c_str(), jsonString(S.Cat).c_str(),
+                      S.Track, Us(S.StartNs).c_str(), Us(S.DurNs).c_str());
+    if (!S.Args.empty()) {
+      J += ",\"args\":{";
+      for (size_t I = 0; I < S.Args.size(); ++I) {
+        if (I)
+          J += ",";
+        J += jsonString(S.Args[I].first) + ":" + S.Args[I].second;
+      }
+      J += "}";
+    }
+    J += "}";
+  }
+  J += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return J;
+}

@@ -1,0 +1,84 @@
+//===- obs/ChromeTrace.h - trace_event JSON export --------------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects wall-clock spans and renders them in the Chrome
+/// `trace_event` JSON format, so a whole `svd-bench` suite run opens in
+/// `chrome://tracing` / Perfetto: one track per runner worker thread,
+/// one "complete" (ph "X") slice per (workload, detector, seed)
+/// sample, plus named tracks via `thread_name` metadata events.
+///
+/// The collector's epoch is its construction time; every span's
+/// timestamp is relative to it, so the exported trace always starts
+/// near t=0. Timestamps are wall-clock and therefore nondeterministic —
+/// trace output is never golden-compared, only validated as JSON.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_OBS_CHROMETRACE_H
+#define SVD_OBS_CHROMETRACE_H
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace svd {
+namespace obs {
+
+/// One completed span on one track.
+struct TraceSpan {
+  std::string Name; ///< slice label, e.g. "apache-log/svd/s3"
+  std::string Cat;  ///< category, e.g. "sample"
+  uint32_t Track = 0; ///< tid in the trace; 0 = the runner itself
+  uint64_t StartNs = 0; ///< relative to the collector epoch
+  uint64_t DurNs = 0;
+  /// Extra key/value args shown in the slice details. Values must be
+  /// pre-rendered JSON (a bare number, or a quoted escaped string).
+  std::vector<std::pair<std::string, std::string>> Args;
+};
+
+/// Thread-safe span sink. Appending happens per sample (not per
+/// instruction), so one mutex is plenty.
+class TraceCollector {
+public:
+  TraceCollector() : Epoch(std::chrono::steady_clock::now()) {}
+
+  /// Nanoseconds since the collector was created.
+  uint64_t nowNs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Epoch)
+            .count());
+  }
+
+  void add(TraceSpan Span);
+
+  /// Labels \p Track in the trace viewer ("worker 3"). Idempotent per
+  /// track: the last name wins.
+  void nameTrack(uint32_t Track, const std::string &Name);
+
+  /// Spans recorded so far, in the order they completed.
+  std::vector<TraceSpan> spans() const;
+
+  /// Renders the whole collection as one Chrome trace_event JSON
+  /// document ({"traceEvents":[...]}); slices are sorted by start time
+  /// and timestamps converted to the format's microseconds.
+  std::string chromeTraceJson() const;
+
+private:
+  std::chrono::steady_clock::time_point Epoch;
+  mutable std::mutex M;
+  std::vector<TraceSpan> Spans;
+  std::vector<std::pair<uint32_t, std::string>> TrackNames;
+};
+
+} // namespace obs
+} // namespace svd
+
+#endif // SVD_OBS_CHROMETRACE_H

@@ -1,0 +1,93 @@
+//===- obs/Obs.cpp --------------------------------------------------------===//
+
+#include "obs/Obs.h"
+
+#include "support/StringUtils.h"
+
+using namespace svd;
+using namespace svd::obs;
+using support::formatString;
+
+void TimerStat::recordNs(uint64_t Ns) {
+  std::lock_guard<std::mutex> Lock(M);
+  if (S.Count == 0) {
+    S.MinNs = Ns;
+    S.MaxNs = Ns;
+  } else {
+    if (Ns < S.MinNs)
+      S.MinNs = Ns;
+    if (Ns > S.MaxNs)
+      S.MaxNs = Ns;
+  }
+  ++S.Count;
+  S.TotalNs += Ns;
+}
+
+TimerStat::Snapshot TimerStat::snapshot() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return S;
+}
+
+Counter &Registry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::unique_ptr<Counter> &Slot = Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+TimerStat &Registry::timer(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::unique_ptr<TimerStat> &Slot = Timers[Name];
+  if (!Slot)
+    Slot = std::make_unique<TimerStat>();
+  return *Slot;
+}
+
+std::vector<std::pair<std::string, uint64_t>> Registry::counters() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::vector<std::pair<std::string, uint64_t>> Out;
+  Out.reserve(Counters.size());
+  for (const auto &[Name, C] : Counters)
+    Out.emplace_back(Name, C->value());
+  return Out;
+}
+
+std::vector<std::pair<std::string, TimerStat::Snapshot>>
+Registry::timers() const {
+  std::lock_guard<std::mutex> Lock(M);
+  std::vector<std::pair<std::string, TimerStat::Snapshot>> Out;
+  Out.reserve(Timers.size());
+  for (const auto &[Name, T] : Timers)
+    Out.emplace_back(Name, T->snapshot());
+  return Out;
+}
+
+std::string obs::metricsJson(const Registry &R) {
+  // Instrument names are code constants (no user input), so they are
+  // emitted verbatim; one entry per line keeps the document diffable
+  // and lets ObsCheck.cmake cut it at the "timings" line.
+  std::string J = "{\n  \"schema\": \"svd-metrics-v1\",\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, V] : R.counters()) {
+    J += First ? "\n" : ",\n";
+    First = false;
+    J += formatString("    \"%s\": %llu", Name.c_str(),
+                      static_cast<unsigned long long>(V));
+  }
+  J += "\n  },\n  \"timings\": {";
+  First = true;
+  for (const auto &[Name, S] : R.timers()) {
+    J += First ? "\n" : ",\n";
+    First = false;
+    J += formatString(
+        "    \"%s\": {\"count\": %llu, \"total_ns\": %llu, "
+        "\"min_ns\": %llu, \"max_ns\": %llu}",
+        Name.c_str(), static_cast<unsigned long long>(S.Count),
+        static_cast<unsigned long long>(S.TotalNs),
+        static_cast<unsigned long long>(S.MinNs),
+        static_cast<unsigned long long>(S.MaxNs));
+  }
+  J += "\n  }\n}\n";
+  return J;
+}

@@ -1,0 +1,146 @@
+//===- obs/Obs.h - Counters, timers, and metrics export ---------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight always-on observability for the execution substrate, the
+/// detectors, and the parallel sample runner. Monitoring-overhead work
+/// (FAM, RegionTrack) shows serializability checkers live or die by
+/// cheap instrumentation; this registry is the repo's one place where
+/// "where does the time go / what did we count" accumulates.
+///
+/// Two strictly separated kinds of instruments:
+///
+///  * **Counters** hold deterministic event counts (instructions, CUs,
+///    reports, cache events). Counter totals are sums of per-sample
+///    contributions, and addition commutes, so a registry filled by a
+///    ParallelRunner sweep holds bit-identical counter values for every
+///    `--jobs` setting and every completion order. Counters are what
+///    `--metrics-json` pins in golden files.
+///  * **Timers** hold wall-clock durations. They are inherently
+///    nondeterministic and are excluded from every golden or
+///    jobs-invariance comparison; metricsJson() emits them in a
+///    separate trailing "timings" section so comparisons can cut the
+///    document at that key.
+///
+/// All instruments are thread-safe: counters are relaxed atomics (only
+/// the final total is ever read), timers take a private mutex, and the
+/// registry hands out stable references so hot paths look up a name
+/// once and then add with no further locking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_OBS_OBS_H
+#define SVD_OBS_OBS_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace svd {
+namespace obs {
+
+/// A monotonically increasing event count. Deterministic: for a fixed
+/// set of contributions the final value is independent of the order or
+/// the threads they arrive from.
+class Counter {
+public:
+  void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Aggregated wall-clock durations of one named span (count / total /
+/// min / max, in nanoseconds). Timing-only: never compared in goldens.
+class TimerStat {
+public:
+  struct Snapshot {
+    uint64_t Count = 0;
+    uint64_t TotalNs = 0;
+    uint64_t MinNs = 0;
+    uint64_t MaxNs = 0;
+  };
+
+  /// Adds one observed duration.
+  void recordNs(uint64_t Ns);
+
+  Snapshot snapshot() const;
+
+private:
+  mutable std::mutex M;
+  Snapshot S;
+};
+
+/// Name-keyed instrument registry. Instruments are created on first
+/// use and live as long as the registry; the returned references stay
+/// valid across concurrent insertions (node-based storage), so callers
+/// may cache them across a hot loop.
+class Registry {
+public:
+  Counter &counter(const std::string &Name);
+  TimerStat &timer(const std::string &Name);
+
+  /// All counters as (name, value), sorted by name — the deterministic
+  /// half of the registry.
+  std::vector<std::pair<std::string, uint64_t>> counters() const;
+
+  /// All timers as (name, snapshot), sorted by name — the timing-only
+  /// half, excluded from golden comparisons.
+  std::vector<std::pair<std::string, TimerStat::Snapshot>> timers() const;
+
+private:
+  mutable std::mutex M;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<TimerStat>> Timers;
+};
+
+/// RAII span: records the elapsed wall time into a TimerStat on
+/// destruction. Null target makes the timer a no-op, so call sites can
+/// instrument unconditionally and let configuration decide.
+class ScopedTimer {
+public:
+  explicit ScopedTimer(TimerStat *T)
+      : T(T), Start(T ? std::chrono::steady_clock::now()
+                      : std::chrono::steady_clock::time_point()) {}
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+  ~ScopedTimer() {
+    if (T)
+      T->recordNs(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - Start)
+              .count()));
+  }
+
+private:
+  TimerStat *T;
+  std::chrono::steady_clock::time_point Start;
+};
+
+/// Renders \p R as the `svd-metrics-v1` JSON document:
+///
+///   {
+///     "schema": "svd-metrics-v1",
+///     "counters": { "<name>": <value>, ... },   // sorted, one per line
+///     "timings": { "<name>": {"count":..,"total_ns":..,
+///                              "min_ns":..,"max_ns":..}, ... }
+///   }
+///
+/// The counters section is byte-deterministic for a deterministic
+/// workload sweep; "timings" is always the last key, so comparisons pin
+/// the document prefix up to the `"timings"` line (tests/ObsCheck.cmake).
+std::string metricsJson(const Registry &R);
+
+} // namespace obs
+} // namespace svd
+
+#endif // SVD_OBS_OBS_H

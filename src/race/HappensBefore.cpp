@@ -2,6 +2,7 @@
 
 #include "race/HappensBefore.h"
 
+#include "obs/Obs.h"
 #include "vm/Machine.h"
 
 using namespace svd;
@@ -24,6 +25,10 @@ public:
   }
   size_t approxMemoryBytes() const override {
     return Impl.approxMemoryBytes();
+  }
+  void exportStats(obs::Registry &R) const override {
+    detect::Detector::exportStats(R);
+    R.counter("detect.frd.events").add(Impl.eventsObserved());
   }
 
 private:

@@ -2,6 +2,7 @@
 
 #include "race/Lockset.h"
 
+#include "obs/Obs.h"
 #include "vm/Machine.h"
 
 #include <algorithm>
@@ -22,6 +23,10 @@ public:
   void attach(vm::Machine &M) override { M.addObserver(&Impl); }
   const std::vector<Violation> &reports() const override {
     return Impl.reports();
+  }
+  void exportStats(obs::Registry &R) const override {
+    detect::Detector::exportStats(R);
+    R.counter("detect.lockset.events").add(Impl.eventsObserved());
   }
 
 private:

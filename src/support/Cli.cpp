@@ -2,6 +2,9 @@
 
 #include "support/Cli.h"
 
+#include "support/StringUtils.h"
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 
@@ -22,9 +25,10 @@ void ArgParser::value(const char *Name, uint64_t *Target) {
 }
 
 void ArgParser::value(const char *Name, uint32_t *Target) {
-  valueFn(Name, [Target](uint64_t V) {
-    *Target = static_cast<uint32_t>(V);
-  });
+  valueFn(Name, [Target](uint64_t V) { *Target = static_cast<uint32_t>(V); });
+  // The handler above can only see values parseNumeric already bounded,
+  // so the narrowing cast is exact.
+  Opts.back().Max = UINT32_MAX;
 }
 
 void ArgParser::value(const char *Name, std::string *Target) {
@@ -43,6 +47,42 @@ void ArgParser::valueFn(const char *Name, std::function<void(uint64_t)> Fn) {
   Opts.push_back(std::move(O));
 }
 
+bool ArgParser::fail(std::string Msg) {
+  LastError = std::move(Msg);
+  std::fprintf(stderr, "%s\n", LastError.c_str());
+  return false;
+}
+
+bool ArgParser::parseNumeric(const Opt &O, const char *Arg, uint64_t &Out) {
+  // strtoull quietly accepts leading whitespace and negation (wrapping
+  // "-5" to a huge value), and without endptr checking "99zz" parses as
+  // 99 and "foo" as 0. Every one of those is a user typo that must be
+  // named, not absorbed.
+  if (Arg[0] == '\0' || Arg[0] == ' ' || Arg[0] == '\t' || Arg[0] == '-' ||
+      Arg[0] == '+')
+    return fail(formatString("option '%s' expects an unsigned number, got "
+                             "'%s'",
+                             O.Name.c_str(), Arg));
+  errno = 0;
+  char *End = nullptr;
+  uint64_t V = std::strtoull(Arg, &End, 0);
+  if (End == Arg)
+    return fail(formatString("option '%s' expects an unsigned number, got "
+                             "'%s'",
+                             O.Name.c_str(), Arg));
+  if (*End != '\0')
+    return fail(formatString("trailing garbage '%s' in value '%s' for "
+                             "option '%s'",
+                             End, Arg, O.Name.c_str()));
+  if (errno == ERANGE || V > O.Max)
+    return fail(formatString("value '%s' for option '%s' is out of range "
+                             "(max %llu)",
+                             Arg, O.Name.c_str(),
+                             static_cast<unsigned long long>(O.Max)));
+  Out = V;
+  return true;
+}
+
 bool ArgParser::parse(int Argc, const char *const *Argv) {
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
@@ -53,10 +93,8 @@ bool ArgParser::parse(int Argc, const char *const *Argv) {
         break;
       }
     if (!Match) {
-      if (!A.empty() && A[0] == '-') {
-        std::fprintf(stderr, "unknown option '%s'\n", A.c_str());
-        return false;
-      }
+      if (!A.empty() && A[0] == '-')
+        return fail(formatString("unknown option '%s'", A.c_str()));
       Positional.push_back(A);
       continue;
     }
@@ -64,14 +102,20 @@ bool ArgParser::parse(int Argc, const char *const *Argv) {
     case Kind::Flag:
       *Match->BoolTarget = Match->BoolValue;
       break;
-    case Kind::Number:
+    case Kind::Number: {
       if (I + 1 >= Argc)
+        return fail(formatString("option '%s' requires a value",
+                                 Match->Name.c_str()));
+      uint64_t V = 0;
+      if (!parseNumeric(*Match, Argv[++I], V))
         return false;
-      Match->NumFn(std::strtoull(Argv[++I], nullptr, 0));
+      Match->NumFn(V);
       break;
+    }
     case Kind::String:
       if (I + 1 >= Argc)
-        return false;
+        return fail(formatString("option '%s' requires a value",
+                                 Match->Name.c_str()));
       *Match->StrTarget = Argv[++I];
       break;
     }

@@ -11,10 +11,14 @@
 ///  * exit codes: 0 clean, 1 findings/confirmed reports, 2 usage or
 ///    assembly errors (ToolExit);
 ///  * "--opt VALUE" numeric values parse with strtoull base 0 (0x/0
-///    prefixes work);
-///  * an unrecognized dash-argument prints "unknown option '<arg>'" to
-///    stderr and fails the parse; the caller then prints its usage
-///    string and exits ExitUsage;
+///    prefixes work) and are strictly checked: non-numeric values,
+///    trailing garbage ("99zz"), signs, and out-of-range values all
+///    fail the parse with a diagnostic naming the option. The uint32_t
+///    overload bounds values at UINT32_MAX instead of truncating;
+///  * an unrecognized dash-argument, a malformed value, or an option
+///    missing its value prints a diagnostic naming the offender to
+///    stderr (also kept in error()) and fails the parse; the caller
+///    then prints its usage string and exits ExitUsage;
 ///  * everything that does not start with '-' collects into
 ///    positional() in order.
 ///
@@ -49,7 +53,10 @@ public:
   /// registering Value=false).
   void flag(const char *Name, bool *Target, bool Value = true);
 
-  /// "--name N" parsed with strtoull base 0.
+  /// "--name N" parsed with strtoull base 0; rejects non-numeric
+  /// input, trailing garbage, signs, and out-of-range values. The
+  /// uint32_t overload additionally rejects values above UINT32_MAX
+  /// (no silent truncation).
   void value(const char *Name, uint64_t *Target);
   void value(const char *Name, uint32_t *Target);
 
@@ -60,9 +67,15 @@ public:
   /// several targets).
   void valueFn(const char *Name, std::function<void(uint64_t)> Fn);
 
-  /// Parses Argv[1..Argc-1]. Returns false on an unknown dash-option
-  /// (after printing the complaint to stderr) or a missing value.
+  /// Parses Argv[1..Argc-1]. Returns false on an unknown dash-option,
+  /// a malformed or out-of-range numeric value, or a missing value —
+  /// in each case after printing a diagnostic naming the option to
+  /// stderr and recording it in error().
   bool parse(int Argc, const char *const *Argv);
+
+  /// The diagnostic of the most recent parse failure ("" before any
+  /// failure).
+  const std::string &error() const { return LastError; }
 
   /// Arguments without a leading '-', in order.
   const std::vector<std::string> &positional() const { return Positional; }
@@ -81,11 +94,22 @@ private:
     bool BoolValue = true;
     std::function<void(uint64_t)> NumFn;
     std::string *StrTarget = nullptr;
+    /// Largest accepted numeric value (UINT32_MAX for the uint32_t
+    /// overload); larger input is a diagnosed parse failure.
+    uint64_t Max = UINT64_MAX;
   };
+
+  /// Records \p Msg as error(), prints it to stderr, returns false.
+  bool fail(std::string Msg);
+
+  /// Parses \p Arg as the value of numeric option \p O into \p Out;
+  /// false (with a diagnostic) on malformed or out-of-range input.
+  bool parseNumeric(const Opt &O, const char *Arg, uint64_t &Out);
 
   const char *Usage;
   std::vector<Opt> Opts;
   std::vector<std::string> Positional;
+  std::string LastError;
 };
 
 } // namespace support

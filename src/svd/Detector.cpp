@@ -2,6 +2,7 @@
 
 #include "svd/Detector.h"
 
+#include "obs/Obs.h"
 #include "support/Error.h"
 
 #include <algorithm>
@@ -24,6 +25,14 @@ const std::vector<CuLogEntry> &Detector::cuLog() const {
 size_t Detector::approxMemoryBytes() const { return 0; }
 
 uint64_t Detector::numCusFormed() const { return 0; }
+
+void Detector::exportStats(obs::Registry &R) const {
+  std::string Prefix = std::string("detect.") + name() + ".";
+  R.counter(Prefix + "reports").add(reports().size());
+  R.counter(Prefix + "cus_formed").add(numCusFormed());
+  R.counter(Prefix + "log_entries").add(cuLog().size());
+  R.counter(Prefix + "memory_bytes").add(approxMemoryBytes());
+}
 
 void DetectorRegistry::add(Entry E) {
   if (find(E.Name))

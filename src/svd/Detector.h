@@ -41,6 +41,10 @@
 #include <vector>
 
 namespace svd {
+namespace obs {
+class Registry;
+} // namespace obs
+
 namespace vm {
 class Machine;
 } // namespace vm
@@ -86,6 +90,14 @@ public:
 
   /// CUs formed over the run (SVD family; 0 otherwise).
   virtual uint64_t numCusFormed() const;
+
+  /// Adds this instance's counters to \p R under the
+  /// "detect.<name()>." prefix (obs/Obs.h). The base implementation
+  /// exports reports / cus_formed / log_entries / memory_bytes;
+  /// detectors with richer internals (filtered accesses, cache events)
+  /// extend it. Call after finish(); all exported values are
+  /// deterministic for a deterministic execution.
+  virtual void exportStats(obs::Registry &R) const;
 };
 
 /// Name-keyed detector factory registry.

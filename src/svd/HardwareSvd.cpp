@@ -2,6 +2,7 @@
 
 #include "svd/HardwareSvd.h"
 
+#include "obs/Obs.h"
 #include "support/Error.h"
 #include "vm/Machine.h"
 
@@ -35,6 +36,19 @@ public:
     return Impl.metadataBits() / 8;
   }
   uint64_t numCusFormed() const override { return Impl.numCusFormed(); }
+  void exportStats(obs::Registry &R) const override {
+    Detector::exportStats(R);
+    const cache::CacheStats &S = Impl.cacheStats();
+    R.counter("detect.hwsvd.cache.accesses").add(S.Accesses);
+    R.counter("detect.hwsvd.cache.hits").add(S.Hits);
+    R.counter("detect.hwsvd.cache.misses").add(S.Misses);
+    R.counter("detect.hwsvd.cache.evictions").add(S.Evictions);
+    R.counter("detect.hwsvd.cache.invalidations").add(S.Invalidations);
+    R.counter("detect.hwsvd.metadata_evictions")
+        .add(Impl.metadataEvictions());
+    R.counter("detect.hwsvd.filtered_accesses")
+        .add(Impl.filteredAccesses());
+  }
 
 private:
   HardwareSvd Impl;

@@ -2,6 +2,7 @@
 
 #include "svd/OfflineDetector.h"
 
+#include "obs/Obs.h"
 #include "pdg/Pdg.h"
 #include "vm/Machine.h"
 
@@ -30,6 +31,10 @@ public:
   }
   const std::vector<Violation> &reports() const override { return Reports_; }
   uint64_t numCusFormed() const override { return CusFormed; }
+  void exportStats(obs::Registry &R) const override {
+    Detector::exportStats(R);
+    R.counter("detect.offline.trace_events").add(Rec.trace().size());
+  }
 
 private:
   trace::TraceRecorder Rec;

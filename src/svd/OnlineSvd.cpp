@@ -2,6 +2,7 @@
 
 #include "svd/OnlineSvd.h"
 
+#include "obs/Obs.h"
 #include "support/Error.h"
 #include "vm/Machine.h"
 
@@ -36,6 +37,13 @@ public:
     return Impl.approxMemoryBytes();
   }
   uint64_t numCusFormed() const override { return Impl.numCusFormed(); }
+  void exportStats(obs::Registry &R) const override {
+    Detector::exportStats(R);
+    R.counter("detect.svd.events").add(Impl.eventsObserved());
+    R.counter("detect.svd.filtered_loads").add(Impl.filteredLoads());
+    R.counter("detect.svd.filtered_stores").add(Impl.filteredStores());
+    R.counter("detect.svd.cus_ended").add(Impl.numCusEnded());
+  }
 
 private:
   OnlineSvd Impl;

@@ -2,6 +2,7 @@
 
 #include "vm/Machine.h"
 
+#include "obs/Obs.h"
 #include "support/Error.h"
 #include "support/StringUtils.h"
 
@@ -197,7 +198,20 @@ void Machine::notifyRunEnd() {
     O->onRunEnd();
 }
 
+void Machine::exportStats(obs::Registry &R) const {
+  R.counter("vm.instructions").add(Steps);
+  R.counter("vm.loads").add(Counters.Loads);
+  R.counter("vm.stores").add(Counters.Stores);
+  R.counter("vm.alu").add(Counters.Alu);
+  R.counter("vm.branches").add(Counters.Branches);
+  R.counter("vm.lock_acquires").add(Counters.LockAcquires);
+  R.counter("vm.lock_spins").add(Counters.LockSpins);
+  R.counter("vm.unlocks").add(Counters.Unlocks);
+  R.counter("vm.program_errors").add(Counters.ProgramErrors);
+}
+
 void Machine::recordError(const EventCtx &Ctx, const std::string &Msg) {
+  ++Counters.ProgramErrors;
   Errors.push_back({Ctx.Seq, Ctx.Tid, Ctx.Pc, Msg});
   for (ExecutionObserver *O : Observers)
     O->onProgramError(Ctx, Errors.back().Message.c_str());
@@ -222,6 +236,7 @@ void Machine::execute() {
       T.Regs[R] = V;
   };
   auto NotifyAlu = [&]() {
+    ++Counters.Alu;
     for (ExecutionObserver *O : Observers)
       O->onAlu(Ctx);
   };
@@ -371,6 +386,7 @@ void Machine::execute() {
     }
     Word V = Memory[static_cast<Addr>(EA)];
     SetReg(I.Rd, V);
+    ++Counters.Loads;
     for (ExecutionObserver *O : Observers)
       O->onLoad(Ctx, static_cast<Addr>(EA), V);
     T.Pc = Pc + 1;
@@ -386,6 +402,7 @@ void Machine::execute() {
       return;
     }
     Memory[static_cast<Addr>(EA)] = B;
+    ++Counters.Stores;
     for (ExecutionObserver *O : Observers)
       O->onStore(Ctx, static_cast<Addr>(EA), B);
     T.Pc = Pc + 1;
@@ -397,11 +414,13 @@ void Machine::execute() {
     // value, B the replacement.
     Addr EA = static_cast<Addr>(I.Imm);
     Word Cur = Memory[EA];
+    ++Counters.Loads;
     for (ExecutionObserver *O : Observers)
       O->onLoad(Ctx, EA, Cur);
     if (Cur == A) {
       Memory[EA] = B;
       SetReg(I.Rd, 1);
+      ++Counters.Stores;
       for (ExecutionObserver *O : Observers)
         O->onStore(Ctx, EA, B);
     } else {
@@ -415,6 +434,7 @@ void Machine::execute() {
   case Opcode::Bnez: {
     bool Taken = (I.Op == Opcode::Beqz) ? (A == 0) : (A != 0);
     uint32_t Target = Taken ? static_cast<uint32_t>(I.Imm) : Pc + 1;
+    ++Counters.Branches;
     for (ExecutionObserver *O : Observers)
       O->onBranch(Ctx, Taken, Target);
     T.Pc = Target;
@@ -422,6 +442,7 @@ void Machine::execute() {
   }
   case Opcode::Jmp: {
     uint32_t Target = static_cast<uint32_t>(I.Imm);
+    ++Counters.Branches;
     for (ExecutionObserver *O : Observers)
       O->onBranch(Ctx, true, Target);
     T.Pc = Target;
@@ -439,11 +460,13 @@ void Machine::execute() {
     }
     if (Owner >= 0) {
       // Contended: block; the step is consumed (a spin on the lock).
+      ++Counters.LockSpins;
       T.State = ThreadState::Blocked;
       MutexWaiters[M].push_back(CurThread);
       return;
     }
     MutexOwner[M] = static_cast<int32_t>(CurThread);
+    ++Counters.LockAcquires;
     for (ExecutionObserver *O : Observers)
       O->onLock(Ctx, M);
     T.Pc = Pc + 1;
@@ -465,6 +488,7 @@ void Machine::execute() {
       if (Threads[W].State == ThreadState::Blocked)
         Threads[W].State = ThreadState::Ready;
     MutexWaiters[M].clear();
+    ++Counters.Unlocks;
     for (ExecutionObserver *O : Observers)
       O->onUnlock(Ctx, M);
     T.Pc = Pc + 1;
@@ -519,6 +543,7 @@ Checkpoint Machine::checkpoint() const {
   C.Migration = Migration;
   C.CpuBinding = CpuBinding;
   C.Steps = Steps;
+  C.Counters = Counters;
   C.CurThread = CurThread;
   C.SliceLeft = SliceLeft;
   C.NumErrors = Errors.size();
@@ -541,6 +566,7 @@ void Machine::restore(const Checkpoint &C) {
   Migration = C.Migration;
   CpuBinding = C.CpuBinding;
   Steps = C.Steps;
+  Counters = C.Counters;
   CurThread = C.CurThread;
   SliceLeft = C.SliceLeft;
   Errors.resize(C.NumErrors);

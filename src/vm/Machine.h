@@ -32,6 +32,10 @@
 #include <vector>
 
 namespace svd {
+namespace obs {
+class Registry;
+} // namespace obs
+
 namespace vm {
 
 /// Why a run loop stopped.
@@ -71,6 +75,22 @@ struct MachineConfig {
   uint64_t MigrationInterval = 0;
 };
 
+/// Always-on execution counters, maintained by the interpreter at event
+/// granularity (plain field increments on paths that already branch per
+/// opcode, so the cost is noise). All values are deterministic: they
+/// are pure functions of (program, MachineConfig), independent of
+/// wall-clock time and host scheduling.
+struct ExecCounters {
+  uint64_t Loads = 0;         ///< load events (Ld + the Cas read)
+  uint64_t Stores = 0;        ///< store events (St + successful Cas)
+  uint64_t Alu = 0;           ///< register-only instructions
+  uint64_t Branches = 0;      ///< Beqz/Bnez/Jmp
+  uint64_t LockAcquires = 0;  ///< successful mutex acquisitions
+  uint64_t LockSpins = 0;     ///< steps burned blocking on a held mutex
+  uint64_t Unlocks = 0;       ///< mutex releases
+  uint64_t ProgramErrors = 0; ///< failed asserts and runtime faults
+};
+
 /// One recorded program error (failed assert or runtime fault).
 struct ProgramError {
   uint64_t Seq = 0;
@@ -106,6 +126,7 @@ struct Checkpoint {
   support::Xoshiro256 Migration{0};
   std::vector<uint32_t> CpuBinding;
   uint64_t Steps = 0;
+  ExecCounters Counters;
   isa::ThreadId CurThread = 0;
   uint32_t SliceLeft = 0;
   size_t NumErrors = 0;
@@ -158,6 +179,13 @@ public:
   // --- state inspection -------------------------------------------------
   const isa::Program &program() const { return Prog; }
   uint64_t steps() const { return Steps; }
+  /// Deterministic per-run event counts (see ExecCounters).
+  const ExecCounters &counters() const { return Counters; }
+  /// Adds this run's counters (instructions, loads, stores, ...) to
+  /// \p R under the "vm." prefix — the Machine half of the obs layer
+  /// (obs/Obs.h). Typically called once after run(); safe to share one
+  /// registry across machines running on different threads.
+  void exportStats(obs::Registry &R) const;
   bool finished() const;
   ThreadState threadState(isa::ThreadId Tid) const {
     return Threads[Tid].State;
@@ -232,6 +260,7 @@ private:
   /// Current thread-to-CPU binding (identity when NumCpus == 0).
   std::vector<uint32_t> CpuBinding;
   uint64_t Steps = 0;
+  ExecCounters Counters;
   isa::ThreadId CurThread = 0;
   uint32_t SliceLeft = 0;
   std::vector<ProgramError> Errors;

@@ -65,6 +65,39 @@ TEST(Harness, SvdDetectsApacheBugOnManifestingSeed) {
   EXPECT_TRUE(FoundManifestingSeed);
 }
 
+TEST(Harness, MachineConfigForIsTheOneDerivation) {
+  SampleConfig C;
+  C.Seed = 42;
+  C.MinTimeslice = 3;
+  C.MaxTimeslice = 9;
+  C.MaxSteps = 1234;
+  vm::MachineConfig MC = machineConfigFor(C);
+  EXPECT_EQ(MC.SchedSeed, 42u);
+  EXPECT_EQ(MC.RndSeed, 42u ^ RndSeedSalt);
+  EXPECT_EQ(MC.MinTimeslice, 3u);
+  EXPECT_EQ(MC.MaxTimeslice, 9u);
+  EXPECT_EQ(MC.MaxSteps, 1234u);
+}
+
+TEST(Harness, SuitePathAndDirectMachineAgreeOnSteps) {
+  // The pre-PR-4 table1 bench built a bare default-configured Machine
+  // (SchedSeed 1, default RndSeed) while the suite path derived its
+  // config inside runSample — same "seed 1" caption, different
+  // instruction counts. machineConfigFor is now the one derivation: a
+  // Machine built directly from it must replay runSample's execution
+  // step-for-step.
+  WorkloadParams P;
+  P.Threads = 2;
+  P.Iterations = 10;
+  Workload W = workloads::pgsqlOltp(P);
+  SampleConfig C;
+  C.Seed = 1;
+  SampleMetrics M = runSample(W, "none", C);
+  vm::Machine Direct(W.Program, machineConfigFor(C));
+  Direct.run();
+  EXPECT_EQ(Direct.steps(), M.Steps);
+}
+
 TEST(Harness, SameSeedSameStepsAcrossDetectors) {
   WorkloadParams P;
   P.Threads = 2;

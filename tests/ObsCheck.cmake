@@ -1,0 +1,70 @@
+# End-to-end check of svd-bench's observability outputs. Runs the suite
+# twice (--jobs 1 and --jobs 4) with --metrics-json and --trace-out,
+# validates every emitted file with svd-json-check, then compares the
+# *deterministic prefix* of the metrics documents — everything up to the
+# '"timings"' line (metricsJson emits one entry per line with "timings"
+# last, exactly so this cut works):
+#
+#   * jobs 1 vs jobs 4 prefixes must be byte-identical (the counter
+#     half of the registry respects the runner's determinism contract);
+#   * the jobs-1 prefix must match the pinned golden counters file,
+#     so instruction/CU/report totals cannot drift silently.
+#
+# Timing stats and the whole trace file are wall-clock and only checked
+# for well-formedness. Invoke with:
+#
+#   cmake -DBENCH=<svd-bench> -DCHECK=<svd-json-check> -DSUITE=<name>
+#         -DGOLDEN=<counters-prefix-file> -DOUTDIR=<scratch-dir>
+#         -P ObsCheck.cmake
+
+file(MAKE_DIRECTORY "${OUTDIR}")
+
+# Cuts ${DOC} down to the lines before the '"timings"' key and stores
+# the result (newline-joined) in ${OUTVAR}.
+function(deterministic_prefix DOC OUTVAR)
+  string(REPLACE "\n" ";" LINES "${DOC}")
+  set(PREFIX "")
+  foreach(LINE IN LISTS LINES)
+    if(LINE MATCHES "\"timings\"")
+      break()
+    endif()
+    string(APPEND PREFIX "${LINE}\n")
+  endforeach()
+  set(${OUTVAR} "${PREFIX}" PARENT_SCOPE)
+endfunction()
+
+foreach(JOBS 1 4)
+  set(METRICS "${OUTDIR}/metrics_j${JOBS}.json")
+  set(TRACE "${OUTDIR}/trace_j${JOBS}.json")
+  execute_process(COMMAND "${BENCH}" --suite "${SUITE}" --jobs ${JOBS}
+                          --metrics-json "${METRICS}" --trace-out "${TRACE}"
+                  OUTPUT_QUIET
+                  RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "svd-bench --suite ${SUITE} --jobs ${JOBS} exited ${RC}")
+  endif()
+  execute_process(COMMAND "${CHECK}" "${METRICS}" "${TRACE}"
+                  OUTPUT_QUIET
+                  RESULT_VARIABLE RC)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "svd-json-check rejected the --jobs ${JOBS} output")
+  endif()
+endforeach()
+
+file(READ "${OUTDIR}/metrics_j1.json" DOC_1)
+file(READ "${OUTDIR}/metrics_j4.json" DOC_4)
+deterministic_prefix("${DOC_1}" PREFIX_1)
+deterministic_prefix("${DOC_4}" PREFIX_4)
+
+if(NOT PREFIX_1 STREQUAL PREFIX_4)
+  message(FATAL_ERROR "deterministic counters differ between --jobs 1 and "
+                      "--jobs 4:\n---- jobs 1 ----\n${PREFIX_1}\n"
+                      "---- jobs 4 ----\n${PREFIX_4}")
+endif()
+
+file(READ "${GOLDEN}" WANT)
+if(NOT PREFIX_1 STREQUAL WANT)
+  message(FATAL_ERROR "deterministic counters drifted from ${GOLDEN}:\n"
+                      "---- actual ----\n${PREFIX_1}\n"
+                      "---- golden ----\n${WANT}")
+endif()

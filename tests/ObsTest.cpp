@@ -1,0 +1,294 @@
+//===- tests/ObsTest.cpp - Observability subsystem tests ------------------===//
+//
+// Pins the obs contract the rest of the repo depends on: counters are
+// deterministic (bit-identical totals at any --jobs value / completion
+// order), timers are timing-only and excluded from every comparison,
+// and both exporters emit strictly valid JSON.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/ChromeTrace.h"
+#include "obs/Obs.h"
+
+#include "harness/Harness.h"
+#include "harness/Runner.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <thread>
+
+using namespace svd;
+using namespace svd::obs;
+using workloads::Workload;
+using workloads::WorkloadParams;
+
+//===----------------------------------------------------------------------===//
+// Registry / instruments
+//===----------------------------------------------------------------------===//
+
+TEST(Obs, CounterAccumulates) {
+  Registry R;
+  Counter &C = R.counter("x");
+  EXPECT_EQ(C.value(), 0u);
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+  // Same name resolves to the same instrument.
+  EXPECT_EQ(&R.counter("x"), &C);
+  EXPECT_NE(&R.counter("y"), &C);
+}
+
+TEST(Obs, CountersListSortedByName) {
+  Registry R;
+  R.counter("b").add(2);
+  R.counter("a").add(1);
+  R.counter("c").add(3);
+  auto Cs = R.counters();
+  ASSERT_EQ(Cs.size(), 3u);
+  EXPECT_EQ(Cs[0].first, "a");
+  EXPECT_EQ(Cs[1].first, "b");
+  EXPECT_EQ(Cs[2].first, "c");
+  EXPECT_EQ(Cs[1].second, 2u);
+}
+
+TEST(Obs, TimerStatTracksMoments) {
+  Registry R;
+  TimerStat &T = R.timer("t");
+  EXPECT_EQ(T.snapshot().Count, 0u);
+  T.recordNs(10);
+  T.recordNs(30);
+  T.recordNs(20);
+  TimerStat::Snapshot S = T.snapshot();
+  EXPECT_EQ(S.Count, 3u);
+  EXPECT_EQ(S.TotalNs, 60u);
+  EXPECT_EQ(S.MinNs, 10u);
+  EXPECT_EQ(S.MaxNs, 30u);
+}
+
+TEST(Obs, ScopedTimerRecordsOneSpan) {
+  Registry R;
+  TimerStat &T = R.timer("span");
+  { ScopedTimer S(&T); }
+  EXPECT_EQ(T.snapshot().Count, 1u);
+  { ScopedTimer S(nullptr); } // null target: no-op, no crash
+  EXPECT_EQ(T.snapshot().Count, 1u);
+}
+
+TEST(Obs, ConcurrentAddsSumExactly) {
+  Registry R;
+  const int Threads = 8, PerThread = 10000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&R] {
+      // Mix cached-reference and by-name adds, plus timer traffic, so
+      // insertion races with lookup.
+      Counter &C = R.counter("hot");
+      for (int I = 0; I < PerThread; ++I) {
+        C.add();
+        R.counter("cold").add(2);
+        R.timer("t").recordNs(1);
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(R.counter("hot").value(), uint64_t(Threads) * PerThread);
+  EXPECT_EQ(R.counter("cold").value(), uint64_t(Threads) * PerThread * 2);
+  EXPECT_EQ(R.timer("t").snapshot().Count, uint64_t(Threads) * PerThread);
+}
+
+//===----------------------------------------------------------------------===//
+// metricsJson
+//===----------------------------------------------------------------------===//
+
+TEST(Obs, MetricsJsonIsValidAndOrdered) {
+  Registry R;
+  R.counter("vm.instructions").add(123);
+  R.counter("detect.svd.reports").add(4);
+  R.timer("runner.total").recordNs(5000);
+  std::string Doc = metricsJson(R);
+  std::string Err;
+  EXPECT_TRUE(support::jsonValidate(Doc, &Err)) << Err << "\n" << Doc;
+  EXPECT_NE(Doc.find("\"schema\": \"svd-metrics-v1\""), std::string::npos);
+  // Counters sorted, and the "timings" key strictly after every counter
+  // — the deterministic-prefix cut ObsCheck.cmake relies on.
+  size_t A = Doc.find("detect.svd.reports");
+  size_t B = Doc.find("vm.instructions");
+  size_t T = Doc.find("\"timings\"");
+  ASSERT_NE(A, std::string::npos);
+  ASSERT_NE(B, std::string::npos);
+  ASSERT_NE(T, std::string::npos);
+  EXPECT_LT(A, B);
+  EXPECT_LT(B, T);
+  EXPECT_NE(Doc.find("\"total_ns\""), std::string::npos);
+}
+
+TEST(Obs, MetricsJsonEmptyRegistryStillValidates) {
+  Registry R;
+  std::string Doc = metricsJson(R);
+  std::string Err;
+  EXPECT_TRUE(support::jsonValidate(Doc, &Err)) << Err << "\n" << Doc;
+}
+
+//===----------------------------------------------------------------------===//
+// Chrome trace export
+//===----------------------------------------------------------------------===//
+
+TEST(Obs, ChromeTraceJsonValidatesAndCarriesSpans) {
+  TraceCollector T;
+  TraceSpan S;
+  S.Name = "w/svd/s1";
+  S.Cat = "sample";
+  S.Track = 1;
+  S.StartNs = 1500;
+  S.DurNs = 2500;
+  S.Args = {{"seed", "1"}, {"workload", "\"w\""}};
+  T.add(S);
+  T.nameTrack(1, "worker 1");
+  std::string Doc = T.chromeTraceJson();
+  std::string Err;
+  EXPECT_TRUE(support::jsonValidate(Doc, &Err)) << Err << "\n" << Doc;
+  EXPECT_NE(Doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(Doc.find("w/svd/s1"), std::string::npos);
+  // ts/dur are microseconds with the ns remainder as fraction.
+  EXPECT_NE(Doc.find("\"ts\":1.500"), std::string::npos) << Doc;
+  EXPECT_NE(Doc.find("\"dur\":2.500"), std::string::npos) << Doc;
+}
+
+TEST(Obs, ChromeTraceSortsSlicesByStart) {
+  TraceCollector T;
+  TraceSpan Late, Early;
+  Late.Name = "late";
+  Late.StartNs = 9000;
+  Early.Name = "early";
+  Early.StartNs = 1000;
+  T.add(Late);
+  T.add(Early);
+  std::string Doc = T.chromeTraceJson();
+  EXPECT_LT(Doc.find("early"), Doc.find("late"));
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end: runner fills the registry jobs-invariantly
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs the same spec mix at the given jobs/shuffle and returns the
+/// counter half of the registry.
+std::map<std::string, uint64_t>
+runCounters(const std::vector<harness::SampleSpec> &Specs, unsigned Jobs,
+            uint64_t Shuffle, obs::TraceCollector *Trace = nullptr) {
+  Registry R;
+  harness::RunnerConfig RC;
+  RC.Jobs = Jobs;
+  RC.PickupShuffleSeed = Shuffle;
+  RC.Obs = &R;
+  RC.Trace = Trace;
+  harness::ParallelRunner(RC).run(Specs);
+  std::map<std::string, uint64_t> Out;
+  for (const auto &KV : R.counters())
+    Out.insert(KV);
+  return Out;
+}
+
+std::vector<harness::SampleSpec> specMix(const Workload &Apache,
+                                         const Workload &Pgsql) {
+  std::vector<harness::SampleSpec> Specs;
+  for (const Workload *W : {&Apache, &Pgsql})
+    for (uint64_t Seed = 1; Seed <= 4; ++Seed)
+      for (const char *Det : {"svd", "frd"}) {
+        harness::SampleSpec S;
+        S.Workload = W;
+        S.Detector = Det;
+        S.Config.Seed = Seed;
+        Specs.push_back(S);
+      }
+  return Specs;
+}
+
+} // namespace
+
+TEST(Obs, RunnerCountersAreJobsInvariant) {
+  WorkloadParams P;
+  P.Threads = 4;
+  P.Iterations = 15;
+  Workload Apache = workloads::apacheLog(P);
+  Workload Pgsql = workloads::pgsqlOltp(P);
+  std::vector<harness::SampleSpec> Specs = specMix(Apache, Pgsql);
+
+  std::map<std::string, uint64_t> Serial = runCounters(Specs, 1, 0);
+  // The sweep must actually have counted things.
+  EXPECT_GT(Serial.at("harness.samples"), 0u);
+  EXPECT_GT(Serial.at("vm.instructions"), 0u);
+  EXPECT_GT(Serial.at("vm.loads"), 0u);
+  EXPECT_GT(Serial.at("vm.lock_acquires"), 0u);
+  EXPECT_GT(Serial.at("detect.svd.events"), 0u);
+  EXPECT_GT(Serial.at("detect.frd.events"), 0u);
+
+  // Deterministic counters: identical map (names AND values) for every
+  // jobs value and completion order. Timers are intentionally NOT
+  // compared — they are wall-clock.
+  for (uint64_t Shuffle : {0ull, 7ull, 0xBEEFull}) {
+    std::map<std::string, uint64_t> Par = runCounters(Specs, 4, Shuffle);
+    EXPECT_EQ(Serial, Par) << "jobs 4, shuffle " << Shuffle;
+  }
+}
+
+TEST(Obs, RunnerEmitsOneSlicePerSamplePlusAggregate) {
+  WorkloadParams P;
+  P.Threads = 2;
+  P.Iterations = 5;
+  Workload Pgsql = workloads::pgsqlOltp(P);
+  std::vector<harness::SampleSpec> Specs;
+  for (uint64_t Seed = 1; Seed <= 3; ++Seed) {
+    harness::SampleSpec S;
+    S.Workload = &Pgsql;
+    S.Detector = "none";
+    S.Config.Seed = Seed;
+    Specs.push_back(S);
+  }
+  TraceCollector T;
+  runCounters(Specs, 2, 0, &T);
+  std::vector<TraceSpan> Spans = T.spans();
+  ASSERT_EQ(Spans.size(), Specs.size() + 1); // + aggregate on track 0
+  size_t Samples = 0, Aggregates = 0;
+  for (const TraceSpan &S : Spans) {
+    if (S.Cat == "sample") {
+      ++Samples;
+      EXPECT_GE(S.Track, 1u); // workers own tracks 1..N
+    } else {
+      ++Aggregates;
+      EXPECT_EQ(S.Track, 0u);
+      EXPECT_EQ(S.Cat, "runner");
+    }
+  }
+  EXPECT_EQ(Samples, Specs.size());
+  EXPECT_EQ(Aggregates, 1u);
+  std::string Err;
+  EXPECT_TRUE(support::jsonValidate(T.chromeTraceJson(), &Err)) << Err;
+}
+
+TEST(Obs, SampleCountersMatchSampleMetrics) {
+  WorkloadParams P;
+  P.Threads = 2;
+  P.Iterations = 10;
+  Workload Pgsql = workloads::pgsqlOltp(P);
+  Registry R;
+  harness::SampleConfig C;
+  C.Seed = 3;
+  C.Obs = &R;
+  harness::SampleMetrics M = harness::runSample(Pgsql, "svd", C);
+  // One sample: the registry totals are exactly that sample's counts.
+  EXPECT_EQ(R.counter("harness.samples").value(), 1u);
+  EXPECT_EQ(R.counter("vm.instructions").value(), M.Steps);
+  EXPECT_EQ(R.counter("detect.svd.reports").value(), M.DynamicReports);
+  EXPECT_EQ(R.counter("detect.svd.cus_formed").value(), M.CusFormed);
+  EXPECT_EQ(R.counter("detect.svd.log_entries").value(), M.LogEntries);
+  // Timing spans recorded but deliberately outside the counter set.
+  EXPECT_EQ(R.timer("harness.sample.detector_run").snapshot().Count, 1u);
+}

@@ -239,3 +239,117 @@ TEST(Cli, ExitCodesAreTheToolConvention) {
   EXPECT_EQ(ExitFindings, 1);
   EXPECT_EQ(ExitUsage, 2);
 }
+
+//===----------------------------------------------------------------------===//
+// ArgParser numeric validation (the pre-PR-4 parser accepted "99zz" as
+// 99 and silently truncated uint32_t values; these pin the hardened
+// behavior).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Parses "--seed <Value>" against a fresh uint64_t option; returns the
+/// parser so callers can inspect error().
+bool parseSeed(const char *Value, uint64_t &Seed, std::string &Error) {
+  ArgParser P("usage\n");
+  P.value("--seed", &Seed);
+  const char *Argv[] = {"tool", "--seed", Value};
+  bool Ok = P.parse(3, Argv);
+  Error = P.error();
+  return Ok;
+}
+
+} // namespace
+
+TEST(Cli, NonNumericValueFailsWithDiagnostic) {
+  uint64_t Seed = 7;
+  std::string Err;
+  EXPECT_FALSE(parseSeed("zz", Seed, Err));
+  EXPECT_NE(Err.find("--seed"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("zz"), std::string::npos) << Err;
+  EXPECT_EQ(Seed, 7u); // target untouched on failure
+}
+
+TEST(Cli, TrailingGarbageFailsInsteadOfTruncating) {
+  uint64_t Seed = 7;
+  std::string Err;
+  EXPECT_FALSE(parseSeed("99zz", Seed, Err));
+  EXPECT_NE(Err.find("99zz"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("--seed"), std::string::npos) << Err;
+  EXPECT_EQ(Seed, 7u);
+}
+
+TEST(Cli, SignsAndEmptyValuesAreRejected) {
+  uint64_t Seed = 7;
+  std::string Err;
+  EXPECT_FALSE(parseSeed("-1", Seed, Err));
+  EXPECT_FALSE(parseSeed("+1", Seed, Err));
+  EXPECT_FALSE(parseSeed("", Seed, Err));
+  EXPECT_FALSE(parseSeed(" 1", Seed, Err));
+  EXPECT_EQ(Seed, 7u);
+}
+
+TEST(Cli, OutOfRangeUint64Fails) {
+  uint64_t Seed = 7;
+  std::string Err;
+  // 2^64 = 18446744073709551616 overflows uint64_t.
+  EXPECT_FALSE(parseSeed("18446744073709551616", Seed, Err));
+  EXPECT_NE(Err.find("out of range"), std::string::npos) << Err;
+  // UINT64_MAX itself is fine.
+  EXPECT_TRUE(parseSeed("18446744073709551615", Seed, Err));
+  EXPECT_EQ(Seed, UINT64_MAX);
+}
+
+TEST(Cli, Uint32OverloadRejectsValuesAboveUint32MaxInsteadOfTruncating) {
+  uint32_t Jobs = 7;
+  ArgParser P("usage\n");
+  P.value("--jobs", &Jobs);
+  // 2^32 truncates to 0 under the old static_cast; now it must fail.
+  const char *Argv[] = {"tool", "--jobs", "4294967296"};
+  EXPECT_FALSE(P.parse(3, Argv));
+  EXPECT_NE(P.error().find("--jobs"), std::string::npos) << P.error();
+  EXPECT_NE(P.error().find("out of range"), std::string::npos) << P.error();
+  EXPECT_EQ(Jobs, 7u);
+
+  ArgParser Q("usage\n");
+  Q.value("--jobs", &Jobs);
+  const char *Argv2[] = {"tool", "--jobs", "4294967295"};
+  EXPECT_TRUE(Q.parse(3, Argv2));
+  EXPECT_EQ(Jobs, UINT32_MAX);
+}
+
+TEST(Cli, HexAndOctalPrefixesStillParse) {
+  uint64_t Seed = 0;
+  std::string Err;
+  EXPECT_TRUE(parseSeed("0xFF", Seed, Err));
+  EXPECT_EQ(Seed, 255u);
+  EXPECT_TRUE(parseSeed("010", Seed, Err));
+  EXPECT_EQ(Seed, 8u); // base 0: leading zero is octal
+  EXPECT_FALSE(parseSeed("0x", Seed, Err)) << "bare 0x has no digits";
+}
+
+TEST(Cli, MissingValueDiagnosticNamesTheOption) {
+  uint64_t Seed = 0;
+  ArgParser P("usage\n");
+  P.value("--seed", &Seed);
+  const char *Argv[] = {"tool", "--seed"};
+  EXPECT_FALSE(P.parse(2, Argv));
+  EXPECT_NE(P.error().find("--seed"), std::string::npos) << P.error();
+  EXPECT_NE(P.error().find("requires a value"), std::string::npos)
+      << P.error();
+}
+
+TEST(Cli, UnknownOptionDiagnosticNamesTheOffender) {
+  ArgParser P("usage\n");
+  const char *Argv[] = {"tool", "--bogus"};
+  EXPECT_FALSE(P.parse(2, Argv));
+  EXPECT_NE(P.error().find("--bogus"), std::string::npos) << P.error();
+}
+
+TEST(Cli, ErrorIsEmptyBeforeAnyFailure) {
+  ArgParser P("usage\n");
+  EXPECT_TRUE(P.error().empty());
+  const char *Argv[] = {"tool", "pos"};
+  ASSERT_TRUE(P.parse(2, Argv));
+  EXPECT_TRUE(P.error().empty());
+}

@@ -4,18 +4,27 @@
 // fanning execution samples across a thread pool:
 //
 //   svd-bench --suite NAME [--jobs N] [--seeds N] [--json]
+//             [--metrics-json FILE] [--trace-out FILE]
 //   svd-bench --list
 //
 // Output is bit-identical for every --jobs value (the runner collects
 // samples in submission order), and --json output carries no timing or
-// thread-count fields, so `--jobs 1` and `--jobs N` diff clean.
+// thread-count fields, so `--jobs 1` and `--jobs N` diff clean. The
+// same invariant holds for the "counters" section of --metrics-json;
+// its "timings" section and the whole --trace-out file are wall-clock
+// and excluded from comparisons (DESIGN.md section 10).
 //
-// Exit status: 0 on success, 2 on usage errors or an unknown suite.
+// Exit status: 0 on success, 2 on usage errors, an unknown suite, or an
+// unwritable output file.
 //
 //===----------------------------------------------------------------------===//
 
 #include "harness/Suites.h"
+#include "obs/ChromeTrace.h"
+#include "obs/Obs.h"
 #include "support/Cli.h"
+#include "support/Error.h"
+#include "support/Json.h"
 
 #include <cstdio>
 #include <string>
@@ -27,18 +36,40 @@ namespace {
 const char *Usage =
     "usage: svd-bench --suite NAME [options]\n"
     "       svd-bench --list\n"
-    "  --suite NAME  suite to run (see --list)\n"
-    "  --jobs N      worker threads for the sample fan-out\n"
-    "                (default 1; 0 = all hardware threads)\n"
-    "  --seeds N     seeds per table row (default: the suite's\n"
-    "                paper-default count)\n"
-    "  --json        emit a JSON document instead of the text tables\n"
-    "  --list        list the available suites\n";
+    "  --suite NAME         suite to run (see --list)\n"
+    "  --jobs N             worker threads for the sample fan-out\n"
+    "                       (default 1; 0 = all hardware threads)\n"
+    "  --seeds N            seeds per table row (default: the suite's\n"
+    "                       paper-default count)\n"
+    "  --json               emit a JSON document instead of the text tables\n"
+    "  --metrics-json FILE  write the obs registry (deterministic counters\n"
+    "                       + timing stats) as svd-metrics-v1 JSON\n"
+    "  --trace-out FILE     write a Chrome trace_event JSON of the run\n"
+    "                       (open in chrome://tracing or Perfetto)\n"
+    "  --list               list the available suites\n";
+
+/// Writes \p Content to \p Path after asserting it is valid JSON (both
+/// exporters promise well-formed documents; a failure here is a bug,
+/// not user error). Returns false when the file cannot be written.
+bool writeJsonFile(const std::string &Path, const std::string &Content) {
+  std::string Err;
+  if (!support::jsonValidate(Content, &Err))
+    support::fatalError("internal error: emitted invalid JSON for '" + Path +
+                        "': " + Err);
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    std::fprintf(stderr, "cannot write '%s'\n", Path.c_str());
+    return false;
+  }
+  std::fwrite(Content.data(), 1, Content.size(), F);
+  std::fclose(F);
+  return true;
+}
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  std::string SuiteName;
+  std::string SuiteName, MetricsPath, TracePath;
   bool List = false;
   harness::SuiteOptions O;
   uint32_t Jobs = 1, Seeds = 0;
@@ -49,6 +80,8 @@ int main(int Argc, char **Argv) {
   P.value("--seeds", &Seeds);
   P.flag("--json", &O.Json);
   P.flag("--list", &List);
+  P.value("--metrics-json", &MetricsPath);
+  P.value("--trace-out", &TracePath);
   if (!P.parse(Argc, Argv) || !P.positional().empty())
     return P.usageError();
 
@@ -66,7 +99,22 @@ int main(int Argc, char **Argv) {
     return P.usageError();
   }
 
+  obs::Registry Registry;
+  obs::TraceCollector Trace;
   O.Jobs = Jobs;
   O.Seeds = Seeds;
-  return S->Run(O);
+  if (!MetricsPath.empty())
+    O.Obs = &Registry;
+  if (!TracePath.empty())
+    O.Trace = &Trace;
+
+  int Rc = S->Run(O);
+
+  if (!MetricsPath.empty() &&
+      !writeJsonFile(MetricsPath, obs::metricsJson(Registry)))
+    return support::ExitUsage;
+  if (!TracePath.empty() &&
+      !writeJsonFile(TracePath, Trace.chromeTraceJson()))
+    return support::ExitUsage;
+  return Rc;
 }

@@ -1,0 +1,67 @@
+//===- tools/svd_json_check.cpp - JSON well-formedness checker ------------===//
+//
+// Validates that each file named on the command line is exactly one
+// well-formed JSON document (support::jsonValidate, strict RFC 8259).
+// CI runs it over svd-bench's --metrics-json and --trace-out output so
+// a malformed exporter fails the build rather than silently producing a
+// file Perfetto rejects.
+//
+//   svd-json-check FILE...
+//
+// Exit status: 0 when every file validates, 2 on an unreadable or
+// invalid file (diagnostic names the file and byte offset).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Cli.h"
+#include "support/Json.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace svd;
+
+namespace {
+
+const char *Usage = "usage: svd-json-check FILE...\n"
+                    "  validates each FILE as one strict JSON document\n";
+
+/// Reads \p Path into \p Out; false (with a diagnostic) when unreadable.
+bool readFile(const std::string &Path, std::string &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    std::fprintf(stderr, "cannot read '%s'\n", Path.c_str());
+    return false;
+  }
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Out.append(Buf, N);
+  std::fclose(F);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  support::ArgParser P(Usage);
+  if (!P.parse(Argc, Argv) || P.positional().empty())
+    return P.usageError();
+
+  int Rc = support::ExitClean;
+  for (const std::string &Path : P.positional()) {
+    std::string Content, Err;
+    if (!readFile(Path, Content)) {
+      Rc = support::ExitUsage;
+      continue;
+    }
+    if (!support::jsonValidate(Content, &Err)) {
+      std::fprintf(stderr, "%s: invalid JSON: %s\n", Path.c_str(),
+                   Err.c_str());
+      Rc = support::ExitUsage;
+      continue;
+    }
+    std::printf("%s: ok (%zu bytes)\n", Path.c_str(), Content.size());
+  }
+  return Rc;
+}
