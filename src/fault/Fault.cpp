@@ -1,0 +1,186 @@
+//===- fault/Fault.cpp ----------------------------------------------------===//
+
+#include "fault/Fault.h"
+
+#include "support/StringUtils.h"
+
+using namespace svd;
+using namespace svd::fault;
+
+// Stream tags keep the decision classes statistically independent even
+// at the same (step, thread) coordinate.
+namespace {
+enum Stream : uint32_t {
+  StreamStall = 1,
+  StreamLockFail = 2,
+  StreamPreempt = 3,
+  StreamCorruptPick = 4,
+  StreamCorruptKind = 5,
+};
+
+/// SplitMix64 finalizer: a strong 64-bit mixer with no state, so fault
+/// decisions are pure functions of their coordinates.
+uint64_t mix64(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+} // namespace
+
+std::string FaultPlanConfig::describe() const {
+  std::string S = Name + ":";
+  if (StallRatePerMyriad)
+    S += support::formatString(" stall=%u/10k", StallRatePerMyriad);
+  if (LockFailRatePerMyriad)
+    S += support::formatString(" lockfail=%u/10k", LockFailRatePerMyriad);
+  if (PreemptBurstEvery)
+    S += support::formatString(
+        " preempt-burst=%llu/%llu",
+        static_cast<unsigned long long>(PreemptBurstLen),
+        static_cast<unsigned long long>(PreemptBurstEvery));
+  if (CrashAtStep)
+    S += support::formatString(" crash-at=%llu",
+                               static_cast<unsigned long long>(CrashAtStep));
+  if (TraceTruncateAt)
+    S += support::formatString(
+        " trace-truncate=%llu",
+        static_cast<unsigned long long>(TraceTruncateAt));
+  if (TraceCorruptRatePerMyriad)
+    S += support::formatString(" trace-corrupt=%u/10k",
+                               TraceCorruptRatePerMyriad);
+  if (DetectorEntryBudget)
+    S += support::formatString(
+        " detector-budget=%llu",
+        static_cast<unsigned long long>(DetectorEntryBudget));
+  if (S.back() == ':')
+    S += " (fault-free)";
+  return S;
+}
+
+FaultPlan::FaultPlan(const FaultPlanConfig &C, uint64_t SampleSeed)
+    : Cfg(C), Mix(mix64(C.PlanSeed) ^ mix64(SampleSeed * 0x632be59bd9b4e019ULL +
+                                            0x9e3779b97f4a7c15ULL)) {}
+
+bool FaultPlan::decide(uint32_t Stream, uint64_t Step, uint64_t Extra,
+                       uint32_t RatePerMyriad) const {
+  if (RatePerMyriad == 0)
+    return false;
+  uint64_t H = mix64(Mix ^ mix64(Step) ^
+                     mix64((static_cast<uint64_t>(Stream) << 32) | Extra));
+  return H % 10000 < RatePerMyriad;
+}
+
+bool FaultPlan::stallThread(uint64_t Step, isa::ThreadId Tid) const {
+  if (Cfg.CrashAtStep != 0 && Step == Cfg.CrashAtStep)
+    throw InjectedCrash(support::formatString(
+        "injected crash at step %llu (plan '%s')",
+        static_cast<unsigned long long>(Step), Cfg.Name.c_str()));
+  return decide(StreamStall, Step, Tid, Cfg.StallRatePerMyriad);
+}
+
+bool FaultPlan::failLockAcquire(uint64_t Step, isa::ThreadId Tid,
+                                uint32_t MutexId) const {
+  return decide(StreamLockFail, Step,
+                (static_cast<uint64_t>(MutexId) << 16) ^ Tid,
+                Cfg.LockFailRatePerMyriad);
+}
+
+bool FaultPlan::forcePreempt(uint64_t Step, isa::ThreadId Tid) const {
+  (void)Tid;
+  if (Cfg.PreemptBurstEvery == 0 || Cfg.PreemptBurstLen == 0)
+    return false;
+  // Bursts occupy the first PreemptBurstLen steps of every
+  // PreemptBurstEvery-step window: a pure function of Step alone.
+  return Step % Cfg.PreemptBurstEvery < Cfg.PreemptBurstLen;
+}
+
+trace::ProgramTrace
+FaultPlan::corruptedCopy(const trace::ProgramTrace &T,
+                         uint64_t &CorruptCount) const {
+  CorruptCount = 0;
+  trace::ProgramTrace Out(T.program());
+  for (size_t I = 0; I < T.size(); ++I) {
+    if (Cfg.TraceTruncateAt != 0 && I >= Cfg.TraceTruncateAt) {
+      CorruptCount += T.size() - I;
+      break;
+    }
+    trace::TraceEvent E = T[I];
+    if (decide(StreamCorruptPick, I, E.Tid, Cfg.TraceCorruptRatePerMyriad)) {
+      ++CorruptCount;
+      switch (mix64(Mix ^ mix64(I) ^ StreamCorruptKind) % 4) {
+      case 0:
+        E.Tid = T.numThreads() + 7; // out-of-range thread id
+        break;
+      case 1:
+        E.Seq = 0; // breaks the nondecreasing-Seq order (except event 0)
+        break;
+      case 2:
+        E.Address = T.program().MemoryWords + 3; // out-of-range address
+        E.Kind = trace::EventKind::Store;
+        break;
+      default:
+        E.Instr = nullptr;
+        break;
+      }
+    }
+    Out.appendUnchecked(E);
+  }
+  return Out;
+}
+
+std::vector<FaultPlanConfig> fault::defaultPlanMatrix(unsigned N) {
+  std::vector<FaultPlanConfig> Presets;
+  {
+    FaultPlanConfig P;
+    P.Name = "preempt-storm";
+    P.PlanSeed = 0xa11ce;
+    P.PreemptBurstEvery = 64;
+    P.PreemptBurstLen = 16;
+    Presets.push_back(P);
+  }
+  {
+    FaultPlanConfig P;
+    P.Name = "stall-lockfail";
+    P.PlanSeed = 0xb0b;
+    P.StallRatePerMyriad = 200;   // 2% of steps stall
+    P.LockFailRatePerMyriad = 500; // 5% of free acquires fail
+    Presets.push_back(P);
+  }
+  {
+    FaultPlanConfig P;
+    P.Name = "trace-mangle";
+    P.PlanSeed = 0xc0ffee;
+    P.TraceCorruptRatePerMyriad = 50; // 0.5% of events mangled
+    P.TraceTruncateAt = 4096;
+    Presets.push_back(P);
+  }
+  {
+    FaultPlanConfig P;
+    P.Name = "state-budget";
+    P.PlanSeed = 0xdead;
+    P.DetectorEntryBudget = 8;
+    Presets.push_back(P);
+  }
+  {
+    FaultPlanConfig P;
+    P.Name = "mid-run-crash";
+    P.PlanSeed = 0xe66;
+    P.CrashAtStep = 257;
+    Presets.push_back(P);
+  }
+
+  std::vector<FaultPlanConfig> Out;
+  Out.reserve(N);
+  for (unsigned I = 0; I < N; ++I) {
+    FaultPlanConfig P = Presets[I % Presets.size()];
+    if (I >= Presets.size()) {
+      // Cycle with re-derived seeds so every plan index is distinct.
+      unsigned Round = I / static_cast<unsigned>(Presets.size());
+      P.PlanSeed = mix64(P.PlanSeed + Round);
+      P.Name += support::formatString("-r%u", Round);
+    }
+    Out.push_back(P);
+  }
+  return Out;
+}

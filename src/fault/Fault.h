@@ -1,0 +1,137 @@
+//===- fault/Fault.h - Deterministic fault plans ----------------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded, replay-stable fault injection for robustness testing of the
+/// sample-execution pipeline. A FaultPlan implements vm::FaultHooks (so
+/// the Machine consults it at scheduling and locking decision points)
+/// and additionally perturbs the *observation* side: it can corrupt or
+/// truncate a recorded trace before the offline detector consumes it,
+/// and it carries a detector state budget that forces the graceful-
+/// degradation paths of svd/Detector.h.
+///
+/// Every decision is a pure function of (PlanSeed ^ SampleSeed, Step,
+/// Tid, stream tag) through a SplitMix64-style finalizer — no mutable
+/// PRNG state. That keeps the repo's two core guarantees intact under
+/// injection: checkpoint/restore re-fires identical faults, and results
+/// are bit-identical at any --jobs level because a plan is immutable
+/// and shareable across worker threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_FAULT_FAULT_H
+#define SVD_FAULT_FAULT_H
+
+#include "trace/Trace.h"
+#include "vm/FaultHooks.h"
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace svd {
+namespace fault {
+
+/// Declarative description of one fault plan. All rates are per-myriad
+/// (x/10000) so plans serialize as integers and stay exact; 0 disables
+/// the corresponding fault class.
+struct FaultPlanConfig {
+  /// Human-readable plan name, used in reports and diagnostics.
+  std::string Name = "none";
+  /// Plan-level seed, mixed with the per-sample seed so the same plan
+  /// perturbs different samples differently but reproducibly.
+  uint64_t PlanSeed = 0;
+  /// Probability (per-myriad) that a scheduled step is burned as a
+  /// stall instead of executing its instruction.
+  uint32_t StallRatePerMyriad = 0;
+  /// Probability (per-myriad) that an uncontended Lock spuriously fails.
+  uint32_t LockFailRatePerMyriad = 0;
+  /// Every PreemptBurstEvery steps, a burst of PreemptBurstLen steps in
+  /// which every timeslice continuation is cut short (a preemption
+  /// storm). 0 disables bursts.
+  uint64_t PreemptBurstEvery = 0;
+  uint64_t PreemptBurstLen = 0;
+  /// When nonzero, the plan throws InjectedCrash from stallThread at
+  /// exactly this step, modeling a detector-pipeline crash mid-sample.
+  uint64_t CrashAtStep = 0;
+  /// When nonzero, corruptedCopy() truncates the trace to this many
+  /// events (a monitor that died mid-recording).
+  uint64_t TraceTruncateAt = 0;
+  /// Probability (per-myriad) that corruptedCopy() mangles an event.
+  uint32_t TraceCorruptRatePerMyriad = 0;
+  /// When nonzero, detectors run under this state-entry budget and must
+  /// degrade gracefully instead of growing without bound (wired through
+  /// detect::DetectorConfig::MaxStateEntries by the caller).
+  uint64_t DetectorEntryBudget = 0;
+
+  /// One-line summary of the active fault classes, for reports.
+  std::string describe() const;
+};
+
+/// Thrown by FaultPlan::stallThread when CrashAtStep fires. Models a
+/// crash inside the monitoring pipeline; the per-sample guard in
+/// harness::ParallelRunner converts it into a Failed outcome without
+/// taking down sibling samples.
+class InjectedCrash : public std::runtime_error {
+public:
+  explicit InjectedCrash(const std::string &What)
+      : std::runtime_error(What) {}
+};
+
+/// An immutable, per-sample instantiation of a FaultPlanConfig. All
+/// hook answers hash (plan seed ^ sample seed, stream, step, extra) —
+/// see the file comment for why this purity matters.
+class FaultPlan final : public vm::FaultHooks {
+public:
+  FaultPlan(const FaultPlanConfig &Cfg, uint64_t SampleSeed);
+
+  const FaultPlanConfig &config() const { return Cfg; }
+
+  // vm::FaultHooks
+  bool stallThread(uint64_t Step, isa::ThreadId Tid) const override;
+  bool failLockAcquire(uint64_t Step, isa::ThreadId Tid,
+                       uint32_t MutexId) const override;
+  bool forcePreempt(uint64_t Step, isa::ThreadId Tid) const override;
+
+  /// True if this plan rewrites traces (corruption or truncation), i.e.
+  /// the offline path must run on corruptedCopy() instead of the
+  /// recorded trace.
+  bool perturbsTrace() const {
+    return Cfg.TraceTruncateAt != 0 || Cfg.TraceCorruptRatePerMyriad != 0;
+  }
+
+  /// Returns a perturbed copy of \p T: events past TraceTruncateAt are
+  /// dropped, and each surviving event is independently mangled with
+  /// probability TraceCorruptRatePerMyriad (out-of-range Tid, reset
+  /// Seq, out-of-range Address, or nulled Instr — chosen by hash).
+  /// \p CorruptCount receives the number of events changed or dropped.
+  /// Deterministic: same plan + sample seed + trace => same copy.
+  trace::ProgramTrace corruptedCopy(const trace::ProgramTrace &T,
+                                    uint64_t &CorruptCount) const;
+
+private:
+  /// Pure decision function: true with probability Rate/10000, keyed on
+  /// (Mix, Stream, Step, Extra).
+  bool decide(uint32_t Stream, uint64_t Step, uint64_t Extra,
+              uint32_t RatePerMyriad) const;
+
+  FaultPlanConfig Cfg;
+  uint64_t Mix = 0; ///< PlanSeed and SampleSeed mixed at construction
+};
+
+/// A canonical matrix of \p N distinct plans for chaos runs (svd-chaos
+/// --plans N). The first presets exercise, in order: a preemption
+/// storm, stalls + spurious lock failures, trace corruption +
+/// truncation, a detector state budget, and a mid-run injected crash.
+/// For N beyond the presets the list cycles with re-derived seeds, so
+/// any N is valid and fully deterministic.
+std::vector<FaultPlanConfig> defaultPlanMatrix(unsigned N);
+
+} // namespace fault
+} // namespace svd
+
+#endif // SVD_FAULT_FAULT_H

@@ -2,6 +2,7 @@
 
 #include "harness/Harness.h"
 
+#include "fault/Fault.h"
 #include "obs/Obs.h"
 #include "race/HappensBefore.h"
 #include "race/Lockset.h"
@@ -87,6 +88,7 @@ vm::MachineConfig harness::machineConfigFor(const SampleConfig &C) {
   MC.MinTimeslice = C.MinTimeslice;
   MC.MaxTimeslice = C.MaxTimeslice;
   MC.MaxSteps = C.MaxSteps;
+  MC.Faults = C.Faults;
   return MC;
 }
 
@@ -106,13 +108,20 @@ SampleMetrics harness::runSample(const Workload &W,
 
   std::unique_ptr<detect::Detector> D =
       detectorRegistry().create(Detector, W.Program, C.Detector.get());
+  if (C.Faults)
+    D->injectFaults(C.Faults);
 
   vm::Machine Machine(W.Program, MC);
   D->attach(Machine);
   auto T0 = std::chrono::steady_clock::now();
-  Machine.run();
+  M.Stop = Machine.run();
   D->finish(Machine);
   M.DetectorSeconds = secondsSince(T0);
+
+  const detect::DetectorHealth &H = D->health();
+  M.DetectorDegraded = H.Degraded;
+  M.DegradedReason = H.Reason;
+  M.DetectorEvictions = H.Evictions;
 
   classify(W, D->reports(), M);
   M.CusFormed = D->numCusFormed();

@@ -39,6 +39,10 @@ namespace obs {
 class Registry;
 } // namespace obs
 
+namespace fault {
+class FaultPlan;
+} // namespace fault
+
 namespace harness {
 
 /// The process-wide detector registry, populated with every built-in
@@ -64,6 +68,11 @@ struct SampleConfig {
   /// machine's and the detector's counters plus its own spans to it.
   /// Not owned; may be shared across concurrently-running samples.
   obs::Registry *Obs = nullptr;
+  /// Deterministic fault plan (fault/Fault.h); null runs fault-free.
+  /// Wired into the Machine (vm::FaultHooks) and offered to the
+  /// detector (Detector::injectFaults). Not owned; a plan is immutable
+  /// and shareable across concurrently-running samples.
+  const fault::FaultPlan *Faults = nullptr;
 };
 
 /// Salt folded into SampleConfig::Seed to derive the `rnd`-stream seed,
@@ -86,6 +95,14 @@ vm::MachineConfig machineConfigFor(const SampleConfig &C);
 /// fields, so concurrent collection into distinct slots is safe.
 struct SampleMetrics {
   uint64_t Steps = 0;  ///< executed instructions
+  /// Why the machine's run loop stopped (AllHalted on clean runs).
+  vm::StopReason Stop = vm::StopReason::AllHalted;
+  /// Detector health after finish() (svd/Detector.h). Degraded means
+  /// the detector hit a resource budget or consumed a perturbed trace;
+  /// its reports may be incomplete but the sample is still usable.
+  bool DetectorDegraded = false;
+  std::string DegradedReason;
+  uint64_t DetectorEvictions = 0;
   bool Manifested = false;       ///< did the known bug manifest?
   bool DetectedBug = false;      ///< any true dynamic report?
   bool LogFoundBug = false;      ///< any true a-posteriori log entry?

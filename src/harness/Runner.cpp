@@ -4,17 +4,33 @@
 
 #include "obs/ChromeTrace.h"
 #include "obs/Obs.h"
-#include "support/Error.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
+#include "svd/HardwareSvd.h"
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
+#include <exception>
 #include <numeric>
 #include <thread>
 
 using namespace svd;
 using namespace svd::harness;
+
+const char *harness::sampleOutcomeName(SampleOutcome O) {
+  switch (O) {
+  case SampleOutcome::Ok:
+    return "ok";
+  case SampleOutcome::Degraded:
+    return "degraded";
+  case SampleOutcome::TimedOut:
+    return "timed-out";
+  case SampleOutcome::Failed:
+    return "failed";
+  }
+  return "unknown";
+}
 
 unsigned harness::resolveJobs(unsigned Jobs) {
   if (Jobs != 0)
@@ -87,6 +103,96 @@ uint64_t elapsedNs(std::chrono::steady_clock::time_point Since) {
           .count());
 }
 
+/// Returns a Failed result with \p Why, leaving the metrics zeroed.
+SampleResult failedSample(const std::string &Why) {
+  SampleResult R;
+  R.Outcome = SampleOutcome::Failed;
+  R.Diagnostic = Why;
+  return R;
+}
+
+/// Rejects specs that would abort inside the sample pipeline (factory
+/// fatalError / detector constructor fatalError), so every malformed
+/// spec degrades into a per-sample diagnostic instead of taking the
+/// whole process down. Returns an empty string when the spec is sound.
+std::string validateSpec(const SampleSpec &S) {
+  if (!S.Workload)
+    return "null workload in sample spec";
+  const detect::DetectorRegistry::Entry *E =
+      detectorRegistry().find(S.Detector);
+  if (!E)
+    return "unknown detector '" + S.Detector + "'";
+  if (S.Config.MinTimeslice == 0 ||
+      S.Config.MaxTimeslice < S.Config.MinTimeslice)
+    return support::formatString(
+        "invalid timeslice range [%u, %u]", S.Config.MinTimeslice,
+        S.Config.MaxTimeslice);
+  const detect::DetectorConfig *DC = S.Config.Detector.get();
+  if (DC && std::strcmp(DC->detectorName(), S.Detector.c_str()) != 0)
+    return std::string("config for detector '") + DC->detectorName() +
+           "' attached to sample running detector '" + S.Detector + "'";
+  if (S.Detector == "hwsvd") {
+    const auto *HC = static_cast<const detect::HardwareSvdDetectorConfig *>(DC);
+    uint32_t NumCpus =
+        HC ? HC->Hw.Cache.NumCpus : detect::HardwareSvdConfig().Cache.NumCpus;
+    uint32_t Threads = S.Workload->Program.numThreads();
+    if (Threads > NumCpus)
+      return support::formatString(
+          "hardware SVD supports at most %u threads, workload has %u",
+          NumCpus, Threads);
+  }
+  return std::string();
+}
+
+/// Runs one pre-validated spec under the guard: exceptions become
+/// Failed, a persistent StepBudget stop becomes TimedOut (after up to
+/// MaxAttempts - 1 escalated retries), degraded detector health becomes
+/// Degraded. Never throws.
+SampleResult guardedSample(const SampleSpec &S, const RunnerConfig &Cfg) {
+  SampleResult R;
+  SampleConfig C = S.Config;
+  uint32_t MaxAttempts = Cfg.MaxAttempts == 0 ? 1 : Cfg.MaxAttempts;
+  for (uint32_t Attempt = 1;; ++Attempt) {
+    R.Attempts = Attempt;
+    try {
+      R.Metrics = runSample(*S.Workload, S.Detector, C);
+    } catch (const std::exception &E) {
+      R.Metrics = SampleMetrics();
+      R.Outcome = SampleOutcome::Failed;
+      R.Diagnostic = E.what();
+      return R;
+    } catch (...) {
+      R.Metrics = SampleMetrics();
+      R.Outcome = SampleOutcome::Failed;
+      R.Diagnostic = "unknown exception escaped sample execution";
+      return R;
+    }
+    if (R.Metrics.Stop != vm::StopReason::StepBudget ||
+        Attempt >= MaxAttempts)
+      break;
+    // Escalate the budget and re-run; the retry decision depends only
+    // on the deterministic StopReason, so the determinism contract
+    // holds (a retried sample is retried at every Jobs value).
+    uint64_t Factor = Cfg.RetryStepFactor < 2 ? 2 : Cfg.RetryStepFactor;
+    uint64_t Escalated = C.MaxSteps * Factor;
+    // Saturate when the multiplication wrapped.
+    C.MaxSteps = Escalated / Factor == C.MaxSteps ? Escalated : UINT64_MAX;
+  }
+  if (R.Metrics.Stop == vm::StopReason::StepBudget) {
+    R.Outcome = SampleOutcome::TimedOut;
+    R.Diagnostic = support::formatString(
+        "step budget exhausted after %u attempt%s (final budget %llu)",
+        R.Attempts, R.Attempts == 1 ? "" : "s",
+        static_cast<unsigned long long>(C.MaxSteps));
+  } else if (R.Metrics.DetectorDegraded) {
+    R.Outcome = SampleOutcome::Degraded;
+    R.Diagnostic = R.Metrics.DegradedReason.empty()
+                       ? "detector degraded"
+                       : R.Metrics.DegradedReason;
+  }
+  return R;
+}
+
 } // namespace
 
 void harness::parallelFor(size_t N, unsigned Jobs,
@@ -97,10 +203,16 @@ void harness::parallelFor(size_t N, unsigned Jobs,
 
 std::vector<SampleMetrics>
 ParallelRunner::run(const std::vector<SampleSpec> &Specs) const {
-  for (const SampleSpec &S : Specs)
-    if (!S.Workload)
-      support::fatalError("ParallelRunner: null workload in sample spec");
+  std::vector<SampleResult> Guarded = runGuarded(Specs);
+  std::vector<SampleMetrics> Results;
+  Results.reserve(Guarded.size());
+  for (SampleResult &R : Guarded)
+    Results.push_back(std::move(R.Metrics));
+  return Results;
+}
 
+std::vector<SampleResult>
+ParallelRunner::runGuarded(const std::vector<SampleSpec> &Specs) const {
   obs::Registry *Obs = Cfg.Obs;
   obs::TraceCollector *Trace = Cfg.Trace;
   auto Submit = std::chrono::steady_clock::now();
@@ -110,7 +222,7 @@ ParallelRunner::run(const std::vector<SampleSpec> &Specs) const {
   // Results are preallocated so each worker writes only its own slot;
   // the vector is already in submission order when the last join
   // returns.
-  std::vector<SampleMetrics> Results(Specs.size());
+  std::vector<SampleResult> Results(Specs.size());
   runIndexed(
       pickupOrder(Specs.size(), Cfg.PickupShuffleSeed), Jobs,
       [&](size_t Worker, size_t I) {
@@ -122,10 +234,15 @@ ParallelRunner::run(const std::vector<SampleSpec> &Specs) const {
         uint64_t ClaimTraceNs = Trace ? Trace->nowNs() : 0;
         auto Claim = std::chrono::steady_clock::now();
 
-        SampleConfig C = S.Config;
-        if (!C.Obs)
-          C.Obs = Obs;
-        Results[I] = runSample(*S.Workload, S.Detector, C);
+        std::string SpecError = validateSpec(S);
+        if (!SpecError.empty()) {
+          Results[I] = failedSample(SpecError);
+        } else {
+          SampleSpec Spec = S;
+          if (!Spec.Config.Obs)
+            Spec.Config.Obs = Obs;
+          Results[I] = guardedSample(Spec, Cfg);
+        }
 
         uint64_t RunNs = elapsedNs(Claim);
         if (Obs) {
@@ -133,9 +250,12 @@ ParallelRunner::run(const std::vector<SampleSpec> &Specs) const {
           Obs->timer("runner.sample.run").recordNs(RunNs);
         }
         if (Trace) {
+          const SampleMetrics &M = Results[I].Metrics;
           obs::TraceSpan Span;
           Span.Name = support::formatString(
-              "%s/%s/s%llu", S.Workload->Name.c_str(), S.Detector.c_str(),
+              "%s/%s/s%llu",
+              S.Workload ? S.Workload->Name.c_str() : "(null)",
+              S.Detector.c_str(),
               static_cast<unsigned long long>(S.Config.Seed));
           Span.Cat = "sample";
           // Track 0 is the runner's aggregate track; workers start at 1.
@@ -143,17 +263,17 @@ ParallelRunner::run(const std::vector<SampleSpec> &Specs) const {
           Span.StartNs = ClaimTraceNs;
           Span.DurNs = RunNs;
           Span.Args = {
-              {"workload", support::jsonString(S.Workload->Name)},
+              {"workload", support::jsonString(
+                               S.Workload ? S.Workload->Name : "(null)")},
               {"detector", support::jsonString(S.Detector)},
               {"seed", support::formatString(
                            "%llu",
                            static_cast<unsigned long long>(S.Config.Seed))},
-              {"steps",
-               support::formatString(
-                   "%llu",
-                   static_cast<unsigned long long>(Results[I].Steps))},
+              {"steps", support::formatString(
+                            "%llu",
+                            static_cast<unsigned long long>(M.Steps))},
               {"dynamic_reports",
-               support::formatString("%zu", Results[I].DynamicReports)},
+               support::formatString("%zu", M.DynamicReports)},
               {"queue_wait_us",
                support::formatString(
                    "%llu",
@@ -162,6 +282,28 @@ ParallelRunner::run(const std::vector<SampleSpec> &Specs) const {
           Trace->add(std::move(Span));
         }
       });
+
+  // Outcome counters, aggregated post-join from the submission-ordered
+  // results (deterministic for every Jobs value). Exported only when
+  // nonzero so fault-free runs keep the historical counter inventory
+  // (the bench_table1_counters golden pins it).
+  if (Obs) {
+    uint64_t Failed = 0, TimedOut = 0, Degraded = 0, Retries = 0;
+    for (const SampleResult &R : Results) {
+      Failed += R.Outcome == SampleOutcome::Failed;
+      TimedOut += R.Outcome == SampleOutcome::TimedOut;
+      Degraded += R.Outcome == SampleOutcome::Degraded;
+      Retries += R.Attempts > 1 ? R.Attempts - 1 : 0;
+    }
+    if (Failed)
+      Obs->counter("runner.samples_failed").add(Failed);
+    if (TimedOut)
+      Obs->counter("runner.samples_timed_out").add(TimedOut);
+    if (Degraded)
+      Obs->counter("runner.samples_degraded").add(Degraded);
+    if (Retries)
+      Obs->counter("runner.sample_retries").add(Retries);
+  }
 
   // The aggregate span covers submission through the submission-ordered
   // results becoming available (the join above).

@@ -53,6 +53,31 @@ struct SampleSpec {
   SampleConfig Config;
 };
 
+/// Classification of one guarded sample execution (runGuarded).
+/// Severity-ordered: when several conditions hold at once the runner
+/// reports the most severe (Failed > TimedOut > Degraded > Ok).
+enum class SampleOutcome : uint8_t {
+  Ok,       ///< completed normally, detector healthy
+  Degraded, ///< completed, but the detector shed state (budgets,
+            ///< perturbed traces); reports may be incomplete
+  TimedOut, ///< step budget exhausted even after the escalated retry
+  Failed,   ///< invalid spec, or the sample pipeline threw
+};
+
+/// Stable lowercase name of \p O ("ok", "degraded", ...).
+const char *sampleOutcomeName(SampleOutcome O);
+
+/// One guarded sample's result: the metrics (zeroed when the sample
+/// never completed) plus its classification.
+struct SampleResult {
+  SampleMetrics Metrics;
+  SampleOutcome Outcome = SampleOutcome::Ok;
+  /// Non-empty for every non-Ok outcome: what happened, in one line.
+  std::string Diagnostic;
+  /// Executions attempted (2 when the step-budget retry ran).
+  uint32_t Attempts = 1;
+};
+
 /// Runner configuration.
 struct RunnerConfig {
   /// Worker threads; 0 = one per hardware thread, 1 = run inline on the
@@ -76,6 +101,13 @@ struct RunnerConfig {
   /// its args — plus one whole-run aggregate slice on track 0. Not
   /// owned.
   obs::TraceCollector *Trace = nullptr;
+  /// Executions runGuarded may attempt per sample: the first at the
+  /// spec's MaxSteps, then (when that stops on the step budget) up to
+  /// MaxAttempts - 1 retries at an escalated budget before the sample
+  /// is classified TimedOut. 1 disables retries.
+  uint32_t MaxAttempts = 2;
+  /// Step-budget multiplier applied per retry.
+  uint64_t RetryStepFactor = 4;
 };
 
 /// Resolves a --jobs value: 0 becomes the hardware thread count (at
@@ -95,8 +127,26 @@ class ParallelRunner {
 public:
   explicit ParallelRunner(RunnerConfig Cfg = RunnerConfig()) : Cfg(Cfg) {}
 
-  /// Runs every spec; Result[i] corresponds to Specs[i].
+  /// Runs every spec; Result[i] corresponds to Specs[i]. A thin wrapper
+  /// over runGuarded() that keeps the historical surface: metrics only,
+  /// and a malformed spec or a crashing sample yields that sample's
+  /// zeroed metrics (the guarded API exposes the classification).
   std::vector<SampleMetrics> run(const std::vector<SampleSpec> &Specs) const;
+
+  /// Crash-contained variant: every spec yields a SampleResult, no
+  /// matter what. Specs are pre-validated (null workload, unknown
+  /// detector, bad timeslice range, mismatched detector config, more
+  /// threads than hwsvd CPUs => Failed with a diagnostic, without
+  /// executing); exceptions escaping a sample — including injected
+  /// crashes from a fault plan — become Failed without disturbing
+  /// sibling samples; a StepBudget stop is retried once at an escalated
+  /// budget (RunnerConfig::MaxAttempts/RetryStepFactor) and classified
+  /// TimedOut if it still does not finish; a detector reporting
+  /// degraded health yields Degraded. The determinism contract of run()
+  /// carries over: outcomes, diagnostics, and metrics are bit-identical
+  /// for every Jobs value and pickup permutation.
+  std::vector<SampleResult>
+  runGuarded(const std::vector<SampleSpec> &Specs) const;
 
 private:
   RunnerConfig Cfg;

@@ -65,17 +65,86 @@ RunnerConfig runnerConfig(const SuiteOptions &O) {
   return RC;
 }
 
-//===----------------------------------------------------------------------===//
-// table1 — Table 1 "Test Programs"
-//===----------------------------------------------------------------------===//
+// Per-suite workload construction, shared between the suite bodies and
+// suiteWorkloads(). Parameters here are THE suite parameters; the run*
+// bodies must not duplicate them.
 
-int runTable1(const SuiteOptions &O) {
+std::vector<Workload> table1SuiteWorkloads() {
   workloads::WorkloadParams P;
   P.Threads = 4;
   P.Iterations = 150;
   P.WorkPadding = 80;
   P.TouchOneIn = 8;
-  std::vector<Workload> Ws = workloads::table1Workloads(P);
+  return workloads::table1Workloads(P);
+}
+
+std::vector<Workload> table2SuiteWorkloads() {
+  workloads::WorkloadParams AP;
+  AP.Threads = 4;
+  AP.Iterations = 100;
+  AP.WorkPadding = 120;
+  AP.TouchOneIn = 10;
+
+  workloads::WorkloadParams MP;
+  MP.Threads = 4;
+  MP.Iterations = 150;
+  MP.WorkPadding = 80;
+  MP.TouchOneIn = 8;
+
+  workloads::WorkloadParams GP;
+  GP.Threads = 4;
+  GP.Iterations = 150;
+  GP.WorkPadding = 80;
+
+  std::vector<Workload> Ws;
+  Ws.push_back(workloads::apacheLog(AP));
+  Ws.push_back(workloads::mysqlPrepared(MP));
+  Ws.push_back(workloads::pgsqlOltp(GP));
+  return Ws;
+}
+
+/// The execution-length sweep of the sec73 suite.
+const std::vector<uint32_t> &sec73Iterations() {
+  static const std::vector<uint32_t> Iters = {25, 50, 100, 200, 400, 800};
+  return Iters;
+}
+
+std::vector<Workload> sec73SuiteWorkloads() {
+  std::vector<Workload> Ws;
+  for (uint32_t Iter : sec73Iterations()) {
+    workloads::WorkloadParams P;
+    P.Threads = 4;
+    P.Iterations = Iter;
+    P.WorkPadding = 40;
+    Ws.push_back(workloads::pgsqlOltp(P));
+  }
+  return Ws;
+}
+
+std::vector<Workload> fig1SuiteWorkloads() {
+  workloads::WorkloadParams P;
+  P.Threads = 3;
+  P.Iterations = 40;
+  std::vector<Workload> Ws;
+  Ws.push_back(workloads::mysqlTableLock(P));
+  return Ws;
+}
+
+std::vector<Workload> predictSuiteWorkloads() {
+  workloads::WorkloadParams P;
+  P.Threads = 2;
+  P.Iterations = 4;
+  P.WorkPadding = 4;
+  P.TouchOneIn = 1;
+  return workloads::table1Workloads(P);
+}
+
+//===----------------------------------------------------------------------===//
+// table1 — Table 1 "Test Programs"
+//===----------------------------------------------------------------------===//
+
+int runTable1(const SuiteOptions &O) {
+  std::vector<Workload> Ws = table1SuiteWorkloads();
 
   std::vector<SampleSpec> Specs;
   for (const Workload &W : Ws) {
@@ -205,27 +274,7 @@ void addTable2Json(std::string &J, const std::string &Name, const char *Kind,
 int runTable2(const SuiteOptions &O) {
   unsigned Seeds = O.Seeds ? O.Seeds : 12;
 
-  workloads::WorkloadParams AP;
-  AP.Threads = 4;
-  AP.Iterations = 100;
-  AP.WorkPadding = 120;
-  AP.TouchOneIn = 10;
-
-  workloads::WorkloadParams MP;
-  MP.Threads = 4;
-  MP.Iterations = 150;
-  MP.WorkPadding = 80;
-  MP.TouchOneIn = 8;
-
-  workloads::WorkloadParams GP;
-  GP.Threads = 4;
-  GP.Iterations = 150;
-  GP.WorkPadding = 80;
-
-  std::vector<Workload> Ws;
-  Ws.push_back(workloads::apacheLog(AP));
-  Ws.push_back(workloads::mysqlPrepared(MP));
-  Ws.push_back(workloads::pgsqlOltp(GP));
+  std::vector<Workload> Ws = table2SuiteWorkloads();
 
   // Spec order: workload-major, then seed, then (svd, frd) — the exact
   // iteration order of the serial bench, so the post-run fold visits
@@ -296,16 +345,8 @@ int runTable2(const SuiteOptions &O) {
 
 int runSec73(const SuiteOptions &O) {
   unsigned Seeds = O.Seeds ? O.Seeds : 4;
-  const std::vector<uint32_t> Iters = {25, 50, 100, 200, 400, 800};
-
-  std::vector<Workload> Ws;
-  for (uint32_t Iter : Iters) {
-    workloads::WorkloadParams P;
-    P.Threads = 4;
-    P.Iterations = Iter;
-    P.WorkPadding = 40;
-    Ws.push_back(workloads::pgsqlOltp(P));
-  }
+  std::vector<Workload> Ws = sec73SuiteWorkloads();
+  const std::vector<uint32_t> &Iters = sec73Iterations();
 
   std::vector<SampleSpec> Specs;
   for (const Workload &W : Ws)
@@ -392,10 +433,7 @@ int runSec73(const SuiteOptions &O) {
 int runFig1(const SuiteOptions &O) {
   unsigned Seeds = O.Seeds ? O.Seeds : 8;
 
-  workloads::WorkloadParams P;
-  P.Threads = 3;
-  P.Iterations = 40;
-  Workload W = workloads::mysqlTableLock(P);
+  Workload W = fig1SuiteWorkloads().front();
 
   std::vector<SampleSpec> Specs;
   for (uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
@@ -466,12 +504,7 @@ int runFig1(const SuiteOptions &O) {
 //===----------------------------------------------------------------------===//
 
 int runPredict(const SuiteOptions &O) {
-  workloads::WorkloadParams P;
-  P.Threads = 2;
-  P.Iterations = 4;
-  P.WorkPadding = 4;
-  P.TouchOneIn = 1;
-  std::vector<Workload> Ws = workloads::table1Workloads(P);
+  std::vector<Workload> Ws = predictSuiteWorkloads();
 
   // predictAndConfirm is a pure function of the program (its directed
   // runs build private Machines), so workloads fan out like samples.
@@ -544,4 +577,18 @@ const Suite *harness::findSuite(const std::string &Name) {
     if (Name == S.Name)
       return &S;
   return nullptr;
+}
+
+std::vector<Workload> harness::suiteWorkloads(const std::string &Name) {
+  if (Name == "table1")
+    return table1SuiteWorkloads();
+  if (Name == "table2")
+    return table2SuiteWorkloads();
+  if (Name == "sec73")
+    return sec73SuiteWorkloads();
+  if (Name == "fig1")
+    return fig1SuiteWorkloads();
+  if (Name == "predict")
+    return predictSuiteWorkloads();
+  return {};
 }

@@ -18,6 +18,8 @@
 #ifndef SVD_HARNESS_SUITES_H
 #define SVD_HARNESS_SUITES_H
 
+#include "workloads/Workloads.h"
+
 #include <string>
 #include <vector>
 
@@ -58,6 +60,12 @@ const std::vector<Suite> &suites();
 
 /// Finds a suite by name; null when unknown.
 const Suite *findSuite(const std::string &Name);
+
+/// The workload set a suite executes, constructed with the suite's own
+/// parameters — THE single source of truth shared by the suite bodies
+/// and by consumers that re-run suite workloads under different
+/// conditions (svd-chaos). Returns an empty vector for unknown names.
+std::vector<workloads::Workload> suiteWorkloads(const std::string &Name);
 
 } // namespace harness
 } // namespace svd

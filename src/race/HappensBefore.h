@@ -53,7 +53,8 @@ struct HappensBeforeDetectorConfig final : detect::DetectorConfig {
   explicit HappensBeforeDetectorConfig(HappensBeforeConfig C) : Hb(C) {}
   const char *detectorName() const override { return "frd"; }
   std::unique_ptr<detect::DetectorConfig> clone() const override {
-    return std::make_unique<HappensBeforeDetectorConfig>(Hb);
+    // Copy-construct so base fields (MaxStateEntries) survive cloning.
+    return std::make_unique<HappensBeforeDetectorConfig>(*this);
   }
 };
 

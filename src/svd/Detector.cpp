@@ -17,6 +17,13 @@ Detector::~Detector() = default;
 
 void Detector::finish(const vm::Machine &) {}
 
+void Detector::injectFaults(const fault::FaultPlan *) {}
+
+const DetectorHealth &Detector::health() const {
+  static const DetectorHealth Clean;
+  return Clean;
+}
+
 const std::vector<CuLogEntry> &Detector::cuLog() const {
   static const std::vector<CuLogEntry> Empty;
   return Empty;
@@ -32,6 +39,14 @@ void Detector::exportStats(obs::Registry &R) const {
   R.counter(Prefix + "cus_formed").add(numCusFormed());
   R.counter(Prefix + "log_entries").add(cuLog().size());
   R.counter(Prefix + "memory_bytes").add(approxMemoryBytes());
+  // Degradation counters appear only when degradation happened, so the
+  // counter inventory of fault-free runs stays byte-identical to the
+  // pinned golden (tests/golden/bench_table1_counters.txt).
+  const DetectorHealth &H = health();
+  if (H.Degraded) {
+    R.counter(Prefix + "degraded").add(1);
+    R.counter(Prefix + "degraded_evictions").add(H.Evictions);
+  }
 }
 
 void DetectorRegistry::add(Entry E) {

@@ -49,6 +49,10 @@ namespace vm {
 class Machine;
 } // namespace vm
 
+namespace fault {
+class FaultPlan;
+} // namespace fault
+
 namespace detect {
 
 /// Opaque per-detector configuration. Concrete configs subclass this in
@@ -62,6 +66,26 @@ public:
   /// Registry key of the only detector allowed to consume this config.
   virtual const char *detectorName() const = 0;
   virtual std::unique_ptr<DetectorConfig> clone() const = 0;
+
+  /// Upper bound on the detector's live state, in detector-defined
+  /// entries (CUs for the SVD family, recorded events for the offline
+  /// path) rather than bytes, so the budget is deterministic across
+  /// hosts and allocators. 0 (default) means unbounded. A detector
+  /// over budget evicts deterministically and raises its Degraded flag
+  /// instead of growing without bound — see Detector::health().
+  uint64_t MaxStateEntries = 0;
+};
+
+/// Degradation status of one detector instance (valid after finish()).
+/// Degraded is sticky: once raised it stays raised for the rest of the
+/// run, so a sample can be classified from the final state alone.
+struct DetectorHealth {
+  bool Degraded = false;
+  /// Human-readable cause, e.g. "cu budget exceeded (8 entries)".
+  std::string Reason;
+  /// State entries deterministically evicted to stay under budget
+  /// (or trace events dropped/corrupted on the offline path).
+  uint64_t Evictions = 0;
 };
 
 /// One detector instance for one Machine run.
@@ -79,6 +103,19 @@ public:
   /// offline detectors analyze the recorded trace here.
   virtual void finish(const vm::Machine &M);
 
+  /// Hands the detector the sample's fault plan before attach(), so
+  /// detectors with an observation side of their own (the offline
+  /// trace recorder) can perturb it. The base implementation ignores
+  /// the plan; execution-side faults flow through vm::FaultHooks
+  /// regardless of this call. \p Plan may be null (fault-free) and is
+  /// not owned; it must outlive the detector.
+  virtual void injectFaults(const fault::FaultPlan *Plan);
+
+  /// Degradation status (valid after finish()). The base
+  /// implementation reports a clean bill; detectors supporting budgets
+  /// (MaxStateEntries) or perturbed observation override it.
+  virtual const DetectorHealth &health() const;
+
   /// Dynamic reports in detection order (valid after finish()).
   virtual const std::vector<Violation> &reports() const = 0;
 
@@ -93,9 +130,12 @@ public:
 
   /// Adds this instance's counters to \p R under the
   /// "detect.<name()>." prefix (obs/Obs.h). The base implementation
-  /// exports reports / cus_formed / log_entries / memory_bytes;
-  /// detectors with richer internals (filtered accesses, cache events)
-  /// extend it. Call after finish(); all exported values are
+  /// exports reports / cus_formed / log_entries / memory_bytes, plus
+  /// degraded / degraded_evictions — the latter only when health()
+  /// reports degradation, so fault-free runs export exactly the
+  /// historical counter set (the bench_table1_counters golden pins
+  /// it). Detectors with richer internals (filtered accesses, cache
+  /// events) extend it. Call after finish(); all exported values are
   /// deterministic for a deterministic execution.
   virtual void exportStats(obs::Registry &R) const;
 };

@@ -36,6 +36,13 @@ public:
     return Impl.metadataBits() / 8;
   }
   uint64_t numCusFormed() const override { return Impl.numCusFormed(); }
+  const DetectorHealth &health() const override {
+    H.Degraded = Impl.degraded();
+    H.Evictions = Impl.budgetEvictions();
+    if (H.Degraded && H.Reason.empty())
+      H.Reason = "cu table budget exceeded; oldest live CUs evicted";
+    return H;
+  }
   void exportStats(obs::Registry &R) const override {
     Detector::exportStats(R);
     const cache::CacheStats &S = Impl.cacheStats();
@@ -52,6 +59,7 @@ public:
 
 private:
   HardwareSvd Impl;
+  mutable DetectorHealth H;
 };
 
 } // namespace
@@ -61,8 +69,10 @@ void detect::registerHardwareSvdDetector(DetectorRegistry &R) {
          "cache-based SVD (Section 4.4; threads approximated by CPUs)",
          [](const isa::Program &P, const DetectorConfig *Cfg) {
            const auto *C = configAs<HardwareSvdDetectorConfig>(Cfg, "hwsvd");
-           return std::make_unique<HardwareSvdDetector>(
-               P, C ? C->Hw : HardwareSvdConfig());
+           HardwareSvdConfig HC = C ? C->Hw : HardwareSvdConfig();
+           if (C && C->MaxStateEntries != 0 && HC.MaxCuEntries == 0)
+             HC.MaxCuEntries = C->MaxStateEntries;
+           return std::make_unique<HardwareSvdDetector>(P, HC);
          }});
 }
 
@@ -93,11 +103,27 @@ HardwareSvd::CuId HardwareSvd::find(PerCpu &C, CuId Id) const {
 }
 
 HardwareSvd::CuId HardwareSvd::newCu(PerCpu &C) {
+  if (Cfg.MaxCuEntries != 0 && C.LiveCount >= Cfg.MaxCuEntries)
+    evictOldestCu(C);
   CuId Id = static_cast<CuId>(C.Cus.size());
   C.Cus.push_back(CuData());
   C.Cus.back().Parent = Id;
   ++CuCreations;
+  ++C.LiveCount;
   return Id;
+}
+
+void HardwareSvd::evictOldestCu(PerCpu &C) {
+  for (CuId Id = C.EvictCursor; Id < C.Cus.size(); ++Id) {
+    if (C.Cus[Id].Parent != Id || C.Cus[Id].Dead)
+      continue;
+    C.EvictCursor = Id;
+    deactivateCu(C, Id);
+    DegradedFlag = true;
+    ++BudgetEvictions;
+    return;
+  }
+  C.EvictCursor = static_cast<CuId>(C.Cus.size());
 }
 
 HardwareSvd::CuId HardwareSvd::mergeCus(PerCpu &C, CuId A, CuId B) {
@@ -120,6 +146,8 @@ HardwareSvd::CuId HardwareSvd::mergeCus(PerCpu &C, CuId A, CuId B) {
   C.Cus[B].Rs.clear();
   C.Cus[B].Ws.clear();
   ++CuMerges;
+  if (C.LiveCount > 0)
+    --C.LiveCount;
   return A;
 }
 
@@ -183,6 +211,8 @@ void HardwareSvd::deactivateCu(PerCpu &C, CuId Id) {
   CuData &CU = C.Cus[Id];
   CU.Dead = true;
   ++CuEndings;
+  if (C.LiveCount > 0)
+    --C.LiveCount;
   auto Reset = [&](const std::set<LineId> &Lines) {
     for (LineId L : Lines) {
       LineInfo &LI = C.Lines[L];

@@ -66,6 +66,12 @@ struct HardwareSvdConfig {
   /// detector metadata the access would have created. Ignored unless
   /// the table's block granularity matches the line size.
   const analysis::AccessTable *Access = nullptr;
+  /// Upper bound on live CU-table entries per CPU (the SRAM side
+  /// structure is finite in real hardware); 0 means unbounded. Over
+  /// budget, the oldest live CU is deterministically ended before a
+  /// new one forms and the detector marks itself degraded. Populated
+  /// from DetectorConfig::MaxStateEntries by the registry factory.
+  uint64_t MaxCuEntries = 0;
 };
 
 /// Opaque registry config carrying a HardwareSvdConfig (registry key
@@ -77,7 +83,8 @@ struct HardwareSvdDetectorConfig final : DetectorConfig {
   explicit HardwareSvdDetectorConfig(HardwareSvdConfig C) : Hw(C) {}
   const char *detectorName() const override { return "hwsvd"; }
   std::unique_ptr<DetectorConfig> clone() const override {
-    return std::make_unique<HardwareSvdDetectorConfig>(Hw);
+    // Copy-construct so base fields (MaxStateEntries) survive cloning.
+    return std::make_unique<HardwareSvdDetectorConfig>(*this);
   }
 };
 
@@ -101,6 +108,10 @@ public:
   uint64_t metadataEvictions() const { return MetadataEvictions; }
   /// Dynamic accesses that took the provably-thread-local fast path.
   uint64_t filteredAccesses() const { return FilteredLoads + FilteredStores; }
+  /// True once the CU-table budget forced an eviction (sticky).
+  bool degraded() const { return DegradedFlag; }
+  /// CUs ended early to stay under budget (included in numCusEnded()).
+  uint64_t budgetEvictions() const { return BudgetEvictions; }
   const cache::CacheStats &cacheStats() const { return Cache.stats(); }
   /// Extra state a hardware implementation would add, in bits: per
   /// cache line (3-bit FSM + CU reference) plus the CU table.
@@ -164,10 +175,18 @@ private:
     std::vector<LineInfo> Lines;
     std::array<std::vector<CuId>, isa::NumRegs> RegSets;
     std::vector<CtrlFrame> CtrlStack;
+    /// Live (undead root) CUs, maintained for the MaxCuEntries budget.
+    uint64_t LiveCount = 0;
+    /// Monotone eviction scan position (ids only ever stop being live
+    /// roots, so everything behind the cursor stays ineligible).
+    CuId EvictCursor = 0;
   };
 
   CuId find(PerCpu &C, CuId Id) const;
   CuId newCu(PerCpu &C);
+  /// Ends the oldest live CU of \p C to stay under MaxCuEntries,
+  /// marking the detector degraded.
+  void evictOldestCu(PerCpu &C);
   CuId mergeCus(PerCpu &C, CuId A, CuId B);
   std::vector<CuId> liveRoots(PerCpu &C, const std::vector<CuId> &Set);
   void popControlFrames(PerCpu &C, uint32_t Pc);
@@ -208,6 +227,8 @@ private:
   uint64_t MetadataEvictions = 0;
   uint64_t FilteredLoads = 0;
   uint64_t FilteredStores = 0;
+  bool DegradedFlag = false;
+  uint64_t BudgetEvictions = 0;
 };
 
 } // namespace detect

@@ -2,9 +2,13 @@
 
 #include "svd/OfflineDetector.h"
 
+#include "fault/Fault.h"
 #include "obs/Obs.h"
 #include "pdg/Pdg.h"
+#include "support/StringUtils.h"
 #include "vm/Machine.h"
+
+#include <optional>
 
 using namespace svd;
 using namespace svd::detect;
@@ -16,30 +20,65 @@ using trace::TraceEvent;
 namespace {
 
 /// Registry adapter: records a trace while the machine runs, then
-/// executes the three offline passes in finish().
+/// executes the three offline passes in finish(). The recorded trace
+/// passes through the sample's fault plan (corruption/truncation) and
+/// trace::validate before analysis; an invalid trace yields zero
+/// reports and a Degraded health with the validator's diagnostic.
 class OfflineSvdDetector final : public Detector {
 public:
-  explicit OfflineSvdDetector(const isa::Program &P) : Rec(P) {}
+  OfflineSvdDetector(const isa::Program &P, uint64_t MaxEvents) : Rec(P) {
+    Rec.setMaxEvents(MaxEvents);
+  }
 
   const char *name() const override { return "offline"; }
   void attach(vm::Machine &M) override { M.addObserver(&Rec); }
+  void injectFaults(const fault::FaultPlan *P) override { Plan = P; }
   void finish(const vm::Machine &) override {
-    pdg::DynamicPdg G = pdg::DynamicPdg::build(Rec.trace());
-    CuPartition CUs = CuPartition::compute(Rec.trace(), G);
+    const ProgramTrace *T = &Rec.trace();
+    uint64_t CorruptCount = 0;
+    if (Plan && Plan->perturbsTrace()) {
+      Perturbed.emplace(Plan->corruptedCopy(Rec.trace(), CorruptCount));
+      T = &*Perturbed;
+    }
+    AnalyzedEvents = T->size();
+    uint64_t Lost = CorruptCount + Rec.droppedEvents();
+    std::string Err;
+    if (!trace::validate(*T, Err)) {
+      H.Degraded = true;
+      H.Reason = "trace validation failed: " + Err;
+      H.Evictions = Lost;
+      return; // an unparseable trace yields no reports, only health
+    }
+    pdg::DynamicPdg G = pdg::DynamicPdg::build(*T);
+    CuPartition CUs = CuPartition::compute(*T, G);
     CusFormed = CUs.units().size();
-    Reports_ = detectOffline(Rec.trace(), CUs);
+    Reports_ = detectOffline(*T, CUs);
+    if (Lost != 0) {
+      // The trace is still well-formed but incomplete: analysis ran,
+      // yet violations in the lost suffix may be missing.
+      H.Degraded = true;
+      H.Reason = support::formatString(
+          "trace incomplete: %llu events dropped or corrupted",
+          static_cast<unsigned long long>(Lost));
+      H.Evictions = Lost;
+    }
   }
   const std::vector<Violation> &reports() const override { return Reports_; }
   uint64_t numCusFormed() const override { return CusFormed; }
+  const DetectorHealth &health() const override { return H; }
   void exportStats(obs::Registry &R) const override {
     Detector::exportStats(R);
-    R.counter("detect.offline.trace_events").add(Rec.trace().size());
+    R.counter("detect.offline.trace_events").add(AnalyzedEvents);
   }
 
 private:
   trace::TraceRecorder Rec;
+  const fault::FaultPlan *Plan = nullptr;
+  std::optional<ProgramTrace> Perturbed;
   std::vector<Violation> Reports_;
   uint64_t CusFormed = 0;
+  uint64_t AnalyzedEvents = 0;
+  DetectorHealth H;
 };
 
 } // namespace
@@ -48,8 +87,9 @@ void detect::registerOfflineDetector(DetectorRegistry &R) {
   R.add({"offline", "Offline-SVD",
          "three-pass offline algorithm (Figures 5-6) over a full trace",
          [](const isa::Program &P, const DetectorConfig *Cfg) {
-           checkConfigKind(Cfg, "offline");
-           return std::make_unique<OfflineSvdDetector>(P);
+           const auto *C = configAs<OfflineDetectorConfig>(Cfg, "offline");
+           return std::make_unique<OfflineSvdDetector>(
+               P, C ? C->MaxStateEntries : 0);
          }});
 }
 

@@ -28,9 +28,23 @@
 namespace svd {
 namespace detect {
 
+/// Opaque registry config for the offline pipeline (registry key
+/// "offline"). The only tunable is the inherited MaxStateEntries,
+/// which caps the recorded trace: once full, later events are dropped
+/// (leaving a valid prefix) and the detector reports itself degraded.
+struct OfflineDetectorConfig final : DetectorConfig {
+  const char *detectorName() const override { return "offline"; }
+  std::unique_ptr<DetectorConfig> clone() const override {
+    return std::make_unique<OfflineDetectorConfig>(*this);
+  }
+};
+
 /// Registers the offline pipeline as detector "offline" (display
 /// "Offline-SVD"): records the full trace during the run and executes
-/// all three passes in finish(). No config.
+/// all three passes in finish(). Before analysis the trace is
+/// structurally validated (trace::validate); a trace perturbed into
+/// invalidity by a fault plan degrades into a diagnostic instead of
+/// undefined behavior.
 void registerOfflineDetector(DetectorRegistry &R);
 
 /// Runs pass 3 of the offline algorithm over \p T with the CUs in \p CUs.

@@ -37,6 +37,13 @@ public:
     return Impl.approxMemoryBytes();
   }
   uint64_t numCusFormed() const override { return Impl.numCusFormed(); }
+  const DetectorHealth &health() const override {
+    H.Degraded = Impl.degraded();
+    H.Evictions = Impl.budgetEvictions();
+    if (H.Degraded && H.Reason.empty())
+      H.Reason = "cu budget exceeded; oldest live CUs evicted";
+    return H;
+  }
   void exportStats(obs::Registry &R) const override {
     Detector::exportStats(R);
     R.counter("detect.svd.events").add(Impl.eventsObserved());
@@ -47,6 +54,7 @@ public:
 
 private:
   OnlineSvd Impl;
+  mutable DetectorHealth H;
 };
 
 } // namespace
@@ -55,8 +63,10 @@ void detect::registerOnlineSvdDetector(DetectorRegistry &R) {
   R.add({"svd", "SVD", "online serializability violation detector (Fig. 7)",
          [](const isa::Program &P, const DetectorConfig *Cfg) {
            const auto *C = configAs<OnlineSvdDetectorConfig>(Cfg, "svd");
-           return std::make_unique<OnlineSvdDetector>(
-               P, C ? C->Svd : OnlineSvdConfig());
+           OnlineSvdConfig SC = C ? C->Svd : OnlineSvdConfig();
+           if (C && C->MaxStateEntries != 0 && SC.MaxCuEntries == 0)
+             SC.MaxCuEntries = C->MaxStateEntries;
+           return std::make_unique<OnlineSvdDetector>(P, SC);
          }});
 }
 
@@ -90,11 +100,30 @@ OnlineSvd::CuId OnlineSvd::find(PerThread &T, CuId C) const {
 }
 
 OnlineSvd::CuId OnlineSvd::newCu(PerThread &T) {
+  if (Cfg.MaxCuEntries != 0 && T.LiveCount >= Cfg.MaxCuEntries)
+    evictOldestCu(T);
   CuId C = static_cast<CuId>(T.Cus.size());
   T.Cus.push_back(CuData());
   T.Cus.back().Parent = C;
   ++CuCreations;
+  ++T.LiveCount;
   return C;
+}
+
+void OnlineSvd::evictOldestCu(PerThread &T) {
+  // Scan forward from the cursor for the oldest live root; ids behind
+  // the cursor can never become eligible again (see PerThread).
+  for (CuId C = T.EvictCursor; C < T.Cus.size(); ++C) {
+    if (T.Cus[C].Parent != C || T.Cus[C].Dead)
+      continue;
+    T.EvictCursor = C;
+    uint32_t Lane = static_cast<uint32_t>(&T - Threads.data());
+    deactivateCu(T, Lane, C);
+    DegradedFlag = true;
+    ++BudgetEvictions;
+    return;
+  }
+  T.EvictCursor = static_cast<CuId>(T.Cus.size());
 }
 
 OnlineSvd::CuId OnlineSvd::mergeCus(PerThread &T, CuId A, CuId B) {
@@ -113,6 +142,8 @@ OnlineSvd::CuId OnlineSvd::mergeCus(PerThread &T, CuId A, CuId B) {
   T.Cus[B].Rs.clear();
   T.Cus[B].Ws.clear();
   ++CuMerges;
+  if (T.LiveCount > 0)
+    --T.LiveCount;
   return A;
 }
 
@@ -183,6 +214,8 @@ void OnlineSvd::deactivateCu(PerThread &T, ThreadId Tid, CuId C) {
   CuData &CU = T.Cus[C];
   CU.Dead = true;
   ++CuEndings;
+  if (T.LiveCount > 0)
+    --T.LiveCount;
   auto ResetBlocks = [&](const std::set<BlockId> &Blocks) {
     for (BlockId B : Blocks) {
       BlockInfo &BI = T.Blocks[B];

@@ -97,6 +97,15 @@ struct OnlineSvdConfig {
   /// so even provably-local accesses must run the full path.
   const analysis::AccessTable *Access = nullptr;
 
+  /// Upper bound on *live* (undead root) CUs per state lane; 0 means
+  /// unbounded. Over budget, the oldest live CU is deterministically
+  /// ended (deactivated exactly as a shared dependence would end it)
+  /// before a new one is created, and the detector marks itself
+  /// degraded — bounded-memory operation at the price of possibly
+  /// missing violations whose CU was evicted. Populated from
+  /// DetectorConfig::MaxStateEntries by the registry factory.
+  uint64_t MaxCuEntries = 0;
+
   /// 0 keys detector state by thread (ideal). A nonzero value
   /// reproduces the paper's Section 4.3 deployment — "SVD approximates
   /// threads with processors" — by keying all per-thread state on
@@ -116,7 +125,8 @@ struct OnlineSvdDetectorConfig final : DetectorConfig {
   explicit OnlineSvdDetectorConfig(OnlineSvdConfig C) : Svd(C) {}
   const char *detectorName() const override { return "svd"; }
   std::unique_ptr<DetectorConfig> clone() const override {
-    return std::make_unique<OnlineSvdDetectorConfig>(Svd);
+    // Copy-construct so base fields (MaxStateEntries) survive cloning.
+    return std::make_unique<OnlineSvdDetectorConfig>(*this);
   }
 };
 
@@ -143,6 +153,13 @@ public:
 
   /// Dynamic events observed (the per-million-instruction denominator).
   uint64_t eventsObserved() const { return Events; }
+
+  /// True once the CU budget (OnlineSvdConfig::MaxCuEntries) forced an
+  /// eviction — sticky for the rest of the run.
+  bool degraded() const { return DegradedFlag; }
+
+  /// CUs ended early to stay under budget (included in numCusEnded()).
+  uint64_t budgetEvictions() const { return BudgetEvictions; }
 
   /// Dynamic accesses that took the provably-thread-local fast path.
   uint64_t filteredAccesses() const { return FilteredLoads + FilteredStores; }
@@ -218,6 +235,13 @@ private:
     std::vector<BlockInfo> Blocks;
     std::array<std::vector<CuId>, isa::NumRegs> RegSets;
     std::vector<CtrlFrame> CtrlStack;
+    /// Live (undead root) CUs in this lane, maintained by newCu /
+    /// mergeCus / deactivateCu for the MaxCuEntries budget check.
+    uint64_t LiveCount = 0;
+    /// Eviction scan position. Sound as a monotone cursor: CU ids only
+    /// ever stop being live roots (union-find parents move up, Dead is
+    /// never cleared), so everything behind the cursor stays ineligible.
+    CuId EvictCursor = 0;
   };
 
   BlockId blockOf(isa::Addr A) const { return A >> Cfg.BlockShift; }
@@ -238,6 +262,9 @@ private:
 
   CuId find(PerThread &T, CuId C) const;
   CuId newCu(PerThread &T);
+  /// Ends the oldest live CU of \p T to make room under MaxCuEntries,
+  /// marking the detector degraded.
+  void evictOldestCu(PerThread &T);
   CuId mergeCus(PerThread &T, CuId A, CuId B);
   /// Resolves \p Set to live roots, deduplicated.
   std::vector<CuId> liveRoots(PerThread &T, const std::vector<CuId> &Set);
@@ -277,6 +304,8 @@ private:
   uint64_t CuCreations = 0;
   uint64_t CuMerges = 0;
   uint64_t CuEndings = 0;
+  bool DegradedFlag = false;
+  uint64_t BudgetEvictions = 0;
 };
 
 } // namespace detect

@@ -3,6 +3,7 @@
 #include "trace/Trace.h"
 
 #include "support/Error.h"
+#include "support/StringUtils.h"
 
 #include <cassert>
 
@@ -17,8 +18,13 @@ void ProgramTrace::append(const TraceEvent &E) {
   assert((Events.empty() || Events.back().Seq <= E.Seq) &&
          "events must arrive in execution order");
   assert(E.Tid < PerThread.size() && "thread id out of range");
+  appendUnchecked(E);
+}
+
+void ProgramTrace::appendUnchecked(const TraceEvent &E) {
   SharedBuilt = false;
-  PerThread[E.Tid].push_back(static_cast<uint32_t>(Events.size()));
+  if (E.Tid < PerThread.size())
+    PerThread[E.Tid].push_back(static_cast<uint32_t>(Events.size()));
   Events.push_back(E);
 }
 
@@ -49,6 +55,56 @@ unsigned ProgramTrace::threadsAccessing(isa::Addr A) const {
   return SharedCount[A];
 }
 
+bool trace::validate(const ProgramTrace &T, std::string &Error) {
+  const isa::Program &P = T.program();
+  uint64_t PrevSeq = 0;
+  for (size_t I = 0; I < T.size(); ++I) {
+    const TraceEvent &E = T[I];
+    if (E.Tid >= T.numThreads()) {
+      Error = support::formatString(
+          "event %zu: thread id %u out of range (%u threads)", I, E.Tid,
+          T.numThreads());
+      return false;
+    }
+    if (I != 0 && E.Seq < PrevSeq) {
+      Error = support::formatString(
+          "event %zu: sequence %llu breaks execution order (previous "
+          "%llu)",
+          I, static_cast<unsigned long long>(E.Seq),
+          static_cast<unsigned long long>(PrevSeq));
+      return false;
+    }
+    PrevSeq = E.Seq;
+    if (!E.Instr) {
+      Error = support::formatString("event %zu: null instruction", I);
+      return false;
+    }
+    if (E.isMemory() && E.Address >= P.MemoryWords) {
+      Error = support::formatString(
+          "event %zu: address %u out of range (%u memory words)", I,
+          E.Address, P.MemoryWords);
+      return false;
+    }
+    if ((E.Kind == EventKind::Lock || E.Kind == EventKind::Unlock) &&
+        E.MutexId >= P.Mutexes.size()) {
+      Error = support::formatString(
+          "event %zu: mutex id %u out of range (%zu mutexes)", I,
+          E.MutexId, P.Mutexes.size());
+      return false;
+    }
+  }
+  Error.clear();
+  return true;
+}
+
+void TraceRecorder::record(const TraceEvent &E) {
+  if (MaxEvents != 0 && Trace.size() >= MaxEvents) {
+    ++Dropped;
+    return;
+  }
+  Trace.append(E);
+}
+
 TraceEvent TraceRecorder::base(const vm::EventCtx &Ctx, EventKind K) const {
   TraceEvent E;
   E.Seq = Ctx.Seq;
@@ -64,7 +120,7 @@ void TraceRecorder::onLoad(const vm::EventCtx &Ctx, isa::Addr A,
   TraceEvent E = base(Ctx, EventKind::Load);
   E.Address = A;
   E.Value = V;
-  Trace.append(E);
+  record(E);
 }
 
 void TraceRecorder::onStore(const vm::EventCtx &Ctx, isa::Addr A,
@@ -72,11 +128,11 @@ void TraceRecorder::onStore(const vm::EventCtx &Ctx, isa::Addr A,
   TraceEvent E = base(Ctx, EventKind::Store);
   E.Address = A;
   E.Value = V;
-  Trace.append(E);
+  record(E);
 }
 
 void TraceRecorder::onAlu(const vm::EventCtx &Ctx) {
-  Trace.append(base(Ctx, EventKind::Alu));
+  record(base(Ctx, EventKind::Alu));
 }
 
 void TraceRecorder::onBranch(const vm::EventCtx &Ctx, bool Taken,
@@ -84,21 +140,21 @@ void TraceRecorder::onBranch(const vm::EventCtx &Ctx, bool Taken,
   TraceEvent E = base(Ctx, EventKind::Branch);
   E.Taken = Taken;
   E.Target = Target;
-  Trace.append(E);
+  record(E);
 }
 
 void TraceRecorder::onLock(const vm::EventCtx &Ctx, uint32_t MutexId) {
   TraceEvent E = base(Ctx, EventKind::Lock);
   E.MutexId = MutexId;
-  Trace.append(E);
+  record(E);
 }
 
 void TraceRecorder::onUnlock(const vm::EventCtx &Ctx, uint32_t MutexId) {
   TraceEvent E = base(Ctx, EventKind::Unlock);
   E.MutexId = MutexId;
-  Trace.append(E);
+  record(E);
 }
 
 void TraceRecorder::onThreadFinished(const vm::EventCtx &Ctx) {
-  Trace.append(base(Ctx, EventKind::ThreadEnd));
+  record(base(Ctx, EventKind::ThreadEnd));
 }

@@ -19,6 +19,7 @@
 #include "vm/Observer.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace svd {
@@ -64,6 +65,13 @@ public:
   /// Appends \p E; events must arrive in nondecreasing Seq order.
   void append(const TraceEvent &E);
 
+  /// Appends \p E without invariant checks — the fault-injection path
+  /// (fault/Fault.h) uses it to build deliberately malformed traces.
+  /// Events whose Tid is out of range skip per-thread indexing instead
+  /// of corrupting it; validate() exists to catch everything this lets
+  /// through before an analysis consumes the trace.
+  void appendUnchecked(const TraceEvent &E);
+
   size_t size() const { return Events.size(); }
   const TraceEvent &operator[](size_t I) const { return Events[I]; }
   const std::vector<TraceEvent> &events() const { return Events; }
@@ -99,6 +107,17 @@ private:
   void buildSharedInfo() const;
 };
 
+/// Always-on structural validation of \p T (the release-build analog of
+/// ProgramTrace::append's assertions, extended to every field an
+/// offline pass indexes with): nondecreasing Seq, Tid within the
+/// program's thread count, non-null Instr, memory addresses within
+/// MemoryWords, and mutex ids within the program's mutex table. Returns
+/// true when well-formed; otherwise fills \p Error with a diagnostic
+/// naming the first offending event. Consumers (svd/OfflineDetector)
+/// call this before analysis so a corrupted or truncated trace degrades
+/// into a diagnostic instead of out-of-bounds indexing.
+bool validate(const ProgramTrace &T, std::string &Error);
+
 /// ExecutionObserver that records the trace of a run.
 class TraceRecorder : public vm::ExecutionObserver {
 public:
@@ -106,6 +125,15 @@ public:
 
   const ProgramTrace &trace() const { return Trace; }
   ProgramTrace takeTrace() { return std::move(Trace); }
+
+  /// Caps the recorded trace at \p N events (0 = unbounded, the
+  /// default). Once full, later events are counted in droppedEvents()
+  /// and discarded, leaving a valid prefix — the bounded-buffer
+  /// degradation mode of a production monitor.
+  void setMaxEvents(uint64_t N) { MaxEvents = N; }
+
+  /// Events discarded because the cap was reached.
+  uint64_t droppedEvents() const { return Dropped; }
 
   void onLoad(const vm::EventCtx &Ctx, isa::Addr A, isa::Word V) override;
   void onStore(const vm::EventCtx &Ctx, isa::Addr A, isa::Word V) override;
@@ -118,7 +146,11 @@ public:
 
 private:
   TraceEvent base(const vm::EventCtx &Ctx, EventKind K) const;
+  /// Appends \p E unless the cap is reached (then counts it dropped).
+  void record(const TraceEvent &E);
   ProgramTrace Trace;
+  uint64_t MaxEvents = 0;
+  uint64_t Dropped = 0;
 };
 
 } // namespace trace

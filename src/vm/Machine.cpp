@@ -18,6 +18,8 @@ using isa::ThreadId;
 using isa::Word;
 using support::formatString;
 
+FaultHooks::~FaultHooks() = default;
+
 ExecutionObserver::~ExecutionObserver() = default;
 void ExecutionObserver::onLoad(const EventCtx &, Addr, Word) {}
 void ExecutionObserver::onStore(const EventCtx &, Addr, Word) {}
@@ -103,10 +105,17 @@ bool Machine::scheduleNext(StopReason &WhyStopped) {
     return true;
   }
 
-  // Continue the current timeslice if possible.
+  // Continue the current timeslice if possible — unless an injected
+  // preemption cuts it short (a fresh seeded draw happens below, so the
+  // perturbation stays a pure function of the step count).
   if (SliceLeft > 0 && Threads[CurThread].State == ThreadState::Ready) {
-    --SliceLeft;
-    return true;
+    if (Cfg.Faults && Cfg.Faults->forcePreempt(Steps, CurThread)) {
+      ++Counters.FaultPreemptions;
+      SliceLeft = 0;
+    } else {
+      --SliceLeft;
+      return true;
+    }
   }
 
   std::vector<ThreadId> Ready;
@@ -157,6 +166,13 @@ bool Machine::stepOnce(StopReason &WhyStopped) {
     CpuBinding[T] = static_cast<uint32_t>(Migration.nextBelow(Cfg.NumCpus));
   }
   Schedule.push_back(CurThread);
+  // Injected stall: the scheduled thread burns its step without
+  // executing (the schedule entry above keeps replays aligned).
+  if (Cfg.Faults && Cfg.Faults->stallThread(Steps, CurThread)) {
+    ++Counters.FaultStalls;
+    ++Steps;
+    return true;
+  }
   execute();
   ++Steps;
   return true;
@@ -208,6 +224,13 @@ void Machine::exportStats(obs::Registry &R) const {
   R.counter("vm.lock_spins").add(Counters.LockSpins);
   R.counter("vm.unlocks").add(Counters.Unlocks);
   R.counter("vm.program_errors").add(Counters.ProgramErrors);
+  // fault.* appears only for machines with hooks attached, so fault-free
+  // suites keep their pinned counter sets byte-identical.
+  if (Cfg.Faults) {
+    R.counter("fault.stalls").add(Counters.FaultStalls);
+    R.counter("fault.lock_failures").add(Counters.FaultLockFailures);
+    R.counter("fault.preemptions").add(Counters.FaultPreemptions);
+  }
 }
 
 void Machine::recordError(const EventCtx &Ctx, const std::string &Msg) {
@@ -463,6 +486,14 @@ void Machine::execute() {
       ++Counters.LockSpins;
       T.State = ThreadState::Blocked;
       MutexWaiters[M].push_back(CurThread);
+      return;
+    }
+    if (Cfg.Faults &&
+        Cfg.Faults->failLockAcquire(Steps, CurThread, M)) {
+      // Spurious acquire failure: the step is consumed, the pc does not
+      // advance, and the thread stays Ready to retry (no owner exists
+      // to wake it from the wait queue).
+      ++Counters.FaultLockFailures;
       return;
     }
     MutexOwner[M] = static_cast<int32_t>(CurThread);

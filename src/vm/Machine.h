@@ -25,6 +25,7 @@
 
 #include "isa/Program.h"
 #include "support/Rng.h"
+#include "vm/FaultHooks.h"
 #include "vm/Observer.h"
 
 #include <cstdint>
@@ -73,6 +74,11 @@ struct MachineConfig {
   /// Steps between randomized thread-to-CPU migrations (only with
   /// NumCpus != 0). 0 disables migration.
   uint64_t MigrationInterval = 0;
+  /// Deterministic fault-injection hooks (vm/FaultHooks.h); null runs
+  /// fault-free. Not owned; must outlive the machine. Hook answers are
+  /// pure functions of their arguments, so checkpoint/restore replays
+  /// re-inject identical faults.
+  const FaultHooks *Faults = nullptr;
 };
 
 /// Always-on execution counters, maintained by the interpreter at event
@@ -89,6 +95,10 @@ struct ExecCounters {
   uint64_t LockSpins = 0;     ///< steps burned blocking on a held mutex
   uint64_t Unlocks = 0;       ///< mutex releases
   uint64_t ProgramErrors = 0; ///< failed asserts and runtime faults
+  // Injected-fault effects (zero unless MachineConfig::Faults is set).
+  uint64_t FaultStalls = 0;       ///< steps burned by injected stalls
+  uint64_t FaultLockFailures = 0; ///< spurious acquire failures
+  uint64_t FaultPreemptions = 0;  ///< timeslices cut short
 };
 
 /// One recorded program error (failed assert or runtime fault).

@@ -4,6 +4,9 @@
 
 #include "support/StringUtils.h"
 
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -62,37 +65,64 @@ bool vm::parseSchedule(const std::string &Text, RecordedSchedule &Out,
     Error = "missing 'steps' line";
     return false;
   }
+  // Bound the declared count before any allocation keyed on it; a
+  // negative value fed through %zu wraps to something enormous and
+  // lands here too.
+  constexpr size_t MaxDeclaredSteps = size_t(1) << 31;
+  if (Steps > MaxDeclaredSteps) {
+    Error = formatString("declared step count %zu exceeds limit %zu",
+                         Steps, MaxDeclaredSteps);
+    return false;
+  }
 
   std::string Tok;
   while (In >> Tok) {
-    unsigned Tid = 0;
     size_t Count = 1;
     size_t Star = Tok.find('*');
     const char *T = Tok.c_str();
-    char *End = nullptr;
-    Tid = static_cast<unsigned>(std::strtoul(T, &End, 10));
-    if (End == T) {
+    // strtoul alone is too permissive: it accepts signs (so "-1" wraps
+    // to a huge thread id) and saturates out-of-range values with no
+    // error here. Require a bare digit first and range-check after.
+    if (!std::isdigit(static_cast<unsigned char>(*T))) {
       Error = "malformed token '" + Tok + "'";
       return false;
     }
+    errno = 0;
+    char *End = nullptr;
+    unsigned long long Tid = std::strtoull(T, &End, 10);
+    bool TidEndsClean =
+        Star == std::string::npos ? *End == '\0' : End == T + Star;
+    if (End == T || !TidEndsClean) {
+      Error = "malformed token '" + Tok + "'";
+      return false;
+    }
+    if (errno == ERANGE || Tid > UINT32_MAX) {
+      Error = "thread id out of range in '" + Tok + "'";
+      return false;
+    }
     if (Star != std::string::npos) {
-      const char *C = Tok.c_str() + Star + 1;
+      const char *C = T + Star + 1;
+      errno = 0;
       char *End2 = nullptr;
-      Count = std::strtoull(C, &End2, 10);
-      if (End2 == C || Count == 0) {
+      unsigned long long N =
+          std::isdigit(static_cast<unsigned char>(*C))
+              ? std::strtoull(C, &End2, 10)
+              : 0;
+      if (End2 == C || !End2 || *End2 != '\0' || N == 0 ||
+          errno == ERANGE) {
         Error = "malformed run length in '" + Tok + "'";
         return false;
       }
-    } else if (*End != '\0') {
-      Error = "malformed token '" + Tok + "'";
+      Count = N;
+    }
+    // Check against the declared count BEFORE inserting, so a hostile
+    // run length ("0*999999999999") cannot drive a giant allocation.
+    if (Count > Steps - Out.Schedule.size()) {
+      Error = "schedule longer than declared step count";
       return false;
     }
     Out.Schedule.insert(Out.Schedule.end(), Count,
                         static_cast<isa::ThreadId>(Tid));
-    if (Out.Schedule.size() > Steps) {
-      Error = "schedule longer than declared step count";
-      return false;
-    }
   }
   if (Out.Schedule.size() != Steps) {
     Error = formatString("schedule has %zu steps, header declares %zu",

@@ -1,0 +1,32 @@
+# End-to-end check of svd-chaos's JSON report. Runs the table1 suite
+# through the canonical fault-plan matrix, requires a clean exit (every
+# robustness invariant holds), validates the --report file with
+# svd-json-check, and requires stdout (--json) to be byte-identical to
+# the report file — one emitter, two sinks. Invoke with:
+#
+#   cmake -DCHAOS=<svd-chaos> -DCHECK=<svd-json-check> -DOUTDIR=<scratch>
+#         -P ChaosCheck.cmake
+
+file(MAKE_DIRECTORY "${OUTDIR}")
+set(REPORT "${OUTDIR}/chaos_table1.json")
+
+execute_process(COMMAND "${CHAOS}" --suite table1 --plans 4 --jobs 2
+                        --json --report "${REPORT}"
+                OUTPUT_VARIABLE STDOUT_DOC
+                RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "svd-chaos exited ${RC} (robustness invariant "
+                      "violated or crash)")
+endif()
+
+execute_process(COMMAND "${CHECK}" "${REPORT}"
+                OUTPUT_QUIET
+                RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "svd-json-check rejected ${REPORT}")
+endif()
+
+file(READ "${REPORT}" FILE_DOC)
+if(NOT STDOUT_DOC STREQUAL FILE_DOC)
+  message(FATAL_ERROR "--json stdout differs from the --report file")
+endif()

@@ -64,6 +64,102 @@ TEST(ScheduleFile, RejectsMalformedToken) {
       "svd-schedule v1\nrndseed 1\nsteps 2\n0*zz\n", Out, Error));
 }
 
+// Every parse failure names its cause; one test per diagnostic so the
+// hardened paths (overflow, signs, trailing garbage, truncated files)
+// cannot silently regress to an accept.
+TEST(ScheduleFile, RejectsTruncatedFiles) {
+  RecordedSchedule Out;
+  std::string Error;
+  EXPECT_FALSE(parseSchedule("", Out, Error));
+  EXPECT_NE(Error.find("header"), std::string::npos);
+  EXPECT_FALSE(parseSchedule("svd-schedule v1\n", Out, Error));
+  EXPECT_NE(Error.find("rndseed"), std::string::npos);
+  EXPECT_FALSE(parseSchedule("svd-schedule v1\nrndseed 1\n", Out, Error));
+  EXPECT_NE(Error.find("steps"), std::string::npos);
+}
+
+TEST(ScheduleFile, RejectsHugeDeclaredStepCount) {
+  RecordedSchedule Out;
+  std::string Error;
+  // A negative count scanned through %zu wraps to an enormous value;
+  // the declared-count bound must catch it before any allocation.
+  EXPECT_FALSE(parseSchedule(
+      "svd-schedule v1\nrndseed 1\nsteps 18446744073709551615\n", Out,
+      Error));
+  EXPECT_NE(Error.find("exceeds limit"), std::string::npos);
+  EXPECT_FALSE(parseSchedule(
+      "svd-schedule v1\nrndseed 1\nsteps -1\n", Out, Error));
+}
+
+TEST(ScheduleFile, RejectsSignedAndGarbageTokens) {
+  RecordedSchedule Out;
+  std::string Error;
+  // Signs must not wrap into huge thread ids via strtoull.
+  EXPECT_FALSE(parseSchedule(
+      "svd-schedule v1\nrndseed 1\nsteps 1\n-1\n", Out, Error));
+  EXPECT_NE(Error.find("malformed token"), std::string::npos);
+  EXPECT_FALSE(parseSchedule(
+      "svd-schedule v1\nrndseed 1\nsteps 1\n+2\n", Out, Error));
+  EXPECT_NE(Error.find("malformed token"), std::string::npos);
+  // Trailing garbage after the thread id.
+  EXPECT_FALSE(parseSchedule(
+      "svd-schedule v1\nrndseed 1\nsteps 1\n0zz\n", Out, Error));
+  EXPECT_NE(Error.find("malformed token"), std::string::npos);
+  // Garbage between the digits and the '*'.
+  EXPECT_FALSE(parseSchedule(
+      "svd-schedule v1\nrndseed 1\nsteps 2\n0x*2\n", Out, Error));
+  EXPECT_NE(Error.find("malformed token"), std::string::npos);
+}
+
+TEST(ScheduleFile, RejectsThreadIdOverflow) {
+  RecordedSchedule Out;
+  std::string Error;
+  // Above UINT32_MAX: must not truncate into a valid-looking id.
+  EXPECT_FALSE(parseSchedule(
+      "svd-schedule v1\nrndseed 1\nsteps 1\n4294967296\n", Out, Error));
+  EXPECT_NE(Error.find("thread id out of range"), std::string::npos);
+  // Above UINT64_MAX: strtoull saturates and sets ERANGE.
+  EXPECT_FALSE(parseSchedule(
+      "svd-schedule v1\nrndseed 1\nsteps 1\n99999999999999999999\n", Out,
+      Error));
+  EXPECT_NE(Error.find("thread id out of range"), std::string::npos);
+}
+
+TEST(ScheduleFile, RejectsMalformedRunLengths) {
+  RecordedSchedule Out;
+  std::string Error;
+  // Empty, signed, zero, garbage-suffixed, and overflowing run lengths.
+  for (const char *Body :
+       {"0*\n", "0*-2\n", "0*+2\n", "0*0\n", "0*2z\n",
+        "0*99999999999999999999\n"}) {
+    std::string Text = "svd-schedule v1\nrndseed 1\nsteps 4\n";
+    Text += Body;
+    EXPECT_FALSE(parseSchedule(Text, Out, Error)) << Body;
+    EXPECT_NE(Error.find("malformed run length"), std::string::npos)
+        << Body << " -> " << Error;
+  }
+}
+
+TEST(ScheduleFile, RejectsRunLengthPastDeclaredCount) {
+  RecordedSchedule Out;
+  std::string Error;
+  // A hostile run length must be rejected by comparison against the
+  // declared count *before* any insertion drives a giant allocation.
+  EXPECT_FALSE(parseSchedule(
+      "svd-schedule v1\nrndseed 1\nsteps 4\n0*999999999999\n", Out,
+      Error));
+  EXPECT_NE(Error.find("longer than declared"), std::string::npos);
+  EXPECT_TRUE(Out.Schedule.empty());
+}
+
+TEST(ScheduleFile, RejectsTrailingGarbageTokens) {
+  RecordedSchedule Out;
+  std::string Error;
+  EXPECT_FALSE(parseSchedule(
+      "svd-schedule v1\nrndseed 1\nsteps 2\n0 1 trailing\n", Out, Error));
+  EXPECT_NE(Error.find("malformed token"), std::string::npos);
+}
+
 TEST(ScheduleFile, SaveLoadRoundTripsThroughDisk) {
   RecordedSchedule R;
   R.RndSeed = 99;

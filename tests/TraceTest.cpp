@@ -111,6 +111,101 @@ TEST(Trace, SharedOracleCountsRepeatedSameThreadAsOne) {
   EXPECT_FALSE(T.isSharedAddress(P.addressOf("g")));
 }
 
+TEST(Trace, ValidateAcceptsRecordedTraces) {
+  isa::Program P = assembleOrDie(R"(
+.global g
+.lock m
+.thread t x2
+  lock @m
+  ld r1, [@g]
+  addi r1, r1, 1
+  st r1, [@g]
+  unlock @m
+  halt
+)");
+  ProgramTrace T = recordRun(P, 5);
+  std::string Err;
+  EXPECT_TRUE(validate(T, Err)) << Err;
+  EXPECT_TRUE(Err.empty());
+}
+
+TEST(Trace, ValidateNamesEveryCorruptionKind) {
+  isa::Program P = assembleOrDie(R"(
+.global g
+.lock m
+.thread t
+  ld r1, [@g]
+  st r1, [@g]
+  halt
+)");
+  ProgramTrace Clean = recordRun(P);
+  ASSERT_GE(Clean.size(), 3u);
+
+  // Rebuild the trace with exactly one field mangled per case; the
+  // diagnostic must name the offending event and cause.
+  struct Case {
+    const char *Expect;
+    void (*Mangle)(TraceEvent &);
+  };
+  const Case Cases[] = {
+      {"thread id", [](TraceEvent &E) { E.Tid = 99; }},
+      {"breaks execution order", [](TraceEvent &E) { E.Seq = 0; }},
+      {"null instruction", [](TraceEvent &E) { E.Instr = nullptr; }},
+      {"address",
+       [](TraceEvent &E) {
+         E.Kind = EventKind::Store;
+         E.Address = 1u << 30;
+       }},
+      {"mutex id",
+       [](TraceEvent &E) {
+         E.Kind = EventKind::Lock;
+         E.MutexId = 77;
+       }},
+  };
+  for (const Case &C : Cases) {
+    ProgramTrace Bad(P);
+    for (size_t I = 0; I < Clean.size(); ++I) {
+      TraceEvent E = Clean[I];
+      if (I == 2)
+        C.Mangle(E);
+      Bad.appendUnchecked(E);
+    }
+    std::string Err;
+    EXPECT_FALSE(validate(Bad, Err)) << C.Expect;
+    EXPECT_NE(Err.find(C.Expect), std::string::npos) << Err;
+    EXPECT_NE(Err.find("event 2"), std::string::npos) << Err;
+  }
+}
+
+TEST(Trace, RecorderCapLeavesValidPrefix) {
+  isa::Program P = assembleOrDie(R"(
+.global g
+.thread t x2
+  ld r1, [@g]
+  addi r1, r1, 1
+  st r1, [@g]
+  halt
+)");
+  // Uncapped run for the reference event count.
+  ProgramTrace Full = recordRun(P, 9);
+  ASSERT_GT(Full.size(), 4u);
+
+  vm::MachineConfig Cfg;
+  Cfg.SchedSeed = 9;
+  vm::Machine M(P, Cfg);
+  TraceRecorder R(P);
+  R.setMaxEvents(4);
+  M.addObserver(&R);
+  M.run();
+  EXPECT_EQ(R.trace().size(), 4u);
+  EXPECT_EQ(R.droppedEvents(), Full.size() - 4);
+  // The capped prefix is still structurally valid.
+  std::string Err;
+  EXPECT_TRUE(validate(R.trace(), Err)) << Err;
+  for (size_t I = 0; I < 4; ++I)
+    EXPECT_EQ(R.trace()[I].Seq, Full[I].Seq);
+}
+
 TEST(Trace, InstrPointersMatchProgram) {
   isa::Program P = assembleOrDie(R"(
 .thread t
