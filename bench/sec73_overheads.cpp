@@ -10,6 +10,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/AccessTable.h"
+#include "analysis/AtomicProof.h"
 #include "race/HappensBefore.h"
 #include "race/Lockset.h"
 #include "svd/OnlineSvd.h"
@@ -28,8 +29,16 @@ workloads::Workload makeWorkload(int Which) {
   P.Iterations = 60;
   P.WorkPadding = 40;
   P.TouchOneIn = 4;
-  return Which == 0 ? workloads::pgsqlOltp(P)
-                    : workloads::mysqlPrepared(P);
+  switch (Which) {
+  case 1:
+    return workloads::mysqlPrepared(P);
+  case 2:
+    return workloads::lockedCounters(P);
+  case 3:
+    return workloads::tidSlab(P);
+  default:
+    return workloads::pgsqlOltp(P);
+  }
 }
 
 vm::MachineConfig machineConfig() {
@@ -116,6 +125,47 @@ void BM_OnlineSvdFiltered(benchmark::State &State) {
                           static_cast<double>(Accesses);
 }
 
+void BM_OnlineSvdPruned(benchmark::State &State) {
+  // SVD with both static proofs: the access table's thread-local
+  // filter plus the CU atomicity proofs (prove-and-prune). pruned_pct
+  // is the fraction of dynamic accesses skipped because they sit in a
+  // ProvenAtomic unit; reports stay bit-identical (the PruneDiff test
+  // pins that across every suite).
+  workloads::Workload W = makeWorkload(static_cast<int>(State.range(0)));
+  analysis::AccessTable Table = analysis::buildAccessTable(W.Program);
+  analysis::CuProofs Proofs = analysis::proveAtomicCus(W.Program);
+  uint64_t Steps = 0;
+  size_t Bytes = 0;
+  uint64_t Filtered = 0, Pruned = 0, Accesses = 0;
+  for (auto _ : State) {
+    vm::Machine M(W.Program, machineConfig());
+    detect::OnlineSvdConfig Cfg;
+    Cfg.Access = &Table;
+    Cfg.Proofs = &Proofs;
+    detect::OnlineSvd Svd(W.Program, Cfg);
+    AccessCounter Counter;
+    M.addObserver(&Svd);
+    M.addObserver(&Counter);
+    M.run();
+    Steps = M.steps();
+    Bytes = Svd.approxMemoryBytes();
+    Filtered = Svd.filteredAccesses();
+    Pruned = Svd.prunedAccesses();
+    Accesses = Counter.Accesses;
+  }
+  reportSteps(State, Steps * State.iterations());
+  State.counters["detector_MB"] =
+      static_cast<double>(Bytes) / (1024.0 * 1024.0);
+  State.counters["filtered_pct"] =
+      Accesses == 0 ? 0.0
+                    : 100.0 * static_cast<double>(Filtered) /
+                          static_cast<double>(Accesses);
+  State.counters["pruned_pct"] =
+      Accesses == 0 ? 0.0
+                    : 100.0 * static_cast<double>(Pruned) /
+                          static_cast<double>(Accesses);
+}
+
 void BM_HappensBefore(benchmark::State &State) {
   workloads::Workload W = makeWorkload(static_cast<int>(State.range(0)));
   uint64_t Steps = 0;
@@ -148,10 +198,16 @@ void BM_Lockset(benchmark::State &State) {
 
 } // namespace
 
-// Arg 0 = PgSQL, 1 = MySQL.
+// Arg 0 = PgSQL, 1 = MySQL, 2 = LockedCounters, 3 = TidSlab.
 BENCHMARK(BM_Bare)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_OnlineSvd)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_OnlineSvdFiltered)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OnlineSvdPruned)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_HappensBefore)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Lockset)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 

@@ -1,0 +1,28 @@
+; The AB-BA deadlock shape: one thread locks a then b, the other b then
+; a. No single run need deadlock (and the detectors never report lock
+; trouble — SVD is lock-oblivious by design), but the static proof pass
+; builds the lock-order graph and reports the cycle:
+;
+;   svd-lint lock_order_cycle.asm --prove
+.global x
+.global y
+.lock a
+.lock b
+.thread fwd
+  lock @a
+  lock @b
+  ld r1, [@x]
+  addi r1, r1, 1
+  st r1, [@y]
+  unlock @b
+  unlock @a
+  halt
+.thread rev
+  lock @b
+  lock @a
+  ld r1, [@y]
+  addi r1, r1, 1
+  st r1, [@x]
+  unlock @a
+  unlock @b
+  halt

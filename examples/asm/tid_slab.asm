@@ -1,0 +1,33 @@
+; Tid-strided slabs of one shared array: thread i owns slab[i*8 .. i*8+7]
+; of a single `.global` buffer — the classic sharded-counter layout.
+; Interval analysis alone cannot prove these accesses thread-local
+; (every thread's raw interval is the whole array), but the value-flow
+; pass tracks the affine address term `8*tid + [0,7]` and proves the
+; slabs disjoint, so the detectors skip every access:
+;
+;   svd-lint tid_slab.asm --escape
+;
+; The `li r6, 0` guard below is a constant branch: sparse conditional
+; constant propagation proves the `spill:` arm dead. Without that, the
+; escaped index (r3 = 31) would force the whole-array interval back and
+; the locality proof would be (soundly) refused.
+.global slab 32
+.thread shard x4
+  li r5, 12
+  li r6, 0
+  tid r1
+  muli r1, r1, 8          ; slab base = 8 * tid
+fill:
+  rnd r2, 8               ; offset in [0, 7] — inside this thread's slab
+  add r2, r2, r1
+  ld r3, [r2+@slab]
+  addi r3, r3, 1
+  bnez r6, spill          ; never taken: r6 is the constant 0
+  st r3, [r2+@slab]
+  addi r5, r5, -1
+  bnez r5, fill
+  halt
+spill:
+  li r3, 31               ; dead code: would index the last word of slab
+  st r3, [r3+@slab]
+  halt

@@ -1,0 +1,11 @@
+; Two never-written registers read by one instruction: both warnings
+; attach to the same pc, pinning the diagnostic tie-order — same line,
+; same category, same thread, same pc, so only the message text orders
+; them (r2 before r3, lexicographically):
+;
+;   svd-lint uninit_pair.asm
+.global out
+.thread reader
+  add r1, r2, r3
+  st r1, [@out]
+  halt

@@ -4,7 +4,11 @@
 
 #include "analysis/Escape.h"
 #include "analysis/StaticLockset.h"
+#include "analysis/ValueFlow.h"
 #include "isa/Cfg.h"
+
+#include <memory>
+#include <optional>
 
 using namespace svd;
 using namespace svd::analysis;
@@ -34,20 +38,38 @@ uint64_t analysis::countAccessSites(const isa::Program &P,
 
 AccessTable analysis::buildAccessTable(const isa::Program &P,
                                        uint32_t BlockShift) {
-  uint32_t NumThreads = P.numThreads();
-  AccessTable Table(BlockShift, NumThreads);
+  AccessTableOptions O;
+  O.BlockShift = BlockShift;
+  return buildAccessTable(P, O);
+}
 
-  // Per-thread passes.
-  std::vector<EscapeAnalysis> Escapes;
+AccessTable analysis::buildAccessTable(const isa::Program &P,
+                                       const AccessTableOptions &O) {
+  uint32_t NumThreads = P.numThreads();
+  AccessTable Table(O.BlockShift, NumThreads);
+
+  // Per-thread passes. With ValueFlow on, its reduced product supplies
+  // the (sharpened) access bounds; otherwise raw Escape intervals do.
+  std::optional<ValueFlowAnalysis> VF;
+  if (O.UseValueFlow)
+    VF.emplace(P);
+  std::vector<std::unique_ptr<isa::ThreadCfg>> Cfgs;
+  std::vector<std::unique_ptr<EscapeAnalysis>> Escapes;
   std::vector<StaticLockset> Locksets;
-  Escapes.reserve(NumThreads);
+  std::vector<std::vector<AccessSite>> Sites(NumThreads);
   Locksets.reserve(NumThreads);
   for (isa::ThreadId Tid = 0; Tid < NumThreads; ++Tid) {
     const std::vector<isa::Instruction> &Code = P.Threads[Tid].Code;
-    isa::ThreadCfg Cfg(Code);
-    Escapes.emplace_back(Cfg, Code, Tid);
-    Locksets.emplace_back(Cfg, Code,
+    Cfgs.push_back(std::make_unique<isa::ThreadCfg>(Code));
+    Locksets.emplace_back(*Cfgs.back(), Code,
                           static_cast<uint32_t>(P.Mutexes.size()));
+    if (VF) {
+      Sites[Tid] = VF->sharpenedAccesses(Tid);
+    } else {
+      Escapes.push_back(
+          std::make_unique<EscapeAnalysis>(*Cfgs.back(), Code, Tid));
+      Sites[Tid] = Escapes.back()->accesses();
+    }
     Table.resizeThread(Tid, Code.size());
   }
 
@@ -55,8 +77,8 @@ AccessTable analysis::buildAccessTable(const isa::Program &P,
   // alias check.
   std::vector<std::vector<Interval>> Expanded(NumThreads);
   for (isa::ThreadId Tid = 0; Tid < NumThreads; ++Tid)
-    for (const AccessSite &S : Escapes[Tid].accesses())
-      Expanded[Tid].push_back(blockExpand(S.Addr, BlockShift));
+    for (const AccessSite &S : Sites[Tid])
+      Expanded[Tid].push_back(blockExpand(S.Addr, O.BlockShift));
 
   auto OtherThreadMayTouch = [&](isa::ThreadId Tid, const Interval &Range) {
     for (isa::ThreadId U = 0; U < NumThreads; ++U) {
@@ -70,9 +92,8 @@ AccessTable analysis::buildAccessTable(const isa::Program &P,
   };
 
   for (isa::ThreadId Tid = 0; Tid < NumThreads; ++Tid) {
-    const std::vector<AccessSite> &Sites = Escapes[Tid].accesses();
-    for (size_t K = 0; K < Sites.size(); ++K) {
-      const AccessSite &S = Sites[K];
+    for (size_t K = 0; K < Sites[Tid].size(); ++K) {
+      const AccessSite &S = Sites[Tid][K];
       const Interval &Range = Expanded[Tid][K];
       if (Range.empty() || Range.isFull() || Range.Lo < 0)
         continue; // stays PossiblyShared
@@ -85,17 +106,32 @@ AccessTable analysis::buildAccessTable(const isa::Program &P,
       if (S.IsCas)
         continue;
 
-      // ThreadLocal: inside this thread's own copy of a .local symbol,
-      // out of every other thread's possible reach.
+      // ThreadLocal. The classic rule needs the range inside this
+      // thread's own copy of a .local symbol; the ValueFlow slab rule
+      // relaxes that to any single symbol — a Tid-strided slab of a
+      // .global array is just as private once no other thread's
+      // (sharpened) range can reach it. Both demand exclusivity at
+      // block granularity, which is the actual proof.
       bool Local = false;
       for (const isa::DataSymbol &Sym : P.Symbols) {
-        if (!Sym.IsThreadLocal)
-          continue;
-        int64_t Base =
-            static_cast<int64_t>(Sym.Base) + int64_t(Tid) * Sym.Size;
-        if (Range.within(Base, Base + Sym.Size - 1)) {
-          Local = !OtherThreadMayTouch(Tid, Range);
-          break;
+        if (VF) {
+          int64_t Size = Sym.IsThreadLocal
+                             ? int64_t(P.numThreads()) * Sym.Size
+                             : Sym.Size;
+          if (Range.within(Sym.Base, static_cast<int64_t>(Sym.Base) + Size -
+                                         1)) {
+            Local = !OtherThreadMayTouch(Tid, Range);
+            break;
+          }
+        } else {
+          if (!Sym.IsThreadLocal)
+            continue;
+          int64_t Base =
+              static_cast<int64_t>(Sym.Base) + int64_t(Tid) * Sym.Size;
+          if (Range.within(Base, Base + Sym.Size - 1)) {
+            Local = !OtherThreadMayTouch(Tid, Range);
+            break;
+          }
         }
       }
       if (Local) {

@@ -89,10 +89,27 @@ private:
   std::vector<std::vector<AccessClass>> Classes;
 };
 
+/// Knobs for buildAccessTable. ValueFlow (ValueFlow.h) is on by
+/// default: it sharpens every address bound (never wider than Escape's
+/// raw interval) and enables the *slab rule* — an access whose
+/// sharpened block-expanded range no other thread can reach classifies
+/// ThreadLocal even inside a `.global` symbol (the Tid-strided
+/// per-thread slab pattern interval analysis alone cannot split).
+/// Turning it off reproduces the pre-ValueFlow Escape-only classifier,
+/// which the monotonicity property test compares against.
+struct AccessTableOptions {
+  uint32_t BlockShift = 0;
+  bool UseValueFlow = true;
+};
+
 /// Runs the escape and lockset passes over every thread of \p P and
 /// classifies every static access site at block granularity
 /// \p BlockShift (0 = the paper's word-size blocks).
 AccessTable buildAccessTable(const isa::Program &P, uint32_t BlockShift = 0);
+
+/// As above, with explicit options.
+AccessTable buildAccessTable(const isa::Program &P,
+                             const AccessTableOptions &O);
 
 /// Number of static memory-access sites of \p P whose class in \p T is
 /// \p C. Needs the program because the table alone cannot tell a

@@ -20,6 +20,7 @@
 #define SVD_ANALYSIS_ANALYSIS_H
 
 #include "analysis/AccessTable.h"
+#include "analysis/AtomicProof.h"
 #include "analysis/ConflictPairs.h"
 #include "analysis/Dataflow.h"
 #include "analysis/Escape.h"
@@ -29,5 +30,6 @@
 #include "analysis/ReachingDefs.h"
 #include "analysis/StaticCu.h"
 #include "analysis/StaticLockset.h"
+#include "analysis/ValueFlow.h"
 
 #endif // SVD_ANALYSIS_ANALYSIS_H

@@ -26,6 +26,17 @@
 ///   void transfer(uint32_t Pc, const isa::Instruction &I, Value &V) const;
 /// \endcode
 ///
+/// A forward domain may additionally supply
+///
+/// \code
+///   // May control flow follow the edge Pc -> Succ given the fact Out
+///   // just after Pc? Returning false prunes the edge (sparse
+///   // conditional propagation); a domain without this member keeps
+///   // every CFG edge.
+///   bool edgeFeasible(uint32_t Pc, const isa::Instruction &I,
+///                     const Value &Out, uint32_t Succ) const;
+/// \endcode
+///
 /// The solver stores one fact per node at its *traversal entry*: the
 /// point before the instruction for forward analyses, after it for
 /// backward ones. The virtual exit node has an identity transfer.
@@ -38,6 +49,7 @@
 #include "isa/Cfg.h"
 #include "isa/Isa.h"
 
+#include <concepts>
 #include <cstdint>
 #include <vector>
 
@@ -128,6 +140,15 @@ private:
                                               ? Cfg.successors(Node)
                                               : Preds[Node];
       for (uint32_t S : Next) {
+        if constexpr (requires(const D &Dm, const Value &V) {
+                        {
+                          Dm.edgeFeasible(uint32_t(0), Code[0], V, uint32_t(0))
+                        } -> std::same_as<bool>;
+                      }) {
+          if (Dir == Direction::Forward && Node < Cfg.size() &&
+              !Dom.edgeFeasible(Node, Code[Node], Out, S))
+            continue;
+        }
         bool First = !Reached[S];
         Reached[S] = true;
         bool Widen = Updates[S] > WidenThreshold;

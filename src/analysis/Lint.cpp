@@ -2,6 +2,7 @@
 
 #include "analysis/Lint.h"
 
+#include "analysis/AtomicProof.h"
 #include "analysis/Liveness.h"
 #include "analysis/ReachingDefs.h"
 #include "analysis/StaticLockset.h"
@@ -114,6 +115,33 @@ void lintDeadWrites(isa::ThreadId Tid, const isa::ThreadCfg &Cfg,
   }
 }
 
+void lintProofs(const isa::Program &P, const LintOptions &O,
+                std::vector<LintDiag> &Out) {
+  AccessTableOptions AO;
+  AO.BlockShift = O.BlockShift;
+  CuProofs Proofs = proveAtomicCus(P, AO);
+  for (const ProofDiag &D : Proofs.diagnostics()) {
+    LintDiag L;
+    L.Severity = LintSeverity::Warning;
+    L.Tid = D.Tid;
+    L.Pc = D.Pc;
+    L.Line = D.Line;
+    L.Message = D.Message;
+    switch (D.K) {
+    case ProofDiag::Kind::InconsistentLock:
+      L.Category = "inconsistent-lock";
+      break;
+    case ProofDiag::Kind::NonTwoPhase:
+      L.Category = "non-two-phase";
+      break;
+    case ProofDiag::Kind::LockOrderCycle:
+      L.Category = "lock-order-cycle";
+      break;
+    }
+    Out.push_back(std::move(L));
+  }
+}
+
 } // namespace
 
 std::vector<LintDiag> analysis::lintProgram(const isa::Program &P,
@@ -129,6 +157,8 @@ std::vector<LintDiag> analysis::lintProgram(const isa::Program &P,
     if (O.DeadWrites)
       lintDeadWrites(Tid, Cfg, Code, Out);
   }
+  if (O.Prove)
+    lintProofs(P, O, Out);
   sortLintDiags(Out);
   return Out;
 }
@@ -136,7 +166,7 @@ std::vector<LintDiag> analysis::lintProgram(const isa::Program &P,
 void analysis::sortLintDiags(std::vector<LintDiag> &Ds) {
   std::sort(Ds.begin(), Ds.end(), [](const LintDiag &A, const LintDiag &B) {
     auto Key = [](const LintDiag &D) {
-      return std::tie(D.Line, D.Category, D.Tid, D.Pc);
+      return std::tie(D.Line, D.Category, D.Tid, D.Pc, D.Message);
     };
     return Key(A) < Key(B);
   });

@@ -32,7 +32,8 @@ enum class LintSeverity : uint8_t { Error, Warning };
 struct LintDiag {
   LintSeverity Severity = LintSeverity::Warning;
   /// Stable category slug: "lock-imbalance", "double-acquire",
-  /// "unlock-not-held", "uninit-read", "dead-write".
+  /// "unlock-not-held", "uninit-read", "dead-write", and (with Prove)
+  /// "inconsistent-lock", "non-two-phase", "lock-order-cycle".
   std::string Category;
   isa::ThreadId Tid = 0;
   uint32_t Pc = 0;
@@ -48,6 +49,16 @@ struct LintOptions {
   /// scaffolding (e.g. counters kept for symmetry), so this family is
   /// opt-in.
   bool DeadWrites = false;
+  /// Off by default: runs the whole-program atomicity-proof machinery
+  /// (AtomicProof.h) and surfaces its diagnostics — "inconsistent-lock"
+  /// (Eraser-style mixed locked/bare access to one alias group),
+  /// "non-two-phase" (a unit's common lock released inside it), and
+  /// "lock-order-cycle" (AB-BA acquisition orders). Opt-in because
+  /// deliberately-racy demo programs would otherwise stop linting clean
+  /// for the families they do not seed.
+  bool Prove = false;
+  /// Block granularity for the proof pass (with Prove).
+  uint32_t BlockShift = 0;
 };
 
 /// Runs all enabled checks on every thread of \p P; diagnostics come out
@@ -55,10 +66,13 @@ struct LintOptions {
 std::vector<LintDiag> lintProgram(const isa::Program &P,
                                   const LintOptions &O = LintOptions());
 
-/// Canonical diagnostic order: (line, category, thread, pc) — source
-/// order first, so reports read top-down like a compiler's regardless of
-/// which pass produced them. Programs built in memory (all lines 0)
-/// fall back to (category, thread, pc).
+/// Canonical diagnostic order: (line, category, thread, pc, message) —
+/// source order first, so reports read top-down like a compiler's
+/// regardless of which pass produced them, with the message as the last
+/// tie-break so two findings at the same pc (e.g. two uninitialized
+/// operands of one instruction) come out in a pinned order. Programs
+/// built in memory (all lines 0) fall back to (category, thread, pc,
+/// message).
 void sortLintDiags(std::vector<LintDiag> &Ds);
 
 /// Renders \p D like "thread 'worker' pc 12 (line 7): error: ..." for

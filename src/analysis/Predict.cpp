@@ -87,7 +87,16 @@ std::vector<Prediction> analysis::predictProgram(const isa::Program &P,
   if (P.numThreads() < 2)
     return Out; // nothing may-happen-in-parallel
 
-  AccessTable Table = buildAccessTable(P, O.BlockShift);
+  // The predictor maximizes recall, so it sticks with the classic
+  // Escape-only classifier: ValueFlow's slab rule proves whole-program
+  // exclusivity of e.g. single-writer globals — sound for pruning
+  // dynamic detection of this exact program, but a predictor silent
+  // about such publish sites would miss precisely the patterns that
+  // surface when a concurrent reader is added later.
+  AccessTableOptions AO;
+  AO.BlockShift = O.BlockShift;
+  AO.UseValueFlow = false;
+  AccessTable Table = buildAccessTable(P, AO);
   ConflictPairs CP(P, O.BlockShift);
   std::vector<uint32_t> Class = codeClasses(P);
 

@@ -9,15 +9,19 @@
 
 #include "harness/Suites.h"
 
+#include "analysis/AccessTable.h"
+#include "analysis/AtomicProof.h"
 #include "cu/CuPartition.h"
 #include "harness/Harness.h"
 #include "harness/Runner.h"
 #include "pdg/Pdg.h"
 #include "predict/Confirm.h"
 #include "support/StringUtils.h"
+#include "svd/OnlineSvd.h"
 #include "trace/Trace.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <set>
 #include <vector>
@@ -143,6 +147,51 @@ std::vector<Workload> predictSuiteWorkloads() {
 // table1 — Table 1 "Test Programs"
 //===----------------------------------------------------------------------===//
 
+/// One row of the table1 --perf section: deterministic event counts
+/// from a seed-1 run under OnlineSvd with both static proofs wired in,
+/// plus the (wall-clock, advisory) instruction rate.
+struct PerfRow {
+  uint64_t Steps = 0;
+  uint64_t Events = 0;
+  uint64_t PrunedEvents = 0;
+  uint64_t FilteredEvents = 0;
+  size_t ProvenCus = 0;
+  double InstsPerSec = 0.0;
+
+  double prunedPct() const {
+    return Events == 0 ? 0.0
+                       : 100.0 * static_cast<double>(PrunedEvents) /
+                             static_cast<double>(Events);
+  }
+};
+
+PerfRow measurePerfRow(const Workload &W) {
+  analysis::AccessTable Table = analysis::buildAccessTable(W.Program);
+  analysis::CuProofs Proofs = analysis::proveAtomicCus(W.Program);
+  SampleConfig C;
+  C.Seed = 1;
+  vm::Machine M(W.Program, machineConfigFor(C));
+  detect::OnlineSvdConfig SC;
+  SC.Access = &Table;
+  SC.Proofs = &Proofs;
+  detect::OnlineSvd Svd(W.Program, SC);
+  M.addObserver(&Svd);
+  auto T0 = std::chrono::steady_clock::now();
+  M.run();
+  double Seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  PerfRow R;
+  R.Steps = M.steps();
+  R.Events = Svd.eventsObserved();
+  R.PrunedEvents = Svd.prunedAccesses();
+  R.FilteredEvents = Svd.filteredAccesses();
+  R.ProvenCus = Proofs.proven().size();
+  R.InstsPerSec =
+      Seconds <= 0.0 ? 0.0 : static_cast<double>(R.Steps) / Seconds;
+  return R;
+}
+
 int runTable1(const SuiteOptions &O) {
   std::vector<Workload> Ws = table1SuiteWorkloads();
 
@@ -156,6 +205,13 @@ int runTable1(const SuiteOptions &O) {
   }
   std::vector<SampleMetrics> Ms = ParallelRunner(runnerConfig(O)).run(Specs);
 
+  // The perf section runs serially by design: wall-clock rates measured
+  // under a concurrent fan-out would only measure the fan-out.
+  std::vector<PerfRow> Perf;
+  if (O.Perf)
+    for (const Workload &W : Ws)
+      Perf.push_back(measurePerfRow(W));
+
   if (O.Json) {
     std::string J = "{\"suite\":\"table1\",\"rows\":[";
     for (size_t I = 0; I < Ws.size(); ++I) {
@@ -164,11 +220,23 @@ int runTable1(const SuiteOptions &O) {
         J += ",";
       J += formatString(
           "{\"name\":\"%s\",\"threads\":%u,\"static_instrs\":%zu,"
-          "\"dynamic_instrs\":%llu,\"known_bug\":%s}",
+          "\"dynamic_instrs\":%llu,\"known_bug\":%s",
           jsonEscape(W.Name).c_str(), W.Program.numThreads(),
           W.Program.numInstructions(),
           static_cast<unsigned long long>(Ms[I].Steps),
           W.HasKnownBug ? "true" : "false");
+      if (O.Perf) {
+        const PerfRow &R = Perf[I];
+        J += formatString(
+            ",\"events\":%llu,\"pruned_events\":%llu,"
+            "\"filtered_events\":%llu,\"proven_cus\":%zu,"
+            "\"pruned_pct\":%.4f,\"insts_per_sec\":%.0f",
+            static_cast<unsigned long long>(R.Events),
+            static_cast<unsigned long long>(R.PrunedEvents),
+            static_cast<unsigned long long>(R.FilteredEvents), R.ProvenCus,
+            R.prunedPct(), R.InstsPerSec);
+      }
+      J += "}";
     }
     J += "]}\n";
     std::fputs(J.c_str(), stdout);
@@ -187,6 +255,26 @@ int runTable1(const SuiteOptions &O) {
               W.HasKnownBug ? "yes" : "no"});
   }
   std::fputs(T.render().c_str(), stdout);
+
+  if (O.Perf) {
+    std::puts("\n== Table 1 perf: OnlineSvd with static proofs (seed 1) ==\n");
+    TextTable PT({"Name", "Events", "Pruned", "Filtered", "Proven CUs",
+                  "Pruned %", "Insts/s"});
+    for (size_t I = 0; I < Ws.size(); ++I) {
+      const PerfRow &R = Perf[I];
+      PT.addRow({Ws[I].Name,
+                 formatString("%llu",
+                              static_cast<unsigned long long>(R.Events)),
+                 formatString(
+                     "%llu", static_cast<unsigned long long>(R.PrunedEvents)),
+                 formatString("%llu", static_cast<unsigned long long>(
+                                          R.FilteredEvents)),
+                 formatString("%zu", R.ProvenCus),
+                 formatString("%.2f", R.prunedPct()),
+                 formatString("%.0f", R.InstsPerSec)});
+    }
+    std::fputs(PT.render().c_str(), stdout);
+  }
 
   std::puts("\nDescriptions:");
   for (const Workload &W : Ws)

@@ -40,6 +40,14 @@ struct SuiteOptions {
   unsigned Seeds = 0;
   /// Emit a machine-readable JSON document instead of the text tables.
   bool Json = false;
+  /// table1 only: add a per-row performance section — instructions per
+  /// second under the online detector with both static proofs wired in
+  /// (access table + CU atomicity proofs), plus the deterministic event
+  /// and pruned-event counts. Everything except insts_per_sec is a pure
+  /// function of the workload (tools/bench_diff compares those fields
+  /// exactly against the committed BENCH_table1.json baseline and
+  /// treats the wall-clock rate as advisory).
+  bool Perf = false;
   /// Observability sink for the sample fan-out (svd-bench
   /// --metrics-json); counters are bit-identical at any Jobs. Not owned.
   obs::Registry *Obs = nullptr;

@@ -22,7 +22,7 @@ namespace {
 class HardwareSvdDetector final : public Detector {
 public:
   HardwareSvdDetector(const isa::Program &P, HardwareSvdConfig Cfg)
-      : Impl(P, Cfg) {}
+      : Impl(P, Cfg), Proofs(Cfg.Proofs) {}
 
   const char *name() const override { return "hwsvd"; }
   void attach(vm::Machine &M) override { M.addObserver(&Impl); }
@@ -55,10 +55,17 @@ public:
         .add(Impl.metadataEvictions());
     R.counter("detect.hwsvd.filtered_accesses")
         .add(Impl.filteredAccesses());
+    // Present only when proofs were supplied (keeps proof-oblivious
+    // configurations' exported stats byte-stable).
+    if (Proofs) {
+      R.counter("analysis.proven_cus").add(Proofs->proven().size());
+      R.counter("svd.cu_pruned_events").add(Impl.prunedAccesses());
+    }
   }
 
 private:
   HardwareSvd Impl;
+  const analysis::CuProofs *Proofs;
   mutable DetectorHealth H;
 };
 
@@ -83,6 +90,11 @@ HardwareSvd::HardwareSvd(const isa::Program &P, HardwareSvdConfig Cfg)
   FilterActive =
       Cfg.Access != nullptr &&
       (uint32_t(1) << Cfg.Access->blockShift()) == Cfg.Cache.LineWords;
+  // Proofs hold per thread; with the one-thread-per-CPU precondition
+  // the CPU index *is* the thread id, so only the granularity gates.
+  PruneActive =
+      Cfg.Proofs != nullptr &&
+      (uint32_t(1) << Cfg.Proofs->blockShift()) == Cfg.Cache.LineWords;
   uint32_t NumLines = Cache.lineOf(P.MemoryWords) + 1;
   Cpus.resize(Cfg.Cache.NumCpus);
   for (PerCpu &C : Cpus)
@@ -342,6 +354,24 @@ void HardwareSvd::onLoad(const EventCtx &Ctx, Addr A, isa::Word) {
     return;
   }
 
+  // ProvenAtomic fast path: the alias-group fixpoint prunes every
+  // access that could reach this line program-wide, so its coherence
+  // messages only ever find Idle peer lines — only the CU linkage
+  // through registers must run (cache already driven above).
+  if (isProvenCu(Ctx)) {
+    ++PrunedLoads;
+    CuId Id = find(C, LI.Cu);
+    if (Id == NoCu || C.Cus[Id].Dead)
+      Id = newCu(C);
+    LI.Cu = Id;
+    const Instruction &I = *Ctx.Instr;
+    if (I.Rd != isa::ZeroReg) {
+      C.RegSets[I.Rd].clear();
+      C.RegSets[I.Rd].push_back(Id);
+    }
+    return;
+  }
+
   if (LI.State == Fsm::StoredShared) {
     if (LI.RemoteWritePc != UINT32_MAX &&
         LI.RemoteWriteSeq > LI.LocalWriteSeq)
@@ -414,6 +444,15 @@ void HardwareSvd::onStore(const EventCtx &Ctx, Addr A, isa::Word) {
   // write-set entry since no other CPU can ever conflict on it.
   if (isFilteredLocal(Ctx)) {
     ++FilteredStores;
+    LI.Cu = Id;
+    return;
+  }
+
+  // ProvenAtomic fast path — the strict-2PL check and data-CU merge
+  // already ran; the line-side FSM/write-set work is dead for a
+  // consistently pruned alias group.
+  if (isProvenCu(Ctx)) {
+    ++PrunedStores;
     LI.Cu = Id;
     return;
   }

@@ -35,6 +35,7 @@
 #define SVD_SVD_HARDWARESVD_H
 
 #include "analysis/AccessTable.h"
+#include "analysis/AtomicProof.h"
 #include "cache/CacheSim.h"
 #include "isa/Cfg.h"
 #include "svd/Detector.h"
@@ -66,6 +67,15 @@ struct HardwareSvdConfig {
   /// detector metadata the access would have created. Ignored unless
   /// the table's block granularity matches the line size.
   const analysis::AccessTable *Access = nullptr;
+  /// Optional static atomicity proofs (analysis::proveAtomicCus).
+  /// Accesses inside ProvenAtomic units take the thread-local-style
+  /// fast path: the cache is still driven (the coherence stream is
+  /// part of the machine model) but the line FSM, block sets, and log
+  /// plumbing are skipped. Ignored unless the proofs' block
+  /// granularity matches the line size. Requires the program to run
+  /// one thread per CPU (the proofs are per thread), which the
+  /// at-most-NumCpus-threads precondition already guarantees.
+  const analysis::CuProofs *Proofs = nullptr;
   /// Upper bound on live CU-table entries per CPU (the SRAM side
   /// structure is finite in real hardware); 0 means unbounded. Over
   /// budget, the oldest live CU is deterministically ended before a
@@ -108,6 +118,8 @@ public:
   uint64_t metadataEvictions() const { return MetadataEvictions; }
   /// Dynamic accesses that took the provably-thread-local fast path.
   uint64_t filteredAccesses() const { return FilteredLoads + FilteredStores; }
+  /// Dynamic accesses pruned because they sit in a ProvenAtomic unit.
+  uint64_t prunedAccesses() const { return PrunedLoads + PrunedStores; }
   /// True once the CU-table budget forced an eviction (sticky).
   bool degraded() const { return DegradedFlag; }
   /// CUs ended early to stay under budget (included in numCusEnded()).
@@ -212,9 +224,16 @@ private:
                analysis::AccessClass::ThreadLocal;
   }
 
+  /// True when \p Ctx's access sits in a ProvenAtomic unit and proof
+  /// pruning is active.
+  bool isProvenCu(const vm::EventCtx &Ctx) const {
+    return PruneActive && Cfg.Proofs->provenAt(Ctx.Tid, Ctx.Pc);
+  }
+
   const isa::Program &Prog;
   HardwareSvdConfig Cfg;
   bool FilterActive = false;
+  bool PruneActive = false;
   cache::CacheSim Cache;
   std::vector<PerCpu> Cpus;
   std::vector<isa::ThreadCfg> Cfgs;
@@ -227,6 +246,8 @@ private:
   uint64_t MetadataEvictions = 0;
   uint64_t FilteredLoads = 0;
   uint64_t FilteredStores = 0;
+  uint64_t PrunedLoads = 0;
+  uint64_t PrunedStores = 0;
   bool DegradedFlag = false;
   uint64_t BudgetEvictions = 0;
 };

@@ -23,7 +23,7 @@ namespace {
 class OnlineSvdDetector final : public Detector {
 public:
   OnlineSvdDetector(const isa::Program &P, OnlineSvdConfig Cfg)
-      : Impl(P, Cfg) {}
+      : Impl(P, Cfg), Proofs(Cfg.Proofs) {}
 
   const char *name() const override { return "svd"; }
   void attach(vm::Machine &M) override { M.addObserver(&Impl); }
@@ -50,10 +50,18 @@ public:
     R.counter("detect.svd.filtered_loads").add(Impl.filteredLoads());
     R.counter("detect.svd.filtered_stores").add(Impl.filteredStores());
     R.counter("detect.svd.cus_ended").add(Impl.numCusEnded());
+    // Proof-pruning counters exist only when proofs were supplied, so
+    // configurations that never heard of pruning keep their exported
+    // stats (and the goldens pinning them) byte-stable.
+    if (Proofs) {
+      R.counter("analysis.proven_cus").add(Proofs->proven().size());
+      R.counter("svd.cu_pruned_events").add(Impl.prunedAccesses());
+    }
   }
 
 private:
   OnlineSvd Impl;
+  const analysis::CuProofs *Proofs;
   mutable DetectorHealth H;
 };
 
@@ -78,6 +86,11 @@ OnlineSvd::OnlineSvd(const isa::Program &P, OnlineSvdConfig Cfg)
   FilterActive = Cfg.Access != nullptr &&
                  Cfg.Access->blockShift() == Cfg.BlockShift &&
                  Cfg.NumCpus == 0;
+  // Same contract for the atomicity proofs (they, too, hold at one block
+  // granularity and speak about threads, not processors).
+  PruneActive = Cfg.Proofs != nullptr &&
+                Cfg.Proofs->blockShift() == Cfg.BlockShift &&
+                Cfg.NumCpus == 0;
   NumBlocks = (P.MemoryWords >> Cfg.BlockShift) + 1;
   uint32_t Lanes = Cfg.NumCpus != 0 ? Cfg.NumCpus : P.numThreads();
   Threads.resize(Lanes);
@@ -356,6 +369,25 @@ void OnlineSvd::onLoad(const EventCtx &Ctx, Addr A, isa::Word) {
     return;
   }
 
+  // ProvenAtomic fast path: the two-phase-locking proof plus the
+  // alias-group fixpoint guarantee every access that could reach this
+  // block is pruned too, so its FSM would only ever see local events,
+  // never conflict, and never feed the CU log. As with the thread-local
+  // filter, only the true-dependence plumbing runs.
+  if (isProvenCu(Ctx)) {
+    ++PrunedLoads;
+    CuId C = find(T, BI.Cu);
+    if (C == NoCu || T.Cus[C].Dead)
+      C = newCu(T);
+    BI.Cu = C;
+    const Instruction &I = *Ctx.Instr;
+    if (I.Rd != isa::ZeroReg) {
+      T.RegSets[I.Rd].clear();
+      T.RegSets[I.Rd].push_back(C);
+    }
+    return;
+  }
+
   // Shared dependence: a load on a Stored_Shared block ends the CU
   // (Figure 7 lines 5-6) and feeds the a-posteriori log if a remote
   // write intervened after the local one.
@@ -449,6 +481,16 @@ void OnlineSvd::onStore(const EventCtx &Ctx, Addr A, isa::Word) {
   // weight), its FSM never matters, and no remote needs to hear of it.
   if (isFilteredLocal(Ctx)) {
     ++FilteredStores;
+    BI.Cu = C;
+    return;
+  }
+
+  // ProvenAtomic fast path — same reasoning as the load side: the
+  // dependence-relevant work (violation check, data-CU merge) already
+  // ran above; the block-side FSM/write-set/broadcast work is provably
+  // dead for a consistently pruned alias group.
+  if (isProvenCu(Ctx)) {
+    ++PrunedStores;
     BI.Cu = C;
     return;
   }

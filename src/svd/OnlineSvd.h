@@ -40,6 +40,7 @@
 #define SVD_SVD_ONLINESVD_H
 
 #include "analysis/AccessTable.h"
+#include "analysis/AtomicProof.h"
 #include "isa/Cfg.h"
 #include "isa/Program.h"
 #include "svd/Detector.h"
@@ -96,6 +97,18 @@ struct OnlineSvdConfig {
   /// migrating thread can raise remote events against its own blocks,
   /// so even provably-local accesses must run the full path.
   const analysis::AccessTable *Access = nullptr;
+
+  /// Optional static atomicity proofs (analysis::proveAtomicCus).
+  /// Accesses inside a ProvenAtomic unit take the same fast path as
+  /// provably-thread-local ones: the proof guarantees no schedule can
+  /// involve their blocks in a violation or a CU-log triple, and the
+  /// alias-group fixpoint makes the pruning symmetric (every access
+  /// that can reach a pruned block is itself pruned), so the remaining
+  /// event stream — and with it every violation report — stays
+  /// bit-identical (the PruneDiff test asserts this across all suites).
+  /// Ignored unless the proofs' block granularity matches BlockShift
+  /// and NumCpus is 0 (the proofs are per thread, not per processor).
+  const analysis::CuProofs *Proofs = nullptr;
 
   /// Upper bound on *live* (undead root) CUs per state lane; 0 means
   /// unbounded. Over budget, the oldest live CU is deterministically
@@ -165,6 +178,11 @@ public:
   uint64_t filteredAccesses() const { return FilteredLoads + FilteredStores; }
   uint64_t filteredLoads() const { return FilteredLoads; }
   uint64_t filteredStores() const { return FilteredStores; }
+
+  /// Dynamic accesses pruned because they sit in a ProvenAtomic unit.
+  uint64_t prunedAccesses() const { return PrunedLoads + PrunedStores; }
+  uint64_t prunedLoads() const { return PrunedLoads; }
+  uint64_t prunedStores() const { return PrunedStores; }
 
   /// Rough accounting of detector memory (Section 7.3's space overhead).
   size_t approxMemoryBytes() const;
@@ -254,6 +272,12 @@ private:
                analysis::AccessClass::ThreadLocal;
   }
 
+  /// True when (\p Ctx's) access sits in a ProvenAtomic unit and proof
+  /// pruning is active.
+  bool isProvenCu(const vm::EventCtx &Ctx) const {
+    return PruneActive && Cfg.Proofs->provenAt(Ctx.Tid, Ctx.Pc);
+  }
+
   /// The state lane an event belongs to: its CPU when approximating
   /// threads with processors, else its thread.
   uint32_t laneOf(const vm::EventCtx &Ctx) const {
@@ -289,6 +313,7 @@ private:
   const isa::Program &Prog;
   OnlineSvdConfig Cfg;
   bool FilterActive = false;
+  bool PruneActive = false;
   std::vector<PerThread> Threads;
   std::vector<isa::ThreadCfg> Cfgs;
   /// Per block: bitmask of threads whose FSM state for it is not Idle
@@ -301,6 +326,8 @@ private:
   uint64_t Events = 0;
   uint64_t FilteredLoads = 0;
   uint64_t FilteredStores = 0;
+  uint64_t PrunedLoads = 0;
+  uint64_t PrunedStores = 0;
   uint64_t CuCreations = 0;
   uint64_t CuMerges = 0;
   uint64_t CuEndings = 0;

@@ -465,6 +465,102 @@ skipc:
                     Src);
 }
 
+Workload workloads::lockedCounters(const WorkloadParams &P) {
+  std::string Src = formatString(R"(
+.global counter
+.lock ctr_lock
+.thread worker x%u
+  li r10, %u
+loop:
+  rnd r14, %u             ; --- request processing (busy work) ---
+  addi r14, r14, %u
+work:
+  addi r14, r14, -1
+  bnez r14, work
+  lock @ctr_lock          ; --- consistently locked shared counter ---
+  ld r1, [@counter]
+  addi r1, r1, 1
+  st r1, [@counter]
+  unlock @ctr_lock
+  addi r10, r10, -1
+  bnez r10, loop
+  halt
+)",
+                                 P.Threads, P.Iterations, P.WorkPadding,
+                                 P.WorkPadding);
+  Workload W = fromSource(
+      "LockedCounters",
+      "Consistently locked shared counter under request-processing "
+      "padding: every counter access sits in a statically provable "
+      "two-phase-locked atomic region",
+      "None — correct; the prove-and-prune pass lets detectors skip "
+      "every counter access", Src);
+  const Program &Prog = W.Program;
+  isa::Addr Ctr = Prog.addressOf("counter");
+  uint64_t Expected = uint64_t(P.Threads) * P.Iterations;
+  W.Manifested = [Ctr, Expected](const vm::Machine &M) {
+    return M.readMem(Ctr) != static_cast<isa::Word>(Expected);
+  };
+  return W;
+}
+
+Workload workloads::tidSlab(const WorkloadParams &P) {
+  // Each thread owns the 8-word slab slab[8*tid .. 8*tid+7] of one
+  // shared array — provable only by the value-flow pass's affine
+  // address terms — and additionally bumps a locked checksum the
+  // atomicity proof discharges.
+  std::string Src = formatString(R"(
+.global slab %u
+.global checksum
+.lock sum_lock
+.thread shard x%u
+  li r10, %u
+  tid r1
+  muli r1, r1, 8          ; slab base = 8 * tid
+loop:
+  rnd r14, %u             ; --- request processing (busy work) ---
+  addi r14, r14, %u
+work:
+  addi r14, r14, -1
+  bnez r14, work
+  rnd r2, 8               ; offset within this thread's slab
+  add r2, r2, r1
+  ld r3, [r2+@slab]
+  addi r3, r3, 1
+  st r3, [r2+@slab]
+  lock @sum_lock          ; --- locked aggregate (provably atomic) ---
+  ld r4, [@checksum]
+  addi r4, r4, 1
+  st r4, [@checksum]
+  unlock @sum_lock
+  addi r10, r10, -1
+  bnez r10, loop
+  halt
+)",
+                                 P.Threads * 8, P.Threads, P.Iterations,
+                                 P.WorkPadding, P.WorkPadding);
+  Workload W = fromSource(
+      "TidSlab",
+      "Tid-strided per-thread slabs of one shared array (value-flow "
+      "locality proof) plus a locked checksum (atomicity proof)",
+      "None — correct; exercises both static pruning proofs at once",
+      Src);
+  const Program &Prog = W.Program;
+  isa::Addr Slab = Prog.addressOf("slab");
+  isa::Addr Sum = Prog.addressOf("checksum");
+  uint32_t SlabWords = P.Threads * 8;
+  uint64_t Expected = uint64_t(P.Threads) * P.Iterations;
+  W.Manifested = [Slab, Sum, SlabWords, Expected](const vm::Machine &M) {
+    if (M.readMem(Sum) != static_cast<isa::Word>(Expected))
+      return true;
+    uint64_t Total = 0;
+    for (uint32_t K = 0; K < SlabWords; ++K)
+      Total += M.readMem(Slab + K);
+    return Total != Expected;
+  };
+  return W;
+}
+
 Workload workloads::randomWorkload(const RandomParams &P) {
   support::Xoshiro256 Rng(P.Seed);
   std::string Src;

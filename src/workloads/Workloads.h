@@ -115,6 +115,15 @@ Workload mysqlTableLock(const WorkloadParams &P = WorkloadParams());
 /// Figure 9's shared queue with independent field computations.
 Workload sharedQueue(const WorkloadParams &P = WorkloadParams());
 
+/// Consistently locked shared counter; every counter access sits in a
+/// statically provable two-phase-locked region (the prove-and-prune
+/// showcase — detectors can skip all of them).
+Workload lockedCounters(const WorkloadParams &P = WorkloadParams());
+
+/// Tid-strided per-thread slabs of one shared array (value-flow
+/// locality proof) plus a locked checksum (atomicity proof).
+Workload tidSlab(const WorkloadParams &P = WorkloadParams());
+
 /// Parameters of the random workload generator.
 struct RandomParams {
   uint64_t Seed = 1;

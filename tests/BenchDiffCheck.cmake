@@ -1,0 +1,29 @@
+# Perf-baseline regression gate. Runs the table1 perf suite fresh and
+# diffs it against the committed BENCH_table1.json with svd-bench-diff:
+# every deterministic field (event counts, pruned/filtered counts,
+# proven CUs, pruned_pct, instruction totals) must match the baseline
+# byte-for-byte; the wall-clock insts_per_sec rate is advisory only.
+# Invoke with:
+#
+#   cmake -DBENCH=<svd-bench> -DDIFF=<svd-bench-diff>
+#         -DBASELINE=<BENCH_table1.json> -DOUTDIR=<scratch-dir>
+#         -P BenchDiffCheck.cmake
+
+file(MAKE_DIRECTORY "${OUTDIR}")
+set(CURRENT "${OUTDIR}/table1_perf.json")
+
+execute_process(COMMAND "${BENCH}" --suite table1 --perf --json
+                OUTPUT_FILE "${CURRENT}"
+                RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "svd-bench --suite table1 --perf --json exited ${RC}")
+endif()
+
+execute_process(COMMAND "${DIFF}" "${BASELINE}" "${CURRENT}"
+                OUTPUT_VARIABLE OUT
+                RESULT_VARIABLE RC)
+message(STATUS "svd-bench-diff output:\n${OUT}")
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "deterministic perf fields drifted from ${BASELINE} "
+                      "(svd-bench-diff exited ${RC})")
+endif()

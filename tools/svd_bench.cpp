@@ -42,6 +42,9 @@ const char *Usage =
     "  --seeds N            seeds per table row (default: the suite's\n"
     "                       paper-default count)\n"
     "  --json               emit a JSON document instead of the text tables\n"
+    "  --perf               table1 only: add a performance section (insts/s\n"
+    "                       under OnlineSvd with static proofs, plus the\n"
+    "                       deterministic event / pruned-event counts)\n"
     "  --metrics-json FILE  write the obs registry (deterministic counters\n"
     "                       + timing stats) as svd-metrics-v1 JSON\n"
     "  --trace-out FILE     write a Chrome trace_event JSON of the run\n"
@@ -79,6 +82,7 @@ int main(int Argc, char **Argv) {
   P.value("--jobs", &Jobs);
   P.value("--seeds", &Seeds);
   P.flag("--json", &O.Json);
+  P.flag("--perf", &O.Perf);
   P.flag("--list", &List);
   P.value("--metrics-json", &MetricsPath);
   P.value("--trace-out", &TracePath);

@@ -4,21 +4,28 @@
 // thread, printing diagnostics with instruction locations:
 //
 //   svd-lint FILE.asm... [--dead-writes] [--no-uninit] [--no-lockset]
-//            [--escape [--block-shift N]] [--json]
+//            [--escape] [--prove] [--block-shift N] [--json]
 //
 // Exit status: 0 when every file is clean, 1 when any diagnostic fired,
 // 2 on usage or assembly errors. --escape additionally prints the
 // access-classification table the detectors consume (which loads/stores
 // are provably thread-local, lock-protected, or possibly shared).
+// --prove runs the whole-program atomicity proofs (DESIGN.md section
+// 12): it adds the inconsistent-lock / non-two-phase / lock-order-cycle
+// diagnostic families and reports how many static CUs are proven
+// serializable (and how many access sites the detectors may prune).
 // --json emits one JSON document per file instead of text (schema in
-// DESIGN.md section 8; shared with svd-predict --json).
+// DESIGN.md section 8; shared with svd-predict --json); with --prove
+// the document gains a "proof" object.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/AccessTable.h"
+#include "analysis/AtomicProof.h"
 #include "analysis/Lint.h"
 #include "isa/Assembler.h"
 #include "support/Cli.h"
+#include "support/StringUtils.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -37,7 +44,10 @@ const char *Usage =
     "  --no-uninit      disable read-before-write warnings\n"
     "  --no-lockset     disable lock imbalance / double-acquire checks\n"
     "  --escape         print the static access classification per access\n"
-    "  --block-shift N  classify at 2^N-word block granularity (with --escape)\n"
+    "  --prove          run the static CU atomicity proofs (adds the\n"
+    "                   inconsistent-lock / non-two-phase / lock-order-cycle\n"
+    "                   families and a proven-CU summary)\n"
+    "  --block-shift N  classify/prove at 2^N-word block granularity\n"
     "  --json           emit one JSON document per file instead of text\n";
 
 struct Options {
@@ -54,10 +64,12 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
   P.flag("--no-uninit", &O.Lint.UninitReads, false);
   P.flag("--no-lockset", &O.Lint.Lockset, false);
   P.flag("--escape", &O.Escape);
+  P.flag("--prove", &O.Lint.Prove);
   P.flag("--json", &O.Json);
   P.value("--block-shift", &O.BlockShift);
   if (!P.parse(Argc, Argv))
     return false;
+  O.Lint.BlockShift = O.BlockShift;
   O.Files = P.positional();
   return !O.Files.empty();
 }
@@ -106,8 +118,29 @@ int lintFile(const std::string &File, const Options &O) {
   }
 
   std::vector<analysis::LintDiag> Diags = analysis::lintProgram(P, O.Lint);
+
+  // The proof summary (re)runs proveAtomicCus; lintProgram already did
+  // once for the diagnostics, but programs are tiny and the CLI is cold
+  // anyway — simpler than widening the lint API to return both.
+  analysis::CuProofs Proofs;
+  if (O.Lint.Prove) {
+    analysis::AccessTableOptions AO;
+    AO.BlockShift = O.BlockShift;
+    Proofs = analysis::proveAtomicCus(P, AO);
+  }
+
   if (O.Json) {
-    std::printf("%s\n", analysis::lintDiagsToJson(P, File, Diags).c_str());
+    std::string J = analysis::lintDiagsToJson(P, File, Diags);
+    if (O.Lint.Prove) {
+      // Splice a "proof" object before the document's closing brace so
+      // the --prove-less schema stays byte-identical.
+      J.pop_back();
+      J += support::formatString(
+          ",\"proof\":{\"proven_cus\":%zu,\"prunable_sites\":%llu}}",
+          Proofs.proven().size(),
+          static_cast<unsigned long long>(Proofs.prunableSites()));
+    }
+    std::printf("%s\n", J.c_str());
     return Diags.empty() ? 0 : 1;
   }
   for (const analysis::LintDiag &D : Diags)
@@ -115,6 +148,12 @@ int lintFile(const std::string &File, const Options &O) {
                 analysis::formatLintDiag(P, D).c_str());
   std::printf("%s: %zu diagnostic%s\n", File.c_str(), Diags.size(),
               Diags.size() == 1 ? "" : "s");
+  if (O.Lint.Prove)
+    std::printf("%s: proof: %zu proven CU%s, %llu prunable access site%s\n",
+                File.c_str(), Proofs.proven().size(),
+                Proofs.proven().size() == 1 ? "" : "s",
+                static_cast<unsigned long long>(Proofs.prunableSites()),
+                Proofs.prunableSites() == 1 ? "" : "s");
   if (O.Escape)
     printEscapeTable(P, O.BlockShift);
   return Diags.empty() ? 0 : 1;
