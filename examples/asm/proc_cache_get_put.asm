@@ -1,0 +1,26 @@
+; Memcached-style accessor helpers: the cache value is read through a
+; `get` proc, bumped in the caller, and written back through a `put`
+; proc — one read-modify-write whose endpoints live in two different
+; functions. The whole sequence runs under cache_lock, so the inferred
+; computational unit (which spans main -> get -> put via the r1
+; def-use chain) is provably two-phase:
+;
+;   `svd-lint --prove proc_cache_get_put.asm` proves the cross-function
+;   CU serializable and exits 0; `svd-predict` finds nothing to report.
+;
+; Contrast with proc_gap_buggy.asm, where `put` runs after the unlock.
+.global cache_val
+.lock cache_lock
+.thread worker x2
+  lock @cache_lock
+  call get                ; r1 = cache_val   (load in the callee)
+  addi r1, r1, 1          ; bump in the caller
+  call put                ; cache_val = r1   (store in another callee)
+  unlock @cache_lock
+  halt
+.proc get
+  ld r1, [@cache_val]
+  ret
+.proc put
+  st r1, [@cache_val]
+  ret

@@ -1,0 +1,23 @@
+; A shared counter incremented only through a helper proc, called twice
+; from one critical section. The helper's load/add/store unit sits
+; entirely inside the proc body; the lock is acquired and released by
+; the caller. Interprocedural lockset summaries propagate "cache_lock
+; is held" from both call sites into the proc entry, so
+;
+;   `svd-lint --prove proc_counter_helper.asm`
+;
+; proves the helper's computational unit serializable (a proof that
+; needs must-held facts to survive the call boundary) and exits 0.
+.global counter
+.lock counter_lock
+.thread worker x2
+  lock @counter_lock
+  call incr               ; first batched increment
+  call incr               ; second — same proc body, same lock
+  unlock @counter_lock
+  halt
+.proc incr
+  ld r1, [@counter]
+  addi r1, r1, 1
+  st r1, [@counter]
+  ret

@@ -1,0 +1,27 @@
+; The atomicity_gap.asm bug split across helper procs: `get` reads the
+; reference count under tbl_lock, but the caller releases the lock
+; before calling `put` to write the bumped value back. Each access is
+; individually synchronized inside its helper, yet the cross-function
+; read-modify-write is not atomic — a remote replica's write-back can
+; land between this thread's unlock and its `put`, and that update is
+; lost.
+;
+; `svd-predict proc_gap_buggy.asm` enumerates the cross-function
+; conflict pair (the load in `get` vs. the store in `put` of the other
+; replica), confirms the lost update with a directed schedule, and
+; exits 1. `svd-lint --prove` cannot prove the unit serializable.
+.global refcount
+.lock tbl_lock
+.thread worker x2
+  lock @tbl_lock
+  call get                ; read under the lock...
+  addi r1, r1, 1
+  unlock @tbl_lock        ; ...but the lock is dropped here,
+  call put                ; and the write-back races (lost update)
+  halt
+.proc get
+  ld r1, [@refcount]
+  ret
+.proc put
+  st r1, [@refcount]
+  ret

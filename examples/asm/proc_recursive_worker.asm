@@ -1,0 +1,27 @@
+; Bounded recursion under a lock: `step` adds to the shared total and
+; recurses until the depth counter r2 reaches zero. The computational
+; unit spans the caller (the depth init) and every member of the
+; recursive proc body; proving it two-phase requires lockset summaries
+; that stay precise through the recursive SCC — the must-held set at
+; the proc entry is the meet over the outer call site and the
+; recursive one, both of which hold total_lock.
+;
+;   `svd-lint --prove proc_recursive_worker.asm` proves the unit
+;   serializable and exits 0.
+.global total
+.lock total_lock
+.thread worker x2
+  lock @total_lock
+  li r2, 3                ; recursion depth, set inside the lock
+  call step
+  unlock @total_lock
+  halt
+.proc step
+  beqz r2, done           ; base case: depth exhausted
+  ld r1, [@total]
+  addi r1, r1, 1
+  st r1, [@total]
+  addi r2, r2, -1
+  call step               ; bounded self-call, still under the lock
+done:
+  ret

@@ -55,6 +55,7 @@ struct TaintDomain {
 struct ThreadPasses {
   const std::vector<Instruction> *Code = nullptr;
   std::unique_ptr<isa::ThreadCfg> Cfg;
+  std::unique_ptr<isa::ThreadCallGraph> Cg;
   std::unique_ptr<StaticLockset> Locks;
   std::unique_ptr<ReachingDefs> Reach;
   std::unique_ptr<Liveness> Live;
@@ -111,6 +112,7 @@ CuProofs analysis::proveAtomicCus(const isa::Program &P,
     T.Code = &P.Threads[Tid].Code;
     R.ProvenPc[Tid].assign(T.Code->size(), false);
     T.Cfg = std::make_unique<isa::ThreadCfg>(*T.Code);
+    T.Cg = std::make_unique<isa::ThreadCallGraph>(*T.Code);
     T.Locks = std::make_unique<StaticLockset>(*T.Cfg, *T.Code, NumMutexes);
     T.Reach = std::make_unique<ReachingDefs>(*T.Cfg, *T.Code);
     T.Live = std::make_unique<Liveness>(*T.Cfg, *T.Code);
@@ -234,10 +236,14 @@ CuProofs analysis::proveAtomicCus(const isa::Program &P,
                 Ok = false;
             }
           } else {
-            // Outward: nothing outside U may depend on a member.
-            for (uint32_t D : T.Cus->depPreds(Q))
-              if (IsMember(D))
-                Ok = false;
+            // Outward: nothing outside U may depend on a member. Call
+            // and Ret are exempt — they carry no data, and any callee
+            // instruction they cause to execute has its own control
+            // dependence on the same member branch, checked directly.
+            if (Code[Q].Op != Opcode::Call && Code[Q].Op != Opcode::Ret)
+              for (uint32_t D : T.Cus->depPreds(Q))
+                if (IsMember(D))
+                  Ok = false;
           }
         }
       }
@@ -251,16 +257,103 @@ CuProofs analysis::proveAtomicCus(const isa::Program &P,
         if (isa::writesRd(Code[Pc].Op) && Code[Pc].Rd != isa::ZeroReg)
           DefRegs |= uint32_t(1) << Code[Pc].Rd;
 
+      // O1 coverage obligations (mutex-independent). The dynamic extent
+      // of a unit instance runs from its first member execution to its
+      // last; every pc executable in between must hold the mutex. For
+      // flat code that is the contiguous span [MinPc, MaxPc]. When the
+      // unit's members span procs, or its span contains calls, the
+      // obligation closes over the call structure: member proc regions
+      // must hold the mutex over their *entire* body, so must every
+      // region called from a covered area or connecting a covered
+      // region to its callers, and the root region's span grows to
+      // include the Call pcs that reach covered regions.
+      const isa::RegionMap &RM = T.Cg->regions();
+      uint32_t Root = RM.regionOf(MinPc);
+      uint32_t RootLo = UINT32_MAX, RootHi = 0;
+      std::vector<bool> NeedFull(RM.numRegions(), false);
+      for (uint32_t Pc : U.Pcs) {
+        uint32_t Rg = RM.regionOf(Pc);
+        if (Rg != Root) {
+          NeedFull[Rg] = true;
+        } else {
+          RootLo = std::min(RootLo, Pc);
+          RootHi = std::max(RootHi, Pc);
+        }
+      }
+      auto CoverCallsIn = [&](uint32_t Lo, uint32_t HiExcl, bool &Grew) {
+        for (uint32_t Q = Lo; Q < HiExcl; ++Q) {
+          if (Code[Q].Op != Opcode::Call || !T.Locks->reachable(Q))
+            continue;
+          uint32_t CR =
+              RM.regionAtEntry(static_cast<uint32_t>(Code[Q].Imm));
+          if (CR != isa::RegionMap::NoRegion && !NeedFull[CR]) {
+            NeedFull[CR] = true;
+            Grew = true;
+          }
+        }
+      };
+      for (bool Grew = true; Grew;) {
+        Grew = false;
+        if (!NeedFull[Root])
+          CoverCallsIn(RootLo, RootHi + 1, Grew);
+        for (uint32_t Rg = 0; Rg < RM.numRegions(); ++Rg) {
+          if (!NeedFull[Rg])
+            continue;
+          CoverCallsIn(RM.entryOf(Rg), RM.endOf(Rg), Grew);
+          // Reachable call sites connect the covered region back to its
+          // callers: the pcs around those calls execute between unit
+          // member executions, so their regions join the obligation.
+          for (uint32_t CallPc : T.Cg->callersOf(Rg)) {
+            if (!T.Locks->reachable(CallPc))
+              continue;
+            uint32_t CR = RM.regionOf(CallPc);
+            if (CR == Root && !NeedFull[Root]) {
+              if (CallPc < RootLo) {
+                RootLo = CallPc;
+                Grew = true;
+              }
+              if (CallPc > RootHi) {
+                RootHi = CallPc;
+                Grew = true;
+              }
+            } else if (!NeedFull[CR]) {
+              NeedFull[CR] = true;
+              Grew = true;
+            }
+          }
+        }
+      }
+      // A Ret inside a sub-span would let the extent escape to pcs the
+      // span check never sees; only full-region coverage handles that.
+      bool SpanOk = true;
+      if (!NeedFull[Root])
+        for (uint32_t Q = RootLo; Q <= RootHi; ++Q)
+          if (Code[Q].Op == Opcode::Ret && T.Locks->reachable(Q))
+            SpanOk = false;
+
       uint64_t MemberMask = Mask;
+      if (!SpanOk)
+        Mask = 0;
       for (uint32_t M = 0; M < NumMutexes && M < 64; ++M) {
         uint64_t Bit = uint64_t(1) << M;
         if (!(Mask & Bit))
           continue;
         bool MOk = true;
-        // O1: contiguous coverage of [MinPc, MaxPc].
-        for (uint32_t Q = MinPc; Q <= MaxPc && MOk; ++Q)
-          if (T.Locks->reachable(Q) && !(T.Locks->mustHeldBefore(Q) & Bit))
-            MOk = false;
+        // O1: contiguous coverage of the root span and of every region
+        // the closure above pulled in.
+        if (!NeedFull[Root])
+          for (uint32_t Q = RootLo; Q <= RootHi && MOk; ++Q)
+            if (T.Locks->reachable(Q) &&
+                !(T.Locks->mustHeldBefore(Q) & Bit))
+              MOk = false;
+        for (uint32_t Rg = 0; Rg < RM.numRegions() && MOk; ++Rg) {
+          if (!NeedFull[Rg])
+            continue;
+          for (uint32_t Q = RM.entryOf(Rg); Q < RM.endOf(Rg) && MOk; ++Q)
+            if (T.Locks->reachable(Q) &&
+                !(T.Locks->mustHeldBefore(Q) & Bit))
+              MOk = false;
+        }
         // O5: member branches reconverge under m (or never).
         for (uint32_t Pc : U.Pcs) {
           if (!MOk)
@@ -292,8 +385,11 @@ CuProofs analysis::proveAtomicCus(const isa::Program &P,
       CandMask[Tid][UI] = Mask;
 
       // Non-two-phase diagnostic: the members agree on a lock, but no
-      // agreed lock covers the unit's span contiguously.
-      if (Mask == 0 && MemberMask != 0 && NumAccesses >= 2) {
+      // agreed lock covers the unit's span contiguously. Only meaningful
+      // when the members share one region — a cross-proc span would scan
+      // unrelated proc bodies laid out between the members.
+      if (Mask == 0 && MemberMask != 0 && NumAccesses >= 2 &&
+          RM.regionOf(MaxPc) == Root && SpanOk) {
         uint32_t M = static_cast<uint32_t>(std::countr_zero(MemberMask));
         bool Gap = false;
         for (uint32_t Q = MinPc; Q <= MaxPc; ++Q)

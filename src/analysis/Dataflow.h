@@ -83,11 +83,16 @@ public:
   /// Nodes re-met more often than this are widened (loop acceleration).
   static constexpr unsigned WidenThreshold = 3;
 
+  /// \p ExtraSeeds meets additional (node, fact) pairs into the start
+  /// state before solving — the hook interprocedural clients use to seed
+  /// proc-region entries that are unreachable from node 0 under the
+  /// Intra CFG view (isa::CfgView::Intra).
   DataflowSolver(const isa::ThreadCfg &Cfg,
                  const std::vector<isa::Instruction> &Code, D Dom,
-                 Direction Dir)
+                 Direction Dir,
+                 std::vector<std::pair<uint32_t, Value>> ExtraSeeds = {})
       : Cfg(Cfg), Code(Code), Dom(std::move(Dom)), Dir(Dir), Preds(Cfg) {
-    solve();
+    solve(ExtraSeeds);
   }
 
   /// The fact at node \p Node's traversal entry: before the instruction
@@ -110,7 +115,7 @@ public:
   const D &domain() const { return Dom; }
 
 private:
-  void solve() {
+  void solve(const std::vector<std::pair<uint32_t, Value>> &ExtraSeeds) {
     uint32_t N = Cfg.size() + 1; // + virtual exit
     State.assign(N, Dom.init());
     Reached.assign(N, false);
@@ -126,6 +131,15 @@ private:
     Reached[Start] = true;
     Worklist.push_back(Start);
     OnList[Start] = true;
+
+    for (const auto &[Node, Seed] : ExtraSeeds) {
+      Dom.meetInto(State[Node], Seed, /*Widen=*/false);
+      Reached[Node] = true;
+      if (!OnList[Node]) {
+        OnList[Node] = true;
+        Worklist.push_back(Node);
+      }
+    }
 
     while (!Worklist.empty()) {
       uint32_t Node = Worklist.back();

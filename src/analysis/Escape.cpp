@@ -190,8 +190,23 @@ void EscapeAnalysis::Domain::transfer(uint32_t, const Instruction &I,
   case Opcode::Ld:
     Set(Interval::full()); // memory contents are unknown
     break;
-  default:
-    break; // no register result
+  // No register result. Call/Ret move control only: the register file
+  // flows through the call unchanged (no save/restore convention), so
+  // intervals cross proc boundaries via the interprocedural CFG edges.
+  case Opcode::Nop:
+  case Opcode::St:
+  case Opcode::Beqz:
+  case Opcode::Bnez:
+  case Opcode::Jmp:
+  case Opcode::Call:
+  case Opcode::Ret:
+  case Opcode::Lock:
+  case Opcode::Unlock:
+  case Opcode::Assert:
+  case Opcode::Print:
+  case Opcode::Yield:
+  case Opcode::Halt:
+    break;
   }
   // r0 is architecturally pinned to zero.
   V.Regs[isa::ZeroReg] = Interval::constant(0);

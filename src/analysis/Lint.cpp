@@ -108,7 +108,7 @@ void lintDeadWrites(isa::ThreadId Tid, const isa::ThreadCfg &Cfg,
     if (!LV.isDeadWrite(Pc))
       continue;
     const Instruction &I = Code[Pc];
-    Out.push_back({LintSeverity::Warning, "dead-write", Tid, Pc, I.Line,
+    Out.push_back({LintSeverity::Warning, "dead-store", Tid, Pc, I.Line,
                    support::formatString(
                        "r%u written here but never read afterwards",
                        I.Rd)});
@@ -140,6 +140,40 @@ void lintProofs(const isa::Program &P, const LintOptions &O,
     }
     Out.push_back(std::move(L));
   }
+}
+
+/// Qualification for diagnostics at pcs inside a materialized proc body.
+/// Main-body diagnostics carry no qualifier, so flat-program output is
+/// byte-identical to what it was before procs existed.
+struct ProcContext {
+  const isa::ProcInfo *Proc = nullptr;
+  /// Region names main -> ... -> Proc; empty when the proc is not
+  /// reachable from the main body.
+  std::vector<std::string> Path;
+};
+
+ProcContext procContext(const isa::Program &P, isa::ThreadId Tid,
+                        uint32_t Pc) {
+  ProcContext Ctx;
+  if (Tid >= P.numThreads())
+    return Ctx;
+  const isa::ThreadCode &T = P.Threads[Tid];
+  Ctx.Proc = T.procAt(Pc);
+  if (!Ctx.Proc)
+    return Ctx;
+  isa::ThreadCallGraph Cg(T.Code);
+  const isa::RegionMap &RM = Cg.regions();
+  for (uint32_t Region : Cg.pathFromMain(RM.regionOf(Pc))) {
+    if (Region == 0) {
+      Ctx.Path.push_back("main");
+      continue;
+    }
+    const isa::ProcInfo *PI = T.procAt(RM.entryOf(Region));
+    Ctx.Path.push_back(PI ? PI->Name
+                          : support::formatString(
+                                "pc%u", RM.entryOf(Region)));
+  }
+  return Ctx;
 }
 
 } // namespace
@@ -189,7 +223,15 @@ std::string analysis::lintDiagsToJson(const isa::Program &P,
        << jsonString(D.Tid < P.numThreads() ? P.Threads[D.Tid].Name : "?")
        << ",\"tid\":" << D.Tid << ",\"pc\":" << D.Pc
        << ",\"line\":" << D.Line
-       << ",\"message\":" << jsonString(D.Message) << "}";
+       << ",\"message\":" << jsonString(D.Message);
+    ProcContext Ctx = procContext(P, D.Tid, D.Pc);
+    if (Ctx.Proc) {
+      OS << ",\"proc\":" << jsonString(Ctx.Proc->Name) << ",\"call_path\":[";
+      for (size_t J = 0; J < Ctx.Path.size(); ++J)
+        OS << (J ? "," : "") << jsonString(Ctx.Path[J]);
+      OS << "]";
+    }
+    OS << "}";
   }
   OS << "],\"num_diagnostics\":" << Ds.size() << "}";
   return OS.str();
@@ -205,5 +247,17 @@ std::string analysis::formatLintDiag(const isa::Program &P,
           : support::formatString("thread %u pc %u", D.Tid, D.Pc);
   if (D.Line != 0)
     Where += support::formatString(" (line %u)", D.Line);
-  return Where + ": " + Sev + ": [" + D.Category + "] " + D.Message;
+  std::string Out =
+      Where + ": " + Sev + ": [" + D.Category + "] " + D.Message;
+  ProcContext Ctx = procContext(P, D.Tid, D.Pc);
+  if (Ctx.Proc) {
+    Out += " [proc '" + Ctx.Proc->Name + "'";
+    if (!Ctx.Path.empty()) {
+      Out += "; call path ";
+      for (size_t J = 0; J < Ctx.Path.size(); ++J)
+        Out += (J ? " -> " : "") + Ctx.Path[J];
+    }
+    Out += "]";
+  }
+  return Out;
 }

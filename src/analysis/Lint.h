@@ -32,7 +32,7 @@ enum class LintSeverity : uint8_t { Error, Warning };
 struct LintDiag {
   LintSeverity Severity = LintSeverity::Warning;
   /// Stable category slug: "lock-imbalance", "double-acquire",
-  /// "unlock-not-held", "uninit-read", "dead-write", and (with Prove)
+  /// "unlock-not-held", "uninit-read", "dead-store", and (with Prove)
   /// "inconsistent-lock", "non-two-phase", "lock-order-cycle".
   std::string Category;
   isa::ThreadId Tid = 0;

@@ -16,9 +16,13 @@ using isa::Opcode;
 namespace {
 
 /// Instructions that live outside every CU, mirroring the dynamic
-/// algorithm's treatment of lock/unlock/thread-end events.
+/// algorithm's treatment of lock/unlock/thread-end events. Call/Ret are
+/// pure control transfers — units still span proc boundaries through
+/// register def->use dependences over the interprocedural CFG, but the
+/// transfers themselves are never unit members.
 bool outsideUnits(Opcode Op) {
-  return Op == Opcode::Lock || Op == Opcode::Unlock || Op == Opcode::Halt;
+  return Op == Opcode::Lock || Op == Opcode::Unlock || Op == Opcode::Halt ||
+         Op == Opcode::Call || Op == Opcode::Ret;
 }
 
 struct UnionFind {
@@ -111,6 +115,53 @@ void StaticCuInference::partition(
   // Shared-write address bounds per root (the static shVars set).
   std::vector<std::vector<Interval>> ShWrites(NumInstrs);
 
+  // Scan order: the pc walk of an *inlined* rendering of the thread —
+  // at each Call the callee body is visited in place, once, at its
+  // first call site. The merge below is order-sensitive (a unit only
+  // absorbs predecessors that are already members), which is what keeps
+  // natural-loop control edges — whose branch sits at a higher pc than
+  // the body it governs — from dragging a whole loop body into one
+  // unit. Proc bodies are materialized after the main body, so visiting
+  // them at their call site restores the same "defs before uses"
+  // ordering flat code gets for free; flat code visits [0, N) unchanged
+  // and its units stay bit-identical.
+  std::vector<uint32_t> ScanOrder;
+  ScanOrder.reserve(NumInstrs);
+  {
+    isa::RegionMap RM(Code);
+    std::vector<bool> Visited(RM.numRegions(), false);
+    struct Frame {
+      uint32_t Pc, End;
+    };
+    std::vector<Frame> Stack;
+    Visited[0] = true;
+    Stack.push_back({RM.entryOf(0), RM.endOf(0)});
+    while (!Stack.empty()) {
+      Frame &F = Stack.back();
+      if (F.Pc >= F.End) {
+        Stack.pop_back();
+        continue;
+      }
+      uint32_t Pc = F.Pc++;
+      ScanOrder.push_back(Pc);
+      if (Code[Pc].Op == Opcode::Call) {
+        uint32_t R =
+            RM.regionAtEntry(static_cast<uint32_t>(Code[Pc].Imm));
+        if (R != isa::RegionMap::NoRegion && !Visited[R]) {
+          Visited[R] = true;
+          Stack.push_back({RM.entryOf(R), RM.endOf(R)});
+        }
+      }
+    }
+    // Regions no Call reaches cannot exist in assembler output, but the
+    // scan must stay total over programmatic code: append them in pc
+    // order.
+    for (uint32_t R = 0; R < RM.numRegions(); ++R)
+      if (!Visited[R])
+        for (uint32_t Pc = RM.entryOf(R); Pc < RM.endOf(R); ++Pc)
+          ScanOrder.push_back(Pc);
+  }
+
   auto MayReadBack = [&](uint32_t Root, const Interval &Addr) {
     for (const Interval &W : ShWrites[Root])
       if (W.intersects(Addr))
@@ -118,7 +169,7 @@ void StaticCuInference::partition(
     return false;
   };
 
-  for (uint32_t Pc = 0; Pc < NumInstrs; ++Pc) {
+  for (uint32_t Pc : ScanOrder) {
     const Instruction &I = Code[Pc];
     if (!EA.reachable(Pc) || outsideUnits(I.Op))
       continue;

@@ -29,6 +29,19 @@
 /// Programs with more than 64 mutexes exceed the bitmask domain; the
 /// pass then reports nothing rather than lying (see `analyzable()`).
 ///
+/// **Interprocedural solving.** Code with Call/Ret is analyzed with
+/// per-proc lock-set *delta summaries* instead of the supergraph: a
+/// region's effect on each lock bit is the transfer f(x) = Gen | (Keep &
+/// x), a form closed under both composition and the lattice meets, so a
+/// whole proc collapses to two masks per lattice. Summaries are computed
+/// bottom-up over the call-graph SCCs (iterating within an SCC for
+/// recursion), then a final pass solves each region on the Intra CFG
+/// view with callee summaries applied at call sites and proc entries
+/// seeded from their reachable callers. Unlike a plain supergraph, the
+/// caller's fact at a return site is f_callee(fact at the call) — facts
+/// from *other* callers never merge into it, which is what lets
+/// AtomicProof prove two-phase locking across calls.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SVD_ANALYSIS_STATICLOCKSET_H
@@ -62,12 +75,27 @@ struct LocksetDiag {
   bool Definite = false;
 };
 
+/// The lock-set effect of executing one region entry-to-return: for each
+/// lattice, bit i of the exit fact is Gen_i | (Keep_i & entry_i). A proc
+/// that acquires m has m's MustGen/MayGen bit set; one that releases m
+/// has its Keep bits cleared; untouched locks pass through (Keep).
+struct RegionSummary {
+  uint64_t MustGen = 0;
+  uint64_t MustKeep = ~uint64_t(0);
+  uint64_t MayGen = 0;
+  uint64_t MayKeep = ~uint64_t(0);
+  /// False when no Ret is reachable from the region's entry (the proc
+  /// always halts or loops); callers never resume past such a call.
+  bool Returns = true;
+};
+
 /// Static lockset analysis for one thread's code.
 class StaticLockset {
 public:
   StaticLockset(const isa::ThreadCfg &Cfg,
                 const std::vector<isa::Instruction> &Code,
                 uint32_t NumMutexes);
+  ~StaticLockset();
 
   /// False when the program has more mutexes than the bitmask domain
   /// supports; all queries are then trivially empty.
@@ -85,12 +113,24 @@ public:
   /// order.
   const std::vector<LocksetDiag> &diagnostics() const { return Diags; }
 
+  /// Per-region summaries, indexed by isa::RegionMap region id. Region 0
+  /// (the main body) carries a default-constructed summary. Empty for
+  /// flat code.
+  const std::vector<RegionSummary> &regionSummaries() const {
+    return Summaries;
+  }
+
 private:
   struct Domain {
     struct Value {
       uint64_t Must = ~uint64_t(0); // top for the intersection lattice
       uint64_t May = 0;
     };
+    /// Callee summaries applied at Call sites (Intra CFG view only);
+    /// null for the flat single-solve path.
+    const std::vector<RegionSummary> *Summaries = nullptr;
+    const isa::RegionMap *Regions = nullptr;
+
     Value init() const { return Value(); }
     Value boundary() const { return {0, 0}; }
     bool meetInto(Value &Dst, const Value &Src, bool) const {
@@ -111,14 +151,36 @@ private:
         uint64_t Bit = uint64_t(1) << (I.Imm & 63);
         V.Must &= ~Bit;
         V.May &= ~Bit;
+      } else if (I.Op == isa::Opcode::Call && Summaries) {
+        const RegionSummary &S =
+            (*Summaries)[Regions->regionAtEntry(
+                static_cast<uint32_t>(I.Imm))];
+        V.Must = S.MustGen | (S.MustKeep & V.Must);
+        V.May = S.MayGen | (S.MayKeep & V.May);
       }
+    }
+    bool edgeFeasible(uint32_t, const isa::Instruction &I, const Value &,
+                      uint32_t) const {
+      // On the Intra view a Call's only successor is its return site;
+      // prune it when the callee provably never returns.
+      if (I.Op == isa::Opcode::Call && Summaries)
+        return (*Summaries)[Regions->regionAtEntry(
+                   static_cast<uint32_t>(I.Imm))]
+            .Returns;
+      return true;
     }
   };
 
+  void solveInterproc(const std::vector<isa::Instruction> &Code,
+                      const isa::ThreadCallGraph &Cg);
   void collectDiagnostics(const std::vector<isa::Instruction> &Code);
 
   bool Analyzable;
-  std::unique_ptr<DataflowSolver<Domain>> Solver;
+  /// Final per-pc facts and reachability (both solve paths materialize
+  /// into these).
+  std::vector<Domain::Value> Facts;
+  std::vector<bool> Reach;
+  std::vector<RegionSummary> Summaries;
   std::vector<LocksetDiag> Diags;
 };
 

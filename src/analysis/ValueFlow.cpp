@@ -298,11 +298,32 @@ struct ValueFlowDomain {
     case Opcode::Ld:
       Set(AffineTerm::top()); // memory contents are unknown
       break;
-    default:
-      // Div/Rem/And/Or/Xor/Shl/Shr and friends: no affine model; the
-      // Escape half of the reduced product keeps their interval bound.
-      if (isa::writesRd(I.Op))
-        Set(AffineTerm::top());
+    // Div/Rem/And/Or/Xor/Shl/Shr: no affine model; the Escape half of
+    // the reduced product keeps their interval bound.
+    case Opcode::Div:
+    case Opcode::Rem:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::Shr:
+      Set(AffineTerm::top());
+      break;
+    // No register result. Call/Ret leave the register file untouched;
+    // affine terms flow through proc boundaries via the CFG edges.
+    case Opcode::Nop:
+    case Opcode::St:
+    case Opcode::Beqz:
+    case Opcode::Bnez:
+    case Opcode::Jmp:
+    case Opcode::Call:
+    case Opcode::Ret:
+    case Opcode::Lock:
+    case Opcode::Unlock:
+    case Opcode::Assert:
+    case Opcode::Print:
+    case Opcode::Yield:
+    case Opcode::Halt:
       break;
     }
     V.Regs[isa::ZeroReg] = AffineTerm::constant(0);

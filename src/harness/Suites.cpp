@@ -134,6 +134,17 @@ std::vector<Workload> fig1SuiteWorkloads() {
   return Ws;
 }
 
+std::vector<Workload> interprocSuiteWorkloads() {
+  workloads::WorkloadParams P;
+  P.Threads = 3;
+  P.Iterations = 30;
+  P.WorkPadding = 12;
+  std::vector<Workload> Ws;
+  Ws.push_back(workloads::procCache(P));
+  Ws.push_back(workloads::procGap(P));
+  return Ws;
+}
+
 std::vector<Workload> predictSuiteWorkloads() {
   workloads::WorkloadParams P;
   P.Threads = 2;
@@ -588,6 +599,84 @@ int runFig1(const SuiteOptions &O) {
 }
 
 //===----------------------------------------------------------------------===//
+// interproc — function-structured workloads (Call/Ret under detectors)
+//===----------------------------------------------------------------------===//
+
+int runInterproc(const SuiteOptions &O) {
+  unsigned Seeds = O.Seeds ? O.Seeds : 8;
+  std::vector<Workload> Ws = interprocSuiteWorkloads();
+
+  std::vector<SampleSpec> Specs;
+  for (const Workload &W : Ws)
+    for (uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
+      SampleSpec S;
+      S.Workload = &W;
+      S.Config.Seed = Seed;
+      S.Config.MinTimeslice = 1;
+      S.Config.MaxTimeslice = 4;
+      S.Detector = "svd";
+      Specs.push_back(S);
+      S.Detector = "frd";
+      Specs.push_back(S);
+    }
+  std::vector<SampleMetrics> Ms = ParallelRunner(runnerConfig(O)).run(Specs);
+
+  if (!O.Json)
+    std::puts("== Interproc: function-structured workloads "
+              "(Call/Ret under SVD and FRD) ==\n");
+
+  TextTable T({"Workload", "Known bug", "Samples", "Manifested",
+               "SVD found", "FRD reports"});
+  std::string J =
+      formatString("{\"suite\":\"interproc\",\"seeds\":%u,\"rows\":[",
+                   Seeds);
+
+  size_t Idx = 0;
+  for (size_t WI = 0; WI < Ws.size(); ++WI) {
+    const Workload &W = Ws[WI];
+    size_t Manifested = 0, SvdFound = 0, FrdReports = 0;
+    uint64_t Steps = 0;
+    for (uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
+      const SampleMetrics &S = Ms[Idx++];
+      const SampleMetrics &F = Ms[Idx++];
+      Manifested += S.Manifested;
+      SvdFound += S.DetectedBug || S.LogFoundBug;
+      FrdReports += F.DynamicReports;
+      Steps += S.Steps;
+    }
+    if (O.Json) {
+      if (WI)
+        J += ",";
+      J += formatString(
+          "{\"workload\":\"%s\",\"known_bug\":%s,\"samples\":%u,"
+          "\"manifested\":%zu,\"svd_found\":%zu,\"frd_reports\":%zu,"
+          "\"steps_total\":%llu}",
+          jsonEscape(W.Name).c_str(), W.HasKnownBug ? "true" : "false",
+          Seeds, Manifested, SvdFound, FrdReports,
+          static_cast<unsigned long long>(Steps));
+    } else {
+      T.addRow({W.Name, W.HasKnownBug ? "yes" : "no",
+                formatString("%u", Seeds), formatString("%zu", Manifested),
+                formatString("%zu", SvdFound),
+                formatString("%zu", FrdReports)});
+    }
+  }
+
+  if (O.Json) {
+    J += "]}\n";
+    std::fputs(J.c_str(), stdout);
+    return 0;
+  }
+
+  std::fputs(T.render().c_str(), stdout);
+  std::puts("\nProcCache is the correct twin (lock held across both "
+            "helper calls); ProcGap drops the lock between `get` and "
+            "`put`, so its cross-function read-modify-write loses "
+            "updates that SVD's serializability check catches.");
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
 // predict — static prediction vs directed confirmation
 //===----------------------------------------------------------------------===//
 
@@ -655,6 +744,9 @@ const std::vector<Suite> &harness::suites() {
       {"sec73", "Section 7.3 false-positive growth vs execution length",
        runSec73},
       {"fig1", "Figure 1 benign table-lock race + CU dump", runFig1},
+      {"interproc", "function-structured workloads (Call/Ret) under "
+                    "SVD and FRD",
+       runInterproc},
       {"predict", "svd-predict static-vs-confirmed report", runPredict},
   };
   return Suites;
@@ -676,6 +768,8 @@ std::vector<Workload> harness::suiteWorkloads(const std::string &Name) {
     return sec73SuiteWorkloads();
   if (Name == "fig1")
     return fig1SuiteWorkloads();
+  if (Name == "interproc")
+    return interprocSuiteWorkloads();
   if (Name == "predict")
     return predictSuiteWorkloads();
   return {};

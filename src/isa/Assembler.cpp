@@ -33,6 +33,7 @@ struct PendingInstr {
   Reg Rb = 0;
   int64_t Imm = 0;
   std::string LabelRef;  ///< branch target label, if any
+  std::string ProcRef;   ///< call target proc name, if any
   MemRef Mem;            ///< memory operand, if any
   bool HasMem = false;
   std::string MutexRef;  ///< lock/unlock mutex name, if any
@@ -44,6 +45,16 @@ struct PendingInstr {
 struct PendingThread {
   std::string Name;
   uint32_t Replicas = 1;
+  std::vector<PendingInstr> Code;
+  std::map<std::string, size_t> Labels; ///< label -> instruction index
+  uint32_t Line = 0;
+};
+
+/// One `.proc` section as parsed. Procs are top-level and shared: each
+/// thread replica that (transitively) calls one gets a private copy
+/// materialized after its main body. Labels are proc-local.
+struct PendingProc {
+  std::string Name;
   std::vector<PendingInstr> Code;
   std::map<std::string, size_t> Labels; ///< label -> instruction index
   uint32_t Line = 0;
@@ -85,6 +96,12 @@ private:
   bool layout(Program &Out);
   bool resolveThread(const PendingThread &PT, uint32_t Replica,
                      ThreadId Tid, const Program &Prog, ThreadCode &Out);
+  bool reachableProcs(const PendingThread &PT, std::vector<size_t> &Out);
+  bool resolveInstr(const PendingInstr &P,
+                    const std::map<std::string, size_t> &Labels,
+                    uint32_t LabelBase,
+                    const std::map<std::string, uint32_t> &ProcEntries,
+                    ThreadId Tid, const Program &Prog, Instruction &I);
 
   void error(const std::string &Msg) {
     Errors.push_back({CurLine, Msg});
@@ -98,7 +115,9 @@ private:
   std::vector<std::string> Mutexes;
   std::vector<std::string> Messages;
   std::vector<PendingThread> ThreadSections;
+  std::vector<PendingProc> ProcSections;
   PendingThread *CurThread = nullptr;
+  PendingProc *CurProc = nullptr;
 };
 
 bool isIdentChar(char C) {
@@ -261,6 +280,38 @@ void Parser::parseDirective(const std::string &Line) {
     CurThread->Name = Toks[1];
     CurThread->Replicas = Replicas;
     CurThread->Line = CurLine;
+    CurProc = nullptr;
+    return;
+  }
+
+  if (Kind == ".proc") {
+    if (Toks.size() != 2 || !isIdentifier(Toks[1])) {
+      error("expected '.proc NAME'");
+      return;
+    }
+    for (const PendingProc &P : ProcSections)
+      if (P.Name == Toks[1]) {
+        error("redefinition of proc '" + Toks[1] + "'");
+        return;
+      }
+    ProcSections.push_back(PendingProc());
+    CurProc = &ProcSections.back();
+    CurProc->Name = Toks[1];
+    CurProc->Line = CurLine;
+    CurThread = nullptr;
+    return;
+  }
+
+  if (Kind == ".endproc") {
+    if (Toks.size() != 1) {
+      error("expected '.endproc'");
+      return;
+    }
+    if (!CurProc) {
+      error(".endproc outside of a .proc section");
+      return;
+    }
+    CurProc = nullptr;
     return;
   }
 
@@ -276,22 +327,24 @@ void Parser::parseStatement(std::string Line) {
     std::string Head = support::trimString(Line.substr(0, Colon));
     if (!isIdentifier(Head))
       break;
-    if (!CurThread) {
-      error("label outside of a .thread section");
+    if (!CurThread && !CurProc) {
+      error("label outside of a .thread or .proc section");
       return;
     }
-    if (CurThread->Labels.count(Head)) {
+    auto &Labels = CurProc ? CurProc->Labels : CurThread->Labels;
+    size_t Here = CurProc ? CurProc->Code.size() : CurThread->Code.size();
+    if (Labels.count(Head)) {
       error("redefinition of label '" + Head + "'");
       return;
     }
-    CurThread->Labels[Head] = CurThread->Code.size();
+    Labels[Head] = Here;
     Line = support::trimString(Line.substr(Colon + 1));
     if (Line.empty())
       return;
   }
 
-  if (!CurThread) {
-    error("instruction outside of a .thread section");
+  if (!CurThread && !CurProc) {
+    error("instruction outside of a .thread or .proc section");
     return;
   }
 
@@ -406,7 +459,9 @@ void Parser::parseInstruction(const std::string &Mnemonic,
   PendingInstr P;
   P.Line = CurLine;
 
-  auto Emit = [&]() { CurThread->Code.push_back(P); };
+  auto Emit = [&]() {
+    (CurProc ? CurProc->Code : CurThread->Code).push_back(P);
+  };
   auto WantOps = [&](size_t N) {
     if (Ops.size() == N)
       return true;
@@ -562,6 +617,31 @@ void Parser::parseInstruction(const std::string &Mnemonic,
     Emit();
     return;
   }
+  if (Mnemonic == "call") {
+    if (!WantOps(1))
+      return;
+    P.Op = Opcode::Call;
+    if (!isIdentifier(Ops[0])) {
+      error("expected proc name, got '" + Ops[0] + "'");
+      return;
+    }
+    P.ProcRef = Ops[0];
+    Emit();
+    return;
+  }
+  if (Mnemonic == "ret") {
+    if (!WantOps(0))
+      return;
+    if (!CurProc) {
+      // A main-body Ret would pop an empty call stack at run time; reject
+      // it statically so the mistake surfaces at assembly.
+      error("'ret' outside of a .proc section");
+      return;
+    }
+    P.Op = Opcode::Ret;
+    Emit();
+    return;
+  }
   if (Mnemonic == "lock" || Mnemonic == "unlock") {
     if (!WantOps(1))
       return;
@@ -657,65 +737,168 @@ bool Parser::layout(Program &Out) {
   return true;
 }
 
+/// Resolves one pending instruction against the given label scope (thread
+/// main body or one proc body, whose first instruction sits at
+/// \p LabelBase) and the per-replica proc entry table.
+bool Parser::resolveInstr(const PendingInstr &P,
+                          const std::map<std::string, size_t> &Labels,
+                          uint32_t LabelBase,
+                          const std::map<std::string, uint32_t> &ProcEntries,
+                          ThreadId Tid, const Program &Prog,
+                          Instruction &I) {
+  CurLine = P.Line;
+  I.Op = P.Op;
+  I.Rd = P.Rd;
+  I.Ra = P.Ra;
+  I.Rb = P.Rb;
+  I.Imm = P.Imm;
+  I.Line = P.Line;
+
+  if (!P.LabelRef.empty()) {
+    auto It = Labels.find(P.LabelRef);
+    if (It == Labels.end()) {
+      error("undefined label '" + P.LabelRef + "'");
+      return false;
+    }
+    I.Imm = static_cast<Word>(LabelBase + It->second);
+  }
+  if (!P.ProcRef.empty()) {
+    auto It = ProcEntries.find(P.ProcRef);
+    if (It == ProcEntries.end()) {
+      error("call to undefined proc '" + P.ProcRef + "'");
+      return false;
+    }
+    I.Imm = static_cast<Word>(It->second);
+  }
+  if (P.HasMem) {
+    // Cas keeps Ra as the expected-value register; its address is
+    // always absolute.
+    if (P.Op != Opcode::Cas)
+      I.Ra = P.Mem.Base;
+    int64_t Address = P.Mem.Off;
+    if (!P.Mem.Sym.empty()) {
+      const DataSymbol *S = Prog.findSymbol(P.Mem.Sym);
+      if (!S) {
+        error("undefined data symbol '" + P.Mem.Sym + "'");
+        return false;
+      }
+      Address += S->Base;
+      if (S->IsThreadLocal)
+        Address += static_cast<int64_t>(Tid) * S->Size;
+    }
+    I.Imm = Address;
+  }
+  if (!P.MutexRef.empty()) {
+    std::optional<uint32_t> M = Prog.findMutex(P.MutexRef);
+    if (!M) {
+      error("undefined mutex '" + P.MutexRef + "'");
+      return false;
+    }
+    I.Imm = *M;
+  }
+  if (P.MessageId >= 0)
+    I.Imm = P.MessageId;
+  return true;
+}
+
+/// Collects the indices of every proc \p PT (transitively) calls, in
+/// declaration order — the order their copies are materialized in.
+bool Parser::reachableProcs(const PendingThread &PT,
+                            std::vector<size_t> &Out) {
+  std::vector<bool> Seen(ProcSections.size(), false);
+  // Worklist of proc indices whose bodies still need scanning; seeded
+  // from the thread's main body.
+  std::vector<const std::vector<PendingInstr> *> Work = {&PT.Code};
+  while (!Work.empty()) {
+    const std::vector<PendingInstr> *Code = Work.back();
+    Work.pop_back();
+    for (const PendingInstr &P : *Code) {
+      if (P.ProcRef.empty())
+        continue;
+      size_t Idx = ProcSections.size();
+      for (size_t I = 0; I < ProcSections.size(); ++I)
+        if (ProcSections[I].Name == P.ProcRef) {
+          Idx = I;
+          break;
+        }
+      if (Idx == ProcSections.size()) {
+        CurLine = P.Line;
+        error("call to undefined proc '" + P.ProcRef + "'");
+        return false;
+      }
+      if (!Seen[Idx]) {
+        Seen[Idx] = true;
+        Work.push_back(&ProcSections[Idx].Code);
+      }
+    }
+  }
+  for (size_t I = 0; I < ProcSections.size(); ++I)
+    if (Seen[I])
+      Out.push_back(I);
+  return true;
+}
+
 bool Parser::resolveThread(const PendingThread &PT, uint32_t Replica,
                            ThreadId Tid, const Program &Prog,
                            ThreadCode &Out) {
   (void)Replica;
+  std::vector<size_t> Reachable;
+  if (!reachableProcs(PT, Reachable))
+    return false;
+
+  // Layout: main body (plus auto-halt unless it already ends in an
+  // unconditional terminator), then one copy of each reachable proc in
+  // declaration order (plus auto-ret under the same rule).
+  auto NeedsAutoHalt = [](const std::vector<PendingInstr> &Code) {
+    return Code.empty() || (Code.back().Op != Opcode::Halt &&
+                            Code.back().Op != Opcode::Jmp);
+  };
+  auto NeedsAutoRet = [](const std::vector<PendingInstr> &Code) {
+    return Code.empty() || (Code.back().Op != Opcode::Ret &&
+                            Code.back().Op != Opcode::Halt &&
+                            Code.back().Op != Opcode::Jmp);
+  };
+  uint32_t MainLen = static_cast<uint32_t>(PT.Code.size()) +
+                     (NeedsAutoHalt(PT.Code) ? 1 : 0);
+  std::map<std::string, uint32_t> ProcEntries;
+  uint32_t Next = MainLen;
+  for (size_t Idx : Reachable) {
+    const PendingProc &PP = ProcSections[Idx];
+    ProcEntries[PP.Name] = Next;
+    uint32_t Len = static_cast<uint32_t>(PP.Code.size()) +
+                   (NeedsAutoRet(PP.Code) ? 1 : 0);
+    Out.Procs.push_back({PP.Name, Next, Next + Len});
+    Next += Len;
+  }
+
   for (const PendingInstr &P : PT.Code) {
-    CurLine = P.Line;
     Instruction I;
-    I.Op = P.Op;
-    I.Rd = P.Rd;
-    I.Ra = P.Ra;
-    I.Rb = P.Rb;
-    I.Imm = P.Imm;
-    I.Line = P.Line;
-
-    if (!P.LabelRef.empty()) {
-      auto It = PT.Labels.find(P.LabelRef);
-      if (It == PT.Labels.end()) {
-        error("undefined label '" + P.LabelRef + "'");
-        return false;
-      }
-      I.Imm = static_cast<Word>(It->second);
-    }
-    if (P.HasMem) {
-      // Cas keeps Ra as the expected-value register; its address is
-      // always absolute.
-      if (P.Op != Opcode::Cas)
-        I.Ra = P.Mem.Base;
-      int64_t Address = P.Mem.Off;
-      if (!P.Mem.Sym.empty()) {
-        const DataSymbol *S = Prog.findSymbol(P.Mem.Sym);
-        if (!S) {
-          error("undefined data symbol '" + P.Mem.Sym + "'");
-          return false;
-        }
-        Address += S->Base;
-        if (S->IsThreadLocal)
-          Address += static_cast<int64_t>(Tid) * S->Size;
-      }
-      I.Imm = Address;
-    }
-    if (!P.MutexRef.empty()) {
-      std::optional<uint32_t> M = Prog.findMutex(P.MutexRef);
-      if (!M) {
-        error("undefined mutex '" + P.MutexRef + "'");
-        return false;
-      }
-      I.Imm = *M;
-    }
-    if (P.MessageId >= 0)
-      I.Imm = P.MessageId;
-
+    if (!resolveInstr(P, PT.Labels, 0, ProcEntries, Tid, Prog, I))
+      return false;
     Out.Code.push_back(I);
   }
-  if (Out.Code.empty() || (Out.Code.back().Op != Opcode::Halt &&
-                           Out.Code.back().Op != Opcode::Jmp)) {
+  if (NeedsAutoHalt(PT.Code)) {
     // Make falling off the end explicit and uniform.
     Instruction H;
     H.Op = Opcode::Halt;
     Out.Code.push_back(H);
+  }
+  for (size_t Idx : Reachable) {
+    const PendingProc &PP = ProcSections[Idx];
+    uint32_t Entry = ProcEntries[PP.Name];
+    for (const PendingInstr &P : PP.Code) {
+      Instruction I;
+      if (!resolveInstr(P, PP.Labels, Entry, ProcEntries, Tid, Prog, I))
+        return false;
+      Out.Code.push_back(I);
+    }
+    if (NeedsAutoRet(PP.Code)) {
+      // Falling off a proc's end returns to the caller.
+      Instruction R;
+      R.Op = Opcode::Ret;
+      R.Line = PP.Line;
+      Out.Code.push_back(R);
+    }
   }
   return true;
 }

@@ -16,6 +16,8 @@
 ///   .local  NAME [SIZE]     ; thread-local region, one copy per thread
 ///   .lock   NAME            ; declare a mutex
 ///   .thread NAME [xN]       ; begin a thread section (replicated N times)
+///   .proc   NAME            ; begin a procedure body (ends at the next
+///                           ; .proc/.thread or an optional .endproc)
 ///   LABEL:
 ///   MNEMONIC OPERANDS       ; see isa/Isa.h for the instruction list
 /// \endcode
@@ -26,6 +28,14 @@
 /// mutex name. `assert rA, "message"` records a program error when rA is
 /// zero — the mechanism workloads use to model crashes such as the MySQL
 /// segfault of Figure 3.
+///
+/// Procedures: `call NAME` transfers to a `.proc` body, `ret` returns
+/// (valid only inside a proc; a proc that does not end in ret/jmp/halt
+/// gets an automatic ret). Labels are local to their enclosing section,
+/// so branches cannot cross a proc boundary — only call/ret can. Every
+/// thread replica that transitively calls a proc gets a private copy of
+/// its body materialized after the thread's main code, so per-thread pcs
+/// remain dense and analyses see a closed per-thread instruction space.
 ///
 //===----------------------------------------------------------------------===//
 

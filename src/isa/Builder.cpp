@@ -99,6 +99,12 @@ ThreadBuilder &ThreadBuilder::jmp(const std::string &Label) {
   return raw("jmp " + Label);
 }
 
+ThreadBuilder &ThreadBuilder::call(const std::string &Proc) {
+  return raw("call " + Proc);
+}
+
+ThreadBuilder &ThreadBuilder::ret() { return raw("ret"); }
+
 ThreadBuilder &ThreadBuilder::lockOp(const std::string &Mutex) {
   return raw("lock @" + Mutex);
 }
@@ -145,13 +151,19 @@ ThreadBuilder &ProgramBuilder::thread(const std::string &Name,
                            ? formatString(".thread %s", Name.c_str())
                            : formatString(".thread %s x%u", Name.c_str(),
                                           Replicas);
-  Threads.emplace_back(Header, ThreadBuilder());
-  return Threads.back().second;
+  Sections.emplace_back(Header, ThreadBuilder());
+  return Sections.back().second;
+}
+
+ThreadBuilder &ProgramBuilder::proc(const std::string &Name) {
+  Sections.emplace_back(formatString(".proc %s", Name.c_str()),
+                        ThreadBuilder());
+  return Sections.back().second;
 }
 
 std::string ProgramBuilder::source() const {
   std::string Out = Directives;
-  for (const auto &[Header, TB] : Threads) {
+  for (const auto &[Header, TB] : Sections) {
     Out += Header + "\n";
     Out += TB.Text;
   }

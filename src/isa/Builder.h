@@ -47,6 +47,8 @@ public:
   ThreadBuilder &beqz(unsigned Ra, const std::string &Label);
   ThreadBuilder &bnez(unsigned Ra, const std::string &Label);
   ThreadBuilder &jmp(const std::string &Label);
+  ThreadBuilder &call(const std::string &Proc);
+  ThreadBuilder &ret();
   ThreadBuilder &lockOp(const std::string &Mutex);
   ThreadBuilder &unlockOp(const std::string &Mutex);
   ThreadBuilder &assertNz(unsigned Ra, const std::string &Message);
@@ -81,6 +83,10 @@ public:
   /// reference stays valid until build().
   ThreadBuilder &thread(const std::string &Name, uint32_t Replicas = 1);
 
+  /// Begins a `.proc` section; thread sections reach it via call(). The
+  /// returned reference stays valid until build().
+  ThreadBuilder &proc(const std::string &Name);
+
   /// Renders the accumulated assembly source.
   std::string source() const;
 
@@ -93,7 +99,9 @@ public:
 
 private:
   std::string Directives;
-  std::vector<std::pair<std::string, ThreadBuilder>> Threads;
+  /// Thread and proc sections, each a (header line, body) pair, emitted
+  /// in the order they were declared.
+  std::vector<std::pair<std::string, ThreadBuilder>> Sections;
 };
 
 } // namespace isa

@@ -68,6 +68,10 @@ const char *isa::opcodeName(Opcode Op) {
     return "bnez";
   case Opcode::Jmp:
     return "jmp";
+  case Opcode::Call:
+    return "call";
+  case Opcode::Ret:
+    return "ret";
   case Opcode::Lock:
     return "lock";
   case Opcode::Unlock:
@@ -89,7 +93,8 @@ bool isa::isConditionalBranch(Opcode Op) {
 }
 
 bool isa::isControlFlow(Opcode Op) {
-  return isConditionalBranch(Op) || Op == Opcode::Jmp || Op == Opcode::Halt;
+  return isConditionalBranch(Op) || Op == Opcode::Jmp || Op == Opcode::Call ||
+         Op == Opcode::Ret || Op == Opcode::Halt;
 }
 
 bool isa::isMemoryAccess(Opcode Op) {
@@ -123,9 +128,22 @@ bool isa::writesRd(Opcode Op) {
   case Opcode::Ld:
   case Opcode::Cas:
     return true;
-  default:
+  case Opcode::Nop:
+  case Opcode::St:
+  case Opcode::Beqz:
+  case Opcode::Bnez:
+  case Opcode::Jmp:
+  case Opcode::Call:
+  case Opcode::Ret:
+  case Opcode::Lock:
+  case Opcode::Unlock:
+  case Opcode::Assert:
+  case Opcode::Print:
+  case Opcode::Yield:
+  case Opcode::Halt:
     return false;
   }
+  SVD_UNREACHABLE("unknown opcode");
 }
 
 bool isa::readsRa(Opcode Op) {
@@ -157,9 +175,20 @@ bool isa::readsRa(Opcode Op) {
   case Opcode::Assert:
   case Opcode::Print:
     return true;
-  default:
+  case Opcode::Nop:
+  case Opcode::Li:
+  case Opcode::Tid:
+  case Opcode::Rnd:
+  case Opcode::Jmp:
+  case Opcode::Call:
+  case Opcode::Ret:
+  case Opcode::Lock:
+  case Opcode::Unlock:
+  case Opcode::Yield:
+  case Opcode::Halt:
     return false;
   }
+  SVD_UNREACHABLE("unknown opcode");
 }
 
 bool isa::readsRb(Opcode Op) {
@@ -181,9 +210,30 @@ bool isa::readsRb(Opcode Op) {
   case Opcode::St:
   case Opcode::Cas:
     return true;
-  default:
+  case Opcode::Nop:
+  case Opcode::Li:
+  case Opcode::Mov:
+  case Opcode::Tid:
+  case Opcode::Rnd:
+  case Opcode::Addi:
+  case Opcode::Muli:
+  case Opcode::Andi:
+  case Opcode::Slti:
+  case Opcode::Ld:
+  case Opcode::Beqz:
+  case Opcode::Bnez:
+  case Opcode::Jmp:
+  case Opcode::Call:
+  case Opcode::Ret:
+  case Opcode::Lock:
+  case Opcode::Unlock:
+  case Opcode::Assert:
+  case Opcode::Print:
+  case Opcode::Yield:
+  case Opcode::Halt:
     return false;
   }
+  SVD_UNREACHABLE("unknown opcode");
 }
 
 std::string isa::formatInstruction(const Instruction &I) {
@@ -193,6 +243,7 @@ std::string isa::formatInstruction(const Instruction &I) {
   case Opcode::Nop:
   case Opcode::Yield:
   case Opcode::Halt:
+  case Opcode::Ret:
     return Name;
   case Opcode::Li:
     return formatString("%s r%u, %lld", Name, I.Rd,
@@ -224,6 +275,7 @@ std::string isa::formatInstruction(const Instruction &I) {
     return formatString("%s r%u, %lld", Name, I.Ra,
                         static_cast<long long>(I.Imm));
   case Opcode::Jmp:
+  case Opcode::Call:
     return formatString("%s %lld", Name, static_cast<long long>(I.Imm));
   case Opcode::Lock:
   case Opcode::Unlock:
@@ -231,7 +283,21 @@ std::string isa::formatInstruction(const Instruction &I) {
   case Opcode::Assert:
   case Opcode::Print:
     return formatString("%s r%u", Name, I.Ra);
-  default:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Div:
+  case Opcode::Rem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Slt:
+  case Opcode::Sle:
+  case Opcode::Seq:
+  case Opcode::Sne:
     return formatString("%s r%u, r%u, r%u", Name, I.Rd, I.Ra, I.Rb);
   }
+  SVD_UNREACHABLE("unknown opcode");
 }

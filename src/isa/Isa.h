@@ -80,6 +80,14 @@ enum class Opcode : uint8_t {
   Beqz, ///< if Ra == 0 goto Imm
   Bnez, ///< if Ra != 0 goto Imm
   Jmp,  ///< goto Imm (the paper's "Branch-Always")
+  /// Procedure call: push Pc+1 on the thread's bounded call stack and
+  /// goto Imm (the callee's entry). Registers are caller-visible — the
+  /// calling convention has no save/restore, so dataflow crosses the
+  /// call both ways (see DESIGN.md section 13).
+  Call,
+  /// Procedure return: pop the call stack and continue there. Executing
+  /// Ret with an empty stack is a classified program error.
+  Ret,
   /// Compare-and-swap on an absolute address: if mem[Imm] == Ra then
   /// mem[Imm] = Rb and Rd = 1, else Rd = 0. The building block of the
   /// lock-free workloads (annotation-free synchronization that no
@@ -115,7 +123,7 @@ const char *opcodeName(Opcode Op);
 bool isConditionalBranch(Opcode Op);
 
 /// Returns true for any instruction that may transfer control (Beqz, Bnez,
-/// Jmp, Halt).
+/// Jmp, Call, Ret, Halt).
 bool isControlFlow(Opcode Op);
 
 /// Returns true for Ld/St.

@@ -77,7 +77,8 @@ std::string Program::validate() const {
       if (I.Rd >= NumRegs || I.Ra >= NumRegs || I.Rb >= NumRegs)
         return formatString("thread %u pc %zu: register out of range", Tid,
                             Pc);
-      if (isConditionalBranch(I.Op) || I.Op == Opcode::Jmp) {
+      if (isConditionalBranch(I.Op) || I.Op == Opcode::Jmp ||
+          I.Op == Opcode::Call) {
         if (I.Imm < 0 || static_cast<size_t>(I.Imm) >= T.Code.size())
           return formatString("thread %u pc %zu: branch target %lld out of "
                               "range",
@@ -105,9 +106,11 @@ std::string Program::validate() const {
                               Tid, Pc, static_cast<long long>(I.Imm));
       }
     }
-    // Execution must not fall off the end of a thread's code.
+    // Execution must not fall off the end of a thread's code. Ret is a
+    // valid terminator for the last materialized proc body (a runtime
+    // Ret never falls through; an empty-stack Ret halts the thread).
     Opcode Last = T.Code.back().Op;
-    if (Last != Opcode::Halt && Last != Opcode::Jmp)
+    if (Last != Opcode::Halt && Last != Opcode::Jmp && Last != Opcode::Ret)
       return formatString("thread %u ('%s') does not end in halt or jmp",
                           Tid, T.Name.c_str());
   }
@@ -119,9 +122,14 @@ std::string Program::disassemble() const {
   for (ThreadId Tid = 0; Tid < numThreads(); ++Tid) {
     const ThreadCode &T = Threads[Tid];
     Out += formatString(".thread %s  ; tid %u\n", T.Name.c_str(), Tid);
-    for (size_t Pc = 0; Pc < T.Code.size(); ++Pc)
+    for (size_t Pc = 0; Pc < T.Code.size(); ++Pc) {
+      for (const ProcInfo &P : T.Procs)
+        if (P.Entry == Pc)
+          Out += formatString("  .proc %s  ; pcs %u..%u\n", P.Name.c_str(),
+                              P.Entry, P.End - 1);
       Out += formatString("  %4zu: %s\n", Pc,
                           formatInstruction(T.Code[Pc]).c_str());
+    }
   }
   return Out;
 }

@@ -40,10 +40,31 @@ struct DataSymbol {
   bool IsThreadLocal = false;
 };
 
+/// One procedure materialized into a thread's code: the assembler
+/// appends every `.proc` body a thread (transitively) calls after the
+/// thread's main body, so [Entry, End) names the proc's pc range.
+struct ProcInfo {
+  std::string Name;
+  uint32_t Entry = 0; ///< first instruction of the proc body
+  uint32_t End = 0;   ///< one past the last instruction
+};
+
 /// The instruction sequence of one thread.
 struct ThreadCode {
   std::string Name;
   std::vector<Instruction> Code;
+  /// Procedures materialized into Code, ascending by Entry; empty for
+  /// flat programs. Purely metadata — execution and analysis derive
+  /// structure from Call targets, tools use this for names.
+  std::vector<ProcInfo> Procs;
+
+  /// The proc containing \p Pc, or nullptr for main-body pcs.
+  const ProcInfo *procAt(uint32_t Pc) const {
+    for (const ProcInfo &P : Procs)
+      if (Pc >= P.Entry && Pc < P.End)
+        return &P;
+    return nullptr;
+  }
 };
 
 /// A complete multithreaded program.

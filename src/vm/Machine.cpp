@@ -471,6 +471,40 @@ void Machine::execute() {
     T.Pc = Target;
     return;
   }
+  case Opcode::Call: {
+    if (T.CallStack.size() >= Cfg.MaxCallDepth) {
+      // Contained like any other runtime fault: classified, thread
+      // halted, rest of the run unaffected.
+      recordError(Ctx, formatString("fault: call stack overflow (depth "
+                                    "limit %u)",
+                                    Cfg.MaxCallDepth));
+      haltThread(Ctx);
+      return;
+    }
+    // The return address Pc+1 is always in range: validation guarantees
+    // a Call is never a thread's last instruction.
+    uint32_t Target = static_cast<uint32_t>(I.Imm);
+    T.CallStack.push_back(Pc + 1);
+    ++Counters.Branches;
+    for (ExecutionObserver *O : Observers)
+      O->onBranch(Ctx, true, Target);
+    T.Pc = Target;
+    return;
+  }
+  case Opcode::Ret: {
+    if (T.CallStack.empty()) {
+      recordError(Ctx, "fault: ret with an empty call stack");
+      haltThread(Ctx);
+      return;
+    }
+    uint32_t Target = T.CallStack.back();
+    T.CallStack.pop_back();
+    ++Counters.Branches;
+    for (ExecutionObserver *O : Observers)
+      O->onBranch(Ctx, true, Target);
+    T.Pc = Target;
+    return;
+  }
 
   case Opcode::Lock: {
     uint32_t M = static_cast<uint32_t>(I.Imm);
@@ -566,6 +600,7 @@ Checkpoint Machine::checkpoint() const {
     C.Threads[I].Pc = Threads[I].Pc;
     C.Threads[I].State = Threads[I].State;
     C.Threads[I].Regs = Threads[I].Regs;
+    C.Threads[I].CallStack = Threads[I].CallStack;
     C.Threads[I].Rnd = Threads[I].Rnd;
   }
   C.MutexOwner = MutexOwner;
@@ -589,6 +624,7 @@ void Machine::restore(const Checkpoint &C) {
     Threads[I].Pc = C.Threads[I].Pc;
     Threads[I].State = C.Threads[I].State;
     Threads[I].Regs = C.Threads[I].Regs;
+    Threads[I].CallStack = C.Threads[I].CallStack;
     Threads[I].Rnd = C.Threads[I].Rnd;
   }
   MutexOwner = C.MutexOwner;

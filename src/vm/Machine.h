@@ -74,6 +74,10 @@ struct MachineConfig {
   /// Steps between randomized thread-to-CPU migrations (only with
   /// NumCpus != 0). 0 disables migration.
   uint64_t MigrationInterval = 0;
+  /// Bound on each thread's call stack; a Call that would exceed it is a
+  /// classified program error that halts the thread (the VM's analog of
+  /// stack-overflow containment, so runaway recursion cannot hang a run).
+  uint32_t MaxCallDepth = 256;
   /// Deterministic fault-injection hooks (vm/FaultHooks.h); null runs
   /// fault-free. Not owned; must outlive the machine. Hook answers are
   /// pure functions of their arguments, so checkpoint/restore replays
@@ -90,7 +94,7 @@ struct ExecCounters {
   uint64_t Loads = 0;         ///< load events (Ld + the Cas read)
   uint64_t Stores = 0;        ///< store events (St + successful Cas)
   uint64_t Alu = 0;           ///< register-only instructions
-  uint64_t Branches = 0;      ///< Beqz/Bnez/Jmp
+  uint64_t Branches = 0;      ///< Beqz/Bnez/Jmp/Call/Ret
   uint64_t LockAcquires = 0;  ///< successful mutex acquisitions
   uint64_t LockSpins = 0;     ///< steps burned blocking on a held mutex
   uint64_t Unlocks = 0;       ///< mutex releases
@@ -125,6 +129,7 @@ struct Checkpoint {
     uint32_t Pc = 0;
     ThreadState State = ThreadState::Ready;
     std::vector<isa::Word> Regs;
+    std::vector<uint32_t> CallStack;
     support::Xoshiro256 Rnd{0};
   };
   std::vector<isa::Word> Memory;
@@ -207,6 +212,10 @@ public:
   isa::Word readReg(isa::ThreadId Tid, isa::Reg R) const {
     return Threads[Tid].Regs[R];
   }
+  /// Return addresses of \p Tid, innermost last; empty outside any call.
+  const std::vector<uint32_t> &callStack(isa::ThreadId Tid) const {
+    return Threads[Tid].CallStack;
+  }
   const std::vector<ProgramError> &errors() const { return Errors; }
   const std::vector<PrintedValue> &printed() const { return Prints; }
 
@@ -245,6 +254,8 @@ private:
     uint32_t Pc = 0;
     ThreadState State = ThreadState::Ready;
     std::vector<isa::Word> Regs;
+    /// Return addresses pushed by Call, bounded by Cfg.MaxCallDepth.
+    std::vector<uint32_t> CallStack;
     support::Xoshiro256 Rnd{0};
   };
 

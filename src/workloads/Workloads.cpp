@@ -504,6 +504,97 @@ work:
   return W;
 }
 
+Workload workloads::procCache(const WorkloadParams &P) {
+  std::string Src = formatString(R"(
+.global cache_val
+.lock cache_lock
+.thread worker x%u
+  li r5, %u
+wloop:
+  rnd r14, %u             ; --- request processing (busy work) ---
+  addi r14, r14, %u
+work:
+  addi r14, r14, -1
+  bnez r14, work
+  lock @cache_lock
+  call get                ; read through the accessor proc
+  addi r1, r1, 1
+  call put                ; write back through its twin
+  unlock @cache_lock
+  addi r5, r5, -1
+  bnez r5, wloop
+  halt
+.proc get
+  ld r1, [@cache_val]
+  ret
+.proc put
+  st r1, [@cache_val]
+  ret
+)",
+                                 P.Threads, P.Iterations, P.WorkPadding,
+                                 P.WorkPadding);
+  Workload W = fromSource(
+      "ProcCache",
+      "Function-structured cache update: the shared value is read via a "
+      "`get` proc, bumped in the caller, and written back via `put`, "
+      "all inside one critical section",
+      "None — correct; the cross-function read-modify-write is "
+      "two-phase under cache_lock", Src);
+  const Program &Prog = W.Program;
+  isa::Addr Val = Prog.addressOf("cache_val");
+  uint64_t Expected = uint64_t(P.Threads) * P.Iterations;
+  W.Manifested = [Val, Expected](const vm::Machine &M) {
+    return M.readMem(Val) != static_cast<isa::Word>(Expected);
+  };
+  return W;
+}
+
+Workload workloads::procGap(const WorkloadParams &P) {
+  std::string Src = formatString(R"(
+.global cache_val
+.lock cache_lock
+.thread worker x%u
+  li r5, %u
+wloop:
+  rnd r14, %u             ; --- request processing (busy work) ---
+  addi r14, r14, %u
+work:
+  addi r14, r14, -1
+  bnez r14, work
+  lock @cache_lock
+  call get                ; read under the lock...
+  addi r1, r1, 1
+  unlock @cache_lock      ; ...but the lock is dropped here,
+  call put                ; and the write-back races
+  addi r5, r5, -1
+  bnez r5, wloop
+  halt
+.proc get
+  ld r1, [@cache_val]     ;BUG read half of the torn cross-function RMW
+  ret
+.proc put
+  st r1, [@cache_val]     ;BUG write-back outside the critical section
+  ret
+)",
+                                 P.Threads, P.Iterations, P.WorkPadding,
+                                 P.WorkPadding);
+  Workload W = fromSource(
+      "ProcGap",
+      "Buggy twin of ProcCache: the unlock happens between the `get` "
+      "and `put` helper calls, so the cross-function read-modify-write "
+      "is not atomic",
+      "Lost update: a remote write-back lands between this thread's "
+      "unlock and its `put` call, and the final count comes up short",
+      Src);
+  const Program &Prog = W.Program;
+  isa::Addr Val = Prog.addressOf("cache_val");
+  uint64_t Expected = uint64_t(P.Threads) * P.Iterations;
+  W.Manifested = [Val, Expected](const vm::Machine &M) {
+    return M.readMem(Val) != static_cast<isa::Word>(Expected);
+  };
+  return W;
+}
+
 Workload workloads::tidSlab(const WorkloadParams &P) {
   // Each thread owns the 8-word slab slab[8*tid .. 8*tid+7] of one
   // shared array — provable only by the value-flow pass's affine

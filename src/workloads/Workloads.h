@@ -124,6 +124,17 @@ Workload lockedCounters(const WorkloadParams &P = WorkloadParams());
 /// locality proof) plus a locked checksum (atomicity proof).
 Workload tidSlab(const WorkloadParams &P = WorkloadParams());
 
+/// Function-structured cache update: each iteration locks, reads the
+/// shared value through a `get` proc, bumps it, writes it back through
+/// a `put` proc, and unlocks. Correct — the cross-function RMW is
+/// two-phase — and every sample exercises Call/Ret under detectors.
+Workload procCache(const WorkloadParams &P = WorkloadParams());
+
+/// Buggy twin of procCache: the lock is released before the `put`
+/// call, so the cross-function read-modify-write loses updates (the
+/// Figure 1 binlog gap split across helper procs).
+Workload procGap(const WorkloadParams &P = WorkloadParams());
+
 /// Parameters of the random workload generator.
 struct RandomParams {
   uint64_t Seed = 1;

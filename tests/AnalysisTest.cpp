@@ -211,6 +211,118 @@ loop:
   EXPECT_TRUE(LS.diagnostics().empty());
 }
 
+TEST(StaticLockset, RegionSummariesCaptureLockDeltas) {
+  Program P = asmProg(R"(
+.lock m
+.thread t
+  call acquire
+  call release
+  halt
+.proc acquire
+  lock @m
+  ret
+.proc release
+  unlock @m
+  ret
+)");
+  const std::vector<isa::Instruction> &Code = P.Threads[0].Code;
+  isa::ThreadCfg Cfg(Code);
+  StaticLockset LS(Cfg, Code, 1);
+  EXPECT_TRUE(LS.diagnostics().empty());
+
+  isa::RegionMap RM(Code);
+  ASSERT_EQ(RM.numRegions(), 3u);
+  const std::vector<RegionSummary> &S = LS.regionSummaries();
+  ASSERT_EQ(S.size(), 3u);
+  uint32_t Racq = 0, Rrel = 0;
+  for (const isa::ProcInfo &PI : P.Threads[0].Procs)
+    (PI.Name == "acquire" ? Racq : Rrel) = RM.regionAtEntry(PI.Entry);
+  ASSERT_NE(Racq, 0u);
+  ASSERT_NE(Rrel, 0u);
+  // acquire: exit = entry | bit0. release: exit = entry & ~bit0.
+  EXPECT_EQ(S[Racq].MustGen & 1, 1u);
+  EXPECT_EQ(S[Racq].MayGen & 1, 1u);
+  EXPECT_TRUE(S[Racq].Returns);
+  EXPECT_EQ(S[Rrel].MustGen & 1, 0u);
+  EXPECT_EQ(S[Rrel].MustKeep & 1, 0u);
+  EXPECT_EQ(S[Rrel].MayKeep & 1, 0u);
+  EXPECT_TRUE(S[Rrel].Returns);
+
+  // The entry fact flows interprocedurally: the unlock inside `release`
+  // sees the mutex `acquire` took for its caller.
+  uint32_t UnlockPc = RM.entryOf(Rrel);
+  EXPECT_EQ(Code[UnlockPc].Op, isa::Opcode::Unlock);
+  EXPECT_EQ(LS.mustHeldBefore(UnlockPc) & 1, 1u);
+  // And after the balanced call pair nothing is held at halt.
+  EXPECT_EQ(LS.mustHeldBefore(2) & 1, 0u);
+  EXPECT_EQ(LS.mayHeldBefore(2) & 1, 0u);
+}
+
+TEST(StaticLockset, NonReturningCalleeCutsFallThrough) {
+  Program P = asmProg(R"(
+.lock m
+.thread t
+  call spin
+  lock @m
+  halt
+.proc spin
+loop:
+  jmp loop
+)");
+  const std::vector<isa::Instruction> &Code = P.Threads[0].Code;
+  isa::ThreadCfg Cfg(Code);
+  StaticLockset LS(Cfg, Code, 1);
+  isa::RegionMap RM(Code);
+  uint32_t Rs = RM.regionAtEntry(P.Threads[0].Procs[0].Entry);
+  EXPECT_FALSE(LS.regionSummaries()[Rs].Returns);
+  // The callee never returns, so the lock after the call is dead code
+  // and no held-at-exit diagnostic fires.
+  EXPECT_FALSE(LS.reachable(1));
+  EXPECT_TRUE(LS.diagnostics().empty());
+}
+
+TEST(StaticLockset, RecursiveSummaryConverges) {
+  // A self-recursive proc whose every path keeps the entry lockset
+  // intact: the SCC iteration must converge to identity-like Keep bits
+  // and a held lock must survive the recursive call.
+  Program P = asmProg(R"(
+.lock m
+.global total
+.thread t
+  lock @m
+  li r2, 3
+  call step
+  unlock @m
+  halt
+.proc step
+  beqz r2, done
+  ld r1, [@total]
+  addi r1, r1, 1
+  st r1, [@total]
+  addi r2, r2, -1
+  call step
+done:
+  ret
+)");
+  const std::vector<isa::Instruction> &Code = P.Threads[0].Code;
+  isa::ThreadCfg Cfg(Code);
+  StaticLockset LS(Cfg, Code, 1);
+  EXPECT_TRUE(LS.diagnostics().empty());
+  isa::RegionMap RM(Code);
+  uint32_t Rs = RM.regionAtEntry(P.Threads[0].Procs[0].Entry);
+  const RegionSummary &S = LS.regionSummaries()[Rs];
+  EXPECT_TRUE(S.Returns);
+  EXPECT_EQ(S.MustKeep & 1, 1u);
+  EXPECT_EQ(S.MustGen & 1, 0u);
+  // The store inside the recursive body runs with m must-held.
+  for (uint32_t Pc = RM.entryOf(Rs); Pc < RM.endOf(Rs); ++Pc) {
+    if (Code[Pc].Op == isa::Opcode::St)
+      EXPECT_EQ(LS.mustHeldBefore(Pc) & 1, 1u) << "pc " << Pc;
+  }
+  // The unlock back in the caller still sees it too.
+  EXPECT_EQ(LS.mustHeldBefore(3) & 1, 1u);
+}
+
 //===----------------------------------------------------------------------===//
 // Escape analysis / access classification
 //===----------------------------------------------------------------------===//

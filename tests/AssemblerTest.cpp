@@ -309,3 +309,122 @@ TEST(Program, DisassembleMentionsEveryThread) {
   EXPECT_NE(D.find("beta"), std::string::npos);
   EXPECT_NE(D.find("halt"), std::string::npos);
 }
+
+//===----------------------------------------------------------------------===//
+// Procedures (.proc / call / ret)
+//===----------------------------------------------------------------------===//
+
+TEST(Assembler, ProcLayoutAndCallResolution) {
+  Program P = mustAssemble(R"(
+.global g
+.thread t
+  call get
+  call put
+  halt
+.proc get
+  ld r1, [@g]
+  ret
+.proc put
+  st r1, [@g]
+  ret
+)");
+  const ThreadCode &T = P.Threads[0];
+  ASSERT_EQ(T.Procs.size(), 2u);
+  // Bodies are materialized after the main body, each contiguous.
+  for (const ProcInfo &PI : T.Procs) {
+    EXPECT_GE(PI.Entry, 3u);
+    EXPECT_GT(PI.End, PI.Entry);
+    for (uint32_t Pc = PI.Entry; Pc < PI.End; ++Pc)
+      EXPECT_EQ(T.procAt(Pc), &PI);
+  }
+  // Main-body pcs belong to no proc.
+  EXPECT_EQ(T.procAt(0), nullptr);
+  EXPECT_EQ(T.procAt(2), nullptr);
+  // Each call's immediate is its callee's entry pc.
+  const ProcInfo *Get = nullptr, *Put = nullptr;
+  for (const ProcInfo &PI : T.Procs)
+    (PI.Name == "get" ? Get : Put) = &PI;
+  ASSERT_NE(Get, nullptr);
+  ASSERT_NE(Put, nullptr);
+  EXPECT_EQ(T.Code[0].Op, Opcode::Call);
+  EXPECT_EQ(T.Code[0].Imm, static_cast<Word>(Get->Entry));
+  EXPECT_EQ(T.Code[1].Imm, static_cast<Word>(Put->Entry));
+  EXPECT_EQ(T.Code[Get->End - 1].Op, Opcode::Ret);
+}
+
+TEST(Assembler, ProcBodiesMaterializePerReplica) {
+  // Thread-local symbols inside a proc body must resolve per replica,
+  // which forces a private copy of the body for each replica.
+  Program P = mustAssemble(R"(
+.local slot
+.thread t x2
+  call touch
+  halt
+.proc touch
+  st r1, [@slot]
+  ret
+)");
+  ASSERT_EQ(P.numThreads(), 2u);
+  const ThreadCode &A = P.Threads[0];
+  const ThreadCode &B = P.Threads[1];
+  ASSERT_EQ(A.Procs.size(), 1u);
+  ASSERT_EQ(B.Procs.size(), 1u);
+  EXPECT_EQ(A.Code[A.Procs[0].Entry].Imm,
+            static_cast<Word>(P.addressOf("slot", 0)));
+  EXPECT_EQ(B.Code[B.Procs[0].Entry].Imm,
+            static_cast<Word>(P.addressOf("slot", 1)));
+}
+
+TEST(Assembler, UncalledProcIsNotMaterialized) {
+  Program P = mustAssemble(R"(
+.thread t
+  halt
+.proc orphan
+  nop
+  ret
+)");
+  EXPECT_TRUE(P.Threads[0].Procs.empty());
+  EXPECT_EQ(P.Threads[0].Code.size(), 1u);
+}
+
+TEST(Assembler, ErrorCallToUndefinedProc) {
+  auto Errors = mustFail(".thread t\n  call nowhere\n  halt\n");
+  EXPECT_NE(Errors[0].Message.find("nowhere"), std::string::npos);
+}
+
+TEST(Assembler, ErrorRetOutsideProc) {
+  auto Errors = mustFail(".thread t\n  ret\n  halt\n");
+  EXPECT_NE(Errors[0].Message.find("ret"), std::string::npos);
+}
+
+TEST(Assembler, ErrorProcRedefinition) {
+  mustFail(R"(
+.thread t
+  call f
+  halt
+.proc f
+  ret
+.proc f
+  ret
+)");
+}
+
+TEST(Assembler, ErrorEndprocOutsideProc) {
+  mustFail(".thread t\n  halt\n.endproc\n");
+}
+
+TEST(Builder, ProcsRoundTripThroughAssembler) {
+  ProgramBuilder B;
+  B.global("g");
+  ThreadBuilder &T = B.thread("t");
+  T.call("bump").call("bump").halt();
+  ThreadBuilder &F = B.proc("bump");
+  F.ld(1, 0, "g").alui("addi", 1, 1, 1).st(1, 0, "g").ret();
+  Program P = B.build();
+  ASSERT_EQ(P.numThreads(), 1u);
+  ASSERT_EQ(P.Threads[0].Procs.size(), 1u);
+  EXPECT_EQ(P.Threads[0].Procs[0].Name, "bump");
+  EXPECT_EQ(P.Threads[0].Code[0].Op, Opcode::Call);
+  EXPECT_EQ(P.Threads[0].Code[0].Imm,
+            static_cast<Word>(P.Threads[0].Procs[0].Entry));
+}

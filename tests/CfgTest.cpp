@@ -168,3 +168,165 @@ after:
   // Target-1 is "jmp top" (backward): treat as plain if-then.
   EXPECT_EQ(C.skipperReconvergence(0), 3u);
 }
+
+//===----------------------------------------------------------------------===//
+// Regions, the call graph, and the two CFG views
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+const char *TwoProcSrc = R"(
+.global g
+.thread t
+  call a
+  call b
+  halt
+.proc a
+  ld r1, [@g]
+  ret
+.proc b
+  call a
+  ret
+)";
+
+/// Entry pc of the proc named \p Name in thread 0 of \p P.
+uint32_t entryOf(const Program &P, const std::string &Name) {
+  for (const ProcInfo &PI : P.Threads[0].Procs)
+    if (PI.Name == Name)
+      return PI.Entry;
+  ADD_FAILURE() << "no proc " << Name;
+  return 0;
+}
+
+bool hasSucc(const ThreadCfg &C, uint32_t Pc, uint32_t To) {
+  for (uint32_t S : C.successors(Pc))
+    if (S == To)
+      return true;
+  return false;
+}
+
+} // namespace
+
+TEST(Cfg, RegionMapFlatCodeIsOneRegion) {
+  Program P;
+  cfgOf(".thread t\n  li r1, 1\n  halt\n", P);
+  RegionMap RM(P.Threads[0].Code);
+  EXPECT_EQ(RM.numRegions(), 1u);
+  EXPECT_EQ(RM.entryOf(0), 0u);
+  EXPECT_EQ(RM.endOf(0), 2u);
+  EXPECT_EQ(RM.regionOf(1), 0u);
+  EXPECT_EQ(RM.regionAtEntry(1), RegionMap::NoRegion);
+}
+
+TEST(Cfg, RegionMapPartitionsProcs) {
+  Program P;
+  std::vector<AsmError> Errors;
+  ASSERT_TRUE(assembleProgram(TwoProcSrc, P, Errors));
+  const std::vector<Instruction> &Code = P.Threads[0].Code;
+  RegionMap RM(Code);
+  ASSERT_EQ(RM.numRegions(), 3u);
+  // Region 0 is the main body; each proc's pcs map to one region whose
+  // entry is the proc's entry.
+  EXPECT_EQ(RM.regionOf(0), 0u);
+  EXPECT_EQ(RM.regionOf(2), 0u);
+  for (const char *Name : {"a", "b"}) {
+    uint32_t E = entryOf(P, Name);
+    uint32_t R = RM.regionAtEntry(E);
+    ASSERT_NE(R, RegionMap::NoRegion);
+    EXPECT_EQ(RM.entryOf(R), E);
+    for (uint32_t Pc = E; Pc < RM.endOf(R); ++Pc)
+      EXPECT_EQ(RM.regionOf(Pc), R);
+  }
+  // Region entries cover the whole code exactly once.
+  uint32_t Covered = 0;
+  for (uint32_t R = 0; R < RM.numRegions(); ++R)
+    Covered += RM.endOf(R) - RM.entryOf(R);
+  EXPECT_EQ(Covered, Code.size());
+}
+
+TEST(Cfg, ThreadCallGraphSitesAndPaths) {
+  Program P;
+  std::vector<AsmError> Errors;
+  ASSERT_TRUE(assembleProgram(TwoProcSrc, P, Errors));
+  ThreadCallGraph Cg(P.Threads[0].Code);
+  const RegionMap &RM = Cg.regions();
+  uint32_t Ra = RM.regionAtEntry(entryOf(P, "a"));
+  uint32_t Rb = RM.regionAtEntry(entryOf(P, "b"));
+
+  // Three call sites: main->a, main->b, b->a.
+  ASSERT_EQ(Cg.callSites().size(), 3u);
+  EXPECT_EQ(Cg.callersOf(Ra).size(), 2u);
+  EXPECT_EQ(Cg.callersOf(Rb).size(), 1u);
+  EXPECT_EQ(Cg.callersOf(Rb)[0], 1u); // the Call at pc 1
+  EXPECT_EQ(Cg.callersOf(0).size(), 0u);
+
+  // Nothing is recursive, and bottom-up order puts callees first.
+  for (uint32_t R = 0; R < RM.numRegions(); ++R)
+    EXPECT_FALSE(Cg.isRecursive(R));
+  const std::vector<uint32_t> &BU = Cg.bottomUpRegions();
+  ASSERT_EQ(BU.size(), 3u);
+  auto posOf = [&](uint32_t R) {
+    for (size_t I = 0; I < BU.size(); ++I)
+      if (BU[I] == R)
+        return I;
+    return BU.size();
+  };
+  EXPECT_LT(posOf(Ra), posOf(Rb));
+  EXPECT_LT(posOf(Rb), posOf(0));
+
+  // Shortest call paths from the main body.
+  EXPECT_EQ(Cg.pathFromMain(0), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(Cg.pathFromMain(Ra), (std::vector<uint32_t>{0, Ra}));
+  EXPECT_EQ(Cg.pathFromMain(Rb), (std::vector<uint32_t>{0, Rb}));
+}
+
+TEST(Cfg, ThreadCallGraphDetectsRecursion) {
+  Program P;
+  std::vector<AsmError> Errors;
+  ASSERT_TRUE(assembleProgram(R"(
+.thread t
+  li r2, 3
+  call step
+  halt
+.proc step
+  beqz r2, done
+  addi r2, r2, -1
+  call step
+done:
+  ret
+)",
+                              P, Errors));
+  ThreadCallGraph Cg(P.Threads[0].Code);
+  uint32_t Rs = Cg.regions().regionAtEntry(entryOf(P, "step"));
+  ASSERT_NE(Rs, RegionMap::NoRegion);
+  EXPECT_TRUE(Cg.isRecursive(Rs));
+  EXPECT_FALSE(Cg.isRecursive(0));
+  EXPECT_NE(Cg.sccOf(Rs), Cg.sccOf(0));
+}
+
+TEST(Cfg, InterprocViewLinksCallAndRet) {
+  Program P;
+  std::vector<AsmError> Errors;
+  ASSERT_TRUE(assembleProgram(TwoProcSrc, P, Errors));
+  const std::vector<Instruction> &Code = P.Threads[0].Code;
+  uint32_t Ea = entryOf(P, "a");
+  uint32_t Eb = entryOf(P, "b");
+  uint32_t RetA = Ea + 1; // ld; ret
+  uint32_t CallInB = Eb;  // call a; ret
+
+  ThreadCfg Super(Code, CfgView::Interproc);
+  // Call edges go to the callee entry, not the fall-through.
+  ASSERT_EQ(Super.successors(0).size(), 1u);
+  EXPECT_EQ(Super.successors(0)[0], Ea);
+  // a's ret resumes after BOTH calls targeting a (main pc 0, b's body).
+  EXPECT_TRUE(hasSucc(Super, RetA, 1));
+  EXPECT_TRUE(hasSucc(Super, RetA, CallInB + 1));
+  EXPECT_FALSE(hasSucc(Super, RetA, Super.exitNode()));
+
+  ThreadCfg Intra(Code, CfgView::Intra);
+  // Region-local view: Call falls through, Ret exits.
+  ASSERT_EQ(Intra.successors(0).size(), 1u);
+  EXPECT_EQ(Intra.successors(0)[0], 1u);
+  ASSERT_EQ(Intra.successors(RetA).size(), 1u);
+  EXPECT_EQ(Intra.successors(RetA)[0], Intra.exitNode());
+}

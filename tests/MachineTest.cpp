@@ -743,3 +743,146 @@ loop:
   EXPECT_FALSE(M.stepThread(0, R));
   EXPECT_EQ(R, StopReason::StepBudget);
 }
+
+//===----------------------------------------------------------------------===//
+// Call / Ret and the bounded call stack
+//===----------------------------------------------------------------------===//
+
+TEST(Machine, CallRetExecutes) {
+  Program P = asmProg(R"(
+.thread t
+  li r1, 20
+  call bump
+  call bump
+  print r1
+  halt
+.proc bump
+  addi r1, r1, 11
+  ret
+)");
+  Machine M(P);
+  EXPECT_EQ(M.run(), StopReason::AllHalted);
+  ASSERT_EQ(M.printed().size(), 1u);
+  EXPECT_EQ(M.printed()[0].Value, 42);
+  EXPECT_TRUE(M.errors().empty());
+  EXPECT_TRUE(M.callStack(0).empty());
+}
+
+TEST(Machine, NestedCallsUnwindInOrder) {
+  Program P = asmProg(R"(
+.thread t
+  call outer
+  print r1
+  halt
+.proc outer
+  addi r1, r1, 1
+  call inner
+  addi r1, r1, 100
+  ret
+.proc inner
+  addi r1, r1, 10
+  ret
+)");
+  Machine M(P);
+  M.run();
+  ASSERT_EQ(M.printed().size(), 1u);
+  EXPECT_EQ(M.printed()[0].Value, 111);
+}
+
+TEST(Machine, CallStackOverflowFaultIsContained) {
+  // Unbounded recursion must fault the offending thread with a
+  // classified error and leave the other thread's run untouched.
+  Program P = asmProg(R"(
+.thread sink
+  call forever
+  print r1     ; never reached
+  halt
+.thread bystander
+  li r2, 7
+  print r2
+  halt
+.proc forever
+  call forever
+  ret
+)");
+  MachineConfig Cfg;
+  Cfg.MaxCallDepth = 8;
+  Machine M(P, Cfg);
+  EXPECT_EQ(M.run(), StopReason::AllHalted);
+  ASSERT_EQ(M.errors().size(), 1u);
+  EXPECT_NE(M.errors()[0].Message.find("call stack overflow"),
+            std::string::npos);
+  EXPECT_EQ(M.errors()[0].Tid, 0);
+  ASSERT_EQ(M.printed().size(), 1u);
+  EXPECT_EQ(M.printed()[0].Value, 7);
+}
+
+TEST(Machine, CheckpointRestoreWithLiveCallStack) {
+  Program P = asmProg(R"(
+.thread t
+  li r1, 0
+  call deep
+  print r1
+  halt
+.proc deep
+  addi r1, r1, 1
+  call leaf
+  ret
+.proc leaf
+  addi r1, r1, 10
+  ret
+)");
+  Machine M(P);
+  // Step until the thread is two frames deep (inside leaf).
+  StopReason R;
+  while (M.callStack(0).size() < 2)
+    ASSERT_TRUE(M.stepOnce(R));
+  Checkpoint C = M.checkpoint();
+  std::vector<uint32_t> Saved = M.callStack(0);
+  ASSERT_EQ(Saved.size(), 2u);
+  M.run();
+  ASSERT_EQ(M.printed().size(), 1u);
+  Word First = M.printed()[0].Value;
+  EXPECT_EQ(First, 11);
+  EXPECT_TRUE(M.callStack(0).empty());
+  // Restore rewinds the stack itself, and the rerun unwinds it again.
+  M.restore(C);
+  EXPECT_EQ(M.callStack(0), Saved);
+  EXPECT_EQ(M.run(), StopReason::AllHalted);
+  ASSERT_EQ(M.printed().size(), 1u);
+  EXPECT_EQ(M.printed()[0].Value, First);
+}
+
+TEST(Machine, ReplayReproducesExecutionWithCalls) {
+  // The recorded schedule of a proc-structured racy run replays
+  // bit-identically under a different seed.
+  Program P = asmProg(R"(
+.global x
+.thread t x3
+  li r5, 12
+loop:
+  call bump
+  addi r5, r5, -1
+  bnez r5, loop
+  halt
+.proc bump
+  ld r1, [@x]
+  addi r1, r1, 1
+  st r1, [@x]
+  ret
+)");
+  MachineConfig Cfg;
+  Cfg.SchedSeed = 1234;
+  Machine M1(P, Cfg);
+  M1.run();
+  Word Final = M1.readMem(P.addressOf("x"));
+
+  MachineConfig Cfg2;
+  Cfg2.SchedSeed = 777;
+  Machine M2(P, Cfg2);
+  M2.setReplaySchedule(M1.schedule());
+  M2.run();
+  EXPECT_EQ(M2.readMem(P.addressOf("x")), Final);
+  EXPECT_EQ(M2.steps(), M1.steps());
+  EXPECT_EQ(M2.schedule(), M1.schedule());
+}

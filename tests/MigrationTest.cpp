@@ -176,3 +176,57 @@ TEST(Migration, SharedCpuBlendsThreadsAndMissesTheirConflicts) {
   EXPECT_TRUE(ByCpu.violations().empty())
       << "one lane cannot see its own interleaving";
 }
+
+TEST(Migration, CheckpointRestoresLiveCallStacks) {
+  // Proc-structured replicas under migration: the checkpoint is taken
+  // while at least one thread sits inside a call, and the restored run
+  // must replay the same (tid, cpu) event stream and final memory.
+  isa::Program P = assembleOrDie(R"(
+.global g
+.thread t x4
+  li r5, 40
+loop:
+  call bump
+  addi r5, r5, -1
+  bnez r5, loop
+  halt
+.proc bump
+  ld r1, [@g]
+  addi r1, r1, 1
+  st r1, [@g]
+  ret
+)");
+  MachineConfig MC;
+  MC.NumCpus = 2;
+  MC.MigrationInterval = 30;
+  Machine M(P, MC);
+  vm::StopReason R;
+  auto someStackLive = [&] {
+    for (isa::ThreadId Tid = 0; Tid < P.numThreads(); ++Tid)
+      if (!M.callStack(Tid).empty())
+        return true;
+    return false;
+  };
+  for (int I = 0; I < 200 && !(I > 50 && someStackLive()); ++I)
+    ASSERT_TRUE(M.stepOnce(R));
+  ASSERT_TRUE(someStackLive());
+  vm::Checkpoint C = M.checkpoint();
+  std::vector<std::vector<uint32_t>> Stacks;
+  for (isa::ThreadId Tid = 0; Tid < P.numThreads(); ++Tid)
+    Stacks.push_back(M.callStack(Tid));
+
+  CpuObserver O1;
+  M.addObserver(&O1);
+  M.run();
+  isa::Word Final = M.readMem(P.addressOf("g"));
+  M.removeObserver(&O1);
+
+  M.restore(C);
+  for (isa::ThreadId Tid = 0; Tid < P.numThreads(); ++Tid)
+    EXPECT_EQ(M.callStack(Tid), Stacks[Tid]) << "tid " << unsigned(Tid);
+  CpuObserver O2;
+  M.addObserver(&O2);
+  M.run();
+  EXPECT_EQ(O1.Seen, O2.Seen);
+  EXPECT_EQ(M.readMem(P.addressOf("g")), Final);
+}

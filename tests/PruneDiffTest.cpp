@@ -112,7 +112,8 @@ struct Statics {
 // use), across seeds and two timeslice regimes. Each combination is a
 // single sample, which keeps the sweep affordable.
 TEST(PruneDiff, AllSuitesAllSeeds) {
-  for (const char *Suite : {"table1", "table2", "sec73", "fig1", "predict"}) {
+  for (const char *Suite :
+       {"table1", "table2", "sec73", "fig1", "predict", "interproc"}) {
     std::vector<workloads::Workload> Ws = harness::suiteWorkloads(Suite);
     ASSERT_FALSE(Ws.empty()) << Suite;
     for (const workloads::Workload &W : Ws) {
@@ -176,6 +177,31 @@ TEST(PruneDiff, ShowcaseWorkloadsPruneNonzero) {
     TotalPruned += R.Pruned;
   }
   EXPECT_GT(TotalPruned, 0u);
+}
+
+// The function-structured twin pair: procCache's cross-function CU
+// (lock; call get; rmw; call put; unlock) is proven two-phase by the
+// interprocedural AtomicProof, so its accesses must actually hit the
+// pruned fast path — and the buggy procGap twin must stay
+// report-identical under pruning (its gap CU is unprovable, so pruning
+// must not eat the lost-update report).
+TEST(PruneDiff, ProcWorkloadsPruneNonzeroAndStayEquivalent) {
+  workloads::WorkloadParams WP;
+  WP.Threads = 3;
+  WP.Iterations = 20;
+  WP.WorkPadding = 8;
+  workloads::Workload Cache = workloads::procCache(WP);
+  {
+    Statics S(Cache.Program);
+    DiffResult R =
+        runDiff(Cache, configFor(3, 1, 4), S.Table, S.Proofs, Cache.Name);
+    EXPECT_GT(R.Pruned, 0u) << "cross-function proof never engaged";
+  }
+  workloads::Workload Gap = workloads::procGap(WP);
+  Statics S(Gap.Program);
+  for (uint64_t Seed : {1, 7, 23})
+    runDiff(Gap, configFor(Seed, 1, 4), S.Table, S.Proofs,
+            Gap.Name + " seed " + std::to_string(Seed));
 }
 
 // PgSQL at table1 size prunes too (the paper workload the proofs were

@@ -219,3 +219,34 @@ loop:
     }
   }
 }
+
+// `rnd rd, K` draws from the half-open range [0, K): the VM computes
+// `next() % K`, so K-1 is the largest producible value and both interval
+// domains must say [0, K-1] — not [0, K]. A non-positive bound means
+// the raw 64-bit stream (no reduction): interval top.
+TEST(ValueFlow, RndBoundIsHalfOpen) {
+  Program P = asmProg(R"(
+.global x
+.thread t
+  rnd r1, 8
+  rnd r2, 1
+  rnd r3, 0
+  st r1, [@x]
+  halt
+)");
+  ValueFlowAnalysis VF(P);
+  Interval R1 = VF.valueBefore(0, 3, 1);
+  EXPECT_EQ(R1.Lo, 0);
+  EXPECT_EQ(R1.Hi, 7);
+  // A bound of 1 pins the register to exactly 0.
+  Interval R2 = VF.valueBefore(0, 3, 2);
+  EXPECT_TRUE(R2.isConstant());
+  EXPECT_EQ(R2.Lo, 0);
+  // Bound 0 is the unreduced stream.
+  EXPECT_TRUE(VF.valueBefore(0, 3, 3).isFull());
+  // The plain interval domain agrees on the half-open bound.
+  const EscapeAnalysis &E = VF.escape(0);
+  EXPECT_EQ(E.valueBefore(3, 1).Lo, 0);
+  EXPECT_EQ(E.valueBefore(3, 1).Hi, 7);
+  EXPECT_TRUE(E.valueBefore(3, 3).isFull());
+}

@@ -3,7 +3,7 @@
 // Assembles one or more programs and runs the static passes over every
 // thread, printing diagnostics with instruction locations:
 //
-//   svd-lint FILE.asm... [--dead-writes] [--no-uninit] [--no-lockset]
+//   svd-lint FILE.asm... [--dead-stores] [--no-uninit] [--no-lockset]
 //            [--escape] [--prove] [--block-shift N] [--json]
 //
 // Exit status: 0 when every file is clean, 1 when any diagnostic fired,
@@ -40,7 +40,7 @@ namespace {
 
 const char *Usage =
     "usage: svd-lint FILE.asm... [options]\n"
-    "  --dead-writes    also warn about registers written but never read\n"
+    "  --dead-stores    also warn about registers written but never read\n"
     "  --no-uninit      disable read-before-write warnings\n"
     "  --no-lockset     disable lock imbalance / double-acquire checks\n"
     "  --escape         print the static access classification per access\n"
@@ -60,7 +60,8 @@ struct Options {
 
 bool parseArgs(int Argc, char **Argv, Options &O) {
   support::ArgParser P(Usage);
-  P.flag("--dead-writes", &O.Lint.DeadWrites);
+  P.flag("--dead-stores", &O.Lint.DeadWrites);
+  P.flag("--dead-writes", &O.Lint.DeadWrites); // legacy alias
   P.flag("--no-uninit", &O.Lint.UninitReads, false);
   P.flag("--no-lockset", &O.Lint.Lockset, false);
   P.flag("--escape", &O.Escape);
