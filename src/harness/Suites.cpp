@@ -154,6 +154,35 @@ std::vector<Workload> predictSuiteWorkloads() {
   return workloads::table1Workloads(P);
 }
 
+/// One shadow-suite row: a large-footprint workload plus its analytic
+/// address-footprint figures (known from the construction parameters,
+/// so the JSON stays deterministic).
+struct ShadowSpec {
+  Workload W;
+  uint64_t DistinctAddrs;
+  uint64_t HeapWords;
+};
+
+std::vector<ShadowSpec> shadowSuiteSpecs() {
+  std::vector<ShadowSpec> Specs;
+  // Two million-address sweeps (thread-count sweep at constant
+  // footprint) and one stride chosen to dilute shadow pages.
+  Specs.push_back({workloads::sparseSlabSweep(4, 262144),
+                   uint64_t(4) * 262144, uint64_t(4) * 262144});
+  Specs.push_back({workloads::sparseSlabSweep(8, 131072),
+                   uint64_t(8) * 131072, uint64_t(8) * 131072});
+  Specs.push_back({workloads::stridedScatter(4, 4096, 61),
+                   uint64_t(4) * 4096, uint64_t(4) * 4096 * 61});
+  return Specs;
+}
+
+std::vector<Workload> shadowSuiteWorkloads() {
+  std::vector<Workload> Ws;
+  for (ShadowSpec &S : shadowSuiteSpecs())
+    Ws.push_back(std::move(S.W));
+  return Ws;
+}
+
 //===----------------------------------------------------------------------===//
 // table1 — Table 1 "Test Programs"
 //===----------------------------------------------------------------------===//
@@ -734,6 +763,146 @@ int runPredict(const SuiteOptions &O) {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// shadow — large-footprint heaps over the paged shadow tables
+//===----------------------------------------------------------------------===//
+
+/// One row of the shadow --perf section: OnlineSvd on sparse shadow
+/// tables under a tight CU budget. Every field except the advisory
+/// insts_per_sec is deterministic (page materialization order is touch
+/// order).
+struct ShadowPerfRow {
+  uint64_t Steps = 0;
+  uint64_t Events = 0;
+  uint64_t BudgetEvictions = 0;
+  uint64_t ShadowPages = 0;
+  size_t ShadowBytes = 0;
+  double InstsPerSec = 0.0;
+
+  double bytesPerAddr(uint64_t DistinctAddrs) const {
+    return DistinctAddrs == 0 ? 0.0
+                              : static_cast<double>(ShadowBytes) /
+                                    static_cast<double>(DistinctAddrs);
+  }
+};
+
+ShadowPerfRow measureShadowPerfRow(const Workload &W) {
+  SampleConfig C;
+  C.Seed = 1;
+  vm::Machine M(W.Program, machineConfigFor(C));
+  detect::OnlineSvdConfig SC;
+  // A tight CU budget: millions of addresses must run in O(budget)
+  // live detector state, demonstrating the PR 5 degradation machinery
+  // on the shared shadow layer.
+  SC.MaxCuEntries = 512;
+  detect::OnlineSvd Svd(W.Program, SC);
+  M.addObserver(&Svd);
+  auto T0 = std::chrono::steady_clock::now();
+  M.run();
+  double Seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - T0)
+                       .count();
+  ShadowPerfRow R;
+  R.Steps = M.steps();
+  R.Events = Svd.eventsObserved();
+  R.BudgetEvictions = Svd.budgetEvictions();
+  R.ShadowPages = Svd.shadowPages();
+  R.ShadowBytes = Svd.shadowBytes();
+  R.InstsPerSec =
+      Seconds <= 0.0 ? 0.0 : static_cast<double>(R.Steps) / Seconds;
+  return R;
+}
+
+int runShadow(const SuiteOptions &O) {
+  std::vector<ShadowSpec> Specs = shadowSuiteSpecs();
+
+  std::vector<SampleSpec> SampleSpecs;
+  for (const ShadowSpec &S : Specs) {
+    SampleSpec Spec;
+    Spec.Workload = &S.W;
+    Spec.Detector = "none";
+    Spec.Config.Seed = 1;
+    SampleSpecs.push_back(Spec);
+  }
+  std::vector<SampleMetrics> Ms =
+      ParallelRunner(runnerConfig(O)).run(SampleSpecs);
+
+  // Serial by design, like the table1 perf section.
+  std::vector<ShadowPerfRow> Perf;
+  if (O.Perf)
+    for (const ShadowSpec &S : Specs)
+      Perf.push_back(measureShadowPerfRow(S.W));
+
+  if (O.Json) {
+    std::string J = "{\"suite\":\"shadow\",\"rows\":[";
+    for (size_t I = 0; I < Specs.size(); ++I) {
+      const ShadowSpec &S = Specs[I];
+      if (I)
+        J += ",";
+      J += formatString(
+          "{\"name\":\"%s\",\"threads\":%u,\"heap_words\":%llu,"
+          "\"distinct_addrs\":%llu,\"dynamic_instrs\":%llu",
+          jsonEscape(S.W.Name).c_str(), S.W.Program.numThreads(),
+          static_cast<unsigned long long>(S.HeapWords),
+          static_cast<unsigned long long>(S.DistinctAddrs),
+          static_cast<unsigned long long>(Ms[I].Steps));
+      if (O.Perf) {
+        const ShadowPerfRow &R = Perf[I];
+        J += formatString(
+            ",\"events\":%llu,\"budget_evictions\":%llu,"
+            "\"shadow_pages\":%llu,\"bytes_per_addr\":%.4f,"
+            "\"insts_per_sec\":%.0f",
+            static_cast<unsigned long long>(R.Events),
+            static_cast<unsigned long long>(R.BudgetEvictions),
+            static_cast<unsigned long long>(R.ShadowPages),
+            R.bytesPerAddr(S.DistinctAddrs), R.InstsPerSec);
+      }
+      J += "}";
+    }
+    J += "]}\n";
+    std::fputs(J.c_str(), stdout);
+    return 0;
+  }
+
+  std::puts("== shadow: large-footprint heaps on the paged state layer ==\n");
+  TextTable T({"Name", "Threads", "Heap words", "Distinct addrs",
+               "Dynamic instrs (seed 1)"});
+  for (size_t I = 0; I < Specs.size(); ++I) {
+    const ShadowSpec &S = Specs[I];
+    T.addRow({S.W.Name, formatString("%u", S.W.Program.numThreads()),
+              formatString("%llu",
+                           static_cast<unsigned long long>(S.HeapWords)),
+              formatString("%llu",
+                           static_cast<unsigned long long>(S.DistinctAddrs)),
+              formatString("%llu",
+                           static_cast<unsigned long long>(Ms[I].Steps))});
+  }
+  std::fputs(T.render().c_str(), stdout);
+
+  if (O.Perf) {
+    std::puts("\n== shadow perf: OnlineSvd, sparse tables, 512-CU budget ==\n");
+    TextTable PT({"Name", "Events", "Budget evictions", "Shadow pages",
+                  "Bytes/addr", "Insts/s"});
+    for (size_t I = 0; I < Specs.size(); ++I) {
+      const ShadowPerfRow &R = Perf[I];
+      PT.addRow(
+          {Specs[I].W.Name,
+           formatString("%llu", static_cast<unsigned long long>(R.Events)),
+           formatString("%llu",
+                        static_cast<unsigned long long>(R.BudgetEvictions)),
+           formatString("%llu",
+                        static_cast<unsigned long long>(R.ShadowPages)),
+           formatString("%.2f", R.bytesPerAddr(Specs[I].DistinctAddrs)),
+           formatString("%.0f", R.InstsPerSec)});
+    }
+    std::fputs(PT.render().c_str(), stdout);
+    std::puts("\nUntouched address-space regions cost one pointer compare; "
+              "only touched pages materialize, so bytes/addr stays flat as "
+              "the heap grows and the CU budget caps live detector state.");
+  }
+  return 0;
+}
+
 } // namespace
 
 const std::vector<Suite> &harness::suites() {
@@ -748,6 +917,9 @@ const std::vector<Suite> &harness::suites() {
                     "SVD and FRD",
        runInterproc},
       {"predict", "svd-predict static-vs-confirmed report", runPredict},
+      {"shadow", "large-footprint heaps (millions of addresses) on the "
+                 "paged shadow-state layer",
+       runShadow},
   };
   return Suites;
 }
@@ -772,5 +944,7 @@ std::vector<Workload> harness::suiteWorkloads(const std::string &Name) {
     return interprocSuiteWorkloads();
   if (Name == "predict")
     return predictSuiteWorkloads();
+  if (Name == "shadow")
+    return shadowSuiteWorkloads();
   return {};
 }

@@ -91,3 +91,80 @@ std::string obs::metricsJson(const Registry &R) {
   J += "\n  }\n}\n";
   return J;
 }
+
+bool obs::isDocumentedKey(const std::string &Name) {
+  // The fixed keys of DESIGN.md section 15, sorted for review against
+  // the document (the leading namespace is the owning layer).
+  static const char *const Exact[] = {
+      "analysis.proven_cus",
+      "detect.hwsvd.cache.accesses",
+      "detect.hwsvd.cache.evictions",
+      "detect.hwsvd.cache.hits",
+      "detect.hwsvd.cache.invalidations",
+      "detect.hwsvd.cache.misses",
+      "detect.hwsvd.filtered_accesses",
+      "detect.hwsvd.metadata_evictions",
+      "detect.offline.trace_events",
+      "detect.svd.cus_ended",
+      "detect.svd.filtered_loads",
+      "detect.svd.filtered_stores",
+      "fault.lock_failures",
+      "fault.preemptions",
+      "fault.stalls",
+      "harness.sample.bare_run",
+      "harness.sample.detector_run",
+      "harness.samples",
+      "runner.sample.queue_wait",
+      "runner.sample.run",
+      "runner.sample_retries",
+      "runner.samples_degraded",
+      "runner.samples_failed",
+      "runner.samples_timed_out",
+      "runner.total",
+      "svd.cu_pruned_events",
+      "vm.alu",
+      "vm.branches",
+      "vm.instructions",
+      "vm.loads",
+      "vm.lock_acquires",
+      "vm.lock_spins",
+      "vm.program_errors",
+      "vm.stores",
+      "vm.unlocks",
+  };
+  for (const char *K : Exact)
+    if (Name == K)
+      return true;
+
+  // Per-detector families: the middle segment is a detector registry
+  // key (open set — out-of-tree detectors register too), the leaf must
+  // be one of the documented per-detector instruments.
+  auto LeafIn = [](const std::string &Leaf,
+                   std::initializer_list<const char *> Allowed) {
+    for (const char *A : Allowed)
+      if (Leaf == A)
+        return true;
+    return false;
+  };
+  auto SplitTail = [](const std::string &S, const char *NsPrefix,
+                      std::string &Leaf) {
+    size_t NsLen = std::char_traits<char>::length(NsPrefix);
+    if (S.compare(0, NsLen, NsPrefix) != 0)
+      return false;
+    size_t Dot = S.find('.', NsLen);
+    if (Dot == std::string::npos || Dot == NsLen ||
+        Dot + 1 >= S.size())
+      return false;
+    Leaf = S.substr(Dot + 1);
+    return true;
+  };
+
+  std::string Leaf;
+  if (SplitTail(Name, "detect.", Leaf))
+    return LeafIn(Leaf, {"reports", "cus_formed", "log_entries",
+                         "memory_bytes", "degraded", "degraded_evictions",
+                         "events"});
+  if (SplitTail(Name, "shadow.", Leaf))
+    return LeafIn(Leaf, {"pages", "bytes"});
+  return false;
+}

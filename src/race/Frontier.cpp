@@ -2,6 +2,8 @@
 
 #include "race/Frontier.h"
 
+#include "shadow/Shadow.h"
+
 using namespace svd;
 using namespace svd::race;
 using detect::Violation;
@@ -31,7 +33,9 @@ race::frontierRaces(const ProgramTrace &T) {
     Access LastWrite;
     std::vector<Access> ReadsSinceWrite;
   };
-  std::vector<WordState> Words(T.program().MemoryWords);
+  // Paged shadow table: the trace usually touches a small slice of the
+  // declared address space, so only those pages materialize.
+  shadow::Table<WordState> Words(T.program().MemoryWords);
 
   auto Ordered = [&](const Access &A, uint32_t Tid) {
     return A.Cl <= VC[Tid][A.Tid];
@@ -57,7 +61,7 @@ race::frontierRaces(const ProgramTrace &T) {
     if (!Ev.isMemory())
       continue;
     uint32_t Tid = Ev.Tid;
-    WordState &W = Words[Ev.Address];
+    WordState &W = Words.touch(Ev.Address);
 
     if (Ev.Kind == EventKind::Load) {
       Access &LW = W.LastWrite;

@@ -26,6 +26,9 @@ public:
   size_t approxMemoryBytes() const override {
     return Impl.approxMemoryBytes();
   }
+  void beginEpoch() override { Impl.beginEpoch(); }
+  uint64_t shadowPages() const override { return Impl.shadowPages(); }
+  size_t shadowBytes() const override { return Impl.shadowBytes(); }
   void exportStats(obs::Registry &R) const override {
     detect::Detector::exportStats(R);
     R.counter("detect.frd.events").add(Impl.eventsObserved());
@@ -50,20 +53,21 @@ void race::registerHappensBeforeDetector(detect::DetectorRegistry &R) {
 
 HappensBeforeDetector::HappensBeforeDetector(const isa::Program &P,
                                              HappensBeforeConfig Cfg)
-    : Prog(P), Cfg(Cfg), NumThreads(P.numThreads()) {
+    : Prog(P), Cfg(Cfg), NumThreads(P.numThreads()),
+      Blocks((P.MemoryWords >> Cfg.BlockShift) + 1) {
   ThreadVC.assign(NumThreads, std::vector<Clock>(NumThreads, 0));
   for (uint32_t Tid = 0; Tid < NumThreads; ++Tid)
     ThreadVC[Tid][Tid] = 1;
   MutexVC.assign(P.Mutexes.size(), std::vector<Clock>(NumThreads, 0));
-  Blocks.resize((P.MemoryWords >> Cfg.BlockShift) + 1);
 }
 
 HappensBeforeDetector::BlockState &
 HappensBeforeDetector::stateOf(BlockId B) {
-  BlockState &S = Blocks[B];
+  BlockState &S = Blocks.touch(B);
   if (S.ReadClock.empty()) {
     S.ReadClock.assign(NumThreads, 0);
     S.ReadPc.assign(NumThreads, 0);
+    ++InitializedBlocks;
   }
   return S;
 }
@@ -151,10 +155,9 @@ size_t HappensBeforeDetector::approxMemoryBytes() const {
     Bytes += VC.capacity() * sizeof(Clock);
   for (const auto &VC : MutexVC)
     Bytes += VC.capacity() * sizeof(Clock);
-  Bytes += Blocks.capacity() * sizeof(BlockState);
-  for (const BlockState &S : Blocks)
-    Bytes += S.ReadClock.capacity() * sizeof(Clock) +
-             S.ReadPc.capacity() * sizeof(uint32_t);
+  Bytes += Blocks.approxMemoryBytes();
+  // The lazy per-block read vectors live outside the shadow pages.
+  Bytes += InitializedBlocks * NumThreads * (sizeof(Clock) + sizeof(uint32_t));
   Bytes += Races.capacity() * sizeof(Violation);
   return Bytes;
 }

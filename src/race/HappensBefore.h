@@ -28,6 +28,7 @@
 #define SVD_RACE_HAPPENSBEFORE_H
 
 #include "isa/Program.h"
+#include "shadow/Shadow.h"
 #include "svd/Detector.h"
 #include "svd/Report.h"
 #include "vm/Observer.h"
@@ -77,6 +78,13 @@ public:
   /// Rough detector memory accounting.
   size_t approxMemoryBytes() const;
 
+  /// Starts a fresh observation epoch on the per-block shadow table.
+  void beginEpoch() { Blocks.beginEpoch(); }
+  /// Shadow pages materialized so far.
+  uint64_t shadowPages() const { return Blocks.pagesAllocated(); }
+  /// Bytes held by materialized shadow pages.
+  size_t shadowBytes() const { return Blocks.approxMemoryBytes(); }
+
   void onLoad(const vm::EventCtx &Ctx, isa::Addr A, isa::Word V) override;
   void onStore(const vm::EventCtx &Ctx, isa::Addr A, isa::Word V) override;
   void onAlu(const vm::EventCtx &Ctx) override;
@@ -109,7 +117,12 @@ private:
   uint32_t NumThreads;
   std::vector<std::vector<Clock>> ThreadVC; ///< per thread
   std::vector<std::vector<Clock>> MutexVC;  ///< per mutex
-  std::vector<BlockState> Blocks;
+  /// Per-block epochs/read clocks, paged (shadow/Shadow.h) so large
+  /// heaps only pay for the regions they touch.
+  shadow::Table<BlockState> Blocks;
+  /// Blocks whose lazy per-thread read vectors were initialized, for
+  /// the rough memory accounting.
+  uint64_t InitializedBlocks = 0;
   std::vector<detect::Violation> Races;
   uint64_t Events = 0;
 };

@@ -24,6 +24,9 @@ public:
   const std::vector<Violation> &reports() const override {
     return Impl.reports();
   }
+  void beginEpoch() override { Impl.beginEpoch(); }
+  uint64_t shadowPages() const override { return Impl.shadowPages(); }
+  size_t shadowBytes() const override { return Impl.shadowBytes(); }
   void exportStats(obs::Registry &R) const override {
     detect::Detector::exportStats(R);
     R.counter("detect.lockset.events").add(Impl.eventsObserved());
@@ -44,14 +47,14 @@ void race::registerLocksetDetector(detect::DetectorRegistry &R) {
          }});
 }
 
-LocksetDetector::LocksetDetector(const isa::Program &P) : Prog(P) {
-  Words.resize(P.MemoryWords);
+LocksetDetector::LocksetDetector(const isa::Program &P)
+    : Prog(P), Words(P.MemoryWords) {
   Held.resize(P.numThreads());
 }
 
 void LocksetDetector::access(const EventCtx &Ctx, isa::Addr A,
                              bool IsWrite) {
-  WordState &W = Words[A];
+  WordState &W = Words.touch(A);
   int32_t Tid = static_cast<int32_t>(Ctx.Tid);
 
   switch (W.S) {

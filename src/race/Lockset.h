@@ -18,6 +18,7 @@
 #define SVD_RACE_LOCKSET_H
 
 #include "isa/Program.h"
+#include "shadow/Shadow.h"
 #include "svd/Detector.h"
 #include "svd/Report.h"
 #include "vm/Observer.h"
@@ -45,6 +46,13 @@ public:
 
   uint64_t eventsObserved() const { return Events; }
 
+  /// Starts a fresh observation epoch on the per-word shadow table.
+  void beginEpoch() { Words.beginEpoch(); }
+  /// Shadow pages materialized so far.
+  uint64_t shadowPages() const { return Words.pagesAllocated(); }
+  /// Bytes held by materialized shadow pages.
+  size_t shadowBytes() const { return Words.approxMemoryBytes(); }
+
   void onLoad(const vm::EventCtx &Ctx, isa::Addr A, isa::Word V) override;
   void onStore(const vm::EventCtx &Ctx, isa::Addr A, isa::Word V) override;
   void onAlu(const vm::EventCtx &Ctx) override;
@@ -70,7 +78,9 @@ private:
   void access(const vm::EventCtx &Ctx, isa::Addr A, bool IsWrite);
 
   const isa::Program &Prog;
-  std::vector<WordState> Words;
+  /// Per-word Eraser state, paged (shadow/Shadow.h) so sparse heaps
+  /// only pay for the words the run touches.
+  shadow::Table<WordState> Words;
   std::vector<std::set<uint32_t>> Held; ///< locks held, per thread
   std::vector<detect::Violation> Reports;
   uint64_t Events = 0;

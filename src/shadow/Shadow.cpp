@@ -1,0 +1,19 @@
+//===- shadow/Shadow.cpp --------------------------------------------------===//
+
+#include "shadow/Shadow.h"
+
+namespace svd {
+namespace shadow {
+
+static_assert((PageEntries & (PageEntries - 1)) == 0,
+              "shadow pages must be a power of two so index splitting is "
+              "shift-and-mask");
+static_assert(PageEntries == (uint64_t(1) << PageBits),
+              "PageEntries must match PageBits");
+
+uint64_t pagesFor(uint64_t NumEntries) {
+  return (NumEntries + PageEntries - 1) >> PageBits;
+}
+
+} // namespace shadow
+} // namespace svd

@@ -17,6 +17,12 @@ Detector::~Detector() = default;
 
 void Detector::finish(const vm::Machine &) {}
 
+void Detector::beginEpoch() {}
+
+uint64_t Detector::shadowPages() const { return 0; }
+
+size_t Detector::shadowBytes() const { return 0; }
+
 void Detector::injectFaults(const fault::FaultPlan *) {}
 
 const DetectorHealth &Detector::health() const {
@@ -46,6 +52,14 @@ void Detector::exportStats(obs::Registry &R) const {
   if (H.Degraded) {
     R.counter(Prefix + "degraded").add(1);
     R.counter(Prefix + "degraded_evictions").add(H.Evictions);
+  }
+  // Shadow-footprint counters appear only for shadow-backed detectors
+  // that actually materialized pages, for the same golden-stability
+  // reason.
+  if (uint64_t Pages = shadowPages()) {
+    std::string ShadowPrefix = std::string("shadow.") + name() + ".";
+    R.counter(ShadowPrefix + "pages").add(Pages);
+    R.counter(ShadowPrefix + "bytes").add(shadowBytes());
   }
 }
 

@@ -53,7 +53,37 @@ namespace fault {
 class FaultPlan;
 } // namespace fault
 
+namespace analysis {
+class AccessTable;
+class CuProofs;
+} // namespace analysis
+
 namespace detect {
+
+/// The detector-family-independent state knobs, shared by every
+/// detector that keeps per-address shadow state (shadow/Shadow.h).
+/// Regularizes what used to live as scattered per-config fields: the
+/// PR 5 eviction budget and the PR 6 proof-prune inputs travel together
+/// because the shadow layer consumes all of them.
+struct StateBudget {
+  /// Upper bound on the detector's live state, in detector-defined
+  /// entries (CUs for the SVD family, recorded events for the offline
+  /// path) rather than bytes, so the budget is deterministic across
+  /// hosts and allocators. 0 (default) means unbounded. A detector
+  /// over budget evicts deterministically and raises its Degraded flag
+  /// instead of growing without bound — see Detector::health().
+  uint64_t MaxStateEntries = 0;
+
+  /// Static thread-local access classification; detectors that support
+  /// access filtering skip provably local accesses. Null disables.
+  /// Not owned; must outlive every sample it is handed to.
+  const analysis::AccessTable *Access = nullptr;
+
+  /// Static CU atomicity proofs; detectors that support proof pruning
+  /// skip events inside proven-serializable units. Null disables.
+  /// Not owned; must outlive every sample it is handed to.
+  const analysis::CuProofs *Proofs = nullptr;
+};
 
 /// Opaque per-detector configuration. Concrete configs subclass this in
 /// the detector's own header; consumers pass them around by pointer
@@ -67,13 +97,22 @@ public:
   virtual const char *detectorName() const = 0;
   virtual std::unique_ptr<DetectorConfig> clone() const = 0;
 
-  /// Upper bound on the detector's live state, in detector-defined
-  /// entries (CUs for the SVD family, recorded events for the offline
-  /// path) rather than bytes, so the budget is deterministic across
-  /// hosts and allocators. 0 (default) means unbounded. A detector
-  /// over budget evicts deterministically and raises its Degraded flag
-  /// instead of growing without bound — see Detector::health().
+  /// The shared state knobs every shadow-backed detector consumes.
+  StateBudget Budget;
+
+  /// Deprecated alias of Budget.MaxStateEntries, kept so existing CLI
+  /// plumbing and goldens (svd-chaos --budget) keep working. Consumed
+  /// only when Budget.MaxStateEntries is unset; see effectiveBudget().
   uint64_t MaxStateEntries = 0;
+
+  /// Budget with the deprecated aliases folded in: the new Budget
+  /// fields win when set, the legacy flat fields backfill otherwise.
+  StateBudget effectiveBudget() const {
+    StateBudget B = Budget;
+    if (B.MaxStateEntries == 0)
+      B.MaxStateEntries = MaxStateEntries;
+    return B;
+  }
 };
 
 /// Degradation status of one detector instance (valid after finish()).
@@ -98,6 +137,22 @@ public:
 
   /// Attaches the detector's observers to \p M. Call before M.run().
   virtual void attach(vm::Machine &M) = 0;
+
+  /// Starts a fresh observation epoch on the detector's shadow state
+  /// (shadow::Table::beginEpoch — O(1) for sparse tables). The harness
+  /// calls it between attach() and the run; the base implementation is
+  /// a no-op for detectors without shadow state. Instances stay
+  /// single-run: epochs exist so the underlying page arenas can be
+  /// recycled, not so one instance observes two runs.
+  virtual void beginEpoch();
+
+  /// Shadow pages this instance has materialized (0 when the detector
+  /// keeps no shadow state). Deterministic for a deterministic
+  /// execution — page allocation order is touch order.
+  virtual uint64_t shadowPages() const;
+
+  /// Bytes held by materialized shadow pages (0 when untracked).
+  virtual size_t shadowBytes() const;
 
   /// Called once after the run completes. Online detectors ignore it;
   /// offline detectors analyze the recorded trace here.
@@ -132,11 +187,14 @@ public:
   /// "detect.<name()>." prefix (obs/Obs.h). The base implementation
   /// exports reports / cus_formed / log_entries / memory_bytes, plus
   /// degraded / degraded_evictions — the latter only when health()
-  /// reports degradation, so fault-free runs export exactly the
-  /// historical counter set (the bench_table1_counters golden pins
-  /// it). Detectors with richer internals (filtered accesses, cache
-  /// events) extend it. Call after finish(); all exported values are
-  /// deterministic for a deterministic execution.
+  /// reports degradation — plus "shadow.<name()>.pages" / ".bytes"
+  /// only when shadowPages() is nonzero, so runs of detectors without
+  /// shadow state export exactly the historical counter set (the
+  /// bench_table1_counters golden pins it). Detectors with richer
+  /// internals (filtered accesses, cache events) extend it. Call after
+  /// finish(); all exported values are deterministic for a
+  /// deterministic execution. The full key namespace is pinned in
+  /// DESIGN.md and enforced by obs::isDocumentedKey.
   virtual void exportStats(obs::Registry &R) const;
 };
 

@@ -26,6 +26,9 @@ public:
 
   const char *name() const override { return "hwsvd"; }
   void attach(vm::Machine &M) override { M.addObserver(&Impl); }
+  void beginEpoch() override { Impl.beginEpoch(); }
+  uint64_t shadowPages() const override { return Impl.shadowPages(); }
+  size_t shadowBytes() const override { return Impl.shadowBytes(); }
   const std::vector<Violation> &reports() const override {
     return Impl.violations();
   }
@@ -77,14 +80,24 @@ void detect::registerHardwareSvdDetector(DetectorRegistry &R) {
          [](const isa::Program &P, const DetectorConfig *Cfg) {
            const auto *C = configAs<HardwareSvdDetectorConfig>(Cfg, "hwsvd");
            HardwareSvdConfig HC = C ? C->Hw : HardwareSvdConfig();
-           if (C && C->MaxStateEntries != 0 && HC.MaxCuEntries == 0)
-             HC.MaxCuEntries = C->MaxStateEntries;
+           if (C) {
+             // Fold the shared StateBudget (and its deprecated flat
+             // aliases) into the detector-native knobs; detector-level
+             // fields win when explicitly set.
+             StateBudget B = C->effectiveBudget();
+             if (B.MaxStateEntries != 0 && HC.MaxCuEntries == 0)
+               HC.MaxCuEntries = B.MaxStateEntries;
+             if (B.Access && !HC.Access)
+               HC.Access = B.Access;
+             if (B.Proofs && !HC.Proofs)
+               HC.Proofs = B.Proofs;
+           }
            return std::make_unique<HardwareSvdDetector>(P, HC);
          }});
 }
 
 HardwareSvd::HardwareSvd(const isa::Program &P, HardwareSvdConfig Cfg)
-    : Prog(P), Cfg(Cfg), Cache(Cfg.Cache) {
+    : Prog(P), Cfg(Cfg), Cache(Cfg.Cache), Ledger(Cfg.MaxCuEntries) {
   if (P.numThreads() > Cfg.Cache.NumCpus)
     support::fatalError("hardware SVD: more threads than CPUs");
   FilterActive =
@@ -96,12 +109,33 @@ HardwareSvd::HardwareSvd(const isa::Program &P, HardwareSvdConfig Cfg)
       Cfg.Proofs != nullptr &&
       (uint32_t(1) << Cfg.Proofs->blockShift()) == Cfg.Cache.LineWords;
   uint32_t NumLines = Cache.lineOf(P.MemoryWords) + 1;
-  Cpus.resize(Cfg.Cache.NumCpus);
-  for (PerCpu &C : Cpus)
-    C.Lines.resize(NumLines);
+  shadow::Mode M =
+      Cfg.DenseState ? shadow::Mode::Dense : shadow::Mode::Sparse;
+  Cpus.reserve(Cfg.Cache.NumCpus);
+  for (uint32_t Cpu = 0; Cpu < Cfg.Cache.NumCpus; ++Cpu)
+    Cpus.emplace_back(NumLines, M);
   Cfgs.reserve(P.numThreads());
   for (const isa::ThreadCode &TC : P.Threads)
     Cfgs.emplace_back(TC.Code);
+}
+
+void HardwareSvd::beginEpoch() {
+  for (PerCpu &C : Cpus)
+    C.Lines.beginEpoch();
+}
+
+uint64_t HardwareSvd::shadowPages() const {
+  uint64_t Pages = 0;
+  for (const PerCpu &C : Cpus)
+    Pages += C.Lines.pagesAllocated();
+  return Pages;
+}
+
+size_t HardwareSvd::shadowBytes() const {
+  size_t Bytes = 0;
+  for (const PerCpu &C : Cpus)
+    Bytes += C.Lines.approxMemoryBytes();
+  return Bytes;
 }
 
 HardwareSvd::CuId HardwareSvd::find(PerCpu &C, CuId Id) const {
@@ -115,27 +149,26 @@ HardwareSvd::CuId HardwareSvd::find(PerCpu &C, CuId Id) const {
 }
 
 HardwareSvd::CuId HardwareSvd::newCu(PerCpu &C) {
-  if (Cfg.MaxCuEntries != 0 && C.LiveCount >= Cfg.MaxCuEntries)
+  if (Ledger.overBudget(C.Budget.Live))
     evictOldestCu(C);
   CuId Id = static_cast<CuId>(C.Cus.size());
   C.Cus.push_back(CuData());
   C.Cus.back().Parent = Id;
   ++CuCreations;
-  ++C.LiveCount;
+  ++C.Budget.Live;
   return Id;
 }
 
 void HardwareSvd::evictOldestCu(PerCpu &C) {
-  for (CuId Id = C.EvictCursor; Id < C.Cus.size(); ++Id) {
+  for (CuId Id = C.Budget.Cursor; Id < C.Cus.size(); ++Id) {
     if (C.Cus[Id].Parent != Id || C.Cus[Id].Dead)
       continue;
-    C.EvictCursor = Id;
+    C.Budget.Cursor = Id;
     deactivateCu(C, Id);
-    DegradedFlag = true;
-    ++BudgetEvictions;
+    Ledger.recordEviction();
     return;
   }
-  C.EvictCursor = static_cast<CuId>(C.Cus.size());
+  C.Budget.Cursor = static_cast<CuId>(C.Cus.size());
 }
 
 HardwareSvd::CuId HardwareSvd::mergeCus(PerCpu &C, CuId A, CuId B) {
@@ -158,8 +191,8 @@ HardwareSvd::CuId HardwareSvd::mergeCus(PerCpu &C, CuId A, CuId B) {
   C.Cus[B].Rs.clear();
   C.Cus[B].Ws.clear();
   ++CuMerges;
-  if (C.LiveCount > 0)
-    --C.LiveCount;
+  if (C.Budget.Live > 0)
+    --C.Budget.Live;
   return A;
 }
 
@@ -223,11 +256,11 @@ void HardwareSvd::deactivateCu(PerCpu &C, CuId Id) {
   CuData &CU = C.Cus[Id];
   CU.Dead = true;
   ++CuEndings;
-  if (C.LiveCount > 0)
-    --C.LiveCount;
+  if (C.Budget.Live > 0)
+    --C.Budget.Live;
   auto Reset = [&](const std::set<LineId> &Lines) {
     for (LineId L : Lines) {
-      LineInfo &LI = C.Lines[L];
+      LineInfo &LI = C.Lines.touch(L);
       if (find(C, LI.Cu) != Id)
         continue;
       LI.State = Fsm::Idle;
@@ -259,21 +292,22 @@ void HardwareSvd::emitLog(isa::ThreadId Tid, const LineInfo &LI, LineId L,
 }
 
 void HardwareSvd::handleEviction(uint32_t Cpu, LineId Line) {
-  LineInfo &LI = Cpus[Cpu].Lines[Line];
-  if (LI.State == Fsm::Idle)
+  // Untouched (or epoch-stale) lines read as Idle without
+  // materializing a page.
+  if (Cpus[Cpu].Lines.peek(Line).State == Fsm::Idle)
     return;
   // The metadata travels with the line: gone on eviction. The CU stays
   // alive (its table entry survives) but loses sight of this line.
   ++MetadataEvictions;
-  LI = LineInfo();
+  Cpus[Cpu].Lines.touch(Line) = LineInfo();
 }
 
 void HardwareSvd::handleCoherence(uint32_t Cpu, LineId Line,
                                   bool RemoteIsWrite, const EventCtx &Ctx) {
   PerCpu &C = Cpus[Cpu];
-  LineInfo &LI = C.Lines[Line];
-  if (LI.State == Fsm::Idle)
+  if (C.Lines.peek(Line).State == Fsm::Idle)
     return;
+  LineInfo &LI = C.Lines.touch(Line);
 
   if (RemoteIsWrite) {
     LI.RemoteWriteTid = Ctx.Tid;
@@ -333,7 +367,7 @@ void HardwareSvd::onLoad(const EventCtx &Ctx, Addr A, isa::Word) {
   popControlFrames(C, Ctx.Pc);
   driveCache(Ctx, A, /*IsWrite=*/false);
   LineId Line = Cache.lineOf(A);
-  LineInfo &LI = C.Lines[Line];
+  LineInfo &LI = C.Lines.touch(Line);
 
   // Provably-thread-local fast path: the line never sees coherence
   // traffic from other CPUs, so only the CU linkage through registers
@@ -437,7 +471,7 @@ void HardwareSvd::onStore(const EventCtx &Ctx, Addr A, isa::Word) {
       Id = mergeCus(C, Id, DataSet[K]);
   }
 
-  LineInfo &LI = C.Lines[Line];
+  LineInfo &LI = C.Lines.touch(Line);
 
   // Provably-thread-local fast path: the strict-2PL check and the CU
   // merge above already ran; the stored line itself needs no FSM or

@@ -38,6 +38,7 @@
 #include "analysis/AtomicProof.h"
 #include "cache/CacheSim.h"
 #include "isa/Cfg.h"
+#include "shadow/Shadow.h"
 #include "svd/Detector.h"
 #include "svd/Report.h"
 #include "vm/Observer.h"
@@ -82,6 +83,10 @@ struct HardwareSvdConfig {
   /// new one forms and the detector marks itself degraded. Populated
   /// from DetectorConfig::MaxStateEntries by the registry factory.
   uint64_t MaxCuEntries = 0;
+  /// Eagerly-allocated dense per-line shadow pages instead of the
+  /// sparse materialize-on-touch tables (see OnlineSvdConfig's twin
+  /// knob; the ShadowDiffTest differential compares the two paths).
+  bool DenseState = false;
 };
 
 /// Opaque registry config carrying a HardwareSvdConfig (registry key
@@ -121,9 +126,15 @@ public:
   /// Dynamic accesses pruned because they sit in a ProvenAtomic unit.
   uint64_t prunedAccesses() const { return PrunedLoads + PrunedStores; }
   /// True once the CU-table budget forced an eviction (sticky).
-  bool degraded() const { return DegradedFlag; }
+  bool degraded() const { return Ledger.degraded(); }
   /// CUs ended early to stay under budget (included in numCusEnded()).
-  uint64_t budgetEvictions() const { return BudgetEvictions; }
+  uint64_t budgetEvictions() const { return Ledger.evictions(); }
+  /// Starts a fresh observation epoch on the per-line shadow tables.
+  void beginEpoch();
+  /// Shadow pages materialized across all CPUs.
+  uint64_t shadowPages() const;
+  /// Bytes held by materialized shadow pages.
+  size_t shadowBytes() const;
   const cache::CacheStats &cacheStats() const { return Cache.stats(); }
   /// Extra state a hardware implementation would add, in bits: per
   /// cache line (3-bit FSM + CU reference) plus the CU table.
@@ -183,15 +194,18 @@ private:
   };
 
   struct PerCpu {
+    PerCpu(uint64_t NumLines, shadow::Mode M) : Lines(NumLines, M) {}
+
     std::vector<CuData> Cus;
-    std::vector<LineInfo> Lines;
+    /// Per-line metadata, paged: a CPU that never caches a region of
+    /// the heap never materializes its shadow pages.
+    shadow::Table<LineInfo> Lines;
     std::array<std::vector<CuId>, isa::NumRegs> RegSets;
     std::vector<CtrlFrame> CtrlStack;
-    /// Live (undead root) CUs, maintained for the MaxCuEntries budget.
-    uint64_t LiveCount = 0;
-    /// Monotone eviction scan position (ids only ever stop being live
+    /// Live (undead root) CU count and monotone eviction scan position
+    /// for the MaxCuEntries budget (ids only ever stop being live
     /// roots, so everything behind the cursor stays ineligible).
-    CuId EvictCursor = 0;
+    shadow::BudgetLane Budget;
   };
 
   CuId find(PerCpu &C, CuId Id) const;
@@ -237,6 +251,8 @@ private:
   cache::CacheSim Cache;
   std::vector<PerCpu> Cpus;
   std::vector<isa::ThreadCfg> Cfgs;
+  /// The shared MaxCuEntries budget ledger (sticky degradation state).
+  shadow::BudgetLedger Ledger;
 
   std::vector<Violation> Violations;
   std::vector<CuLogEntry> CuLog;
@@ -248,8 +264,6 @@ private:
   uint64_t FilteredStores = 0;
   uint64_t PrunedLoads = 0;
   uint64_t PrunedStores = 0;
-  bool DegradedFlag = false;
-  uint64_t BudgetEvictions = 0;
 };
 
 } // namespace detect

@@ -5,6 +5,7 @@
 #include "fault/Fault.h"
 #include "obs/Obs.h"
 #include "pdg/Pdg.h"
+#include "shadow/Shadow.h"
 #include "support/StringUtils.h"
 #include "vm/Machine.h"
 
@@ -105,14 +106,16 @@ std::vector<Violation> detect::detectOffline(const ProgramTrace &T,
     uint64_t CuEndSeq;
     bool IsWrite;
   };
-  std::vector<std::vector<OpenAccess>> Open(T.program().MemoryWords);
+  // Paged per-word open-access lists: only the address-space slices
+  // the trace actually touches materialize shadow pages.
+  shadow::Table<std::vector<OpenAccess>> Open(T.program().MemoryWords);
 
   for (uint32_t E = 0; E < T.size(); ++E) {
     const TraceEvent &Ev = T[E];
     if (!Ev.isMemory())
       continue;
     bool IsWrite = Ev.Kind == EventKind::Store;
-    std::vector<OpenAccess> &Slot = Open[Ev.Address];
+    std::vector<OpenAccess> &Slot = Open.touch(Ev.Address);
 
     // Prune accesses whose CU already finished (cu.maxSeqId <= s.seqId
     // fails Figure 6's "cu.maxSeqId > s.seqId" condition).

@@ -27,6 +27,9 @@ public:
 
   const char *name() const override { return "svd"; }
   void attach(vm::Machine &M) override { M.addObserver(&Impl); }
+  void beginEpoch() override { Impl.beginEpoch(); }
+  uint64_t shadowPages() const override { return Impl.shadowPages(); }
+  size_t shadowBytes() const override { return Impl.shadowBytes(); }
   const std::vector<Violation> &reports() const override {
     return Impl.violations();
   }
@@ -72,14 +75,28 @@ void detect::registerOnlineSvdDetector(DetectorRegistry &R) {
          [](const isa::Program &P, const DetectorConfig *Cfg) {
            const auto *C = configAs<OnlineSvdDetectorConfig>(Cfg, "svd");
            OnlineSvdConfig SC = C ? C->Svd : OnlineSvdConfig();
-           if (C && C->MaxStateEntries != 0 && SC.MaxCuEntries == 0)
-             SC.MaxCuEntries = C->MaxStateEntries;
+           if (C) {
+             // Fold the shared StateBudget (and its deprecated flat
+             // aliases) into the detector-native knobs; detector-level
+             // fields win when explicitly set.
+             StateBudget B = C->effectiveBudget();
+             if (B.MaxStateEntries != 0 && SC.MaxCuEntries == 0)
+               SC.MaxCuEntries = B.MaxStateEntries;
+             if (B.Access && !SC.Access)
+               SC.Access = B.Access;
+             if (B.Proofs && !SC.Proofs)
+               SC.Proofs = B.Proofs;
+           }
            return std::make_unique<OnlineSvdDetector>(P, SC);
          }});
 }
 
 OnlineSvd::OnlineSvd(const isa::Program &P, OnlineSvdConfig Cfg)
-    : Prog(P), Cfg(Cfg) {
+    : Prog(P), Cfg(Cfg),
+      NumBlocks(static_cast<uint32_t>((P.MemoryWords >> Cfg.BlockShift) + 1)),
+      Trackers(NumBlocks,
+               Cfg.DenseState ? shadow::Mode::Dense : shadow::Mode::Sparse),
+      Ledger(Cfg.MaxCuEntries) {
   // The static table's locality proofs hold at its own block granularity
   // and per thread; refuse mismatched tables and the CPU approximation
   // (a migrating thread raises remote events against its own blocks).
@@ -91,15 +108,35 @@ OnlineSvd::OnlineSvd(const isa::Program &P, OnlineSvdConfig Cfg)
   PruneActive = Cfg.Proofs != nullptr &&
                 Cfg.Proofs->blockShift() == Cfg.BlockShift &&
                 Cfg.NumCpus == 0;
-  NumBlocks = (P.MemoryWords >> Cfg.BlockShift) + 1;
+  shadow::Mode M =
+      Cfg.DenseState ? shadow::Mode::Dense : shadow::Mode::Sparse;
   uint32_t Lanes = Cfg.NumCpus != 0 ? Cfg.NumCpus : P.numThreads();
-  Threads.resize(Lanes);
-  for (PerThread &T : Threads)
-    T.Blocks.resize(NumBlocks);
+  Threads.reserve(Lanes);
+  for (uint32_t L = 0; L < Lanes; ++L)
+    Threads.emplace_back(NumBlocks, M);
   Cfgs.reserve(P.numThreads());
   for (const isa::ThreadCode &TC : P.Threads)
     Cfgs.emplace_back(TC.Code);
-  Trackers.assign(NumBlocks, 0);
+}
+
+void OnlineSvd::beginEpoch() {
+  for (PerThread &T : Threads)
+    T.Blocks.beginEpoch();
+  Trackers.beginEpoch();
+}
+
+uint64_t OnlineSvd::shadowPages() const {
+  uint64_t Pages = Trackers.pagesAllocated();
+  for (const PerThread &T : Threads)
+    Pages += T.Blocks.pagesAllocated();
+  return Pages;
+}
+
+size_t OnlineSvd::shadowBytes() const {
+  size_t Bytes = Trackers.approxMemoryBytes();
+  for (const PerThread &T : Threads)
+    Bytes += T.Blocks.approxMemoryBytes();
+  return Bytes;
 }
 
 OnlineSvd::CuId OnlineSvd::find(PerThread &T, CuId C) const {
@@ -113,30 +150,29 @@ OnlineSvd::CuId OnlineSvd::find(PerThread &T, CuId C) const {
 }
 
 OnlineSvd::CuId OnlineSvd::newCu(PerThread &T) {
-  if (Cfg.MaxCuEntries != 0 && T.LiveCount >= Cfg.MaxCuEntries)
+  if (Ledger.overBudget(T.Budget.Live))
     evictOldestCu(T);
   CuId C = static_cast<CuId>(T.Cus.size());
   T.Cus.push_back(CuData());
   T.Cus.back().Parent = C;
   ++CuCreations;
-  ++T.LiveCount;
+  ++T.Budget.Live;
   return C;
 }
 
 void OnlineSvd::evictOldestCu(PerThread &T) {
   // Scan forward from the cursor for the oldest live root; ids behind
   // the cursor can never become eligible again (see PerThread).
-  for (CuId C = T.EvictCursor; C < T.Cus.size(); ++C) {
+  for (CuId C = T.Budget.Cursor; C < T.Cus.size(); ++C) {
     if (T.Cus[C].Parent != C || T.Cus[C].Dead)
       continue;
-    T.EvictCursor = C;
+    T.Budget.Cursor = C;
     uint32_t Lane = static_cast<uint32_t>(&T - Threads.data());
     deactivateCu(T, Lane, C);
-    DegradedFlag = true;
-    ++BudgetEvictions;
+    Ledger.recordEviction();
     return;
   }
-  T.EvictCursor = static_cast<CuId>(T.Cus.size());
+  T.Budget.Cursor = static_cast<CuId>(T.Cus.size());
 }
 
 OnlineSvd::CuId OnlineSvd::mergeCus(PerThread &T, CuId A, CuId B) {
@@ -155,8 +191,8 @@ OnlineSvd::CuId OnlineSvd::mergeCus(PerThread &T, CuId A, CuId B) {
   T.Cus[B].Rs.clear();
   T.Cus[B].Ws.clear();
   ++CuMerges;
-  if (T.LiveCount > 0)
-    --T.LiveCount;
+  if (T.Budget.Live > 0)
+    --T.Budget.Live;
   return A;
 }
 
@@ -198,9 +234,11 @@ void OnlineSvd::checkViolations(PerThread &T, const EventCtx &Ctx,
     const CuData &CU = T.Cus[C];
     auto CheckBlocks = [&](const std::set<BlockId> &Blocks) {
       for (BlockId B : Blocks) {
-        BlockInfo &BI = T.Blocks[B];
-        if (!BI.Conflict)
+        // Peek first: most blocks have no pending conflict, and a CU
+        // block set may reference pages older than the current epoch.
+        if (!T.Blocks.peek(B).Conflict)
           continue;
+        BlockInfo &BI = T.Blocks.touch(B);
         Violation V;
         V.Seq = Ctx.Seq;
         V.Tid = Ctx.Tid;
@@ -227,18 +265,18 @@ void OnlineSvd::deactivateCu(PerThread &T, ThreadId Tid, CuId C) {
   CuData &CU = T.Cus[C];
   CU.Dead = true;
   ++CuEndings;
-  if (T.LiveCount > 0)
-    --T.LiveCount;
+  if (T.Budget.Live > 0)
+    --T.Budget.Live;
   auto ResetBlocks = [&](const std::set<BlockId> &Blocks) {
     for (BlockId B : Blocks) {
-      BlockInfo &BI = T.Blocks[B];
+      BlockInfo &BI = T.Blocks.touch(B);
       // A block may have been handed to a newer CU already; leave those.
       if (find(T, BI.Cu) != C)
         continue;
       BI.State = Fsm::Idle;
       BI.Cu = NoCu;
       BI.Conflict = false;
-      Trackers[B] &= ~(uint64_t(1) << (Tid % 64));
+      Trackers.touch(B) &= ~(uint64_t(1) << (Tid % 64));
     }
   };
   ResetBlocks(CU.Rs);
@@ -275,9 +313,11 @@ void OnlineSvd::emitLog(const EventCtx &S, const BlockInfo &BI, BlockId B,
 void OnlineSvd::handleRemote(ThreadId Tid, BlockId B, bool IsWrite,
                              const EventCtx &Ctx) {
   PerThread &T = Threads[Tid];
-  BlockInfo &BI = T.Blocks[B];
-  if (BI.State == Fsm::Idle)
+  // An untouched (or epoch-stale) block reads as Idle without
+  // materializing anything; only engaged blocks pay for the touch.
+  if (T.Blocks.peek(B).State == Fsm::Idle)
     return;
+  BlockInfo &BI = T.Blocks.touch(B);
 
   if (IsWrite) {
     BI.RemoteWriteTid = Ctx.Tid;
@@ -327,7 +367,7 @@ void OnlineSvd::handleRemote(ThreadId Tid, BlockId B, bool IsWrite,
 
 void OnlineSvd::broadcastRemote(const EventCtx &Ctx, BlockId B,
                                 bool IsWrite) {
-  uint64_t Mask = Trackers[B];
+  uint64_t Mask = Trackers.peek(B);
   if (Threads.size() <= 64) {
     Mask &= ~(uint64_t(1) << laneOf(Ctx));
     while (Mask) {
@@ -339,7 +379,8 @@ void OnlineSvd::broadcastRemote(const EventCtx &Ctx, BlockId B,
   }
   // Fallback for very wide machines: scan.
   for (uint32_t Lane = 0; Lane < Threads.size(); ++Lane)
-    if (Lane != laneOf(Ctx) && Threads[Lane].Blocks[B].State != Fsm::Idle)
+    if (Lane != laneOf(Ctx) &&
+        Threads[Lane].Blocks.peek(B).State != Fsm::Idle)
       handleRemote(Lane, B, IsWrite, Ctx);
 }
 
@@ -348,7 +389,7 @@ void OnlineSvd::onLoad(const EventCtx &Ctx, Addr A, isa::Word) {
   PerThread &T = Threads[laneOf(Ctx)];
   popControlFrames(T, Ctx.Pc);
   BlockId B = blockOf(A);
-  BlockInfo &BI = T.Blocks[B];
+  BlockInfo &BI = T.Blocks.touch(B);
 
   // Provably-thread-local fast path: no remote access can ever touch
   // this block, so its FSM never leaves Idle, it never conflicts, and
@@ -434,7 +475,7 @@ void OnlineSvd::onLoad(const EventCtx &Ctx, Addr A, isa::Word) {
 
   BI.LocalReadPc = Ctx.Pc;
   BI.LocalReadSeq = Ctx.Seq;
-  Trackers[B] |= uint64_t(1) << (laneOf(Ctx) % 64);
+  Trackers.touch(B) |= uint64_t(1) << (laneOf(Ctx) % 64);
 
   broadcastRemote(Ctx, B, /*IsWrite=*/false);
 }
@@ -472,7 +513,7 @@ void OnlineSvd::onStore(const EventCtx &Ctx, Addr A, isa::Word) {
       C = mergeCus(T, C, DataSet[Idx]);
   }
 
-  BlockInfo &BI = T.Blocks[B];
+  BlockInfo &BI = T.Blocks.touch(B);
 
   // Provably-thread-local fast path. The violation check and the CU
   // merge above already ran — they concern the CUs this store depends
@@ -512,7 +553,7 @@ void OnlineSvd::onStore(const EventCtx &Ctx, Addr A, isa::Word) {
   }
   BI.LocalWritePc = Ctx.Pc;
   BI.LocalWriteSeq = Ctx.Seq;
-  Trackers[B] |= uint64_t(1) << (laneOf(Ctx) % 64);
+  Trackers.touch(B) |= uint64_t(1) << (laneOf(Ctx) % 64);
 
   broadcastRemote(Ctx, B, /*IsWrite=*/true);
 }
@@ -580,7 +621,7 @@ void OnlineSvd::onThreadFinished(const EventCtx &Ctx) {
 size_t OnlineSvd::approxMemoryBytes() const {
   size_t Bytes = 0;
   for (const PerThread &T : Threads) {
-    Bytes += T.Blocks.capacity() * sizeof(BlockInfo);
+    Bytes += T.Blocks.approxMemoryBytes();
     Bytes += T.Cus.capacity() * sizeof(CuData);
     for (const CuData &C : T.Cus)
       Bytes += (C.Rs.size() + C.Ws.size()) * 48; // rough rb-tree node cost
@@ -589,7 +630,7 @@ size_t OnlineSvd::approxMemoryBytes() const {
     for (const CtrlFrame &F : T.CtrlStack)
       Bytes += sizeof(CtrlFrame) + F.CuSet.capacity() * sizeof(CuId);
   }
-  Bytes += Trackers.capacity() * sizeof(uint64_t);
+  Bytes += Trackers.approxMemoryBytes();
   Bytes += Violations.capacity() * sizeof(Violation);
   Bytes += CuLog.capacity() * sizeof(CuLogEntry);
   return Bytes;

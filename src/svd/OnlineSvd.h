@@ -43,6 +43,7 @@
 #include "analysis/AtomicProof.h"
 #include "isa/Cfg.h"
 #include "isa/Program.h"
+#include "shadow/Shadow.h"
 #include "svd/Detector.h"
 #include "svd/Report.h"
 #include "vm/Observer.h"
@@ -119,6 +120,14 @@ struct OnlineSvdConfig {
   /// DetectorConfig::MaxStateEntries by the registry factory.
   uint64_t MaxCuEntries = 0;
 
+  /// Keep per-block state in eagerly-allocated dense shadow pages (the
+  /// historical pre-shadow-layer behavior) instead of the sparse
+  /// materialize-on-touch tables. Functionally identical by contract;
+  /// exists so the dense-vs-shadow differential (ShadowDiffTest) can
+  /// compare two genuinely different allocation paths, and as an
+  /// ablation knob for small dense heaps.
+  bool DenseState = false;
+
   /// 0 keys detector state by thread (ideal). A nonzero value
   /// reproduces the paper's Section 4.3 deployment — "SVD approximates
   /// threads with processors" — by keying all per-thread state on
@@ -169,10 +178,20 @@ public:
 
   /// True once the CU budget (OnlineSvdConfig::MaxCuEntries) forced an
   /// eviction — sticky for the rest of the run.
-  bool degraded() const { return DegradedFlag; }
+  bool degraded() const { return Ledger.degraded(); }
 
   /// CUs ended early to stay under budget (included in numCusEnded()).
-  uint64_t budgetEvictions() const { return BudgetEvictions; }
+  uint64_t budgetEvictions() const { return Ledger.evictions(); }
+
+  /// Starts a fresh observation epoch on the per-block shadow tables
+  /// (O(1) in sparse mode; see shadow/Shadow.h).
+  void beginEpoch();
+
+  /// Shadow pages materialized across all state lanes.
+  uint64_t shadowPages() const;
+
+  /// Bytes held by materialized shadow pages.
+  size_t shadowBytes() const;
 
   /// Dynamic accesses that took the provably-thread-local fast path.
   uint64_t filteredAccesses() const { return FilteredLoads + FilteredStores; }
@@ -249,17 +268,21 @@ private:
   /// All per-thread detector state (the paper stresses SVD's structures
   /// are private per thread).
   struct PerThread {
+    PerThread(uint64_t NumBlocks, shadow::Mode M) : Blocks(NumBlocks, M) {}
+
     std::vector<CuData> Cus;
-    std::vector<BlockInfo> Blocks;
+    /// Per-block FSM/CU/log state, paged so a lane that never touches
+    /// a region of the heap never pays for it.
+    shadow::Table<BlockInfo> Blocks;
     std::array<std::vector<CuId>, isa::NumRegs> RegSets;
     std::vector<CtrlFrame> CtrlStack;
-    /// Live (undead root) CUs in this lane, maintained by newCu /
-    /// mergeCus / deactivateCu for the MaxCuEntries budget check.
-    uint64_t LiveCount = 0;
-    /// Eviction scan position. Sound as a monotone cursor: CU ids only
-    /// ever stop being live roots (union-find parents move up, Dead is
-    /// never cleared), so everything behind the cursor stays ineligible.
-    CuId EvictCursor = 0;
+    /// Live (undead root) CU count and eviction scan position for the
+    /// MaxCuEntries budget, maintained by newCu / mergeCus /
+    /// deactivateCu. The cursor is sound as a monotone scan: CU ids
+    /// only ever stop being live roots (union-find parents move up,
+    /// Dead is never cleared), so everything behind it stays
+    /// ineligible.
+    shadow::BudgetLane Budget;
   };
 
   BlockId blockOf(isa::Addr A) const { return A >> Cfg.BlockShift; }
@@ -314,12 +337,14 @@ private:
   OnlineSvdConfig Cfg;
   bool FilterActive = false;
   bool PruneActive = false;
+  uint32_t NumBlocks = 0;
   std::vector<PerThread> Threads;
   std::vector<isa::ThreadCfg> Cfgs;
   /// Per block: bitmask of threads whose FSM state for it is not Idle
   /// (remote-access fan-out; threads beyond 64 fall back to scanning).
-  std::vector<uint64_t> Trackers;
-  uint32_t NumBlocks = 0;
+  shadow::Table<uint64_t> Trackers;
+  /// The shared MaxCuEntries budget ledger (sticky degradation state).
+  shadow::BudgetLedger Ledger;
 
   std::vector<Violation> Violations;
   std::vector<CuLogEntry> CuLog;
@@ -331,8 +356,6 @@ private:
   uint64_t CuCreations = 0;
   uint64_t CuMerges = 0;
   uint64_t CuEndings = 0;
-  bool DegradedFlag = false;
-  uint64_t BudgetEvictions = 0;
 };
 
 } // namespace detect

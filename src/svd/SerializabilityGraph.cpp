@@ -5,7 +5,7 @@
 #include "support/StringUtils.h"
 
 #include <algorithm>
-#include <map>
+#include <unordered_set>
 
 using namespace svd;
 using namespace svd::detect;
@@ -16,13 +16,14 @@ using trace::ProgramTrace;
 SerializabilityGraph
 SerializabilityGraph::build(const ProgramTrace &T, const pdg::DynamicPdg &G,
                             const CuPartition &CUs) {
-  (void)T; // vertices come from the partition; T documents provenance
   SerializabilityGraph Out;
   Out.NumCus = CUs.units().size();
 
   // Conflict edges, deduplicated per (From, To) pair: the d-PDG's
   // conflict arcs connect the individual operations; lift them to CUs.
-  std::map<std::pair<uint32_t, uint32_t>, size_t> Seen;
+  // Membership-only hash set keyed (From << 32) | To; edge order stays
+  // the deterministic arc iteration order.
+  std::unordered_set<uint64_t> Seen;
   for (const pdg::DepArc &A : G.arcs()) {
     if (A.Kind != pdg::DepKind::Conflict)
       continue;
@@ -31,10 +32,9 @@ SerializabilityGraph::build(const ProgramTrace &T, const pdg::DynamicPdg &G,
     if (From == CuPartition::NoUnit || To == CuPartition::NoUnit ||
         From == To)
       continue;
-    auto Key = std::make_pair(From, To);
-    if (Seen.count(Key))
+    uint64_t Key = (static_cast<uint64_t>(From) << 32) | To;
+    if (!Seen.insert(Key).second)
       continue;
-    Seen.emplace(Key, Out.Edges.size());
     PrecedenceEdge E;
     E.FromCu = From;
     E.ToCu = To;
@@ -47,12 +47,12 @@ SerializabilityGraph::build(const ProgramTrace &T, const pdg::DynamicPdg &G,
 
   // Program-order edges: each thread's CUs in order of their first
   // statement (overlapping CUs are chained the same way the paper's
-  // serializability model assumes non-overlapping units).
-  std::map<isa::ThreadId, std::vector<uint32_t>> PerThread;
+  // serializability model assumes non-overlapping units). Tid-indexed
+  // flat buckets, walked in ascending tid order.
+  std::vector<std::vector<uint32_t>> PerThread(T.numThreads());
   for (const cu::ComputationalUnit &U : CUs.units())
     PerThread[U.Tid].push_back(U.Id);
-  for (auto &[Tid, Ids] : PerThread) {
-    (void)Tid;
+  for (std::vector<uint32_t> &Ids : PerThread) {
     std::sort(Ids.begin(), Ids.end(), [&](uint32_t A, uint32_t B) {
       return CUs.units()[A].BeginSeq < CUs.units()[B].BeginSeq;
     });

@@ -652,6 +652,97 @@ work:
   return W;
 }
 
+Workload workloads::sparseSlabSweep(uint32_t Threads, uint32_t SlabWords) {
+  // Each thread sweeps its private slab once; the loop counter doubles
+  // as the stored value so stores carry no load-derived tags (each
+  // iteration forms and retires its own CU, keeping budgeted detectors
+  // at O(1) live state while the address footprint grows unbounded).
+  std::string Src = formatString(R"(
+.global heap %u
+.thread sweep x%u
+  tid r1
+  muli r2, r1, %u         ; slab base = SlabWords * tid
+  li r3, %u               ; words left in this thread's slab
+loop:
+  st r3, [r2+@heap]
+  ld r4, [r2+@heap]
+  addi r2, r2, 1
+  addi r3, r3, -1
+  bnez r3, loop
+  halt
+)",
+                                 Threads * SlabWords, Threads, SlabWords,
+                                 SlabWords);
+  Workload W = fromSource(
+      "SparseSlabSweep",
+      formatString("%u threads x %u-word private slabs (%u distinct "
+                   "addresses, touched once each)",
+                   Threads, SlabWords, Threads * SlabWords),
+      "None — correct; stresses shadow-table footprint, not detection",
+      Src);
+  const Program &Prog = W.Program;
+  isa::Addr Heap = Prog.addressOf("heap");
+  W.Manifested = [Heap, Threads, SlabWords](const vm::Machine &M) {
+    // Spot-check each slab's first and last word: word K of a slab
+    // holds SlabWords - K (the counter at store time).
+    for (uint32_t T = 0; T < Threads; ++T) {
+      isa::Addr Base = Heap + T * SlabWords;
+      if (M.readMem(Base) != static_cast<isa::Word>(SlabWords))
+        return true;
+      if (M.readMem(Base + SlabWords - 1) != 1)
+        return true;
+    }
+    return false;
+  };
+  return W;
+}
+
+Workload workloads::stridedScatter(uint32_t Threads, uint32_t Touches,
+                                   uint32_t Stride) {
+  // Same private-region shape as sparseSlabSweep but spaced Stride
+  // words apart: few touches per shadow page, so pages materialize
+  // nearly one-per-touch (the bytes-per-address worst case).
+  uint32_t RegionWords = Touches * Stride;
+  std::string Src = formatString(R"(
+.global heap %u
+.thread scatter x%u
+  tid r1
+  muli r2, r1, %u         ; region base = Touches * Stride * tid
+  li r3, %u               ; touches left
+loop:
+  st r3, [r2+@heap]
+  ld r4, [r2+@heap]
+  addi r2, r2, %u         ; stride to the next touched word
+  addi r3, r3, -1
+  bnez r3, loop
+  halt
+)",
+                                 Threads * RegionWords, Threads, RegionWords,
+                                 Touches, Stride);
+  Workload W = fromSource(
+      "StridedScatter",
+      formatString("%u threads x %u touches at stride %u (%u distinct "
+                   "addresses across %u words)",
+                   Threads, Touches, Stride, Threads * Touches,
+                   Threads * RegionWords),
+      "None — correct; worst-case shadow-page dilution",
+      Src);
+  const Program &Prog = W.Program;
+  isa::Addr Heap = Prog.addressOf("heap");
+  W.Manifested = [Heap, Threads, Touches, Stride,
+                  RegionWords](const vm::Machine &M) {
+    for (uint32_t T = 0; T < Threads; ++T) {
+      isa::Addr Base = Heap + T * RegionWords;
+      if (M.readMem(Base) != static_cast<isa::Word>(Touches))
+        return true;
+      if (M.readMem(Base + static_cast<isa::Addr>(Touches - 1) * Stride) != 1)
+        return true;
+    }
+    return false;
+  };
+  return W;
+}
+
 Workload workloads::randomWorkload(const RandomParams &P) {
   support::Xoshiro256 Rng(P.Seed);
   std::string Src;

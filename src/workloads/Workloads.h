@@ -135,6 +135,22 @@ Workload procCache(const WorkloadParams &P = WorkloadParams());
 /// Figure 1 binlog gap split across helper procs).
 Workload procGap(const WorkloadParams &P = WorkloadParams());
 
+/// Large-footprint sweep (the shadow bench family): each thread walks
+/// its own contiguous \p SlabWords-word slab exactly once, one
+/// store+load per word. Touches `Threads * SlabWords` distinct
+/// addresses with zero sharing — the workload that made the historical
+/// dense per-detector state vectors unaffordable and that the paged
+/// shadow tables are sized for. Correct by construction.
+Workload sparseSlabSweep(uint32_t Threads, uint32_t SlabWords);
+
+/// Strided scatter (the shadow bench family): each thread performs
+/// \p Touches store+load pairs spaced \p Stride words apart inside its
+/// own region. With a stride larger than a shadow page's entry count a
+/// page materializes per touch — the worst-case bytes-per-address
+/// shape for the paged tables. Correct by construction.
+Workload stridedScatter(uint32_t Threads, uint32_t Touches,
+                        uint32_t Stride);
+
 /// Parameters of the random workload generator.
 struct RandomParams {
   uint64_t Seed = 1;

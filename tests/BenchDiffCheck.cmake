@@ -1,22 +1,27 @@
-# Perf-baseline regression gate. Runs the table1 perf suite fresh and
-# diffs it against the committed BENCH_table1.json with svd-bench-diff:
+# Perf-baseline regression gate. Runs one perf suite fresh and diffs
+# it against its committed BENCH_<suite>.json with svd-bench-diff:
 # every deterministic field (event counts, pruned/filtered counts,
-# proven CUs, pruned_pct, instruction totals) must match the baseline
-# byte-for-byte; the wall-clock insts_per_sec rate is advisory only.
-# Invoke with:
+# proven CUs, shadow-page counts, instruction totals) must match the
+# baseline byte-for-byte; the wall-clock insts_per_sec rate is
+# advisory only. Invoke with:
 #
 #   cmake -DBENCH=<svd-bench> -DDIFF=<svd-bench-diff>
-#         -DBASELINE=<BENCH_table1.json> -DOUTDIR=<scratch-dir>
+#         -DBASELINE=<BENCH_<suite>.json> -DOUTDIR=<scratch-dir>
+#         [-DSUITE=<suite>]  # default table1
 #         -P BenchDiffCheck.cmake
 
-file(MAKE_DIRECTORY "${OUTDIR}")
-set(CURRENT "${OUTDIR}/table1_perf.json")
+if(NOT SUITE)
+  set(SUITE table1)
+endif()
 
-execute_process(COMMAND "${BENCH}" --suite table1 --perf --json
+file(MAKE_DIRECTORY "${OUTDIR}")
+set(CURRENT "${OUTDIR}/${SUITE}_perf.json")
+
+execute_process(COMMAND "${BENCH}" --suite ${SUITE} --perf --json
                 OUTPUT_FILE "${CURRENT}"
                 RESULT_VARIABLE RC)
 if(NOT RC EQUAL 0)
-  message(FATAL_ERROR "svd-bench --suite table1 --perf --json exited ${RC}")
+  message(FATAL_ERROR "svd-bench --suite ${SUITE} --perf --json exited ${RC}")
 endif()
 
 execute_process(COMMAND "${DIFF}" "${BASELINE}" "${CURRENT}"

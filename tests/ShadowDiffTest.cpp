@@ -1,0 +1,188 @@
+//===- tests/ShadowDiffTest.cpp - Dense-vs-shadow state differential ------===//
+//
+// The shared shadow-state layer's correctness contract, tested
+// differentially (the PruneDiff pattern): for every workload of every
+// paper suite, under multiple seeds and timeslice regimes, and under
+// the chaos fault-plan matrix, a detector running on sparse
+// materialize-on-touch shadow tables must produce a violation report
+// stream BYTE-IDENTICAL to the same detector on eagerly-allocated
+// Dense tables (the historical dense-vector behavior, kept alive as
+// Mode::Dense exactly for this comparison). All observers ride ONE
+// vm::Machine, so the interleaving is shared by construction and any
+// divergence is the state layer's fault.
+//
+// Both the software detector (OnlineSvd) and the cache-based one
+// (HardwareSvd) are compared, including under a tight CU budget so the
+// shared BudgetLedger eviction path is part of the differential.
+//
+//===----------------------------------------------------------------------===//
+
+#include "fault/Fault.h"
+#include "harness/Suites.h"
+#include "svd/HardwareSvd.h"
+#include "svd/OnlineSvd.h"
+#include "vm/Machine.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace svd;
+
+namespace {
+
+bool sameViolation(const detect::Violation &A, const detect::Violation &B) {
+  return A.Seq == B.Seq && A.Tid == B.Tid && A.Pc == B.Pc &&
+         A.OtherTid == B.OtherTid && A.OtherPc == B.OtherPc &&
+         A.OtherSeq == B.OtherSeq && A.Address == B.Address;
+}
+
+void expectSameReports(const workloads::Workload &W,
+                       const std::vector<detect::Violation> &VD,
+                       const std::vector<detect::Violation> &VS,
+                       const std::string &Ctx) {
+  EXPECT_EQ(VD.size(), VS.size()) << Ctx;
+  for (size_t I = 0; I < VD.size() && I < VS.size(); ++I) {
+    EXPECT_TRUE(sameViolation(VD[I], VS[I]))
+        << Ctx << ": violation " << I << " diverged: dense {seq " << VD[I].Seq
+        << " t" << unsigned(VD[I].Tid) << " pc " << VD[I].Pc << "} sparse {seq "
+        << VS[I].Seq << " t" << unsigned(VS[I].Tid) << " pc " << VS[I].Pc
+        << "}";
+    EXPECT_EQ(W.isTrueReport(VD[I]), W.isTrueReport(VS[I])) << Ctx;
+  }
+}
+
+/// Runs \p W once under \p MC with dense-state and sparse-state twins
+/// of OnlineSvd AND HardwareSvd all observing the SAME machine, and
+/// asserts report equivalence per detector family. \p MaxCu applies a
+/// CU budget to all four so the eviction path diffs too.
+void runDiff(const workloads::Workload &W, vm::MachineConfig MC,
+             const std::string &Ctx, uint64_t MaxCu = 0) {
+  vm::Machine M(W.Program, MC);
+
+  detect::OnlineSvdConfig SC;
+  SC.MaxCuEntries = MaxCu;
+  detect::OnlineSvd SvdSparse(W.Program, SC);
+  SC.DenseState = true;
+  detect::OnlineSvd SvdDense(W.Program, SC);
+
+  detect::HardwareSvdConfig HC;
+  HC.Cache.NumCpus = W.Program.numThreads();
+  HC.MaxCuEntries = MaxCu;
+  detect::HardwareSvd HwSparse(W.Program, HC);
+  HC.DenseState = true;
+  detect::HardwareSvd HwDense(W.Program, HC);
+
+  M.addObserver(&SvdDense);
+  M.addObserver(&SvdSparse);
+  M.addObserver(&HwDense);
+  M.addObserver(&HwSparse);
+  // A fault plan may crash the run mid-sample; all observers saw the
+  // same prefix, so the comparisons stay exact.
+  try {
+    M.run();
+  } catch (const fault::InjectedCrash &) {
+  }
+
+  expectSameReports(W, SvdDense.violations(), SvdSparse.violations(),
+                    Ctx + " [svd]");
+  EXPECT_EQ(SvdDense.degraded(), SvdSparse.degraded()) << Ctx;
+  EXPECT_EQ(SvdDense.budgetEvictions(), SvdSparse.budgetEvictions()) << Ctx;
+
+  expectSameReports(W, HwDense.violations(), HwSparse.violations(),
+                    Ctx + " [hwsvd]");
+  EXPECT_EQ(HwDense.degraded(), HwSparse.degraded()) << Ctx;
+  EXPECT_EQ(HwDense.budgetEvictions(), HwSparse.budgetEvictions()) << Ctx;
+  EXPECT_EQ(HwDense.metadataEvictions(), HwSparse.metadataEvictions()) << Ctx;
+}
+
+vm::MachineConfig configFor(uint64_t Seed, uint32_t MinTs, uint32_t MaxTs) {
+  vm::MachineConfig MC;
+  MC.SchedSeed = Seed;
+  MC.MinTimeslice = MinTs;
+  MC.MaxTimeslice = MaxTs;
+  return MC;
+}
+
+} // namespace
+
+// Every suite's workloads at the suite's REAL parameterization, across
+// seeds and two timeslice regimes (the PruneDiff sweep, pointed at the
+// state layer instead of the pruning).
+TEST(ShadowDiff, AllSuitesAllSeeds) {
+  for (const char *Suite :
+       {"table1", "table2", "sec73", "fig1", "predict", "interproc"}) {
+    std::vector<workloads::Workload> Ws = harness::suiteWorkloads(Suite);
+    ASSERT_FALSE(Ws.empty()) << Suite;
+    for (const workloads::Workload &W : Ws) {
+      for (uint64_t Seed : {1, 7, 23}) {
+        for (auto [MinTs, MaxTs] : {std::pair<uint32_t, uint32_t>{1, 4},
+                                    std::pair<uint32_t, uint32_t>{8, 32}}) {
+          std::string Ctx = std::string(Suite) + "/" + W.Name + " seed " +
+                            std::to_string(Seed) + " ts " +
+                            std::to_string(MinTs) + ".." +
+                            std::to_string(MaxTs);
+          runDiff(W, configFor(Seed, MinTs, MaxTs), Ctx);
+        }
+      }
+    }
+  }
+}
+
+// The same equivalence under the deterministic fault-plan matrix:
+// stalls, spurious lock failures, preemption storms, and mid-run
+// injected crashes must not open a gap between dense and sparse state.
+TEST(ShadowDiff, ChaosPlanMatrix) {
+  workloads::WorkloadParams WP;
+  WP.Threads = 4;
+  WP.Iterations = 20;
+  WP.WorkPadding = 8;
+  WP.TouchOneIn = 2;
+  std::vector<workloads::Workload> Ws = workloads::table1Workloads(WP);
+  Ws.push_back(workloads::lockedCounters(WP));
+  Ws.push_back(workloads::tidSlab(WP));
+
+  std::vector<fault::FaultPlanConfig> Plans = fault::defaultPlanMatrix(5);
+  for (const workloads::Workload &W : Ws) {
+    for (const fault::FaultPlanConfig &PC : Plans) {
+      for (uint64_t Seed : {1, 11}) {
+        fault::FaultPlan Plan(PC, Seed);
+        vm::MachineConfig MC = configFor(Seed, 1, 4);
+        MC.Faults = &Plan;
+        runDiff(W, MC, W.Name + " plan " + PC.Name + " seed " +
+                           std::to_string(Seed));
+      }
+    }
+  }
+}
+
+// Scaled-down members of the large-footprint shadow family under a
+// tight CU budget: sparse pages materialize on the fly while the
+// BudgetLedger evicts, and the reports (and eviction counts) must
+// still match the dense run exactly.
+TEST(ShadowDiff, LargeFootprintUnderBudget) {
+  std::vector<workloads::Workload> Ws;
+  Ws.push_back(workloads::sparseSlabSweep(4, 8192));
+  Ws.push_back(workloads::stridedScatter(4, 256, 61));
+  for (const workloads::Workload &W : Ws)
+    for (uint64_t Seed : {1, 7})
+      runDiff(W, configFor(Seed, 1, 4),
+              W.Name + " seed " + std::to_string(Seed), /*MaxCu=*/64);
+}
+
+// The budgeted differential must actually exercise eviction, or the
+// test above is vacuous.
+TEST(ShadowDiff, BudgetedSweepActuallyEvicts) {
+  workloads::Workload W = workloads::sparseSlabSweep(2, 4096);
+  vm::Machine M(W.Program, configFor(1, 1, 4));
+  detect::OnlineSvdConfig SC;
+  SC.MaxCuEntries = 64;
+  detect::OnlineSvd Svd(W.Program, SC);
+  M.addObserver(&Svd);
+  M.run();
+  EXPECT_TRUE(Svd.degraded());
+  EXPECT_GT(Svd.budgetEvictions(), 0u);
+  // Sparse footprint: pages materialized stay proportional to the
+  // touched slabs, not the declared address space.
+  EXPECT_GT(Svd.shadowPages(), 0u);
+  EXPECT_LE(Svd.shadowBytes(), size_t(16) << 20);
+}

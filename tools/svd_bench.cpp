@@ -42,9 +42,9 @@ const char *Usage =
     "  --seeds N            seeds per table row (default: the suite's\n"
     "                       paper-default count)\n"
     "  --json               emit a JSON document instead of the text tables\n"
-    "  --perf               table1 only: add a performance section (insts/s\n"
-    "                       under OnlineSvd with static proofs, plus the\n"
-    "                       deterministic event / pruned-event counts)\n"
+    "  --perf               table1/shadow: add a performance section\n"
+    "                       (insts/s under OnlineSvd, plus deterministic\n"
+    "                       event / pruned-event / shadow-page counts)\n"
     "  --metrics-json FILE  write the obs registry (deterministic counters\n"
     "                       + timing stats) as svd-metrics-v1 JSON\n"
     "  --trace-out FILE     write a Chrome trace_event JSON of the run\n"
