@@ -16,9 +16,11 @@
 #include "harness/Runner.h"
 #include "pdg/Pdg.h"
 #include "predict/Confirm.h"
+#include "support/Error.h"
 #include "support/StringUtils.h"
 #include "svd/OnlineSvd.h"
 #include "trace/Trace.h"
+#include "vm/Translate.h"
 
 #include <algorithm>
 #include <chrono>
@@ -197,6 +199,14 @@ struct PerfRow {
   uint64_t FilteredEvents = 0;
   size_t ProvenCus = 0;
   double InstsPerSec = 0.0;
+  /// Bare engine rate: the same execution with no observer attached
+  /// (the detector-overhead denominator). Advisory like InstsPerSec.
+  double VmInstsPerSec = 0.0;
+  /// Translated-mode twins (zero unless measured with Translate): the
+  /// same workload through the decode-once cache with the static hints
+  /// folded into the micro-ops and the detector trusting them.
+  double XlInstsPerSec = 0.0;
+  double XlVmInstsPerSec = 0.0;
 
   double prunedPct() const {
     return Events == 0 ? 0.0
@@ -205,12 +215,30 @@ struct PerfRow {
   }
 };
 
-PerfRow measurePerfRow(const Workload &W) {
+/// Best-of-3 bare instruction rate under \p MC (no observers). The
+/// repeats damp scheduler noise on shared machines; still advisory.
+double bareInstsPerSec(const isa::Program &P, const vm::MachineConfig &MC) {
+  double Best = 0.0;
+  for (int K = 0; K < 3; ++K) {
+    vm::Machine M(P, MC);
+    auto T0 = std::chrono::steady_clock::now();
+    M.run();
+    double Seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - T0)
+                         .count();
+    if (Seconds > 0.0)
+      Best = std::max(Best, static_cast<double>(M.steps()) / Seconds);
+  }
+  return Best;
+}
+
+PerfRow measurePerfRow(const Workload &W, bool Translate) {
   analysis::AccessTable Table = analysis::buildAccessTable(W.Program);
   analysis::CuProofs Proofs = analysis::proveAtomicCus(W.Program);
   SampleConfig C;
   C.Seed = 1;
-  vm::Machine M(W.Program, machineConfigFor(C));
+  vm::MachineConfig MC = machineConfigFor(C);
+  vm::Machine M(W.Program, MC);
   detect::OnlineSvdConfig SC;
   SC.Access = &Table;
   SC.Proofs = &Proofs;
@@ -229,6 +257,44 @@ PerfRow measurePerfRow(const Workload &W) {
   R.ProvenCus = Proofs.proven().size();
   R.InstsPerSec =
       Seconds <= 0.0 ? 0.0 : static_cast<double>(R.Steps) / Seconds;
+  R.VmInstsPerSec = bareInstsPerSec(W.Program, MC);
+
+  if (Translate) {
+    // One shared cache with the static classifications folded into the
+    // micro-op hint bytes; the detector opts into trusting them. The
+    // deterministic outputs must agree with the interpreter run above —
+    // a mismatch is an engine bug, not measurement noise.
+    vm::TransCache Hinted(
+        W.Program, [&](isa::ThreadId Tid, uint32_t Pc) {
+          uint8_t H = vm::HintClassified;
+          if (Table.classify(Tid, Pc) == analysis::AccessClass::ThreadLocal)
+            H |= vm::HintFilteredLocal;
+          if (Proofs.provenAt(Tid, Pc))
+            H |= vm::HintProvenCu;
+          return H;
+        });
+    vm::MachineConfig XMC = MC;
+    XMC.Translate = true;
+    XMC.Cache = &Hinted;
+    detect::OnlineSvdConfig XSC = SC;
+    XSC.TrustStaticHints = true;
+    vm::Machine XM(W.Program, XMC);
+    detect::OnlineSvd XSvd(W.Program, XSC);
+    XM.addObserver(&XSvd);
+    auto X0 = std::chrono::steady_clock::now();
+    XM.run();
+    double XSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - X0)
+                          .count();
+    if (XM.steps() != R.Steps || XSvd.eventsObserved() != R.Events ||
+        XSvd.prunedAccesses() != R.PrunedEvents ||
+        XSvd.filteredAccesses() != R.FilteredEvents)
+      support::fatalError("translated perf run diverged from the "
+                          "interpreter on workload '" + W.Name + "'");
+    R.XlInstsPerSec =
+        XSeconds <= 0.0 ? 0.0 : static_cast<double>(R.Steps) / XSeconds;
+    R.XlVmInstsPerSec = bareInstsPerSec(W.Program, XMC);
+  }
   return R;
 }
 
@@ -241,6 +307,7 @@ int runTable1(const SuiteOptions &O) {
     S.Workload = &W;
     S.Detector = "none";
     S.Config.Seed = 1;
+    S.Config.Translate = O.Translate;
     Specs.push_back(S);
   }
   std::vector<SampleMetrics> Ms = ParallelRunner(runnerConfig(O)).run(Specs);
@@ -250,7 +317,7 @@ int runTable1(const SuiteOptions &O) {
   std::vector<PerfRow> Perf;
   if (O.Perf)
     for (const Workload &W : Ws)
-      Perf.push_back(measurePerfRow(W));
+      Perf.push_back(measurePerfRow(W, O.Translate));
 
   if (O.Json) {
     std::string J = "{\"suite\":\"table1\",\"rows\":[";
@@ -270,11 +337,17 @@ int runTable1(const SuiteOptions &O) {
         J += formatString(
             ",\"events\":%llu,\"pruned_events\":%llu,"
             "\"filtered_events\":%llu,\"proven_cus\":%zu,"
-            "\"pruned_pct\":%.4f,\"insts_per_sec\":%.0f",
+            "\"pruned_pct\":%.4f,\"insts_per_sec\":%.0f,"
+            "\"vm_insts_per_sec\":%.0f",
             static_cast<unsigned long long>(R.Events),
             static_cast<unsigned long long>(R.PrunedEvents),
             static_cast<unsigned long long>(R.FilteredEvents), R.ProvenCus,
-            R.prunedPct(), R.InstsPerSec);
+            R.prunedPct(), R.InstsPerSec, R.VmInstsPerSec);
+        if (O.Translate)
+          J += formatString(
+              ",\"translate_insts_per_sec\":%.0f,"
+              "\"translate_vm_insts_per_sec\":%.0f",
+              R.XlInstsPerSec, R.XlVmInstsPerSec);
       }
       J += "}";
     }
@@ -298,20 +371,33 @@ int runTable1(const SuiteOptions &O) {
 
   if (O.Perf) {
     std::puts("\n== Table 1 perf: OnlineSvd with static proofs (seed 1) ==\n");
-    TextTable PT({"Name", "Events", "Pruned", "Filtered", "Proven CUs",
-                  "Pruned %", "Insts/s"});
+    std::vector<std::string> Headers = {"Name",       "Events",
+                                        "Pruned",     "Filtered",
+                                        "Proven CUs", "Pruned %",
+                                        "Insts/s",    "Insts/s (vm)"};
+    if (O.Translate) {
+      Headers.push_back("xl Insts/s");
+      Headers.push_back("xl Insts/s (vm)");
+    }
+    TextTable PT(Headers);
     for (size_t I = 0; I < Ws.size(); ++I) {
       const PerfRow &R = Perf[I];
-      PT.addRow({Ws[I].Name,
-                 formatString("%llu",
-                              static_cast<unsigned long long>(R.Events)),
-                 formatString(
-                     "%llu", static_cast<unsigned long long>(R.PrunedEvents)),
-                 formatString("%llu", static_cast<unsigned long long>(
-                                          R.FilteredEvents)),
-                 formatString("%zu", R.ProvenCus),
-                 formatString("%.2f", R.prunedPct()),
-                 formatString("%.0f", R.InstsPerSec)});
+      std::vector<std::string> Row = {
+          Ws[I].Name,
+          formatString("%llu", static_cast<unsigned long long>(R.Events)),
+          formatString("%llu",
+                       static_cast<unsigned long long>(R.PrunedEvents)),
+          formatString("%llu",
+                       static_cast<unsigned long long>(R.FilteredEvents)),
+          formatString("%zu", R.ProvenCus),
+          formatString("%.2f", R.prunedPct()),
+          formatString("%.0f", R.InstsPerSec),
+          formatString("%.0f", R.VmInstsPerSec)};
+      if (O.Translate) {
+        Row.push_back(formatString("%.0f", R.XlInstsPerSec));
+        Row.push_back(formatString("%.0f", R.XlVmInstsPerSec));
+      }
+      PT.addRow(Row);
     }
     std::fputs(PT.render().c_str(), stdout);
   }
@@ -413,6 +499,8 @@ int runTable2(const SuiteOptions &O) {
       SampleSpec S;
       S.Workload = &W;
       S.Config.Seed = Seed;
+    S.Config.Translate = O.Translate;
+      S.Config.Translate = O.Translate;
       S.Config.MinTimeslice = 1;
       S.Config.MaxTimeslice = 4;
       S.Detector = "svd";
@@ -482,6 +570,8 @@ int runSec73(const SuiteOptions &O) {
       SampleSpec S;
       S.Workload = &W;
       S.Config.Seed = Seed;
+    S.Config.Translate = O.Translate;
+      S.Config.Translate = O.Translate;
       S.Config.MinTimeslice = 1;
       S.Config.MaxTimeslice = 4;
       S.Detector = "svd";
@@ -568,6 +658,7 @@ int runFig1(const SuiteOptions &O) {
     SampleSpec S;
     S.Workload = &W;
     S.Config.Seed = Seed;
+    S.Config.Translate = O.Translate;
     S.Detector = "svd";
     Specs.push_back(S);
     S.Detector = "frd";
@@ -641,6 +732,8 @@ int runInterproc(const SuiteOptions &O) {
       SampleSpec S;
       S.Workload = &W;
       S.Config.Seed = Seed;
+    S.Config.Translate = O.Translate;
+      S.Config.Translate = O.Translate;
       S.Config.MinTimeslice = 1;
       S.Config.MaxTimeslice = 4;
       S.Detector = "svd";
@@ -822,6 +915,7 @@ int runShadow(const SuiteOptions &O) {
     Spec.Workload = &S.W;
     Spec.Detector = "none";
     Spec.Config.Seed = 1;
+    Spec.Config.Translate = O.Translate;
     SampleSpecs.push_back(Spec);
   }
   std::vector<SampleMetrics> Ms =

@@ -39,6 +39,11 @@ uint64_t Xoshiro256::next() {
 
 uint64_t Xoshiro256::nextBelow(uint64_t Bound) {
   assert(Bound != 0 && "nextBelow bound must be nonzero");
+  // Power-of-two bounds (including the degenerate Bound == 1 of
+  // fixed-length timeslices) reject nothing and reduce to a mask —
+  // same single draw, same value, no division.
+  if ((Bound & (Bound - 1)) == 0)
+    return next() & (Bound - 1);
   // Rejection sampling: retry until the draw falls in the largest multiple
   // of Bound that fits in 64 bits.
   uint64_t Threshold = -Bound % Bound;

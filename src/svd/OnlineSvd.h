@@ -47,6 +47,7 @@
 #include "svd/Detector.h"
 #include "svd/Report.h"
 #include "vm/Observer.h"
+#include "vm/Translate.h"
 
 #include <array>
 #include <cstdint>
@@ -136,6 +137,16 @@ struct OnlineSvdConfig {
   /// one state lane, the approximation error bench/migration_study
   /// quantifies.
   uint32_t NumCpus = 0;
+
+  /// Adopt the pre-resolved EventCtx::StaticHint bits stamped by the
+  /// translated engine (vm/Translate.h) in place of the per-event
+  /// Access / Proofs lookups. Setting this is the caller's promise that
+  /// the machine's TransCache hints were folded from the very same
+  /// Access and Proofs tables configured above; the harness perf path
+  /// upholds it by building both from one analysis pass. Events without
+  /// HintClassified — interpreter steps, single-step fallbacks — still
+  /// take the table lookups, so mixed streams classify identically.
+  bool TrustStaticHints = false;
 };
 
 /// Opaque registry config carrying an OnlineSvdConfig (registry key
@@ -288,17 +299,25 @@ private:
   BlockId blockOf(isa::Addr A) const { return A >> Cfg.BlockShift; }
 
   /// True when the static table proves (\p Ctx's) access thread-local
-  /// and filtering is active.
+  /// and filtering is active. A trusted translated-engine hint resolves
+  /// the classification with zero lookups (folded at translation time).
   bool isFilteredLocal(const vm::EventCtx &Ctx) const {
-    return FilterActive &&
-           Cfg.Access->classify(Ctx.Tid, Ctx.Pc) ==
-               analysis::AccessClass::ThreadLocal;
+    if (!FilterActive)
+      return false;
+    if (Cfg.TrustStaticHints && (Ctx.StaticHint & vm::HintClassified))
+      return (Ctx.StaticHint & vm::HintFilteredLocal) != 0;
+    return Cfg.Access->classify(Ctx.Tid, Ctx.Pc) ==
+           analysis::AccessClass::ThreadLocal;
   }
 
   /// True when (\p Ctx's) access sits in a ProvenAtomic unit and proof
-  /// pruning is active.
+  /// pruning is active; trusted hints short-circuit as above.
   bool isProvenCu(const vm::EventCtx &Ctx) const {
-    return PruneActive && Cfg.Proofs->provenAt(Ctx.Tid, Ctx.Pc);
+    if (!PruneActive)
+      return false;
+    if (Cfg.TrustStaticHints && (Ctx.StaticHint & vm::HintClassified))
+      return (Ctx.StaticHint & vm::HintProvenCu) != 0;
+    return Cfg.Proofs->provenAt(Ctx.Tid, Ctx.Pc);
   }
 
   /// The state lane an event belongs to: its CPU when approximating

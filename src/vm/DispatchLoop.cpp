@@ -1,0 +1,507 @@
+//===- vm/DispatchLoop.cpp - Translation-cached run loop ------------------===//
+//
+// run() body of machines with MachineConfig::Translate set: whole
+// timeslices execute as block-chained micro-op bursts out of the
+// TransCache instead of per-step fetch/decode. Determinism contract
+// (DESIGN.md section 16): every scheduling decision, PRNG draw, event,
+// counter, and piece of architectural state is bit-identical to the
+// interpreter's stepOnce() loop. The decision logic below mirrors
+// scheduleNext() draw for draw; modes that consult something on every
+// single step (replay, fault hooks, OS migration) simply fall back to
+// stepOnce(), sharing the interpreter's code instead of duplicating it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+#include "support/StringUtils.h"
+#include "vm/Machine.h"
+#include "vm/Translate.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace svd;
+using namespace svd::vm;
+using isa::Addr;
+using isa::Opcode;
+using isa::ThreadId;
+using isa::Word;
+using support::formatString;
+
+StopReason Machine::runTranslated() {
+  assert(TC && "runTranslated without a translation cache");
+  StopReason R = StopReason::AllHalted;
+  for (;;) {
+    // Per-step-consultation modes: take the interpreter's step, which is
+    // identical by construction (same scheduleNext/execute code paths).
+    // Replay can end mid-run via clearReplaySchedule, so this is checked
+    // every iteration, not just on entry.
+    if (Replaying || Cfg.Faults ||
+        (Cfg.NumCpus != 0 && Cfg.MigrationInterval != 0)) {
+      if (!stepOnce(R))
+        return R;
+      continue;
+    }
+
+    if (Steps >= Cfg.MaxSteps)
+      return StopReason::StepBudget;
+
+    // --- one scheduling decision (mirrors scheduleNext) ---------------
+    // Budget is the number of steps the decision grants before the
+    // MaxSteps cap; Unclamped keeps the slice arithmetic exact when the
+    // step budget truncates a burst (the interpreter stops mid-slice
+    // without consuming the remaining continuation decrements).
+    uint64_t Budget;
+    bool SerialBurst = false;
+    if (SliceLeft > 0 && Threads[CurThread].State == ThreadState::Ready) {
+      // Mid-slice entry (a restored checkpoint, or a mode flip while the
+      // slice was live): the continuation path grants SliceLeft more
+      // steps, decrementing one per step.
+      Budget = SliceLeft;
+    } else {
+      // The ready list only changes when a thread blocks, wakes, or
+      // halts; every such path raises ReadyStale, so steady-state
+      // decisions reuse the buffer as-is.
+      if (ReadyStale) {
+        ReadyBuf.clear();
+        for (ThreadId Tid = 0; Tid < Threads.size(); ++Tid)
+          if (Threads[Tid].State == ThreadState::Ready)
+            ReadyBuf.push_back(Tid);
+        ReadyStale = false;
+      }
+      if (ReadyBuf.empty())
+        return finished() ? StopReason::AllHalted : StopReason::Deadlock;
+      if (Cfg.SerialMode) {
+        if (Threads[CurThread].State != ThreadState::Ready) {
+          for (ThreadId Off = 1; Off <= Threads.size(); ++Off) {
+            ThreadId Tid = (CurThread + Off) % Threads.size();
+            if (Threads[Tid].State == ThreadState::Ready) {
+              CurThread = Tid;
+              break;
+            }
+          }
+        }
+        // Serial decisions deterministically stay on the running thread
+        // until it blocks or halts, so the whole stretch is one burst
+        // and SliceLeft pins at 0 exactly as the interpreter keeps it.
+        SliceLeft = 0;
+        SerialBurst = true;
+        Budget = Cfg.MaxSteps - Steps;
+      } else {
+        CurThread = ReadyBuf[Sched.nextBelow(ReadyBuf.size())];
+        uint32_t Range = Cfg.MaxTimeslice - Cfg.MinTimeslice + 1;
+        SliceLeft = Cfg.MinTimeslice +
+                    static_cast<uint32_t>(Sched.nextBelow(Range)) - 1;
+        // A fresh slice of SliceLeft = S runs S + 1 steps: one for the
+        // draw decision itself plus S continuations.
+        Budget = static_cast<uint64_t>(SliceLeft) + 1;
+      }
+    }
+
+    uint64_t Unclamped = Budget;
+    Budget = std::min(Budget, Cfg.MaxSteps - Steps);
+    uint64_t N = Observers.empty() ? executeBurst<false>(Budget)
+                                   : executeBurst<true>(Budget);
+    if (!SerialBurst)
+      SliceLeft = static_cast<uint32_t>(Unclamped - N);
+  }
+}
+
+template <bool HasObs> uint64_t Machine::executeBurst(uint64_t Budget) {
+  Thread &T = Threads[CurThread];
+  assert(T.State == ThreadState::Ready && "burst on a non-ready thread");
+  const TransCache::ThreadTrans &TT = TC->thread(CurThread);
+  const MicroOp *Ops = TT.Ops.data();
+  const TransBlock *Blocks = TT.Blocks.data();
+  const uint32_t *BlockOf = TT.BlockOf.data();
+  const TransBlock *B = Blocks + BlockOf[T.Pc];
+  uint32_t EndPc = B->StartPc + B->NumOps;
+  const uint32_t Cpu = CpuBinding[CurThread];
+  Word *Regs = T.Regs.data();
+  Word *Mem = Memory.data();
+  const int64_t MemSize = static_cast<int64_t>(Memory.size());
+  uint64_t N = 0;
+
+  // Register write helper honouring the hardwired zero register.
+  auto SetReg = [&](isa::Reg Rd, Word V) {
+    if (Rd != isa::ZeroReg)
+      Regs[Rd] = V;
+  };
+  // Observer fan-out, erased entirely from the HasObs = false build.
+  auto Notify = [&](auto &&F) {
+    if constexpr (HasObs)
+      notifyObservers(F);
+  };
+
+  while (N < Budget) {
+    const uint32_t Pc = T.Pc;
+    const MicroOp &U = Ops[Pc];
+    Schedule.push_back(CurThread);
+
+    EventCtx Ctx;
+    Ctx.Seq = Steps;
+    Ctx.Tid = CurThread;
+    Ctx.Cpu = Cpu;
+    Ctx.Pc = Pc;
+    Ctx.Instr = U.Instr;
+    Ctx.StaticHint = U.Hints;
+
+    const Word A = Regs[U.Ra];
+    const Word Bv = Regs[U.Rb];
+
+    switch (U.Op) {
+    case Opcode::Nop:
+    case Opcode::Yield:
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+
+    case Opcode::Li:
+      SetReg(U.Rd, U.Imm);
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+    case Opcode::Mov:
+      SetReg(U.Rd, A);
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+    case Opcode::Tid:
+      SetReg(U.Rd, CurThread);
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+    case Opcode::Rnd: {
+      uint64_t V = T.Rnd.next();
+      if (U.Imm > 0)
+        V %= static_cast<uint64_t>(U.Imm);
+      SetReg(U.Rd, static_cast<Word>(V));
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+    }
+
+    case Opcode::Add:
+      SetReg(U.Rd, A + Bv);
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+    case Opcode::Sub:
+      SetReg(U.Rd, A - Bv);
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+    case Opcode::Mul:
+      SetReg(U.Rd, A * Bv);
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+    case Opcode::Div:
+      // Same wrap rule as the interpreter: INT64_MIN / -1 == INT64_MIN.
+      SetReg(U.Rd, Bv == 0                       ? 0
+                   : A == INT64_MIN && Bv == -1 ? INT64_MIN
+                                                : A / Bv);
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+    case Opcode::Rem:
+      SetReg(U.Rd, Bv == 0 || (A == INT64_MIN && Bv == -1) ? 0 : A % Bv);
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+    case Opcode::And:
+      SetReg(U.Rd, A & Bv);
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+    case Opcode::Or:
+      SetReg(U.Rd, A | Bv);
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+    case Opcode::Xor:
+      SetReg(U.Rd, A ^ Bv);
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+    case Opcode::Shl:
+      SetReg(U.Rd, A << (Bv & 63));
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+    case Opcode::Shr:
+      SetReg(U.Rd,
+             static_cast<Word>(static_cast<uint64_t>(A) >> (Bv & 63)));
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+    case Opcode::Slt:
+      SetReg(U.Rd, A < Bv ? 1 : 0);
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+    case Opcode::Sle:
+      SetReg(U.Rd, A <= Bv ? 1 : 0);
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+    case Opcode::Seq:
+      SetReg(U.Rd, A == Bv ? 1 : 0);
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+    case Opcode::Sne:
+      SetReg(U.Rd, A != Bv ? 1 : 0);
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+
+    case Opcode::Addi:
+      SetReg(U.Rd, A + U.Imm);
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+    case Opcode::Muli:
+      SetReg(U.Rd, A * U.Imm);
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+    case Opcode::Andi:
+      SetReg(U.Rd, A & U.Imm);
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+    case Opcode::Slti:
+      SetReg(U.Rd, A < U.Imm ? 1 : 0);
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+
+    case Opcode::Ld: {
+      int64_t EA = A + U.Imm;
+      if (EA < 0 || EA >= MemSize) {
+        recordError(Ctx,
+                    formatString("fault: load from out-of-range address "
+                                 "%lld",
+                                 static_cast<long long>(EA)));
+        haltThread(Ctx);
+        break;
+      }
+      Word V = Mem[static_cast<Addr>(EA)];
+      SetReg(U.Rd, V);
+      ++Counters.Loads;
+      Notify([&](ExecutionObserver &O) {
+        O.onLoad(Ctx, static_cast<Addr>(EA), V);
+      });
+      T.Pc = Pc + 1;
+      break;
+    }
+    case Opcode::St: {
+      int64_t EA = A + U.Imm;
+      if (EA < 0 || EA >= MemSize) {
+        recordError(Ctx,
+                    formatString("fault: store to out-of-range address "
+                                 "%lld",
+                                 static_cast<long long>(EA)));
+        haltThread(Ctx);
+        break;
+      }
+      Mem[static_cast<Addr>(EA)] = Bv;
+      ++Counters.Stores;
+      Notify([&](ExecutionObserver &O) {
+        O.onStore(Ctx, static_cast<Addr>(EA), Bv);
+      });
+      T.Pc = Pc + 1;
+      break;
+    }
+
+    case Opcode::Cas: {
+      Addr EA = static_cast<Addr>(U.Imm);
+      Word Cur = Mem[EA];
+      ++Counters.Loads;
+      Notify(
+          [&](ExecutionObserver &O) { O.onLoad(Ctx, EA, Cur); });
+      if (Cur == A) {
+        Mem[EA] = Bv;
+        SetReg(U.Rd, 1);
+        ++Counters.Stores;
+        Notify(
+            [&](ExecutionObserver &O) { O.onStore(Ctx, EA, Bv); });
+      } else {
+        SetReg(U.Rd, 0);
+      }
+      T.Pc = Pc + 1;
+      break;
+    }
+
+    case Opcode::Beqz:
+    case Opcode::Bnez: {
+      bool Taken = (U.Op == Opcode::Beqz) ? (A == 0) : (A != 0);
+      uint32_t Target = Taken ? static_cast<uint32_t>(U.Imm) : Pc + 1;
+      ++Counters.Branches;
+      Notify(
+          [&](ExecutionObserver &O) { O.onBranch(Ctx, Taken, Target); });
+      T.Pc = Target;
+      break;
+    }
+    case Opcode::Jmp: {
+      uint32_t Target = static_cast<uint32_t>(U.Imm);
+      ++Counters.Branches;
+      Notify(
+          [&](ExecutionObserver &O) { O.onBranch(Ctx, true, Target); });
+      T.Pc = Target;
+      break;
+    }
+    case Opcode::Call: {
+      if (T.CallStack.size() >= Cfg.MaxCallDepth) {
+        recordError(Ctx,
+                    formatString("fault: call stack overflow (depth "
+                                 "limit %u)",
+                                 Cfg.MaxCallDepth));
+        haltThread(Ctx);
+        break;
+      }
+      uint32_t Target = static_cast<uint32_t>(U.Imm);
+      T.CallStack.push_back(Pc + 1);
+      ++Counters.Branches;
+      Notify(
+          [&](ExecutionObserver &O) { O.onBranch(Ctx, true, Target); });
+      T.Pc = Target;
+      break;
+    }
+    case Opcode::Ret: {
+      if (T.CallStack.empty()) {
+        recordError(Ctx, "fault: ret with an empty call stack");
+        haltThread(Ctx);
+        break;
+      }
+      uint32_t Target = T.CallStack.back();
+      T.CallStack.pop_back();
+      ++Counters.Branches;
+      Notify(
+          [&](ExecutionObserver &O) { O.onBranch(Ctx, true, Target); });
+      T.Pc = Target;
+      break;
+    }
+
+    case Opcode::Lock: {
+      uint32_t M = static_cast<uint32_t>(U.Imm);
+      int32_t Owner = MutexOwner[M];
+      if (Owner == static_cast<int32_t>(CurThread)) {
+        recordError(Ctx,
+                    formatString("fault: recursive lock of mutex '%s'",
+                                 Prog.Mutexes[M].c_str()));
+        haltThread(Ctx);
+        break;
+      }
+      if (Owner >= 0) {
+        ++Counters.LockSpins;
+        T.State = ThreadState::Blocked;
+        ReadyStale = true;
+        MutexWaiters[M].push_back(CurThread);
+        break;
+      }
+      // Bursts never run with fault hooks attached (the loop above falls
+      // back to stepOnce), so the failLockAcquire consultation of the
+      // interpreter path is vacuous here.
+      MutexOwner[M] = static_cast<int32_t>(CurThread);
+      ++Counters.LockAcquires;
+      Notify([&](ExecutionObserver &O) { O.onLock(Ctx, M); });
+      T.Pc = Pc + 1;
+      break;
+    }
+    case Opcode::Unlock: {
+      uint32_t M = static_cast<uint32_t>(U.Imm);
+      if (MutexOwner[M] != static_cast<int32_t>(CurThread)) {
+        recordError(Ctx,
+                    formatString("fault: unlock of mutex '%s' not held "
+                                 "by thread %u",
+                                 Prog.Mutexes[M].c_str(), CurThread));
+        haltThread(Ctx);
+        break;
+      }
+      MutexOwner[M] = -1;
+      if (!MutexWaiters[M].empty()) {
+        for (ThreadId W : MutexWaiters[M])
+          if (Threads[W].State == ThreadState::Blocked)
+            Threads[W].State = ThreadState::Ready;
+        MutexWaiters[M].clear();
+        ReadyStale = true;
+      }
+      ++Counters.Unlocks;
+      Notify([&](ExecutionObserver &O) { O.onUnlock(Ctx, M); });
+      T.Pc = Pc + 1;
+      break;
+    }
+
+    case Opcode::Assert:
+      if (A == 0) {
+        recordError(Ctx, Prog.Messages[static_cast<size_t>(U.Imm)]);
+        haltThread(Ctx);
+        break;
+      }
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      T.Pc = Pc + 1;
+      break;
+    case Opcode::Print:
+      Prints.push_back({Ctx.Seq, CurThread, A});
+      ++Counters.Alu;
+      Notify([&](ExecutionObserver &O) { O.onAlu(Ctx); });
+      Notify([&](ExecutionObserver &O) { O.onPrint(Ctx, A); });
+      T.Pc = Pc + 1;
+      break;
+
+    case Opcode::Halt:
+      haltThread(Ctx);
+      break;
+    }
+
+    ++Steps;
+    ++N;
+
+    if (T.State != ThreadState::Ready)
+      break;
+
+    // Advance along the block, or chain to the next one. The map lookup
+    // is only needed for dynamic targets (Ret); static edges use the
+    // block handles resolved at translation time.
+    uint32_t NewPc = T.Pc;
+    if (NewPc != Pc + 1 || NewPc == EndPc) {
+      if (NewPc == B->TakenPc)
+        B = Blocks + B->TakenBlock;
+      else if (NewPc == EndPc)
+        B = Blocks + B->FallBlock;
+      else
+        B = Blocks + BlockOf[NewPc];
+      EndPc = B->StartPc + B->NumOps;
+    }
+  }
+  return N;
+}
+
+template uint64_t Machine::executeBurst<false>(uint64_t);
+template uint64_t Machine::executeBurst<true>(uint64_t);

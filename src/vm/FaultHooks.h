@@ -58,9 +58,15 @@ public:
   virtual bool failLockAcquire(uint64_t Step, isa::ThreadId Tid,
                                uint32_t MutexId) const = 0;
 
-  /// Asked when the scheduler would continue \p Tid's current timeslice.
-  /// Returning true ends the slice immediately, forcing a fresh seeded
-  /// scheduling decision (and its PRNG draws) this step.
+  /// Asked once per scheduling decision for the thread about to run:
+  /// when the scheduler would continue \p Tid's current timeslice, when
+  /// a fresh slice was just drawn for \p Tid, and when serial mode would
+  /// stay on \p Tid. Returning true ends the slice after the current
+  /// step — a continuation falls through to a fresh seeded draw (whose
+  /// PRNG draws happen regardless, keeping the stream aligned), a fresh
+  /// slice is truncated to a single step, and serial mode advances
+  /// round-robin to the next runnable thread. Each decision charges at
+  /// most one fault.preemptions count.
   virtual bool forcePreempt(uint64_t Step, isa::ThreadId Tid) const = 0;
 };
 

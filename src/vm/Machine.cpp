@@ -3,6 +3,7 @@
 #include "vm/Machine.h"
 
 #include "obs/Obs.h"
+#include "vm/Translate.h"
 #include "support/Error.h"
 #include "support/StringUtils.h"
 
@@ -56,13 +57,38 @@ Machine::Machine(const isa::Program &P, MachineConfig Cfg)
   CpuBinding.resize(P.numThreads());
   for (ThreadId Tid = 0; Tid < P.numThreads(); ++Tid)
     CpuBinding[Tid] = Cfg.NumCpus ? Tid % Cfg.NumCpus : Tid;
+
+  if (Cfg.Translate) {
+    if (Cfg.Cache) {
+      if (&Cfg.Cache->program() != &P)
+        support::fatalError("translation cache built over a different "
+                            "program");
+      TC = Cfg.Cache;
+    } else {
+      OwnedCache = std::make_unique<TransCache>(P);
+      TC = OwnedCache.get();
+    }
+  }
 }
+
+Machine::~Machine() = default;
 
 void Machine::addObserver(ExecutionObserver *O) { Observers.push_back(O); }
 
 void Machine::removeObserver(ExecutionObserver *O) {
-  Observers.erase(std::remove(Observers.begin(), Observers.end(), O),
-                  Observers.end());
+  // Removal must stay valid while an event is being fanned out: keep the
+  // dispatch cursor pointing at the element it has already delivered, so
+  // removing an observer at or before it cannot skip the next one, and
+  // removing one after it simply shortens the loop.
+  for (size_t I = 0; I < Observers.size();) {
+    if (Observers[I] != O) {
+      ++I;
+      continue;
+    }
+    Observers.erase(Observers.begin() + static_cast<ptrdiff_t>(I));
+    if (static_cast<ptrdiff_t>(I) <= NotifyCursor)
+      --NotifyCursor;
+  }
 }
 
 bool Machine::finished() const {
@@ -105,6 +131,14 @@ bool Machine::scheduleNext(StopReason &WhyStopped) {
     return true;
   }
 
+  // Every scheduling decision consults forcePreempt — continuations,
+  // fresh slice draws, and serial-mode stays alike — so a preemption
+  // storm perturbs the whole schedule, not just mid-slice steps, and
+  // fault.preemptions counts every slice the plan cut short. At most one
+  // preemption is charged per decision: a continuation cut short below
+  // falls through to a fresh draw that is not consulted again.
+  bool AlreadyPreempted = false;
+
   // Continue the current timeslice if possible — unless an injected
   // preemption cuts it short (a fresh seeded draw happens below, so the
   // perturbation stays a pure function of the step count).
@@ -112,6 +146,7 @@ bool Machine::scheduleNext(StopReason &WhyStopped) {
     if (Cfg.Faults && Cfg.Faults->forcePreempt(Steps, CurThread)) {
       ++Counters.FaultPreemptions;
       SliceLeft = 0;
+      AlreadyPreempted = true;
     } else {
       --SliceLeft;
       return true;
@@ -128,13 +163,21 @@ bool Machine::scheduleNext(StopReason &WhyStopped) {
   }
 
   if (Cfg.SerialMode) {
-    // Stay on the current thread while it can run; otherwise move to the
-    // next runnable thread in round-robin order.
+    // Stay on the current thread while it can run — unless an injected
+    // preemption forces the round-robin advance early — otherwise move
+    // to the next runnable thread in round-robin order.
     if (Threads[CurThread].State == ThreadState::Ready) {
-      SliceLeft = 0;
-      return true;
+      if (!AlreadyPreempted && Cfg.Faults &&
+          Cfg.Faults->forcePreempt(Steps, CurThread)) {
+        ++Counters.FaultPreemptions;
+      } else {
+        SliceLeft = 0;
+        return true;
+      }
     }
     for (ThreadId Off = 1; Off <= Threads.size(); ++Off) {
+      // The wrap back to CurThread itself keeps a preempted thread
+      // running when it is the only runnable one.
       ThreadId Tid = (CurThread + Off) % Threads.size();
       if (Threads[Tid].State == ThreadState::Ready) {
         CurThread = Tid;
@@ -149,10 +192,19 @@ bool Machine::scheduleNext(StopReason &WhyStopped) {
   uint32_t Range = Cfg.MaxTimeslice - Cfg.MinTimeslice + 1;
   SliceLeft =
       Cfg.MinTimeslice + static_cast<uint32_t>(Sched.nextBelow(Range)) - 1;
+  // A plan firing on the first step of a fresh slice truncates it to
+  // this single step (the draw above is still taken, so the scheduler's
+  // PRNG stream stays aligned with the fault-free run).
+  if (!AlreadyPreempted && Cfg.Faults &&
+      Cfg.Faults->forcePreempt(Steps, CurThread)) {
+    ++Counters.FaultPreemptions;
+    SliceLeft = 0;
+  }
   return true;
 }
 
 bool Machine::stepOnce(StopReason &WhyStopped) {
+  ReadyStale = true; // may change thread states behind the burst loop
   WhyStopped = StopReason::AllHalted;
   if (!scheduleNext(WhyStopped))
     return false;
@@ -179,6 +231,7 @@ bool Machine::stepOnce(StopReason &WhyStopped) {
 }
 
 bool Machine::stepThread(ThreadId Tid, StopReason &WhyStopped) {
+  ReadyStale = true; // may change thread states behind the burst loop
   WhyStopped = StopReason::AllHalted;
   if (Steps >= Cfg.MaxSteps) {
     WhyStopped = StopReason::StepBudget;
@@ -199,7 +252,11 @@ bool Machine::stepThread(ThreadId Tid, StopReason &WhyStopped) {
 
 StopReason Machine::run() {
   StopReason R = StopReason::AllHalted;
-  while (stepOnce(R)) {
+  if (TC) {
+    R = runTranslated();
+  } else {
+    while (stepOnce(R)) {
+    }
   }
   if (R != StopReason::Paused)
     notifyRunEnd();
@@ -210,8 +267,7 @@ void Machine::notifyRunEnd() {
   if (RunEndNotified)
     return;
   RunEndNotified = true;
-  for (ExecutionObserver *O : Observers)
-    O->onRunEnd();
+  notifyObservers([](ExecutionObserver &O) { O.onRunEnd(); });
 }
 
 void Machine::exportStats(obs::Registry &R) const {
@@ -236,14 +292,15 @@ void Machine::exportStats(obs::Registry &R) const {
 void Machine::recordError(const EventCtx &Ctx, const std::string &Msg) {
   ++Counters.ProgramErrors;
   Errors.push_back({Ctx.Seq, Ctx.Tid, Ctx.Pc, Msg});
-  for (ExecutionObserver *O : Observers)
-    O->onProgramError(Ctx, Errors.back().Message.c_str());
+  notifyObservers([&](ExecutionObserver &O) {
+    O.onProgramError(Ctx, Errors.back().Message.c_str());
+  });
 }
 
 void Machine::haltThread(const EventCtx &Ctx) {
   Threads[Ctx.Tid].State = ThreadState::Halted;
-  for (ExecutionObserver *O : Observers)
-    O->onThreadFinished(Ctx);
+  ReadyStale = true;
+  notifyObservers([&](ExecutionObserver &O) { O.onThreadFinished(Ctx); });
 }
 
 void Machine::execute() {
@@ -260,8 +317,7 @@ void Machine::execute() {
   };
   auto NotifyAlu = [&]() {
     ++Counters.Alu;
-    for (ExecutionObserver *O : Observers)
-      O->onAlu(Ctx);
+    notifyObservers([&](ExecutionObserver &O) { O.onAlu(Ctx); });
   };
 
   Word A = T.Regs[I.Ra];
@@ -410,8 +466,8 @@ void Machine::execute() {
     Word V = Memory[static_cast<Addr>(EA)];
     SetReg(I.Rd, V);
     ++Counters.Loads;
-    for (ExecutionObserver *O : Observers)
-      O->onLoad(Ctx, static_cast<Addr>(EA), V);
+    notifyObservers(
+        [&](ExecutionObserver &O) { O.onLoad(Ctx, static_cast<Addr>(EA), V); });
     T.Pc = Pc + 1;
     return;
   }
@@ -426,8 +482,8 @@ void Machine::execute() {
     }
     Memory[static_cast<Addr>(EA)] = B;
     ++Counters.Stores;
-    for (ExecutionObserver *O : Observers)
-      O->onStore(Ctx, static_cast<Addr>(EA), B);
+    notifyObservers(
+        [&](ExecutionObserver &O) { O.onStore(Ctx, static_cast<Addr>(EA), B); });
     T.Pc = Pc + 1;
     return;
   }
@@ -438,14 +494,12 @@ void Machine::execute() {
     Addr EA = static_cast<Addr>(I.Imm);
     Word Cur = Memory[EA];
     ++Counters.Loads;
-    for (ExecutionObserver *O : Observers)
-      O->onLoad(Ctx, EA, Cur);
+    notifyObservers([&](ExecutionObserver &O) { O.onLoad(Ctx, EA, Cur); });
     if (Cur == A) {
       Memory[EA] = B;
       SetReg(I.Rd, 1);
       ++Counters.Stores;
-      for (ExecutionObserver *O : Observers)
-        O->onStore(Ctx, EA, B);
+      notifyObservers([&](ExecutionObserver &O) { O.onStore(Ctx, EA, B); });
     } else {
       SetReg(I.Rd, 0);
     }
@@ -458,16 +512,16 @@ void Machine::execute() {
     bool Taken = (I.Op == Opcode::Beqz) ? (A == 0) : (A != 0);
     uint32_t Target = Taken ? static_cast<uint32_t>(I.Imm) : Pc + 1;
     ++Counters.Branches;
-    for (ExecutionObserver *O : Observers)
-      O->onBranch(Ctx, Taken, Target);
+    notifyObservers(
+        [&](ExecutionObserver &O) { O.onBranch(Ctx, Taken, Target); });
     T.Pc = Target;
     return;
   }
   case Opcode::Jmp: {
     uint32_t Target = static_cast<uint32_t>(I.Imm);
     ++Counters.Branches;
-    for (ExecutionObserver *O : Observers)
-      O->onBranch(Ctx, true, Target);
+    notifyObservers(
+        [&](ExecutionObserver &O) { O.onBranch(Ctx, true, Target); });
     T.Pc = Target;
     return;
   }
@@ -486,8 +540,8 @@ void Machine::execute() {
     uint32_t Target = static_cast<uint32_t>(I.Imm);
     T.CallStack.push_back(Pc + 1);
     ++Counters.Branches;
-    for (ExecutionObserver *O : Observers)
-      O->onBranch(Ctx, true, Target);
+    notifyObservers(
+        [&](ExecutionObserver &O) { O.onBranch(Ctx, true, Target); });
     T.Pc = Target;
     return;
   }
@@ -500,8 +554,8 @@ void Machine::execute() {
     uint32_t Target = T.CallStack.back();
     T.CallStack.pop_back();
     ++Counters.Branches;
-    for (ExecutionObserver *O : Observers)
-      O->onBranch(Ctx, true, Target);
+    notifyObservers(
+        [&](ExecutionObserver &O) { O.onBranch(Ctx, true, Target); });
     T.Pc = Target;
     return;
   }
@@ -532,8 +586,7 @@ void Machine::execute() {
     }
     MutexOwner[M] = static_cast<int32_t>(CurThread);
     ++Counters.LockAcquires;
-    for (ExecutionObserver *O : Observers)
-      O->onLock(Ctx, M);
+    notifyObservers([&](ExecutionObserver &O) { O.onLock(Ctx, M); });
     T.Pc = Pc + 1;
     return;
   }
@@ -554,8 +607,7 @@ void Machine::execute() {
         Threads[W].State = ThreadState::Ready;
     MutexWaiters[M].clear();
     ++Counters.Unlocks;
-    for (ExecutionObserver *O : Observers)
-      O->onUnlock(Ctx, M);
+    notifyObservers([&](ExecutionObserver &O) { O.onUnlock(Ctx, M); });
     T.Pc = Pc + 1;
     return;
   }
@@ -572,8 +624,7 @@ void Machine::execute() {
   case Opcode::Print:
     Prints.push_back({Ctx.Seq, CurThread, A});
     NotifyAlu();
-    for (ExecutionObserver *O : Observers)
-      O->onPrint(Ctx, A);
+    notifyObservers([&](ExecutionObserver &O) { O.onPrint(Ctx, A); });
     T.Pc = Pc + 1;
     return;
 
@@ -615,10 +666,14 @@ Checkpoint Machine::checkpoint() const {
   C.NumErrors = Errors.size();
   C.NumPrints = Prints.size();
   C.ScheduleLen = Schedule.size();
+  C.Replay = Replay;
+  C.ReplayPos = ReplayPos;
+  C.Replaying = Replaying;
   return C;
 }
 
 void Machine::restore(const Checkpoint &C) {
+  ReadyStale = true;
   Memory = C.Memory;
   for (size_t I = 0; I < Threads.size(); ++I) {
     Threads[I].Pc = C.Threads[I].Pc;
@@ -639,6 +694,12 @@ void Machine::restore(const Checkpoint &C) {
   Errors.resize(C.NumErrors);
   Prints.resize(C.NumPrints);
   Schedule.resize(C.ScheduleLen);
-  ReplayPos = C.ScheduleLen;
+  // Replay state is part of the snapshot: a rollback taken across a
+  // setReplaySchedule/clearReplaySchedule transition must resume in the
+  // scheduling mode that was active at the checkpoint, following the
+  // same recording from the same position.
+  Replay = C.Replay;
+  ReplayPos = C.ReplayPos;
+  Replaying = C.Replaying;
   RunEndNotified = false;
 }

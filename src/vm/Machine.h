@@ -28,7 +28,9 @@
 #include "vm/FaultHooks.h"
 #include "vm/Observer.h"
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -38,6 +40,8 @@ class Registry;
 } // namespace obs
 
 namespace vm {
+
+class TransCache;
 
 /// Why a run loop stopped.
 enum class StopReason : uint8_t {
@@ -83,6 +87,17 @@ struct MachineConfig {
   /// pure functions of their arguments, so checkpoint/restore replays
   /// re-inject identical faults.
   const FaultHooks *Faults = nullptr;
+  /// Execute run() through the decode-once translation cache
+  /// (vm/Translate.h, DESIGN.md section 16) instead of the per-step
+  /// decode switch. Semantics are bit-identical to the interpreter —
+  /// same schedule, events, counters, and checkpoints — only faster.
+  bool Translate = false;
+  /// Optional pre-built translation cache to execute from (not owned;
+  /// must be built over the same Program and outlive the machine).
+  /// Null with Translate set makes the machine build its own. Sharing
+  /// one cache lets the harness fold static-analysis hints in once and
+  /// reuse the decoded blocks across seeds.
+  const TransCache *Cache = nullptr;
 };
 
 /// Always-on execution counters, maintained by the interpreter at event
@@ -147,6 +162,13 @@ struct Checkpoint {
   size_t NumErrors = 0;
   size_t NumPrints = 0;
   size_t ScheduleLen = 0;
+  /// Replay-mode state. A checkpoint taken mid-replay must restore the
+  /// recorded schedule *and* the fact that the machine was following it:
+  /// a rollback spanning a setReplaySchedule/clearReplaySchedule
+  /// transition otherwise resumes in the wrong scheduling mode.
+  std::vector<isa::ThreadId> Replay;
+  size_t ReplayPos = 0;
+  bool Replaying = false;
 };
 
 /// The interpreter.
@@ -155,12 +177,16 @@ public:
   /// Creates a machine over \p P (which must outlive the machine).
   /// Aborts if the program fails validation.
   explicit Machine(const isa::Program &P, MachineConfig Cfg = MachineConfig());
+  ~Machine(); // out-of-line: OwnedCache's deleter needs TransCache complete
 
   /// Registers \p O to receive the event stream (not owned). Observers
   /// fire in registration order.
   void addObserver(ExecutionObserver *O);
 
-  /// Removes a previously registered observer.
+  /// Removes a previously registered observer. Safe to call from inside
+  /// an observer callback — including an observer detaching itself —
+  /// the current event's fan-out continues over the remaining observers
+  /// (see the contract note in Observer.h).
   void removeObserver(ExecutionObserver *O);
 
   /// Runs until all threads halt, deadlock, or the step budget expires.
@@ -263,10 +289,31 @@ private:
   bool scheduleNext(StopReason &WhyStopped);
   /// Executes one instruction of Threads[CurThread].
   void execute();
+  /// run() body when executing through the translation cache
+  /// (vm/DispatchLoop.cpp). Bit-identical to the stepOnce() loop.
+  StopReason runTranslated();
+  /// Executes up to \p Budget translated micro-ops of CurThread, stopping
+  /// early when the thread leaves the Ready state. Returns the number of
+  /// steps executed. Compiled twice: the HasObs = false instantiation
+  /// drops every observer fan-out at compile time, so bare machines (the
+  /// harness's overhead baseline) pay nothing for observability.
+  template <bool HasObs> uint64_t executeBurst(uint64_t Budget);
   void recordError(const EventCtx &Ctx, const std::string &Msg);
   void haltThread(const EventCtx &Ctx);
   EventCtx makeCtx(isa::ThreadId Tid, uint32_t Pc,
                    const isa::Instruction &I) const;
+  /// Fans an event out to every registered observer via the member
+  /// cursor, so removeObserver() from inside a callback (an observer
+  /// detaching itself, as BER does on violation) cannot skip a sibling
+  /// or walk off the list.
+  template <typename Fn> void notifyObservers(Fn &&F) {
+    ptrdiff_t Saved = NotifyCursor;
+    for (NotifyCursor = 0;
+         NotifyCursor < static_cast<ptrdiff_t>(Observers.size());
+         ++NotifyCursor)
+      F(*Observers[static_cast<size_t>(NotifyCursor)]);
+    NotifyCursor = Saved;
+  }
 
   const isa::Program &Prog;
   MachineConfig Cfg;
@@ -292,6 +339,21 @@ private:
   bool Replaying = false;
   bool RunEndNotified = false;
   std::vector<ExecutionObserver *> Observers;
+  /// Index of the observer currently being notified (-1 outside
+  /// dispatch); removeObserver() adjusts it so in-callback removal of
+  /// any observer keeps the fan-out loop consistent.
+  ptrdiff_t NotifyCursor = -1;
+  /// Translation-cache execution state (null unless Cfg.Translate).
+  const TransCache *TC = nullptr;
+  std::unique_ptr<TransCache> OwnedCache;
+  /// Reused ready-list buffer of the translated scheduling loop.
+  /// Ready-thread ids in ascending order, reused across the translated
+  /// loop's scheduling decisions. Valid only while ReadyStale is false;
+  /// every path that changes any thread's state (or runs code that
+  /// might — the single-step fallbacks) marks it stale and the next
+  /// decision rebuilds it.
+  std::vector<isa::ThreadId> ReadyBuf;
+  bool ReadyStale = true;
 };
 
 } // namespace vm

@@ -40,11 +40,26 @@ struct EventCtx {
   uint32_t Pc = 0;
   /// The executed static instruction.
   const isa::Instruction *Instr = nullptr;
+  /// Pre-resolved static-analysis bits (vm/Translate.h StaticHintBits),
+  /// stamped per micro-op by the translated engine; always 0 from the
+  /// interpreter. Purely advisory: a detector may use them to skip its
+  /// own per-event classification lookups, but only when its caller
+  /// vouches that the hints were folded from the very same analysis
+  /// results the detector was configured with.
+  uint8_t StaticHint = 0;
 };
 
 /// Receives the dynamic event stream of an execution. All callbacks have
 /// empty default implementations so observers override only what they
 /// need. Events fire after the instruction's architectural effect.
+///
+/// Detachment contract: an observer may call Machine::removeObserver —
+/// on itself or any other observer — from inside a callback (BER does
+/// exactly that when a violation fires mid-run). The machine's fan-out
+/// guarantees that for the current event every observer still registered
+/// and not yet notified is notified exactly once; a removed observer
+/// receives no further callbacks. Adding observers mid-run is not part
+/// of the contract.
 class ExecutionObserver {
 public:
   virtual ~ExecutionObserver();

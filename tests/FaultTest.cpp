@@ -387,3 +387,95 @@ TEST(GuardedRunner, OutcomeNamesAreStable) {
   EXPECT_STREQ(harness::sampleOutcomeName(SampleOutcome::Failed),
                "failed");
 }
+
+TEST(FaultPlan, PreemptStormFiresOnEverySchedulingDecision) {
+  // An always-on preempt plan (every step inside a burst) must charge
+  // one preemption per scheduling decision — including fresh slice
+  // draws. The old hook sat only on the slice-continuation path, so at
+  // timeslice 1/1 (every decision fresh) it never fired at all and
+  // fault.preemptions pinned to zero under a full storm.
+  Workload W = smallWorkload();
+  fault::FaultPlanConfig C;
+  C.Name = "storm";
+  C.PreemptBurstEvery = 1;
+  C.PreemptBurstLen = 1;
+  fault::FaultPlan Plan(C, 1);
+
+  harness::SampleConfig SC;
+  SC.Seed = 1;
+  vm::MachineConfig MC = harness::machineConfigFor(SC); // timeslice 1/1
+  MC.Faults = &Plan;
+  vm::Machine M(W.Program, MC);
+  EXPECT_EQ(M.run(), vm::StopReason::AllHalted);
+  EXPECT_GT(M.steps(), 0u);
+  EXPECT_EQ(M.counters().FaultPreemptions, M.steps());
+
+  // With longer slices every continuation is also cut short, so the
+  // storm still charges exactly one preemption per decision (= step):
+  // a continuation preempt falls through to a fresh draw that is not
+  // consulted a second time.
+  SC.MaxTimeslice = 4;
+  vm::MachineConfig MC2 = harness::machineConfigFor(SC);
+  MC2.Faults = &Plan;
+  vm::Machine M2(W.Program, MC2);
+  EXPECT_EQ(M2.run(), vm::StopReason::AllHalted);
+  EXPECT_EQ(M2.counters().FaultPreemptions, M2.steps());
+}
+
+TEST(FaultPlan, PreemptStormPerturbsSerialMode) {
+  // Serial mode takes no PRNG draws, but it still makes a scheduling
+  // decision per step — and the plan must be consulted there too. Under
+  // an always-on storm the round-robin advances every step, so two
+  // runnable threads strictly alternate; without the consult thread 0
+  // would run to completion before thread 1 ever scheduled.
+  isa::Program P = isa::assembleOrDie(R"(
+.thread a
+  li r1, 4
+la:
+  addi r1, r1, -1
+  bnez r1, la
+  halt
+.thread b
+  li r1, 4
+lb:
+  addi r1, r1, -1
+  bnez r1, lb
+  halt
+)");
+  fault::FaultPlanConfig C;
+  C.Name = "serial-storm";
+  C.PreemptBurstEvery = 1;
+  C.PreemptBurstLen = 1;
+  fault::FaultPlan Plan(C, 1);
+
+  vm::MachineConfig MC;
+  MC.SerialMode = true;
+  MC.Faults = &Plan;
+  vm::Machine M(P, MC);
+  EXPECT_EQ(M.run(), vm::StopReason::AllHalted);
+  // Every decision with a runnable current thread is charged. The one
+  // exception: the switch after the first thread halts cuts nothing
+  // short, so it is a plain round-robin advance, not a preemption.
+  EXPECT_EQ(M.counters().FaultPreemptions, M.steps() - 1);
+  const std::vector<isa::ThreadId> &S = M.schedule();
+  ASSERT_GE(S.size(), 4u);
+  size_t Switches = 0;
+  for (size_t I = 1; I < S.size(); ++I)
+    Switches += S[I] != S[I - 1];
+  // Strict alternation while both threads live: at least one switch per
+  // pair of steps over the shared prefix (both threads run 9 steps).
+  EXPECT_GE(Switches, 9u);
+
+  // Control: serial mode without the plan runs each thread to
+  // completion — zero preemptions, exactly one context switch.
+  vm::MachineConfig Plain;
+  Plain.SerialMode = true;
+  vm::Machine M2(P, Plain);
+  EXPECT_EQ(M2.run(), vm::StopReason::AllHalted);
+  EXPECT_EQ(M2.counters().FaultPreemptions, 0u);
+  const std::vector<isa::ThreadId> &S2 = M2.schedule();
+  size_t Switches2 = 0;
+  for (size_t I = 1; I < S2.size(); ++I)
+    Switches2 += S2[I] != S2[I - 1];
+  EXPECT_EQ(Switches2, 1u);
+}

@@ -934,3 +934,115 @@ TEST(Machine, LargeFootprintCheckpointAndReplay) {
   EXPECT_EQ(M2.readMem(Heap), First);
   EXPECT_EQ(M2.readMem(Heap + 4 * 4096 - 1), Last);
 }
+
+TEST(Machine, CheckpointMidReplayRestoresReplayMode) {
+  // A checkpoint taken while following a recorded schedule must restore
+  // replay mode itself, not just the architectural state: a rollback
+  // spanning a clearReplaySchedule otherwise resumes under the seeded
+  // scheduler and silently diverges from the recording.
+  Program P = asmProg(R"(
+.global x
+.thread t x2
+  li r5, 15
+loop:
+  ld r1, [@x]
+  addi r1, r1, 1
+  st r1, [@x]
+  addi r5, r5, -1
+  bnez r5, loop
+  halt
+)");
+  MachineConfig Cfg;
+  Cfg.SchedSeed = 4242;
+  Machine M1(P, Cfg);
+  M1.run();
+  Word Final = M1.readMem(P.addressOf("x"));
+
+  MachineConfig Cfg2;
+  Cfg2.SchedSeed = 7; // different seed: divergence is visible if replay
+                      // mode is lost across restore
+  Machine M2(P, Cfg2);
+  M2.setReplaySchedule(M1.schedule());
+  StopReason R;
+  for (int I = 0; I < 8; ++I)
+    ASSERT_TRUE(M2.stepOnce(R));
+  Checkpoint C = M2.checkpoint();
+
+  // Leave replay mode and finish the run under the (different) seed.
+  M2.clearReplaySchedule();
+  M2.run();
+
+  // The rollback must resume *in replay mode*, re-following the
+  // recorded schedule from step 8 to the end.
+  M2.restore(C);
+  EXPECT_EQ(M2.run(), StopReason::AllHalted);
+  EXPECT_EQ(M2.schedule(), M1.schedule());
+  EXPECT_EQ(M2.steps(), M1.steps());
+  EXPECT_EQ(M2.readMem(P.addressOf("x")), Final);
+}
+
+namespace {
+
+/// Removes a configurable set of observers (possibly itself) from inside
+/// its first onAlu callback.
+struct RemovingObserver : ExecutionObserver {
+  Machine *M = nullptr;
+  std::vector<ExecutionObserver *> Victims;
+  int Alus = 0;
+  void onAlu(const EventCtx &) override {
+    if (Alus++ == 0)
+      for (ExecutionObserver *V : Victims)
+        M->removeObserver(V);
+  }
+};
+
+} // namespace
+
+TEST(Machine, ObserverMayRemoveItselfDuringDispatch) {
+  // An observer detaching itself mid-callback (as BER does on a
+  // violation) must not disturb the fan-out: later observers still see
+  // the current event, and the detached one sees nothing further.
+  Program P = asmProg(R"(
+.thread t
+  li r1, 1
+  li r2, 2
+  li r3, 3
+  halt
+)");
+  Machine M(P);
+  RemovingObserver Self;
+  Self.M = &M;
+  Self.Victims = {&Self};
+  CountingObserver After;
+  M.addObserver(&Self);
+  M.addObserver(&After);
+  M.run();
+  EXPECT_EQ(Self.Alus, 1);  // the event it detached on, nothing after
+  EXPECT_EQ(After.Alus, 3); // saw every event, including the detach one
+  EXPECT_EQ(After.RunEnds, 1);
+}
+
+TEST(Machine, ObserverMayRemoveOthersDuringDispatch) {
+  // Removing observers before and after the running one keeps the
+  // current event's fan-out exact: the earlier observer was already
+  // notified, the later one must not be.
+  Program P = asmProg(R"(
+.thread t
+  li r1, 1
+  li r2, 2
+  li r3, 3
+  halt
+)");
+  Machine M(P);
+  CountingObserver Before, After;
+  RemovingObserver Remover;
+  Remover.M = &M;
+  Remover.Victims = {&Before, &After};
+  M.addObserver(&Before);
+  M.addObserver(&Remover);
+  M.addObserver(&After);
+  M.run();
+  EXPECT_EQ(Before.Alus, 1); // notified before its removal, then gone
+  EXPECT_EQ(Remover.Alus, 3);
+  EXPECT_EQ(After.Alus, 0); // removed before its turn on the first event
+}

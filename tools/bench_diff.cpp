@@ -180,13 +180,14 @@ int main(int Argc, char **Argv) {
       const std::string &Key = B[K].first;
       const std::string &BV = B[K].second;
       const std::string &CV = C[K].second;
-      if (Key == "insts_per_sec") {
+      if (Key.find("insts_per_sec") != std::string::npos) {
         double BR = std::atof(BV.c_str());
         double CR = std::atof(CV.c_str());
         double Pct = BR > 0 ? 100.0 * (CR - BR) / BR : 0.0;
-        std::printf("note  row %zu (%s): insts_per_sec %s -> %s (%+.1f%%, "
+        std::printf("note  row %zu (%s): %s %s -> %s (%+.1f%%, "
                     "advisory)\n",
-                    I, rowName(B).c_str(), BV.c_str(), CV.c_str(), Pct);
+                    I, rowName(B).c_str(), Key.c_str(), BV.c_str(),
+                    CV.c_str(), Pct);
         continue;
       }
       if (BV != CV) {
