@@ -16,6 +16,14 @@ enum Stream : uint32_t {
   StreamPreempt = 3,
   StreamCorruptPick = 4,
   StreamCorruptKind = 5,
+  StreamFrameCorrupt = 6,
+  StreamFrameTruncate = 7,
+  StreamFrameDuplicate = 8,
+  StreamFrameReorder = 9,
+  StreamFrameStall = 10,
+  StreamFrameByte = 11,
+  StreamFrameCut = 12,
+  StreamShardCrash = 13,
 };
 
 /// SplitMix64 finalizer: a strong 64-bit mixer with no state, so fault
@@ -53,6 +61,24 @@ std::string FaultPlanConfig::describe() const {
     S += support::formatString(
         " detector-budget=%llu",
         static_cast<unsigned long long>(DetectorEntryBudget));
+  if (FrameCorruptRatePerMyriad)
+    S += support::formatString(" frame-corrupt=%u/10k",
+                               FrameCorruptRatePerMyriad);
+  if (FrameTruncateRatePerMyriad)
+    S += support::formatString(" frame-truncate=%u/10k",
+                               FrameTruncateRatePerMyriad);
+  if (FrameDuplicateRatePerMyriad)
+    S += support::formatString(" frame-dup=%u/10k",
+                               FrameDuplicateRatePerMyriad);
+  if (FrameReorderRatePerMyriad)
+    S += support::formatString(" frame-reorder=%u/10k",
+                               FrameReorderRatePerMyriad);
+  if (FrameStallRatePerMyriad)
+    S += support::formatString(" frame-stall=%u/10k",
+                               FrameStallRatePerMyriad);
+  if (ShardCrashRatePerMyriad)
+    S += support::formatString(" shard-crash=%u/10k",
+                               ShardCrashRatePerMyriad);
   if (S.back() == ':')
     S += " (fault-free)";
   return S;
@@ -93,6 +119,61 @@ bool FaultPlan::forcePreempt(uint64_t Step, isa::ThreadId Tid) const {
   // Bursts occupy the first PreemptBurstLen steps of every
   // PreemptBurstEvery-step window: a pure function of Step alone.
   return Step % Cfg.PreemptBurstEvery < Cfg.PreemptBurstLen;
+}
+
+bool FaultPlan::corruptFrame(uint64_t FramePos) const {
+  return decide(StreamFrameCorrupt, FramePos, 0,
+                Cfg.FrameCorruptRatePerMyriad);
+}
+
+bool FaultPlan::truncateFrame(uint64_t FramePos) const {
+  return decide(StreamFrameTruncate, FramePos, 0,
+                Cfg.FrameTruncateRatePerMyriad);
+}
+
+bool FaultPlan::duplicateFrame(uint64_t FramePos) const {
+  return decide(StreamFrameDuplicate, FramePos, 0,
+                Cfg.FrameDuplicateRatePerMyriad);
+}
+
+bool FaultPlan::reorderFrame(uint64_t FramePos) const {
+  return decide(StreamFrameReorder, FramePos, 0,
+                Cfg.FrameReorderRatePerMyriad);
+}
+
+bool FaultPlan::stallFrame(uint64_t FramePos) const {
+  return decide(StreamFrameStall, FramePos, 0,
+                Cfg.FrameStallRatePerMyriad);
+}
+
+bool FaultPlan::crashShard(uint64_t FramePos, uint32_t Attempt) const {
+  return decide(StreamShardCrash, FramePos, Attempt,
+                Cfg.ShardCrashRatePerMyriad);
+}
+
+void FaultPlan::mangleFrameBytes(std::vector<uint8_t> &Bytes,
+                                 uint64_t FramePos) const {
+  if (Bytes.empty())
+    return;
+  uint64_t H = mix64(Mix ^ mix64(FramePos) ^ StreamFrameByte);
+  unsigned Flips = 1 + static_cast<unsigned>(H % 3);
+  for (unsigned I = 0; I < Flips; ++I) {
+    uint64_t HI = mix64(Mix ^ mix64(FramePos) ^
+                        mix64((static_cast<uint64_t>(StreamFrameByte) << 32) |
+                              (I + 1)));
+    size_t Pos = static_cast<size_t>(HI % Bytes.size());
+    // |1 keeps the xor mask nonzero, so every flip really changes the
+    // byte.
+    Bytes[Pos] ^= static_cast<uint8_t>((HI >> 32) | 1);
+  }
+}
+
+size_t FaultPlan::truncatedFrameSize(size_t OrigSize,
+                                     uint64_t FramePos) const {
+  if (OrigSize == 0)
+    return 0;
+  uint64_t H = mix64(Mix ^ mix64(FramePos) ^ StreamFrameCut);
+  return static_cast<size_t>(H % OrigSize);
 }
 
 trace::ProgramTrace
@@ -167,6 +248,17 @@ std::vector<FaultPlanConfig> fault::defaultPlanMatrix(unsigned N) {
     P.Name = "mid-run-crash";
     P.PlanSeed = 0xe66;
     P.CrashAtStep = 257;
+    Presets.push_back(P);
+  }
+  {
+    FaultPlanConfig P;
+    P.Name = "frame-mangle";
+    P.PlanSeed = 0xf8a3e;
+    P.FrameCorruptRatePerMyriad = 300;
+    P.FrameTruncateRatePerMyriad = 150;
+    P.FrameDuplicateRatePerMyriad = 400;
+    P.FrameReorderRatePerMyriad = 400;
+    P.FrameStallRatePerMyriad = 200;
     Presets.push_back(P);
   }
 

@@ -68,6 +68,35 @@ struct FaultPlanConfig {
   /// detect::DetectorConfig::MaxStateEntries by the caller).
   uint64_t DetectorEntryBudget = 0;
 
+  /// --- Ingestion-stage faults (serve/Frame.h) -------------------------
+  /// Per-frame decisions, keyed on a frame's position in a session's
+  /// wire order. The streaming daemon consults these while mangling a
+  /// session's outgoing frame stream, so the same plan perturbs every
+  /// session differently (the sample seed is mixed in at FaultPlan
+  /// construction) yet replay-stably.
+  /// Probability (per-myriad) that a frame's bytes are flipped in
+  /// flight (mangleFrameBytes).
+  uint32_t FrameCorruptRatePerMyriad = 0;
+  /// Probability (per-myriad) that a frame is cut short in flight —
+  /// mid-header or mid-payload EOF (truncatedFrameSize).
+  uint32_t FrameTruncateRatePerMyriad = 0;
+  /// Probability (per-myriad) that a frame is delivered twice.
+  uint32_t FrameDuplicateRatePerMyriad = 0;
+  /// Probability (per-myriad) that a frame is swapped with its wire
+  /// successor (adjacent reorder).
+  uint32_t FrameReorderRatePerMyriad = 0;
+  /// Probability (per-myriad) that processing a frame stalls the shard
+  /// consumer, modeling a slow downstream analyzer.
+  uint32_t FrameStallRatePerMyriad = 0;
+  /// Virtual-clock ticks one consumer stall burns; 0 with a nonzero
+  /// stall rate means the default of 8.
+  uint32_t FrameStallTicks = 0;
+  /// Probability (per-myriad) that processing a frame crashes the
+  /// owning shard. Keyed on (frame position, admission attempt), so a
+  /// quarantined session's re-admission re-rolls the decision and
+  /// usually survives — the recoverable-crash shape.
+  uint32_t ShardCrashRatePerMyriad = 0;
+
   /// One-line summary of the active fault classes, for reports.
   std::string describe() const;
 };
@@ -104,6 +133,43 @@ public:
     return Cfg.TraceTruncateAt != 0 || Cfg.TraceCorruptRatePerMyriad != 0;
   }
 
+  /// True if this plan perturbs the frame stream of the streaming
+  /// daemon (any ingestion-stage fault class active).
+  bool perturbsFrames() const {
+    return Cfg.FrameCorruptRatePerMyriad != 0 ||
+           Cfg.FrameTruncateRatePerMyriad != 0 ||
+           Cfg.FrameDuplicateRatePerMyriad != 0 ||
+           Cfg.FrameReorderRatePerMyriad != 0 ||
+           Cfg.FrameStallRatePerMyriad != 0 ||
+           Cfg.ShardCrashRatePerMyriad != 0;
+  }
+
+  /// Ingestion-stage per-frame decisions. \p FramePos is the frame's
+  /// position in the session's wire order. Pure functions of
+  /// (plan seed, sample seed, position) like every other hook.
+  bool corruptFrame(uint64_t FramePos) const;
+  bool truncateFrame(uint64_t FramePos) const;
+  bool duplicateFrame(uint64_t FramePos) const;
+  bool reorderFrame(uint64_t FramePos) const;
+  bool stallFrame(uint64_t FramePos) const;
+  /// Consumer ticks one stall burns (FrameStallTicks, defaulted).
+  uint32_t frameStallTicks() const {
+    return Cfg.FrameStallTicks != 0 ? Cfg.FrameStallTicks : 8;
+  }
+  /// True when processing the frame at \p FramePos crashes the shard
+  /// on admission attempt \p Attempt (1-based).
+  bool crashShard(uint64_t FramePos, uint32_t Attempt) const;
+
+  /// Deterministically flips 1-3 bytes of \p Bytes (chosen by hash of
+  /// \p FramePos). No-op on an empty buffer.
+  void mangleFrameBytes(std::vector<uint8_t> &Bytes,
+                        uint64_t FramePos) const;
+
+  /// The size a truncated delivery of a \p OrigSize-byte frame keeps:
+  /// a hash-chosen value in [0, OrigSize), so cuts land mid-header as
+  /// well as mid-payload.
+  size_t truncatedFrameSize(size_t OrigSize, uint64_t FramePos) const;
+
   /// Returns a perturbed copy of \p T: events past TraceTruncateAt are
   /// dropped, and each surviving event is independently mangled with
   /// probability TraceCorruptRatePerMyriad (out-of-range Tid, reset
@@ -126,9 +192,10 @@ private:
 /// A canonical matrix of \p N distinct plans for chaos runs (svd-chaos
 /// --plans N). The first presets exercise, in order: a preemption
 /// storm, stalls + spurious lock failures, trace corruption +
-/// truncation, a detector state budget, and a mid-run injected crash.
-/// For N beyond the presets the list cycles with re-derived seeds, so
-/// any N is valid and fully deterministic.
+/// truncation, a detector state budget, a mid-run injected crash, and
+/// a frame-stream mangle (the ingestion-stage classes, for the
+/// streaming daemon). For N beyond the presets the list cycles with
+/// re-derived seeds, so any N is valid and fully deterministic.
 std::vector<FaultPlanConfig> defaultPlanMatrix(unsigned N);
 
 } // namespace fault

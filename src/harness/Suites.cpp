@@ -16,6 +16,7 @@
 #include "harness/Runner.h"
 #include "pdg/Pdg.h"
 #include "predict/Confirm.h"
+#include "serve/Serve.h"
 #include "support/Error.h"
 #include "support/StringUtils.h"
 #include "svd/OnlineSvd.h"
@@ -81,6 +82,15 @@ std::vector<Workload> table1SuiteWorkloads() {
   P.Iterations = 150;
   P.WorkPadding = 80;
   P.TouchOneIn = 8;
+  return workloads::table1Workloads(P);
+}
+
+std::vector<Workload> serveSuiteWorkloads() {
+  workloads::WorkloadParams P;
+  P.Threads = 4;
+  P.Iterations = 60;
+  P.WorkPadding = 30;
+  P.TouchOneIn = 4;
   return workloads::table1Workloads(P);
 }
 
@@ -997,6 +1007,118 @@ int runShadow(const SuiteOptions &O) {
   return 0;
 }
 
+//===----------------------------------------------------------------------===//
+// serve — streaming daemon throughput vs shard count
+//===----------------------------------------------------------------------===//
+
+int runServeSuite(const SuiteOptions &O) {
+  std::vector<Workload> Ws = serveSuiteWorkloads();
+  uint32_t Seeds = O.Seeds ? O.Seeds : 2;
+
+  // One session per (workload, seed); machines from machineConfigFor so
+  // "seed N" means the same execution as everywhere else in the repo.
+  std::vector<serve::SessionInput> Sessions;
+  uint32_t Id = 0;
+  for (const Workload &W : Ws)
+    for (uint64_t Seed = 1; Seed <= Seeds; ++Seed) {
+      serve::SessionInput S;
+      S.SessionId = Id++;
+      S.Work = &W;
+      S.Seed = Seed;
+      SampleConfig C;
+      C.Seed = Seed;
+      S.Machine = machineConfigFor(C);
+      Sessions.push_back(S);
+    }
+
+  // Each shard count runs with one worker per shard: the suite measures
+  // shard scaling, and serve reports are jobs-invariant by contract
+  // (the svd-serve CompareRuns tests pin that), so the fan-out width
+  // never shows in the deterministic fields.
+  const uint32_t ShardCounts[] = {1, 2, 4};
+  struct BenchRow {
+    uint32_t Shards = 0;
+    uint64_t FramesDelivered = 0;
+    uint64_t EventsIngested = 0;
+    uint64_t Steps = 0;
+    size_t Ok = 0;
+    double EventsPerSec = 0.0;
+  };
+  std::vector<BenchRow> Rows;
+  for (uint32_t K : ShardCounts) {
+    serve::ServeConfig C;
+    C.Shards = K;
+    C.Jobs = K;
+    C.Obs = O.Obs;
+    auto T0 = std::chrono::steady_clock::now();
+    serve::ServeReport R = serve::runServe(Sessions, C);
+    double Seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - T0)
+                         .count();
+    BenchRow B;
+    B.Shards = K;
+    B.Ok = R.countOutcome(serve::SessionOutcome::Ok);
+    for (const serve::SessionReport &S : R.Sessions) {
+      B.FramesDelivered += S.FramesDelivered;
+      B.EventsIngested += S.EventsIngested;
+      B.Steps += S.Steps;
+    }
+    B.EventsPerSec = Seconds <= 0.0
+                         ? 0.0
+                         : static_cast<double>(B.EventsIngested) / Seconds;
+    Rows.push_back(B);
+  }
+
+  if (O.Json) {
+    std::string J = "{\"suite\":\"serve\",\"rows\":[";
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const BenchRow &B = Rows[I];
+      if (I)
+        J += ",";
+      J += formatString(
+          "{\"name\":\"shards%u\",\"shards\":%u,\"sessions\":%zu,"
+          "\"ok\":%zu,\"frames_delivered\":%llu,\"events_ingested\":%llu,"
+          "\"steps\":%llu",
+          B.Shards, B.Shards, Sessions.size(), B.Ok,
+          static_cast<unsigned long long>(B.FramesDelivered),
+          static_cast<unsigned long long>(B.EventsIngested),
+          static_cast<unsigned long long>(B.Steps));
+      if (O.Perf)
+        J += formatString(",\"events_per_sec\":%.0f", B.EventsPerSec);
+      J += "}";
+    }
+    J += "]}\n";
+    std::fputs(J.c_str(), stdout);
+    return 0;
+  }
+
+  std::puts("== serve: streaming daemon throughput vs shard count ==\n");
+  std::vector<std::string> Headers = {"Shards", "Sessions", "Ok", "Frames",
+                                      "Events ingested", "Steps"};
+  if (O.Perf)
+    Headers.push_back("Events/s");
+  TextTable T(Headers);
+  for (const BenchRow &B : Rows) {
+    std::vector<std::string> Cells = {
+        formatString("%u", B.Shards), formatString("%zu", Sessions.size()),
+        formatString("%zu", B.Ok),
+        formatString("%llu",
+                     static_cast<unsigned long long>(B.FramesDelivered)),
+        formatString("%llu",
+                     static_cast<unsigned long long>(B.EventsIngested)),
+        formatString("%llu", static_cast<unsigned long long>(B.Steps))};
+    if (O.Perf)
+      Cells.push_back(formatString("%.0f", B.EventsPerSec));
+    T.addRow(Cells);
+  }
+  std::fputs(T.render().c_str(), stdout);
+  std::puts("\nEvery session streams its trace through the framed ring "
+            "pipeline (src/serve); the deterministic fields are identical "
+            "at every shard count and every fan-out width — only the "
+            "advisory events_per_sec rate moves.");
+  return 0;
+}
+
 } // namespace
 
 const std::vector<Suite> &harness::suites() {
@@ -1014,6 +1136,9 @@ const std::vector<Suite> &harness::suites() {
       {"shadow", "large-footprint heaps (millions of addresses) on the "
                  "paged shadow-state layer",
        runShadow},
+      {"serve", "streaming detection daemon (svd-serve) throughput vs "
+                "shard count",
+       runServeSuite},
   };
   return Suites;
 }
@@ -1040,5 +1165,7 @@ std::vector<Workload> harness::suiteWorkloads(const std::string &Name) {
     return predictSuiteWorkloads();
   if (Name == "shadow")
     return shadowSuiteWorkloads();
+  if (Name == "serve")
+    return serveSuiteWorkloads();
   return {};
 }

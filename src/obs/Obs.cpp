@@ -121,6 +121,30 @@ bool obs::isDocumentedKey(const std::string &Name) {
       "runner.samples_failed",
       "runner.samples_timed_out",
       "runner.total",
+      "serve.backoff_ticks",
+      "serve.backoff_waits",
+      "serve.events_budget_dropped",
+      "serve.events_ingested",
+      "serve.events_shed",
+      "serve.events_streamed",
+      "serve.frames_delivered",
+      "serve.frames_duplicated",
+      "serve.frames_lost",
+      "serve.frames_rejected",
+      "serve.frames_reordered",
+      "serve.frames_sent",
+      "serve.frames_shed",
+      "serve.quarantines",
+      "serve.readmissions",
+      "serve.sessions",
+      "serve.sessions_degraded",
+      "serve.sessions_failed",
+      "serve.sessions_ok",
+      "serve.sessions_poisoned",
+      "serve.sessions_shed",
+      "serve.shards",
+      "serve.stall_ticks",
+      "serve.ticks",
       "svd.cu_pruned_events",
       "vm.alu",
       "vm.branches",
@@ -158,6 +182,12 @@ bool obs::isDocumentedKey(const std::string &Name) {
     Leaf = S.substr(Dot + 1);
     return true;
   };
+
+  // serve.rejects.<reason>: one counter per serve::Reject frame
+  // classification (serve/Frame.h rejectName). The reason inventory is
+  // owned by the serve layer; anything under the family is documented.
+  if (Name.compare(0, 14, "serve.rejects.") == 0 && Name.size() > 14)
+    return true;
 
   std::string Leaf;
   if (SplitTail(Name, "detect.", Leaf))

@@ -143,7 +143,7 @@ std::string metricsJson(const Registry &R);
 /// True when \p Name belongs to the pinned instrument-key schema of
 /// DESIGN.md section 15 (`vm.*`, `detect.*`, `shadow.*`, `svd.*`,
 /// `hwsvd` cache keys, `analysis.*`, `fault.*`, `harness.*`,
-/// `runner.*`). The schema is a stable interface: dashboards and the
+/// `runner.*`, `serve.*`). The schema is a stable interface: dashboards and the
 /// golden counter inventories key on these names, so a new instrument
 /// must be added to DESIGN.md and here in the same change
 /// (tests/ObsSchemaTest.cpp fails on undocumented keys).

@@ -1,0 +1,348 @@
+//===- serve/Frame.cpp ----------------------------------------------------===//
+
+#include "serve/Frame.h"
+
+#include "support/StringUtils.h"
+
+using namespace svd;
+using namespace svd::serve;
+
+const char *serve::rejectName(Reject R) {
+  switch (R) {
+  case Reject::TruncatedHeader:
+    return "truncated-header";
+  case Reject::BadMagic:
+    return "bad-magic";
+  case Reject::BadVersion:
+    return "bad-version";
+  case Reject::BadOpcode:
+    return "bad-opcode";
+  case Reject::BadSession:
+    return "bad-session";
+  case Reject::LengthOverflow:
+    return "length-overflow";
+  case Reject::TruncatedPayload:
+    return "truncated-payload";
+  case Reject::TrailingBytes:
+    return "trailing-bytes";
+  case Reject::BadChecksum:
+    return "bad-checksum";
+  case Reject::BadPayloadShape:
+    return "bad-payload-shape";
+  case Reject::ProgramMismatch:
+    return "program-mismatch";
+  case Reject::BadEventKind:
+    return "bad-event-kind";
+  case Reject::BadThread:
+    return "bad-thread";
+  case Reject::BadPc:
+    return "bad-pc";
+  case Reject::BadAddress:
+    return "bad-address";
+  case Reject::BadMutex:
+    return "bad-mutex";
+  case Reject::NonMonotonicSeq:
+    return "non-monotonic-seq";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void put8(std::vector<uint8_t> &B, uint8_t V) { B.push_back(V); }
+
+void put32(std::vector<uint8_t> &B, uint32_t V) {
+  B.push_back(static_cast<uint8_t>(V));
+  B.push_back(static_cast<uint8_t>(V >> 8));
+  B.push_back(static_cast<uint8_t>(V >> 16));
+  B.push_back(static_cast<uint8_t>(V >> 24));
+}
+
+void put64(std::vector<uint8_t> &B, uint64_t V) {
+  put32(B, static_cast<uint32_t>(V));
+  put32(B, static_cast<uint32_t>(V >> 32));
+}
+
+uint32_t get32(const uint8_t *P) {
+  return static_cast<uint32_t>(P[0]) | (static_cast<uint32_t>(P[1]) << 8) |
+         (static_cast<uint32_t>(P[2]) << 16) |
+         (static_cast<uint32_t>(P[3]) << 24);
+}
+
+uint64_t get64(const uint8_t *P) {
+  return static_cast<uint64_t>(get32(P)) |
+         (static_cast<uint64_t>(get32(P + 4)) << 32);
+}
+
+/// FNV-1a 32-bit over the first 16 header bytes and the payload. The
+/// checksum field itself (header bytes 16..19) is excluded.
+uint32_t frameChecksum(const uint8_t *Frame, size_t Size) {
+  uint32_t H = 0x811c9dc5u;
+  for (size_t I = 0; I < 16 && I < Size; ++I)
+    H = (H ^ Frame[I]) * 0x01000193u;
+  for (size_t I = FrameCodec::HeaderBytes; I < Size; ++I)
+    H = (H ^ Frame[I]) * 0x01000193u;
+  return H;
+}
+
+void putHeader(std::vector<uint8_t> &B, Opcode Op, uint32_t Session,
+               uint32_t FrameSeq, uint32_t PayloadLen) {
+  put8(B, FrameCodec::Magic0);
+  put8(B, FrameCodec::Magic1);
+  put8(B, FrameCodec::Version);
+  put8(B, static_cast<uint8_t>(Op));
+  put32(B, Session);
+  put32(B, FrameSeq);
+  put32(B, PayloadLen);
+  put32(B, 0); // checksum backpatched by sealFrame once the payload is in
+}
+
+/// Backpatches the checksum field after the payload has been appended.
+void sealFrame(std::vector<uint8_t> &B) {
+  uint32_t C = frameChecksum(B.data(), B.size());
+  B[16] = static_cast<uint8_t>(C);
+  B[17] = static_cast<uint8_t>(C >> 8);
+  B[18] = static_cast<uint8_t>(C >> 16);
+  B[19] = static_cast<uint8_t>(C >> 24);
+}
+
+constexpr size_t HelloPayloadBytes = 20;
+constexpr size_t ShedPayloadBytes = 16;
+constexpr size_t EndPayloadBytes = 8;
+
+} // namespace
+
+std::vector<uint8_t> FrameCodec::encodeHello() const {
+  std::vector<uint8_t> B;
+  B.reserve(HeaderBytes + HelloPayloadBytes);
+  putHeader(B, Opcode::Hello, Session, /*FrameSeq=*/0, HelloPayloadBytes);
+  put32(B, Prog->numThreads());
+  put32(B, Prog->MemoryWords);
+  put32(B, static_cast<uint32_t>(Prog->Mutexes.size()));
+  put64(B, Prog->numInstructions());
+  sealFrame(B);
+  return B;
+}
+
+std::vector<uint8_t> FrameCodec::encodeEvents(const trace::TraceEvent *Events,
+                                              size_t Count,
+                                              uint32_t FrameSeq) const {
+  std::vector<uint8_t> B;
+  B.reserve(HeaderBytes + Count * EventBytes);
+  putHeader(B, Opcode::Events, Session, FrameSeq,
+            static_cast<uint32_t>(Count * EventBytes));
+  for (size_t I = 0; I < Count; ++I) {
+    const trace::TraceEvent &E = Events[I];
+    put64(B, E.Seq);
+    put32(B, E.Tid);
+    put32(B, E.Pc);
+    put8(B, static_cast<uint8_t>(E.Kind));
+    put32(B, E.Address);
+    put64(B, static_cast<uint64_t>(E.Value));
+    put8(B, E.Taken ? 1 : 0);
+    put32(B, E.Target);
+    put32(B, E.MutexId);
+  }
+  sealFrame(B);
+  return B;
+}
+
+std::vector<uint8_t> FrameCodec::encodeShed(uint32_t FrameSeq,
+                                            uint32_t SpanFrames,
+                                            uint32_t Epoch,
+                                            uint64_t DroppedEvents) const {
+  std::vector<uint8_t> B;
+  B.reserve(HeaderBytes + ShedPayloadBytes);
+  putHeader(B, Opcode::Shed, Session, FrameSeq, ShedPayloadBytes);
+  put32(B, SpanFrames);
+  put32(B, Epoch);
+  put64(B, DroppedEvents);
+  sealFrame(B);
+  return B;
+}
+
+std::vector<uint8_t> FrameCodec::encodeEnd(uint32_t FrameSeq,
+                                           uint64_t TotalEvents) const {
+  std::vector<uint8_t> B;
+  B.reserve(HeaderBytes + EndPayloadBytes);
+  putHeader(B, Opcode::End, Session, FrameSeq, EndPayloadBytes);
+  put64(B, TotalEvents);
+  sealFrame(B);
+  return B;
+}
+
+DecodeResult FrameCodec::decode(const uint8_t *Data, size_t Size,
+                                uint64_t MinSeq, DecodedFrame &Out) const {
+  // Header checks, cheapest first. Every field is validated before
+  // anything derived from it is used.
+  if (Size < HeaderBytes)
+    return DecodeResult::fail(
+        Reject::TruncatedHeader,
+        support::formatString("%zu bytes, header needs %zu", Size,
+                              HeaderBytes));
+  if (Data[0] != Magic0 || Data[1] != Magic1)
+    return DecodeResult::fail(
+        Reject::BadMagic,
+        support::formatString("magic %02x%02x", Data[0], Data[1]));
+  if (Data[2] != Version)
+    return DecodeResult::fail(Reject::BadVersion,
+                              support::formatString("version %u", Data[2]));
+  uint8_t OpByte = Data[3];
+  if (OpByte < static_cast<uint8_t>(Opcode::Hello) ||
+      OpByte > static_cast<uint8_t>(Opcode::End))
+    return DecodeResult::fail(Reject::BadOpcode,
+                              support::formatString("opcode %u", OpByte));
+  Opcode Op = static_cast<Opcode>(OpByte);
+  uint32_t FrameSession = get32(Data + 4);
+  if (FrameSession != Session)
+    return DecodeResult::fail(
+        Reject::BadSession,
+        support::formatString("session %u, expected %u", FrameSession,
+                              Session));
+  uint32_t FrameSeq = get32(Data + 8);
+  uint32_t PayloadLen = get32(Data + 12);
+  // The length prefix is the classic untrusted field: bound it before
+  // comparing against the buffer, so an overflowing value can never
+  // size an allocation or an index.
+  if (PayloadLen > MaxPayloadBytes)
+    return DecodeResult::fail(
+        Reject::LengthOverflow,
+        support::formatString("payload length %u exceeds limit %zu",
+                              PayloadLen, MaxPayloadBytes));
+  if (Size < HeaderBytes + PayloadLen)
+    return DecodeResult::fail(
+        Reject::TruncatedPayload,
+        support::formatString("payload length %u, only %zu bytes follow",
+                              PayloadLen, Size - HeaderBytes));
+  if (Size > HeaderBytes + PayloadLen)
+    return DecodeResult::fail(
+        Reject::TrailingBytes,
+        support::formatString("%zu bytes past declared payload",
+                              Size - HeaderBytes - PayloadLen));
+  uint32_t Declared = get32(Data + 16);
+  uint32_t Actual = frameChecksum(Data, Size);
+  if (Declared != Actual)
+    return DecodeResult::fail(
+        Reject::BadChecksum,
+        support::formatString("checksum %08x, computed %08x", Declared,
+                              Actual));
+  const uint8_t *P = Data + HeaderBytes;
+
+  Out = DecodedFrame();
+  Out.Op = Op;
+  Out.Session = FrameSession;
+  Out.FrameSeq = FrameSeq;
+
+  switch (Op) {
+  case Opcode::Hello: {
+    if (PayloadLen != HelloPayloadBytes)
+      return DecodeResult::fail(
+          Reject::BadPayloadShape,
+          support::formatString("hello payload %u, expected %zu", PayloadLen,
+                                HelloPayloadBytes));
+    uint32_t Threads = get32(P);
+    uint32_t Words = get32(P + 4);
+    uint32_t Mutexes = get32(P + 8);
+    uint64_t Insts = get64(P + 12);
+    if (Threads != Prog->numThreads() || Words != Prog->MemoryWords ||
+        Mutexes != Prog->Mutexes.size() || Insts != Prog->numInstructions())
+      return DecodeResult::fail(
+          Reject::ProgramMismatch,
+          support::formatString(
+              "fingerprint %u/%u/%u/%llu, program is %u/%u/%zu/%zu", Threads,
+              Words, Mutexes, static_cast<unsigned long long>(Insts),
+              Prog->numThreads(), Prog->MemoryWords, Prog->Mutexes.size(),
+              Prog->numInstructions()));
+    return DecodeResult::ok();
+  }
+  case Opcode::Events: {
+    if (PayloadLen % EventBytes != 0)
+      return DecodeResult::fail(
+          Reject::BadPayloadShape,
+          support::formatString("events payload %u not a multiple of %zu",
+                                PayloadLen, EventBytes));
+    size_t Count = PayloadLen / EventBytes;
+    Out.Events.reserve(Count);
+    uint64_t PrevSeq = MinSeq;
+    for (size_t I = 0; I < Count; ++I, P += EventBytes) {
+      trace::TraceEvent E;
+      E.Seq = get64(P);
+      E.Tid = get32(P + 8);
+      E.Pc = get32(P + 12);
+      uint8_t KindByte = P[16];
+      E.Address = get32(P + 17);
+      E.Value = static_cast<isa::Word>(get64(P + 21));
+      E.Taken = P[29] != 0;
+      E.Target = get32(P + 30);
+      E.MutexId = get32(P + 34);
+
+      // The frame-level mirror of trace::validate: every field an
+      // analysis pass will index with, checked before Instr resolution.
+      if (KindByte > static_cast<uint8_t>(trace::EventKind::ThreadEnd))
+        return DecodeResult::fail(
+            Reject::BadEventKind,
+            support::formatString("event %zu kind %u", I, KindByte));
+      E.Kind = static_cast<trace::EventKind>(KindByte);
+      if (E.Seq < PrevSeq)
+        return DecodeResult::fail(
+            Reject::NonMonotonicSeq,
+            support::formatString(
+                "event %zu seq %llu after %llu", I,
+                static_cast<unsigned long long>(E.Seq),
+                static_cast<unsigned long long>(PrevSeq)));
+      PrevSeq = E.Seq;
+      if (E.Tid >= Prog->numThreads())
+        return DecodeResult::fail(
+            Reject::BadThread,
+            support::formatString("event %zu tid %u, program has %u threads",
+                                  I, E.Tid, Prog->numThreads()));
+      const std::vector<isa::Instruction> &Code = Prog->Threads[E.Tid].Code;
+      if (E.Pc >= Code.size())
+        return DecodeResult::fail(
+            Reject::BadPc,
+            support::formatString("event %zu pc %u, thread %u has %zu "
+                                  "instructions",
+                                  I, E.Pc, E.Tid, Code.size()));
+      E.Instr = &Code[E.Pc];
+      if (E.isMemory() && E.Address >= Prog->MemoryWords)
+        return DecodeResult::fail(
+            Reject::BadAddress,
+            support::formatString("event %zu address %u beyond %u words", I,
+                                  E.Address, Prog->MemoryWords));
+      if ((E.Kind == trace::EventKind::Lock ||
+           E.Kind == trace::EventKind::Unlock) &&
+          E.MutexId >= Prog->Mutexes.size())
+        return DecodeResult::fail(
+            Reject::BadMutex,
+            support::formatString("event %zu mutex %u, program has %zu", I,
+                                  E.MutexId, Prog->Mutexes.size()));
+      Out.Events.push_back(E);
+    }
+    return DecodeResult::ok();
+  }
+  case Opcode::Shed: {
+    if (PayloadLen != ShedPayloadBytes)
+      return DecodeResult::fail(
+          Reject::BadPayloadShape,
+          support::formatString("shed payload %u, expected %zu", PayloadLen,
+                                ShedPayloadBytes));
+    Out.ShedSpanFrames = get32(P);
+    Out.ShedEpoch = get32(P + 4);
+    Out.ShedDroppedEvents = get64(P + 8);
+    if (Out.ShedSpanFrames == 0)
+      return DecodeResult::fail(Reject::BadPayloadShape,
+                                "shed marker spans zero frames");
+    return DecodeResult::ok();
+  }
+  case Opcode::End: {
+    if (PayloadLen != EndPayloadBytes)
+      return DecodeResult::fail(
+          Reject::BadPayloadShape,
+          support::formatString("end payload %u, expected %zu", PayloadLen,
+                                EndPayloadBytes));
+    Out.EndTotalEvents = get64(P);
+    return DecodeResult::ok();
+  }
+  }
+  return DecodeResult::fail(Reject::BadOpcode, "unreachable");
+}

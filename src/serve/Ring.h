@@ -1,0 +1,86 @@
+//===- serve/Ring.h - Bounded SPSC ring buffer ------------------*- C++ -*-===//
+//
+// Part of the SVD reproduction of Xu, Bodik & Hill, PLDI 2005.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded single-producer/single-consumer ring buffer: the transport
+/// between a client session's frame producer and its shard's consumer.
+/// tryPush/tryPop never block — a full ring answers WouldBlock (false)
+/// and the producer is expected to back off (serve/Serve.h's jittered
+/// exponential backoff) or shed load, never to spin-wait inside the
+/// ring. The implementation is a classic power-of-two Lamport queue
+/// with acquire/release head/tail indices, safe for one producer
+/// thread and one consumer thread concurrently; the deterministic
+/// event loop of svd-serve drives both ends from a single thread, so
+/// there the atomics merely cost two uncontended fences per op.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SVD_SERVE_RING_H
+#define SVD_SERVE_RING_H
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace svd {
+namespace serve {
+
+template <typename T> class SpscRing {
+public:
+  /// \p CapacityPow2 must be a power of two (the index mask trick).
+  explicit SpscRing(size_t CapacityPow2)
+      : Slots(CapacityPow2), Mask(CapacityPow2 - 1) {
+    assert(CapacityPow2 != 0 && (CapacityPow2 & Mask) == 0 &&
+           "ring capacity must be a power of two");
+  }
+
+  SpscRing(const SpscRing &) = delete;
+  SpscRing &operator=(const SpscRing &) = delete;
+
+  size_t capacity() const { return Slots.size(); }
+
+  size_t size() const {
+    return Tail.load(std::memory_order_acquire) -
+           Head.load(std::memory_order_acquire);
+  }
+
+  bool empty() const { return size() == 0; }
+  bool full() const { return size() == capacity(); }
+
+  /// Producer side. Returns false (WouldBlock) when the ring is full;
+  /// \p V is untouched in that case.
+  bool tryPush(T &&V) {
+    size_t T0 = Tail.load(std::memory_order_relaxed);
+    if (T0 - Head.load(std::memory_order_acquire) == capacity())
+      return false;
+    Slots[T0 & Mask] = std::move(V);
+    Tail.store(T0 + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool tryPop(T &Out) {
+    size_t H = Head.load(std::memory_order_relaxed);
+    if (Tail.load(std::memory_order_acquire) == H)
+      return false;
+    Out = std::move(Slots[H & Mask]);
+    Head.store(H + 1, std::memory_order_release);
+    return true;
+  }
+
+private:
+  std::vector<T> Slots;
+  size_t Mask;
+  std::atomic<size_t> Head{0};
+  std::atomic<size_t> Tail{0};
+};
+
+} // namespace serve
+} // namespace svd
+
+#endif // SVD_SERVE_RING_H

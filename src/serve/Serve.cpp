@@ -1,0 +1,903 @@
+//===- serve/Serve.cpp ----------------------------------------------------===//
+
+#include "serve/Serve.h"
+
+#include "cu/CuPartition.h"
+#include "obs/Obs.h"
+#include "pdg/Pdg.h"
+#include "serve/Ring.h"
+#include "shadow/Shadow.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+#include "svd/OfflineDetector.h"
+#include "trace/Trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <optional>
+#include <thread>
+#include <unordered_map>
+
+using namespace svd;
+using namespace svd::serve;
+using workloads::Workload;
+
+const char *serve::sessionOutcomeName(SessionOutcome O) {
+  switch (O) {
+  case SessionOutcome::Ok:
+    return "ok";
+  case SessionOutcome::Degraded:
+    return "degraded";
+  case SessionOutcome::Shed:
+    return "shed";
+  case SessionOutcome::Poisoned:
+    return "poisoned";
+  case SessionOutcome::Failed:
+    return "failed";
+  }
+  return "unknown";
+}
+
+std::string SessionReport::detectionSignature() const {
+  std::string S = support::formatString(
+      "steps=%llu manifested=%d detected=%d dyn=%zu/%zu/%zu "
+      "static=%zu/%zu/%zu cus=%zu degraded=%d reason=%s",
+      static_cast<unsigned long long>(Steps), Manifested ? 1 : 0,
+      DetectedBug ? 1 : 0, DynamicReports, DynamicTrue, DynamicFalse,
+      StaticReports, StaticTrue, StaticFalse, CusFormed,
+      DetectorDegraded ? 1 : 0,
+      DegradedReason.empty() ? "-" : DegradedReason.c_str());
+  S += " true=[";
+  for (size_t I = 0; I < StaticTrueKeys.size(); ++I)
+    S += (I ? "," : "") +
+         std::to_string(static_cast<unsigned long long>(StaticTrueKeys[I]));
+  S += "] false=[";
+  for (size_t I = 0; I < StaticFalseKeys.size(); ++I)
+    S += (I ? "," : "") +
+         std::to_string(static_cast<unsigned long long>(StaticFalseKeys[I]));
+  S += "]";
+  return S;
+}
+
+size_t ServeReport::countOutcome(SessionOutcome O) const {
+  size_t N = 0;
+  for (const SessionReport &S : Sessions)
+    if (S.Outcome == O)
+      ++N;
+  return N;
+}
+
+namespace {
+
+/// Thrown when a session's admission loop exceeds the tick deadline.
+struct WatchdogTrip {
+  uint64_t Ticks;
+};
+
+/// Classifies \p Reports against \p W's ground truth — the exact logic
+/// of the harness classifier, replicated here (and differentially
+/// pinned against harness::runSample in tests/ServeTest.cpp) so serve
+/// does not depend on src/harness.
+void classifyReports(const Workload &W,
+                     const std::vector<detect::Violation> &Reports,
+                     SessionReport &R) {
+  R.DynamicReports = Reports.size();
+  std::unordered_map<uint64_t, bool> StaticSeen;
+  for (const detect::Violation &V : Reports) {
+    bool True_ = W.isTrueReport(V);
+    if (True_) {
+      ++R.DynamicTrue;
+      R.DetectedBug = true;
+    } else {
+      ++R.DynamicFalse;
+    }
+    StaticSeen.emplace(V.staticKey(), True_);
+  }
+  R.StaticReports = StaticSeen.size();
+  for (const auto &[Key, True_] : StaticSeen) {
+    if (True_) {
+      ++R.StaticTrue;
+      R.StaticTrueKeys.push_back(Key);
+    } else {
+      ++R.StaticFalse;
+      R.StaticFalseKeys.push_back(Key);
+    }
+  }
+  std::sort(R.StaticTrueKeys.begin(), R.StaticTrueKeys.end());
+  std::sort(R.StaticFalseKeys.begin(), R.StaticFalseKeys.end());
+}
+
+/// Shared degraded-reason formatting: the serve path and the batch
+/// twin build the string through the same helpers, so budgeted parity
+/// is byte-exact.
+std::string budgetDropReason(uint64_t Dropped) {
+  return support::formatString("tenant budget: %llu events dropped",
+                               static_cast<unsigned long long>(Dropped));
+}
+
+/// Runs the offline detection passes over \p T and fills the detection
+/// half of \p R. Used identically by the serve path (assembled trace)
+/// and the batch twin (recorded trace).
+void finishDetection(const Workload &W, const trace::ProgramTrace &T,
+                     SessionReport &R) {
+  std::string Err;
+  if (!trace::validate(T, Err)) {
+    R.DetectorDegraded = true;
+    R.DegradedReason = "trace validation failed: " + Err;
+    return;
+  }
+  pdg::DynamicPdg G = pdg::DynamicPdg::build(T);
+  cu::CuPartition CUs = cu::CuPartition::compute(T, G);
+  R.CusFormed = CUs.units().size();
+  classifyReports(W, detect::detectOffline(T, CUs), R);
+}
+
+/// Derives the final outcome and degraded reason from the stream
+/// counters (Failed/Poisoned are decided earlier and bypass this).
+void resolveOutcome(SessionReport &R, bool HelloSeen, bool EndSeen,
+                    uint64_t EndTotal) {
+  std::string Reason;
+  auto AddReason = [&Reason](const std::string &Part) {
+    if (!Reason.empty())
+      Reason += "; ";
+    Reason += Part;
+  };
+  if (R.FramesLost != 0)
+    AddReason(support::formatString(
+        "%llu frames lost", static_cast<unsigned long long>(R.FramesLost)));
+  if (R.EventsShed != 0)
+    AddReason(support::formatString(
+        "shed %llu events across %llu frames",
+        static_cast<unsigned long long>(R.EventsShed),
+        static_cast<unsigned long long>(R.FramesShed)));
+  if (R.EventsBudgetDropped != 0)
+    AddReason(budgetDropReason(R.EventsBudgetDropped));
+  if (!HelloSeen)
+    AddReason("hello frame missing");
+  if (!EndSeen)
+    AddReason("end-of-stream marker missing");
+  else if (R.FramesLost == 0 && R.EventsShed == 0 &&
+           R.EventsIngested != EndTotal)
+    AddReason(support::formatString(
+        "event count mismatch: ingested %llu, end marker says %llu",
+        static_cast<unsigned long long>(R.EventsIngested),
+        static_cast<unsigned long long>(EndTotal)));
+  if (R.Quarantines != 0)
+    AddReason(support::formatString("recovered from %u quarantine%s",
+                                    R.Quarantines,
+                                    R.Quarantines == 1 ? "" : "s"));
+  if (!Reason.empty()) {
+    R.DetectorDegraded = true;
+    if (R.DegradedReason.empty())
+      R.DegradedReason = Reason;
+    else
+      R.DegradedReason += "; " + Reason;
+  }
+  SessionOutcome O = SessionOutcome::Ok;
+  if (R.DetectorDegraded)
+    O = worseOutcome(O, SessionOutcome::Degraded);
+  if (R.EventsShed != 0 || R.FramesShed != 0)
+    O = worseOutcome(O, SessionOutcome::Shed);
+  R.Outcome = worseOutcome(R.Outcome, O);
+  if (R.Diagnostic.empty() && R.Outcome != SessionOutcome::Ok)
+    R.Diagnostic = R.DegradedReason;
+}
+
+/// One pre-generated wire frame plus the producer-side metadata the
+/// shedding policy needs (metadata describes the frame as generated,
+/// before any in-flight mangling).
+struct WireEntry {
+  std::vector<uint8_t> Bytes;
+  Opcode Op = Opcode::Hello;
+  uint32_t FrameSeq = 0;
+  uint64_t EventCount = 0;
+};
+
+/// Everything one session carries through the daemon.
+struct SessionState {
+  const SessionInput *In = nullptr;
+  SessionReport R;
+  std::optional<fault::FaultPlan> Plan;
+  /// The recorded execution (null if the producer crashed).
+  std::optional<trace::ProgramTrace> Trace;
+  /// The full wire stream, generated once; shedding splices it.
+  std::vector<WireEntry> Wire;
+  bool ProducerCrashed = false;
+};
+
+/// Runs the workload under the VM and pre-records the session's trace
+/// — the client side of the daemon, identical by construction to a
+/// batch run of the same (workload, machine config).
+void produceTrace(SessionState &S) {
+  const SessionInput &In = *S.In;
+  vm::MachineConfig MC = In.Machine;
+  if (S.Plan)
+    MC.Faults = &*S.Plan;
+  trace::TraceRecorder Rec(In.Work->Program);
+  vm::Machine M(In.Work->Program, MC);
+  M.addObserver(&Rec);
+  try {
+    M.run();
+  } catch (const fault::InjectedCrash &E) {
+    S.ProducerCrashed = true;
+    S.R.Outcome = SessionOutcome::Failed;
+    S.R.Diagnostic = std::string("producer crashed: ") + E.what();
+    return;
+  }
+  S.R.Steps = M.steps();
+  S.R.Manifested = In.Work->Manifested(M);
+  S.Trace.emplace(Rec.takeTrace());
+  S.R.EventsStreamed = S.Trace->size();
+}
+
+/// Builds the session's wire stream: Hello, Events frames, End — then
+/// applies the plan's in-flight faults (truncate/corrupt/duplicate/
+/// reorder) as pure per-position decisions.
+void buildWire(SessionState &S, const ServeConfig &Cfg) {
+  const FrameCodec Codec(S.In->Work->Program, S.In->SessionId);
+  const trace::ProgramTrace &T = *S.Trace;
+  const fault::FaultPlan *Plan =
+      S.Plan && S.Plan->perturbsFrames() ? &*S.Plan : nullptr;
+
+  std::vector<WireEntry> Logical;
+  Logical.push_back({Codec.encodeHello(), Opcode::Hello, 0, 0});
+  uint32_t Seq = 1;
+  size_t Per = std::min<size_t>(std::max<uint32_t>(Cfg.EventsPerFrame, 1),
+                                FrameCodec::MaxEventsPerFrame);
+  for (size_t I = 0; I < T.size(); I += Per, ++Seq) {
+    size_t N = std::min(Per, T.size() - I);
+    Logical.push_back({Codec.encodeEvents(&T.events()[I], N, Seq),
+                       Opcode::Events, Seq, N});
+  }
+  Logical.push_back({Codec.encodeEnd(Seq, T.size()), Opcode::End, Seq, 0});
+
+  S.Wire.clear();
+  S.Wire.reserve(Logical.size());
+  for (WireEntry &E : Logical) {
+    if (Plan) {
+      if (Plan->truncateFrame(E.FrameSeq))
+        E.Bytes.resize(Plan->truncatedFrameSize(E.Bytes.size(), E.FrameSeq));
+      else if (Plan->corruptFrame(E.FrameSeq))
+        Plan->mangleFrameBytes(E.Bytes, E.FrameSeq);
+    }
+    bool Dup = Plan && Plan->duplicateFrame(E.FrameSeq);
+    S.Wire.push_back(std::move(E));
+    if (Dup)
+      S.Wire.push_back(S.Wire.back());
+  }
+  if (Plan) {
+    // Adjacent swaps keyed on wire position; a swapped pair is skipped
+    // so swap chains never overlap (the resequencer's one-frame hold
+    // is then always sufficient for reorder-only streams).
+    for (size_t I = 0; I + 1 < S.Wire.size(); ++I)
+      if (Plan->reorderFrame(I)) {
+        std::swap(S.Wire[I], S.Wire[I + 1]);
+        ++I;
+      }
+  }
+  S.R.FramesSent = S.Wire.size();
+}
+
+/// Consumer-side stream assembly: resequencing, duplicate drop, gap
+/// accounting, budget enforcement.
+struct Assembly {
+  explicit Assembly(const isa::Program &P, uint64_t Budget)
+      : Trace(P), Ledger(Budget) {}
+
+  trace::ProgramTrace Trace;
+  shadow::BudgetLedger Ledger;
+  uint64_t LastSeq = 0;
+  uint32_t NextFrame = 0;
+  bool HelloSeen = false;
+  bool EndSeen = false;
+  uint64_t EndTotal = 0;
+  std::optional<DecodedFrame> Held;
+  /// Set when an otherwise well-formed frame breaks the cross-frame
+  /// event order (checked at ingest time, after the resequencer has
+  /// dropped duplicates — a duplicate legitimately replays old
+  /// sequence numbers and must not poison the session).
+  std::optional<std::string> SeqReject;
+};
+
+/// Ingests one in-order frame and advances the expected sequence.
+void ingestFrame(const DecodedFrame &F, Assembly &A, SessionReport &R,
+                 shadow::Table<uint8_t> &Seen) {
+  switch (F.Op) {
+  case Opcode::Hello:
+    A.HelloSeen = true;
+    A.NextFrame = F.FrameSeq + 1;
+    break;
+  case Opcode::Events:
+    if (!F.Events.empty() && F.Events.front().Seq < A.LastSeq && !A.SeqReject)
+      A.SeqReject = support::formatString(
+          "frame %u first seq %llu precedes stream seq %llu", F.FrameSeq,
+          static_cast<unsigned long long>(F.Events.front().Seq),
+          static_cast<unsigned long long>(A.LastSeq));
+    if (A.SeqReject) {
+      A.NextFrame = F.FrameSeq + 1;
+      break;
+    }
+    for (const trace::TraceEvent &E : F.Events) {
+      ++R.EventsIngested;
+      if (A.Ledger.overBudget(A.Trace.size())) {
+        ++R.EventsBudgetDropped;
+        A.Ledger.recordEviction();
+      } else {
+        A.Trace.appendUnchecked(E);
+        if (E.isMemory())
+          Seen.touch(E.Address) = 1;
+      }
+      A.LastSeq = E.Seq;
+    }
+    A.NextFrame = F.FrameSeq + 1;
+    break;
+  case Opcode::Shed:
+    // Producer-side counters already account for the shed events; the
+    // marker's job here is to advance the expected sequence so the gap
+    // is explained rather than counted lost.
+    A.NextFrame = std::max(A.NextFrame, F.FrameSeq + F.ShedSpanFrames);
+    break;
+  case Opcode::End:
+    A.EndSeen = true;
+    A.EndTotal = F.EndTotalEvents;
+    A.NextFrame = F.FrameSeq + 1;
+    break;
+  }
+}
+
+/// Resequencer: in-order frames ingest immediately; one out-of-order
+/// frame is held; a second forces an ascending flush with the gap
+/// recorded as lost. Duplicates (sequence already passed) drop.
+void admitDecoded(DecodedFrame &&F, Assembly &A, SessionReport &R,
+                  shadow::Table<uint8_t> &Seen) {
+  uint32_t EndSeq = F.Op == Opcode::Shed
+                        ? F.FrameSeq + std::max<uint32_t>(F.ShedSpanFrames, 1)
+                        : F.FrameSeq + 1;
+  if (EndSeq <= A.NextFrame) {
+    ++R.FramesDuplicated;
+    return;
+  }
+  if (F.FrameSeq > A.NextFrame) {
+    if (!A.Held) {
+      A.Held.emplace(std::move(F));
+      ++R.FramesReordered;
+      return;
+    }
+    // Two frames waiting: flush the earlier one, accounting the skip.
+    DecodedFrame First = std::move(*A.Held);
+    A.Held.reset();
+    if (First.FrameSeq > F.FrameSeq)
+      std::swap(First, F);
+    if (First.FrameSeq > A.NextFrame)
+      R.FramesLost += First.FrameSeq - A.NextFrame;
+    ingestFrame(First, A, R, Seen);
+    admitDecoded(std::move(F), A, R, Seen);
+    return;
+  }
+  ingestFrame(F, A, R, Seen);
+  if (A.Held && A.Held->FrameSeq <= A.NextFrame) {
+    DecodedFrame Next = std::move(*A.Held);
+    A.Held.reset();
+    admitDecoded(std::move(Next), A, R, Seen);
+  }
+}
+
+/// One admission attempt: the full producer/consumer event loop over a
+/// virtual tick clock. Throws fault::InjectedCrash (injected shard
+/// crash) or WatchdogTrip; the quarantine loop around it contains both.
+void runAttempt(SessionState &S, const ServeConfig &Cfg, uint32_t Attempt,
+                Assembly &A, shadow::Table<uint8_t> &Seen,
+                uint64_t &AttemptTicks) {
+  SessionReport &R = S.R;
+  const fault::FaultPlan *Plan =
+      S.Plan && S.Plan->perturbsFrames() ? &*S.Plan : nullptr;
+  const FrameCodec Codec(S.In->Work->Program, S.In->SessionId);
+
+  size_t RingCap = 2;
+  while (RingCap < Cfg.RingCapacity)
+    RingCap <<= 1;
+  SpscRing<std::vector<uint8_t>> Ring(RingCap);
+  support::Xoshiro256 Jitter(Cfg.ServeSeed ^
+                             (0x9e3779b97f4a7c15ULL *
+                              (S.In->SessionId + 1)));
+
+  size_t Cursor = 0;
+  uint64_t Tick = 0;
+  uint64_t BackoffUntil = 0;
+  uint32_t BackoffExp = 0;
+  uint32_t ConsecutiveBlocks = 0;
+  uint64_t ConsumerStall = 0;
+  uint64_t DeliveredPos = 0;
+  bool Poisoned = R.Outcome == SessionOutcome::Poisoned;
+  uint32_t DrainPerTick = std::max<uint32_t>(Cfg.DrainPerTick, 1);
+  uint32_t PushPerTick = std::max<uint32_t>(Cfg.PushPerTick, 1);
+  uint32_t EpochFrames = std::max<uint32_t>(Cfg.EpochFrames, 1);
+
+  auto ShedOldestEpoch = [&]() {
+    // Find the oldest un-pushed Events frame and drop its whole epoch
+    // behind an explicit Shed marker (never silent).
+    size_t B = Cursor;
+    while (B < S.Wire.size() && S.Wire[B].Op != Opcode::Events)
+      ++B;
+    if (B == S.Wire.size())
+      return;
+    uint32_t Epoch = S.Wire[B].FrameSeq / EpochFrames;
+    std::map<uint32_t, uint64_t> Unique; // FrameSeq -> event count
+    size_t E = B;
+    while (E < S.Wire.size() && S.Wire[E].Op == Opcode::Events &&
+           S.Wire[E].FrameSeq / EpochFrames == Epoch) {
+      Unique[S.Wire[E].FrameSeq] = S.Wire[E].EventCount;
+      ++E;
+    }
+    uint32_t MinSeq = Unique.begin()->first;
+    uint32_t MaxSeq = Unique.rbegin()->first;
+    uint64_t Dropped = 0;
+    for (const auto &[Seq, N] : Unique)
+      Dropped += N;
+    uint32_t Span = MaxSeq - MinSeq + 1;
+    WireEntry Marker{Codec.encodeShed(MinSeq, Span, Epoch, Dropped),
+                     Opcode::Shed, MinSeq, 0};
+    S.Wire.erase(S.Wire.begin() + B, S.Wire.begin() + E);
+    S.Wire.insert(S.Wire.begin() + B, std::move(Marker));
+    R.FramesShed += Span;
+    R.EventsShed += Dropped;
+    A.Ledger.recordEviction();
+    ConsecutiveBlocks = 0;
+  };
+
+  while (Cursor < S.Wire.size() || !Ring.empty()) {
+    ++Tick;
+    ++AttemptTicks;
+    ++R.Ticks;
+    if (AttemptTicks > Cfg.SessionTickDeadline)
+      throw WatchdogTrip{AttemptTicks};
+
+    // Producer phase: push frames unless backing off.
+    if (Tick >= BackoffUntil) {
+      for (uint32_t P = 0; P < PushPerTick && Cursor < S.Wire.size(); ++P) {
+        std::vector<uint8_t> Copy = S.Wire[Cursor].Bytes;
+        if (Ring.tryPush(std::move(Copy))) {
+          ++Cursor;
+          ConsecutiveBlocks = 0;
+          BackoffExp = 0;
+        } else {
+          // WouldBlock: jittered exponential backoff, then overload
+          // policy once the blocks pile up.
+          ++R.BackoffWaits;
+          ++ConsecutiveBlocks;
+          uint64_t Base = static_cast<uint64_t>(
+                              std::max<uint32_t>(Cfg.BackoffBaseTicks, 1))
+                          << std::min(BackoffExp, Cfg.BackoffMaxExp);
+          uint64_t Wait = Base + Jitter.nextBelow(Base + 1);
+          ++BackoffExp;
+          BackoffUntil = Tick + Wait;
+          R.BackoffTicks += Wait;
+          if (ConsecutiveBlocks >= std::max<uint32_t>(Cfg.ShedAfterBackoffs,
+                                                      1))
+            ShedOldestEpoch();
+          break;
+        }
+      }
+    }
+
+    // Consumer phase: drain unless stalled by a slow downstream.
+    if (ConsumerStall > 0) {
+      --ConsumerStall;
+      ++R.StallTicks;
+      continue;
+    }
+    for (uint32_t D = 0; D < DrainPerTick; ++D) {
+      std::vector<uint8_t> Frame;
+      if (!Ring.tryPop(Frame))
+        break;
+      uint64_t Pos = DeliveredPos++;
+      ++R.FramesDelivered;
+      if (Plan && Plan->crashShard(Pos, Attempt))
+        throw fault::InjectedCrash(support::formatString(
+            "injected shard crash at frame %llu (attempt %u)",
+            static_cast<unsigned long long>(Pos), Attempt));
+      if (Plan && Plan->stallFrame(Pos))
+        ConsumerStall += Plan->frameStallTicks();
+      if (Poisoned)
+        continue; // drain-and-drop; the stream is already untrusted
+      DecodedFrame Decoded;
+      // Intra-frame validation happens here (MinSeq 0); cross-frame
+      // order is enforced at ingest time, after duplicate frames have
+      // been dropped (a duplicate legitimately replays old sequences).
+      DecodeResult DR = Codec.decode(Frame, /*MinSeq=*/0, Decoded);
+      if (!DR.Ok) {
+        ++R.FramesRejected;
+        ++R.Rejects[static_cast<size_t>(DR.Why)];
+        Poisoned = true;
+        R.Outcome = worseOutcome(R.Outcome, SessionOutcome::Poisoned);
+        if (R.Diagnostic.empty())
+          R.Diagnostic = support::formatString(
+              "frame %llu rejected (%s): %s",
+              static_cast<unsigned long long>(Pos), rejectName(DR.Why),
+              DR.Detail.c_str());
+        continue;
+      }
+      admitDecoded(std::move(Decoded), A, R, Seen);
+      if (A.SeqReject) {
+        ++R.FramesRejected;
+        ++R.Rejects[static_cast<size_t>(Reject::NonMonotonicSeq)];
+        Poisoned = true;
+        R.Outcome = worseOutcome(R.Outcome, SessionOutcome::Poisoned);
+        if (R.Diagnostic.empty())
+          R.Diagnostic = support::formatString(
+              "frame %llu rejected (%s): %s",
+              static_cast<unsigned long long>(Pos),
+              rejectName(Reject::NonMonotonicSeq), A.SeqReject->c_str());
+      }
+    }
+  }
+  // A frame still held once the stream drains means its predecessor
+  // never arrived: flush it with the gap on the books.
+  if (A.Held) {
+    DecodedFrame Last = std::move(*A.Held);
+    A.Held.reset();
+    if (Last.FrameSeq > A.NextFrame)
+      R.FramesLost += Last.FrameSeq - A.NextFrame;
+    ingestFrame(Last, A, R, Seen);
+    if (A.SeqReject && R.Outcome != SessionOutcome::Poisoned) {
+      ++R.FramesRejected;
+      ++R.Rejects[static_cast<size_t>(Reject::NonMonotonicSeq)];
+      R.Outcome = worseOutcome(R.Outcome, SessionOutcome::Poisoned);
+      if (R.Diagnostic.empty())
+        R.Diagnostic = support::formatString(
+            "held frame rejected (%s): %s",
+            rejectName(Reject::NonMonotonicSeq), A.SeqReject->c_str());
+    }
+  }
+}
+
+/// Runs one session end to end: produce, stream through the ring with
+/// quarantine containment, detect, classify. Never throws.
+void runSession(SessionState &S, const ServeConfig &Cfg,
+                shadow::Table<uint8_t> &Seen) {
+  SessionReport &R = S.R;
+  try {
+    produceTrace(S);
+    if (S.ProducerCrashed)
+      return;
+    buildWire(S, Cfg);
+
+    // Consumer-side stream accounting is scoped to the attempt that
+    // finally drains the wire: an aborted admission's partial counts
+    // would double-book events the re-admission ingests again (the
+    // wire replays from the start). Producer-side shed counters are
+    // exempt — the shed wire mutations persist across re-admissions by
+    // design, and their counts stay authoritative.
+    struct StreamCounters {
+      uint64_t FramesDelivered, FramesRejected, FramesDuplicated,
+          FramesReordered, FramesLost, EventsIngested, EventsBudgetDropped;
+      std::array<uint64_t, RejectCount> Rejects;
+      SessionOutcome Outcome;
+      std::string Diagnostic;
+    };
+    auto Snapshot = [&R] {
+      return StreamCounters{R.FramesDelivered,  R.FramesRejected,
+                            R.FramesDuplicated, R.FramesReordered,
+                            R.FramesLost,       R.EventsIngested,
+                            R.EventsBudgetDropped, R.Rejects,
+                            R.Outcome,          R.Diagnostic};
+    };
+    auto Restore = [&R](const StreamCounters &C) {
+      R.FramesDelivered = C.FramesDelivered;
+      R.FramesRejected = C.FramesRejected;
+      R.FramesDuplicated = C.FramesDuplicated;
+      R.FramesReordered = C.FramesReordered;
+      R.FramesLost = C.FramesLost;
+      R.EventsIngested = C.EventsIngested;
+      R.EventsBudgetDropped = C.EventsBudgetDropped;
+      R.Rejects = C.Rejects;
+      R.Outcome = C.Outcome;
+      R.Diagnostic = C.Diagnostic;
+    };
+
+    std::optional<Assembly> A;
+    for (uint32_t Attempt = 1;; ++Attempt) {
+      StreamCounters Snap = Snapshot();
+      A.emplace(S.In->Work->Program, Cfg.TenantEventBudget);
+      uint64_t AttemptTicks = 0;
+      try {
+        runAttempt(S, Cfg, Attempt, *A, Seen, AttemptTicks);
+        break; // stream fully drained
+      } catch (const fault::InjectedCrash &E) {
+        Restore(Snap);
+        ++R.Quarantines;
+        if (Attempt > Cfg.RetryBudget) {
+          R.Outcome = SessionOutcome::Failed;
+          R.Diagnostic = support::formatString(
+              "quarantine retry budget exhausted after %u attempts: %s",
+              Attempt, E.what());
+          return;
+        }
+        R.Ticks += static_cast<uint64_t>(
+                       std::max<uint32_t>(Cfg.QuarantineBaseTicks, 1))
+                   << (Attempt - 1);
+        ++R.Readmissions;
+      } catch (const WatchdogTrip &W) {
+        Restore(Snap);
+        ++R.Quarantines;
+        if (Attempt > Cfg.RetryBudget) {
+          R.Outcome = SessionOutcome::Failed;
+          R.Diagnostic = support::formatString(
+              "quarantine retry budget exhausted after %u attempts: "
+              "watchdog tripped at %llu ticks",
+              Attempt, static_cast<unsigned long long>(W.Ticks));
+          return;
+        }
+        R.Ticks += static_cast<uint64_t>(
+                       std::max<uint32_t>(Cfg.QuarantineBaseTicks, 1))
+                   << (Attempt - 1);
+        ++R.Readmissions;
+      }
+    }
+
+    if (R.Outcome == SessionOutcome::Poisoned) {
+      // The stream is untrusted past the first malformed frame; the
+      // session is contained, counted, and reported without analysis.
+      return;
+    }
+    finishDetection(*S.In->Work, A->Trace, R);
+    resolveOutcome(R, A->HelloSeen, A->EndSeen, A->EndTotal);
+  } catch (const std::exception &E) {
+    R.Outcome = SessionOutcome::Failed;
+    R.Diagnostic = std::string("internal error: ") + E.what();
+  } catch (...) {
+    R.Outcome = SessionOutcome::Failed;
+    R.Diagnostic = "internal error: unknown exception";
+  }
+}
+
+} // namespace
+
+ServeReport serve::runServe(const std::vector<SessionInput> &Sessions,
+                            const ServeConfig &Cfg) {
+  uint32_t Shards = std::max<uint32_t>(Cfg.Shards, 1);
+
+  // Canonical session order is the input order; an optional shuffle
+  // permutes only the shard assignment. Session reports are pure
+  // functions of the session alone, so they are invariant under both
+  // the shuffle and the jobs level — shard composition is the only
+  // thing that moves.
+  std::vector<size_t> Order(Sessions.size());
+  for (size_t I = 0; I < Order.size(); ++I)
+    Order[I] = I;
+  if (Cfg.ShuffleSeed != 0) {
+    support::Xoshiro256 Rng(Cfg.ShuffleSeed);
+    for (size_t I = Order.size(); I > 1; --I)
+      std::swap(Order[I - 1], Order[Rng.nextBelow(I)]);
+  }
+
+  struct ShardState {
+    std::vector<size_t> SessionIdx;
+    uint64_t MaxWords = 1;
+  };
+  std::vector<ShardState> Plan(Shards);
+  for (size_t I = 0; I < Order.size(); ++I) {
+    ShardState &SS = Plan[I % Shards];
+    SS.SessionIdx.push_back(Order[I]);
+    SS.MaxWords = std::max<uint64_t>(
+        SS.MaxWords, Sessions[Order[I]].Work->Program.MemoryWords);
+  }
+
+  std::vector<SessionState> States(Sessions.size());
+  for (size_t I = 0; I < Sessions.size(); ++I) {
+    SessionState &S = States[I];
+    S.In = &Sessions[I];
+    S.R.SessionId = Sessions[I].SessionId;
+    S.R.Workload = Sessions[I].Work->Name;
+    S.R.Seed = Sessions[I].Seed;
+    if (Cfg.FaultCfg)
+      S.Plan.emplace(*Cfg.FaultCfg, Sessions[I].Seed);
+  }
+
+  ServeReport Report;
+  Report.Shards.resize(Shards);
+
+  // Shard fan-out: each worker claims whole shards; shard loops touch
+  // only their own sessions and their own shard report, so any jobs
+  // level yields identical results.
+  std::atomic<uint32_t> NextShard{0};
+  auto Worker = [&]() {
+    for (;;) {
+      uint32_t K = NextShard.fetch_add(1);
+      if (K >= Shards)
+        return;
+      ShardState &SS = Plan[K];
+      ShardReport &SR = Report.Shards[K];
+      SR.ShardId = K;
+      shadow::Table<uint8_t> Seen(SS.MaxWords);
+      for (size_t Idx : SS.SessionIdx) {
+        SessionState &S = States[Idx];
+        S.R.Shard = K;
+        runSession(S, Cfg, Seen);
+        SR.Sessions.push_back(S.R.SessionId);
+        SR.FramesDelivered += S.R.FramesDelivered;
+        SR.EventsIngested += S.R.EventsIngested;
+        SR.Quarantines += S.R.Quarantines;
+      }
+      SR.ShadowPages = Seen.pagesAllocated();
+      SR.ShadowBytes = Seen.approxMemoryBytes();
+    }
+  };
+  unsigned Jobs = Cfg.Jobs != 0
+                      ? Cfg.Jobs
+                      : std::max(1u, std::thread::hardware_concurrency());
+  Jobs = std::min<unsigned>(std::max(Jobs, 1u), Shards);
+  if (Jobs <= 1) {
+    Worker();
+  } else {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Jobs);
+    for (unsigned J = 0; J < Jobs; ++J)
+      Threads.emplace_back(Worker);
+    for (std::thread &T : Threads)
+      T.join();
+  }
+
+  Report.Sessions.reserve(States.size());
+  for (SessionState &S : States)
+    Report.Sessions.push_back(std::move(S.R));
+  std::sort(Report.Sessions.begin(), Report.Sessions.end(),
+            [](const SessionReport &A, const SessionReport &B) {
+              return A.SessionId < B.SessionId;
+            });
+
+  if (Cfg.Obs) {
+    // Exported once, after every shard has finished, from one thread —
+    // deterministic regardless of the fan-out.
+    obs::Registry &Reg = *Cfg.Obs;
+    Reg.counter("serve.sessions").add(Report.Sessions.size());
+    Reg.counter("serve.shards").add(Shards);
+    static const char *OutcomeKeys[] = {
+        "serve.sessions_ok", "serve.sessions_degraded",
+        "serve.sessions_shed", "serve.sessions_poisoned",
+        "serve.sessions_failed"};
+    for (uint8_t O = 0; O <= static_cast<uint8_t>(SessionOutcome::Failed);
+         ++O)
+      Reg.counter(OutcomeKeys[O])
+          .add(Report.countOutcome(static_cast<SessionOutcome>(O)));
+    for (const SessionReport &R : Report.Sessions) {
+      Reg.counter("serve.events_streamed").add(R.EventsStreamed);
+      Reg.counter("serve.events_ingested").add(R.EventsIngested);
+      Reg.counter("serve.events_shed").add(R.EventsShed);
+      Reg.counter("serve.events_budget_dropped").add(R.EventsBudgetDropped);
+      Reg.counter("serve.frames_sent").add(R.FramesSent);
+      Reg.counter("serve.frames_delivered").add(R.FramesDelivered);
+      Reg.counter("serve.frames_rejected").add(R.FramesRejected);
+      Reg.counter("serve.frames_duplicated").add(R.FramesDuplicated);
+      Reg.counter("serve.frames_reordered").add(R.FramesReordered);
+      Reg.counter("serve.frames_lost").add(R.FramesLost);
+      Reg.counter("serve.frames_shed").add(R.FramesShed);
+      Reg.counter("serve.backoff_waits").add(R.BackoffWaits);
+      Reg.counter("serve.backoff_ticks").add(R.BackoffTicks);
+      Reg.counter("serve.stall_ticks").add(R.StallTicks);
+      Reg.counter("serve.ticks").add(R.Ticks);
+      Reg.counter("serve.quarantines").add(R.Quarantines);
+      Reg.counter("serve.readmissions").add(R.Readmissions);
+      for (size_t W = 0; W < RejectCount; ++W)
+        if (R.Rejects[W] != 0)
+          Reg.counter(std::string("serve.rejects.") +
+                      rejectName(static_cast<Reject>(W)))
+              .add(R.Rejects[W]);
+    }
+    for (const ShardReport &SR : Report.Shards) {
+      Reg.counter(support::formatString("shadow.shard%u.pages", SR.ShardId))
+          .add(SR.ShadowPages);
+      Reg.counter(support::formatString("shadow.shard%u.bytes", SR.ShardId))
+          .add(SR.ShadowBytes);
+    }
+  }
+  return Report;
+}
+
+SessionReport serve::batchSessionReport(const SessionInput &S,
+                                        const ServeConfig &Cfg) {
+  SessionState State;
+  State.In = &S;
+  State.R.SessionId = S.SessionId;
+  State.R.Workload = S.Work->Name;
+  State.R.Seed = S.Seed;
+  if (Cfg.FaultCfg)
+    State.Plan.emplace(*Cfg.FaultCfg, S.Seed);
+  produceTrace(State);
+  SessionReport R = State.R;
+  if (State.ProducerCrashed)
+    return R;
+  const trace::ProgramTrace &Full = *State.Trace;
+  R.EventsIngested = Full.size();
+  if (Cfg.TenantEventBudget != 0 && Full.size() > Cfg.TenantEventBudget) {
+    // The batch analog of the per-tenant ingestion budget: analyze the
+    // kept prefix and degrade with the same reason string.
+    trace::ProgramTrace Capped(S.Work->Program);
+    for (size_t I = 0; I < Cfg.TenantEventBudget; ++I)
+      Capped.appendUnchecked(Full[I]);
+    R.EventsBudgetDropped = Full.size() - Cfg.TenantEventBudget;
+    finishDetection(*S.Work, Capped, R);
+    R.DetectorDegraded = true;
+    R.DegradedReason = R.DegradedReason.empty()
+                           ? budgetDropReason(R.EventsBudgetDropped)
+                           : R.DegradedReason + "; " +
+                                 budgetDropReason(R.EventsBudgetDropped);
+    R.Outcome = worseOutcome(R.Outcome, SessionOutcome::Degraded);
+    if (R.Diagnostic.empty())
+      R.Diagnostic = R.DegradedReason;
+    return R;
+  }
+  finishDetection(*S.Work, Full, R);
+  if (R.DetectorDegraded) {
+    R.Outcome = worseOutcome(R.Outcome, SessionOutcome::Degraded);
+    if (R.Diagnostic.empty())
+      R.Diagnostic = R.DegradedReason;
+  }
+  return R;
+}
+
+std::vector<fault::FaultPlanConfig> serve::ingestionPlanMatrix() {
+  std::vector<fault::FaultPlanConfig> Plans;
+  {
+    fault::FaultPlanConfig P;
+    P.Name = "baseline";
+    P.PlanSeed = 0;
+    Plans.push_back(P);
+  }
+  {
+    fault::FaultPlanConfig P;
+    P.Name = "frame-corrupt";
+    P.PlanSeed = 0x5e41;
+    P.FrameCorruptRatePerMyriad = 500;
+    Plans.push_back(P);
+  }
+  {
+    fault::FaultPlanConfig P;
+    P.Name = "frame-truncate";
+    P.PlanSeed = 0x5e42;
+    P.FrameTruncateRatePerMyriad = 400;
+    Plans.push_back(P);
+  }
+  {
+    fault::FaultPlanConfig P;
+    P.Name = "frame-duplicate";
+    P.PlanSeed = 0x5e43;
+    P.FrameDuplicateRatePerMyriad = 800;
+    Plans.push_back(P);
+  }
+  {
+    fault::FaultPlanConfig P;
+    P.Name = "frame-reorder";
+    P.PlanSeed = 0x5e44;
+    P.FrameReorderRatePerMyriad = 800;
+    Plans.push_back(P);
+  }
+  {
+    fault::FaultPlanConfig P;
+    P.Name = "frame-stall";
+    P.PlanSeed = 0x5e45;
+    P.FrameStallRatePerMyriad = 600;
+    P.FrameStallTicks = 6;
+    Plans.push_back(P);
+  }
+  {
+    fault::FaultPlanConfig P;
+    P.Name = "shard-crash";
+    P.PlanSeed = 0x5e46;
+    P.ShardCrashRatePerMyriad = 60;
+    Plans.push_back(P);
+  }
+  {
+    fault::FaultPlanConfig P;
+    P.Name = "frame-mangle";
+    P.PlanSeed = 0xf8a3e;
+    P.FrameCorruptRatePerMyriad = 300;
+    P.FrameTruncateRatePerMyriad = 150;
+    P.FrameDuplicateRatePerMyriad = 400;
+    P.FrameReorderRatePerMyriad = 400;
+    P.FrameStallRatePerMyriad = 200;
+    Plans.push_back(P);
+  }
+  return Plans;
+}

@@ -19,6 +19,9 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <vector>
+
 using namespace svd;
 using harness::ParallelRunner;
 using harness::RunnerConfig;
@@ -478,4 +481,150 @@ lb:
   for (size_t I = 1; I < S2.size(); ++I)
     Switches2 += S2[I] != S2[I - 1];
   EXPECT_EQ(Switches2, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Ingestion-stage frame faults (the serve daemon's fault surface)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The pinned ingestion-fault plan: every frame decision below is a
+/// pure function of (PlanSeed 0xABC, SampleSeed 7, frame position).
+fault::FaultPlanConfig framePinConfig() {
+  fault::FaultPlanConfig C;
+  C.Name = "pin";
+  C.PlanSeed = 0xABC;
+  C.FrameCorruptRatePerMyriad = 2500;
+  C.FrameTruncateRatePerMyriad = 2500;
+  C.FrameDuplicateRatePerMyriad = 2500;
+  C.FrameReorderRatePerMyriad = 2500;
+  C.FrameStallRatePerMyriad = 2500;
+  C.ShardCrashRatePerMyriad = 2500;
+  return C;
+}
+
+std::vector<uint64_t> firedBelow(uint64_t N,
+                                 const std::function<bool(uint64_t)> &Fn) {
+  std::vector<uint64_t> Out;
+  for (uint64_t I = 0; I < N; ++I)
+    if (Fn(I))
+      Out.push_back(I);
+  return Out;
+}
+
+} // namespace
+
+TEST(FrameFaults, DecisionsArePureFunctionsOfSeeds) {
+  fault::FaultPlanConfig C = framePinConfig();
+  fault::FaultPlan A(C, 7), B(C, 7), Other(C, 8);
+  ASSERT_TRUE(A.perturbsFrames());
+  size_t Differences = 0, Fires = 0;
+  for (uint64_t Pos = 0; Pos < 2000; ++Pos) {
+    ASSERT_EQ(A.corruptFrame(Pos), B.corruptFrame(Pos));
+    ASSERT_EQ(A.truncateFrame(Pos), B.truncateFrame(Pos));
+    ASSERT_EQ(A.duplicateFrame(Pos), B.duplicateFrame(Pos));
+    ASSERT_EQ(A.reorderFrame(Pos), B.reorderFrame(Pos));
+    ASSERT_EQ(A.stallFrame(Pos), B.stallFrame(Pos));
+    ASSERT_EQ(A.crashShard(Pos, 1), B.crashShard(Pos, 1));
+    // Re-asking repeats the answer — no hidden PRNG state, which is
+    // what lets a quarantined session replay its wire stream.
+    ASSERT_EQ(A.corruptFrame(Pos), A.corruptFrame(Pos));
+    Fires += A.corruptFrame(Pos);
+    Differences += A.corruptFrame(Pos) != Other.corruptFrame(Pos);
+  }
+  EXPECT_GT(Fires, 300u);
+  EXPECT_LT(Fires, 700u);
+  EXPECT_GT(Differences, 100u);
+
+  // The five frame streams and the crash stream are decorrelated: a
+  // position firing in one says nothing about the others.
+  EXPECT_NE(firedBelow(256, [&](uint64_t I) { return A.corruptFrame(I); }),
+            firedBelow(256, [&](uint64_t I) { return A.truncateFrame(I); }));
+  EXPECT_NE(firedBelow(256, [&](uint64_t I) { return A.duplicateFrame(I); }),
+            firedBelow(256, [&](uint64_t I) { return A.reorderFrame(I); }));
+  EXPECT_NE(firedBelow(256, [&](uint64_t I) { return A.stallFrame(I); }),
+            firedBelow(256, [&](uint64_t I) { return A.crashShard(I, 1); }));
+}
+
+TEST(FrameFaults, DecisionPins) {
+  // Golden decisions: any change to the mixing breaks recorded serve
+  // goldens and chaos reports, so the exact positions are pinned.
+  fault::FaultPlan P(framePinConfig(), 7);
+  using V = std::vector<uint64_t>;
+  EXPECT_EQ(firedBelow(32, [&](uint64_t I) { return P.corruptFrame(I); }),
+            (V{0, 1, 3, 6, 11, 18, 22, 24, 29}));
+  EXPECT_EQ(firedBelow(32, [&](uint64_t I) { return P.truncateFrame(I); }),
+            (V{5, 6, 7, 11, 16, 18, 21, 22, 30}));
+  EXPECT_EQ(firedBelow(32, [&](uint64_t I) { return P.duplicateFrame(I); }),
+            (V{1, 2, 3, 19, 21, 27}));
+  EXPECT_EQ(firedBelow(32, [&](uint64_t I) { return P.reorderFrame(I); }),
+            (V{4, 5, 7, 8, 13, 15, 16, 22, 24, 25}));
+  EXPECT_EQ(firedBelow(32, [&](uint64_t I) { return P.stallFrame(I); }),
+            (V{1, 8, 9, 11, 12, 13, 19, 21, 31}));
+}
+
+TEST(FrameFaults, ShardCrashRerollsPerAttempt) {
+  // Crash decisions key on (frame position, attempt): a re-admitted
+  // session is not doomed to crash at the same frame forever.
+  fault::FaultPlan P(framePinConfig(), 7);
+  EXPECT_EQ(firedBelow(32, [&](uint64_t I) { return P.crashShard(I, 1); }),
+            (std::vector<uint64_t>{0, 3, 7, 9, 10, 15, 18, 20, 22, 25}));
+  EXPECT_EQ(firedBelow(32, [&](uint64_t I) { return P.crashShard(I, 2); }),
+            (std::vector<uint64_t>{1, 3, 9, 15, 19, 20, 23, 25, 27, 29, 30,
+                                   31}));
+}
+
+TEST(FrameFaults, MangleIsDeterministicAndBounded) {
+  fault::FaultPlan P(framePinConfig(), 7);
+  std::vector<uint8_t> Orig(16, 0);
+  std::vector<uint8_t> A = Orig, B = Orig;
+  P.mangleFrameBytes(A, 5);
+  P.mangleFrameBytes(B, 5);
+  EXPECT_EQ(A, B); // deterministic per (plan, sample, position)
+  EXPECT_NE(A, Orig);
+  size_t Flipped = 0;
+  for (size_t I = 0; I < A.size(); ++I)
+    Flipped += A[I] != Orig[I];
+  EXPECT_GE(Flipped, 1u);
+  EXPECT_LE(Flipped, 3u);
+  // Pinned mangle: positions and xor masks are part of the contract.
+  EXPECT_EQ(A[2], 27u);
+  EXPECT_EQ(A[6], 23u);
+  EXPECT_EQ(A[15], 167u);
+
+  // Truncation is deterministic and strictly shortens the frame.
+  EXPECT_EQ(P.truncatedFrameSize(100, 3), 16u);
+  EXPECT_EQ(P.truncatedFrameSize(100, 9), 24u);
+  for (uint64_t Pos = 0; Pos < 64; ++Pos)
+    EXPECT_LT(P.truncatedFrameSize(100, Pos), 100u);
+}
+
+TEST(FrameFaults, StallTicksDefaultAndConfig) {
+  fault::FaultPlanConfig C = framePinConfig();
+  fault::FaultPlan Default(C, 7);
+  EXPECT_EQ(Default.frameStallTicks(), 8u);
+  C.FrameStallTicks = 6;
+  fault::FaultPlan Configured(C, 7);
+  EXPECT_EQ(Configured.frameStallTicks(), 6u);
+}
+
+TEST(FrameFaults, DefaultMatrixIncludesFrameMangle) {
+  std::vector<fault::FaultPlanConfig> Six = fault::defaultPlanMatrix(6);
+  ASSERT_EQ(Six.size(), 6u);
+  EXPECT_EQ(Six[5].Name, "frame-mangle");
+  fault::FaultPlan P(Six[5], 1);
+  EXPECT_TRUE(P.perturbsFrames());
+  // describe() names every ingestion fault class it carries.
+  std::string D = Six[5].describe();
+  EXPECT_NE(D.find("frame-corrupt=300/10k"), std::string::npos) << D;
+  EXPECT_NE(D.find("frame-truncate=150/10k"), std::string::npos) << D;
+  EXPECT_NE(D.find("frame-dup=400/10k"), std::string::npos) << D;
+  EXPECT_NE(D.find("frame-reorder=400/10k"), std::string::npos) << D;
+  EXPECT_NE(D.find("frame-stall=200/10k"), std::string::npos) << D;
+  // The five preset plans ahead of it are untouched (their goldens
+  // pin --plans 4/5 runs).
+  std::vector<fault::FaultPlanConfig> Five = fault::defaultPlanMatrix(5);
+  for (size_t I = 0; I < 5; ++I)
+    EXPECT_EQ(Five[I].Name, Six[I].Name);
 }

@@ -1,0 +1,507 @@
+//===- tests/ServeCodecTest.cpp - Negative-path tests for FrameCodec ------===//
+//
+// The serve ingestion gate (serve/Frame.h) treats every frame as
+// untrusted input: a malformed frame must produce exactly one
+// classified Reject — never an exception, never out-of-bounds
+// indexing, never a partial decode. This suite walks every Reject
+// reason with a hand-built or mangled frame, then fuzzes the decoder
+// with the fault layer's wire mutators to pin the never-throws
+// contract.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "fault/Fault.h"
+#include "serve/Frame.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+
+using namespace svd;
+using namespace svd::serve;
+using isa::assembleOrDie;
+using testutil::recordRun;
+
+namespace {
+
+/// The shared-counter workload every frame in this suite carries: one
+/// global, one mutex, two threads — enough to exercise every event
+/// kind and every field validation.
+isa::Program testProgram() {
+  return assembleOrDie(R"(
+.global g
+.lock m
+.thread t x2
+  li r1, 1
+  lock @m
+  ld r2, [@g]
+  add r2, r2, r1
+  st r2, [@g]
+  unlock @m
+  beqz r0, end
+end:
+  halt
+)");
+}
+
+/// A structurally different program (thread count, code size, memory
+/// extent all differ) for fingerprint-mismatch tests.
+isa::Program otherProgram() {
+  return assembleOrDie(R"(
+.global a
+.global b
+.thread t x3
+  ld r1, [@a]
+  st r1, [@b]
+  halt
+)");
+}
+
+/// Test-side twin of the wire checksum (FNV-1a 32 over header bytes
+/// 0..15 then the payload), so header-mutation tests can re-seal a
+/// frame and reach the post-checksum validation stages.
+uint32_t wireChecksum(const std::vector<uint8_t> &B) {
+  uint32_t H = 0x811c9dc5u;
+  for (size_t I = 0; I < 16 && I < B.size(); ++I)
+    H = (H ^ B[I]) * 0x01000193u;
+  for (size_t I = FrameCodec::HeaderBytes; I < B.size(); ++I)
+    H = (H ^ B[I]) * 0x01000193u;
+  return H;
+}
+
+void reseal(std::vector<uint8_t> &B) {
+  ASSERT_GE(B.size(), FrameCodec::HeaderBytes);
+  uint32_t C = wireChecksum(B);
+  B[16] = static_cast<uint8_t>(C);
+  B[17] = static_cast<uint8_t>(C >> 8);
+  B[18] = static_cast<uint8_t>(C >> 16);
+  B[19] = static_cast<uint8_t>(C >> 24);
+}
+
+void put32At(std::vector<uint8_t> &B, size_t Off, uint32_t V) {
+  B[Off] = static_cast<uint8_t>(V);
+  B[Off + 1] = static_cast<uint8_t>(V >> 8);
+  B[Off + 2] = static_cast<uint8_t>(V >> 16);
+  B[Off + 3] = static_cast<uint8_t>(V >> 24);
+}
+
+/// Decodes and asserts the classified reject \p Want with a non-empty
+/// diagnostic. The decode itself must not throw (EXPECT_NO_THROW would
+/// swallow the result, so the call is made directly — an escape would
+/// fail the whole test binary, which is the point).
+void expectReject(const FrameCodec &C, const std::vector<uint8_t> &Bytes,
+                  Reject Want, uint64_t MinSeq = 0) {
+  DecodedFrame Out;
+  DecodeResult R = C.decode(Bytes, MinSeq, Out);
+  EXPECT_FALSE(R.Ok) << "expected " << rejectName(Want);
+  EXPECT_EQ(R.Why, Want) << "got " << rejectName(R.Why) << ": " << R.Detail;
+  EXPECT_FALSE(R.Detail.empty()) << rejectName(Want);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Round trips: well-formed frames of every opcode decode back exactly.
+//===----------------------------------------------------------------------===//
+
+TEST(ServeCodec, HelloRoundTrip) {
+  isa::Program P = testProgram();
+  FrameCodec C(P, 42);
+  DecodedFrame Out;
+  DecodeResult R = C.decode(C.encodeHello(), 0, Out);
+  ASSERT_TRUE(R.Ok) << R.Detail;
+  EXPECT_EQ(Out.Op, Opcode::Hello);
+  EXPECT_EQ(Out.Session, 42u);
+  EXPECT_EQ(Out.FrameSeq, 0u);
+  EXPECT_TRUE(Out.Events.empty());
+}
+
+TEST(ServeCodec, EventsRoundTripPreservesEveryField) {
+  isa::Program P = testProgram();
+  trace::ProgramTrace T = recordRun(P, 5);
+  ASSERT_GT(T.size(), 8u);
+  FrameCodec C(P, 7);
+
+  std::vector<trace::TraceEvent> In;
+  for (size_t I = 0; I < T.size(); ++I)
+    In.push_back(T[I]);
+  std::vector<uint8_t> Bytes = C.encodeEvents(In.data(), In.size(), 3);
+  EXPECT_EQ(Bytes.size(),
+            FrameCodec::HeaderBytes + In.size() * FrameCodec::EventBytes);
+
+  DecodedFrame Out;
+  DecodeResult R = C.decode(Bytes, In.front().Seq, Out);
+  ASSERT_TRUE(R.Ok) << R.Detail;
+  EXPECT_EQ(Out.Op, Opcode::Events);
+  EXPECT_EQ(Out.FrameSeq, 3u);
+  ASSERT_EQ(Out.Events.size(), In.size());
+  for (size_t I = 0; I < In.size(); ++I) {
+    const trace::TraceEvent &A = In[I];
+    const trace::TraceEvent &B = Out.Events[I];
+    EXPECT_EQ(A.Seq, B.Seq) << I;
+    EXPECT_EQ(A.Tid, B.Tid) << I;
+    EXPECT_EQ(A.Pc, B.Pc) << I;
+    EXPECT_EQ(A.Kind, B.Kind) << I;
+    EXPECT_EQ(A.Address, B.Address) << I;
+    EXPECT_EQ(A.Value, B.Value) << I;
+    EXPECT_EQ(A.Taken, B.Taken) << I;
+    EXPECT_EQ(A.Target, B.Target) << I;
+    EXPECT_EQ(A.MutexId, B.MutexId) << I;
+    // The decoder re-resolves the Instr pointer against its own
+    // program — decoded events are safe to hand to any analysis pass.
+    EXPECT_EQ(B.Instr, &P.Threads[A.Tid].Code[A.Pc]) << I;
+  }
+}
+
+TEST(ServeCodec, ShedAndEndRoundTrip) {
+  isa::Program P = testProgram();
+  FrameCodec C(P, 9);
+  DecodedFrame Out;
+
+  DecodeResult R = C.decode(C.encodeShed(11, 4, 2, 1000), 0, Out);
+  ASSERT_TRUE(R.Ok) << R.Detail;
+  EXPECT_EQ(Out.Op, Opcode::Shed);
+  EXPECT_EQ(Out.FrameSeq, 11u);
+  EXPECT_EQ(Out.ShedSpanFrames, 4u);
+  EXPECT_EQ(Out.ShedEpoch, 2u);
+  EXPECT_EQ(Out.ShedDroppedEvents, 1000u);
+
+  R = C.decode(C.encodeEnd(12, 123456789ull), 0, Out);
+  ASSERT_TRUE(R.Ok) << R.Detail;
+  EXPECT_EQ(Out.Op, Opcode::End);
+  EXPECT_EQ(Out.EndTotalEvents, 123456789ull);
+}
+
+TEST(ServeCodec, DecodeIsDeterministic) {
+  isa::Program P = testProgram();
+  trace::ProgramTrace T = recordRun(P, 5);
+  FrameCodec C(P, 7);
+  std::vector<trace::TraceEvent> In;
+  for (size_t I = 0; I < 4; ++I)
+    In.push_back(T[I]);
+  std::vector<uint8_t> Bytes = C.encodeEvents(In.data(), In.size(), 1);
+  Bytes[25] ^= 0x40; // any flip: both decodes must classify identically
+
+  DecodedFrame O1, O2;
+  DecodeResult R1 = C.decode(Bytes, 0, O1);
+  DecodeResult R2 = C.decode(Bytes, 0, O2);
+  EXPECT_EQ(R1.Ok, R2.Ok);
+  EXPECT_EQ(R1.Why, R2.Why);
+  EXPECT_EQ(R1.Detail, R2.Detail);
+}
+
+//===----------------------------------------------------------------------===//
+// One classified reject per reason. Header-level rejects fire before
+// the checksum, so plain byte mutation reaches them; post-checksum
+// rejects are reached by encoding crafted-invalid inputs (the encoder
+// does not validate) or by re-sealing a mutated frame.
+//===----------------------------------------------------------------------===//
+
+TEST(ServeCodec, RejectNamesAreStableKebabCase) {
+  for (size_t I = 0; I < RejectCount; ++I) {
+    const char *N = rejectName(static_cast<Reject>(I));
+    ASSERT_NE(N, nullptr);
+    EXPECT_GT(std::strlen(N), 0u);
+    EXPECT_STRNE(N, "unknown") << I;
+    for (const char *P = N; *P; ++P)
+      EXPECT_TRUE((std::islower(static_cast<unsigned char>(*P)) != 0) ||
+                  *P == '-')
+          << N;
+  }
+  EXPECT_STREQ(rejectName(Reject::TruncatedHeader), "truncated-header");
+  EXPECT_STREQ(rejectName(Reject::BadChecksum), "bad-checksum");
+  EXPECT_STREQ(rejectName(Reject::NonMonotonicSeq), "non-monotonic-seq");
+}
+
+TEST(ServeCodec, RejectsTruncatedHeader) {
+  isa::Program P = testProgram();
+  FrameCodec C(P, 1);
+  std::vector<uint8_t> Full = C.encodeEnd(0, 0);
+  // Every proper prefix of the header — including the empty buffer —
+  // is a mid-header EOF.
+  for (size_t Keep = 0; Keep < FrameCodec::HeaderBytes; ++Keep) {
+    std::vector<uint8_t> Cut(Full.begin(), Full.begin() + Keep);
+    expectReject(C, Cut, Reject::TruncatedHeader);
+  }
+}
+
+TEST(ServeCodec, RejectsBadMagic) {
+  isa::Program P = testProgram();
+  FrameCodec C(P, 1);
+  std::vector<uint8_t> B = C.encodeEnd(0, 0);
+  B[0] = 'X';
+  expectReject(C, B, Reject::BadMagic);
+  B[0] = FrameCodec::Magic0;
+  B[1] = '?';
+  expectReject(C, B, Reject::BadMagic);
+}
+
+TEST(ServeCodec, RejectsBadVersion) {
+  isa::Program P = testProgram();
+  FrameCodec C(P, 1);
+  std::vector<uint8_t> B = C.encodeEnd(0, 0);
+  B[2] = FrameCodec::Version + 1;
+  expectReject(C, B, Reject::BadVersion);
+}
+
+TEST(ServeCodec, RejectsBadOpcode) {
+  isa::Program P = testProgram();
+  FrameCodec C(P, 1);
+  std::vector<uint8_t> B = C.encodeEnd(0, 0);
+  B[3] = 0; // below Hello
+  expectReject(C, B, Reject::BadOpcode);
+  B[3] = 5; // past End
+  expectReject(C, B, Reject::BadOpcode);
+  B[3] = 0xff;
+  expectReject(C, B, Reject::BadOpcode);
+}
+
+TEST(ServeCodec, RejectsUnknownSession) {
+  isa::Program P = testProgram();
+  FrameCodec Mine(P, 3);
+  FrameCodec Theirs(P, 7);
+  // A frame from session 7 arriving at session 3's gate: classified,
+  // not cross-wired into the wrong detector state.
+  expectReject(Mine, Theirs.encodeEnd(0, 0), Reject::BadSession);
+}
+
+TEST(ServeCodec, RejectsOverflowingLengthPrefix) {
+  isa::Program P = testProgram();
+  FrameCodec C(P, 1);
+  std::vector<uint8_t> B = C.encodeEnd(0, 0);
+  // The classic hostile length prefix: far larger than any buffer the
+  // gate would ever allocate. Rejected on the prefix alone — before
+  // the buffer comparison, before the checksum, before any allocation.
+  put32At(B, 12, 0xffffffffu);
+  expectReject(C, B, Reject::LengthOverflow);
+  put32At(B, 12, static_cast<uint32_t>(FrameCodec::MaxPayloadBytes) + 1);
+  expectReject(C, B, Reject::LengthOverflow);
+}
+
+TEST(ServeCodec, RejectsMidFramePayloadEof) {
+  isa::Program P = testProgram();
+  trace::ProgramTrace T = recordRun(P);
+  FrameCodec C(P, 1);
+  std::vector<trace::TraceEvent> In;
+  for (size_t I = 0; I < 3; ++I)
+    In.push_back(T[I]);
+  std::vector<uint8_t> Full = C.encodeEvents(In.data(), In.size(), 0);
+  // Cut anywhere inside the payload: header parses, payload_len says
+  // more bytes than follow.
+  for (size_t Keep : {FrameCodec::HeaderBytes, FrameCodec::HeaderBytes + 1,
+                      Full.size() - FrameCodec::EventBytes, Full.size() - 1}) {
+    std::vector<uint8_t> Cut(Full.begin(), Full.begin() + Keep);
+    expectReject(C, Cut, Reject::TruncatedPayload);
+  }
+}
+
+TEST(ServeCodec, RejectsTrailingBytes) {
+  isa::Program P = testProgram();
+  FrameCodec C(P, 1);
+  std::vector<uint8_t> B = C.encodeShed(0, 1, 0, 10);
+  B.push_back(0xee);
+  expectReject(C, B, Reject::TrailingBytes);
+}
+
+TEST(ServeCodec, RejectsAnySingleBitFlip) {
+  isa::Program P = testProgram();
+  trace::ProgramTrace T = recordRun(P);
+  FrameCodec C(P, 1);
+  std::vector<trace::TraceEvent> In;
+  for (size_t I = 0; I < 2; ++I)
+    In.push_back(T[I]);
+  const std::vector<uint8_t> Orig = C.encodeEvents(In.data(), In.size(), 0);
+
+  // Flip one bit at every byte position past the already-tested
+  // magic/version/opcode prefix. Fields no validation pass would
+  // otherwise look at (FrameSeq, an event's Value) still downgrade to
+  // a classified reject — that is what the checksum buys.
+  for (size_t Pos = 4; Pos < Orig.size(); ++Pos) {
+    std::vector<uint8_t> B = Orig;
+    B[Pos] ^= 0x10;
+    DecodedFrame Out;
+    DecodeResult R = C.decode(B, 0, Out);
+    EXPECT_FALSE(R.Ok) << "flip at byte " << Pos << " went undetected";
+    EXPECT_FALSE(R.Detail.empty());
+  }
+
+  // And the Value-field flip specifically classifies as BadChecksum.
+  std::vector<uint8_t> B = Orig;
+  B[FrameCodec::HeaderBytes + 21] ^= 0x01; // first event's Value
+  expectReject(C, B, Reject::BadChecksum);
+}
+
+TEST(ServeCodec, RejectsBadPayloadShape) {
+  isa::Program P = testProgram();
+  FrameCodec C(P, 1);
+
+  // A shed marker spanning zero frames is shape-invalid even though
+  // the bytes are well-formed.
+  expectReject(C, C.encodeShed(0, /*SpanFrames=*/0, 0, 5),
+               Reject::BadPayloadShape);
+
+  // An events payload that is not a whole number of records: extend a
+  // sealed empty events frame by one declared byte and re-seal so the
+  // shape check (post-checksum) is the stage that fires.
+  std::vector<uint8_t> B = C.encodeEvents(nullptr, 0, 0);
+  B.push_back(0);
+  put32At(B, 12, 1);
+  reseal(B);
+  expectReject(C, B, Reject::BadPayloadShape);
+
+  // A hello payload of the wrong size, same technique.
+  std::vector<uint8_t> H = C.encodeHello();
+  H.pop_back();
+  put32At(H, 12, static_cast<uint32_t>(H.size() - FrameCodec::HeaderBytes));
+  reseal(H);
+  expectReject(C, H, Reject::BadPayloadShape);
+}
+
+TEST(ServeCodec, RejectsProgramFingerprintMismatch) {
+  isa::Program Mine = testProgram();
+  isa::Program Theirs = otherProgram();
+  FrameCodec Gate(Mine, 1);
+  FrameCodec Client(Theirs, 1);
+  // A client streaming a different build of the program: the Hello
+  // fingerprint (threads/words/mutexes/instructions) gives it away
+  // before a single event frame is accepted.
+  expectReject(Gate, Client.encodeHello(), Reject::ProgramMismatch);
+}
+
+TEST(ServeCodec, RejectsInvalidEventFields) {
+  isa::Program P = testProgram();
+  trace::ProgramTrace T = recordRun(P);
+  FrameCodec C(P, 1);
+  trace::TraceEvent Good = T[0];
+
+  // Each crafted event goes through the real encoder, so the checksum
+  // is valid and the per-field validation stage is what rejects it.
+  auto Encoded = [&C](trace::TraceEvent E) {
+    return C.encodeEvents(&E, 1, 0);
+  };
+
+  trace::TraceEvent E = Good;
+  E.Kind = static_cast<trace::EventKind>(200);
+  expectReject(C, Encoded(E), Reject::BadEventKind);
+
+  E = Good;
+  E.Tid = P.numThreads() + 5;
+  expectReject(C, Encoded(E), Reject::BadThread);
+
+  E = Good;
+  E.Pc = static_cast<uint32_t>(P.Threads[Good.Tid].Code.size()) + 100;
+  expectReject(C, Encoded(E), Reject::BadPc);
+
+  E = Good;
+  E.Kind = trace::EventKind::Store;
+  E.Address = P.MemoryWords + 17;
+  expectReject(C, Encoded(E), Reject::BadAddress);
+
+  // A non-memory event's Address field is not indexed, so it is not
+  // range-checked — only Load/Store reach shadow memory.
+  E.Kind = trace::EventKind::Alu;
+  {
+    DecodedFrame Out;
+    EXPECT_TRUE(C.decode(Encoded(E), 0, Out).Ok);
+  }
+
+  E = Good;
+  E.Kind = trace::EventKind::Lock;
+  E.MutexId = static_cast<uint32_t>(P.Mutexes.size()) + 2;
+  expectReject(C, Encoded(E), Reject::BadMutex);
+}
+
+TEST(ServeCodec, RejectsNonMonotonicSeq) {
+  isa::Program P = testProgram();
+  trace::ProgramTrace T = recordRun(P);
+  FrameCodec C(P, 1);
+
+  // Within one frame: a later record with an earlier Seq.
+  trace::TraceEvent Two[2] = {T[0], T[1]};
+  Two[0].Seq = 10;
+  Two[1].Seq = 5;
+  expectReject(C, C.encodeEvents(Two, 2, 0), Reject::NonMonotonicSeq);
+
+  // Across frames: the first record precedes the session's MinSeq
+  // watermark (a replayed or rewound stream).
+  trace::TraceEvent One = T[0];
+  One.Seq = 4;
+  expectReject(C, C.encodeEvents(&One, 1, 0), Reject::NonMonotonicSeq,
+               /*MinSeq=*/5);
+  DecodedFrame Out;
+  EXPECT_TRUE(C.decode(C.encodeEvents(&One, 1, 0), /*MinSeq=*/4, Out).Ok);
+}
+
+//===----------------------------------------------------------------------===//
+// Fuzz: the fault layer's wire mutators against every opcode. Whatever
+// they produce, decode classifies — it never throws and a detected
+// mutation never decodes Ok.
+//===----------------------------------------------------------------------===//
+
+TEST(ServeCodec, MangledFramesAlwaysClassifyNeverThrow) {
+  isa::Program P = testProgram();
+  trace::ProgramTrace T = recordRun(P, 3);
+  FrameCodec C(P, 6);
+  std::vector<trace::TraceEvent> In;
+  for (size_t I = 0; I < 5 && I < T.size(); ++I)
+    In.push_back(T[I]);
+
+  const std::vector<std::vector<uint8_t>> Frames = {
+      C.encodeHello(),
+      C.encodeEvents(In.data(), In.size(), 1),
+      C.encodeShed(2, 3, 0, 99),
+      C.encodeEnd(3, T.size()),
+  };
+
+  fault::FaultPlanConfig Cfg;
+  Cfg.PlanSeed = 0x5e41;
+  Cfg.FrameCorruptRatePerMyriad = 10000;
+  fault::FaultPlan Plan(Cfg, /*SampleSeed=*/17);
+
+  for (const std::vector<uint8_t> &Orig : Frames) {
+    for (uint64_t Pos = 0; Pos < 64; ++Pos) {
+      std::vector<uint8_t> B = Orig;
+      Plan.mangleFrameBytes(B, Pos);
+      ASSERT_EQ(B.size(), Orig.size());
+      ASSERT_NE(B, Orig) << "mangle must change at least one byte";
+      DecodedFrame Out;
+      DecodeResult R = C.decode(B, 0, Out);
+      // Any flip lands in the checksum's coverage or in the checksum
+      // field itself, so a mangled frame can never decode Ok.
+      EXPECT_FALSE(R.Ok) << "pos " << Pos;
+      EXPECT_LT(static_cast<size_t>(R.Why), RejectCount);
+      EXPECT_FALSE(R.Detail.empty());
+    }
+  }
+}
+
+TEST(ServeCodec, TruncatedDeliveriesAlwaysClassifyNeverThrow) {
+  isa::Program P = testProgram();
+  trace::ProgramTrace T = recordRun(P, 3);
+  FrameCodec C(P, 6);
+  std::vector<trace::TraceEvent> In;
+  for (size_t I = 0; I < 5 && I < T.size(); ++I)
+    In.push_back(T[I]);
+  const std::vector<uint8_t> Orig = C.encodeEvents(In.data(), In.size(), 1);
+
+  fault::FaultPlanConfig Cfg;
+  Cfg.PlanSeed = 0x5e42;
+  Cfg.FrameTruncateRatePerMyriad = 10000;
+  fault::FaultPlan Plan(Cfg, /*SampleSeed=*/17);
+
+  for (uint64_t Pos = 0; Pos < 64; ++Pos) {
+    size_t Keep = Plan.truncatedFrameSize(Orig.size(), Pos);
+    ASSERT_LT(Keep, Orig.size());
+    std::vector<uint8_t> Cut(Orig.begin(), Orig.begin() + Keep);
+    DecodedFrame Out;
+    DecodeResult R = C.decode(Cut, 0, Out);
+    EXPECT_FALSE(R.Ok) << "kept " << Keep;
+    // A cut is a mid-header or mid-payload EOF, nothing else.
+    EXPECT_TRUE(R.Why == Reject::TruncatedHeader ||
+                R.Why == Reject::TruncatedPayload)
+        << rejectName(R.Why);
+    EXPECT_FALSE(R.Detail.empty());
+  }
+}

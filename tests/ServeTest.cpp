@@ -1,0 +1,419 @@
+//===- tests/ServeTest.cpp - Streaming daemon robustness tests ------------===//
+//
+// End-to-end tests of the serve pipeline (serve/Serve.h) against its
+// four contracts: hardened ingestion (malformed frames poison, never
+// abort), backpressure with never-silent shedding, shard crash
+// containment with budgeted re-admission, and deterministic mode —
+// fault-free sessions match the batch pipeline byte-for-byte and the
+// whole report is invariant under --jobs and shard shuffling.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Harness.h"
+#include "obs/Obs.h"
+#include "serve/Serve.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace svd;
+using namespace svd::serve;
+using workloads::Workload;
+using workloads::WorkloadParams;
+
+namespace {
+
+/// A small known-bug workload: fast enough for a unit test, racy
+/// enough that detection produces a non-trivial signature to compare.
+Workload testWorkload() {
+  WorkloadParams P;
+  P.Threads = 3;
+  P.Iterations = 12;
+  P.WorkPadding = 5;
+  P.TouchOneIn = 1;
+  return workloads::apacheLog(P);
+}
+
+/// Builds one session per seed, deriving the machine configuration the
+/// same way every other execution path does (harness::machineConfigFor
+/// — THE seed derivation).
+std::vector<SessionInput> makeSessions(const Workload &W,
+                                       std::initializer_list<uint64_t> Seeds) {
+  std::vector<SessionInput> Sessions;
+  uint32_t Id = 0;
+  for (uint64_t Seed : Seeds) {
+    SessionInput S;
+    S.SessionId = Id++;
+    S.Work = &W;
+    S.Seed = Seed;
+    harness::SampleConfig SC;
+    SC.Seed = Seed;
+    S.Machine = harness::machineConfigFor(SC);
+    Sessions.push_back(S);
+  }
+  return Sessions;
+}
+
+/// Field-by-field equality of two session rows — the deterministic-mode
+/// invariance comparisons need full rows, not just signatures.
+void expectSameSession(const SessionReport &A, const SessionReport &B) {
+  EXPECT_EQ(A.SessionId, B.SessionId);
+  EXPECT_EQ(A.Outcome, B.Outcome) << "session " << A.SessionId;
+  EXPECT_EQ(A.Diagnostic, B.Diagnostic) << "session " << A.SessionId;
+  EXPECT_EQ(A.EventsStreamed, B.EventsStreamed);
+  EXPECT_EQ(A.FramesSent, B.FramesSent);
+  EXPECT_EQ(A.FramesDelivered, B.FramesDelivered);
+  EXPECT_EQ(A.FramesRejected, B.FramesRejected);
+  EXPECT_EQ(A.FramesDuplicated, B.FramesDuplicated);
+  EXPECT_EQ(A.FramesReordered, B.FramesReordered);
+  EXPECT_EQ(A.FramesLost, B.FramesLost);
+  EXPECT_EQ(A.FramesShed, B.FramesShed);
+  EXPECT_EQ(A.EventsIngested, B.EventsIngested);
+  EXPECT_EQ(A.EventsShed, B.EventsShed);
+  EXPECT_EQ(A.EventsBudgetDropped, B.EventsBudgetDropped);
+  EXPECT_EQ(A.Rejects, B.Rejects);
+  EXPECT_EQ(A.detectionSignature(), B.detectionSignature())
+      << "session " << A.SessionId;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Deterministic mode: fault-free parity with the batch pipeline and
+// with runSample, invariance under jobs and shard shuffling.
+//===----------------------------------------------------------------------===//
+
+TEST(Serve, FaultFreeSessionsAreOkAndMatchBatch) {
+  Workload W = testWorkload();
+  std::vector<SessionInput> Sessions = makeSessions(W, {1, 2, 3});
+  ServeConfig Cfg;
+  ServeReport Rep = runServe(Sessions, Cfg);
+
+  ASSERT_EQ(Rep.Sessions.size(), 3u);
+  for (size_t I = 0; I < Rep.Sessions.size(); ++I) {
+    const SessionReport &S = Rep.Sessions[I];
+    EXPECT_EQ(S.Outcome, SessionOutcome::Ok) << S.Diagnostic;
+    EXPECT_TRUE(S.Diagnostic.empty()) << S.Diagnostic;
+    EXPECT_EQ(S.FramesLost, 0u);
+    EXPECT_EQ(S.EventsIngested, S.EventsStreamed);
+    EXPECT_GT(S.FramesDelivered, 0u);
+    // The tentpole parity invariant: a fault-free streamed session and
+    // the frame-less batch pipeline produce byte-identical detection.
+    SessionReport Batch = batchSessionReport(Sessions[I], Cfg);
+    EXPECT_EQ(S.detectionSignature(), Batch.detectionSignature());
+    // Fault-free ingestion loses nothing — shedding needs overload.
+    EXPECT_EQ(S.EventsShed, 0u);
+  }
+  // Every session appears in exactly one shard.
+  size_t Assigned = 0;
+  for (const ShardReport &Sh : Rep.Shards)
+    Assigned += Sh.Sessions.size();
+  EXPECT_EQ(Assigned, Sessions.size());
+}
+
+TEST(Serve, BatchTwinMatchesRunSampleOffline) {
+  // The batch twin is itself differentially pinned against the harness
+  // sample runner under the offline detector: same seed derivation,
+  // same trace, same detection passes.
+  Workload W = testWorkload();
+  for (uint64_t Seed : {1ull, 5ull}) {
+    std::vector<SessionInput> Sessions = makeSessions(W, {Seed});
+    ServeConfig Cfg;
+    SessionReport B = batchSessionReport(Sessions[0], Cfg);
+
+    harness::SampleConfig SC;
+    SC.Seed = Seed;
+    harness::SampleMetrics M = harness::runSample(W, "offline", SC);
+    EXPECT_EQ(B.Steps, M.Steps) << "seed " << Seed;
+    EXPECT_EQ(B.Manifested, M.Manifested) << "seed " << Seed;
+    EXPECT_EQ(B.DetectedBug, M.DetectedBug) << "seed " << Seed;
+    EXPECT_EQ(B.DynamicReports, M.DynamicReports) << "seed " << Seed;
+    EXPECT_EQ(B.DynamicTrue, M.DynamicTrue) << "seed " << Seed;
+    EXPECT_EQ(B.DynamicFalse, M.DynamicFalse) << "seed " << Seed;
+    EXPECT_EQ(B.StaticReports, M.StaticReports) << "seed " << Seed;
+    EXPECT_EQ(B.StaticTrueKeys, M.StaticTrueKeys) << "seed " << Seed;
+    EXPECT_EQ(B.StaticFalseKeys, M.StaticFalseKeys) << "seed " << Seed;
+  }
+}
+
+TEST(Serve, ReportInvariantUnderJobsAndShuffle) {
+  Workload W = testWorkload();
+  std::vector<SessionInput> Sessions = makeSessions(W, {1, 2, 3, 4});
+  // Run under the combined mangle plan so the invariance claim covers
+  // the interesting (faulted, multi-outcome) paths, not just Ok rows.
+  std::vector<fault::FaultPlanConfig> Plans = ingestionPlanMatrix();
+  const fault::FaultPlanConfig &Mangle = Plans.back();
+  ASSERT_EQ(Mangle.Name, "frame-mangle");
+
+  ServeConfig Base;
+  Base.Shards = 2;
+  Base.FaultCfg = &Mangle;
+
+  ServeConfig MoreJobs = Base;
+  MoreJobs.Jobs = 4;
+  ServeConfig Shuffled = Base;
+  Shuffled.ShuffleSeed = 987654321;
+  ServeConfig MoreShards = Base;
+  MoreShards.Shards = 3;
+
+  ServeReport R0 = runServe(Sessions, Base);
+  for (const ServeReport &R :
+       {runServe(Sessions, MoreJobs), runServe(Sessions, Shuffled),
+        runServe(Sessions, MoreShards)}) {
+    ASSERT_EQ(R.Sessions.size(), R0.Sessions.size());
+    for (size_t I = 0; I < R.Sessions.size(); ++I)
+      expectSameSession(R0.Sessions[I], R.Sessions[I]);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Hardened ingestion: wire damage poisons the session, replay noise
+// heals, and the process always survives with a classified report.
+//===----------------------------------------------------------------------===//
+
+TEST(Serve, CorruptFramesPoisonSessionsNotTheProcess) {
+  Workload W = testWorkload();
+  std::vector<SessionInput> Sessions = makeSessions(W, {1, 2, 3});
+  std::vector<fault::FaultPlanConfig> Plans = ingestionPlanMatrix();
+  ASSERT_EQ(Plans[1].Name, "frame-corrupt");
+  ServeConfig Cfg;
+  Cfg.FaultCfg = &Plans[1];
+
+  ServeReport Rep = runServe(Sessions, Cfg);
+  ASSERT_EQ(Rep.Sessions.size(), 3u);
+  size_t Poisoned = 0;
+  for (const SessionReport &S : Rep.Sessions) {
+    // Every outcome is classified — there is no unclassified exit.
+    EXPECT_NE(sessionOutcomeName(S.Outcome), std::string("unknown"));
+    if (S.Outcome == SessionOutcome::Poisoned) {
+      ++Poisoned;
+      EXPECT_FALSE(S.Diagnostic.empty());
+      uint64_t TotalRejects = 0;
+      for (uint64_t C : S.Rejects)
+        TotalRejects += C;
+      EXPECT_GT(TotalRejects, 0u);
+      EXPECT_EQ(S.FramesRejected, TotalRejects);
+    }
+  }
+  // At rate 500/10k over hundreds of frames, corruption always lands.
+  EXPECT_GT(Poisoned, 0u);
+}
+
+TEST(Serve, DuplicateAndReorderDeliveriesHealToOk) {
+  Workload W = testWorkload();
+  std::vector<SessionInput> Sessions = makeSessions(W, {1, 2});
+  std::vector<fault::FaultPlanConfig> Plans = ingestionPlanMatrix();
+  ASSERT_EQ(Plans[3].Name, "frame-duplicate");
+  ASSERT_EQ(Plans[4].Name, "frame-reorder");
+
+  for (size_t PlanIdx : {3u, 4u}) {
+    ServeConfig Cfg;
+    Cfg.FaultCfg = &Plans[PlanIdx];
+    ServeReport Rep = runServe(Sessions, Cfg);
+    bool AnyHealed = false;
+    for (size_t I = 0; I < Rep.Sessions.size(); ++I) {
+      const SessionReport &S = Rep.Sessions[I];
+      // Duplicates and adjacent reorders are wire noise the
+      // resequencer absorbs: the session still ends Ok and its
+      // detection matches the batch pipeline exactly.
+      EXPECT_EQ(S.Outcome, SessionOutcome::Ok)
+          << Plans[PlanIdx].Name << ": " << S.Diagnostic;
+      EXPECT_EQ(S.detectionSignature(),
+                batchSessionReport(Sessions[I], Cfg).detectionSignature());
+      AnyHealed |= S.FramesDuplicated > 0 || S.FramesReordered > 0;
+    }
+    EXPECT_TRUE(AnyHealed) << Plans[PlanIdx].Name
+                           << " plan never perturbed the wire";
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Backpressure and load shedding: overload sheds behind explicit
+// markers and degrades the session — never silently.
+//===----------------------------------------------------------------------===//
+
+TEST(Serve, SustainedStallShedsExplicitlyNeverSilently) {
+  Workload W = testWorkload();
+  std::vector<SessionInput> Sessions = makeSessions(W, {1, 2});
+  fault::FaultPlanConfig Stall;
+  Stall.Name = "stall-hard";
+  Stall.PlanSeed = 0x57a11;
+  Stall.FrameStallRatePerMyriad = 6000;
+  Stall.FrameStallTicks = 16;
+
+  ServeConfig Cfg;
+  Cfg.RingCapacity = 2;
+  Cfg.PushPerTick = 4;
+  Cfg.ShedAfterBackoffs = 2;
+  Cfg.FaultCfg = &Stall;
+
+  ServeReport Rep = runServe(Sessions, Cfg);
+  size_t ShedSessions = 0;
+  for (const SessionReport &S : Rep.Sessions) {
+    EXPECT_GT(S.StallTicks, 0u);
+    if (S.EventsShed > 0) {
+      ++ShedSessions;
+      // Shed loss is never silent: an explicit marker crossed the
+      // wire, the outcome says Shed, and the diagnostic says why.
+      EXPECT_GT(S.FramesShed, 0u);
+      EXPECT_EQ(S.Outcome, SessionOutcome::Shed);
+      EXPECT_NE(S.Diagnostic.find("shed"), std::string::npos)
+          << S.Diagnostic;
+      // Accounting closes: every streamed event was either ingested
+      // or declared shed.
+      EXPECT_EQ(S.EventsIngested + S.EventsShed, S.EventsStreamed);
+    }
+  }
+  EXPECT_GT(ShedSessions, 0u);
+}
+
+TEST(Serve, TenantBudgetDegradesStickyAndMatchesBatch) {
+  Workload W = testWorkload();
+  std::vector<SessionInput> Sessions = makeSessions(W, {1});
+  ServeConfig Cfg;
+  Cfg.TenantEventBudget = 500;
+
+  ServeReport Rep = runServe(Sessions, Cfg);
+  ASSERT_EQ(Rep.Sessions.size(), 1u);
+  const SessionReport &S = Rep.Sessions[0];
+  EXPECT_EQ(S.Outcome, SessionOutcome::Degraded) << S.Diagnostic;
+  // Ingestion counts the full delivered stream; the budget cap is
+  // accounted separately, never silently.
+  EXPECT_EQ(S.EventsBudgetDropped, S.EventsStreamed - 500);
+  EXPECT_NE(S.Diagnostic.find("tenant budget"), std::string::npos)
+      << S.Diagnostic;
+  // Budgeted parity: the batch twin caps its trace the same way, so
+  // even the degraded signature is byte-identical.
+  EXPECT_EQ(S.detectionSignature(),
+            batchSessionReport(Sessions[0], Cfg).detectionSignature());
+}
+
+//===----------------------------------------------------------------------===//
+// Crash containment: quarantine, budgeted re-admission, escalation to
+// Failed — and the tick watchdog as the livelock valve.
+//===----------------------------------------------------------------------===//
+
+TEST(Serve, ShardCrashQuarantinesAndRecovers) {
+  Workload W = testWorkload();
+  std::vector<SessionInput> Sessions = makeSessions(W, {1, 2, 3, 4, 5, 6});
+  // The matrix preset's rate is tuned for the long bench sessions;
+  // these test sessions span only ~a dozen frames each, so a hotter
+  // plan is needed for crashes (and recoveries) to land.
+  fault::FaultPlanConfig Crash;
+  Crash.Name = "crash-some";
+  Crash.PlanSeed = 0x5e46;
+  Crash.ShardCrashRatePerMyriad = 800;
+  ServeConfig Cfg;
+  Cfg.FaultCfg = &Crash;
+
+  ServeReport Rep = runServe(Sessions, Cfg);
+  size_t Quarantined = 0, Recovered = 0;
+  for (size_t I = 0; I < Rep.Sessions.size(); ++I) {
+    const SessionReport &S = Rep.Sessions[I];
+    if (S.Quarantines == 0) {
+      EXPECT_EQ(S.Outcome, SessionOutcome::Ok) << S.Diagnostic;
+      continue;
+    }
+    ++Quarantined;
+    if (S.Outcome == SessionOutcome::Failed) {
+      EXPECT_EQ(S.Readmissions, Cfg.RetryBudget);
+      EXPECT_FALSE(S.Diagnostic.empty());
+      continue;
+    }
+    ++Recovered;
+    // A recovered session re-ingested the stream from frame zero:
+    // counters must reflect the final attempt only (no double
+    // booking), so the end-marker accounting still closes and the
+    // detection content matches the batch pipeline. (The signature
+    // itself differs by design — recovery marks the session degraded
+    // with the quarantine note, which the frame-less batch twin never
+    // carries.)
+    EXPECT_EQ(S.Outcome, SessionOutcome::Degraded) << S.Diagnostic;
+    EXPECT_NE(S.Diagnostic.find("recovered from"), std::string::npos)
+        << S.Diagnostic;
+    EXPECT_EQ(S.EventsIngested, S.EventsStreamed);
+    SessionReport B = batchSessionReport(Sessions[I], Cfg);
+    EXPECT_EQ(S.Steps, B.Steps);
+    EXPECT_EQ(S.DynamicReports, B.DynamicReports);
+    EXPECT_EQ(S.DynamicTrue, B.DynamicTrue);
+    EXPECT_EQ(S.CusFormed, B.CusFormed);
+    EXPECT_EQ(S.StaticTrueKeys, B.StaticTrueKeys);
+    EXPECT_EQ(S.StaticFalseKeys, B.StaticFalseKeys);
+  }
+  EXPECT_GT(Quarantined, 0u);
+  EXPECT_GT(Recovered, 0u);
+}
+
+TEST(Serve, ExhaustedRetryBudgetFailsTheSessionOnly) {
+  Workload W = testWorkload();
+  std::vector<SessionInput> Sessions = makeSessions(W, {1, 2});
+  fault::FaultPlanConfig AlwaysCrash;
+  AlwaysCrash.Name = "crash-always";
+  AlwaysCrash.PlanSeed = 0xdead;
+  AlwaysCrash.ShardCrashRatePerMyriad = 10000;
+
+  ServeConfig Cfg;
+  Cfg.RetryBudget = 2;
+  Cfg.FaultCfg = &AlwaysCrash;
+
+  // The contract under test: runServe never throws, it classifies.
+  ServeReport Rep = runServe(Sessions, Cfg);
+  ASSERT_EQ(Rep.Sessions.size(), 2u);
+  for (const SessionReport &S : Rep.Sessions) {
+    EXPECT_EQ(S.Outcome, SessionOutcome::Failed);
+    EXPECT_EQ(S.Quarantines, Cfg.RetryBudget + 1);
+    EXPECT_EQ(S.Readmissions, Cfg.RetryBudget);
+    EXPECT_FALSE(S.Diagnostic.empty());
+  }
+}
+
+TEST(Serve, WatchdogTripsLivelockedSessions) {
+  Workload W = testWorkload();
+  std::vector<SessionInput> Sessions = makeSessions(W, {1});
+  ServeConfig Cfg;
+  Cfg.SessionTickDeadline = 8; // far below any real session's ticks
+
+  ServeReport Rep = runServe(Sessions, Cfg);
+  ASSERT_EQ(Rep.Sessions.size(), 1u);
+  const SessionReport &S = Rep.Sessions[0];
+  // Every attempt trips the watchdog, so the retry budget drains and
+  // the session fails — without hanging and without taking down the
+  // daemon.
+  EXPECT_EQ(S.Outcome, SessionOutcome::Failed);
+  EXPECT_GT(S.Quarantines, 0u);
+  EXPECT_FALSE(S.Diagnostic.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Observability: every exported key is schema-documented and the
+// metrics document stays valid.
+//===----------------------------------------------------------------------===//
+
+TEST(Serve, ExportsOnlyDocumentedKeys) {
+  Workload W = testWorkload();
+  std::vector<SessionInput> Sessions = makeSessions(W, {1, 2});
+  std::vector<fault::FaultPlanConfig> Plans = ingestionPlanMatrix();
+  obs::Registry Reg;
+  ServeConfig Cfg;
+  Cfg.FaultCfg = &Plans.back(); // frame-mangle: touches every counter class
+  Cfg.Obs = &Reg;
+  runServe(Sessions, Cfg);
+
+  bool SawServe = false, SawReject = false, SawShardShadow = false;
+  for (const auto &[Name, Value] : Reg.counters()) {
+    EXPECT_TRUE(obs::isDocumentedKey(Name)) << Name;
+    SawServe |= Name == "serve.sessions";
+    SawReject |= Name.rfind("serve.rejects.", 0) == 0;
+    SawShardShadow |= Name == "shadow.shard0.bytes";
+    (void)Value;
+  }
+  EXPECT_TRUE(SawServe);
+  EXPECT_TRUE(SawReject);
+  EXPECT_TRUE(SawShardShadow);
+  EXPECT_EQ(Reg.counter("serve.sessions").value(), Sessions.size());
+
+  // The rendered document is still the svd-metrics-v1 shape.
+  std::string J = obs::metricsJson(Reg);
+  EXPECT_NE(J.find("\"schema\": \"svd-metrics-v1\""), std::string::npos);
+  EXPECT_NE(J.find("\"serve.frames_delivered\""), std::string::npos);
+}

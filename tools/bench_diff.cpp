@@ -7,13 +7,14 @@
 //   svd-bench-diff BASELINE.json CURRENT.json
 //
 // Every field in a row is deterministic (a pure function of the
-// workload and the fixed perf seed) except insts_per_sec, which is
-// wall-clock. Deterministic fields must match byte-for-byte: row
-// names, order and count, threads, static_instrs, dynamic_instrs,
-// known_bug, events, pruned_events, filtered_events, proven_cus and
-// pruned_pct. insts_per_sec is advisory — its drift is printed but
-// never fails the diff (CI machines differ; the committed number is a
-// point of reference, not a contract).
+// workload and the fixed perf seed) except the wall-clock rates.
+// Deterministic fields must match byte-for-byte: row names, order and
+// count, threads, static_instrs, dynamic_instrs, known_bug, events,
+// pruned_events, filtered_events, proven_cus and pruned_pct. Any
+// *_per_sec field (insts_per_sec, translate_insts_per_sec, the serve
+// suite's events_per_sec) is advisory — its drift is printed but never
+// fails the diff (CI machines differ; the committed number is a point
+// of reference, not a contract).
 //
 // Exit status: 0 when the deterministic fields match, 1 when they
 // drifted, 2 on usage errors or malformed input.
@@ -36,8 +37,8 @@ namespace {
 
 const char *Usage =
     "usage: svd-bench-diff BASELINE.json CURRENT.json\n"
-    "  Compares two `svd-bench --suite table1 --perf --json` documents.\n"
-    "  Deterministic fields must match exactly; insts_per_sec drift is\n"
+    "  Compares two `svd-bench --suite <suite> --perf --json` documents.\n"
+    "  Deterministic fields must match exactly; *_per_sec drift is\n"
     "  reported but never fails the diff.\n";
 
 /// One row as ordered (key, raw-value) pairs; raw values keep their
@@ -180,7 +181,7 @@ int main(int Argc, char **Argv) {
       const std::string &Key = B[K].first;
       const std::string &BV = B[K].second;
       const std::string &CV = C[K].second;
-      if (Key.find("insts_per_sec") != std::string::npos) {
+      if (Key.find("_per_sec") != std::string::npos) {
         double BR = std::atof(BV.c_str());
         double CR = std::atof(CV.c_str());
         double Pct = BR > 0 ? 100.0 * (CR - BR) / BR : 0.0;
